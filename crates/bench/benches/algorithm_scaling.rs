@@ -1,0 +1,44 @@
+//! Section IV complexity claim: the direct per-capacitor method costs time
+//! "proportional to the square of the number of elements" per output on a
+//! chain, while the single-traversal / constructive methods are linear.
+//!
+//! Benchmarks both tree algorithms and the two-port algebra on RC chains of
+//! growing length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rctree_core::moments::{characteristic_times, characteristic_times_direct};
+use rctree_core::twoport::TwoPort;
+use rctree_core::units::{Farads, Ohms};
+use rctree_workloads::ladder::rc_ladder;
+
+fn bench_algorithm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characteristic_times_scaling");
+    for &n in &[10usize, 100, 1000] {
+        let (tree, out) = rc_ladder(Ohms::new(100.0), Farads::new(1e-12), n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("linear_traversal", n), &n, |b, _| {
+            b.iter(|| characteristic_times(&tree, out).expect("analysable"))
+        });
+        group.bench_with_input(BenchmarkId::new("direct_quadratic", n), &n, |b, _| {
+            b.iter(|| characteristic_times_direct(&tree, out).expect("analysable"))
+        });
+        group.bench_with_input(BenchmarkId::new("twoport_constructive", n), &n, |b, _| {
+            b.iter(|| {
+                let seg_r = Ohms::new(100.0 / n as f64);
+                let seg_c = Farads::new(1e-12 / n as f64);
+                let mut state = TwoPort::EMPTY;
+                for _ in 0..n {
+                    state = state
+                        .cascade(TwoPort::resistor(seg_r))
+                        .cascade(TwoPort::capacitor(seg_c));
+                }
+                state.characteristic_times().expect("analysable")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm_scaling);
+criterion_main!(benches);

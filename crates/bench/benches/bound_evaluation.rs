@@ -1,0 +1,52 @@
+//! Cost of evaluating the closed-form bounds themselves (Eqs. 8–17) and of
+//! a full multi-output tree analysis — the quantities a timing tool would
+//! evaluate millions of times per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rctree_core::analysis::TreeAnalysis;
+use rctree_core::moments::characteristic_times;
+use rctree_core::units::Seconds;
+use rctree_workloads::fig7::figure7_tree;
+use rctree_workloads::htree::{h_tree, HTreeParams};
+
+fn bench_bound_evaluation(c: &mut Criterion) {
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out).expect("analysable");
+
+    c.bench_function("delay_bounds_single_threshold", |b| {
+        b.iter(|| times.delay_bounds(std::hint::black_box(0.5)).expect("valid"))
+    });
+    c.bench_function("voltage_bounds_single_time", |b| {
+        b.iter(|| {
+            times
+                .voltage_bounds(std::hint::black_box(Seconds::new(100.0)))
+                .expect("valid")
+        })
+    });
+    c.bench_function("certify_single_output", |b| {
+        b.iter(|| {
+            times
+                .certify(std::hint::black_box(0.9), Seconds::new(900.0))
+                .expect("valid")
+        })
+    });
+
+    let (clock, _) = h_tree(HTreeParams {
+        levels: 6,
+        ..HTreeParams::default()
+    });
+    c.bench_function("tree_analysis_htree_64_leaves", |b| {
+        b.iter(|| TreeAnalysis::of(&clock).expect("analysable"))
+    });
+    let analysis = TreeAnalysis::of(&clock).expect("analysable");
+    c.bench_function("certify_all_htree_64_leaves", |b| {
+        b.iter(|| {
+            analysis
+                .certify_all(0.9, Seconds::from_nano(5.0))
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group!(benches, bench_bound_evaluation);
+criterion_main!(benches);

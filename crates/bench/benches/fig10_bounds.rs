@@ -1,0 +1,36 @@
+//! Figure 10 regeneration cost: producing both complete tables (nine delay
+//! rows and eleven voltage rows) for the Figure 7 network, starting either
+//! from the prebuilt tree or from the textual Eq. (18) expression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rctree_bench::{fig10_delay_rows, fig10_voltage_rows};
+use rctree_core::moments::characteristic_times;
+use rctree_netlist::parse_expr;
+use rctree_workloads::fig7::figure7_tree;
+
+const FIG7_EXPR: &str =
+    "(URC 15 0) WC (URC 0 2) WC (WB ((URC 8 0) WC (URC 0 7))) WC (URC 3 4) WC (URC 0 9)";
+
+fn bench_fig10(c: &mut Criterion) {
+    let (tree, out) = figure7_tree();
+    c.bench_function("fig10_tables_from_tree", |b| {
+        b.iter(|| {
+            let times = characteristic_times(&tree, out).expect("analysable");
+            (fig10_delay_rows(&times), fig10_voltage_rows(&times))
+        })
+    });
+
+    c.bench_function("fig10_tables_from_expression_text", |b| {
+        b.iter(|| {
+            let times = parse_expr(std::hint::black_box(FIG7_EXPR))
+                .expect("valid expression")
+                .evaluate()
+                .characteristic_times()
+                .expect("analysable");
+            (fig10_delay_rows(&times), fig10_voltage_rows(&times))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 13 regeneration cost: the full minterm sweep of the PLA line
+//! (bounds at 0.7·V_DD for 2 … 100 minterms), plus the cost of a single
+//! 100-minterm analysis through each construction route.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rctree_bench::fig13_minterm_sweep;
+use rctree_core::moments::characteristic_times;
+use rctree_workloads::pla::PlaLine;
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_full_minterm_sweep", |b| {
+        b.iter(|| {
+            fig13_minterm_sweep()
+                .into_iter()
+                .map(|m| {
+                    let (tree, out) = PlaLine::new(m).tree();
+                    let t = characteristic_times(&tree, out).expect("analysable");
+                    let bounds = t.delay_bounds(0.7).expect("valid threshold");
+                    (m, bounds.lower.value(), bounds.upper.value())
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+
+    c.bench_function("pla_100_minterms_via_tree", |b| {
+        b.iter(|| {
+            let (tree, out) = PlaLine::new(100).tree();
+            characteristic_times(&tree, out).expect("analysable")
+        })
+    });
+    c.bench_function("pla_100_minterms_via_twoport", |b| {
+        b.iter(|| {
+            PlaLine::new(100)
+                .expr()
+                .evaluate()
+                .characteristic_times()
+                .expect("analysable")
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

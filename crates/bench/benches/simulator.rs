@@ -1,0 +1,60 @@
+//! Cost of the exact-response substrate (the Figure 11 reference): modal
+//! decomposition and transient integration of the Figure 7 network and of a
+//! mid-size PLA line, compared with the bound evaluation they validate.
+//!
+//! The point of the paper is exactly this gap: the bounds cost microseconds
+//! while the exact solution costs many orders of magnitude more.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rctree_core::moments::characteristic_times;
+use rctree_sim::modal::ModalStepResponse;
+use rctree_sim::network::LumpedNetwork;
+use rctree_sim::transient::{simulate, InputSource, Method, TransientOptions};
+use rctree_workloads::fig7::figure7_tree;
+use rctree_workloads::pla::PlaLine;
+
+fn bench_simulator(c: &mut Criterion) {
+    let (fig7, fig7_out) = figure7_tree();
+    let fig7_net = LumpedNetwork::from_tree(&fig7, 16).expect("convertible");
+
+    c.bench_function("fig7_bounds_only", |b| {
+        b.iter(|| {
+            characteristic_times(&fig7, fig7_out)
+                .expect("analysable")
+                .delay_bounds(0.5)
+                .expect("valid")
+        })
+    });
+    c.bench_function("fig7_modal_decomposition_16seg", |b| {
+        b.iter(|| ModalStepResponse::new(&fig7_net).expect("solvable"))
+    });
+    c.bench_function("fig7_transient_trapezoidal_16seg", |b| {
+        b.iter(|| {
+            simulate(
+                &fig7_net,
+                InputSource::Step,
+                TransientOptions::new(1.0, 1000.0),
+            )
+            .expect("stable")
+        })
+    });
+    c.bench_function("fig7_transient_backward_euler_16seg", |b| {
+        b.iter(|| {
+            simulate(
+                &fig7_net,
+                InputSource::Step,
+                TransientOptions::new(1.0, 1000.0).with_method(Method::BackwardEuler),
+            )
+            .expect("stable")
+        })
+    });
+
+    let (pla, _) = PlaLine::new(40).tree();
+    let pla_net = LumpedNetwork::from_tree(&pla, 4).expect("convertible");
+    c.bench_function("pla40_modal_decomposition_4seg", |b| {
+        b.iter(|| ModalStepResponse::new(&pla_net).expect("solvable"))
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

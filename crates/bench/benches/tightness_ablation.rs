@@ -1,0 +1,79 @@
+//! Ablation: how tight are the bounds, and where does the tightness come
+//! from?
+//!
+//! The paper remarks that the bounds "are very tight in the case where most
+//! of the resistance is in the pullup".  This bench sweeps the ratio of
+//! driver resistance to wire resistance on a fixed fan-out net and reports
+//! (via Criterion's measurement of the full evaluation plus an eprinted
+//! summary) the relative uncertainty of the 50% delay bounds, alongside the
+//! cost of tightening the answer with exact simulation instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::moments::characteristic_times;
+use rctree_core::tree::RcTree;
+use rctree_core::units::{Farads, Ohms};
+use rctree_sim::modal::ModalStepResponse;
+use rctree_sim::network::LumpedNetwork;
+
+/// Fan-out net with a parameterized driver/wire resistance split.
+fn fanout_net(driver_ohms: f64, wire_ohms: f64) -> (RcTree, rctree_core::tree::NodeId) {
+    let mut b = RcTreeBuilder::new();
+    let drv = b
+        .add_resistor(b.input(), "drv", Ohms::new(driver_ohms))
+        .expect("valid");
+    let stem = b
+        .add_line(drv, "stem", Ohms::new(wire_ohms), Farads::from_pico(0.05))
+        .expect("valid");
+    let near = b
+        .add_line(stem, "near", Ohms::new(wire_ohms / 4.0), Farads::from_pico(0.01))
+        .expect("valid");
+    b.add_capacitance(near, Farads::from_pico(0.013)).expect("valid");
+    let far = b
+        .add_line(stem, "far", Ohms::new(wire_ohms), Farads::from_pico(0.04))
+        .expect("valid");
+    b.add_capacitance(far, Farads::from_pico(0.013)).expect("valid");
+    b.mark_output(far).expect("valid");
+    let tree = b.build().expect("valid");
+    let out = tree.outputs().next().expect("one output");
+    (tree, out)
+}
+
+fn bench_tightness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tightness_vs_driver_share");
+    eprintln!("driver/wire resistance ratio -> relative uncertainty of the 50% delay bounds");
+    for &ratio in &[0.1_f64, 1.0, 10.0, 100.0] {
+        let wire = 1_000.0;
+        let (tree, out) = fanout_net(wire * ratio, wire);
+        let times = characteristic_times(&tree, out).expect("analysable");
+        let bounds = times.delay_bounds(0.5).expect("valid");
+        eprintln!(
+            "  ratio {ratio:>6.1}: uncertainty {:.1}%",
+            100.0 * bounds.relative_uncertainty()
+        );
+
+        group.bench_with_input(BenchmarkId::new("bounds", ratio), &ratio, |b, _| {
+            b.iter(|| {
+                characteristic_times(&tree, out)
+                    .expect("analysable")
+                    .delay_bounds(0.5)
+                    .expect("valid")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_modal", ratio), &ratio, |b, _| {
+            let net = LumpedNetwork::from_tree(&tree, 8).expect("convertible");
+            b.iter(|| {
+                let modal = ModalStepResponse::new(&net).expect("solvable");
+                let idx = net
+                    .index_of(out)
+                    .expect("known")
+                    .expect("not the input");
+                modal.crossing_time(idx, 0.5).expect("reached")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tightness);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates both tables of Figure 10: delay bounds vs threshold and
+//! voltage bounds vs time for the Figure 7 example network, alongside the
+//! values printed in the paper.
+//!
+//! Run with `cargo run -p rctree-bench --bin fig10_table`.
+
+use rctree_bench::{fig10_delay_rows, fig10_voltage_rows};
+use rctree_core::moments::characteristic_times;
+use rctree_workloads::fig7::{figure7_tree, FIG10_DELAY_TABLE, FIG10_VOLTAGE_TABLE};
+
+fn main() {
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out).expect("Figure 7 network is analysable");
+
+    println!("Figure 7 network characteristic times:");
+    println!(
+        "  T_P = {} s   T_D = {} s   T_R = {:.4} s   R_ee = {}\n",
+        times.t_p.value(),
+        times.t_d.value(),
+        times.t_r.value(),
+        times.r_ee
+    );
+
+    println!("Figure 10 (upper table): delay bounds vs threshold");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "V", "TMIN (ours)", "TMIN(paper)", "TMAX (ours)", "TMAX(paper)"
+    );
+    for ((v, lo, hi), &(pv, plo, phi)) in fig10_delay_rows(&times).iter().zip(FIG10_DELAY_TABLE) {
+        assert!((v - pv).abs() < 1e-12);
+        println!("{v:>6.1} {lo:>12.3} {plo:>12.3} {hi:>12.3} {phi:>12.3}");
+    }
+
+    println!("\nFigure 10 (lower table): voltage bounds vs time");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "T", "VMIN (ours)", "VMIN(paper)", "VMAX (ours)", "VMAX(paper)"
+    );
+    for ((t, lo, hi), &(pt, plo, phi)) in
+        fig10_voltage_rows(&times).iter().zip(FIG10_VOLTAGE_TABLE)
+    {
+        assert!((t - pt).abs() < 1e-12);
+        println!("{t:>6.0} {lo:>12.5} {plo:>12.5} {hi:>12.5} {phi:>12.5}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates the data of Figure 11: lower bound, exact step response and
+//! upper bound of the Figure 7 network from 0 to 600 seconds, as CSV.
+//!
+//! Run with `cargo run -p rctree-bench --bin fig11_curves [> fig11.csv]`.
+
+use rctree_core::moments::characteristic_times;
+use rctree_core::units::Seconds;
+use rctree_sim::modal::exact_step_response;
+use rctree_workloads::fig7::figure7_tree;
+
+fn main() {
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out).expect("Figure 7 network is analysable");
+    let exact = exact_step_response(&tree, out, 64, 600.0, 601)
+        .expect("modal decomposition of the Figure 7 network");
+
+    println!("time_s,v_lower_bound,v_exact,v_upper_bound");
+    let mut worst_violation = 0.0_f64;
+    for i in 0..=120 {
+        let t = 5.0 * i as f64;
+        let b = times
+            .voltage_bounds(Seconds::new(t))
+            .expect("non-negative time");
+        let v = exact.value_at(t);
+        worst_violation = worst_violation.max(b.lower - v).max(v - b.upper);
+        println!("{t},{:.6},{:.6},{:.6}", b.lower, v, b.upper);
+    }
+    eprintln!("max violation of v_min <= v_exact <= v_max: {worst_violation:.3e}");
+    eprintln!(
+        "(small positive values reflect only the {}-segment discretization of the distributed line)",
+        64
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 13: upper and lower bounds on the response time of the
+//! PLA polysilicon line (threshold 0.7·V_DD) as a function of the number of
+//! minterms, 2 through 100.
+//!
+//! Prints a CSV table (nanoseconds) followed by a log-log summary of the
+//! growth exponent and the paper's 10 ns headline check.
+//!
+//! Run with `cargo run -p rctree-bench --bin fig13_pla_sweep`.
+
+use rctree_bench::fig13_minterm_sweep;
+use rctree_core::moments::characteristic_times;
+use rctree_workloads::pla::PlaLine;
+
+fn main() {
+    println!("minterms,t_min_ns,t_max_ns,elmore_ns");
+    let mut rows = Vec::new();
+    for minterms in fig13_minterm_sweep() {
+        let (tree, out) = PlaLine::new(minterms).tree();
+        let times = characteristic_times(&tree, out).expect("PLA line is analysable");
+        let bounds = times.delay_bounds(0.7).expect("valid threshold");
+        println!(
+            "{minterms},{:.5},{:.5},{:.5}",
+            bounds.lower.as_nano(),
+            bounds.upper.as_nano(),
+            times.elmore_delay().as_nano()
+        );
+        rows.push((minterms as f64, bounds.lower.as_nano(), bounds.upper.as_nano()));
+    }
+
+    // Growth exponent between 20 and 100 minterms (paper: "the quadratic
+    // dependence of delay on number of minterms ... is evident").
+    let pick = |n: f64| rows.iter().find(|r| (r.0 - n).abs() < 0.5).expect("in sweep");
+    let (a, b) = (pick(20.0), pick(100.0));
+    let slope_upper = (b.2 / a.2).ln() / (100.0_f64 / 20.0).ln();
+    let slope_lower = (b.1 / a.1).ln() / (100.0_f64 / 20.0).ln();
+    eprintln!("log-log slope 20->100 minterms: lower bound {slope_lower:.2}, upper bound {slope_upper:.2} (paper: ~2, i.e. quadratic)");
+    eprintln!(
+        "upper bound at 100 minterms: {:.2} ns (paper: \"guaranteed to be no worse than 10 nsec\")",
+        b.2
+    );
+}

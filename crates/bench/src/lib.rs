@@ -1,0 +1,80 @@
+//! Shared helpers for the benchmark harness and the figure/table
+//! regeneration binaries.
+//!
+//! The binaries in `src/bin/` regenerate the *contents* of every table and
+//! figure in the paper's evaluation (Figures 10, 11 and 13); the Criterion
+//! benches in `benches/` measure the *computational* claims of Section IV
+//! (linear-time constructive algorithm vs. the quadratic direct method) and
+//! the cost of the surrounding machinery (bound evaluation, exact
+//! simulation), plus a tightness ablation.
+
+use rctree_core::moments::CharacteristicTimes;
+
+/// Formats a bound pair the way the paper's Figure 10 prints them.
+pub fn format_bound_row(x: f64, lower: f64, upper: f64) -> String {
+    format!("{x:>8.3}  {lower:>12.5}  {upper:>12.5}")
+}
+
+/// Produces the Figure 10 delay-bound rows for the supplied characteristic
+/// times at the paper's nine thresholds.
+///
+/// # Panics
+///
+/// Panics only if the characteristic times are degenerate (zero Elmore
+/// delay), which cannot happen for the Figure 7 network.
+pub fn fig10_delay_rows(times: &CharacteristicTimes) -> Vec<(f64, f64, f64)> {
+    (1..=9)
+        .map(|i| {
+            let v = i as f64 / 10.0;
+            let b = times.delay_bounds(v).expect("valid threshold");
+            (v, b.lower.value(), b.upper.value())
+        })
+        .collect()
+}
+
+/// Produces the Figure 10 voltage-bound rows for the supplied characteristic
+/// times at the paper's eleven sample times.
+///
+/// # Panics
+///
+/// Panics only for degenerate characteristic times.
+pub fn fig10_voltage_rows(times: &CharacteristicTimes) -> Vec<(f64, f64, f64)> {
+    [
+        20.0, 40.0, 60.0, 80.0, 100.0, 200.0, 300.0, 400.0, 500.0, 1000.0, 2000.0,
+    ]
+    .iter()
+    .map(|&t| {
+        let b = times
+            .voltage_bounds(rctree_core::units::Seconds::new(t))
+            .expect("valid time");
+        (t, b.lower, b.upper)
+    })
+    .collect()
+}
+
+/// The minterm counts swept in Figure 13 (2 … 100 on a log-like grid).
+pub fn fig13_minterm_sweep() -> Vec<usize> {
+    vec![2, 4, 6, 8, 10, 14, 20, 28, 40, 56, 70, 86, 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_workloads::fig7::figure7_tree;
+
+    #[test]
+    fn rows_cover_the_paper_grid() {
+        let (tree, out) = figure7_tree();
+        let times = rctree_core::moments::characteristic_times(&tree, out).unwrap();
+        assert_eq!(fig10_delay_rows(&times).len(), 9);
+        assert_eq!(fig10_voltage_rows(&times).len(), 11);
+        assert_eq!(*fig13_minterm_sweep().last().unwrap(), 100);
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        let row = format_bound_row(0.5, 184.23, 314.15);
+        assert!(row.contains("184.23"));
+        assert!(row.contains("314.15"));
+    }
+}

@@ -1,0 +1,420 @@
+//! # rctree-cli
+//!
+//! The `rcdelay` command-line tool: Penfield–Rubinstein delay-bound analysis
+//! for RC-tree netlists from the shell.
+//!
+//! ```text
+//! rcdelay [OPTIONS] <netlist-file>
+//!
+//!   --format <spice|spef|expr>   input format          (default: spice)
+//!   --net <name>                 SPEF net to analyse   (default: first net)
+//!   --threshold <v>              switching threshold   (default: 0.5)
+//!   --budget <seconds>           certify against a delay budget
+//!   --voltage-at <seconds>       also report voltage bounds at this time
+//!   --help                       print usage
+//! ```
+//!
+//! The library half of the crate (this module) contains the argument parser
+//! and the report generation so that both are unit-testable without spawning
+//! a process; `main.rs` is a thin wrapper that reads the file and prints the
+//! report.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use rctree_core::analysis::TreeAnalysis;
+use rctree_core::tree::RcTree;
+use rctree_core::units::Seconds;
+use rctree_netlist::{parse_expr, parse_spef, parse_spice};
+
+/// Input netlist formats understood by the tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFormat {
+    /// SPICE-subset deck (R/C/U cards).
+    Spice,
+    /// SPEF-lite parasitic file.
+    Spef,
+    /// The paper's `URC`/`WB`/`WC` wiring-algebra expression.
+    Expr,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Path of the netlist file (`-` for standard input).
+    pub path: String,
+    /// Input format.
+    pub format: InputFormat,
+    /// SPEF net name to analyse (first net when `None`).
+    pub net: Option<String>,
+    /// Switching threshold as a fraction of the swing.
+    pub threshold: f64,
+    /// Optional delay budget for certification, in seconds.
+    pub budget: Option<f64>,
+    /// Optional time at which to report voltage bounds, in seconds.
+    pub voltage_at: Option<f64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            path: String::new(),
+            format: InputFormat::Spice,
+            net: None,
+            threshold: 0.5,
+            budget: None,
+            voltage_at: None,
+        }
+    }
+}
+
+/// Usage text printed for `--help` and argument errors.
+pub const USAGE: &str = "\
+rcdelay: Penfield-Rubinstein delay bounds for RC tree netlists
+
+usage: rcdelay [OPTIONS] <netlist-file>
+
+options:
+  --format <spice|spef|expr>   input format (default: spice)
+  --net <name>                 SPEF net to analyse (default: first)
+  --threshold <v>              switching threshold in (0,1) (default: 0.5)
+  --budget <seconds>           certify every output against this budget
+  --voltage-at <seconds>       also report voltage bounds at this time
+  --help                       print this message
+";
+
+/// Errors produced by argument parsing or analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Bad or missing command-line arguments; the string is a message for
+    /// the user.
+    Usage(String),
+    /// The netlist failed to parse.
+    Netlist(String),
+    /// The analysis failed (e.g. no outputs marked).
+    Analysis(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Netlist(m) => write!(f, "netlist error: {m}"),
+            CliError::Analysis(m) => write!(f, "analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses command-line arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown flags, missing values, malformed
+/// numbers, or a missing input path.  `--help` is reported as a usage error
+/// carrying the usage text so the caller can print it and exit successfully.
+pub fn parse_args<I, S>(args: I) -> Result<Options, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut opts = Options::default();
+    let mut iter = args.into_iter();
+    let mut path: Option<String> = None;
+
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        let mut value_of = |name: &str| -> Result<String, CliError> {
+            iter.next()
+                .map(|v| v.as_ref().to_string())
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+        };
+        match arg {
+            "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            "--format" => {
+                opts.format = match value_of("--format")?.as_str() {
+                    "spice" => InputFormat::Spice,
+                    "spef" => InputFormat::Spef,
+                    "expr" => InputFormat::Expr,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown format `{other}`")));
+                    }
+                };
+            }
+            "--net" => opts.net = Some(value_of("--net")?),
+            "--threshold" => {
+                opts.threshold = parse_number(&value_of("--threshold")?, "--threshold")?;
+            }
+            "--budget" => {
+                opts.budget = Some(parse_number(&value_of("--budget")?, "--budget")?);
+            }
+            "--voltage-at" => {
+                opts.voltage_at = Some(parse_number(&value_of("--voltage-at")?, "--voltage-at")?);
+            }
+            other if other.starts_with('-') && other != "-" => {
+                return Err(CliError::Usage(format!("unknown option `{other}`")));
+            }
+            positional => {
+                if path.is_some() {
+                    return Err(CliError::Usage("more than one input file given".into()));
+                }
+                path = Some(positional.to_string());
+            }
+        }
+    }
+
+    opts.path = path.ok_or_else(|| CliError::Usage("missing input netlist file".into()))?;
+    if !(opts.threshold > 0.0 && opts.threshold < 1.0) {
+        return Err(CliError::Usage(format!(
+            "threshold {} must lie strictly between 0 and 1",
+            opts.threshold
+        )));
+    }
+    Ok(opts)
+}
+
+fn parse_number(text: &str, flag: &str) -> Result<f64, CliError> {
+    text.parse::<f64>()
+        .map_err(|_| CliError::Usage(format!("{flag}: `{text}` is not a number")))
+}
+
+/// Parses the netlist text according to the selected format.
+///
+/// # Errors
+///
+/// Returns [`CliError::Netlist`] when the input cannot be parsed or the
+/// requested SPEF net does not exist.
+pub fn load_tree(text: &str, opts: &Options) -> Result<RcTree, CliError> {
+    match opts.format {
+        InputFormat::Spice => parse_spice(text).map_err(|e| CliError::Netlist(e.to_string())),
+        InputFormat::Spef => {
+            let nets = parse_spef(text).map_err(|e| CliError::Netlist(e.to_string()))?;
+            let net = match &opts.net {
+                Some(name) => nets
+                    .into_iter()
+                    .find(|n| &n.name == name)
+                    .ok_or_else(|| CliError::Netlist(format!("no net named `{name}`")))?,
+                None => nets
+                    .into_iter()
+                    .next()
+                    .expect("parse_spef never returns an empty list"),
+            };
+            Ok(net.tree)
+        }
+        InputFormat::Expr => {
+            let expr = parse_expr(text).map_err(|e| CliError::Netlist(e.to_string()))?;
+            expr.to_tree().map_err(|e| CliError::Netlist(e.to_string()))
+        }
+    }
+}
+
+/// Runs the analysis and renders the human-readable report.
+///
+/// # Errors
+///
+/// Returns [`CliError::Analysis`] when the tree cannot be analysed (no
+/// outputs, no capacitance, invalid threshold).
+pub fn report(tree: &RcTree, opts: &Options) -> Result<String, CliError> {
+    let analysis = TreeAnalysis::of(tree).map_err(|e| CliError::Analysis(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} nodes, {} branches, C_total = {}, {} output(s), threshold {}",
+        tree.node_count(),
+        tree.branch_count(),
+        tree.total_capacitance(),
+        analysis.len(),
+        opts.threshold
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "output", "T_P (s)", "T_D (s)", "T_R (s)", "t_min (s)", "t_max (s)"
+    );
+    for o in analysis.outputs() {
+        let b = o
+            .times
+            .delay_bounds(opts.threshold)
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e}",
+            o.name,
+            o.times.t_p.value(),
+            o.times.t_d.value(),
+            o.times.t_r.value(),
+            b.lower.value(),
+            b.upper.value()
+        );
+    }
+
+    if let Some(t) = opts.voltage_at {
+        let _ = writeln!(out, "\nvoltage bounds at t = {t:.6e} s:");
+        for o in analysis.outputs() {
+            let vb = o
+                .times
+                .voltage_bounds(Seconds::new(t))
+                .map_err(|e| CliError::Analysis(e.to_string()))?;
+            let _ = writeln!(out, "  {:<16} [{:.5}, {:.5}]", o.name, vb.lower, vb.upper);
+        }
+    }
+
+    if let Some(budget) = opts.budget {
+        let verdict = analysis
+            .certify_all(opts.threshold, Seconds::new(budget))
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "\ncertification against a {budget:.6e} s budget: {verdict}"
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG7_DECK: &str = "\
+R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output n2\n";
+
+    #[test]
+    fn parses_full_argument_set() {
+        let opts = parse_args([
+            "--format",
+            "spef",
+            "--net",
+            "clk",
+            "--threshold",
+            "0.9",
+            "--budget",
+            "1e-9",
+            "--voltage-at",
+            "5e-10",
+            "deck.spef",
+        ])
+        .unwrap();
+        assert_eq!(opts.format, InputFormat::Spef);
+        assert_eq!(opts.net.as_deref(), Some("clk"));
+        assert_eq!(opts.threshold, 0.9);
+        assert_eq!(opts.budget, Some(1e-9));
+        assert_eq!(opts.voltage_at, Some(5e-10));
+        assert_eq!(opts.path, "deck.spef");
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let opts = parse_args(["file.sp"]).unwrap();
+        assert_eq!(opts.format, InputFormat::Spice);
+        assert_eq!(opts.threshold, 0.5);
+        assert!(opts.budget.is_none());
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(parse_args::<_, &str>([]), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(["--help"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["--format", "verilog", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--threshold", "1.5", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--threshold", "abc", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--budget"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["a.sp", "b.sp"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--bogus", "x"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn spice_report_contains_figure10_numbers() {
+        let opts = Options {
+            path: "-".into(),
+            threshold: 0.9,
+            budget: Some(1000.0),
+            voltage_at: Some(100.0),
+            ..Options::default()
+        };
+        let tree = load_tree(FIG7_DECK, &opts).unwrap();
+        let text = report(&tree, &opts).unwrap();
+        assert!(text.contains("n2"));
+        assert!(text.contains("7.23664"), "{text}");
+        assert!(text.contains("pass"));
+        assert!(text.contains("[0.16644, 0.35714]"));
+    }
+
+    #[test]
+    fn expr_format_loads_the_paper_notation() {
+        let opts = Options {
+            path: "-".into(),
+            format: InputFormat::Expr,
+            ..Options::default()
+        };
+        let tree = load_tree(
+            "(URC 15 0) WC (URC 0 2) WC (WB ((URC 8 0) WC (URC 0 7))) WC (URC 3 4) WC (URC 0 9)",
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(tree.outputs().count(), 1);
+        let text = report(&tree, &opts).unwrap();
+        assert!(text.contains("threshold 0.5"));
+    }
+
+    #[test]
+    fn spef_format_selects_nets() {
+        let spef = "\
+*D_NET a 1\n*CONN\n*I drv I\n*P x O\n*CAP\n1 x 1\n*RES\n1 drv x 5\n*END\n\
+*D_NET b 1\n*CONN\n*I drv I\n*P y O\n*CAP\n1 y 2\n*RES\n1 drv y 7\n*END\n";
+        let mut opts = Options {
+            path: "-".into(),
+            format: InputFormat::Spef,
+            ..Options::default()
+        };
+        let first = load_tree(spef, &opts).unwrap();
+        assert!(first.node_by_name("x").is_ok());
+        opts.net = Some("b".into());
+        let second = load_tree(spef, &opts).unwrap();
+        assert!(second.node_by_name("y").is_ok());
+        opts.net = Some("zzz".into());
+        assert!(matches!(load_tree(spef, &opts), Err(CliError::Netlist(_))));
+    }
+
+    #[test]
+    fn bad_netlists_are_reported() {
+        let opts = Options {
+            path: "-".into(),
+            ..Options::default()
+        };
+        assert!(matches!(
+            load_tree("garbage line\n", &opts),
+            Err(CliError::Netlist(_))
+        ));
+        // A tree with no outputs fails at analysis time.
+        let tree = load_tree("R1 in a 5\nC1 a 0 1\n.output a\n", &opts).unwrap();
+        assert!(report(&tree, &opts).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_prefixed() {
+        assert!(CliError::Usage("x".into()).to_string().contains("usage"));
+        assert!(CliError::Netlist("x".into()).to_string().contains("netlist"));
+        assert!(CliError::Analysis("x".into()).to_string().contains("analysis"));
+    }
+}

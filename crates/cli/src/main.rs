@@ -1,0 +1,54 @@
+//! `rcdelay` — Penfield–Rubinstein delay bounds from the command line.
+//!
+//! See [`rctree_cli::USAGE`] or run `rcdelay --help`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use rctree_cli::{load_tree, parse_args, report, CliError, USAGE};
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(CliError::Usage(message)) => {
+            if message == USAGE {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        Err(other) => {
+            eprintln!("error: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = if opts.path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("error: cannot read standard input: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&opts.path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", opts.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    match load_tree(&text, &opts).and_then(|tree| report(&tree, &opts)) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Error types for RC-tree construction and analysis.
+
+use std::fmt;
+
+use crate::tree::NodeId;
+
+/// Errors produced while building or analysing an RC tree.
+///
+/// All public fallible operations in this crate return [`CoreError`] so that
+/// downstream users have a single error type to match on.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The tree contains no capacitance at all, so every characteristic time
+    /// is zero and the bound formulas are undefined (the paper's Figure 9
+    /// functions "fail for networks without any resistances or capacitances").
+    NoCapacitance,
+    /// The tree has no resistance on the path to the requested output, so the
+    /// rise-time constant `T_Re` is undefined (division by `R_ee = 0`).
+    NoPathResistance {
+        /// Output node whose path to the input has zero resistance.
+        output: NodeId,
+    },
+    /// A negative or non-finite element value was supplied.
+    InvalidValue {
+        /// Human-readable description of the offending quantity.
+        what: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A node id does not belong to the tree it was used with.
+    NodeNotFound {
+        /// The unknown node id.
+        node: NodeId,
+    },
+    /// The requested node is not marked as an output.
+    NotAnOutput {
+        /// The node that is not an output.
+        node: NodeId,
+    },
+    /// A voltage threshold outside the open interval `(0, 1)` was supplied.
+    ///
+    /// The bound formulas divide by `1 − v` and take `ln` of expressions
+    /// involving `v`, so thresholds of exactly 0 or 1 are rejected (the paper
+    /// notes its APL functions "fail ... for V = 0").
+    ThresholdOutOfRange {
+        /// The offending threshold.
+        threshold: f64,
+    },
+    /// A negative time was supplied where a non-negative time is required.
+    NegativeTime {
+        /// The offending time in seconds.
+        time: f64,
+    },
+    /// A duplicate node name was used during construction.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// The tree has no outputs marked, so there is nothing to analyse.
+    NoOutputs,
+    /// An empty tree (input node only, no branches, no capacitors) was built.
+    EmptyTree,
+    /// A named node was not found during lookup by name.
+    NameNotFound {
+        /// The name that could not be resolved.
+        name: String,
+    },
+    /// The rise time of a ramp excitation must be strictly positive.
+    NonPositiveRiseTime {
+        /// The offending rise time in seconds.
+        rise_time: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoCapacitance => {
+                write!(f, "network contains no capacitance; delay bounds are undefined")
+            }
+            CoreError::NoPathResistance { output } => write!(
+                f,
+                "no resistance between input and output node {output:?}; T_R is undefined"
+            ),
+            CoreError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value} (must be finite and non-negative)")
+            }
+            CoreError::NodeNotFound { node } => {
+                write!(f, "node {node:?} does not belong to this tree")
+            }
+            CoreError::NotAnOutput { node } => {
+                write!(f, "node {node:?} is not marked as an output")
+            }
+            CoreError::ThresholdOutOfRange { threshold } => write!(
+                f,
+                "voltage threshold {threshold} is outside the open interval (0, 1)"
+            ),
+            CoreError::NegativeTime { time } => {
+                write!(f, "time {time} s is negative")
+            }
+            CoreError::DuplicateName { name } => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            CoreError::NoOutputs => write!(f, "tree has no output nodes marked"),
+            CoreError::EmptyTree => write!(f, "tree has no elements"),
+            CoreError::NameNotFound { name } => write!(f, "no node named `{name}`"),
+            CoreError::NonPositiveRiseTime { rise_time } => {
+                write!(f, "ramp rise time {rise_time} s must be strictly positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used by every fallible function in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningful_messages() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::NoCapacitance, "no capacitance"),
+            (
+                CoreError::ThresholdOutOfRange { threshold: 1.5 },
+                "outside the open interval",
+            ),
+            (
+                CoreError::InvalidValue {
+                    what: "resistance",
+                    value: -3.0,
+                },
+                "invalid value for resistance",
+            ),
+            (CoreError::NoOutputs, "no output"),
+            (CoreError::EmptyTree, "no elements"),
+            (
+                CoreError::DuplicateName {
+                    name: "n1".to_string(),
+                },
+                "duplicate node name",
+            ),
+            (
+                CoreError::NameNotFound {
+                    name: "missing".to_string(),
+                },
+                "no node named",
+            ),
+            (CoreError::NegativeTime { time: -1.0 }, "negative"),
+            (
+                CoreError::NonPositiveRiseTime { rise_time: 0.0 },
+                "strictly positive",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "message `{msg}` should contain `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

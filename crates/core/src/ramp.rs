@@ -1,0 +1,334 @@
+//! Bounds for finite-slew (ramp) excitation via the superposition integral.
+//!
+//! The paper treats only the unit-step excitation but remarks (Section VI)
+//! that "the results can be extended to upper and lower bounds for arbitrary
+//! excitation by use of the superposition integral".  This module implements
+//! that extension for the most common practical case: an input ramping
+//! linearly from 0 to 1 over a rise time `t_rise`.
+//!
+//! For a linear time-invariant network, the response to the ramp is the
+//! sliding average of the step response:
+//!
+//! ```text
+//! v_ramp(t) = (1/t_rise) · ∫_{max(0, t − t_rise)}^{t} v_step(τ) dτ
+//! ```
+//!
+//! Because integration preserves pointwise inequalities, substituting the
+//! Penfield–Rubinstein lower (upper) step bound for `v_step` yields a valid
+//! lower (upper) bound for the ramp response.  The integrals are evaluated
+//! with composite Simpson quadrature; the default resolution keeps the
+//! quadrature error far below the width of the analytic bounds themselves.
+
+use crate::bounds::{DelayBounds, VoltageBounds};
+use crate::error::{CoreError, Result};
+use crate::moments::CharacteristicTimes;
+use crate::units::Seconds;
+
+/// Default number of quadrature panels used per bound evaluation.
+const DEFAULT_PANELS: usize = 128;
+
+/// Bounds for the response of one output to a linear-ramp excitation.
+///
+/// ```
+/// use rctree_core::moments::CharacteristicTimes;
+/// use rctree_core::ramp::RampResponse;
+/// use rctree_core::units::{Ohms, Farads, Seconds};
+///
+/// # fn main() -> rctree_core::error::Result<()> {
+/// let times = CharacteristicTimes::new(
+///     Seconds::new(10.0),
+///     Seconds::new(6.0),
+///     Seconds::new(4.0),
+///     Ohms::new(2.0),
+///     Farads::new(5.0),
+/// )?;
+/// let ramp = RampResponse::new(times, Seconds::new(5.0))?;
+/// let vb = ramp.voltage_bounds(Seconds::new(10.0))?;
+/// assert!(vb.lower <= vb.upper);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampResponse {
+    times: CharacteristicTimes,
+    rise_time: Seconds,
+    panels: usize,
+}
+
+impl RampResponse {
+    /// Creates a ramp-response evaluator for the given output signature and
+    /// input rise time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonPositiveRiseTime`] if `rise_time` is zero,
+    /// negative or not finite.
+    pub fn new(times: CharacteristicTimes, rise_time: Seconds) -> Result<Self> {
+        if !rise_time.is_finite() || rise_time.value() <= 0.0 {
+            return Err(CoreError::NonPositiveRiseTime {
+                rise_time: rise_time.value(),
+            });
+        }
+        Ok(RampResponse {
+            times,
+            rise_time,
+            panels: DEFAULT_PANELS,
+        })
+    }
+
+    /// Overrides the quadrature resolution (number of Simpson panels).
+    ///
+    /// Values below 4 are raised to 4; odd values are rounded up to even.
+    #[must_use]
+    pub fn with_panels(mut self, panels: usize) -> Self {
+        let p = panels.max(4);
+        self.panels = if p % 2 == 0 { p } else { p + 1 };
+        self
+    }
+
+    /// The input rise time.
+    pub fn rise_time(&self) -> Seconds {
+        self.rise_time
+    }
+
+    /// The underlying step-response signature.
+    pub fn characteristic_times(&self) -> &CharacteristicTimes {
+        &self.times
+    }
+
+    /// Bounds on the normalized ramp response at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NegativeTime`] if `t` is negative or not finite.
+    pub fn voltage_bounds(&self, t: Seconds) -> Result<VoltageBounds> {
+        if !t.is_finite() || t.is_negative() {
+            return Err(CoreError::NegativeTime { time: t.value() });
+        }
+        let tr = self.rise_time.value();
+        let tv = t.value();
+        let lo_limit = (tv - tr).max(0.0);
+        // The portion of the averaging window that falls before t = 0
+        // contributes zero (the step response is zero for negative time).
+        let lower = self.integrate(lo_limit, tv, BoundKind::Lower)? / tr;
+        let upper = self.integrate(lo_limit, tv, BoundKind::Upper)? / tr;
+        Ok(VoltageBounds {
+            lower: lower.clamp(0.0, 1.0).min(upper.clamp(0.0, 1.0)),
+            upper: upper.clamp(0.0, 1.0),
+        })
+    }
+
+    /// Bounds on the time at which the ramp response reaches `threshold`.
+    ///
+    /// The ramp response inherits monotonicity from the step response, so
+    /// the crossing times of the lower/upper voltage bounds bracket the true
+    /// crossing time.  They are located by bisection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ThresholdOutOfRange`] unless
+    /// `0 < threshold < 1`.
+    pub fn delay_bounds(&self, threshold: f64) -> Result<DelayBounds> {
+        if !(threshold.is_finite() && threshold > 0.0 && threshold < 1.0) {
+            return Err(CoreError::ThresholdOutOfRange { threshold });
+        }
+        // The ramp can only be slower than the step: the step's upper delay
+        // bound plus the full rise time is a safe bracket end.
+        let step_bounds = self.times.delay_bounds(threshold)?;
+        let hi = step_bounds.upper + self.rise_time + self.times.t_p;
+        let lower = self.bisect_crossing(threshold, hi, BoundKind::Upper)?;
+        let upper = self.bisect_crossing(threshold, hi, BoundKind::Lower)?;
+        Ok(DelayBounds {
+            lower,
+            upper: upper.max(lower),
+        })
+    }
+
+    /// Finds the first time at which the selected voltage bound reaches
+    /// `threshold`, searching in `[0, hi]` by bisection.
+    fn bisect_crossing(&self, threshold: f64, hi: Seconds, kind: BoundKind) -> Result<Seconds> {
+        let eval = |t: f64| -> Result<f64> {
+            let b = self.voltage_bounds(Seconds::new(t))?;
+            Ok(match kind {
+                BoundKind::Lower => b.lower,
+                BoundKind::Upper => b.upper,
+            })
+        };
+        let mut lo = 0.0_f64;
+        let mut hi = hi.value().max(1e-300);
+        // Expand until the bound exceeds the threshold (it approaches 1).
+        let mut guard = 0;
+        while eval(hi)? < threshold && guard < 128 {
+            hi *= 2.0;
+            guard += 1;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if eval(mid)? >= threshold {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo <= 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        Ok(Seconds::new(hi))
+    }
+
+    /// Composite Simpson integration of a step-response bound on `[a, b]`.
+    fn integrate(&self, a: f64, b: f64, kind: BoundKind) -> Result<f64> {
+        if b <= a {
+            return Ok(0.0);
+        }
+        let n = self.panels;
+        let h = (b - a) / n as f64;
+        let f = |t: f64| -> Result<f64> {
+            let time = Seconds::new(t.max(0.0));
+            Ok(match kind {
+                BoundKind::Lower => self.times.voltage_lower_bound(time)?,
+                BoundKind::Upper => self.times.voltage_upper_bound(time)?,
+            })
+        };
+        let mut acc = f(a)? + f(b)?;
+        for i in 1..n {
+            let x = a + i as f64 * h;
+            acc += f(x)? * if i % 2 == 1 { 4.0 } else { 2.0 };
+        }
+        Ok(acc * h / 3.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BoundKind {
+    Lower,
+    Upper,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Farads, Ohms};
+
+    fn sample_times() -> CharacteristicTimes {
+        CharacteristicTimes::new(
+            Seconds::new(10.0),
+            Seconds::new(6.0),
+            Seconds::new(4.0),
+            Ohms::new(2.0),
+            Farads::new(5.0),
+        )
+        .unwrap()
+    }
+
+    fn single_pole(tau: f64) -> CharacteristicTimes {
+        CharacteristicTimes::new(
+            Seconds::new(tau),
+            Seconds::new(tau),
+            Seconds::new(tau),
+            Ohms::new(1.0),
+            Farads::new(tau),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_non_positive_rise_time() {
+        assert!(RampResponse::new(sample_times(), Seconds::ZERO).is_err());
+        assert!(RampResponse::new(sample_times(), Seconds::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_clamped() {
+        let ramp = RampResponse::new(sample_times(), Seconds::new(5.0)).unwrap();
+        for &t in &[0.0, 1.0, 3.0, 5.0, 10.0, 30.0, 100.0] {
+            let b = ramp.voltage_bounds(Seconds::new(t)).unwrap();
+            assert!(b.lower >= 0.0 && b.upper <= 1.0);
+            assert!(b.lower <= b.upper);
+        }
+    }
+
+    #[test]
+    fn ramp_response_lags_step_response() {
+        // At any time, averaging the (monotone) step response over the past
+        // rise-time window can only give a smaller value than the step
+        // response itself, so the ramp upper bound must not exceed the step
+        // upper bound.
+        let times = sample_times();
+        let ramp = RampResponse::new(times, Seconds::new(8.0)).unwrap();
+        for &t in &[1.0, 5.0, 10.0, 20.0, 50.0] {
+            let rb = ramp.voltage_bounds(Seconds::new(t)).unwrap();
+            let sb = times.voltage_bounds(Seconds::new(t)).unwrap();
+            assert!(rb.upper <= sb.upper + 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn single_pole_ramp_matches_analytic_solution() {
+        // For a single pole τ and ramp rise time T, the exact response for
+        // t ≥ T is 1 − (τ/T)·(e^{T/τ} − 1)·e^{−t/τ}.  The PR bounds are tight
+        // for a single pole, so our ramp bounds should match the analytic
+        // value to quadrature accuracy.
+        let tau = 3.0;
+        let t_rise = 2.0;
+        let times = single_pole(tau);
+        let ramp = RampResponse::new(times, Seconds::new(t_rise))
+            .unwrap()
+            .with_panels(512);
+        for &t in &[2.0, 3.0, 5.0, 8.0, 12.0] {
+            let exact =
+                1.0 - (tau / t_rise) * ((t_rise / tau).exp() - 1.0) * (-t / tau).exp();
+            let b = ramp.voltage_bounds(Seconds::new(t)).unwrap();
+            assert!(
+                (b.lower - exact).abs() < 1e-3 && (b.upper - exact).abs() < 1e-3,
+                "t={t}: [{}, {}] vs {exact}",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn delay_bounds_bracket_and_exceed_step_delay() {
+        let times = sample_times();
+        let ramp = RampResponse::new(times, Seconds::new(5.0)).unwrap();
+        let rb = ramp.delay_bounds(0.5).unwrap();
+        let sb = times.delay_bounds(0.5).unwrap();
+        assert!(rb.lower <= rb.upper);
+        // A finite-slew input can only delay the crossing.
+        assert!(rb.upper >= sb.lower);
+    }
+
+    #[test]
+    fn short_rise_time_approaches_step_bounds() {
+        let times = sample_times();
+        let ramp = RampResponse::new(times, Seconds::new(1e-6))
+            .unwrap()
+            .with_panels(64);
+        for &t in &[2.0, 6.0, 12.0] {
+            let rb = ramp.voltage_bounds(Seconds::new(t)).unwrap();
+            let sb = times.voltage_bounds(Seconds::new(t)).unwrap();
+            assert!((rb.lower - sb.lower).abs() < 1e-3);
+            assert!((rb.upper - sb.upper).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let ramp = RampResponse::new(sample_times(), Seconds::new(5.0)).unwrap();
+        assert!(ramp.voltage_bounds(Seconds::new(-1.0)).is_err());
+        assert!(ramp.delay_bounds(0.0).is_err());
+        assert!(ramp.delay_bounds(1.0).is_err());
+    }
+
+    #[test]
+    fn with_panels_normalizes_values() {
+        let ramp = RampResponse::new(sample_times(), Seconds::new(5.0))
+            .unwrap()
+            .with_panels(3);
+        // 3 is raised to the nearest valid even count ≥ 4.
+        assert!(ramp.voltage_bounds(Seconds::new(1.0)).is_ok());
+        assert_eq!(ramp.rise_time(), Seconds::new(5.0));
+        assert_eq!(ramp.characteristic_times().t_p, Seconds::new(10.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for netlist parsing and writing.
+
+use std::fmt;
+
+/// Errors produced while parsing or emitting netlists.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A syntax error at a specific line of the input.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The element graph described by the netlist is not an RC tree rooted
+    /// at the input (cycle, disconnected node, or multiple drivers).
+    NotATree {
+        /// Description of the structural violation.
+        message: String,
+    },
+    /// A capacitor was connected between two non-ground nodes, which an RC
+    /// tree cannot represent.
+    FloatingCapacitor {
+        /// 1-based line number of the offending element.
+        line: usize,
+    },
+    /// The netlist did not define any elements.
+    Empty,
+    /// The declared input node never appears in any element.
+    UnknownInput {
+        /// Name of the missing input node.
+        name: String,
+    },
+    /// An error propagated from the core crate while building the tree.
+    Core(rctree_core::CoreError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            NetlistError::NotATree { message } => write!(f, "not an RC tree: {message}"),
+            NetlistError::FloatingCapacitor { line } => write!(
+                f,
+                "line {line}: capacitor must connect a node to ground in an RC tree"
+            ),
+            NetlistError::Empty => write!(f, "netlist contains no elements"),
+            NetlistError::UnknownInput { name } => {
+                write!(f, "input node `{name}` does not appear in any element")
+            }
+            NetlistError::Core(e) => write!(f, "tree construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetlistError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rctree_core::CoreError> for NetlistError {
+    fn from(e: rctree_core::CoreError) -> Self {
+        NetlistError::Core(e)
+    }
+}
+
+/// Convenience alias used throughout the netlist crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_meaningful() {
+        assert!(NetlistError::Parse {
+            line: 3,
+            message: "bad token".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(NetlistError::Empty.to_string().contains("no elements"));
+        assert!(NetlistError::FloatingCapacitor { line: 7 }
+            .to_string()
+            .contains("ground"));
+        assert!(NetlistError::UnknownInput { name: "vin".into() }
+            .to_string()
+            .contains("vin"));
+        assert!(NetlistError::NotATree {
+            message: "cycle".into()
+        }
+        .to_string()
+        .contains("cycle"));
+    }
+
+    #[test]
+    fn core_error_converts_with_source() {
+        let e: NetlistError = rctree_core::CoreError::NoCapacitance.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,247 @@
+//! Textual form of the paper's wiring-algebra expressions (Eq. 18).
+//!
+//! The paper denotes the Figure 7 network as
+//!
+//! ```text
+//! (URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9
+//! ```
+//!
+//! This module parses and prints that notation, mapping it onto
+//! [`NetworkExpr`].  Grammar (APL's right-to-left evaluation order is
+//! replaced by conventional parenthesised infix, which is how the expression
+//! in the paper reads once the APL quirks are normalised):
+//!
+//! ```text
+//! expr    :=  term ( "WC" term )*                 // left-associative cascade
+//! term    :=  "WB" term                           // side branch of the following term
+//!          |  "(" expr ")"
+//!          |  "URC" number number
+//! number  :=  decimal literal with optional SPICE suffix
+//! ```
+
+use rctree_core::expr::NetworkExpr;
+use rctree_core::units::{Farads, Ohms};
+
+use crate::error::{NetlistError, Result};
+use crate::value::parse_value;
+
+/// Parses the textual wiring-algebra notation into a [`NetworkExpr`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a token position for any syntax
+/// error.
+pub fn parse_expr(text: &str) -> Result<NetworkExpr> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.parse_expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: format!(
+                "unexpected trailing token `{}`",
+                parser.tokens[parser.pos].text
+            ),
+        });
+    }
+    Ok(expr)
+}
+
+/// Renders a [`NetworkExpr`] in the textual wiring-algebra notation; the
+/// output round-trips through [`parse_expr`].
+pub fn format_expr(expr: &NetworkExpr) -> String {
+    match expr {
+        NetworkExpr::Urc {
+            resistance,
+            capacitance,
+        } => format!("(URC {} {})", resistance.value(), capacitance.value()),
+        NetworkExpr::Cascade(a, b) => format!("{} WC {}", format_expr(a), format_expr(b)),
+        // The inner expression is parenthesised so that `WB` unambiguously
+        // covers the whole subtree even when it is itself a cascade.
+        NetworkExpr::Branch(inner) => format!("(WB ({}))", format_expr(inner)),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' | ')' => {
+                if !current.is_empty() {
+                    tokens.push(Token {
+                        text: std::mem::take(&mut current),
+                    });
+                }
+                tokens.push(Token {
+                    text: ch.to_string(),
+                });
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(Token {
+                        text: std::mem::take(&mut current),
+                    });
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(Token { text: current });
+    }
+    if tokens.is_empty() {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: "empty expression".into(),
+        });
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(|t| t.text.as_str())
+    }
+
+    fn bump(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.pos).map(|t| t.text.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, what: &str) -> Result<String> {
+        self.bump().ok_or_else(|| NetlistError::Parse {
+            line: 1,
+            message: format!("unexpected end of expression, expected {what}"),
+        })
+    }
+
+    fn parse_expr(&mut self) -> Result<NetworkExpr> {
+        let mut expr = self.parse_term()?;
+        while let Some(tok) = self.peek() {
+            if tok.eq_ignore_ascii_case("wc") {
+                self.bump();
+                let rhs = self.parse_term()?;
+                expr = expr.cascade(rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_term(&mut self) -> Result<NetworkExpr> {
+        let tok = self.expect("a term")?;
+        if tok.eq_ignore_ascii_case("wb") {
+            let inner = self.parse_term()?;
+            return Ok(inner.side_branch());
+        }
+        if tok == "(" {
+            let inner = self.parse_expr()?;
+            let close = self.expect("`)`")?;
+            if close != ")" {
+                return Err(NetlistError::Parse {
+                    line: 1,
+                    message: format!("expected `)`, found `{close}`"),
+                });
+            }
+            return Ok(inner);
+        }
+        if tok.eq_ignore_ascii_case("urc") {
+            let r_tok = self.expect("a resistance value")?;
+            let c_tok = self.expect("a capacitance value")?;
+            let r = parse_value(&r_tok, 1)?;
+            let c = parse_value(&c_tok, 1)?;
+            return Ok(NetworkExpr::line(Ohms::new(r), Farads::new(c)));
+        }
+        Err(NetlistError::Parse {
+            line: 1,
+            message: format!("unexpected token `{tok}`"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 7 network exactly as written in Eq. (18) (with the side
+    /// branch parenthesised).
+    const FIG7: &str =
+        "(URC 15 0) WC (URC 0 2) WC (WB ((URC 8 0) WC (URC 0 7))) WC (URC 3 4) WC (URC 0 9)";
+
+    #[test]
+    fn parses_figure7_expression() {
+        let expr = parse_expr(FIG7).unwrap();
+        assert_eq!(expr.primitive_count(), 6);
+        let state = expr.evaluate();
+        assert!((state.t_p().value() - 419.0).abs() < 1e-9);
+        assert!((state.t_d2().value() - 363.0).abs() < 1e-9);
+        assert_eq!(state.r22().value(), 18.0);
+    }
+
+    #[test]
+    fn wb_binds_to_the_following_term() {
+        // "WB (URC 8 0) WC (URC 0 7)" in the paper's linear notation means the
+        // branch is the cascade of both; with explicit parentheses both
+        // readings can be expressed.  Check the tight-binding reading too.
+        let tight = parse_expr("(URC 1 0) WC (WB (URC 8 0)) WC (URC 0 7)").unwrap();
+        let state = tight.evaluate();
+        // Here the 7 F capacitor stays on the main path after the branch.
+        assert!((state.total_cap().value() - 7.0).abs() < 1e-12);
+        assert!((state.t_d2().value() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_format_parse() {
+        let expr = parse_expr(FIG7).unwrap();
+        let text = format_expr(&expr);
+        let reparsed = parse_expr(&text).unwrap();
+        let a = expr.evaluate();
+        let b = reparsed.evaluate();
+        assert!((a.t_p().value() - b.t_p().value()).abs() < 1e-12);
+        assert!((a.t_d2().value() - b.t_d2().value()).abs() < 1e-12);
+        assert!((a.t_r2_r22().value() - b.t_r2_r22().value()).abs() < 1e-12);
+        assert_eq!(a.total_cap(), b.total_cap());
+        assert_eq!(a.r22(), b.r22());
+    }
+
+    #[test]
+    fn engineering_suffixes_allowed() {
+        let expr = parse_expr("(URC 1.5k 0.04p) WC (URC 0 10f)").unwrap();
+        let s = expr.evaluate();
+        assert!((s.r22().value() - 1500.0).abs() < 1e-9);
+        assert!((s.total_cap().value() - (0.04e-12 + 10e-15)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let expr = parse_expr("(urc 1 2) wc (wb (urc 3 4)) wc (urc 0 5)").unwrap();
+        assert_eq!(expr.primitive_count(), 3);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("URC 1").is_err());
+        assert!(parse_expr("(URC 1 2").is_err());
+        assert!(parse_expr("URC 1 2 garbage").is_err());
+        assert!(parse_expr("WC URC 1 2").is_err());
+        assert!(parse_expr("FOO 1 2").is_err());
+        assert!(parse_expr("(URC 1 2) WC").is_err());
+        assert!(parse_expr("(URC one 2)").is_err());
+    }
+}

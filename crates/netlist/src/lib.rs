@@ -1,0 +1,53 @@
+//! # rctree-netlist
+//!
+//! Interchange formats for RC trees: a SPICE-subset deck parser/writer, a
+//! SPEF-lite parasitic parser (how a modern flow would feed extracted nets
+//! into the Penfield–Rubinstein analysis), and a parser/printer for the
+//! paper's own `URC`/`WB`/`WC` wiring-algebra notation (Eq. 18).
+//!
+//! ```
+//! use rctree_netlist::spice::parse_spice;
+//! use rctree_core::moments::characteristic_times;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let deck = "\
+//! R1 in  n1 15
+//! C1 n1  0  2
+//! RB n1  ns 8
+//! CB ns  0  7
+//! U1 n1  n2 3 4
+//! C2 n2  0  9
+//! .output n2
+//! ";
+//! let tree = parse_spice(deck)?;
+//! let out = tree.node_by_name("n2")?;
+//! let times = characteristic_times(&tree, out)?;
+//! assert!((times.t_p.value() - 419.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod exprfmt;
+pub mod spef;
+pub mod spice;
+pub mod value;
+
+pub use crate::error::{NetlistError, Result};
+pub use crate::exprfmt::{format_expr, parse_expr};
+pub use crate::spef::{parse_spef, parse_spef_net, SpefNet};
+pub use crate::spice::{parse_spice, write_spice};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn error_type_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::NetlistError>();
+        assert_send_sync::<crate::SpefNet>();
+    }
+}

@@ -1,0 +1,445 @@
+//! SPEF-lite parasitic parser.
+//!
+//! Modern parasitic extractors emit IEEE 1481 SPEF; static timing tools read
+//! the `*D_NET` sections and build exactly the RC trees this library
+//! analyses.  This module accepts a practical subset ("SPEF-lite") that is
+//! sufficient to exchange single-net parasitics:
+//!
+//! ```text
+//! *SPEF "IEEE 1481-1998"          // header lines are ignored
+//! *T_UNIT 1 NS                    // units: only *R_UNIT / *C_UNIT are used
+//! *R_UNIT 1 OHM
+//! *C_UNIT 1 PF
+//!
+//! *D_NET clk_leaf 0.022
+//! *CONN
+//! *I buf:Z I                      // driver pin = the tree's input
+//! *P ff1:CK O                     // load pins  = outputs
+//! *P ff2:CK O
+//! *CAP
+//! 1 n1 0.010
+//! 2 ff1:CK 0.007
+//! 3 ff2:CK 0.005
+//! *RES
+//! 1 buf:Z n1 15.0
+//! 2 n1 ff1:CK 8.0
+//! 3 n1 ff2:CK 3.0
+//! *END
+//! ```
+//!
+//! Only grounded caps (two-field `*CAP` entries) are supported; coupling
+//! caps (three node fields) are rejected with a clear error, since an RC
+//! *tree* cannot represent them.  Resistance and capacitance unit scales
+//! default to ohms and picofarads as in the SPEF standard.
+
+use crate::error::{NetlistError, Result};
+use crate::spice::{build_tree, BranchCard};
+use crate::value::parse_value;
+use rctree_core::tree::RcTree;
+
+/// A single `*D_NET` parsed from a SPEF-lite file.
+#[derive(Debug, Clone)]
+pub struct SpefNet {
+    /// Net name from the `*D_NET` line.
+    pub name: String,
+    /// Total capacitance declared on the `*D_NET` line (farads).
+    pub declared_total_cap: f64,
+    /// The reconstructed RC tree.
+    pub tree: RcTree,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Preamble,
+    Conn,
+    Cap,
+    Res,
+}
+
+/// Parses every `*D_NET` section of a SPEF-lite document.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors, the tree-structure
+/// errors of the SPICE parser for malformed nets, and
+/// [`NetlistError::Empty`] if the document holds no `*D_NET` at all.
+pub fn parse_spef(text: &str) -> Result<Vec<SpefNet>> {
+    let mut nets = Vec::new();
+    let mut r_unit = 1.0; // ohms
+    let mut c_unit = 1e-12; // SPEF default: picofarads
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("*R_UNIT") {
+            r_unit = unit_scale(&line, line_no, &["OHM", "KOHM"])?;
+        } else if upper.starts_with("*C_UNIT") {
+            c_unit = unit_scale(&line, line_no, &["FF", "PF", "NF", "UF", "F"])?;
+        } else if upper.starts_with("*D_NET") {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() < 3 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "*D_NET requires a name and a total capacitance".into(),
+                });
+            }
+            let name = tokens[1].to_string();
+            let total = parse_value(tokens[2], line_no)? * c_unit;
+            let net = parse_d_net(&mut lines, name, total, r_unit, c_unit)?;
+            nets.push(net);
+        }
+    }
+
+    if nets.is_empty() {
+        return Err(NetlistError::Empty);
+    }
+    Ok(nets)
+}
+
+/// Parses a SPEF-lite document and returns the net with the given name.
+///
+/// # Errors
+///
+/// In addition to [`parse_spef`]'s errors, returns
+/// [`NetlistError::UnknownInput`] if no net carries the requested name.
+pub fn parse_spef_net(text: &str, net_name: &str) -> Result<SpefNet> {
+    parse_spef(text)?
+        .into_iter()
+        .find(|n| n.name == net_name)
+        .ok_or_else(|| NetlistError::UnknownInput {
+            name: net_name.to_string(),
+        })
+}
+
+fn strip_comment(raw: &str) -> &str {
+    raw.split("//").next().unwrap_or("").trim()
+}
+
+fn unit_scale(line: &str, line_no: usize, accepted: &[&str]) -> Result<f64> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 3 {
+        return Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("unit directive `{line}` requires a scale and a unit"),
+        });
+    }
+    let scale = parse_value(tokens[1], line_no)?;
+    let unit = tokens[2].to_ascii_uppercase();
+    if !accepted.contains(&unit.as_str()) {
+        return Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("unsupported unit `{}`", tokens[2]),
+        });
+    }
+    let unit_factor = match unit.as_str() {
+        "OHM" => 1.0,
+        "KOHM" => 1e3,
+        "FF" => 1e-15,
+        "PF" => 1e-12,
+        "NF" => 1e-9,
+        "UF" => 1e-6,
+        "F" => 1.0,
+        _ => 1.0,
+    };
+    Ok(scale * unit_factor)
+}
+
+fn parse_d_net<'a, I>(
+    lines: &mut std::iter::Peekable<I>,
+    name: String,
+    declared_total_cap: f64,
+    r_unit: f64,
+    c_unit: f64,
+) -> Result<SpefNet>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let mut section = Section::Preamble;
+    let mut driver: Option<String> = None;
+    let mut outputs: Vec<String> = Vec::new();
+    let mut caps: Vec<(usize, String, f64)> = Vec::new();
+    let mut branches: Vec<BranchCard> = Vec::new();
+
+    for (idx, raw) in lines.by_ref() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("*END") {
+            let input = driver.ok_or(NetlistError::Parse {
+                line: line_no,
+                message: format!("net `{name}` has no *I driver pin"),
+            })?;
+            let tree = build_tree(&input, &branches, &caps, &outputs)?;
+            return Ok(SpefNet {
+                name,
+                declared_total_cap,
+                tree,
+            });
+        }
+        if upper.starts_with("*CONN") {
+            section = Section::Conn;
+            continue;
+        }
+        if upper.starts_with("*CAP") {
+            section = Section::Cap;
+            continue;
+        }
+        if upper.starts_with("*RES") {
+            section = Section::Res;
+            continue;
+        }
+        if upper.starts_with("*I ") || upper.starts_with("*P ") {
+            if section != Section::Conn {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "pin declarations must appear inside *CONN".into(),
+                });
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() < 3 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "pin declaration requires a name and a direction".into(),
+                });
+            }
+            let pin = tokens[1].to_string();
+            match tokens[2].to_ascii_uppercase().as_str() {
+                "I" => {
+                    if driver.replace(pin).is_some() {
+                        return Err(NetlistError::NotATree {
+                            message: format!("net `{name}` declares more than one driver"),
+                        });
+                    }
+                }
+                "O" => outputs.push(pin),
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: format!("unknown pin direction `{other}`"),
+                    });
+                }
+            }
+            continue;
+        }
+
+        match section {
+            Section::Cap => {
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                match tokens.len() {
+                    3 => {
+                        let value = parse_value(tokens[2], line_no)? * c_unit;
+                        caps.push((line_no, tokens[1].to_string(), value));
+                    }
+                    4 => {
+                        return Err(NetlistError::FloatingCapacitor { line: line_no });
+                    }
+                    _ => {
+                        return Err(NetlistError::Parse {
+                            line: line_no,
+                            message: "*CAP entry requires: index node value".into(),
+                        });
+                    }
+                }
+            }
+            Section::Res => {
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                if tokens.len() < 4 {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: "*RES entry requires: index node node value".into(),
+                    });
+                }
+                let value = parse_value(tokens[3], line_no)? * r_unit;
+                branches.push(BranchCard::new(
+                    line_no,
+                    tokens[1].to_string(),
+                    tokens[2].to_string(),
+                    value,
+                    0.0,
+                    false,
+                ));
+            }
+            Section::Conn | Section::Preamble => {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("unexpected line `{line}` in D_NET section"),
+                });
+            }
+        }
+    }
+
+    Err(NetlistError::Parse {
+        line: 0,
+        message: format!("net `{name}` is missing its *END line"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::moments::characteristic_times;
+
+    const SAMPLE: &str = r#"
+*SPEF "IEEE 1481-1998"
+*DESIGN "repro"
+*R_UNIT 1 OHM
+*C_UNIT 1 PF
+
+*D_NET net1 0.022
+*CONN
+*I buf:Z I
+*P ff1:CK O
+*P ff2:CK O
+*CAP
+1 n1 0.002
+2 ff1:CK 0.007
+3 ff2:CK 0.013
+*RES
+1 buf:Z n1 15.0
+2 n1 ff1:CK 8.0
+3 n1 ff2:CK 3.0
+*END
+"#;
+
+    #[test]
+    fn parses_sample_net() {
+        let nets = parse_spef(SAMPLE).unwrap();
+        assert_eq!(nets.len(), 1);
+        let net = &nets[0];
+        assert_eq!(net.name, "net1");
+        assert!((net.declared_total_cap - 0.022e-12).abs() < 1e-20);
+        assert_eq!(net.tree.node_count(), 4);
+        let total = net.tree.total_capacitance().value();
+        assert!((total - 0.022e-12).abs() < 1e-20);
+        let outs: Vec<String> = net
+            .tree
+            .outputs()
+            .map(|id| net.tree.name(id).unwrap().to_string())
+            .collect();
+        assert!(outs.contains(&"ff1:CK".to_string()));
+        assert!(outs.contains(&"ff2:CK".to_string()));
+    }
+
+    #[test]
+    fn characteristic_times_computable_from_spef() {
+        let net = parse_spef_net(SAMPLE, "net1").unwrap();
+        let out = net.tree.node_by_name("ff1:CK").unwrap();
+        let t = characteristic_times(&net.tree, out).unwrap();
+        assert!(t.satisfies_ordering());
+        assert!(t.t_d.value() > 0.0);
+    }
+
+    #[test]
+    fn missing_net_name_is_reported() {
+        assert!(matches!(
+            parse_spef_net(SAMPLE, "does_not_exist"),
+            Err(NetlistError::UnknownInput { .. })
+        ));
+    }
+
+    #[test]
+    fn kohm_and_ff_units_are_scaled() {
+        let text = r#"
+*R_UNIT 1 KOHM
+*C_UNIT 1 FF
+*D_NET n 10
+*CONN
+*I drv I
+*P load O
+*CAP
+1 load 10
+*RES
+1 drv load 2
+*END
+"#;
+        let net = parse_spef_net(text, "n").unwrap();
+        let load = net.tree.node_by_name("load").unwrap();
+        assert!((net.tree.resistance_from_input(load).unwrap().value() - 2000.0).abs() < 1e-9);
+        assert!((net.tree.total_capacitance().value() - 10e-15).abs() < 1e-26);
+    }
+
+    #[test]
+    fn coupling_caps_are_rejected() {
+        let text = r#"
+*D_NET n 1
+*CONN
+*I drv I
+*P load O
+*CAP
+1 load other:pin 0.5
+*RES
+1 drv load 2
+*END
+"#;
+        assert!(matches!(
+            parse_spef(text),
+            Err(NetlistError::FloatingCapacitor { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let text = r#"
+*D_NET n 1
+*CONN
+*I a I
+*I b I
+*CAP
+1 x 1
+*RES
+1 a x 2
+*END
+"#;
+        assert!(matches!(parse_spef(text), Err(NetlistError::NotATree { .. })));
+    }
+
+    #[test]
+    fn missing_driver_rejected() {
+        let text = r#"
+*D_NET n 1
+*CONN
+*P load O
+*CAP
+1 load 1
+*RES
+1 drv load 2
+*END
+"#;
+        assert!(matches!(parse_spef(text), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let text = r#"
+*D_NET n 1
+*CONN
+*I drv I
+*CAP
+1 load 1
+*RES
+1 drv load 2
+"#;
+        assert!(matches!(parse_spef(text), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(matches!(parse_spef("// nothing here\n"), Err(NetlistError::Empty)));
+    }
+
+    #[test]
+    fn multiple_nets_parse_independently() {
+        let text = format!("{SAMPLE}\n{}", SAMPLE.replace("net1", "net2"));
+        let nets = parse_spef(&text).unwrap();
+        assert_eq!(nets.len(), 2);
+        assert_eq!(nets[1].name, "net2");
+    }
+}

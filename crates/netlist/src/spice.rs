@@ -1,0 +1,555 @@
+//! SPICE-subset deck parser and writer for RC trees.
+//!
+//! The accepted deck format covers exactly the element set of the paper's
+//! RC-tree model:
+//!
+//! ```text
+//! * Figure 7 example network (comment)
+//! R1   in  n1  15
+//! C1   n1  0   2
+//! RB   n1  ns  8
+//! CB   ns  0   7
+//! U1   n1  n2  3 4        ; uniform RC line, total R then total C
+//! C2   n2  0   9
+//! .input  in
+//! .output n2
+//! .end
+//! ```
+//!
+//! * `R` cards are lumped resistors, `C` cards grounded capacitors (one
+//!   terminal must be node `0`/`gnd`), `U` cards uniform distributed RC
+//!   lines with total resistance and capacitance.
+//! * Values accept SPICE engineering suffixes (`15`, `0.04p`, `1.5k`, …).
+//! * `.input` names the driven root (default: a node literally named `in`);
+//!   `.output` marks one or more observation nodes.
+//! * Comments start with `*` or `;`; everything after `;` on a line is
+//!   ignored.
+//!
+//! The parser verifies that the resistive elements form a tree rooted at the
+//! input (single drive point, no loops, everything connected), mirroring the
+//! paper's definition of an RC tree.
+
+use std::collections::{HashMap, HashSet};
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::element::Branch;
+use rctree_core::tree::RcTree;
+use rctree_core::units::{Farads, Ohms};
+
+use crate::error::{NetlistError, Result};
+use crate::value::{format_value, parse_value};
+
+/// Default name of the input node when no `.input` directive is present.
+pub const DEFAULT_INPUT: &str = "in";
+
+/// A parsed resistive branch card (resistor or uniform line) shared between
+/// the SPICE and SPEF parsers.
+#[derive(Debug, Clone)]
+pub(crate) struct BranchCard {
+    line: usize,
+    node_a: String,
+    node_b: String,
+    resistance: f64,
+    capacitance: f64,
+    distributed: bool,
+}
+
+/// Parses a SPICE-subset deck into an [`RcTree`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors,
+/// [`NetlistError::NotATree`] if the resistive elements do not form a tree
+/// rooted at the input, [`NetlistError::FloatingCapacitor`] for capacitors
+/// not connected to ground, and [`NetlistError::Empty`] for decks without
+/// elements.
+pub fn parse_spice(deck: &str) -> Result<RcTree> {
+    let mut branches: Vec<BranchCard> = Vec::new();
+    let mut caps: Vec<(usize, String, f64)> = Vec::new();
+    let mut input: Option<String> = None;
+    let mut outputs: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in deck.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split(';').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let head = tokens[0].to_ascii_lowercase();
+
+        if head == ".end" {
+            break;
+        }
+        if head == ".input" {
+            let name = tokens.get(1).ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: ".input requires a node name".into(),
+            })?;
+            input = Some((*name).to_string());
+            continue;
+        }
+        if head == ".output" {
+            if tokens.len() < 2 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: ".output requires at least one node name".into(),
+                });
+            }
+            outputs.extend(tokens[1..].iter().map(|s| s.to_string()));
+            continue;
+        }
+        if head.starts_with('.') {
+            // Unknown directives are ignored for forward compatibility.
+            continue;
+        }
+
+        match head.chars().next() {
+            Some('r') => {
+                let (a, b, v) = three_fields(&tokens, line_no)?;
+                branches.push(BranchCard {
+                    line: line_no,
+                    node_a: a,
+                    node_b: b,
+                    resistance: v,
+                    capacitance: 0.0,
+                    distributed: false,
+                });
+            }
+            Some('c') => {
+                let (a, b, v) = three_fields(&tokens, line_no)?;
+                let (node, other) = (a.clone(), b.clone());
+                if is_ground(&other) {
+                    caps.push((line_no, node, v));
+                } else if is_ground(&node) {
+                    caps.push((line_no, other, v));
+                } else {
+                    return Err(NetlistError::FloatingCapacitor { line: line_no });
+                }
+            }
+            Some('u') => {
+                if tokens.len() < 5 {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: "U card requires: name node node R C".into(),
+                    });
+                }
+                let r = parse_value(tokens[3], line_no)?;
+                let c = parse_value(tokens[4], line_no)?;
+                branches.push(BranchCard {
+                    line: line_no,
+                    node_a: tokens[1].to_string(),
+                    node_b: tokens[2].to_string(),
+                    resistance: r,
+                    capacitance: c,
+                    distributed: true,
+                });
+            }
+            _ => {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("unknown element card `{}`", tokens[0]),
+                });
+            }
+        }
+    }
+
+    if branches.is_empty() && caps.is_empty() {
+        return Err(NetlistError::Empty);
+    }
+
+    let input_name = input.unwrap_or_else(|| DEFAULT_INPUT.to_string());
+    build_tree(&input_name, &branches, &caps, &outputs)
+}
+
+fn three_fields(tokens: &[&str], line: usize) -> Result<(String, String, f64)> {
+    if tokens.len() < 4 {
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("`{}` card requires: name node node value", tokens[0]),
+        });
+    }
+    let v = parse_value(tokens[3], line)?;
+    Ok((tokens[1].to_string(), tokens[2].to_string(), v))
+}
+
+fn is_ground(name: &str) -> bool {
+    name == "0" || name.eq_ignore_ascii_case("gnd") || name.eq_ignore_ascii_case("vss")
+}
+
+impl BranchCard {
+    pub(crate) fn new(
+        line: usize,
+        node_a: String,
+        node_b: String,
+        resistance: f64,
+        capacitance: f64,
+        distributed: bool,
+    ) -> Self {
+        BranchCard {
+            line,
+            node_a,
+            node_b,
+            resistance,
+            capacitance,
+            distributed,
+        }
+    }
+}
+
+/// Assembles branch and capacitor cards into a validated [`RcTree`].
+///
+/// Shared between the SPICE and SPEF parsers.
+pub(crate) fn build_tree(
+    input_name: &str,
+    branches: &[BranchCard],
+    caps: &[(usize, String, f64)],
+    outputs: &[String],
+) -> Result<RcTree> {
+    // Adjacency of resistive branches.
+    let mut adjacency: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, b) in branches.iter().enumerate() {
+        if is_ground(&b.node_a) || is_ground(&b.node_b) {
+            return Err(NetlistError::NotATree {
+                message: format!(
+                    "line {}: resistive element connects to ground, which an RC tree forbids",
+                    b.line
+                ),
+            });
+        }
+        adjacency.entry(&b.node_a).or_default().push(i);
+        adjacency.entry(&b.node_b).or_default().push(i);
+    }
+
+    if !branches.is_empty() && !adjacency.contains_key(input_name) {
+        return Err(NetlistError::UnknownInput {
+            name: input_name.to_string(),
+        });
+    }
+
+    let mut builder = RcTreeBuilder::with_input_name(input_name);
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut used = vec![false; branches.len()];
+    visited.insert(input_name.to_string());
+
+    // Breadth-first elaboration from the input.
+    let mut frontier = vec![input_name.to_string()];
+    while let Some(node) = frontier.pop() {
+        let parent_id = builder
+            .node_by_name(&node)
+            .expect("visited nodes are in the builder");
+        let Some(edges) = adjacency.get(node.as_str()) else {
+            continue;
+        };
+        for &edge in edges {
+            if used[edge] {
+                continue;
+            }
+            let b = &branches[edge];
+            let other = if b.node_a == node {
+                &b.node_b
+            } else {
+                &b.node_a
+            };
+            used[edge] = true;
+            if visited.contains(other) {
+                return Err(NetlistError::NotATree {
+                    message: format!(
+                        "line {}: element between `{}` and `{}` closes a loop",
+                        b.line, b.node_a, b.node_b
+                    ),
+                });
+            }
+            let child = if b.distributed {
+                builder.add_line(
+                    parent_id,
+                    other.clone(),
+                    Ohms::new(b.resistance),
+                    Farads::new(b.capacitance),
+                )?
+            } else {
+                builder.add_resistor(parent_id, other.clone(), Ohms::new(b.resistance))?
+            };
+            let _ = child;
+            visited.insert(other.clone());
+            frontier.push(other.clone());
+        }
+    }
+
+    if let Some(unused) = used.iter().position(|u| !u) {
+        let b = &branches[unused];
+        return Err(NetlistError::NotATree {
+            message: format!(
+                "line {}: element between `{}` and `{}` is not reachable from the input `{}`",
+                b.line, b.node_a, b.node_b, input_name
+            ),
+        });
+    }
+
+    // Grounded capacitors.
+    for (line, node, value) in caps {
+        let id = builder.node_by_name(node).map_err(|_| NetlistError::Parse {
+            line: *line,
+            message: format!("capacitor references unknown node `{node}`"),
+        })?;
+        builder.add_capacitance(id, Farads::new(*value))?;
+    }
+
+    // Outputs (default: every leaf if none specified).
+    if outputs.is_empty() {
+        let leaf_names: Vec<String> = {
+            // A leaf is a node that appears in exactly one branch and is not
+            // the input.
+            let mut degree: HashMap<&str, usize> = HashMap::new();
+            for b in branches {
+                *degree.entry(b.node_a.as_str()).or_default() += 1;
+                *degree.entry(b.node_b.as_str()).or_default() += 1;
+            }
+            degree
+                .iter()
+                .filter(|(name, &d)| d == 1 && **name != input_name)
+                .map(|(name, _)| name.to_string())
+                .collect()
+        };
+        for name in leaf_names {
+            let id = builder.node_by_name(&name).expect("leaves were visited");
+            builder.mark_output(id)?;
+        }
+    } else {
+        for name in outputs {
+            let id = builder
+                .node_by_name(name)
+                .map_err(|_| NetlistError::Parse {
+                    line: 0,
+                    message: format!(".output references unknown node `{name}`"),
+                })?;
+            builder.mark_output(id)?;
+        }
+    }
+
+    Ok(builder.build()?)
+}
+
+/// Writes an [`RcTree`] as a SPICE-subset deck accepted by [`parse_spice`].
+pub fn write_spice(tree: &RcTree, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("* {title}\n"));
+    let input_name = tree.name(tree.input()).expect("input exists").to_string();
+    let mut r_count = 0usize;
+    let mut u_count = 0usize;
+    let mut c_count = 0usize;
+
+    for id in tree.preorder() {
+        if id == tree.input() {
+            continue;
+        }
+        let name = tree.name(id).expect("valid node");
+        let parent = tree.parent(id).expect("valid node").expect("non-input");
+        let parent_name = tree.name(parent).expect("valid node");
+        match tree.branch(id).expect("valid node").expect("non-input") {
+            Branch::Resistor { resistance } => {
+                r_count += 1;
+                out.push_str(&format!(
+                    "R{r_count} {parent_name} {name} {}\n",
+                    format_value(resistance.value(), "")
+                ));
+            }
+            Branch::Line {
+                resistance,
+                capacitance,
+            } => {
+                u_count += 1;
+                out.push_str(&format!(
+                    "U{u_count} {parent_name} {name} {} {}\n",
+                    format_value(resistance.value(), ""),
+                    format_value(capacitance.value(), "")
+                ));
+            }
+        }
+    }
+    for id in tree.preorder() {
+        let cap = tree.capacitance(id).expect("valid node");
+        if !cap.is_zero() {
+            c_count += 1;
+            let name = tree.name(id).expect("valid node");
+            out.push_str(&format!(
+                "C{c_count} {name} 0 {}\n",
+                format_value(cap.value(), "")
+            ));
+        }
+    }
+    out.push_str(&format!(".input {input_name}\n"));
+    let outputs: Vec<String> = tree
+        .outputs()
+        .map(|id| tree.name(id).expect("valid").to_string())
+        .collect();
+    if !outputs.is_empty() {
+        out.push_str(&format!(".output {}\n", outputs.join(" ")));
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::moments::characteristic_times;
+
+    const FIG7_DECK: &str = r"
+* Figure 7 example network
+R1   in  n1  15
+C1   n1  0   2
+RB   n1  ns  8
+CB   ns  0   7
+U1   n1  n2  3 4
+C2   n2  0   9
+.input  in
+.output n2
+.end
+";
+
+    #[test]
+    fn parses_figure7_deck() {
+        let tree = parse_spice(FIG7_DECK).unwrap();
+        assert_eq!(tree.node_count(), 4);
+        assert_eq!(tree.total_capacitance(), Farads::new(22.0));
+        let out = tree.node_by_name("n2").unwrap();
+        assert!(tree.is_output(out).unwrap());
+        let t = characteristic_times(&tree, out).unwrap();
+        assert!((t.t_p.value() - 419.0).abs() < 1e-9);
+        assert!((t.t_d.value() - 363.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engineering_suffixes_in_deck() {
+        let deck = r"
+Rdrv in  a  380
+Cdrv a   0  0.04p
+Rw   a   b  1.5k
+Cl   b   0  10f
+.output b
+";
+        let tree = parse_spice(deck).unwrap();
+        let b = tree.node_by_name("b").unwrap();
+        assert!((tree.total_capacitance().value() - (0.04e-12 + 10e-15)).abs() < 1e-20);
+        assert_eq!(tree.resistance_from_input(b).unwrap(), Ohms::new(1880.0));
+    }
+
+    #[test]
+    fn default_outputs_are_leaves() {
+        let deck = r"
+R1 in a 10
+R2 a  b 20
+R3 a  c 30
+C1 b 0 1
+C2 c 0 1
+";
+        let tree = parse_spice(deck).unwrap();
+        let outs: Vec<String> = tree
+            .outputs()
+            .map(|id| tree.name(id).unwrap().to_string())
+            .collect();
+        assert_eq!(outs.len(), 2);
+        assert!(outs.contains(&"b".to_string()));
+        assert!(outs.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn ground_aliases_for_capacitors() {
+        for gnd in ["0", "gnd", "GND", "vss"] {
+            let deck = format!("R1 in a 10\nC1 a {gnd} 2\n.output a\n");
+            let tree = parse_spice(&deck).unwrap();
+            assert_eq!(tree.total_capacitance(), Farads::new(2.0));
+        }
+    }
+
+    #[test]
+    fn floating_capacitor_rejected() {
+        let deck = "R1 in a 10\nC1 a b 2\n";
+        assert!(matches!(
+            parse_spice(deck),
+            Err(NetlistError::FloatingCapacitor { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn loops_are_rejected() {
+        let deck = "R1 in a 10\nR2 a b 10\nR3 b in 10\nC1 b 0 1\n";
+        assert!(matches!(parse_spice(deck), Err(NetlistError::NotATree { .. })));
+    }
+
+    #[test]
+    fn disconnected_elements_are_rejected() {
+        let deck = "R1 in a 10\nR2 x y 10\nC1 a 0 1\n";
+        assert!(matches!(parse_spice(deck), Err(NetlistError::NotATree { .. })));
+    }
+
+    #[test]
+    fn resistor_to_ground_is_rejected() {
+        let deck = "R1 in a 10\nR2 a 0 10\nC1 a 0 1\n";
+        assert!(matches!(parse_spice(deck), Err(NetlistError::NotATree { .. })));
+    }
+
+    #[test]
+    fn unknown_cards_and_missing_fields_rejected() {
+        assert!(matches!(
+            parse_spice("X1 a b 5\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_spice("R1 a b\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_spice("U1 a b 5\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_spice(".output\nR1 in a 1\nC1 a 0 1\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_spice(".input\nR1 in a 1\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(parse_spice("* only a comment\n"), Err(NetlistError::Empty)));
+    }
+
+    #[test]
+    fn unknown_input_node_rejected() {
+        let deck = "R1 in a 10\nC1 a 0 1\n.input vdd\n";
+        assert!(matches!(
+            parse_spice(deck),
+            Err(NetlistError::UnknownInput { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_output_node_rejected() {
+        let deck = "R1 in a 10\nC1 a 0 1\n.output zzz\n";
+        assert!(matches!(parse_spice(deck), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let tree = parse_spice(FIG7_DECK).unwrap();
+        let deck2 = write_spice(&tree, "round trip");
+        let tree2 = parse_spice(&deck2).unwrap();
+        assert_eq!(tree2.node_count(), tree.node_count());
+        assert!((tree2.total_capacitance().value() - tree.total_capacitance().value()).abs() < 1e-18);
+        let out1 = tree.node_by_name("n2").unwrap();
+        let out2 = tree2.node_by_name("n2").unwrap();
+        let t1 = characteristic_times(&tree, out1).unwrap();
+        let t2 = characteristic_times(&tree2, out2).unwrap();
+        assert!((t1.t_p.value() - t2.t_p.value()).abs() < 1e-9);
+        assert!((t1.t_d.value() - t2.t_d.value()).abs() < 1e-9);
+        assert!((t1.t_r.value() - t2.t_r.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semicolon_comments_are_stripped() {
+        let deck = "R1 in a 10 ; driver\nC1 a 0 1 ; load\n.output a\n";
+        let tree = parse_spice(deck).unwrap();
+        assert_eq!(tree.node_count(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Symmetric eigenvalue decomposition by the cyclic Jacobi method.
+//!
+//! The analytic ("modal") step-response solver diagonalizes the symmetric
+//! matrix `C^{-1/2}·G·C^{-1/2}` of the RC network.  Jacobi rotation is slow
+//! compared to state-of-the-art methods but is simple, robust, and more than
+//! fast enough for the network sizes involved in reproducing the paper.
+
+use crate::error::{Result, SimError};
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` corresponds to `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// * [`SimError::DimensionMismatch`] if the matrix is not square;
+/// * [`SimError::InvalidValue`] if the matrix is not symmetric to a loose
+///   tolerance;
+/// * [`SimError::EigenNoConvergence`] if the off-diagonal norm fails to
+///   vanish after a generous number of sweeps.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(SimError::DimensionMismatch {
+            what: "symmetric eigendecomposition",
+            expected: a.rows(),
+            actual: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let scale = (0..n)
+        .map(|i| a[(i, i)].abs())
+        .fold(0.0_f64, f64::max)
+        .max(a.max_off_diagonal())
+        .max(1e-300);
+    if !a.is_symmetric(1e-9 * scale) {
+        return Err(SimError::InvalidValue {
+            what: "matrix symmetry",
+            value: a.max_off_diagonal(),
+        });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        if m.max_off_diagonal() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Rotate rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let off = m.max_off_diagonal();
+    if off > 1e-8 * scale {
+        return Err(SimError::EigenNoConvergence { off_diagonal: off });
+    }
+
+    // Extract and sort ascending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_the_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1.0;
+        a[(2, 2)] = 2.0;
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        // Symmetric tridiagonal "RC ladder"-like matrix.
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let e = symmetric_eigen(&a).unwrap();
+        // V·diag(λ)·Vᵀ should reconstruct A.
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let recon = e.vectors.mul(&lam).unwrap().mul(&e.vectors.transpose()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9, "entry ({i},{j})");
+            }
+        }
+        // Vᵀ·V should be the identity.
+        let vtv = e.vectors.transpose().mul(&e.vectors).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+        // Known eigenvalues of this tridiagonal: 2 − 2·cos(kπ/(n+1)).
+        for (k, lam_k) in e.values.iter().enumerate() {
+            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((lam_k - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn asymmetric_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 5.0], vec![0.0, 1.0]]);
+        assert!(symmetric_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for the RC-network simulator.
+
+use std::fmt;
+
+/// Errors produced while assembling or simulating an RC network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A matrix operation received incompatible dimensions.
+    DimensionMismatch {
+        /// Description of the operation.
+        what: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A linear system was singular (or numerically so) and could not be
+    /// solved.
+    SingularMatrix,
+    /// The eigenvalue iteration failed to converge.
+    EigenNoConvergence {
+        /// Largest remaining off-diagonal magnitude.
+        off_diagonal: f64,
+    },
+    /// An invalid (negative or non-finite) element value was encountered.
+    InvalidValue {
+        /// Description of the offending quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The simulation was asked for a non-positive time step or horizon.
+    InvalidTimeGrid {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// A node index was out of range for the network.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of nodes in the network.
+        len: usize,
+    },
+    /// The network has no nodes to simulate.
+    EmptyNetwork,
+    /// An error from the core crate (tree construction/validation).
+    Core(rctree_core::CoreError),
+    /// A waveform never crossed the requested threshold within the simulated
+    /// horizon.
+    ThresholdNotReached {
+        /// The requested threshold.
+        threshold: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {what}: expected {expected}, got {actual}"
+            ),
+            SimError::SingularMatrix => write!(f, "singular matrix encountered"),
+            SimError::EigenNoConvergence { off_diagonal } => write!(
+                f,
+                "eigenvalue iteration failed to converge (off-diagonal {off_diagonal:e})"
+            ),
+            SimError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
+            SimError::InvalidTimeGrid { reason } => write!(f, "invalid time grid: {reason}"),
+            SimError::NodeOutOfRange { index, len } => {
+                write!(f, "node index {index} out of range for {len}-node network")
+            }
+            SimError::EmptyNetwork => write!(f, "network has no nodes"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::ThresholdNotReached { threshold } => {
+                write!(f, "waveform never reached threshold {threshold}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rctree_core::CoreError> for SimError {
+    fn from(e: rctree_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+/// Convenience alias used throughout the simulator crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        assert!(SimError::SingularMatrix.to_string().contains("singular"));
+        assert!(SimError::EmptyNetwork.to_string().contains("no nodes"));
+        assert!(SimError::DimensionMismatch {
+            what: "solve",
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains("solve"));
+        assert!(SimError::ThresholdNotReached { threshold: 0.5 }
+            .to_string()
+            .contains("0.5"));
+    }
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        let e: SimError = rctree_core::CoreError::NoCapacitance.into();
+        assert!(e.to_string().contains("core error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! # rctree-sim
+//!
+//! Exact simulation of lumped RC networks, built as the reference substrate
+//! for the Penfield–Rubinstein bound reproduction (the paper's Figure 11
+//! overlays "the exact solution, found from circuit simulation" on the
+//! bounds — this crate regenerates that exact solution).
+//!
+//! Two independent solvers are provided:
+//!
+//! * [`transient`] — fixed-step backward-Euler / trapezoidal integration of
+//!   the nodal equations;
+//! * [`modal`] — closed-form solution by symmetric eigendecomposition
+//!   (static condensation removes capacitance-free nodes first).
+//!
+//! Supporting modules implement the required numerics from scratch:
+//! [`matrix`] (dense matrices), [`lu`] (LU factorization with partial
+//! pivoting), [`eigen`] (cyclic Jacobi), [`network`] (MNA stamping and
+//! distributed-line discretization) and [`waveform`] (measurements).
+//!
+//! ```
+//! use rctree_core::builder::RcTreeBuilder;
+//! use rctree_core::units::{Farads, Ohms};
+//! use rctree_sim::modal::exact_step_response;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = RcTreeBuilder::new();
+//! let n = b.add_resistor(b.input(), "n", Ohms::new(1.0))?;
+//! b.add_capacitance(n, Farads::new(1.0))?;
+//! b.mark_output(n)?;
+//! let tree = b.build()?;
+//!
+//! let wave = exact_step_response(&tree, tree.node_by_name("n")?, 1, 10.0, 2001)?;
+//! assert!((wave.value_at(1.0) - (1.0 - (-1.0_f64).exp())).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod eigen;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod modal;
+pub mod network;
+pub mod transient;
+pub mod waveform;
+
+pub use crate::error::{Result, SimError};
+pub use crate::modal::{exact_step_response, ModalStepResponse};
+pub use crate::network::{LumpedNetwork, Terminal};
+pub use crate::transient::{simulate, step_response, InputSource, Method, TransientOptions};
+pub use crate::waveform::Waveform;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::LumpedNetwork>();
+        assert_send_sync::<crate::Waveform>();
+        assert_send_sync::<crate::ModalStepResponse>();
+        assert_send_sync::<crate::SimError>();
+    }
+}

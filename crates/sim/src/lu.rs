@@ -1,0 +1,191 @@
+//! LU factorization with partial pivoting and linear-system solves.
+//!
+//! The transient integrators repeatedly solve systems with the same
+//! coefficient matrix (`C/h + G` for backward Euler, `C/h + G/2` for the
+//! trapezoidal rule), so the factorization is computed once and reused for
+//! every time step.
+
+use crate::error::{Result, SimError};
+use crate::matrix::Matrix;
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    lu: Matrix,
+    perm: Vec<usize>,
+}
+
+impl LuFactor {
+    /// Factors a square matrix with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DimensionMismatch`] if the matrix is not square;
+    /// * [`SimError::SingularMatrix`] if a pivot is (numerically) zero.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(SimError::DimensionMismatch {
+                what: "LU factorization",
+                expected: a.rows(),
+                actual: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Pivot selection.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 || !pivot_val.is_finite() {
+                return Err(SimError::SingularMatrix);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+            }
+            // Elimination.
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / lu[(k, k)];
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SimError::DimensionMismatch {
+                what: "LU solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has implicit unit diagonal).
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience one-shot solve of `A·x = b`.
+///
+/// # Errors
+///
+/// Same conditions as [`LuFactor::new`] and [`LuFactor::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuFactor::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[1.0, 2.0]).unwrap();
+        // Exact solution of [[4,1],[1,3]] x = [1,2] is [1/11, 7/11].
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_like_matrix() {
+        // A deterministic but well-conditioned test matrix.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 7 + j * 3) % 11) as f64 / 11.0;
+            }
+            a[(i, i)] += n as f64; // diagonal dominance
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = solve(&a, &b).unwrap();
+        let r = a.mul_vec(&x).unwrap();
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(solve(&a, &[1.0, 1.0]), Err(SimError::SingularMatrix)));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(LuFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = Matrix::identity(3);
+        let f = LuFactor::new(&a).unwrap();
+        assert_eq!(f.dim(), 3);
+        assert!(f.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn factorization_is_reusable() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let f = LuFactor::new(&a).unwrap();
+        for k in 1..5 {
+            let b = vec![k as f64, 2.0 * k as f64];
+            let x = f.solve(&b).unwrap();
+            let r = a.mul_vec(&x).unwrap();
+            assert!((r[0] - b[0]).abs() < 1e-12);
+            assert!((r[1] - b[1]).abs() < 1e-12);
+        }
+    }
+}

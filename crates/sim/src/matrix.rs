@@ -1,0 +1,278 @@
+//! A small dense-matrix type with exactly the operations the simulator needs.
+//!
+//! The networks the paper analyses are small (tens to a few thousand nodes
+//! after discretizing distributed lines), so a straightforward row-major
+//! dense matrix with `O(n³)` factorizations is entirely adequate and keeps
+//! this crate free of external numerical dependencies.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::error::{Result, SimError};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a nested slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|row| row.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(SimError::DimensionMismatch {
+                what: "matrix-vector product",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(SimError::DimensionMismatch {
+                what: "matrix-matrix product",
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Adds `scale · other` to `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f64) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(SimError::DimensionMismatch {
+                what: "matrix addition",
+                expected: self.rows * self.cols,
+                actual: other.rows * other.cols,
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Maximum absolute off-diagonal entry (used by the Jacobi eigensolver
+    /// and symmetry checks).
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    best = best.max(self[(i, j)].abs());
+                }
+            }
+        }
+        best
+    }
+
+    /// Checks symmetry within an absolute tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(!z.is_square());
+        let i = Matrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let y = m.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mul_matrix_matches_identity() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.mul(&i).unwrap(), m);
+        assert!(m.mul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        a.add_scaled(&b, 2.0).unwrap();
+        assert_eq!(a[(0, 0)], 3.0);
+        assert!(a.add_scaled(&Matrix::zeros(3, 3), 1.0).is_err());
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let s = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!(s.is_symmetric(0.0));
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 2.0]]);
+        assert!(!a.is_symmetric(1e-12));
+        assert_eq!(a.max_off_diagonal(), 1.0);
+        assert!(!Matrix::zeros(2, 3).is_symmetric(0.0));
+    }
+
+    #[test]
+    fn display_has_rows() {
+        let m = Matrix::identity(2);
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,461 @@
+//! Analytic ("modal") step response of a lumped RC network.
+//!
+//! For the nodal system `C·dv/dt = −G·v + b·u(t)` with a unit step input,
+//! the exact solution is a sum of decaying exponentials.  Nodes with zero
+//! capacitance are removed first by static condensation (a Schur complement
+//! on `G`), leaving a system with diagonal positive `C` that is reduced to a
+//! standard symmetric eigenproblem on `C^{-1/2}·G̃·C^{-1/2}`:
+//!
+//! ```text
+//! v_c(t) = 1 − Σ_j  k_{nj} · e^{−λ_j t}
+//! ```
+//!
+//! This gives the "exact solution, found from circuit simulation" that the
+//! paper overlays on its bounds in Figure 11, without any time-discretization
+//! error.  The transient integrators of [`crate::transient`] provide an
+//! independent cross-check.
+
+use rctree_core::tree::NodeId;
+use rctree_core::RcTree;
+
+use crate::eigen::symmetric_eigen;
+use crate::error::{Result, SimError};
+use crate::lu::LuFactor;
+use crate::matrix::Matrix;
+use crate::network::LumpedNetwork;
+use crate::waveform::Waveform;
+
+/// Closed-form step response of every node of a lumped RC network.
+#[derive(Debug, Clone)]
+pub struct ModalStepResponse {
+    /// Map from full node index to index among capacitive nodes (`None` for
+    /// condensed, capacitance-free nodes).
+    cap_index: Vec<Option<usize>>,
+    /// Decay rates `λ_j` (1/seconds), ascending.
+    poles: Vec<f64>,
+    /// `coeffs[(i, j)]`: modal coefficient of capacitive node `i`, mode `j`.
+    coeffs: Matrix,
+    /// For condensed nodes: `v_z = A·v_c + c` (affine recovery).
+    recover: Option<Recovery>,
+    node_count: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Recovery {
+    /// Indices (into the full node list) of the condensed nodes.
+    zero_nodes: Vec<usize>,
+    /// `A = G_zz⁻¹·(−G_zc)`, one row per condensed node, one column per
+    /// capacitive node.
+    a: Matrix,
+    /// `c = G_zz⁻¹·b_z`, the instantaneous resistive divider value.
+    c: Vec<f64>,
+}
+
+impl ModalStepResponse {
+    /// Computes the modal decomposition of a lumped network.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyNetwork`] if the network has no nodes;
+    /// * [`SimError::InvalidValue`] if every node is capacitance-free (the
+    ///   response would be purely resistive and instantaneous);
+    /// * [`SimError::SingularMatrix`] / [`SimError::EigenNoConvergence`] for
+    ///   numerically degenerate networks.
+    pub fn new(network: &LumpedNetwork) -> Result<Self> {
+        let (g, caps, b) = network.assemble()?;
+        let n = g.rows();
+
+        // Partition nodes into capacitive and capacitance-free sets.
+        let cap_nodes: Vec<usize> = (0..n).filter(|&i| caps[i] > 0.0).collect();
+        let zero_nodes: Vec<usize> = (0..n).filter(|&i| caps[i] == 0.0).collect();
+        if cap_nodes.is_empty() {
+            return Err(SimError::InvalidValue {
+                what: "total capacitance",
+                value: 0.0,
+            });
+        }
+        let mut cap_index = vec![None; n];
+        for (k, &i) in cap_nodes.iter().enumerate() {
+            cap_index[i] = Some(k);
+        }
+
+        let nc = cap_nodes.len();
+        let nz = zero_nodes.len();
+
+        // Extract blocks of G and b.
+        let block = |rows: &[usize], cols: &[usize]| {
+            let mut m = Matrix::zeros(rows.len(), cols.len());
+            for (i, &r) in rows.iter().enumerate() {
+                for (j, &c) in cols.iter().enumerate() {
+                    m[(i, j)] = g[(r, c)];
+                }
+            }
+            m
+        };
+        let g_cc = block(&cap_nodes, &cap_nodes);
+        let b_c: Vec<f64> = cap_nodes.iter().map(|&i| b[i]).collect();
+
+        // Static condensation of the capacitance-free nodes.
+        let (g_tilde, b_tilde, recover) = if nz == 0 {
+            (g_cc, b_c, None)
+        } else {
+            let g_zz = block(&zero_nodes, &zero_nodes);
+            let g_zc = block(&zero_nodes, &cap_nodes);
+            let g_cz = block(&cap_nodes, &zero_nodes);
+            let b_z: Vec<f64> = zero_nodes.iter().map(|&i| b[i]).collect();
+            let zz = LuFactor::new(&g_zz)?;
+
+            // X = G_zz⁻¹·G_zc (nz × nc), y = G_zz⁻¹·b_z.
+            let mut x = Matrix::zeros(nz, nc);
+            for j in 0..nc {
+                let col: Vec<f64> = (0..nz).map(|i| g_zc[(i, j)]).collect();
+                let sol = zz.solve(&col)?;
+                for i in 0..nz {
+                    x[(i, j)] = sol[i];
+                }
+            }
+            let y = zz.solve(&b_z)?;
+
+            // G̃ = G_cc − G_cz·X,  b̃ = b_c − G_cz·y.
+            let mut g_tilde = g_cc.clone();
+            let correction = g_cz.mul(&x)?;
+            g_tilde.add_scaled(&correction, -1.0)?;
+            let gy = g_cz.mul_vec(&y)?;
+            let b_tilde: Vec<f64> = b_c.iter().zip(&gy).map(|(bc, g)| bc - g).collect();
+
+            // Recovery map for condensed nodes: v_z = −X·v_c + y·u.
+            let mut a = Matrix::zeros(nz, nc);
+            for i in 0..nz {
+                for j in 0..nc {
+                    a[(i, j)] = -x[(i, j)];
+                }
+            }
+            (
+                g_tilde,
+                b_tilde,
+                Some(Recovery {
+                    zero_nodes: zero_nodes.clone(),
+                    a,
+                    c: y,
+                }),
+            )
+        };
+
+        // Steady state v∞ = G̃⁻¹·b̃ (all ones for a connected tree, but we
+        // solve it to stay correct for any network).
+        let v_inf = LuFactor::new(&g_tilde)?.solve(&b_tilde)?;
+
+        // Symmetrize: A = C^{-1/2}·G̃·C^{-1/2}.
+        let sqrt_c: Vec<f64> = cap_nodes.iter().map(|&i| caps[i].sqrt()).collect();
+        let mut a_sym = Matrix::zeros(nc, nc);
+        for i in 0..nc {
+            for j in 0..nc {
+                a_sym[(i, j)] = g_tilde[(i, j)] / (sqrt_c[i] * sqrt_c[j]);
+            }
+        }
+        let eig = symmetric_eigen(&a_sym)?;
+
+        // w(t) = C^{-1/2}·Q·e^{−Λt}·Qᵀ·C^{1/2}·w(0) with w(0) = −v∞, so
+        // v_c(t) = v∞_n − Σ_j [C^{-1/2}Q]_{nj} · [QᵀC^{1/2}v∞]_j · e^{−λ_j t}.
+        let mut weights = vec![0.0; nc];
+        for j in 0..nc {
+            let mut acc = 0.0;
+            for i in 0..nc {
+                acc += eig.vectors[(i, j)] * sqrt_c[i] * v_inf[i];
+            }
+            weights[j] = acc;
+        }
+        let mut coeffs = Matrix::zeros(nc, nc);
+        for i in 0..nc {
+            for j in 0..nc {
+                coeffs[(i, j)] = eig.vectors[(i, j)] / sqrt_c[i] * weights[j];
+            }
+        }
+
+        Ok(ModalStepResponse {
+            cap_index,
+            poles: eig.values,
+            coeffs,
+            recover,
+            node_count: n,
+        })
+    }
+
+    /// Computes the modal response of an [`RcTree`], discretizing distributed
+    /// lines into `segments_per_line` π-segments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion and decomposition errors.
+    pub fn from_tree(tree: &RcTree, segments_per_line: usize) -> Result<(Self, LumpedNetwork)> {
+        let net = LumpedNetwork::from_tree(tree, segments_per_line)?;
+        let modal = Self::new(&net)?;
+        Ok((modal, net))
+    }
+
+    /// Decay rates `λ_j` of the network's natural modes, ascending (1/s).
+    pub fn poles(&self) -> &[f64] {
+        &self.poles
+    }
+
+    /// Number of internal nodes of the underlying network.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Exact step-response voltage of node `node` at time `t ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for an unknown node index.
+    pub fn voltage(&self, node: usize, t: f64) -> Result<f64> {
+        if node >= self.node_count {
+            return Err(SimError::NodeOutOfRange {
+                index: node,
+                len: self.node_count,
+            });
+        }
+        if t < 0.0 {
+            return Ok(0.0);
+        }
+        match self.cap_index[node] {
+            Some(ci) => Ok(self.cap_voltage(ci, t)),
+            None => {
+                let rec = self
+                    .recover
+                    .as_ref()
+                    .expect("condensed nodes imply recovery data");
+                let row = rec
+                    .zero_nodes
+                    .iter()
+                    .position(|&z| z == node)
+                    .expect("node is condensed");
+                let mut v = rec.c[row];
+                for j in 0..rec.a.cols() {
+                    v += rec.a[(row, j)] * self.cap_voltage(j, t);
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    fn cap_voltage(&self, cap_node: usize, t: f64) -> f64 {
+        let mut v = 0.0;
+        // v(t) = v∞ − Σ coeff·e^{−λt};  v∞ is Σ_j coeff at t→∞... v∞ is
+        // recovered as the sum of coefficients at t = 0 subtracted from the
+        // initial value 0: v(0) = v∞ − Σ_j k_j = 0, so v∞ = Σ_j k_j.
+        let mut v_inf = 0.0;
+        for j in 0..self.poles.len() {
+            let k = self.coeffs[(cap_node, j)];
+            v_inf += k;
+            v -= k * (-self.poles[j] * t).exp();
+        }
+        v_inf + v
+    }
+
+    /// Samples the step response of a node on a uniform grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::NodeOutOfRange`] and waveform construction
+    /// errors.
+    pub fn waveform(&self, node: usize, t_stop: f64, samples: usize) -> Result<Waveform> {
+        if samples < 2 || !(t_stop > 0.0) {
+            return Err(SimError::InvalidTimeGrid {
+                reason: "need at least 2 samples and a positive horizon",
+            });
+        }
+        let times: Vec<f64> = (0..samples)
+            .map(|i| t_stop * i as f64 / (samples - 1) as f64)
+            .collect();
+        let mut values = Vec::with_capacity(samples);
+        for &t in &times {
+            values.push(self.voltage(node, t)?);
+        }
+        Waveform::new(times, values)
+    }
+
+    /// Exact time at which node `node` first reaches `threshold`, found by
+    /// bisection on the (monotone) modal response.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NodeOutOfRange`] for an unknown node;
+    /// * [`SimError::ThresholdNotReached`] if the steady-state value is below
+    ///   the threshold.
+    pub fn crossing_time(&self, node: usize, threshold: f64) -> Result<f64> {
+        if node >= self.node_count {
+            return Err(SimError::NodeOutOfRange {
+                index: node,
+                len: self.node_count,
+            });
+        }
+        let slowest = self
+            .poles
+            .iter()
+            .copied()
+            .filter(|&l| l > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let mut hi = if slowest.is_finite() {
+            10.0 / slowest
+        } else {
+            1.0
+        };
+        let mut guard = 0;
+        while self.voltage(node, hi)? < threshold && guard < 200 {
+            hi *= 2.0;
+            guard += 1;
+            if guard == 200 {
+                return Err(SimError::ThresholdNotReached { threshold });
+            }
+        }
+        if self.voltage(node, hi)? < threshold {
+            return Err(SimError::ThresholdNotReached { threshold });
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.voltage(node, mid)? >= threshold {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+}
+
+/// Convenience wrapper: the exact step-response waveform of an [`RcTree`]
+/// output via modal decomposition.
+///
+/// # Errors
+///
+/// Propagates conversion and decomposition errors; returns
+/// [`SimError::NodeOutOfRange`] if `output` is the tree's input node.
+pub fn exact_step_response(
+    tree: &RcTree,
+    output: NodeId,
+    segments_per_line: usize,
+    t_stop: f64,
+    samples: usize,
+) -> Result<Waveform> {
+    let (modal, net) = ModalStepResponse::from_tree(tree, segments_per_line)?;
+    match net.index_of(output)? {
+        Some(idx) => modal.waveform(idx, t_stop, samples),
+        None => Err(SimError::NodeOutOfRange {
+            index: output.index(),
+            len: net.node_count(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Terminal;
+    use crate::transient::{simulate, InputSource, TransientOptions};
+    use rctree_core::builder::RcTreeBuilder;
+    use rctree_core::units::{Farads, Ohms};
+
+    fn single_lump() -> LumpedNetwork {
+        let mut net = LumpedNetwork::new();
+        let a = net.add_node("a", 2.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 3.0).unwrap();
+        net
+    }
+
+    #[test]
+    fn single_lump_pole_and_response() {
+        let modal = ModalStepResponse::new(&single_lump()).unwrap();
+        assert_eq!(modal.poles().len(), 1);
+        assert!((modal.poles()[0] - 1.0 / 6.0).abs() < 1e-12);
+        for &t in &[0.0_f64, 1.0, 3.0, 10.0] {
+            let exact = 1.0 - (-t / 6.0).exp();
+            assert!((modal.voltage(0, t).unwrap() - exact).abs() < 1e-12);
+        }
+        assert_eq!(modal.voltage(0, -1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn crossing_time_matches_analytic() {
+        let modal = ModalStepResponse::new(&single_lump()).unwrap();
+        let t50 = modal.crossing_time(0, 0.5).unwrap();
+        assert!((t50 - 6.0 * (2.0_f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_lump_ladder_matches_transient() {
+        let mut net = LumpedNetwork::new();
+        let a = net.add_node("a", 1.0).unwrap();
+        let b = net.add_node("b", 2.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0).unwrap();
+        net.add_resistor(Terminal::Node(a), Terminal::Node(b), 3.0).unwrap();
+        let modal = ModalStepResponse::new(&net).unwrap();
+        let transient = simulate(&net, InputSource::Step, TransientOptions::new(0.002, 30.0))
+            .unwrap();
+        for node in [a, b] {
+            let wave = transient.waveform(node).unwrap();
+            for &t in &[0.5, 2.0, 5.0, 15.0] {
+                assert!(
+                    (modal.voltage(node, t).unwrap() - wave.value_at(t)).abs() < 1e-4,
+                    "node {node} at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_zero_cap_node_is_recovered() {
+        // input --1Ω-- mid(no cap) --1Ω-- out(1F): effective RC = 2·1.
+        let mut net = LumpedNetwork::new();
+        let mid = net.add_node("mid", 0.0).unwrap();
+        let out = net.add_node("out", 1.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(mid), 1.0).unwrap();
+        net.add_resistor(Terminal::Node(mid), Terminal::Node(out), 1.0).unwrap();
+        let modal = ModalStepResponse::new(&net).unwrap();
+        assert_eq!(modal.poles().len(), 1);
+        assert!((modal.poles()[0] - 0.5).abs() < 1e-12);
+        // Exact: v_out = 1 − e^{−t/2}; v_mid = (1 + v_out)/2.
+        for &t in &[0.5, 1.0, 4.0] {
+            let v_out = 1.0 - (-t / 2.0_f64).exp();
+            let v_mid = 0.5 * (1.0 + v_out);
+            assert!((modal.voltage(out, t).unwrap() - v_out).abs() < 1e-12);
+            assert!((modal.voltage(mid, t).unwrap() - v_mid).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tree_step_response_settles_and_is_monotone() {
+        let mut b = RcTreeBuilder::new();
+        let a = b.add_resistor(b.input(), "a", Ohms::new(15.0)).unwrap();
+        b.add_capacitance(a, Farads::new(2.0)).unwrap();
+        let s = b.add_resistor(a, "s", Ohms::new(8.0)).unwrap();
+        b.add_capacitance(s, Farads::new(7.0)).unwrap();
+        let o = b.add_line(a, "o", Ohms::new(3.0), Farads::new(4.0)).unwrap();
+        b.add_capacitance(o, Farads::new(9.0)).unwrap();
+        b.mark_output(o).unwrap();
+        let tree = b.build().unwrap();
+        let out = tree.node_by_name("o").unwrap();
+        let wave = exact_step_response(&tree, out, 8, 10_000.0, 600).unwrap();
+        assert!(wave.is_monotone_nondecreasing(1e-9));
+        assert!((wave.final_value() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waveform_and_node_validation() {
+        let modal = ModalStepResponse::new(&single_lump()).unwrap();
+        assert!(modal.voltage(5, 1.0).is_err());
+        assert!(modal.waveform(0, 0.0, 10).is_err());
+        assert!(modal.waveform(0, 10.0, 1).is_err());
+        assert!(modal.crossing_time(5, 0.5).is_err());
+        assert_eq!(modal.node_count(), 1);
+    }
+
+    #[test]
+    fn network_without_capacitance_is_rejected() {
+        let mut net = LumpedNetwork::new();
+        let a = net.add_node("a", 0.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0).unwrap();
+        assert!(ModalStepResponse::new(&net).is_err());
+    }
+}

@@ -1,0 +1,388 @@
+//! Time-domain integration of the nodal equations.
+//!
+//! The nodal system assembled by
+//! [`LumpedNetwork::assemble`](crate::network::LumpedNetwork::assemble) is
+//!
+//! ```text
+//! C · dv/dt = −G · v + b · u(t),        v(0) = 0,
+//! ```
+//!
+//! integrated here with either backward Euler (A-stable, first order) or the
+//! trapezoidal rule (A-stable, second order).  Both methods factor their
+//! constant iteration matrix once with [`LuFactor`] and reuse it for every
+//! step, so a simulation costs one `O(n³)` factorization plus `O(n²)` per
+//! step.
+//!
+//! Nodes with zero capacitance (e.g. the junction between two series
+//! resistors) make `C` singular; they are handled implicitly because the
+//! iteration matrix `C/h + αG` remains non-singular for connected resistive
+//! networks.
+
+use rctree_core::tree::NodeId;
+use rctree_core::RcTree;
+
+use crate::error::{Result, SimError};
+use crate::lu::LuFactor;
+use crate::matrix::Matrix;
+use crate::network::LumpedNetwork;
+use crate::waveform::Waveform;
+
+/// Excitation applied at the input node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputSource {
+    /// A unit step at `t = 0` (the excitation analysed by the paper).
+    Step,
+    /// A linear ramp from 0 to 1 over the given rise time (seconds).
+    Ramp {
+        /// Rise time of the ramp in seconds.
+        rise_time: f64,
+    },
+}
+
+impl InputSource {
+    /// Value of the source at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match *self {
+            InputSource::Step => {
+                if t >= 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            InputSource::Ramp { rise_time } => (t / rise_time).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Backward Euler: first-order, strongly damping.
+    BackwardEuler,
+    /// Trapezoidal rule: second-order accurate.
+    Trapezoidal,
+}
+
+/// Options controlling a transient simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Integration scheme (default: trapezoidal).
+    pub method: Method,
+    /// Fixed time step in seconds.
+    pub time_step: f64,
+    /// Simulation horizon in seconds.
+    pub t_stop: f64,
+}
+
+impl TransientOptions {
+    /// Creates options with the trapezoidal rule and the given grid.
+    pub fn new(time_step: f64, t_stop: f64) -> Self {
+        TransientOptions {
+            method: Method::Trapezoidal,
+            time_step,
+            t_stop,
+        }
+    }
+
+    /// Switches to backward Euler.
+    #[must_use]
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+}
+
+/// Result of a transient simulation: voltages of every internal node on the
+/// simulation grid.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `voltages[node][step]`.
+    voltages: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The simulation time grid.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of internal nodes.
+    pub fn node_count(&self) -> usize {
+        self.voltages.len()
+    }
+
+    /// The waveform of one internal node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] for an unknown node index.
+    pub fn waveform(&self, node: usize) -> Result<Waveform> {
+        let series = self
+            .voltages
+            .get(node)
+            .ok_or(SimError::NodeOutOfRange {
+                index: node,
+                len: self.voltages.len(),
+            })?
+            .clone();
+        Waveform::new(self.times.clone(), series)
+    }
+}
+
+/// Runs a transient simulation of a lumped network.
+///
+/// # Errors
+///
+/// * [`SimError::InvalidTimeGrid`] for a non-positive step or horizon;
+/// * [`SimError::EmptyNetwork`] if the network has no internal nodes;
+/// * [`SimError::SingularMatrix`] if the iteration matrix cannot be factored
+///   (e.g. a node with no resistive or capacitive connection at all).
+pub fn simulate(
+    network: &LumpedNetwork,
+    source: InputSource,
+    options: TransientOptions,
+) -> Result<TransientResult> {
+    if !(options.time_step > 0.0) || !(options.t_stop > 0.0) || options.t_stop < options.time_step
+    {
+        return Err(SimError::InvalidTimeGrid {
+            reason: "time_step and t_stop must be positive with t_stop ≥ time_step",
+        });
+    }
+    if let InputSource::Ramp { rise_time } = source {
+        if !(rise_time > 0.0) {
+            return Err(SimError::InvalidValue {
+                what: "ramp rise time",
+                value: rise_time,
+            });
+        }
+    }
+
+    let (g, c, b) = network.assemble()?;
+    let n = g.rows();
+    let h = options.time_step;
+    let steps = (options.t_stop / h).ceil() as usize;
+
+    // Iteration matrix A = C/h + α·G with α = 1 (BE) or 1/2 (TR).
+    let alpha = match options.method {
+        Method::BackwardEuler => 1.0,
+        Method::Trapezoidal => 0.5,
+    };
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = c[i] / h;
+    }
+    a.add_scaled(&g, alpha)?;
+    let factor = LuFactor::new(&a)?;
+
+    let mut v = vec![0.0; n];
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut voltages = vec![Vec::with_capacity(steps + 1); n];
+    times.push(0.0);
+    for (node, series) in voltages.iter_mut().enumerate() {
+        series.push(v[node]);
+    }
+
+    for step in 1..=steps {
+        let t_new = step as f64 * h;
+        let t_old = t_new - h;
+        let u_new = source.value(t_new);
+        let u_old = source.value(t_old);
+
+        // Right-hand side.
+        let mut rhs = vec![0.0; n];
+        match options.method {
+            Method::BackwardEuler => {
+                for i in 0..n {
+                    rhs[i] = c[i] / h * v[i] + b[i] * u_new;
+                }
+            }
+            Method::Trapezoidal => {
+                let gv = g.mul_vec(&v)?;
+                for i in 0..n {
+                    rhs[i] = c[i] / h * v[i] - 0.5 * gv[i] + 0.5 * b[i] * (u_new + u_old);
+                }
+            }
+        }
+        v = factor.solve(&rhs)?;
+        times.push(t_new);
+        for (node, series) in voltages.iter_mut().enumerate() {
+            series.push(v[node]);
+        }
+    }
+
+    Ok(TransientResult { times, voltages })
+}
+
+/// Convenience wrapper: simulates the unit-step response of an [`RcTree`]
+/// output and returns its waveform.
+///
+/// Distributed lines are discretized into `segments_per_line` π-segments.
+///
+/// # Errors
+///
+/// Propagates conversion and simulation errors; additionally returns
+/// [`SimError::NodeOutOfRange`] if `output` maps to the input node (whose
+/// voltage is the source itself).
+pub fn step_response(
+    tree: &RcTree,
+    output: NodeId,
+    segments_per_line: usize,
+    options: TransientOptions,
+) -> Result<Waveform> {
+    let net = LumpedNetwork::from_tree(tree, segments_per_line)?;
+    let result = simulate(&net, InputSource::Step, options)?;
+    match net.index_of(output)? {
+        Some(idx) => result.waveform(idx),
+        None => Err(SimError::NodeOutOfRange {
+            index: output.index(),
+            len: net.node_count(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Terminal;
+    use rctree_core::builder::RcTreeBuilder;
+    use rctree_core::units::{Farads, Ohms};
+
+    /// Single RC lump: v(t) = 1 − e^{−t/RC}.
+    fn single_lump() -> LumpedNetwork {
+        let mut net = LumpedNetwork::new();
+        let a = net.add_node("a", 1.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0).unwrap();
+        net
+    }
+
+    #[test]
+    fn single_lump_matches_analytic_exponential() {
+        let net = single_lump();
+        for method in [Method::BackwardEuler, Method::Trapezoidal] {
+            let opts = TransientOptions::new(0.001, 5.0).with_method(method);
+            let result = simulate(&net, InputSource::Step, opts).unwrap();
+            let w = result.waveform(0).unwrap();
+            let tol = match method {
+                Method::BackwardEuler => 5e-3,
+                Method::Trapezoidal => 1e-5,
+            };
+            for &t in &[0.5, 1.0, 2.0, 4.0] {
+                let exact = 1.0 - (-t_f(t)).exp();
+                assert!(
+                    (w.value_at(t) - exact).abs() < tol,
+                    "{method:?} at t={t}: {} vs {exact}",
+                    w.value_at(t)
+                );
+            }
+        }
+        fn t_f(t: f64) -> f64 {
+            t
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        let net = single_lump();
+        let opts_be = TransientOptions::new(0.01, 3.0).with_method(Method::BackwardEuler);
+        let opts_tr = TransientOptions::new(0.01, 3.0).with_method(Method::Trapezoidal);
+        let be = simulate(&net, InputSource::Step, opts_be).unwrap().waveform(0).unwrap();
+        let tr = simulate(&net, InputSource::Step, opts_tr).unwrap().waveform(0).unwrap();
+        let exact = |t: f64| 1.0 - (-t).exp();
+        let err = |w: &Waveform| {
+            w.times()
+                .iter()
+                .zip(w.values())
+                .map(|(&t, &v)| (v - exact(t)).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(err(&tr) < err(&be));
+    }
+
+    #[test]
+    fn response_is_monotone_and_settles_to_one() {
+        let mut b = RcTreeBuilder::new();
+        let a = b.add_resistor(b.input(), "a", Ohms::new(2.0)).unwrap();
+        b.add_capacitance(a, Farads::new(1.0)).unwrap();
+        let w = b.add_line(a, "w", Ohms::new(4.0), Farads::new(0.5)).unwrap();
+        b.add_capacitance(w, Farads::new(2.0)).unwrap();
+        b.mark_output(w).unwrap();
+        let tree = b.build().unwrap();
+        let out = tree.node_by_name("w").unwrap();
+        let wave = step_response(&tree, out, 4, TransientOptions::new(0.01, 300.0)).unwrap();
+        assert!(wave.is_monotone_nondecreasing(1e-9));
+        assert!((wave.final_value() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_cap_intermediate_node_is_handled() {
+        // input --R-- mid (no cap) --R-- out (cap): C is singular but the
+        // iteration matrix is not.
+        let mut net = LumpedNetwork::new();
+        let mid = net.add_node("mid", 0.0).unwrap();
+        let out = net.add_node("out", 1.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(mid), 1.0).unwrap();
+        net.add_resistor(Terminal::Node(mid), Terminal::Node(out), 1.0).unwrap();
+        let result = simulate(
+            &net,
+            InputSource::Step,
+            TransientOptions::new(0.005, 20.0),
+        )
+        .unwrap();
+        let w = result.waveform(out).unwrap();
+        // Effective single pole with R = 2, C = 1.
+        let exact = |t: f64| 1.0 - (-t / 2.0).exp();
+        for &t in &[1.0, 2.0, 5.0] {
+            assert!((w.value_at(t) - exact(t)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ramp_source_lags_step_source() {
+        let net = single_lump();
+        let opts = TransientOptions::new(0.005, 10.0);
+        let step = simulate(&net, InputSource::Step, opts).unwrap().waveform(0).unwrap();
+        let ramp = simulate(&net, InputSource::Ramp { rise_time: 2.0 }, opts)
+            .unwrap()
+            .waveform(0)
+            .unwrap();
+        for &t in &[0.5, 1.0, 2.0, 4.0] {
+            assert!(ramp.value_at(t) <= step.value_at(t) + 1e-9);
+        }
+        assert!((ramp.final_value() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn source_values() {
+        assert_eq!(InputSource::Step.value(-1.0), 0.0);
+        assert_eq!(InputSource::Step.value(0.0), 1.0);
+        let ramp = InputSource::Ramp { rise_time: 4.0 };
+        assert_eq!(ramp.value(2.0), 0.5);
+        assert_eq!(ramp.value(8.0), 1.0);
+        assert_eq!(ramp.value(-1.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let net = single_lump();
+        assert!(simulate(&net, InputSource::Step, TransientOptions::new(0.0, 1.0)).is_err());
+        assert!(simulate(&net, InputSource::Step, TransientOptions::new(0.1, 0.0)).is_err());
+        assert!(simulate(
+            &net,
+            InputSource::Ramp { rise_time: 0.0 },
+            TransientOptions::new(0.1, 1.0)
+        )
+        .is_err());
+        assert!(simulate(&net, InputSource::Step, TransientOptions::new(1.0, 0.5)).is_err());
+    }
+
+    #[test]
+    fn waveform_index_out_of_range() {
+        let net = single_lump();
+        let r = simulate(&net, InputSource::Step, TransientOptions::new(0.1, 1.0)).unwrap();
+        assert_eq!(r.node_count(), 1);
+        assert!(r.waveform(3).is_err());
+        assert_eq!(r.times()[0], 0.0);
+    }
+}

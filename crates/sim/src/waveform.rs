@@ -1,0 +1,234 @@
+//! Sampled waveforms and measurements on them.
+//!
+//! Transient and modal simulations produce node voltages sampled on a time
+//! grid.  [`Waveform`] wraps one such series and provides the measurements
+//! needed to compare against the Penfield–Rubinstein bounds: interpolated
+//! values, threshold-crossing times and monotonicity checks.
+
+use crate::error::{Result, SimError};
+
+/// A voltage waveform sampled on a strictly increasing time grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from matching time and value samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DimensionMismatch`] if the slices differ in length or
+    ///   are empty;
+    /// * [`SimError::InvalidTimeGrid`] if the time grid is not strictly
+    ///   increasing or not finite.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        if times.is_empty() || times.len() != values.len() {
+            return Err(SimError::DimensionMismatch {
+                what: "waveform samples",
+                expected: times.len(),
+                actual: values.len(),
+            });
+        }
+        for w in times.windows(2) {
+            if !(w[1] > w[0]) {
+                return Err(SimError::InvalidTimeGrid {
+                    reason: "times must be strictly increasing",
+                });
+            }
+        }
+        if times.iter().chain(values.iter()).any(|x| !x.is_finite()) {
+            return Err(SimError::InvalidTimeGrid {
+                reason: "samples must be finite",
+            });
+        }
+        Ok(Waveform { times, values })
+    }
+
+    /// Builds a waveform by evaluating a function on a uniform grid of
+    /// `samples` points covering `[0, t_stop]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTimeGrid`] if `samples < 2` or `t_stop` is
+    /// not positive.
+    pub fn from_fn(t_stop: f64, samples: usize, mut f: impl FnMut(f64) -> f64) -> Result<Self> {
+        if samples < 2 || !(t_stop > 0.0) {
+            return Err(SimError::InvalidTimeGrid {
+                reason: "need at least 2 samples and a positive horizon",
+            });
+        }
+        let times: Vec<f64> = (0..samples)
+            .map(|i| t_stop * i as f64 / (samples - 1) as f64)
+            .collect();
+        let values: Vec<f64> = times.iter().map(|&t| f(t)).collect();
+        Self::new(times, values)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if the waveform holds no samples (never the case for a
+    /// successfully constructed waveform).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Last sample time (the simulation horizon).
+    pub fn end_time(&self) -> f64 {
+        *self.times.last().expect("waveform is never empty")
+    }
+
+    /// Final sampled value.
+    pub fn final_value(&self) -> f64 {
+        *self.values.last().expect("waveform is never empty")
+    }
+
+    /// Linearly interpolated value at time `t` (clamped to the sampled
+    /// range).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= self.end_time() {
+            return self.final_value();
+        }
+        // Binary search for the bracketing interval.
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("finite"))
+        {
+            Ok(i) => return self.values[i],
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// First time at which the waveform reaches `threshold`, by linear
+    /// interpolation between samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ThresholdNotReached`] if the waveform never
+    /// attains the threshold within the sampled horizon.
+    pub fn first_crossing(&self, threshold: f64) -> Result<f64> {
+        if self.values[0] >= threshold {
+            return Ok(self.times[0]);
+        }
+        for i in 1..self.len() {
+            if self.values[i] >= threshold {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let (v0, v1) = (self.values[i - 1], self.values[i]);
+                if v1 == v0 {
+                    return Ok(t1);
+                }
+                return Ok(t0 + (t1 - t0) * (threshold - v0) / (v1 - v0));
+            }
+        }
+        Err(SimError::ThresholdNotReached { threshold })
+    }
+
+    /// Checks that the waveform never decreases by more than `tol` between
+    /// consecutive samples.  The paper proves the step response of an RC
+    /// tree is monotone; this is used as a sanity check on the simulator.
+    pub fn is_monotone_nondecreasing(&self, tol: f64) -> bool {
+        self.values.windows(2).all(|w| w[1] >= w[0] - tol)
+    }
+
+    /// Maximum absolute difference against another waveform, compared on
+    /// *this* waveform's time grid.
+    pub fn max_difference(&self, other: &Waveform) -> f64 {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, &v)| (v - other.value_at(t)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.5, 0.75, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(Waveform::new(vec![], vec![]).is_err());
+        assert!(Waveform::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(Waveform::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Waveform::new(vec![0.0, 1.0], vec![1.0, f64::NAN]).is_err());
+        assert!(Waveform::new(vec![1.0, 0.5], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn accessors_and_interpolation() {
+        let w = ramp();
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.end_time(), 3.0);
+        assert_eq!(w.final_value(), 1.0);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(10.0), 1.0);
+        assert!((w.value_at(0.5) - 0.25).abs() < 1e-12);
+        assert!((w.value_at(1.0) - 0.5).abs() < 1e-12);
+        assert!((w.value_at(2.5) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_crossing_interpolates() {
+        let w = ramp();
+        assert!((w.first_crossing(0.25).unwrap() - 0.5).abs() < 1e-12);
+        assert!((w.first_crossing(0.5).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(w.first_crossing(0.0).unwrap(), 0.0);
+        assert!(matches!(
+            w.first_crossing(1.5),
+            Err(SimError::ThresholdNotReached { .. })
+        ));
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(ramp().is_monotone_nondecreasing(0.0));
+        let bumpy = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.6, 0.5]).unwrap();
+        assert!(!bumpy.is_monotone_nondecreasing(1e-6));
+        assert!(bumpy.is_monotone_nondecreasing(0.2));
+    }
+
+    #[test]
+    fn from_fn_samples_uniformly() {
+        let w = Waveform::from_fn(2.0, 5, |t| t * t).unwrap();
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.times()[4], 2.0);
+        assert!((w.values()[2] - 1.0).abs() < 1e-12);
+        assert!(Waveform::from_fn(0.0, 5, |t| t).is_err());
+        assert!(Waveform::from_fn(1.0, 1, |t| t).is_err());
+    }
+
+    #[test]
+    fn max_difference_between_waveforms() {
+        let a = ramp();
+        let b = Waveform::new(vec![0.0, 3.0], vec![0.0, 1.0]).unwrap();
+        // b is a straight line from 0 to 1; a is above it at t=1 (0.5 vs 1/3).
+        let d = a.max_difference(&b);
+        assert!((d - (0.5 - 1.0 / 3.0)).abs() < 1e-9);
+        assert_eq!(a.max_difference(&a), 0.0);
+    }
+}

@@ -1,0 +1,638 @@
+//! Multi-stage timing graphs: instances, nets, arrival-time propagation and
+//! critical-path extraction.
+//!
+//! A [`Design`] is a DAG of cell instances connected by nets.  Each net is
+//! driven either by a primary input or by an instance's output, carries an
+//! extracted interconnect [`RcTree`], and fans out to instance inputs and/or
+//! primary outputs.  Arrival times are propagated in topological order as
+//! **intervals** `[min, max]`: the lower ends use the Penfield–Rubinstein
+//! lower delay bounds, the upper ends the upper bounds, so the reported
+//! worst-case arrival at every endpoint is a *guaranteed* bound rather than
+//! an estimate — exactly the certification use-case of the paper's abstract.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use rctree_core::cert::Certification;
+use rctree_core::tree::RcTree;
+use rctree_core::units::{Farads, Seconds};
+
+use crate::cell::CellLibrary;
+use crate::error::{Result, StaError};
+use crate::stage::analyze_stage;
+
+/// What drives a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Driver {
+    /// A primary input of the design (arrival time zero).
+    PrimaryInput,
+    /// The output of the named instance.
+    Instance(String),
+}
+
+/// What a net sink connects to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Load {
+    /// The input of the named instance.
+    Instance(String),
+    /// A primary output (endpoint) of the design.
+    PrimaryOutput(String),
+}
+
+/// One sink of a net: a node of the interconnect tree plus what hangs there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sink {
+    /// Name of the interconnect-tree node the load is attached to.
+    pub node: String,
+    /// What the sink drives.
+    pub load: Load,
+}
+
+/// A net: driver, extracted interconnect and sinks.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Who drives the net.
+    pub driver: Driver,
+    /// Extracted interconnect; its input node is the driver's output pin.
+    pub interconnect: RcTree,
+    /// Fan-out of the net.
+    pub sinks: Vec<Sink>,
+}
+
+/// An arrival-time interval propagated through the graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalWindow {
+    /// Earliest possible arrival (sum of lower bounds).
+    pub min: Seconds,
+    /// Latest possible arrival (sum of upper bounds) — the certified value.
+    pub max: Seconds,
+}
+
+impl ArrivalWindow {
+    /// The zero window (primary inputs).
+    pub const ZERO: ArrivalWindow = ArrivalWindow {
+        min: Seconds::ZERO,
+        max: Seconds::ZERO,
+    };
+}
+
+/// One endpoint (primary output) in the timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointTiming {
+    /// Primary-output name.
+    pub name: String,
+    /// Arrival window at the endpoint.
+    pub arrival: ArrivalWindow,
+    /// The chain of instance names on the latest path to this endpoint,
+    /// starting from the primary input side.
+    pub critical_path: Vec<String>,
+}
+
+/// Whole-design timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Switching threshold used for all stage delays.
+    pub threshold: f64,
+    /// Required arrival time used for slack and certification.
+    pub required_time: Seconds,
+    /// Per-endpoint results, sorted by descending worst arrival.
+    pub endpoints: Vec<EndpointTiming>,
+}
+
+impl TimingReport {
+    /// The endpoint with the largest guaranteed-worst-case arrival.
+    pub fn critical_endpoint(&self) -> Option<&EndpointTiming> {
+        self.endpoints.first()
+    }
+
+    /// Worst slack in the design: `required_time − worst arrival upper
+    /// bound`.  Negative slack means the design may miss timing.
+    pub fn worst_slack(&self) -> Seconds {
+        match self.critical_endpoint() {
+            Some(e) => self.required_time - e.arrival.max,
+            None => self.required_time,
+        }
+    }
+
+    /// Three-valued certification of the whole design against the required
+    /// time (the multi-stage generalisation of the paper's `OK` function).
+    pub fn certification(&self) -> Certification {
+        let mut verdict = Certification::Pass;
+        for e in &self.endpoints {
+            let v = if e.arrival.max <= self.required_time {
+                Certification::Pass
+            } else if e.arrival.min > self.required_time {
+                Certification::Fail
+            } else {
+                Certification::Indeterminate
+            };
+            verdict = verdict.and(v);
+        }
+        verdict
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "timing report (threshold {:.2}, required {})",
+            self.threshold, self.required_time
+        )?;
+        for e in &self.endpoints {
+            writeln!(
+                f,
+                "  {}: arrival [{}, {}] via {}",
+                e.name,
+                e.arrival.min,
+                e.arrival.max,
+                e.critical_path.join(" -> ")
+            )?;
+        }
+        writeln!(f, "  worst slack: {}", self.worst_slack())?;
+        writeln!(f, "  certification: {}", self.certification())
+    }
+}
+
+/// A gate-level design with extracted interconnect.
+#[derive(Debug, Clone)]
+pub struct Design {
+    library: CellLibrary,
+    /// instance name → cell name.
+    instances: BTreeMap<String, String>,
+    nets: Vec<Net>,
+}
+
+impl Design {
+    /// Creates an empty design over the given cell library.
+    pub fn new(library: CellLibrary) -> Self {
+        Design {
+            library,
+            instances: BTreeMap::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Adds an instance of a library cell.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::UnknownCell`] if the cell is not in the library;
+    /// * [`StaError::DuplicateInstance`] if the instance name is taken.
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        cell: impl Into<String>,
+    ) -> Result<()> {
+        let name = name.into();
+        let cell = cell.into();
+        self.library.cell(&cell)?;
+        if self.instances.contains_key(&name) {
+            return Err(StaError::DuplicateInstance { name });
+        }
+        self.instances.insert(name, cell);
+        Ok(())
+    }
+
+    /// Adds a net.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::UnknownInstance`] if the driver or a sink instance does
+    ///   not exist;
+    /// * [`StaError::UnknownSinkNode`] if a sink references a node that is
+    ///   not part of the net's interconnect tree.
+    pub fn add_net(&mut self, net: Net) -> Result<()> {
+        if let Driver::Instance(inst) = &net.driver {
+            if !self.instances.contains_key(inst) {
+                return Err(StaError::UnknownInstance { name: inst.clone() });
+            }
+        }
+        for sink in &net.sinks {
+            if net.interconnect.node_by_name(&sink.node).is_err() {
+                return Err(StaError::UnknownSinkNode {
+                    net: net.name.clone(),
+                    node: sink.node.clone(),
+                });
+            }
+            if let Load::Instance(inst) = &sink.load {
+                if !self.instances.contains_key(inst) {
+                    return Err(StaError::UnknownInstance { name: inst.clone() });
+                }
+            }
+        }
+        self.nets.push(net);
+        Ok(())
+    }
+
+    /// Number of instances in the design.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of nets in the design.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Runs the full arrival-time propagation and produces a report.
+    ///
+    /// `threshold` is the switching threshold (fraction of the swing) used
+    /// for every stage; `required_time` is the budget every endpoint must
+    /// meet.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::EmptyDesign`] if there is nothing to analyse;
+    /// * [`StaError::CombinationalCycle`] if the instance graph has a cycle;
+    /// * stage-level errors from the core crate.
+    pub fn analyze(&self, threshold: f64, required_time: Seconds) -> Result<TimingReport> {
+        if self.nets.is_empty() {
+            return Err(StaError::EmptyDesign);
+        }
+
+        // Stage timing per net: delay window of every sink.
+        struct SinkDelay {
+            load: Load,
+            window: (Seconds, Seconds),
+        }
+        let mut net_sink_delays: Vec<Vec<SinkDelay>> = Vec::with_capacity(self.nets.len());
+        for net in &self.nets {
+            let driver_resistance = match &net.driver {
+                Driver::PrimaryInput => rctree_core::units::Ohms::ZERO,
+                Driver::Instance(inst) => {
+                    let cell_name = &self.instances[inst];
+                    self.library.cell(cell_name)?.drive_resistance
+                }
+            };
+            let mut sink_loads = Vec::with_capacity(net.sinks.len());
+            for sink in &net.sinks {
+                let node = net.interconnect.node_by_name(&sink.node)?;
+                let load_cap = match &sink.load {
+                    Load::Instance(inst) => {
+                        let cell_name = &self.instances[inst];
+                        self.library.cell(cell_name)?.input_capacitance
+                    }
+                    Load::PrimaryOutput(_) => Farads::ZERO,
+                };
+                sink_loads.push((node, load_cap));
+            }
+            let stage = analyze_stage(driver_resistance, &net.interconnect, &sink_loads, threshold)?;
+            let delays = net
+                .sinks
+                .iter()
+                .zip(stage.sinks.iter())
+                .map(|(sink, timing)| SinkDelay {
+                    load: sink.load.clone(),
+                    window: (timing.bounds.lower, timing.bounds.upper),
+                })
+                .collect();
+            net_sink_delays.push(delays);
+        }
+
+        // Topological order of instances (Kahn's algorithm over the
+        // instance-to-instance edges induced by nets).
+        let mut in_degree: HashMap<&str, usize> =
+            self.instances.keys().map(|k| (k.as_str(), 0)).collect();
+        let mut successors: HashMap<&str, Vec<&str>> = HashMap::new();
+        for net in &self.nets {
+            if let Driver::Instance(driver) = &net.driver {
+                for sink in &net.sinks {
+                    if let Load::Instance(load) = &sink.load {
+                        successors.entry(driver.as_str()).or_default().push(load);
+                        *in_degree.get_mut(load.as_str()).expect("validated") += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<&str> = in_degree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&k, _)| k)
+            .collect();
+        queue.sort_unstable();
+        let mut topo_order: Vec<&str> = Vec::with_capacity(self.instances.len());
+        let mut queue_idx = 0;
+        while queue_idx < queue.len() {
+            let inst = queue[queue_idx];
+            queue_idx += 1;
+            topo_order.push(inst);
+            if let Some(next) = successors.get(inst) {
+                for &succ in next {
+                    let d = in_degree.get_mut(succ).expect("validated");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(succ);
+                    }
+                }
+            }
+        }
+        if topo_order.len() != self.instances.len() {
+            return Err(StaError::CombinationalCycle);
+        }
+        let topo_rank: HashMap<&str, usize> = topo_order
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+
+        // Arrival windows at instance inputs (worst over all inputs) and the
+        // path leading there.
+        let mut input_arrival: HashMap<&str, (ArrivalWindow, Vec<String>)> = HashMap::new();
+        let mut endpoints: Vec<EndpointTiming> = Vec::new();
+
+        // Process nets in driver topological order so that a driver's input
+        // arrival is final before its output net is evaluated.
+        let mut net_order: Vec<usize> = (0..self.nets.len()).collect();
+        net_order.sort_by_key(|&i| match &self.nets[i].driver {
+            Driver::PrimaryInput => 0,
+            Driver::Instance(inst) => 1 + topo_rank[inst.as_str()],
+        });
+
+        for &net_idx in &net_order {
+            let net = &self.nets[net_idx];
+            // Arrival at the driver's output pin.
+            let (driver_arrival, driver_path) = match &net.driver {
+                Driver::PrimaryInput => (ArrivalWindow::ZERO, Vec::new()),
+                Driver::Instance(inst) => {
+                    let cell = self.library.cell(&self.instances[inst])?;
+                    let (input, mut path) = input_arrival
+                        .get(inst.as_str())
+                        .cloned()
+                        .unwrap_or((ArrivalWindow::ZERO, Vec::new()));
+                    path.push(inst.clone());
+                    (
+                        ArrivalWindow {
+                            min: input.min + cell.intrinsic_delay,
+                            max: input.max + cell.intrinsic_delay,
+                        },
+                        path,
+                    )
+                }
+            };
+
+            for delay in &net_sink_delays[net_idx] {
+                let window = ArrivalWindow {
+                    min: driver_arrival.min + delay.window.0,
+                    max: driver_arrival.max + delay.window.1,
+                };
+                match &delay.load {
+                    Load::Instance(inst) => {
+                        let inst_key = self
+                            .instances
+                            .keys()
+                            .find(|k| k.as_str() == inst.as_str())
+                            .expect("validated")
+                            .as_str();
+                        let entry = input_arrival
+                            .entry(inst_key)
+                            .or_insert((ArrivalWindow::ZERO, Vec::new()));
+                        if window.max > entry.0.max {
+                            *entry = (window, driver_path.clone());
+                        }
+                    }
+                    Load::PrimaryOutput(name) => {
+                        endpoints.push(EndpointTiming {
+                            name: name.clone(),
+                            arrival: window,
+                            critical_path: driver_path.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        endpoints.sort_by(|a, b| b.arrival.max.value().total_cmp(&a.arrival.max.value()));
+        Ok(TimingReport {
+            threshold,
+            required_time,
+            endpoints,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::builder::RcTreeBuilder;
+    use rctree_core::units::Ohms;
+
+    /// A point-to-point wire: input -> one line -> one sink node "load".
+    fn wire(r: f64, c_ff: f64) -> RcTree {
+        let mut b = RcTreeBuilder::new();
+        let n = b
+            .add_line(b.input(), "load", Ohms::new(r), Farads::from_femto(c_ff))
+            .unwrap();
+        let _ = n;
+        b.build().unwrap()
+    }
+
+    /// Two-stage buffer chain: PI -> wire -> u1 -> wire -> u2 -> wire -> PO.
+    fn buffer_chain() -> Design {
+        let mut d = Design::new(CellLibrary::nmos_1981());
+        d.add_instance("u1", "inv_1x").unwrap();
+        d.add_instance("u2", "inv_4x").unwrap();
+        d.add_net(Net {
+            name: "n_in".into(),
+            driver: Driver::PrimaryInput,
+            interconnect: wire(50.0, 5.0),
+            sinks: vec![Sink {
+                node: "load".into(),
+                load: Load::Instance("u1".into()),
+            }],
+        })
+        .unwrap();
+        d.add_net(Net {
+            name: "n_mid".into(),
+            driver: Driver::Instance("u1".into()),
+            interconnect: wire(200.0, 20.0),
+            sinks: vec![Sink {
+                node: "load".into(),
+                load: Load::Instance("u2".into()),
+            }],
+        })
+        .unwrap();
+        d.add_net(Net {
+            name: "n_out".into(),
+            driver: Driver::Instance("u2".into()),
+            interconnect: wire(400.0, 40.0),
+            sinks: vec![Sink {
+                node: "load".into(),
+                load: Load::PrimaryOutput("out".into()),
+            }],
+        })
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn buffer_chain_report_is_consistent() {
+        let d = buffer_chain();
+        assert_eq!(d.instance_count(), 2);
+        assert_eq!(d.net_count(), 3);
+        let report = d.analyze(0.5, Seconds::from_nano(50.0)).unwrap();
+        assert_eq!(report.endpoints.len(), 1);
+        let e = &report.endpoints[0];
+        assert_eq!(e.name, "out");
+        assert!(e.arrival.min <= e.arrival.max);
+        // Both gate intrinsic delays must be included.
+        assert!(e.arrival.min >= Seconds::from_nano(1.8));
+        assert_eq!(e.critical_path, vec!["u1".to_string(), "u2".to_string()]);
+        let text = report.to_string();
+        assert!(text.contains("out"));
+        assert!(text.contains("certification"));
+    }
+
+    #[test]
+    fn certification_follows_required_time() {
+        let d = buffer_chain();
+        let generous = d.analyze(0.5, Seconds::from_nano(1000.0)).unwrap();
+        assert_eq!(generous.certification(), Certification::Pass);
+        assert!(generous.worst_slack().value() > 0.0);
+
+        let impossible = d.analyze(0.5, Seconds::from_pico(1.0)).unwrap();
+        assert_eq!(impossible.certification(), Certification::Fail);
+        assert!(impossible.worst_slack().value() < 0.0);
+
+        // A budget between the endpoint's min and max arrival cannot be
+        // decided by bounds alone.
+        let report = d.analyze(0.5, Seconds::from_nano(1000.0)).unwrap();
+        let e = report.critical_endpoint().unwrap();
+        let mid = Seconds::new((e.arrival.min.value() + e.arrival.max.value()) / 2.0);
+        let undecided = d.analyze(0.5, mid).unwrap();
+        assert_eq!(undecided.certification(), Certification::Indeterminate);
+    }
+
+    #[test]
+    fn fanout_reports_every_endpoint() {
+        let mut d = Design::new(CellLibrary::nmos_1981());
+        d.add_instance("drv", "superbuffer").unwrap();
+        d.add_net(Net {
+            name: "n_in".into(),
+            driver: Driver::PrimaryInput,
+            interconnect: wire(10.0, 1.0),
+            sinks: vec![Sink {
+                node: "load".into(),
+                load: Load::Instance("drv".into()),
+            }],
+        })
+        .unwrap();
+        // Fan-out net with two sinks at different depths.
+        let mut b = RcTreeBuilder::new();
+        let stem = b
+            .add_line(b.input(), "stem", Ohms::new(100.0), Farads::from_femto(10.0))
+            .unwrap();
+        b.add_line(stem, "near", Ohms::new(10.0), Farads::from_femto(1.0))
+            .unwrap();
+        b.add_line(stem, "far", Ohms::new(500.0), Farads::from_femto(50.0))
+            .unwrap();
+        let fanout = b.build().unwrap();
+        d.add_net(Net {
+            name: "n_fan".into(),
+            driver: Driver::Instance("drv".into()),
+            interconnect: fanout,
+            sinks: vec![
+                Sink {
+                    node: "near".into(),
+                    load: Load::PrimaryOutput("po_near".into()),
+                },
+                Sink {
+                    node: "far".into(),
+                    load: Load::PrimaryOutput("po_far".into()),
+                },
+            ],
+        })
+        .unwrap();
+        let report = d.analyze(0.5, Seconds::from_nano(100.0)).unwrap();
+        assert_eq!(report.endpoints.len(), 2);
+        assert_eq!(report.critical_endpoint().unwrap().name, "po_far");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut d = Design::new(CellLibrary::nmos_1981());
+        assert!(matches!(
+            d.add_instance("u1", "not_a_cell"),
+            Err(StaError::UnknownCell { .. })
+        ));
+        d.add_instance("u1", "inv_1x").unwrap();
+        assert!(matches!(
+            d.add_instance("u1", "inv_1x"),
+            Err(StaError::DuplicateInstance { .. })
+        ));
+        assert!(matches!(
+            d.add_net(Net {
+                name: "n".into(),
+                driver: Driver::Instance("ghost".into()),
+                interconnect: wire(1.0, 1.0),
+                sinks: vec![],
+            }),
+            Err(StaError::UnknownInstance { .. })
+        ));
+        assert!(matches!(
+            d.add_net(Net {
+                name: "n".into(),
+                driver: Driver::PrimaryInput,
+                interconnect: wire(1.0, 1.0),
+                sinks: vec![Sink {
+                    node: "nope".into(),
+                    load: Load::Instance("u1".into())
+                }],
+            }),
+            Err(StaError::UnknownSinkNode { .. })
+        ));
+        assert!(matches!(
+            d.add_net(Net {
+                name: "n".into(),
+                driver: Driver::PrimaryInput,
+                interconnect: wire(1.0, 1.0),
+                sinks: vec![Sink {
+                    node: "load".into(),
+                    load: Load::Instance("ghost".into())
+                }],
+            }),
+            Err(StaError::UnknownInstance { .. })
+        ));
+        assert!(matches!(
+            d.analyze(0.5, Seconds::from_nano(1.0)),
+            Err(StaError::EmptyDesign)
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_is_detected() {
+        let mut d = Design::new(CellLibrary::nmos_1981());
+        d.add_instance("a", "inv_1x").unwrap();
+        d.add_instance("b", "inv_1x").unwrap();
+        for (driver, load, name) in [("a", "b", "n1"), ("b", "a", "n2")] {
+            d.add_net(Net {
+                name: name.into(),
+                driver: Driver::Instance(driver.into()),
+                interconnect: wire(1.0, 1.0),
+                sinks: vec![Sink {
+                    node: "load".into(),
+                    load: Load::Instance(load.into()),
+                }],
+            })
+            .unwrap();
+        }
+        assert!(matches!(
+            d.analyze(0.5, Seconds::from_nano(1.0)),
+            Err(StaError::CombinationalCycle)
+        ));
+    }
+
+    #[test]
+    fn deeper_paths_arrive_later() {
+        let d = buffer_chain();
+        let report = d.analyze(0.5, Seconds::from_nano(100.0)).unwrap();
+        let out = &report.endpoints[0];
+        // The endpoint must arrive later than the sum of intrinsic delays
+        // alone (wire delay is nonzero) and the window must be ordered.
+        let intrinsic_sum = Seconds::from_nano(1.0) + Seconds::from_nano(0.8);
+        assert!(out.arrival.max > intrinsic_sum);
+        assert!(out.arrival.min >= intrinsic_sum);
+    }
+}

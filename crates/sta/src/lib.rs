@@ -1,0 +1,57 @@
+//! # rctree-sta
+//!
+//! A miniature static-timing-analysis layer built on the Penfield–Rubinstein
+//! delay bounds — the way downstream tools (OpenSTA, OpenROAD, timing-driven
+//! placers) consume Elmore-style interconnect delay today.
+//!
+//! * [`cell`] — linear switch-resistance gate models and a small 1981-style
+//!   NMOS library;
+//! * [`stage`] — one driver + extracted RC tree + loads, with Elmore delay
+//!   and guaranteed delay bounds per sink;
+//! * [`graph`] — multi-stage designs, interval arrival-time propagation,
+//!   critical paths, slack and three-valued certification.
+//!
+//! ```
+//! use rctree_core::builder::RcTreeBuilder;
+//! use rctree_core::units::{Farads, Ohms};
+//! use rctree_sta::stage::analyze_stage;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 1 kΩ driver through 200 Ω of wire into a 13 fF gate.
+//! let mut b = RcTreeBuilder::new();
+//! let load = b.add_line(b.input(), "load", Ohms::new(200.0), Farads::from_femto(20.0))?;
+//! let net = b.build()?;
+//! let timing = analyze_stage(Ohms::new(1000.0), &net, &[(load, Farads::from_femto(13.0))], 0.5)?;
+//! let sink = &timing.sinks[0];
+//! assert!(sink.bounds.lower <= sink.elmore && sink.bounds.lower <= sink.bounds.upper);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cell;
+pub mod error;
+pub mod graph;
+pub mod stage;
+
+pub use crate::cell::{Cell, CellLibrary};
+pub use crate::error::{Result, StaError};
+pub use crate::graph::{
+    ArrivalWindow, Design, Driver, EndpointTiming, Load, Net, Sink, TimingReport,
+};
+pub use crate::stage::{analyze_stage, prepend_driver, SinkTiming, StageTiming};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Design>();
+        assert_send_sync::<crate::TimingReport>();
+        assert_send_sync::<crate::CellLibrary>();
+        assert_send_sync::<crate::StaError>();
+    }
+}

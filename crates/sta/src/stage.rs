@@ -1,0 +1,274 @@
+//! Single-stage timing: a driving cell, its interconnect RC tree, and the
+//! receiving loads.
+//!
+//! This is the unit of computation of every Elmore-based static timing
+//! analyser: the driver's switch resistance is prepended to the extracted
+//! interconnect tree, every sink node is loaded with the input capacitance
+//! of the gate it drives, and the Penfield–Rubinstein machinery then yields
+//! the Elmore delay plus guaranteed lower/upper delay bounds per sink.
+
+use rctree_core::bounds::DelayBounds;
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::element::Branch;
+use rctree_core::moments::{characteristic_times, CharacteristicTimes};
+use rctree_core::tree::{NodeId, RcTree};
+use rctree_core::units::{Farads, Ohms, Seconds};
+
+use crate::error::Result;
+
+/// Name given to the driver's output node in the augmented stage tree.
+pub const DRIVER_OUTPUT_NODE: &str = "__driver_out";
+
+/// Timing of one sink of a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkTiming {
+    /// The sink node in the *original* interconnect tree.
+    pub node: NodeId,
+    /// Node name in the original tree.
+    pub name: String,
+    /// Characteristic times of this sink in the augmented (driver + loads)
+    /// tree.
+    pub times: CharacteristicTimes,
+    /// Elmore delay (`T_De`) of this sink.
+    pub elmore: Seconds,
+    /// Penfield–Rubinstein delay bounds at the analysis threshold.
+    pub bounds: DelayBounds,
+}
+
+/// Timing of a complete stage (driver + interconnect + loads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// The analysis threshold (fraction of the final swing).
+    pub threshold: f64,
+    /// Per-sink results, in the order the sinks were supplied.
+    pub sinks: Vec<SinkTiming>,
+}
+
+impl StageTiming {
+    /// The sink with the largest delay upper bound.
+    pub fn critical_sink(&self) -> Option<&SinkTiming> {
+        self.sinks
+            .iter()
+            .max_by(|a, b| a.bounds.upper.value().total_cmp(&b.bounds.upper.value()))
+    }
+
+    /// Looks up the timing of a specific sink node (of the original tree).
+    pub fn sink(&self, node: NodeId) -> Option<&SinkTiming> {
+        self.sinks.iter().find(|s| s.node == node)
+    }
+}
+
+/// Computes the timing of one stage.
+///
+/// `driver_resistance` is the effective switch resistance of the driving
+/// cell; `interconnect` is the extracted RC tree whose input node is the
+/// driver's output pin; `sink_loads` lists `(sink node, added load
+/// capacitance)` pairs — typically the input capacitances of the driven
+/// gates; `threshold` is the switching threshold as a fraction of the swing.
+///
+/// # Errors
+///
+/// Propagates node-lookup and threshold-validation errors from the core
+/// crate.
+pub fn analyze_stage(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    threshold: f64,
+) -> Result<StageTiming> {
+    let (augmented, node_map) = prepend_driver(driver_resistance, interconnect, sink_loads)?;
+
+    let mut sinks = Vec::with_capacity(sink_loads.len());
+    for &(node, _) in sink_loads {
+        let mapped = node_map[node.index()];
+        let times = characteristic_times(&augmented, mapped)?;
+        let bounds = times.delay_bounds(threshold)?;
+        sinks.push(SinkTiming {
+            node,
+            name: interconnect.name(node)?.to_string(),
+            elmore: times.elmore_delay(),
+            times,
+            bounds,
+        });
+    }
+    Ok(StageTiming { threshold, sinks })
+}
+
+/// Builds the augmented stage tree: a new input, a lumped resistor equal to
+/// the driver resistance, and a copy of the interconnect tree hanging off
+/// it, with the extra sink load capacitances added.  Returns the augmented
+/// tree and the mapping from original node ids to augmented node ids.
+///
+/// # Errors
+///
+/// Propagates construction errors (they indicate inconsistent inputs such as
+/// a sink node that is not part of `interconnect`).
+pub fn prepend_driver(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+) -> Result<(RcTree, Vec<NodeId>)> {
+    let mut b = RcTreeBuilder::with_input_name("__stage_input");
+    let mut map = vec![NodeId::INPUT; interconnect.node_count()];
+
+    // The interconnect's input node becomes the driver's output node.
+    let drv_out = b.add_resistor(b.input(), DRIVER_OUTPUT_NODE, driver_resistance)?;
+    map[interconnect.input().index()] = drv_out;
+    b.add_capacitance(drv_out, interconnect.capacitance(interconnect.input())?)?;
+
+    for id in interconnect.preorder() {
+        if id == interconnect.input() {
+            continue;
+        }
+        let parent = interconnect.parent(id)?.expect("non-input node");
+        let new_parent = map[parent.index()];
+        let name = interconnect.name(id)?;
+        let new_id = match interconnect.branch(id)?.expect("non-input node") {
+            Branch::Resistor { resistance } => b.add_resistor(new_parent, name, resistance)?,
+            Branch::Line {
+                resistance,
+                capacitance,
+            } => b.add_line(new_parent, name, resistance, capacitance)?,
+        };
+        b.add_capacitance(new_id, interconnect.capacitance(id)?)?;
+        if interconnect.is_output(id)? {
+            b.mark_output(new_id)?;
+        }
+        map[id.index()] = new_id;
+    }
+
+    for &(node, load) in sink_loads {
+        // Validates that the node belongs to the interconnect tree.
+        let _ = interconnect.name(node)?;
+        let mapped = map[node.index()];
+        b.add_capacitance(mapped, load)?;
+        b.mark_output(mapped)?;
+    }
+
+    Ok((b.build()?, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_workloads::fig7::figure7_tree;
+
+    fn simple_interconnect() -> (RcTree, NodeId, NodeId) {
+        let mut b = RcTreeBuilder::new();
+        let stem = b
+            .add_line(b.input(), "stem", Ohms::new(100.0), Farads::from_femto(20.0))
+            .unwrap();
+        let near = b.add_resistor(stem, "near", Ohms::new(10.0)).unwrap();
+        let far = b
+            .add_line(stem, "far", Ohms::new(300.0), Farads::from_femto(60.0))
+            .unwrap();
+        let tree = b.build().unwrap();
+        (tree, near, far)
+    }
+
+    #[test]
+    fn stage_reports_every_sink() {
+        let (net, near, far) = simple_interconnect();
+        let loads = vec![
+            (near, Farads::from_femto(13.0)),
+            (far, Farads::from_femto(13.0)),
+        ];
+        let timing = analyze_stage(Ohms::new(1000.0), &net, &loads, 0.5).unwrap();
+        assert_eq!(timing.sinks.len(), 2);
+        assert_eq!(timing.threshold, 0.5);
+        assert!(timing.sink(near).is_some());
+        assert!(timing.sink(far).is_some());
+        for s in &timing.sinks {
+            assert!(s.bounds.lower <= s.bounds.upper);
+            // At the 50% threshold the Elmore delay is never below the lower
+            // bound (it can exceed the upper bound, since Elmore is itself an
+            // upper bound on the 50% delay).
+            assert!(s.elmore >= s.bounds.lower);
+            assert!(s.elmore.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn far_sink_is_critical() {
+        let (net, near, far) = simple_interconnect();
+        let loads = vec![
+            (near, Farads::from_femto(13.0)),
+            (far, Farads::from_femto(13.0)),
+        ];
+        let timing = analyze_stage(Ohms::new(1000.0), &net, &loads, 0.5).unwrap();
+        assert_eq!(timing.critical_sink().unwrap().node, far);
+    }
+
+    #[test]
+    fn stronger_driver_gives_smaller_delay() {
+        let (net, _, far) = simple_interconnect();
+        let loads = vec![(far, Farads::from_femto(13.0))];
+        let weak = analyze_stage(Ohms::new(10_000.0), &net, &loads, 0.5).unwrap();
+        let strong = analyze_stage(Ohms::new(500.0), &net, &loads, 0.5).unwrap();
+        assert!(strong.sinks[0].bounds.upper < weak.sinks[0].bounds.upper);
+        assert!(strong.sinks[0].elmore < weak.sinks[0].elmore);
+    }
+
+    #[test]
+    fn driver_dominated_stage_has_tight_bounds() {
+        // The paper: bounds are "very tight in the case where most of the
+        // resistance is in the pullup".
+        let (net, _, far) = simple_interconnect();
+        let loads = vec![(far, Farads::from_femto(13.0))];
+        let wire_dominated = analyze_stage(Ohms::new(10.0), &net, &loads, 0.5).unwrap();
+        let driver_dominated = analyze_stage(Ohms::new(100_000.0), &net, &loads, 0.5).unwrap();
+        assert!(
+            driver_dominated.sinks[0].bounds.relative_uncertainty()
+                < wire_dominated.sinks[0].bounds.relative_uncertainty()
+        );
+    }
+
+    #[test]
+    fn added_load_increases_delay() {
+        let (net, _, far) = simple_interconnect();
+        let light = analyze_stage(
+            Ohms::new(1000.0),
+            &net,
+            &[(far, Farads::from_femto(5.0))],
+            0.5,
+        )
+        .unwrap();
+        let heavy = analyze_stage(
+            Ohms::new(1000.0),
+            &net,
+            &[(far, Farads::from_femto(100.0))],
+            0.5,
+        )
+        .unwrap();
+        assert!(heavy.sinks[0].elmore > light.sinks[0].elmore);
+    }
+
+    #[test]
+    fn augmented_tree_preserves_figure7_timing_when_driver_is_zero() {
+        // Prepending a 0 Ω driver and adding no load must not change the
+        // characteristic times of the Figure 7 output.
+        let (tree, out) = figure7_tree();
+        let timing = analyze_stage(Ohms::ZERO, &tree, &[(out, Farads::ZERO)], 0.5).unwrap();
+        let reference = characteristic_times(&tree, out).unwrap();
+        let s = &timing.sinks[0];
+        assert!((s.times.t_p.value() - reference.t_p.value()).abs() < 1e-9);
+        assert!((s.times.t_d.value() - reference.t_d.value()).abs() < 1e-9);
+        assert!((s.times.t_r.value() - reference.t_r.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_on_the_driver_output_node_is_allowed() {
+        // Loading the interconnect's input node directly (a gate right at
+        // the driver) is legal and yields a purely driver-limited delay.
+        let (net, _, _) = simple_interconnect();
+        let timing = analyze_stage(
+            Ohms::new(1000.0),
+            &net,
+            &[(net.input(), Farads::from_femto(13.0))],
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(timing.sinks.len(), 1);
+        assert!(timing.sinks[0].bounds.upper.value() > 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The resistance-illustration network of Figure 3.
+//!
+//! Figure 3 of the paper is a five-resistor tree used to illustrate the
+//! definitions of `R_ke`, `R_kk` and `R_ee`: with the output `e` behind
+//! `R5` and the node `k` behind `R3`,
+//!
+//! ```text
+//! R_ke = R1 + R2      R_kk = R1 + R2 + R3      R_ee = R1 + R2 + R5
+//! ```
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::tree::{NodeId, RcTree};
+use rctree_core::units::{Farads, Ohms};
+
+/// Resistor values of the Figure 3 network, in order `R1 … R5` (ohms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure3Values {
+    /// `R1`, from the input to the first internal node.
+    pub r1: f64,
+    /// `R2`, to the branching node.
+    pub r2: f64,
+    /// `R3`, from the branching node towards `k`.
+    pub r3: f64,
+    /// `R4`, beyond `k`.
+    pub r4: f64,
+    /// `R5`, from the branching node to the output `e`.
+    pub r5: f64,
+    /// Capacitance hung at node `k` (farads).
+    pub cap_k: f64,
+    /// Capacitance hung at the output `e` (farads).
+    pub cap_e: f64,
+}
+
+impl Default for Figure3Values {
+    fn default() -> Self {
+        // The paper does not assign numbers in Figure 3; these defaults make
+        // the three resistances easy to recognize: R_ke = 3, R_kk = 6,
+        // R_ee = 8.
+        Figure3Values {
+            r1: 1.0,
+            r2: 2.0,
+            r3: 3.0,
+            r4: 4.0,
+            r5: 5.0,
+            cap_k: 1.0,
+            cap_e: 1.0,
+        }
+    }
+}
+
+/// Handle on the interesting nodes of the Figure 3 network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Figure3Nodes {
+    /// The node `k` (behind `R3`).
+    pub k: NodeId,
+    /// The node beyond `R4` (end of the `k` branch).
+    pub beyond_k: NodeId,
+    /// The output node `e` (behind `R5`).
+    pub e: NodeId,
+    /// The branching node where the paths to `k` and `e` diverge.
+    pub fork: NodeId,
+}
+
+/// Builds the Figure 3 network with the given element values.
+pub fn figure3_tree(values: Figure3Values) -> (RcTree, Figure3Nodes) {
+    let mut b = RcTreeBuilder::new();
+    let n1 = b
+        .add_resistor(b.input(), "n1", Ohms::new(values.r1))
+        .expect("static construction");
+    let fork = b
+        .add_resistor(n1, "fork", Ohms::new(values.r2))
+        .expect("static construction");
+    let k = b
+        .add_resistor(fork, "k", Ohms::new(values.r3))
+        .expect("static construction");
+    let beyond_k = b
+        .add_resistor(k, "beyond_k", Ohms::new(values.r4))
+        .expect("static construction");
+    let e = b
+        .add_resistor(fork, "e", Ohms::new(values.r5))
+        .expect("static construction");
+    b.add_capacitance(k, Farads::new(values.cap_k))
+        .expect("static construction");
+    b.add_capacitance(e, Farads::new(values.cap_e))
+        .expect("static construction");
+    b.mark_output(e).expect("static construction");
+    let tree = b.build().expect("static construction");
+    (
+        tree,
+        Figure3Nodes {
+            k,
+            beyond_k,
+            e,
+            fork,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::resistance::{path_resistance, shared_resistance};
+
+    #[test]
+    fn paper_resistance_identities_hold() {
+        let v = Figure3Values::default();
+        let (tree, nodes) = figure3_tree(v);
+        // R_ke = R1 + R2.
+        assert_eq!(
+            shared_resistance(&tree, nodes.k, nodes.e).unwrap(),
+            Ohms::new(v.r1 + v.r2)
+        );
+        // R_kk = R1 + R2 + R3.
+        assert_eq!(
+            path_resistance(&tree, nodes.k).unwrap(),
+            Ohms::new(v.r1 + v.r2 + v.r3)
+        );
+        // R_ee = R1 + R2 + R5.
+        assert_eq!(
+            path_resistance(&tree, nodes.e).unwrap(),
+            Ohms::new(v.r1 + v.r2 + v.r5)
+        );
+    }
+
+    #[test]
+    fn custom_values_are_respected() {
+        let v = Figure3Values {
+            r1: 10.0,
+            r2: 20.0,
+            r3: 30.0,
+            r4: 40.0,
+            r5: 50.0,
+            cap_k: 2.0,
+            cap_e: 3.0,
+        };
+        let (tree, nodes) = figure3_tree(v);
+        assert_eq!(
+            shared_resistance(&tree, nodes.beyond_k, nodes.e).unwrap(),
+            Ohms::new(30.0)
+        );
+        assert_eq!(tree.total_capacitance(), Farads::new(5.0));
+        assert_eq!(tree.node_count(), 6);
+    }
+
+    #[test]
+    fn fork_is_the_lowest_common_ancestor() {
+        let (tree, nodes) = figure3_tree(Figure3Values::default());
+        assert_eq!(
+            tree.lowest_common_ancestor(nodes.k, nodes.e).unwrap(),
+            nodes.fork
+        );
+    }
+}

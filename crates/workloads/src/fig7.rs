@@ -1,0 +1,176 @@
+//! The example network of Figure 7 / Eq. (18).
+//!
+//! This is the network whose delay and voltage bound tables are printed in
+//! Figure 10 of the paper (and plotted against the exact response in
+//! Figure 11), which makes it the primary numerical regression target of the
+//! reproduction.  Parameter values are in plain ohms and farads, exactly as
+//! in the paper.
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::expr::NetworkExpr;
+use rctree_core::tree::{NodeId, RcTree};
+use rctree_core::units::{Farads, Ohms};
+
+/// Name of the output node (far end of the main path) in [`figure7_tree`].
+pub const OUTPUT_NAME: &str = "out";
+/// Name of the side-branch load node in [`figure7_tree`].
+pub const SIDE_NAME: &str = "side";
+/// Name of the internal fan-out node in [`figure7_tree`].
+pub const STEM_NAME: &str = "stem";
+
+/// The Figure 7 network as an explicit [`RcTree`], with the far end of the
+/// main path marked as the output.
+///
+/// Topology: `input —R(15Ω)— stem [2 F]`, a side branch
+/// `stem —R(8Ω)— side [7 F]`, and the main path
+/// `stem —URC(3Ω, 4F)— out [9 F]`.
+pub fn figure7_tree() -> (RcTree, NodeId) {
+    let mut b = RcTreeBuilder::new();
+    let stem = b
+        .add_resistor(b.input(), STEM_NAME, Ohms::new(15.0))
+        .expect("static network construction cannot fail");
+    b.add_capacitance(stem, Farads::new(2.0)).expect("valid");
+    let side = b
+        .add_resistor(stem, SIDE_NAME, Ohms::new(8.0))
+        .expect("valid");
+    b.add_capacitance(side, Farads::new(7.0)).expect("valid");
+    let out = b
+        .add_line(stem, OUTPUT_NAME, Ohms::new(3.0), Farads::new(4.0))
+        .expect("valid");
+    b.add_capacitance(out, Farads::new(9.0)).expect("valid");
+    b.mark_output(out).expect("valid");
+    let tree = b.build().expect("valid");
+    (tree, out)
+}
+
+/// The Figure 7 network as a wiring-algebra expression, exactly as written
+/// in Eq. (18):
+///
+/// ```text
+/// (URC 15 0) WC (URC 0 2) WC (WB ((URC 8 0) WC (URC 0 7)))
+///            WC (URC 3 4) WC (URC 0 9)
+/// ```
+pub fn figure7_expr() -> NetworkExpr {
+    NetworkExpr::resistor(Ohms::new(15.0))
+        .cascade(NetworkExpr::capacitor(Farads::new(2.0)))
+        .cascade(
+            NetworkExpr::resistor(Ohms::new(8.0))
+                .cascade(NetworkExpr::capacitor(Farads::new(7.0)))
+                .side_branch(),
+        )
+        .cascade(NetworkExpr::line(Ohms::new(3.0), Farads::new(4.0)))
+        .cascade(NetworkExpr::capacitor(Farads::new(9.0)))
+}
+
+/// The delay-bound table of Figure 10 as printed in the paper:
+/// `(threshold, T_MIN, T_MAX)` rows (times in seconds).
+///
+/// The `T_MIN` entry for threshold 0.5 is partially illegible in the
+/// scanned copy ("18~.23"); it is reproduced here as the value computed from
+/// the paper's own formulas, 184.23 s, which matches the legible digits.
+pub const FIG10_DELAY_TABLE: &[(f64, f64, f64)] = &[
+    (0.1, 0.0, 68.167),
+    (0.2, 27.8, 117.22),
+    (0.3, 71.46, 173.17),
+    (0.4, 123.13, 237.76),
+    (0.5, 184.23, 314.15),
+    (0.6, 259.02, 407.65),
+    (0.7, 355.45, 528.18),
+    (0.8, 491.34, 698.07),
+    (0.9, 723.66, 988.5),
+];
+
+/// The voltage-bound table of Figure 10 as printed in the paper:
+/// `(time, V_MIN, V_MAX)` rows (time in seconds, voltages normalized).
+pub const FIG10_VOLTAGE_TABLE: &[(f64, f64, f64)] = &[
+    (20.0, 0.0, 0.18138),
+    (40.0, 0.03243, 0.22912),
+    (60.0, 0.0814, 0.27565),
+    (80.0, 0.12565, 0.31761),
+    (100.0, 0.16644, 0.35714),
+    (200.0, 0.34342, 0.52297),
+    (300.0, 0.48283, 0.64603),
+    (400.0, 0.59263, 0.73734),
+    (500.0, 0.67913, 0.8051),
+    (1000.0, 0.90271, 0.95615),
+    (2000.0, 0.99105, 0.99778),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::moments::characteristic_times;
+
+    #[test]
+    fn tree_and_expression_agree() {
+        let (tree, out) = figure7_tree();
+        let t_tree = characteristic_times(&tree, out).unwrap();
+        let t_expr = figure7_expr().evaluate().characteristic_times().unwrap();
+        assert!((t_tree.t_p.value() - t_expr.t_p.value()).abs() < 1e-9);
+        assert!((t_tree.t_d.value() - t_expr.t_d.value()).abs() < 1e-9);
+        assert!((t_tree.t_r.value() - t_expr.t_r.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn characteristic_times_have_expected_values() {
+        let (tree, out) = figure7_tree();
+        let t = characteristic_times(&tree, out).unwrap();
+        assert!((t.t_p.value() - 419.0).abs() < 1e-9);
+        assert!((t.t_d.value() - 363.0).abs() < 1e-9);
+        assert!((t.t_r.value() - 6033.0 / 18.0).abs() < 1e-9);
+        assert_eq!(t.r_ee, Ohms::new(18.0));
+        assert_eq!(t.total_cap, Farads::new(22.0));
+    }
+
+    #[test]
+    fn delay_bounds_reproduce_figure10_table() {
+        let (tree, out) = figure7_tree();
+        let t = characteristic_times(&tree, out).unwrap();
+        for &(threshold, t_min, t_max) in FIG10_DELAY_TABLE {
+            let b = t.delay_bounds(threshold).unwrap();
+            // The paper prints 5 significant digits; allow 0.1% slack.
+            let tol_min = (t_min.abs() * 1e-3).max(0.05);
+            let tol_max = t_max.abs() * 1e-3;
+            assert!(
+                (b.lower.value() - t_min).abs() < tol_min,
+                "T_MIN({threshold}) = {} vs paper {t_min}",
+                b.lower.value()
+            );
+            assert!(
+                (b.upper.value() - t_max).abs() < tol_max,
+                "T_MAX({threshold}) = {} vs paper {t_max}",
+                b.upper.value()
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_bounds_reproduce_figure10_table() {
+        let (tree, out) = figure7_tree();
+        let t = characteristic_times(&tree, out).unwrap();
+        for &(time, v_min, v_max) in FIG10_VOLTAGE_TABLE {
+            let b = t
+                .voltage_bounds(rctree_core::units::Seconds::new(time))
+                .unwrap();
+            assert!(
+                (b.lower - v_min).abs() < 6e-4,
+                "V_MIN({time}) = {} vs paper {v_min}",
+                b.lower
+            );
+            assert!(
+                (b.upper - v_max).abs() < 6e-4,
+                "V_MAX({time}) = {} vs paper {v_max}",
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn named_nodes_exist() {
+        let (tree, out) = figure7_tree();
+        assert_eq!(tree.node_by_name(OUTPUT_NAME).unwrap(), out);
+        assert!(tree.node_by_name(SIDE_NAME).is_ok());
+        assert!(tree.node_by_name(STEM_NAME).is_ok());
+        assert_eq!(tree.node_count(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Symmetric H-tree clock-distribution networks.
+//!
+//! Clock distribution is the classic consumer of RC-tree delay bounds: a
+//! driver feeds a binary tree of wires whose leaves are the clocked
+//! elements, and the designer must certify that every leaf switches within
+//! the clock budget (the paper's third use-case).  The H-tree generator
+//! produces a symmetric binary tree of `levels` levels in which the wire
+//! segments halve in length (and therefore resistance and capacitance) at
+//! every level, as in a physical H-tree layout.
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::tree::{NodeId, RcTree};
+use rctree_core::units::{Farads, Ohms};
+
+/// Parameters of an H-tree clock network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HTreeParams {
+    /// Driver (clock buffer) output resistance (Ω).
+    pub driver_resistance: f64,
+    /// Resistance of the top-level wire segment (Ω); each level halves it.
+    pub top_segment_resistance: f64,
+    /// Capacitance of the top-level wire segment (F); each level halves it.
+    pub top_segment_capacitance: f64,
+    /// Load capacitance at every leaf (F).
+    pub leaf_capacitance: f64,
+    /// Number of branching levels (the tree has `2^levels` leaves).
+    pub levels: usize,
+}
+
+impl Default for HTreeParams {
+    fn default() -> Self {
+        HTreeParams {
+            driver_resistance: 100.0,
+            top_segment_resistance: 200.0,
+            top_segment_capacitance: 0.2e-12,
+            leaf_capacitance: 0.02e-12,
+            levels: 4,
+        }
+    }
+}
+
+/// Builds the H-tree and returns it together with its leaf nodes (all marked
+/// as outputs).
+///
+/// # Panics
+///
+/// Panics if `params.levels` is zero.
+pub fn h_tree(params: HTreeParams) -> (RcTree, Vec<NodeId>) {
+    assert!(params.levels > 0, "an H-tree needs at least one level");
+    let mut b = RcTreeBuilder::new();
+    let root = b
+        .add_resistor(b.input(), "buffer", Ohms::new(params.driver_resistance))
+        .expect("static construction");
+
+    let mut frontier = vec![root];
+    let mut leaves = Vec::new();
+    for level in 0..params.levels {
+        let scale = 0.5_f64.powi(level as i32);
+        let r = Ohms::new(params.top_segment_resistance * scale);
+        let c = Farads::new(params.top_segment_capacitance * scale);
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (i, &parent) in frontier.iter().enumerate() {
+            for side in ["l", "r"] {
+                let name = format!("n{level}_{i}{side}");
+                let child = b.add_line(parent, name, r, c).expect("static construction");
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    for &leaf in &frontier {
+        b.add_capacitance(leaf, Farads::new(params.leaf_capacitance))
+            .expect("static construction");
+        b.mark_output(leaf).expect("static construction");
+        leaves.push(leaf);
+    }
+    let tree = b.build().expect("static construction");
+    (tree, leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::analysis::TreeAnalysis;
+    use rctree_core::moments::characteristic_times;
+
+    #[test]
+    fn leaf_count_is_two_to_the_levels() {
+        for levels in 1..=5 {
+            let (_, leaves) = h_tree(HTreeParams {
+                levels,
+                ..HTreeParams::default()
+            });
+            assert_eq!(leaves.len(), 1 << levels);
+        }
+    }
+
+    #[test]
+    fn symmetric_tree_has_identical_leaf_delays() {
+        let (tree, leaves) = h_tree(HTreeParams::default());
+        let first = characteristic_times(&tree, leaves[0]).unwrap();
+        for &leaf in &leaves[1..] {
+            let t = characteristic_times(&tree, leaf).unwrap();
+            assert!((t.t_d.value() - first.t_d.value()).abs() < 1e-12 * first.t_d.value());
+            assert!((t.t_r.value() - first.t_r.value()).abs() < 1e-12 * first.t_r.value());
+        }
+    }
+
+    #[test]
+    fn whole_tree_analysis_certifies_uniformly() {
+        let (tree, _) = h_tree(HTreeParams::default());
+        let analysis = TreeAnalysis::of(&tree).unwrap();
+        let worst = analysis.worst_delay_upper_bound(0.9).unwrap();
+        // With a comfortable budget every leaf passes.
+        let verdict = analysis
+            .certify_all(0.9, worst + rctree_core::units::Seconds::from_pico(1.0))
+            .unwrap();
+        assert!(verdict.is_pass());
+    }
+
+    #[test]
+    fn deeper_trees_are_slower() {
+        let delay = |levels: usize| {
+            let (tree, leaves) = h_tree(HTreeParams {
+                levels,
+                ..HTreeParams::default()
+            });
+            characteristic_times(&tree, leaves[0]).unwrap().t_d
+        };
+        assert!(delay(3) > delay(2));
+        assert!(delay(4) > delay(3));
+    }
+
+    #[test]
+    fn node_count_matches_structure() {
+        let levels = 3;
+        let (tree, _) = h_tree(HTreeParams {
+            levels,
+            ..HTreeParams::default()
+        });
+        // input + buffer + sum_{l=1..levels} 2^l internal/leaf nodes.
+        let expected = 2 + (2usize.pow(levels as u32 + 1) - 2);
+        assert_eq!(tree.node_count(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = h_tree(HTreeParams {
+            levels: 0,
+            ..HTreeParams::default()
+        });
+    }
+}

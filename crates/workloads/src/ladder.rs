@@ -1,0 +1,125 @@
+//! Uniform RC ladders and distributed lines.
+//!
+//! Section III notes two useful special cases: for RC trees without side
+//! branches `T_De = T_P`, and for a single uniform RC line
+//! `T_P = T_De = RC/2`, `T_Re = RC/3`.  These generators produce both the
+//! lumped ladder approximation (n sections of R/n and C/n) and the single
+//! distributed line, which the tests and benchmarks use to check convergence
+//! of the ladder towards the distributed limit.
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::tree::{NodeId, RcTree};
+use rctree_core::units::{Farads, Ohms};
+
+/// A uniform RC ladder: `sections` lumped R–C sections approximating a line
+/// with the given total resistance and capacitance.  The far end is the
+/// output.
+///
+/// # Panics
+///
+/// Panics if `sections` is zero.
+pub fn rc_ladder(total_r: Ohms, total_c: Farads, sections: usize) -> (RcTree, NodeId) {
+    assert!(sections > 0, "a ladder needs at least one section");
+    let r_seg = Ohms::new(total_r.value() / sections as f64);
+    let c_seg = Farads::new(total_c.value() / sections as f64);
+    let mut b = RcTreeBuilder::new();
+    let mut prev = b.input();
+    for i in 1..=sections {
+        prev = b
+            .add_resistor(prev, format!("n{i}"), r_seg)
+            .expect("static construction");
+        b.add_capacitance(prev, c_seg).expect("static construction");
+    }
+    b.mark_output(prev).expect("static construction");
+    let tree = b.build().expect("static construction");
+    let out = tree.outputs().next().expect("one output");
+    (tree, out)
+}
+
+/// A single uniform distributed RC line with the far end as the output.
+pub fn distributed_line(total_r: Ohms, total_c: Farads) -> (RcTree, NodeId) {
+    let mut b = RcTreeBuilder::new();
+    let end = b
+        .add_line(b.input(), "end", total_r, total_c)
+        .expect("static construction");
+    b.mark_output(end).expect("static construction");
+    let tree = b.build().expect("static construction");
+    (tree, end)
+}
+
+/// A chain of identical lumped driver/wire/load stages, useful for scaling
+/// benchmarks: `stages` repetitions of a resistor `r` followed by a
+/// capacitor `c`, with every stage boundary marked as an output.
+pub fn repeated_chain(r: Ohms, c: Farads, stages: usize) -> RcTree {
+    assert!(stages > 0, "a chain needs at least one stage");
+    let mut b = RcTreeBuilder::new();
+    let mut prev = b.input();
+    for i in 1..=stages {
+        prev = b
+            .add_resistor(prev, format!("stage{i}"), r)
+            .expect("static construction");
+        b.add_capacitance(prev, c).expect("static construction");
+        b.mark_output(prev).expect("static construction");
+    }
+    b.build().expect("static construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::moments::characteristic_times;
+
+    #[test]
+    fn distributed_line_matches_paper_constants() {
+        let (tree, out) = distributed_line(Ohms::new(2.0), Farads::new(6.0));
+        let t = characteristic_times(&tree, out).unwrap();
+        let rc = 12.0;
+        assert!((t.t_p.value() - rc / 2.0).abs() < 1e-12);
+        assert!((t.t_d.value() - rc / 2.0).abs() < 1e-12);
+        assert!((t.t_r.value() - rc / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_converges_to_distributed_line() {
+        let (line, line_out) = distributed_line(Ohms::new(10.0), Farads::new(4.0));
+        let exact = characteristic_times(&line, line_out).unwrap();
+        let mut prev_err = f64::INFINITY;
+        for sections in [2, 8, 32, 128] {
+            let (ladder, out) = rc_ladder(Ohms::new(10.0), Farads::new(4.0), sections);
+            let t = characteristic_times(&ladder, out).unwrap();
+            let err = (t.t_d.value() - exact.t_d.value()).abs()
+                + (t.t_r.value() - exact.t_r.value()).abs();
+            assert!(err < prev_err, "error should shrink with more sections");
+            prev_err = err;
+        }
+        // 128 sections approximate the distributed limit to better than 2%
+        // of the Elmore delay (the ladder error decays as 1/n).
+        assert!(prev_err < 0.02 * exact.t_d.value());
+    }
+
+    #[test]
+    fn ladder_is_a_chain_so_td_equals_tp() {
+        let (ladder, out) = rc_ladder(Ohms::new(5.0), Farads::new(3.0), 10);
+        let t = characteristic_times(&ladder, out).unwrap();
+        assert!((t.t_p.value() - t.t_d.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_chain_marks_every_stage_as_output() {
+        let tree = repeated_chain(Ohms::new(1.0), Farads::new(1.0), 5);
+        assert_eq!(tree.outputs().count(), 5);
+        assert_eq!(tree.node_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one section")]
+    fn zero_section_ladder_panics() {
+        let _ = rc_ladder(Ohms::new(1.0), Farads::new(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_chain_panics() {
+        let _ = repeated_chain(Ohms::new(1.0), Farads::new(1.0), 0);
+    }
+}

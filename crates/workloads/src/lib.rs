@@ -1,0 +1,44 @@
+//! # rctree-workloads
+//!
+//! Workload generators for the Penfield–Rubinstein reproduction: the paper's
+//! own example networks (Figures 3 and 7, the PLA line of Figure 12, the MOS
+//! fan-out of Figures 1–2), the 1981 technology model of Section V, and
+//! synthetic generators (uniform ladders, H-tree clock networks, seeded
+//! random trees) used by the tests and benchmarks.
+//!
+//! ```
+//! use rctree_workloads::fig7::figure7_tree;
+//! use rctree_core::moments::characteristic_times;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (tree, out) = figure7_tree();
+//! let times = characteristic_times(&tree, out)?;
+//! let bounds = times.delay_bounds(0.5)?;
+//! // Figure 10: the 50% threshold is reached between 184.23 s and 314.15 s.
+//! assert!((bounds.lower.value() - 184.23).abs() < 0.1);
+//! assert!((bounds.upper.value() - 314.15).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod fig3;
+pub mod fig7;
+pub mod htree;
+pub mod ladder;
+pub mod mos_net;
+pub mod pla;
+pub mod random;
+pub mod tech;
+
+pub use crate::fig3::{figure3_tree, Figure3Nodes, Figure3Values};
+pub use crate::fig7::{figure7_expr, figure7_tree, FIG10_DELAY_TABLE, FIG10_VOLTAGE_TABLE};
+pub use crate::htree::{h_tree, HTreeParams};
+pub use crate::ladder::{distributed_line, rc_ladder, repeated_chain};
+pub use crate::mos_net::{mos_fanout_tree, representative_mos_fanout, MosNetOutputs, MosNetParams};
+pub use crate::pla::{PlaLine, PlaLineParams};
+pub use crate::random::RandomTreeConfig;
+pub use crate::tech::Technology;

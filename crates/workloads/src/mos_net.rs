@@ -1,0 +1,238 @@
+//! The MOS signal-distribution network of Figures 1–2.
+//!
+//! Figure 1 of the paper shows a typical MOS fan-out situation: an inverter
+//! drives three gates (A, B, C), some through long polysilicon runs, one via
+//! a metal line whose resistance is negligible but whose capacitance is not.
+//! Figure 2 is its linear model: the pull-up is replaced by a linear
+//! resistor, the poly runs by uniform RC lines, and the gates / contact cuts
+//! / source diffusion by lumped capacitors.
+//!
+//! The paper gives no numeric values for this network, so the generator
+//! derives representative ones from the Section V technology model
+//! (30 Ω/□ poly, 400 Å gate oxide) and typical 1981 dimensions.  All
+//! parameters can be overridden for experimentation.
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::tree::{NodeId, RcTree};
+use rctree_core::units::{Farads, Ohms};
+
+use crate::tech::{microns, Technology};
+
+/// Geometric/electrical description of the Figure 1 fan-out network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosNetParams {
+    /// Effective pull-up resistance of the driving inverter (Ω).
+    pub pullup_resistance: f64,
+    /// Capacitance at the inverter output (source diffusion + contact) (F).
+    pub driver_capacitance: f64,
+    /// Length of the poly run to gate A (m).
+    pub poly_to_a: f64,
+    /// Length of the poly run to gate B (m).
+    pub poly_to_b: f64,
+    /// Length of the shared poly trunk before the fan-out point (m).
+    pub poly_trunk: f64,
+    /// Length of the metal line to gate C (m) — contributes capacitance only.
+    pub metal_to_c: f64,
+    /// Width of all poly wires (m).
+    pub poly_width: f64,
+    /// Gate side length for the driven transistors (m).
+    pub gate_size: f64,
+    /// Metal capacitance per unit length (F/m).
+    pub metal_cap_per_length: f64,
+}
+
+impl MosNetParams {
+    /// Representative 1981 values: a 10 kΩ depletion pull-up driving ~1 mm
+    /// of interconnect, the regime the introduction calls out ("wiring
+    /// lengths as short as 1 mm, with 4-micron minimum feature size").
+    pub fn representative() -> Self {
+        MosNetParams {
+            pullup_resistance: 10_000.0,
+            driver_capacitance: 0.05e-12,
+            poly_trunk: microns(200.0),
+            poly_to_a: microns(800.0),
+            poly_to_b: microns(400.0),
+            metal_to_c: microns(1000.0),
+            poly_width: microns(4.0),
+            gate_size: microns(4.0),
+            // ~0.03 fF/µm is a reasonable 1981 metal-over-field value.
+            metal_cap_per_length: 0.03e-15 / 1e-6,
+        }
+    }
+}
+
+impl Default for MosNetParams {
+    fn default() -> Self {
+        Self::representative()
+    }
+}
+
+/// Handles on the output nodes of the generated fan-out network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MosNetOutputs {
+    /// Gate A, at the end of the long poly run.
+    pub gate_a: NodeId,
+    /// Gate B, at the end of the shorter poly run.
+    pub gate_b: NodeId,
+    /// Gate C, reached through the metal line.
+    pub gate_c: NodeId,
+}
+
+/// Builds the Figure 1/2 fan-out network from the given parameters and
+/// technology.
+pub fn mos_fanout_tree(params: MosNetParams, tech: &Technology) -> (RcTree, MosNetOutputs) {
+    let gate_cap = tech.gate_capacitance(params.gate_size, params.gate_size);
+
+    let mut b = RcTreeBuilder::new();
+    // Pull-up resistor to the inverter output node.
+    let drv = b
+        .add_resistor(b.input(), "inverter_out", Ohms::new(params.pullup_resistance))
+        .expect("static construction");
+    b.add_capacitance(drv, Farads::new(params.driver_capacitance))
+        .expect("static construction");
+
+    // Shared poly trunk to the fan-out point.
+    let trunk = b
+        .add_line(
+            drv,
+            "trunk",
+            tech.poly_wire_resistance(params.poly_trunk, params.poly_width),
+            tech.poly_wire_capacitance(params.poly_trunk, params.poly_width),
+        )
+        .expect("static construction");
+
+    // Branch A: long poly run.
+    let gate_a = b
+        .add_line(
+            trunk,
+            "gate_a",
+            tech.poly_wire_resistance(params.poly_to_a, params.poly_width),
+            tech.poly_wire_capacitance(params.poly_to_a, params.poly_width),
+        )
+        .expect("static construction");
+    b.add_capacitance(gate_a, gate_cap).expect("static construction");
+    b.mark_output(gate_a).expect("static construction");
+
+    // Branch B: shorter poly run.
+    let gate_b = b
+        .add_line(
+            trunk,
+            "gate_b",
+            tech.poly_wire_resistance(params.poly_to_b, params.poly_width),
+            tech.poly_wire_capacitance(params.poly_to_b, params.poly_width),
+        )
+        .expect("static construction");
+    b.add_capacitance(gate_b, gate_cap).expect("static construction");
+    b.mark_output(gate_b).expect("static construction");
+
+    // Branch C: metal line — resistance neglected, capacitance kept
+    // (paper: "The resistance of the metal line is neglected, but its
+    // parasitic capacitance remains").
+    let gate_c = b
+        .add_line(
+            drv,
+            "gate_c",
+            Ohms::ZERO,
+            Farads::new(params.metal_cap_per_length * params.metal_to_c),
+        )
+        .expect("static construction");
+    b.add_capacitance(gate_c, gate_cap).expect("static construction");
+    b.mark_output(gate_c).expect("static construction");
+
+    let tree = b.build().expect("static construction");
+    (
+        tree,
+        MosNetOutputs {
+            gate_a,
+            gate_b,
+            gate_c,
+        },
+    )
+}
+
+/// Convenience constructor with the representative parameters and the
+/// paper's technology.
+pub fn representative_mos_fanout() -> (RcTree, MosNetOutputs) {
+    mos_fanout_tree(MosNetParams::representative(), &Technology::paper_1981())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::analysis::TreeAnalysis;
+    use rctree_core::moments::characteristic_times;
+    use rctree_core::units::Seconds;
+
+    #[test]
+    fn network_has_three_outputs() {
+        let (tree, outs) = representative_mos_fanout();
+        let marked: Vec<NodeId> = tree.outputs().collect();
+        assert_eq!(marked.len(), 3);
+        assert!(marked.contains(&outs.gate_a));
+        assert!(marked.contains(&outs.gate_b));
+        assert!(marked.contains(&outs.gate_c));
+    }
+
+    #[test]
+    fn long_poly_branch_is_the_slowest() {
+        let (tree, outs) = representative_mos_fanout();
+        let a = characteristic_times(&tree, outs.gate_a).unwrap();
+        let b = characteristic_times(&tree, outs.gate_b).unwrap();
+        let c = characteristic_times(&tree, outs.gate_c).unwrap();
+        assert!(a.t_d > b.t_d);
+        assert!(b.t_d > c.t_d);
+        let analysis = TreeAnalysis::of(&tree).unwrap();
+        assert_eq!(analysis.critical_output().node, outs.gate_a);
+    }
+
+    #[test]
+    fn delays_are_in_the_nanosecond_regime() {
+        // The introduction motivates the method with interconnect delay
+        // "comparable to or longer than active-device delay" at ~1 mm wire
+        // lengths; the representative network should land in the ns range.
+        let (tree, outs) = representative_mos_fanout();
+        let t = characteristic_times(&tree, outs.gate_a).unwrap();
+        let b = t.delay_bounds(0.7).unwrap();
+        assert!(b.upper > Seconds::from_nano(0.1));
+        assert!(b.upper < Seconds::from_nano(1000.0));
+    }
+
+    #[test]
+    fn bounds_are_tight_when_pullup_dominates() {
+        // "The results ... are very tight in the case where most of the
+        // resistance is in the pullup."  Compare the relative bound width of
+        // the default network against one whose pull-up dominates even more.
+        let tech = Technology::paper_1981();
+        let mut weak = MosNetParams::representative();
+        weak.pullup_resistance = 100_000.0;
+        let (tree_dom, outs_dom) = mos_fanout_tree(weak, &tech);
+        let (tree_std, outs_std) = representative_mos_fanout();
+        let width = |tree: &RcTree, out: NodeId| {
+            characteristic_times(tree, out)
+                .unwrap()
+                .delay_bounds(0.5)
+                .unwrap()
+                .relative_uncertainty()
+        };
+        assert!(width(&tree_dom, outs_dom.gate_a) < width(&tree_std, outs_std.gate_a));
+    }
+
+    #[test]
+    fn metal_branch_has_zero_path_resistance_beyond_driver() {
+        let (tree, outs) = representative_mos_fanout();
+        let r = tree.resistance_from_input(outs.gate_c).unwrap();
+        assert_eq!(
+            r,
+            Ohms::new(MosNetParams::representative().pullup_resistance)
+        );
+    }
+
+    #[test]
+    fn all_outputs_satisfy_the_ordering_invariant() {
+        let (tree, _) = representative_mos_fanout();
+        for out in tree.outputs().collect::<Vec<_>>() {
+            let t = characteristic_times(&tree, out).unwrap();
+            assert!(t.satisfies_ordering());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The PLA polysilicon-line workload of Section V / Figures 12–13.
+//!
+//! The paper estimates whether the dominant delay of a PLA lies in the
+//! polysilicon lines that drive its AND plane.  A superbuffer with 380 Ω
+//! effective pull-up resistance (and 0.04 pF of output capacitance) drives a
+//! poly line; "the gates are assumed to be 4 microns square, separated by
+//! 24 microns of RC line", and "every second minterm has a transistor
+//! present", so one line *section* accounts for two minterms and consists of
+//! a 180 Ω / 0.01 pF wire segment followed by a 30 Ω / 0.013 pF gate
+//! crossing (the APL function `PLALINE`, Figure 12).
+//!
+//! Figure 13 then plots the delay bounds at a 0.7·V_DD threshold against the
+//! number of minterms (2 … 100) on log-log axes, showing the quadratic
+//! growth and the headline claim that "even with as many as a hundred
+//! minterms, the delay is guaranteed to be no worse than 10 nsec".
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::expr::NetworkExpr;
+use rctree_core::tree::{NodeId, RcTree};
+use rctree_core::units::{Farads, Ohms};
+
+use crate::tech::{microns, Technology};
+
+/// Electrical parameters of one PLA line, in SI units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaLineParams {
+    /// Effective pull-up resistance of the superbuffer driver (Ω).
+    pub driver_resistance: f64,
+    /// Effective output capacitance of the driver (F).
+    pub driver_capacitance: f64,
+    /// Resistance of the 24 µm wire segment between gates (Ω).
+    pub segment_resistance: f64,
+    /// Capacitance of the 24 µm wire segment between gates (F).
+    pub segment_capacitance: f64,
+    /// Resistance of the poly crossing over one gate (Ω).
+    pub gate_resistance: f64,
+    /// Capacitance of one gate (F).
+    pub gate_capacitance: f64,
+}
+
+impl PlaLineParams {
+    /// The values quoted in Section V of the paper: 380 Ω / 0.04 pF driver,
+    /// 180 Ω / 0.01 pF per wire segment, 30 Ω / 0.013 pF per gate.
+    pub fn paper_values() -> Self {
+        PlaLineParams {
+            driver_resistance: 380.0,
+            driver_capacitance: 0.04e-12,
+            segment_resistance: 180.0,
+            segment_capacitance: 0.01e-12,
+            gate_resistance: 30.0,
+            gate_capacitance: 0.013e-12,
+        }
+    }
+
+    /// Derives the wire and gate parasitics from the technology model
+    /// (4 µm × 4 µm gates on a 24 µm pitch), keeping the paper's driver
+    /// values.
+    pub fn from_technology(tech: &Technology) -> Self {
+        let seg_len = microns(24.0);
+        let width = microns(4.0);
+        let gate = microns(4.0);
+        PlaLineParams {
+            driver_resistance: 380.0,
+            driver_capacitance: 0.04e-12,
+            segment_resistance: tech.poly_wire_resistance(seg_len, width).value(),
+            segment_capacitance: tech.poly_wire_capacitance(seg_len, width).value(),
+            gate_resistance: tech.gate_crossing_resistance(gate, gate).value(),
+            gate_capacitance: tech.gate_capacitance(gate, gate).value(),
+        }
+    }
+}
+
+impl Default for PlaLineParams {
+    fn default() -> Self {
+        Self::paper_values()
+    }
+}
+
+/// A generated PLA line model for a given number of minterms.
+#[derive(Debug, Clone)]
+pub struct PlaLine {
+    params: PlaLineParams,
+    minterms: usize,
+    sections: usize,
+}
+
+impl PlaLine {
+    /// Creates the model for `minterms` minterms with the paper's values.
+    ///
+    /// One section covers two minterms (the paper assumes "every second
+    /// minterm has a transistor present"), so the number of sections is
+    /// `ceil(minterms / 2)`, matching the APL loop of Figure 12.
+    pub fn new(minterms: usize) -> Self {
+        Self::with_params(minterms, PlaLineParams::paper_values())
+    }
+
+    /// Creates the model with explicit electrical parameters.
+    pub fn with_params(minterms: usize, params: PlaLineParams) -> Self {
+        let sections = minterms.div_ceil(2);
+        PlaLine {
+            params,
+            minterms,
+            sections,
+        }
+    }
+
+    /// Number of minterms this line serves.
+    pub fn minterms(&self) -> usize {
+        self.minterms
+    }
+
+    /// Number of wire+gate sections in the model.
+    pub fn sections(&self) -> usize {
+        self.sections
+    }
+
+    /// The electrical parameters used.
+    pub fn params(&self) -> &PlaLineParams {
+        &self.params
+    }
+
+    /// The line as a wiring-algebra expression, mirroring the APL `PLALINE`
+    /// function of Figure 12: driver, then one `(wire WC gate)` block per
+    /// section.
+    pub fn expr(&self) -> NetworkExpr {
+        let p = &self.params;
+        let mut expr = NetworkExpr::resistor(Ohms::new(p.driver_resistance))
+            .cascade(NetworkExpr::capacitor(Farads::new(p.driver_capacitance)));
+        for _ in 0..self.sections {
+            expr = expr
+                .cascade(NetworkExpr::line(
+                    Ohms::new(p.segment_resistance),
+                    Farads::new(p.segment_capacitance),
+                ))
+                .cascade(NetworkExpr::line(
+                    Ohms::new(p.gate_resistance),
+                    Farads::new(p.gate_capacitance),
+                ));
+        }
+        expr
+    }
+
+    /// The line as an explicit [`RcTree`] with the far end marked as the
+    /// output (the last gate on the line — the worst case).
+    pub fn tree(&self) -> (RcTree, NodeId) {
+        let p = &self.params;
+        let mut b = RcTreeBuilder::new();
+        let drv = b
+            .add_resistor(b.input(), "driver", Ohms::new(p.driver_resistance))
+            .expect("static construction");
+        b.add_capacitance(drv, Farads::new(p.driver_capacitance))
+            .expect("static construction");
+        let mut prev = drv;
+        for i in 1..=self.sections {
+            let wire = b
+                .add_line(
+                    prev,
+                    format!("wire{i}"),
+                    Ohms::new(p.segment_resistance),
+                    Farads::new(p.segment_capacitance),
+                )
+                .expect("static construction");
+            let gate = b
+                .add_line(
+                    wire,
+                    format!("gate{i}"),
+                    Ohms::new(p.gate_resistance),
+                    Farads::new(p.gate_capacitance),
+                )
+                .expect("static construction");
+            prev = gate;
+        }
+        b.mark_output(prev).expect("static construction");
+        let tree = b.build().expect("static construction");
+        let out = tree.outputs().next().expect("one output");
+        (tree, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rctree_core::moments::characteristic_times;
+    use rctree_core::units::Seconds;
+
+    #[test]
+    fn section_count_matches_figure12_loop() {
+        assert_eq!(PlaLine::new(2).sections(), 1);
+        assert_eq!(PlaLine::new(3).sections(), 2);
+        assert_eq!(PlaLine::new(4).sections(), 2);
+        assert_eq!(PlaLine::new(100).sections(), 50);
+        assert_eq!(PlaLine::new(100).minterms(), 100);
+    }
+
+    #[test]
+    fn expr_and_tree_agree() {
+        let line = PlaLine::new(20);
+        let (tree, out) = line.tree();
+        let from_tree = characteristic_times(&tree, out).unwrap();
+        let from_expr = line.expr().evaluate().characteristic_times().unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
+        assert!(rel(from_tree.t_p.value(), from_expr.t_p.value()) < 1e-12);
+        assert!(rel(from_tree.t_d.value(), from_expr.t_d.value()) < 1e-12);
+        assert!(rel(from_tree.t_r.value(), from_expr.t_r.value()) < 1e-12);
+    }
+
+    #[test]
+    fn hundred_minterm_delay_is_about_10ns() {
+        // The headline claim of Section V: "even with as many as a hundred
+        // minterms, the delay is guaranteed to be no worse than 10 nsec"
+        // at the 0.7·V_DD threshold.  With the rounded element values quoted
+        // in the text (0.01 pF / 0.013 pF) the computed upper bound lands at
+        // 10.04 ns — the paper's round 10 ns claim reproduces to well within
+        // the precision of its own rounded inputs.
+        let (tree, out) = PlaLine::new(100).tree();
+        let t = characteristic_times(&tree, out).unwrap();
+        let bounds = t.delay_bounds(0.7).unwrap();
+        assert!(
+            bounds.upper <= Seconds::from_nano(10.5),
+            "upper bound {} is far above the paper's 10 ns claim",
+            bounds.upper
+        );
+        assert!(bounds.upper >= Seconds::from_nano(5.0), "suspiciously fast");
+    }
+
+    #[test]
+    fn delay_grows_roughly_quadratically() {
+        // Doubling the line length should roughly quadruple the delay once
+        // the line resistance dominates the fixed driver resistance.
+        let upper = |minterms: usize| {
+            let (tree, out) = PlaLine::new(minterms).tree();
+            characteristic_times(&tree, out)
+                .unwrap()
+                .delay_bounds(0.7)
+                .unwrap()
+                .upper
+                .value()
+        };
+        let d50 = upper(50);
+        let d100 = upper(100);
+        let ratio = d100 / d50;
+        assert!(
+            ratio > 2.5 && ratio < 4.5,
+            "expected roughly quadratic growth, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn technology_derived_params_are_close_to_paper_values() {
+        let derived = PlaLineParams::from_technology(&Technology::paper_1981());
+        let paper = PlaLineParams::paper_values();
+        assert!((derived.segment_resistance - paper.segment_resistance).abs() < 1.0);
+        assert!((derived.gate_resistance - paper.gate_resistance).abs() < 1.0);
+        // Capacitances agree to ~15% (the paper rounds to 2 significant digits).
+        let rel = |a: f64, b: f64| ((a - b) / b).abs();
+        assert!(rel(derived.segment_capacitance, paper.segment_capacitance) < 0.15);
+        assert!(rel(derived.gate_capacitance, paper.gate_capacitance) < 0.15);
+    }
+
+    #[test]
+    fn params_accessors() {
+        let line = PlaLine::with_params(10, PlaLineParams::paper_values());
+        assert_eq!(line.params().driver_resistance, 380.0);
+        assert_eq!(line.sections(), 5);
+    }
+
+    #[test]
+    fn bounds_bracket_for_every_sweep_point() {
+        for minterms in [2, 10, 40, 100] {
+            let (tree, out) = PlaLine::new(minterms).tree();
+            let t = characteristic_times(&tree, out).unwrap();
+            let b = t.delay_bounds(0.7).unwrap();
+            assert!(b.lower <= b.upper, "minterms={minterms}");
+            assert!(t.satisfies_ordering(), "minterms={minterms}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The 1981 NMOS technology model used in Section V of the paper.
+//!
+//! The paper derives its PLA numbers from process constants: "The poly
+//! resistance is assumed to be 30 ohms per square, the gate-oxide thickness
+//! 400 Angstroms, and the field-oxide thickness 3000 Angstroms", with
+//! 4-micron gates separated by 24 microns of RC line.  [`Technology`]
+//! encodes those constants and converts wire/gate geometry into the lumped
+//! R and C values the workload generators need, so that the PLA and MOS
+//! fan-out networks are generated from geometry exactly as a 1981 designer
+//! would have done rather than from magic numbers.
+
+use rctree_core::units::{Farads, Ohms};
+
+/// Permittivity of free space (F/m).
+const EPSILON_0: f64 = 8.854_187_8128e-12;
+/// Relative permittivity of SiO₂.
+const EPSILON_R_SIO2: f64 = 3.9;
+
+/// Process constants for interconnect parasitics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Polysilicon sheet resistance (ohms per square).
+    pub poly_sheet_resistance: f64,
+    /// Gate-oxide thickness in metres.
+    pub gate_oxide_thickness: f64,
+    /// Field-oxide thickness in metres.
+    pub field_oxide_thickness: f64,
+}
+
+impl Technology {
+    /// The process constants quoted in Section V of the paper
+    /// (30 Ω/□ poly, 400 Å gate oxide, 3000 Å field oxide).
+    pub fn paper_1981() -> Self {
+        Technology {
+            poly_sheet_resistance: 30.0,
+            gate_oxide_thickness: 400e-10,
+            field_oxide_thickness: 3000e-10,
+        }
+    }
+
+    /// Oxide capacitance per unit area (F/m²) for a conductor over the field
+    /// oxide.
+    pub fn field_cap_per_area(&self) -> f64 {
+        EPSILON_0 * EPSILON_R_SIO2 / self.field_oxide_thickness
+    }
+
+    /// Oxide capacitance per unit area (F/m²) for a transistor gate.
+    pub fn gate_cap_per_area(&self) -> f64 {
+        EPSILON_0 * EPSILON_R_SIO2 / self.gate_oxide_thickness
+    }
+
+    /// Series resistance of a polysilicon wire of the given length and width
+    /// (metres).
+    pub fn poly_wire_resistance(&self, length: f64, width: f64) -> Ohms {
+        Ohms::new(self.poly_sheet_resistance * length / width)
+    }
+
+    /// Capacitance to substrate of a polysilicon wire over field oxide.
+    pub fn poly_wire_capacitance(&self, length: f64, width: f64) -> Farads {
+        Farads::new(self.field_cap_per_area() * length * width)
+    }
+
+    /// Gate capacitance of a transistor of the given gate dimensions.
+    pub fn gate_capacitance(&self, length: f64, width: f64) -> Farads {
+        Farads::new(self.gate_cap_per_area() * length * width)
+    }
+
+    /// Resistance of the polysilicon crossing over a gate of the given
+    /// dimensions (the "30 ohms ... for each gate" of Section V: one square
+    /// of poly).
+    pub fn gate_crossing_resistance(&self, length: f64, width: f64) -> Ohms {
+        Ohms::new(self.poly_sheet_resistance * length / width)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::paper_1981()
+    }
+}
+
+/// Helper: converts microns to metres.
+pub fn microns(value: f64) -> f64 {
+    value * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_segment_resistance_is_180_ohms() {
+        // 24 µm of 4 µm-wide poly at 30 Ω/□ is 6 squares = 180 Ω.
+        let tech = Technology::paper_1981();
+        let r = tech.poly_wire_resistance(microns(24.0), microns(4.0));
+        assert!((r.value() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_segment_capacitance_is_about_0_01_pf() {
+        // "These numbers lead to a capacitance of 0.01 pF ... between gates".
+        let tech = Technology::paper_1981();
+        let c = tech.poly_wire_capacitance(microns(24.0), microns(4.0));
+        let pf = c.value() * 1e12;
+        assert!((pf - 0.011).abs() < 0.002, "got {pf} pF");
+    }
+
+    #[test]
+    fn paper_gate_capacitance_is_about_0_013_pf() {
+        // "a resistance of 30 ohms and capacitance of 0.013 pF for each gate"
+        // for a 4 µm × 4 µm gate over 400 Å oxide.
+        let tech = Technology::paper_1981();
+        let c = tech.gate_capacitance(microns(4.0), microns(4.0));
+        let pf = c.value() * 1e12;
+        assert!((pf - 0.0138).abs() < 0.002, "got {pf} pF");
+    }
+
+    #[test]
+    fn paper_gate_crossing_resistance_is_30_ohms() {
+        let tech = Technology::paper_1981();
+        let r = tech.gate_crossing_resistance(microns(4.0), microns(4.0));
+        assert!((r.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_oxide_is_denser_than_field_oxide() {
+        let tech = Technology::paper_1981();
+        assert!(tech.gate_cap_per_area() > tech.field_cap_per_area());
+        // The ratio equals the inverse thickness ratio (same dielectric).
+        let ratio = tech.gate_cap_per_area() / tech.field_cap_per_area();
+        assert!((ratio - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_the_paper_process() {
+        assert_eq!(Technology::default(), Technology::paper_1981());
+    }
+
+    #[test]
+    fn microns_helper() {
+        assert!((microns(24.0) - 24e-6).abs() < 1e-18);
+    }
+}

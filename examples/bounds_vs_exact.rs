@@ -1,0 +1,66 @@
+//! Figure 11: the Penfield–Rubinstein bounds bracketing the exact response.
+//!
+//! Recomputes the bound curves of the Figure 7 network and overlays the
+//! exact step response obtained from the modal (eigendecomposition) solver,
+//! printing a CSV table plus a coarse ASCII plot.
+//!
+//! Run with `cargo run --example bounds_vs_exact`.
+
+use penfield_rubinstein::core::moments::characteristic_times;
+use penfield_rubinstein::core::units::Seconds;
+use penfield_rubinstein::sim::modal::exact_step_response;
+use penfield_rubinstein::workloads::fig7::figure7_tree;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out)?;
+    // Distributed lines are discretized into 64 segments: far finer than
+    // needed for visual agreement with the true distributed response.
+    let exact = exact_step_response(&tree, out, 64, 600.0, 121)?;
+
+    println!("time_s,v_min,v_exact,v_max");
+    let mut rows = Vec::new();
+    for i in 0..=60 {
+        let t = 10.0 * i as f64;
+        let b = times.voltage_bounds(Seconds::new(t))?;
+        let v = exact.value_at(t);
+        println!("{t},{:.5},{:.5},{:.5}", b.lower, v, b.upper);
+        rows.push((t, b.lower, v, b.upper));
+    }
+
+    // Coarse ASCII rendering of Figure 11 (lower bound '-', exact '*',
+    // upper bound '+').
+    println!("\nFigure 11 (ASCII): x = time 0..600 s, y = normalized voltage");
+    let width = 61usize;
+    for level in (0..=10).rev() {
+        let y = level as f64 / 10.0;
+        let mut line = vec![' '; width];
+        for (i, &(_, lo, v, hi)) in rows.iter().enumerate() {
+            if (lo - y).abs() < 0.05 {
+                line[i] = '-';
+            }
+            if (hi - y).abs() < 0.05 {
+                line[i] = '+';
+            }
+            if (v - y).abs() < 0.05 {
+                line[i] = '*';
+            }
+        }
+        println!("{y:>4.1} |{}", line.into_iter().collect::<String>());
+    }
+    println!("     +{}", "-".repeat(width));
+
+    // Sanity summary.
+    let mut max_violation: f64 = 0.0;
+    for &(_, lo, v, hi) in &rows {
+        max_violation = max_violation.max(lo - v).max(v - hi);
+    }
+    println!("\nmax violation of v_min <= v_exact <= v_max: {max_violation:.2e} (should be ~0)");
+    println!(
+        "characteristic times: T_P = {} s, T_D = {} s, T_R = {:.3} s",
+        times.t_p.value(),
+        times.t_d.value(),
+        times.t_r.value()
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Certifying an H-tree clock network — the paper's third use-case
+//! ("certify that a circuit is fast enough, given both the maximum delay and
+//! the voltage threshold") applied to the classic clock-distribution
+//! problem, plus a multi-stage STA run over a small buffer chain.
+//!
+//! Run with `cargo run --example clock_tree_certify`.
+
+use penfield_rubinstein::core::analysis::TreeAnalysis;
+use penfield_rubinstein::core::units::{Farads, Ohms, Seconds};
+use penfield_rubinstein::sta::{CellLibrary, Design, Driver, Load, Net, Sink};
+use penfield_rubinstein::workloads::htree::{h_tree, HTreeParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Single-net certification of an H-tree -------------------------
+    let params = HTreeParams {
+        levels: 5,
+        ..HTreeParams::default()
+    };
+    let (tree, leaves) = h_tree(params);
+    println!(
+        "H-tree clock network: {} nodes, {} leaves",
+        tree.node_count(),
+        leaves.len()
+    );
+
+    let analysis = TreeAnalysis::of(&tree)?;
+    let worst = analysis.worst_delay_upper_bound(0.9)?;
+    println!(
+        "guaranteed worst-case 90% delay over all leaves: {:.3} ns",
+        worst.as_nano()
+    );
+    for budget_ns in [0.5, 1.0, 2.0, 5.0] {
+        let verdict = analysis.certify_all(0.9, Seconds::from_nano(budget_ns))?;
+        println!("  clock budget {budget_ns:>4} ns -> {verdict}");
+    }
+
+    // ---- Multi-stage STA over a buffer chain feeding the H-tree driver --
+    let mut design = Design::new(CellLibrary::nmos_1981());
+    design.add_instance("u_root", "inv_4x")?;
+    design.add_instance("u_buf", "buf_8x")?;
+
+    let wire = |r: f64, c_pf: f64| -> Result<_, Box<dyn std::error::Error>> {
+        let mut b = penfield_rubinstein::core::builder::RcTreeBuilder::new();
+        b.add_line(b.input(), "load", Ohms::new(r), Farads::from_pico(c_pf))?;
+        Ok(b.build()?)
+    };
+
+    design.add_net(Net {
+        name: "n_src".into(),
+        driver: Driver::PrimaryInput,
+        interconnect: wire(40.0, 0.01)?,
+        sinks: vec![Sink {
+            node: "load".into(),
+            load: Load::Instance("u_root".into()),
+        }],
+    })?;
+    design.add_net(Net {
+        name: "n_mid".into(),
+        driver: Driver::Instance("u_root".into()),
+        interconnect: wire(150.0, 0.05)?,
+        sinks: vec![Sink {
+            node: "load".into(),
+            load: Load::Instance("u_buf".into()),
+        }],
+    })?;
+    design.add_net(Net {
+        name: "n_clk".into(),
+        driver: Driver::Instance("u_buf".into()),
+        interconnect: wire(300.0, 0.4)?,
+        sinks: vec![Sink {
+            node: "load".into(),
+            load: Load::PrimaryOutput("clk_root".into()),
+        }],
+    })?;
+
+    let report = design.analyze(0.5, Seconds::from_nano(6.0))?;
+    println!("\n{report}");
+    Ok(())
+}

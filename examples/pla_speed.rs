@@ -1,0 +1,49 @@
+//! Section V of the paper: is the polysilicon line driving a PLA's AND
+//! plane the dominant source of delay?
+//!
+//! Sweeps the number of minterms from 2 to 100 and prints the delay bounds
+//! at the 0.7·V_DD threshold — the data behind Figure 13 — ending with the
+//! paper's headline observation that even a 100-minterm line stays around
+//! 10 ns, "suggesting that the dominant delay in a PLA occurs elsewhere".
+//!
+//! Run with `cargo run --example pla_speed`.
+
+use penfield_rubinstein::core::moments::characteristic_times;
+use penfield_rubinstein::workloads::pla::{PlaLine, PlaLineParams};
+use penfield_rubinstein::workloads::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("PLA AND-plane polysilicon line (Section V / Figures 12-13)");
+    println!("threshold: 0.7 * VDD\n");
+    println!("{:>9} {:>12} {:>12} {:>12}", "minterms", "t_min (ns)", "t_max (ns)", "elmore (ns)");
+
+    let mut minterms = 2usize;
+    while minterms <= 100 {
+        let (tree, out) = PlaLine::new(minterms).tree();
+        let times = characteristic_times(&tree, out)?;
+        let bounds = times.delay_bounds(0.7)?;
+        println!(
+            "{:>9} {:>12.4} {:>12.4} {:>12.4}",
+            minterms,
+            bounds.lower.as_nano(),
+            bounds.upper.as_nano(),
+            times.elmore_delay().as_nano()
+        );
+        minterms = if minterms < 10 { minterms + 2 } else { minterms + 10 };
+    }
+
+    // The same sweep with parasitics derived from the geometry/technology
+    // model instead of the paper's rounded constants.
+    let derived = PlaLineParams::from_technology(&Technology::paper_1981());
+    let (tree, out) = PlaLine::with_params(100, derived).tree();
+    let bounds = characteristic_times(&tree, out)?.delay_bounds(0.7)?;
+    println!(
+        "\nwith geometry-derived parasitics, 100 minterms: [{:.3}, {:.3}] ns",
+        bounds.lower.as_nano(),
+        bounds.upper.as_nano()
+    );
+    println!(
+        "paper's conclusion: ~10 ns worst case, so the dominant PLA delay is elsewhere."
+    );
+    Ok(())
+}

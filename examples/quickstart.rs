@@ -1,0 +1,62 @@
+//! Quick start: build a small fan-out net, compute the three characteristic
+//! times, and use them the three ways the paper's abstract lists —
+//! bound the delay, bound the voltage, and certify a timing budget.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use penfield_rubinstein::core::analysis::TreeAnalysis;
+use penfield_rubinstein::core::builder::RcTreeBuilder;
+use penfield_rubinstein::core::moments::characteristic_times;
+use penfield_rubinstein::core::units::{Farads, Ohms, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1 kΩ driver charges two gates: one nearby, one through a long
+    // polysilicon run (values are representative of the paper's 4 µm NMOS
+    // process).
+    let mut b = RcTreeBuilder::new();
+    let drv = b.add_resistor(b.input(), "driver_out", Ohms::new(1_000.0))?;
+    b.add_capacitance(drv, Farads::from_pico(0.05))?;
+
+    let near = b.add_line(drv, "near_gate", Ohms::new(60.0), Farads::from_pico(0.01))?;
+    b.add_capacitance(near, Farads::from_pico(0.013))?;
+    b.mark_output(near)?;
+
+    let far = b.add_line(drv, "far_gate", Ohms::new(1_800.0), Farads::from_pico(0.10))?;
+    b.add_capacitance(far, Farads::from_pico(0.013))?;
+    b.mark_output(far)?;
+
+    let tree = b.build()?;
+    println!("{tree}");
+
+    // (1) Bound the delay, given a threshold.
+    let far_times = characteristic_times(&tree, tree.node_by_name("far_gate")?)?;
+    println!(
+        "far gate:  T_P = {:.3} ns   T_D = {:.3} ns   T_R = {:.3} ns",
+        far_times.t_p.as_nano(),
+        far_times.t_d.as_nano(),
+        far_times.t_r.as_nano()
+    );
+    let delay = far_times.delay_bounds(0.5)?;
+    println!(
+        "50% delay of the far gate is guaranteed to lie in [{:.3}, {:.3}] ns",
+        delay.lower.as_nano(),
+        delay.upper.as_nano()
+    );
+
+    // (2) Bound the voltage, given a time.
+    let at_1ns = far_times.voltage_bounds(Seconds::from_nano(1.0))?;
+    println!(
+        "after 1 ns the far gate has charged to between {:.1}% and {:.1}% of V_DD",
+        100.0 * at_1ns.lower,
+        100.0 * at_1ns.upper
+    );
+
+    // (3) Certify the whole net against a budget.
+    let analysis = TreeAnalysis::of(&tree)?;
+    for budget_ns in [1.0, 3.0, 10.0] {
+        let verdict = analysis.certify_all(0.9, Seconds::from_nano(budget_ns))?;
+        println!("is every output at 90% within {budget_ns} ns?  -> {verdict}");
+    }
+
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Cross-validation of the three independent characteristic-time algorithms
+//! (direct per-capacitor, linear single-traversal, constructive two-port)
+//! and of the Elmore-delay fast path, across the workload generators.
+
+use penfield_rubinstein::core::elmore::elmore_delays;
+use penfield_rubinstein::core::moments::{characteristic_times, characteristic_times_direct};
+use penfield_rubinstein::workloads::htree::{h_tree, HTreeParams};
+use penfield_rubinstein::workloads::ladder::{distributed_line, rc_ladder};
+use penfield_rubinstein::workloads::pla::PlaLine;
+use penfield_rubinstein::workloads::random::RandomTreeConfig;
+use penfield_rubinstein::core::units::{Farads, Ohms};
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-30)
+}
+
+fn assert_algorithms_agree(tree: &penfield_rubinstein::core::RcTree, label: &str) {
+    let elmore = elmore_delays(tree).expect("analysable");
+    for out in tree.outputs().collect::<Vec<_>>() {
+        let fast = characteristic_times(tree, out).expect("fast");
+        let slow = characteristic_times_direct(tree, out).expect("direct");
+        assert!(rel(fast.t_p.value(), slow.t_p.value()) < 1e-9, "{label} T_P");
+        assert!(rel(fast.t_d.value(), slow.t_d.value()) < 1e-9, "{label} T_D");
+        assert!(rel(fast.t_r.value(), slow.t_r.value()) < 1e-9, "{label} T_R");
+        assert!(
+            rel(elmore[out.index()].value(), fast.t_d.value()) < 1e-9,
+            "{label} Elmore fast path"
+        );
+        assert!(fast.satisfies_ordering(), "{label} Eq. (7) ordering");
+    }
+}
+
+#[test]
+fn agreement_on_pla_lines() {
+    for minterms in [2, 10, 50, 100] {
+        let (tree, _) = PlaLine::new(minterms).tree();
+        assert_algorithms_agree(&tree, &format!("PLA {minterms} minterms"));
+    }
+}
+
+#[test]
+fn agreement_on_h_trees() {
+    for levels in 1..=5 {
+        let (tree, _) = h_tree(HTreeParams {
+            levels,
+            ..HTreeParams::default()
+        });
+        assert_algorithms_agree(&tree, &format!("H-tree {levels} levels"));
+    }
+}
+
+#[test]
+fn agreement_on_random_trees() {
+    for seed in 0..25 {
+        let tree = RandomTreeConfig {
+            nodes: 40,
+            ..RandomTreeConfig::default()
+        }
+        .generate(seed);
+        assert_algorithms_agree(&tree, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_on_ladders_and_lines() {
+    let (line, _) = distributed_line(Ohms::new(100.0), Farads::new(1e-12));
+    assert_algorithms_agree(&line, "distributed line");
+    for sections in [1, 4, 64] {
+        let (ladder, _) = rc_ladder(Ohms::new(100.0), Farads::new(1e-12), sections);
+        assert_algorithms_agree(&ladder, &format!("ladder {sections} sections"));
+    }
+}
+
+#[test]
+fn ladder_moments_converge_to_the_distributed_line() {
+    // The paper's closed-form distributed-line handling (RC/2, RC/3) is the
+    // n → ∞ limit of the lumped ladder; verify first-order convergence.
+    let (line, line_out) = distributed_line(Ohms::new(50.0), Farads::new(2e-12));
+    let exact = characteristic_times(&line, line_out).unwrap();
+    let mut errors = Vec::new();
+    for sections in [4, 8, 16, 32, 64] {
+        let (ladder, out) = rc_ladder(Ohms::new(50.0), Farads::new(2e-12), sections);
+        let t = characteristic_times(&ladder, out).unwrap();
+        errors.push(rel(t.t_d.value(), exact.t_d.value()));
+    }
+    for pair in errors.windows(2) {
+        // Halving the section size should roughly halve the error.
+        assert!(pair[1] < pair[0] * 0.7, "errors {errors:?}");
+    }
+}

@@ -1,0 +1,156 @@
+//! The central validity claim of the paper, checked against the exact
+//! simulator: for every RC tree and every time, the exact step response lies
+//! between the lower and upper Penfield–Rubinstein bounds, and the exact
+//! threshold-crossing time lies between `T_MIN` and `T_MAX`.
+
+use penfield_rubinstein::core::moments::characteristic_times;
+use penfield_rubinstein::core::units::Seconds;
+use penfield_rubinstein::sim::modal::ModalStepResponse;
+use penfield_rubinstein::sim::network::LumpedNetwork;
+use penfield_rubinstein::sim::transient::{simulate, InputSource, TransientOptions};
+use penfield_rubinstein::workloads::fig7::figure7_tree;
+use penfield_rubinstein::workloads::mos_net::representative_mos_fanout;
+use penfield_rubinstein::workloads::pla::PlaLine;
+use penfield_rubinstein::workloads::random::RandomTreeConfig;
+
+/// Segments used when discretizing distributed lines for exact simulation.
+/// Eight π-segments keep the discretization error well below `VOLTAGE_TOL`
+/// while keeping the Jacobi eigendecomposition fast enough for CI.
+const SEGMENTS: usize = 8;
+/// Tolerance on voltage comparisons, covering the discretization error of
+/// the distributed lines (which the bounds treat exactly).
+const VOLTAGE_TOL: f64 = 5e-3;
+
+/// Asserts that the modal (exact) response of `tree` respects the bounds at
+/// every output and a spread of times.
+fn assert_bounds_bracket_exact(tree: &penfield_rubinstein::core::RcTree, label: &str) {
+    let net = LumpedNetwork::from_tree(tree, SEGMENTS).expect("convertible");
+    let modal = ModalStepResponse::new(&net).expect("solvable");
+    for out in tree.outputs().collect::<Vec<_>>() {
+        let times = characteristic_times(tree, out).expect("analysable");
+        if times.t_d.is_zero() {
+            continue;
+        }
+        let idx = net
+            .index_of(out)
+            .expect("known node")
+            .expect("output is not the input");
+        // Sample times spanning the interesting range: up to several T_P.
+        for i in 1..=40 {
+            let t = times.t_p.value() * (i as f64) / 10.0;
+            let exact = modal.voltage(idx, t).expect("in range");
+            let b = times.voltage_bounds(Seconds::new(t)).expect("valid time");
+            assert!(
+                exact >= b.lower - VOLTAGE_TOL,
+                "{label}: exact {exact} below lower bound {} at t={t}",
+                b.lower
+            );
+            assert!(
+                exact <= b.upper + VOLTAGE_TOL,
+                "{label}: exact {exact} above upper bound {} at t={t}",
+                b.upper
+            );
+        }
+        // Threshold crossings bracketed by the delay bounds.
+        for threshold in [0.1, 0.5, 0.9] {
+            let crossing = modal.crossing_time(idx, threshold).expect("reaches threshold");
+            let bounds = times.delay_bounds(threshold).expect("valid threshold");
+            assert!(
+                crossing >= bounds.lower.value() * (1.0 - 5e-3) - 1e-15,
+                "{label}: crossing {crossing} before T_MIN {}",
+                bounds.lower
+            );
+            assert!(
+                crossing <= bounds.upper.value() * (1.0 + 5e-3) + 1e-15,
+                "{label}: crossing {crossing} after T_MAX {}",
+                bounds.upper
+            );
+        }
+    }
+}
+
+#[test]
+fn figure7_exact_response_respects_bounds() {
+    let (tree, _) = figure7_tree();
+    assert_bounds_bracket_exact(&tree, "figure 7");
+}
+
+#[test]
+fn pla_line_exact_response_respects_bounds() {
+    let (tree, _) = PlaLine::new(16).tree();
+    assert_bounds_bracket_exact(&tree, "PLA line, 16 minterms");
+}
+
+#[test]
+fn mos_fanout_exact_response_respects_bounds() {
+    let (tree, _) = representative_mos_fanout();
+    assert_bounds_bracket_exact(&tree, "MOS fan-out");
+}
+
+#[test]
+fn random_trees_exact_response_respects_bounds() {
+    for seed in 0..5 {
+        let tree = RandomTreeConfig {
+            nodes: 12,
+            ..RandomTreeConfig::default()
+        }
+        .generate(seed);
+        assert_bounds_bracket_exact(&tree, &format!("random tree seed {seed}"));
+    }
+}
+
+#[test]
+fn transient_and_modal_solvers_agree_on_figure7() {
+    // Independent cross-check of the two exact solvers.
+    let (tree, out) = figure7_tree();
+    let net = LumpedNetwork::from_tree(&tree, 16).unwrap();
+    let modal = ModalStepResponse::new(&net).unwrap();
+    let transient = simulate(&net, InputSource::Step, TransientOptions::new(0.05, 1500.0)).unwrap();
+    let idx = net.index_of(out).unwrap().unwrap();
+    let wave = transient.waveform(idx).unwrap();
+    for i in 1..=30 {
+        let t = 50.0 * i as f64;
+        let a = modal.voltage(idx, t).unwrap();
+        let b = wave.value_at(t);
+        assert!((a - b).abs() < 2e-3, "t={t}: modal {a} vs transient {b}");
+    }
+}
+
+#[test]
+fn simulated_step_response_is_monotone() {
+    // The paper proves monotonicity of the RC-tree step response; verify it
+    // on the simulator output for several workloads.  Backward Euler is
+    // used because it is L-stable: unlike the trapezoidal rule it cannot
+    // introduce numerical ringing around the fast poles, so any
+    // non-monotonicity would be a genuine modelling bug.
+    for (tree, label) in [
+        (figure7_tree().0, "figure 7"),
+        (PlaLine::new(10).tree().0, "PLA"),
+        (representative_mos_fanout().0, "MOS fan-out"),
+    ] {
+        let net = LumpedNetwork::from_tree(&tree, 4).unwrap();
+        let result = simulate(
+            &net,
+            InputSource::Step,
+            TransientOptions::new(1e-2 * scale_of(&tree), 20.0 * scale_of(&tree))
+                .with_method(penfield_rubinstein::sim::Method::BackwardEuler),
+        )
+        .unwrap();
+        for node in 0..net.node_count() {
+            let wave = result.waveform(node).unwrap();
+            assert!(
+                wave.is_monotone_nondecreasing(1e-7),
+                "{label}: node {node} is not monotone"
+            );
+        }
+    }
+}
+
+/// A characteristic time scale for choosing simulation grids per workload.
+fn scale_of(tree: &penfield_rubinstein::core::RcTree) -> f64 {
+    let out = tree.outputs().next().expect("has outputs");
+    characteristic_times(tree, out)
+        .expect("analysable")
+        .t_p
+        .value()
+}

@@ -1,0 +1,111 @@
+//! Regression test against every number printed in Figure 10 of the paper.
+//!
+//! The paper's Figure 10 lists, for the example network of Figure 7, the
+//! delay bounds `T_MIN`/`T_MAX` at nine thresholds and the voltage bounds
+//! `V_MIN`/`V_MAX` at eleven times.  Reproducing those values end-to-end
+//! (network construction → characteristic times → bound formulas) is the
+//! primary numeric check of this reproduction.
+
+use penfield_rubinstein::core::moments::{characteristic_times, characteristic_times_direct};
+use penfield_rubinstein::core::units::Seconds;
+use penfield_rubinstein::netlist::parse_expr;
+use penfield_rubinstein::workloads::fig7::{
+    figure7_expr, figure7_tree, FIG10_DELAY_TABLE, FIG10_VOLTAGE_TABLE,
+};
+
+/// Relative tolerance matching the five significant digits printed in the
+/// paper (plus a small absolute floor for the 0.0 entry).
+fn assert_close(actual: f64, paper: f64, what: &str) {
+    let tol = (paper.abs() * 1.5e-3).max(0.06);
+    assert!(
+        (actual - paper).abs() < tol,
+        "{what}: computed {actual}, paper prints {paper}"
+    );
+}
+
+#[test]
+fn delay_table_matches_paper() {
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out).expect("analysable network");
+    for &(threshold, t_min, t_max) in FIG10_DELAY_TABLE {
+        let bounds = times.delay_bounds(threshold).expect("valid threshold");
+        assert_close(bounds.lower.value(), t_min, &format!("T_MIN({threshold})"));
+        assert_close(bounds.upper.value(), t_max, &format!("T_MAX({threshold})"));
+    }
+}
+
+#[test]
+fn voltage_table_matches_paper() {
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out).expect("analysable network");
+    for &(time, v_min, v_max) in FIG10_VOLTAGE_TABLE {
+        let bounds = times
+            .voltage_bounds(Seconds::new(time))
+            .expect("valid time");
+        assert!(
+            (bounds.lower - v_min).abs() < 6e-4,
+            "V_MIN({time}): computed {}, paper prints {v_min}",
+            bounds.lower
+        );
+        assert!(
+            (bounds.upper - v_max).abs() < 6e-4,
+            "V_MAX({time}): computed {}, paper prints {v_max}",
+            bounds.upper
+        );
+    }
+}
+
+#[test]
+fn all_three_construction_routes_give_the_same_tables() {
+    // Route 1: explicit tree + linear-time algorithm.
+    let (tree, out) = figure7_tree();
+    let a = characteristic_times(&tree, out).unwrap();
+    // Route 2: explicit tree + direct per-capacitor algorithm.
+    let b = characteristic_times_direct(&tree, out).unwrap();
+    // Route 3: the paper's own constructive two-port algebra.
+    let c = figure7_expr().evaluate().characteristic_times().unwrap();
+    // Route 4: the textual Eq. (18) notation through the parser.
+    let d = parse_expr(
+        "(URC 15 0) WC (URC 0 2) WC (WB ((URC 8 0) WC (URC 0 7))) WC (URC 3 4) WC (URC 0 9)",
+    )
+    .unwrap()
+    .evaluate()
+    .characteristic_times()
+    .unwrap();
+
+    for (label, t) in [("direct", &b), ("two-port", &c), ("parsed", &d)] {
+        assert!((t.t_p.value() - a.t_p.value()).abs() < 1e-9, "{label} T_P");
+        assert!((t.t_d.value() - a.t_d.value()).abs() < 1e-9, "{label} T_D");
+        assert!((t.t_r.value() - a.t_r.value()).abs() < 1e-9, "{label} T_R");
+    }
+
+    // And therefore identical Figure 10 rows.
+    for &(threshold, _, _) in FIG10_DELAY_TABLE {
+        let ba = a.delay_bounds(threshold).unwrap();
+        let bc = c.delay_bounds(threshold).unwrap();
+        assert!((ba.lower.value() - bc.lower.value()).abs() < 1e-9);
+        assert!((ba.upper.value() - bc.upper.value()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn certification_verdicts_match_the_table() {
+    // The OK function should pass for budgets above T_MAX, fail below T_MIN
+    // and be indeterminate in between, for every row of the table.
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out).unwrap();
+    for &(threshold, t_min, t_max) in FIG10_DELAY_TABLE.iter().skip(1) {
+        let pass = times
+            .certify(threshold, Seconds::new(t_max * 1.01))
+            .unwrap();
+        assert!(pass.is_pass(), "threshold {threshold}");
+        let fail = times
+            .certify(threshold, Seconds::new(t_min * 0.99))
+            .unwrap();
+        assert!(fail.is_fail(), "threshold {threshold}");
+        let mid = times
+            .certify(threshold, Seconds::new(0.5 * (t_min + t_max)))
+            .unwrap();
+        assert!(mid.is_indeterminate(), "threshold {threshold}");
+    }
+}

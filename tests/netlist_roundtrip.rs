@@ -1,0 +1,156 @@
+//! Cross-crate netlist tests: SPICE and SPEF ingestion feeding the analysis
+//! and simulation pipelines, and writer/parser round trips on generated
+//! workloads.
+
+use penfield_rubinstein::core::moments::characteristic_times;
+use penfield_rubinstein::core::units::Seconds;
+use penfield_rubinstein::netlist::{parse_expr, parse_spef_net, parse_spice, write_spice};
+use penfield_rubinstein::sim::modal::ModalStepResponse;
+use penfield_rubinstein::sim::network::LumpedNetwork;
+use penfield_rubinstein::workloads::htree::{h_tree, HTreeParams};
+use penfield_rubinstein::workloads::pla::PlaLine;
+use penfield_rubinstein::workloads::random::RandomTreeConfig;
+
+#[test]
+fn spice_deck_of_figure7_reproduces_figure10_first_row() {
+    let deck = r"
+* Figure 7 network
+R1   in  n1  15
+C1   n1  0   2
+RB   n1  ns  8
+CB   ns  0   7
+U1   n1  n2  3 4
+C2   n2  0   9
+.output n2
+";
+    let tree = parse_spice(deck).expect("valid deck");
+    let out = tree.node_by_name("n2").unwrap();
+    let t = characteristic_times(&tree, out).unwrap();
+    let b = t.delay_bounds(0.1).unwrap();
+    assert!((b.upper.value() - 68.167).abs() < 0.05);
+    let v = t.voltage_bounds(Seconds::new(20.0)).unwrap();
+    assert!((v.upper - 0.18138).abs() < 5e-4);
+}
+
+#[test]
+fn generated_workloads_round_trip_through_the_spice_writer() {
+    let workloads: Vec<(penfield_rubinstein::core::RcTree, &str)> = vec![
+        (PlaLine::new(20).tree().0, "PLA"),
+        (
+            h_tree(HTreeParams {
+                levels: 3,
+                ..HTreeParams::default()
+            })
+            .0,
+            "H-tree",
+        ),
+        (
+            RandomTreeConfig {
+                nodes: 25,
+                ..RandomTreeConfig::default()
+            }
+            .generate(11),
+            "random",
+        ),
+    ];
+    for (tree, label) in workloads {
+        let deck = write_spice(&tree, label);
+        let reparsed = parse_spice(&deck).expect("writer output parses");
+        assert_eq!(reparsed.node_count(), tree.node_count(), "{label}");
+        assert!(
+            (reparsed.total_capacitance().value() - tree.total_capacitance().value()).abs()
+                < 1e-9 * tree.total_capacitance().value().max(1e-30),
+            "{label}"
+        );
+        // Characteristic times survive the round trip for every output.
+        for out in tree.outputs().collect::<Vec<_>>() {
+            let name = tree.name(out).unwrap();
+            let out2 = reparsed.node_by_name(name).unwrap();
+            let a = characteristic_times(&tree, out).unwrap();
+            let b = characteristic_times(&reparsed, out2).unwrap();
+            let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-30);
+            // The writer prints with engineering prefixes (finite decimal
+            // digits), so allow a small formatting round-off.
+            assert!(rel(a.t_p.value(), b.t_p.value()) < 1e-6, "{label} T_P");
+            assert!(rel(a.t_d.value(), b.t_d.value()) < 1e-6, "{label} T_D");
+            assert!(rel(a.t_r.value(), b.t_r.value()) < 1e-6, "{label} T_R");
+        }
+    }
+}
+
+#[test]
+fn spef_net_feeds_both_bounds_and_simulation() {
+    let spef = r#"
+*SPEF "IEEE 1481-1998"
+*R_UNIT 1 OHM
+*C_UNIT 1 PF
+
+*D_NET clk_local 0.035
+*CONN
+*I clkbuf:Z I
+*P ff1:CK O
+*P ff2:CK O
+*CAP
+1 t1 0.005
+2 ff1:CK 0.013
+3 ff2:CK 0.013
+4 t2 0.004
+*RES
+1 clkbuf:Z t1 120
+2 t1 ff1:CK 80
+3 t1 t2 60
+4 t2 ff2:CK 40
+*END
+"#;
+    let net = parse_spef_net(spef, "clk_local").expect("valid SPEF");
+    assert!((net.tree.total_capacitance().value() - 0.035e-12).abs() < 1e-18);
+
+    // Bounds for both flops.
+    let ff1 = net.tree.node_by_name("ff1:CK").unwrap();
+    let ff2 = net.tree.node_by_name("ff2:CK").unwrap();
+    let t1 = characteristic_times(&net.tree, ff1).unwrap();
+    let t2 = characteristic_times(&net.tree, ff2).unwrap();
+    assert!(t1.satisfies_ordering());
+    assert!(t2.satisfies_ordering());
+
+    // Exact simulation brackets them.
+    let lumped = LumpedNetwork::from_tree(&net.tree, 4).unwrap();
+    let modal = ModalStepResponse::new(&lumped).unwrap();
+    for (node, times) in [(ff1, &t1), (ff2, &t2)] {
+        let idx = lumped.index_of(node).unwrap().unwrap();
+        let crossing = modal.crossing_time(idx, 0.5).unwrap();
+        let bounds = times.delay_bounds(0.5).unwrap();
+        assert!(crossing >= bounds.lower.value() - 1e-15);
+        assert!(crossing <= bounds.upper.value() + 1e-15);
+    }
+}
+
+#[test]
+fn expression_notation_and_spice_agree_on_the_pla_line() {
+    // The PLA generator exposes both representations; write the tree out as
+    // SPICE, re-read it, and compare against the expression evaluation.
+    let line = PlaLine::new(16);
+    let (tree, out) = line.tree();
+    let deck = write_spice(&tree, "pla 16");
+    let reparsed = parse_spice(&deck).unwrap();
+    let out_name = tree.name(out).unwrap();
+    let t_spice =
+        characteristic_times(&reparsed, reparsed.node_by_name(out_name).unwrap()).unwrap();
+    let t_expr = line.expr().evaluate().characteristic_times().unwrap();
+    let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-30);
+    assert!(rel(t_spice.t_p.value(), t_expr.t_p.value()) < 1e-6);
+    assert!(rel(t_spice.t_d.value(), t_expr.t_d.value()) < 1e-6);
+    assert!(rel(t_spice.t_r.value(), t_expr.t_r.value()) < 1e-6);
+}
+
+#[test]
+fn textual_expression_matches_paper_tables() {
+    let expr = parse_expr(
+        "(URC 15 0) WC (URC 0 2) WC (WB ((URC 8 0) WC (URC 0 7))) WC (URC 3 4) WC (URC 0 9)",
+    )
+    .unwrap();
+    let times = expr.evaluate().characteristic_times().unwrap();
+    let bounds = times.delay_bounds(0.9).unwrap();
+    assert!((bounds.lower.value() - 723.66).abs() < 0.05);
+    assert!((bounds.upper.value() - 988.5).abs() < 0.6);
+}

@@ -1,0 +1,118 @@
+//! Cross-validation of the ramp-excitation extension (Section VI remark on
+//! "arbitrary excitation by use of the superposition integral") against the
+//! transient simulator driven by the same ramp.
+
+use penfield_rubinstein::core::moments::characteristic_times;
+use penfield_rubinstein::core::ramp::RampResponse;
+use penfield_rubinstein::core::units::Seconds;
+use penfield_rubinstein::sim::network::LumpedNetwork;
+use penfield_rubinstein::sim::transient::{simulate, InputSource, Method, TransientOptions};
+use penfield_rubinstein::workloads::fig7::figure7_tree;
+use penfield_rubinstein::workloads::random::RandomTreeConfig;
+
+/// Tolerance covering line discretization plus quadrature error of the ramp
+/// bounds (both far smaller than the analytic bound widths).
+const TOL: f64 = 1e-2;
+
+fn assert_ramp_bounds_hold(
+    tree: &penfield_rubinstein::core::RcTree,
+    rise_fraction: f64,
+    label: &str,
+) {
+    let net = LumpedNetwork::from_tree(tree, 8).expect("convertible");
+    for out in tree.outputs().collect::<Vec<_>>() {
+        let times = characteristic_times(tree, out).expect("analysable");
+        if times.t_d.is_zero() {
+            continue;
+        }
+        let rise = times.t_p.value() * rise_fraction;
+        let ramp = RampResponse::new(times, Seconds::new(rise)).expect("positive rise time");
+
+        let t_stop = times.t_p.value() * 8.0 + rise;
+        let result = simulate(
+            &net,
+            InputSource::Ramp { rise_time: rise },
+            TransientOptions::new(t_stop / 4000.0, t_stop).with_method(Method::Trapezoidal),
+        )
+        .expect("stable simulation");
+        let Some(idx) = net.index_of(out).expect("known node") else {
+            continue;
+        };
+        let wave = result.waveform(idx).expect("in range");
+
+        for i in 1..=30 {
+            let t = t_stop * i as f64 / 30.0;
+            let exact = wave.value_at(t);
+            let b = ramp
+                .voltage_bounds(Seconds::new(t))
+                .expect("non-negative time");
+            assert!(
+                exact >= b.lower - TOL,
+                "{label}: ramp response {exact} below lower bound {} at t={t}",
+                b.lower
+            );
+            assert!(
+                exact <= b.upper + TOL,
+                "{label}: ramp response {exact} above upper bound {} at t={t}",
+                b.upper
+            );
+        }
+
+        // Delay bounds bracket the simulated crossing for mid thresholds.
+        for threshold in [0.3, 0.5, 0.7] {
+            let crossing = wave.first_crossing(threshold).expect("reaches threshold");
+            let bounds = ramp.delay_bounds(threshold).expect("valid threshold");
+            assert!(
+                crossing >= bounds.lower.value() * (1.0 - 2e-2),
+                "{label}: crossing {crossing} before ramp lower bound {}",
+                bounds.lower
+            );
+            assert!(
+                crossing <= bounds.upper.value() * (1.0 + 2e-2),
+                "{label}: crossing {crossing} after ramp upper bound {}",
+                bounds.upper
+            );
+        }
+    }
+}
+
+#[test]
+fn figure7_ramp_response_respects_bounds() {
+    let (tree, _) = figure7_tree();
+    // Slow ramp (comparable to the network time constants) and a fast one.
+    assert_ramp_bounds_hold(&tree, 0.5, "figure 7, slow ramp");
+    assert_ramp_bounds_hold(&tree, 0.05, "figure 7, fast ramp");
+}
+
+#[test]
+fn random_tree_ramp_responses_respect_bounds() {
+    for seed in 0..3 {
+        let tree = RandomTreeConfig {
+            nodes: 10,
+            ..RandomTreeConfig::default()
+        }
+        .generate(seed);
+        assert_ramp_bounds_hold(&tree, 0.3, &format!("random tree seed {seed}"));
+    }
+}
+
+#[test]
+fn ramp_delay_approaches_step_delay_for_fast_ramps() {
+    let (tree, out) = figure7_tree();
+    let times = characteristic_times(&tree, out).unwrap();
+    let step = times.delay_bounds(0.5).unwrap();
+    let fast_ramp = RampResponse::new(times, Seconds::new(1e-3))
+        .unwrap()
+        .delay_bounds(0.5)
+        .unwrap();
+    assert!((fast_ramp.lower.value() - step.lower.value()).abs() < 1.0);
+    assert!((fast_ramp.upper.value() - step.upper.value()).abs() < 1.0);
+
+    // A slow ramp delays the crossing by roughly half the rise time.
+    let slow = RampResponse::new(times, Seconds::new(200.0))
+        .unwrap()
+        .delay_bounds(0.5)
+        .unwrap();
+    assert!(slow.lower > step.lower);
+    assert!(slow.upper > step.upper);
+}
