@@ -1,0 +1,59 @@
+//! All-outputs analysis at scale: the batch engine versus the per-output
+//! loop.
+//!
+//! The paper's pitch is that the characteristic times are cheap enough to
+//! compute "for every output" of a large MOS net.  This bench measures that
+//! claim on H-tree clock networks with every leaf marked as an output
+//! (2^6 … 2^12 sinks): `BatchTimes::of` covers all n nodes in one O(n)
+//! sweep, while looping `characteristic_times` over the m outputs costs
+//! O(n·m).  Throughput is reported in nodes per second so the near-linear
+//! scaling of the batch engine — and the collapsing throughput of the loop —
+//! is visible directly in the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rctree_core::batch::BatchTimes;
+use rctree_core::moments::characteristic_times;
+use rctree_workloads::htree::{h_tree, HTreeParams};
+
+fn bench_all_outputs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_outputs");
+    for levels in [6usize, 8, 10, 12] {
+        let (tree, leaves) = h_tree(HTreeParams {
+            levels,
+            ..HTreeParams::default()
+        });
+        let nodes = tree.node_count();
+        group.throughput(Throughput::Elements(nodes as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("batch_engine", format!("{}sinks", leaves.len())),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    let batch = BatchTimes::of(tree).expect("analysable");
+                    leaves
+                        .iter()
+                        .map(|&leaf| batch.times(leaf).expect("valid node"))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("per_output_loop", format!("{}sinks", leaves.len())),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    leaves
+                        .iter()
+                        .map(|&leaf| characteristic_times(tree, leaf).expect("analysable"))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_outputs_scaling);
+criterion_main!(benches);

@@ -14,7 +14,11 @@ fn bench_bound_evaluation(c: &mut Criterion) {
     let times = characteristic_times(&tree, out).expect("analysable");
 
     c.bench_function("delay_bounds_single_threshold", |b| {
-        b.iter(|| times.delay_bounds(std::hint::black_box(0.5)).expect("valid"))
+        b.iter(|| {
+            times
+                .delay_bounds(std::hint::black_box(0.5))
+                .expect("valid")
+        })
     });
     c.bench_function("voltage_bounds_single_time", |b| {
         b.iter(|| {

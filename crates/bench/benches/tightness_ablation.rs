@@ -26,13 +26,20 @@ fn fanout_net(driver_ohms: f64, wire_ohms: f64) -> (RcTree, rctree_core::tree::N
         .add_line(drv, "stem", Ohms::new(wire_ohms), Farads::from_pico(0.05))
         .expect("valid");
     let near = b
-        .add_line(stem, "near", Ohms::new(wire_ohms / 4.0), Farads::from_pico(0.01))
+        .add_line(
+            stem,
+            "near",
+            Ohms::new(wire_ohms / 4.0),
+            Farads::from_pico(0.01),
+        )
         .expect("valid");
-    b.add_capacitance(near, Farads::from_pico(0.013)).expect("valid");
+    b.add_capacitance(near, Farads::from_pico(0.013))
+        .expect("valid");
     let far = b
         .add_line(stem, "far", Ohms::new(wire_ohms), Farads::from_pico(0.04))
         .expect("valid");
-    b.add_capacitance(far, Farads::from_pico(0.013)).expect("valid");
+    b.add_capacitance(far, Farads::from_pico(0.013))
+        .expect("valid");
     b.mark_output(far).expect("valid");
     let tree = b.build().expect("valid");
     let out = tree.outputs().next().expect("one output");
@@ -64,10 +71,7 @@ fn bench_tightness(c: &mut Criterion) {
             let net = LumpedNetwork::from_tree(&tree, 8).expect("convertible");
             b.iter(|| {
                 let modal = ModalStepResponse::new(&net).expect("solvable");
-                let idx = net
-                    .index_of(out)
-                    .expect("known")
-                    .expect("not the input");
+                let idx = net.index_of(out).expect("known").expect("not the input");
                 modal.crossing_time(idx, 0.5).expect("reached")
             })
         });

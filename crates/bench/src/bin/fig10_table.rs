@@ -36,8 +36,7 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>12} {:>12}",
         "T", "VMIN (ours)", "VMIN(paper)", "VMAX (ours)", "VMAX(paper)"
     );
-    for ((t, lo, hi), &(pt, plo, phi)) in
-        fig10_voltage_rows(&times).iter().zip(FIG10_VOLTAGE_TABLE)
+    for ((t, lo, hi), &(pt, plo, phi)) in fig10_voltage_rows(&times).iter().zip(FIG10_VOLTAGE_TABLE)
     {
         assert!((t - pt).abs() < 1e-12);
         println!("{t:>6.0} {lo:>12.5} {plo:>12.5} {hi:>12.5} {phi:>12.5}");

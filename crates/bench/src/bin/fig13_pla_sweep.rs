@@ -24,12 +24,20 @@ fn main() {
             bounds.upper.as_nano(),
             times.elmore_delay().as_nano()
         );
-        rows.push((minterms as f64, bounds.lower.as_nano(), bounds.upper.as_nano()));
+        rows.push((
+            minterms as f64,
+            bounds.lower.as_nano(),
+            bounds.upper.as_nano(),
+        ));
     }
 
     // Growth exponent between 20 and 100 minterms (paper: "the quadratic
     // dependence of delay on number of minterms ... is evident").
-    let pick = |n: f64| rows.iter().find(|r| (r.0 - n).abs() < 0.5).expect("in sweep");
+    let pick = |n: f64| {
+        rows.iter()
+            .find(|r| (r.0 - n).abs() < 0.5)
+            .expect("in sweep")
+    };
     let (a, b) = (pick(20.0), pick(100.0));
     let slope_upper = (b.2 / a.2).ln() / (100.0_f64 / 20.0).ln();
     let slope_lower = (b.1 / a.1).ln() / (100.0_f64 / 20.0).ln();

@@ -329,10 +329,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             parse_args(["--threshold", "abc", "x"]),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(
-            parse_args(["--budget"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(parse_args(["--budget"]), Err(CliError::Usage(_))));
         assert!(matches!(
             parse_args(["a.sp", "b.sp"]),
             Err(CliError::Usage(_))
@@ -414,7 +411,11 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
     #[test]
     fn error_display_is_prefixed() {
         assert!(CliError::Usage("x".into()).to_string().contains("usage"));
-        assert!(CliError::Netlist("x".into()).to_string().contains("netlist"));
-        assert!(CliError::Analysis("x".into()).to_string().contains("analysis"));
+        assert!(CliError::Netlist("x".into())
+            .to_string()
+            .contains("netlist"));
+        assert!(CliError::Analysis("x".into())
+            .to_string()
+            .contains("analysis"));
     }
 }

@@ -28,10 +28,13 @@
 //! # }
 //! ```
 
+use std::collections::HashMap;
+
+use crate::batch::BatchTimes;
 use crate::bounds::{DelayBounds, VoltageBounds};
 use crate::cert::Certification;
 use crate::error::{CoreError, Result};
-use crate::moments::{characteristic_times, CharacteristicTimes};
+use crate::moments::CharacteristicTimes;
 use crate::tree::{NodeId, RcTree};
 use crate::units::Seconds;
 
@@ -52,32 +55,53 @@ pub struct OutputTiming {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TreeAnalysis {
     outputs: Vec<OutputTiming>,
+    /// Output node → position in `outputs`, for `O(1)` lookup.
+    ///
+    /// Derived from `outputs`; skipped by serde both to keep the serialized
+    /// form `{outputs}` and because non-string map keys break JSON.  A
+    /// future `Deserialize` restoration must rebuild both indexes.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    by_node: HashMap<NodeId, usize>,
+    /// Output name → position in `outputs`, for `O(1)` lookup (derived;
+    /// see `by_node`).
+    #[cfg_attr(feature = "serde", serde(skip))]
+    by_name: HashMap<String, usize>,
 }
 
 impl TreeAnalysis {
     /// Analyses every marked output of `tree`.
     ///
+    /// Runs on the [`BatchTimes`] engine: the whole analysis is `O(n)` in
+    /// the tree size regardless of how many outputs are marked, rather than
+    /// one linear traversal per output.
+    ///
     /// # Errors
     ///
     /// * [`CoreError::NoOutputs`] if the tree has no outputs marked;
-    /// * the errors of
-    ///   [`characteristic_times`](crate::moments::characteristic_times) for
-    ///   degenerate networks.
+    /// * the errors of [`BatchTimes::of`] for degenerate networks.
     pub fn of(tree: &RcTree) -> Result<Self> {
-        let outputs: Vec<NodeId> = tree.outputs().collect();
-        if outputs.is_empty() {
+        if tree.outputs().next().is_none() {
             return Err(CoreError::NoOutputs);
         }
-        let mut result = Vec::with_capacity(outputs.len());
-        for node in outputs {
-            let times = characteristic_times(tree, node)?;
-            result.push(OutputTiming {
+        let batch = BatchTimes::of(tree)?;
+        let mut outputs = Vec::new();
+        let mut by_node = HashMap::new();
+        let mut by_name = HashMap::new();
+        for node in tree.outputs() {
+            let name = tree.name(node)?.to_string();
+            by_node.insert(node, outputs.len());
+            by_name.insert(name.clone(), outputs.len());
+            outputs.push(OutputTiming {
                 node,
-                name: tree.name(node)?.to_string(),
-                times,
+                name,
+                times: batch.times(node)?,
             });
         }
-        Ok(TreeAnalysis { outputs: result })
+        Ok(TreeAnalysis {
+            outputs,
+            by_node,
+            by_name,
+        })
     }
 
     /// The analysed outputs, in the tree's output order.
@@ -103,9 +127,9 @@ impl TreeAnalysis {
     /// Returns [`CoreError::NotAnOutput`] if `node` was not among the
     /// analysed outputs.
     pub fn output(&self, node: NodeId) -> Result<&OutputTiming> {
-        self.outputs
-            .iter()
-            .find(|o| o.node == node)
+        self.by_node
+            .get(&node)
+            .map(|&i| &self.outputs[i])
             .ok_or(CoreError::NotAnOutput { node })
     }
 
@@ -116,9 +140,9 @@ impl TreeAnalysis {
     /// Returns [`CoreError::NameNotFound`] if no analysed output has that
     /// name.
     pub fn output_by_name(&self, name: &str) -> Result<&OutputTiming> {
-        self.outputs
-            .iter()
-            .find(|o| o.name == name)
+        self.by_name
+            .get(name)
+            .map(|&i| &self.outputs[i])
             .ok_or_else(|| CoreError::NameNotFound {
                 name: name.to_string(),
             })
@@ -227,10 +251,7 @@ mod tests {
         let (tree, _, _) = two_output_tree();
         let a = TreeAnalysis::of(&tree).unwrap();
         let stem = tree.node_by_name("stem").unwrap();
-        assert!(matches!(
-            a.output(stem),
-            Err(CoreError::NotAnOutput { .. })
-        ));
+        assert!(matches!(a.output(stem), Err(CoreError::NotAnOutput { .. })));
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Characteristic times of **every** node of an RC tree in `O(n)` total.
+//!
+//! The paper's central selling point is that `T_P`, `T_De` and `T_Re` are
+//! cheap enough to compute for *every* output of a large MOS net.  The
+//! per-output routines in [`crate::moments`] are linear in the tree size, so
+//! analysing `m` outputs with them costs `O(n·m)` — quadratic on exactly the
+//! multi-sink clock-tree and PLA workloads the paper targets (Figs. 10–13).
+//!
+//! [`BatchTimes`] removes the extra factor: **two traversals** over the
+//! flattened arrays cached on [`RcTree`] produce the characteristic times of
+//! all `n` nodes at once, after which any output's signature is an `O(1)`
+//! lookup.
+//!
+//! # Algorithm
+//!
+//! One post-order pass (already cached on the tree) accumulates the subtree
+//! capacitance `C_sub(v)` under every node.  A pre-order pass then carries
+//! the Elmore delay and the `T_Re` numerator `N(e) = Σ_k R_ke²·C_k`
+//! incrementally across each edge `p → c` with branch resistance `r` and
+//! distributed capacitance `c_ℓ`:
+//!
+//! ```text
+//! T_De(c) = T_De(p) + r·(C_sub(c) + c_ℓ/2)
+//! N(c)    = N(p) + (R_cc + R_pp)·r·C_sub(c) + c_ℓ·(R_pp·r + r²/3)
+//! ```
+//!
+//! The first recurrence is the classical Elmore prefix sum.  The second
+//! follows from splitting the capacitors by position: for `k` outside the
+//! subtree of `c`, `R_kc = R_kp` (the common path cannot reach below `p`);
+//! for `k` inside it, `R_kc = R_cc` while `R_kp = R_pp`, contributing
+//! `(R_cc² − R_pp²)·C_k = (R_cc + R_pp)·r·C_k`; and the slice integral over
+//! the edge's own uniform line contributes
+//! `c_ℓ·(R_pp² + R_pp·r + r²/3) − c_ℓ·R_pp²`.  `T_P = Σ R_kk·C_k` does not
+//! depend on the output at all and is computed once and shared.
+//!
+//! Total cost: `O(n)` time, three `Vec<f64>` allocations, no per-output
+//! work — an asymptotic win over calling
+//! [`characteristic_times`](crate::moments::characteristic_times) in a loop
+//! (kept, together with
+//! [`characteristic_times_direct`](crate::moments::characteristic_times_direct),
+//! as independent oracles; the `batch_equivalence` suite checks agreement to
+//! 1e-9 relative on every workload generator).
+//!
+//! ```
+//! use rctree_core::batch::BatchTimes;
+//! use rctree_core::builder::RcTreeBuilder;
+//! use rctree_core::units::{Farads, Ohms};
+//!
+//! # fn main() -> rctree_core::error::Result<()> {
+//! let mut b = RcTreeBuilder::new();
+//! let stem = b.add_resistor(b.input(), "stem", Ohms::new(100.0))?;
+//! let x = b.add_resistor(stem, "x", Ohms::new(50.0))?;
+//! let y = b.add_resistor(stem, "y", Ohms::new(200.0))?;
+//! b.add_capacitance(x, Farads::from_pico(0.1))?;
+//! b.add_capacitance(y, Farads::from_pico(0.2))?;
+//! b.mark_output(x)?;
+//! b.mark_output(y)?;
+//! let tree = b.build()?;
+//!
+//! let batch = BatchTimes::of(&tree)?;           // O(n), covers every node
+//! let tx = batch.times(x)?;                     // O(1) per lookup
+//! let ty = batch.times(y)?;
+//! assert_eq!(tx.t_p, ty.t_p);                   // T_P is output-independent
+//! assert!(ty.t_d > tx.t_d);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{CoreError, Result};
+use crate::moments::CharacteristicTimes;
+use crate::tree::{NodeId, RcTree};
+use crate::units::{Farads, Ohms, Seconds};
+
+/// Characteristic times of every node of one tree, computed in `O(n)`.
+///
+/// Obtain one with [`BatchTimes::of`]; query any node with
+/// [`BatchTimes::times`] (an `O(1)` lookup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchTimes {
+    /// `T_P = Σ R_kk·C_k`, identical for every output.
+    t_p: f64,
+    /// Total network capacitance `C_T`.
+    total_cap: f64,
+    /// Per-node path resistance `R_ee`.
+    r_ee: Vec<f64>,
+    /// Per-node Elmore delay `T_De`.
+    t_d: Vec<f64>,
+    /// Per-node rise time `T_Re`.
+    t_r: Vec<f64>,
+}
+
+impl BatchTimes {
+    /// Computes the characteristic times of all nodes of `tree` in one
+    /// post-order plus one pre-order traversal.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoCapacitance`] if the tree carries no capacitance
+    ///   (`T_Re` is undefined everywhere);
+    /// * [`CoreError::NoPathResistance`] if a node with a nonzero `T_Re`
+    ///   numerator has no resistance to the input (unreachable for trees the
+    ///   builder accepts, since `R_ke ≤ R_ee` forces the numerator to zero
+    ///   with `R_ee`; kept as a defensive check).
+    pub fn of(tree: &RcTree) -> Result<Self> {
+        let cache = tree.traversal();
+        let n = cache.preorder.len();
+
+        // C_T via the tree's own summation (bit-identical to the value the
+        // per-output oracles embed), T_P in one pass over the flat arrays.
+        let total_cap = tree.total_capacitance().value();
+        if total_cap == 0.0 {
+            return Err(CoreError::NoCapacitance);
+        }
+        let mut t_p = 0.0_f64;
+        for i in 0..n {
+            let p = cache.parent[i] as usize;
+            t_p += cache.node_cap[i] * cache.path_r[i]
+                + cache.branch_c[i] * (cache.path_r[p] + cache.branch_r[i] / 2.0);
+        }
+
+        // Pre-order pass: carry T_De and the Σ R_ke²·C_k numerator down
+        // every root→node edge.
+        let mut t_d = vec![0.0_f64; n];
+        let mut t_r_num = vec![0.0_f64; n];
+        for &c in &cache.preorder[1..] {
+            let c = c as usize;
+            let p = cache.parent[c] as usize;
+            let r = cache.branch_r[c];
+            let c_line = cache.branch_c[c];
+            let c_sub = cache.down_cap[c];
+            let (r_pp, r_cc) = (cache.path_r[p], cache.path_r[c]);
+            t_d[c] = t_d[p] + r * (c_sub + c_line / 2.0);
+            t_r_num[c] = t_r_num[p] + (r_cc + r_pp) * r * c_sub + c_line * (r_pp * r + r * r / 3.0);
+        }
+
+        // Normalize the numerator into T_Re.
+        let mut t_r = t_r_num;
+        for (i, num) in t_r.iter_mut().enumerate() {
+            if *num == 0.0 {
+                // No capacitor shares any resistance with this node.
+            } else if cache.path_r[i] == 0.0 {
+                return Err(CoreError::NoPathResistance { output: NodeId(i) });
+            } else {
+                *num /= cache.path_r[i];
+            }
+        }
+
+        Ok(BatchTimes {
+            t_p,
+            total_cap,
+            r_ee: cache.path_r.clone(),
+            t_d,
+            t_r,
+        })
+    }
+
+    /// Number of analysed nodes (every node of the source tree).
+    pub fn node_count(&self) -> usize {
+        self.r_ee.len()
+    }
+
+    /// `T_P`, the output-independent characteristic time.
+    pub fn t_p(&self) -> Seconds {
+        Seconds::new(self.t_p)
+    }
+
+    /// Total capacitance `C_T` of the network.
+    pub fn total_capacitance(&self) -> Farads {
+        Farads::new(self.total_cap)
+    }
+
+    /// Elmore delay `T_De` of one node (`O(1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotFound`] if `node` is out of range.
+    pub fn elmore_delay(&self, node: NodeId) -> Result<Seconds> {
+        self.check(node)?;
+        Ok(Seconds::new(self.t_d[node.index()]))
+    }
+
+    /// The complete signature of one node (`O(1)` — assembles the same
+    /// [`CharacteristicTimes`] the per-output algorithms produce).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotFound`] if `node` is out of range.
+    pub fn times(&self, node: NodeId) -> Result<CharacteristicTimes> {
+        self.check(node)?;
+        let i = node.index();
+        CharacteristicTimes::new(
+            Seconds::new(self.t_p),
+            Seconds::new(self.t_d[i]),
+            Seconds::new(self.t_r[i]),
+            Ohms::new(self.r_ee[i]),
+            Farads::new(self.total_cap),
+        )
+    }
+
+    /// Signatures of every node, indexed by [`NodeId::index`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`CharacteristicTimes::new`]
+    /// (unreachable for values this engine produces).
+    pub fn all_times(&self) -> Result<Vec<CharacteristicTimes>> {
+        (0..self.node_count())
+            .map(|i| self.times(NodeId(i)))
+            .collect()
+    }
+
+    fn check(&self, node: NodeId) -> Result<()> {
+        if node.index() < self.r_ee.len() {
+            Ok(())
+        } else {
+            Err(CoreError::NodeNotFound { node })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RcTreeBuilder;
+    use crate::moments::{characteristic_times, characteristic_times_direct};
+
+    fn branching_tree_with_lines() -> RcTree {
+        let mut b = RcTreeBuilder::new();
+        let a = b
+            .add_line(b.input(), "a", Ohms::new(15.0), Farads::new(1.5))
+            .unwrap();
+        b.add_capacitance(a, Farads::new(2.0)).unwrap();
+        let s1 = b.add_resistor(a, "s1", Ohms::new(8.0)).unwrap();
+        b.add_capacitance(s1, Farads::new(7.0)).unwrap();
+        let s2 = b
+            .add_line(s1, "s2", Ohms::new(2.0), Farads::new(0.5))
+            .unwrap();
+        b.add_capacitance(s2, Farads::new(0.25)).unwrap();
+        let o = b
+            .add_line(a, "o", Ohms::new(3.0), Farads::new(4.0))
+            .unwrap();
+        b.add_capacitance(o, Farads::new(9.0)).unwrap();
+        b.mark_output(o).unwrap();
+        b.mark_output(s2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_per_output_oracles_on_every_node() {
+        let tree = branching_tree_with_lines();
+        let batch = BatchTimes::of(&tree).unwrap();
+        for node in tree.node_ids() {
+            let one = characteristic_times(&tree, node).unwrap();
+            let direct = characteristic_times_direct(&tree, node).unwrap();
+            let got = batch.times(node).unwrap();
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
+            for (g, want) in [
+                (got.t_p, one.t_p),
+                (got.t_d, one.t_d),
+                (got.t_r, one.t_r),
+                (got.t_p, direct.t_p),
+                (got.t_d, direct.t_d),
+                (got.t_r, direct.t_r),
+            ] {
+                assert!(rel(g.value(), want.value()) < 1e-12, "node {node}");
+            }
+            assert_eq!(got.r_ee, one.r_ee);
+            assert_eq!(got.total_cap, one.total_cap);
+        }
+    }
+
+    #[test]
+    fn input_node_has_zero_delay_and_rise_time() {
+        let tree = branching_tree_with_lines();
+        let batch = BatchTimes::of(&tree).unwrap();
+        let t = batch.times(tree.input()).unwrap();
+        assert_eq!(t.t_d, Seconds::ZERO);
+        assert_eq!(t.t_r, Seconds::ZERO);
+        assert!(t.t_p.value() > 0.0);
+    }
+
+    #[test]
+    fn ordering_holds_at_every_node() {
+        let tree = branching_tree_with_lines();
+        let batch = BatchTimes::of(&tree).unwrap();
+        for t in batch.all_times().unwrap() {
+            assert!(t.satisfies_ordering());
+        }
+    }
+
+    #[test]
+    fn no_capacitance_is_an_error() {
+        let mut b = RcTreeBuilder::new();
+        let n = b.add_resistor(b.input(), "n", Ohms::new(1.0)).unwrap();
+        b.mark_output(n).unwrap();
+        let tree = b.build().unwrap();
+        assert!(matches!(
+            BatchTimes::of(&tree),
+            Err(CoreError::NoCapacitance)
+        ));
+    }
+
+    #[test]
+    fn zero_resistance_branch_keeps_t_r_zero() {
+        // A 0 Ω output next to a resistive side branch: Σ R_ke² C_k is zero,
+        // so T_Re must be 0 rather than an error (mirrors the per-output
+        // behaviour).
+        let mut b = RcTreeBuilder::new();
+        let out = b
+            .add_line(b.input(), "out", Ohms::ZERO, Farads::ZERO)
+            .unwrap();
+        let far = b.add_resistor(b.input(), "far", Ohms::new(5.0)).unwrap();
+        b.add_capacitance(far, Farads::new(1.0)).unwrap();
+        b.add_capacitance(out, Farads::new(1.0)).unwrap();
+        b.mark_output(out).unwrap();
+        let tree = b.build().unwrap();
+        let batch = BatchTimes::of(&tree).unwrap();
+        let t = batch.times(out).unwrap();
+        assert_eq!(t.t_r, Seconds::ZERO);
+        assert_eq!(t.t_d, Seconds::ZERO);
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let tree = branching_tree_with_lines();
+        let batch = BatchTimes::of(&tree).unwrap();
+        assert!(matches!(
+            batch.times(NodeId(999)),
+            Err(CoreError::NodeNotFound { .. })
+        ));
+        assert!(matches!(
+            batch.elmore_delay(NodeId(999)),
+            Err(CoreError::NodeNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_report_whole_network_quantities() {
+        let tree = branching_tree_with_lines();
+        let batch = BatchTimes::of(&tree).unwrap();
+        assert_eq!(batch.node_count(), tree.node_count());
+        assert_eq!(batch.total_capacitance(), tree.total_capacitance());
+        let any = batch.times(tree.input()).unwrap();
+        assert_eq!(batch.t_p(), any.t_p);
+    }
+}

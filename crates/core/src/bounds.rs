@@ -464,10 +464,7 @@ mod tests {
         let b = t.delay_bounds(0.9).unwrap();
         assert_eq!(b.lower, Seconds::ZERO);
         assert_eq!(b.upper, Seconds::ZERO);
-        assert_eq!(
-            t.certify(0.9, Seconds::ZERO).unwrap(),
-            Certification::Pass
-        );
+        assert_eq!(t.certify(0.9, Seconds::ZERO).unwrap(), Certification::Pass);
     }
 
     #[test]

@@ -168,6 +168,11 @@ impl RcTreeBuilder {
 
     /// Finalizes the builder into an immutable [`RcTree`].
     ///
+    /// This is where the tree's flattened traversal cache (pre-order index
+    /// array, per-node parent/branch/capacitance arrays, prefix path
+    /// resistances and downstream capacitances) is derived, so that every
+    /// subsequent whole-tree analysis is an allocation-free array walk.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::EmptyTree`] if no branches or capacitance were
@@ -183,7 +188,7 @@ impl RcTreeBuilder {
         if !has_branch && !has_cap {
             return Err(CoreError::EmptyTree);
         }
-        Ok(RcTree { nodes: self.nodes })
+        Ok(RcTree::from_nodes(self.nodes))
     }
 
     fn add_branch(&mut self, parent: NodeId, name: String, branch: Branch) -> Result<NodeId> {
@@ -234,9 +239,7 @@ mod tests {
     #[test]
     fn rejects_negative_resistance() {
         let mut b = RcTreeBuilder::new();
-        let err = b
-            .add_resistor(b.input(), "a", Ohms::new(-1.0))
-            .unwrap_err();
+        let err = b.add_resistor(b.input(), "a", Ohms::new(-1.0)).unwrap_err();
         assert!(matches!(err, CoreError::InvalidValue { .. }));
     }
 
@@ -259,9 +262,7 @@ mod tests {
     #[test]
     fn rejects_unknown_parent() {
         let mut b = RcTreeBuilder::new();
-        let err = b
-            .add_resistor(NodeId(42), "a", Ohms::new(1.0))
-            .unwrap_err();
+        let err = b.add_resistor(NodeId(42), "a", Ohms::new(1.0)).unwrap_err();
         assert!(matches!(err, CoreError::NodeNotFound { .. }));
     }
 
@@ -292,7 +293,9 @@ mod tests {
     fn custom_input_name_and_lookup() {
         let mut b = RcTreeBuilder::with_input_name("drv");
         assert_eq!(b.node_by_name("drv").unwrap(), b.input());
-        let a = b.add_line(b.input(), "w1", Ohms::new(1.0), Farads::new(1.0)).unwrap();
+        let a = b
+            .add_line(b.input(), "w1", Ohms::new(1.0), Farads::new(1.0))
+            .unwrap();
         assert_eq!(b.node_by_name("w1").unwrap(), a);
         assert!(b.node_by_name("nope").is_err());
         assert_eq!(b.node_count(), 2);

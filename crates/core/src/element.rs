@@ -97,7 +97,6 @@ impl Branch {
             } => resistance * capacitance * 0.5,
         }
     }
-
 }
 
 #[cfg(test)]
@@ -135,5 +134,4 @@ mod tests {
         let b = Branch::line(Ohms::new(3.0), Farads::new(4.0));
         assert_eq!(b.internal_elmore(), Seconds::new(6.0));
     }
-
 }

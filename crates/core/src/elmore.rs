@@ -32,20 +32,17 @@ pub fn elmore_delays(tree: &RcTree) -> Result<Vec<Seconds>> {
     if tree.total_capacitance().is_zero() {
         return Err(CoreError::NoCapacitance);
     }
-    let down = tree.downstream_capacitance();
+    // One pre-order walk over the flattened traversal cache; the only
+    // allocation is the result vector.
+    let cache = tree.traversal();
     let mut delays = vec![Seconds::ZERO; tree.node_count()];
-    for id in tree.preorder() {
-        if let Some(parent) = tree.parent(id).expect("preorder yields valid ids") {
-            let branch = tree
-                .branch(id)
-                .expect("valid id")
-                .expect("non-input node has a branch");
-            let r = branch.resistance();
-            // Downstream of the branch: the child subtree plus the branch's
-            // own distributed capacitance at half weight.
-            let c_effective = down[id.index()] + branch.capacitance() * 0.5;
-            delays[id.index()] = delays[parent.index()] + r * c_effective;
-        }
+    for &i in &cache.preorder[1..] {
+        let i = i as usize;
+        let p = cache.parent[i] as usize;
+        // Downstream of the branch: the child subtree plus the branch's own
+        // distributed capacitance at half weight.
+        let c_effective = cache.down_cap[i] + cache.branch_c[i] * 0.5;
+        delays[i] = Seconds::new(delays[p].value() + cache.branch_r[i] * c_effective);
     }
     Ok(delays)
 }
@@ -97,7 +94,9 @@ mod tests {
         b.add_capacitance(a, Farads::new(2.0)).unwrap();
         let s = b.add_resistor(a, "s", Ohms::new(8.0)).unwrap();
         b.add_capacitance(s, Farads::new(7.0)).unwrap();
-        let o = b.add_line(a, "o", Ohms::new(3.0), Farads::new(4.0)).unwrap();
+        let o = b
+            .add_line(a, "o", Ohms::new(3.0), Farads::new(4.0))
+            .unwrap();
         b.add_capacitance(o, Farads::new(9.0)).unwrap();
         b.mark_output(o).unwrap();
         b.mark_output(s).unwrap();
@@ -155,7 +154,10 @@ mod tests {
         let n = b.add_resistor(b.input(), "n", Ohms::new(1.0)).unwrap();
         b.mark_output(n).unwrap();
         let tree = b.build().unwrap();
-        assert!(matches!(elmore_delays(&tree), Err(CoreError::NoCapacitance)));
+        assert!(matches!(
+            elmore_delays(&tree),
+            Err(CoreError::NoCapacitance)
+        ));
     }
 
     #[test]

@@ -77,14 +77,20 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::NoCapacitance => {
-                write!(f, "network contains no capacitance; delay bounds are undefined")
+                write!(
+                    f,
+                    "network contains no capacitance; delay bounds are undefined"
+                )
             }
             CoreError::NoPathResistance { output } => write!(
                 f,
                 "no resistance between input and output node {output:?}; T_R is undefined"
             ),
             CoreError::InvalidValue { what, value } => {
-                write!(f, "invalid value for {what}: {value} (must be finite and non-negative)")
+                write!(
+                    f,
+                    "invalid value for {what}: {value} (must be finite and non-negative)"
+                )
             }
             CoreError::NodeNotFound { node } => {
                 write!(f, "node {node:?} does not belong to this tree")

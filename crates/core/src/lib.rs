@@ -21,12 +21,24 @@
 //! | [`element`], [`tree`], [`builder`] | the RC-tree data model |
 //! | [`resistance`] | path and shared resistances `R_kk`, `R_ke` |
 //! | [`moments`] | the characteristic times (direct and linear algorithms) |
+//! | [`batch`] | all-outputs batch engine: every node's times in `O(n)` total |
 //! | [`bounds`] | the Penfield–Rubinstein voltage/delay bounds (Eqs. 8–17) |
 //! | [`cert`] | the three-valued `OK` certification |
 //! | [`twoport`], [`expr`] | the constructive `URC`/`WB`/`WC` algebra of Section IV |
 //! | [`elmore`] | Elmore delay of every node in one traversal |
 //! | [`analysis`] | whole-tree, multi-output reports |
 //! | [`ramp`] | finite-slew excitation via the superposition integral |
+//!
+//! ## Complexity
+//!
+//! The per-output algorithms in [`moments`] are linear in the tree size `n`,
+//! so analysing all `m` outputs of a net by looping over them costs
+//! `O(n·m)`.  The [`batch`] engine computes the characteristic times of
+//! every node — hence every output — in `O(n + m)` total via one post-order
+//! and one pre-order traversal over a flattened array cache built at
+//! [`RcTreeBuilder::build`] time; [`analysis::TreeAnalysis`],
+//! [`moments::characteristic_times_all`] and the `rctree-sta` stage
+//! evaluation all run on it.
 //!
 //! ## Quick start
 //!
@@ -63,6 +75,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod batch;
 pub mod bounds;
 pub mod builder;
 pub mod cert;
@@ -80,6 +93,7 @@ pub mod units;
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::analysis::{OutputTiming, TreeAnalysis};
+    pub use crate::batch::BatchTimes;
     pub use crate::bounds::{DelayBounds, VoltageBounds};
     pub use crate::builder::RcTreeBuilder;
     pub use crate::cert::Certification;
@@ -99,6 +113,7 @@ pub mod prelude {
 }
 
 pub use crate::analysis::TreeAnalysis;
+pub use crate::batch::BatchTimes;
 pub use crate::bounds::{DelayBounds, VoltageBounds};
 pub use crate::builder::RcTreeBuilder;
 pub use crate::cert::Certification;

@@ -144,9 +144,7 @@ pub fn characteristic_times_direct(tree: &RcTree, output: NodeId) -> Result<Char
         if let Some(branch) = tree.branch(k)? {
             let c_line = branch.capacitance().value();
             if c_line > 0.0 {
-                let parent = tree
-                    .parent(k)?
-                    .expect("non-input node always has a parent");
+                let parent = tree.parent(k)?.expect("non-input node always has a parent");
                 let r_parent = tree.resistance_from_input(parent)?.value();
                 let r_line = branch.resistance().value();
 
@@ -157,8 +155,8 @@ pub fn characteristic_times_direct(tree: &RcTree, output: NodeId) -> Result<Char
                     // Output lies beyond the far end of the line: the common
                     // path includes the portion of the line up to the slice.
                     t_d += c_line * (r_parent + r_line / 2.0);
-                    t_r_num += c_line
-                        * (r_parent * r_parent + r_parent * r_line + r_line * r_line / 3.0);
+                    t_r_num +=
+                        c_line * (r_parent * r_parent + r_parent * r_line + r_line * r_line / 3.0);
                 } else {
                     // Paths diverge at or above the line's driving node.
                     let lca = tree.lowest_common_ancestor(parent, output)?;
@@ -234,8 +232,8 @@ pub fn characteristic_times(tree: &RcTree, output: NodeId) -> Result<Characteris
                 t_p += c_line * (r_parent + r_line / 2.0);
                 if on_path[i] {
                     t_d += c_line * (r_parent + r_line / 2.0);
-                    t_r_num += c_line
-                        * (r_parent * r_parent + r_parent * r_line + r_line * r_line / 3.0);
+                    t_r_num +=
+                        c_line * (r_parent * r_parent + r_parent * r_line + r_line * r_line / 3.0);
                 } else {
                     let r_shared = shared[p].value();
                     t_d += c_line * r_shared;
@@ -252,18 +250,21 @@ pub fn characteristic_times(tree: &RcTree, output: NodeId) -> Result<Characteris
 ///
 /// Returns `(output, times)` pairs in output order.
 ///
+/// Runs on the [`BatchTimes`](crate::batch::BatchTimes) engine: one `O(n)`
+/// sweep covers all `m` outputs, instead of the `O(n·m)` cost of calling
+/// [`characteristic_times`] once per output.
+///
 /// # Errors
 ///
 /// * [`CoreError::NoOutputs`] if the tree has no outputs marked;
 /// * otherwise the same conditions as [`characteristic_times`].
 pub fn characteristic_times_all(tree: &RcTree) -> Result<Vec<(NodeId, CharacteristicTimes)>> {
-    let outputs: Vec<NodeId> = tree.outputs().collect();
-    if outputs.is_empty() {
+    if tree.outputs().next().is_none() {
         return Err(CoreError::NoOutputs);
     }
-    outputs
-        .into_iter()
-        .map(|e| characteristic_times(tree, e).map(|t| (e, t)))
+    let batch = crate::batch::BatchTimes::of(tree)?;
+    tree.outputs()
+        .map(|e| batch.times(e).map(|t| (e, t)))
         .collect()
 }
 
@@ -343,7 +344,9 @@ mod tests {
         let mut b = RcTreeBuilder::new();
         let n1 = b.add_resistor(b.input(), "n1", Ohms::new(1.0)).unwrap();
         b.add_capacitance(n1, Farads::new(2.0)).unwrap();
-        let n2 = b.add_line(n1, "n2", Ohms::new(3.0), Farads::new(4.0)).unwrap();
+        let n2 = b
+            .add_line(n1, "n2", Ohms::new(3.0), Farads::new(4.0))
+            .unwrap();
         b.add_capacitance(n2, Farads::new(5.0)).unwrap();
         let n3 = b.add_resistor(n2, "n3", Ohms::new(6.0)).unwrap();
         b.add_capacitance(n3, Farads::new(7.0)).unwrap();
@@ -376,13 +379,19 @@ mod tests {
     #[test]
     fn direct_and_linear_methods_agree() {
         let mut b = RcTreeBuilder::new();
-        let a = b.add_line(b.input(), "a", Ohms::new(15.0), Farads::new(1.5)).unwrap();
+        let a = b
+            .add_line(b.input(), "a", Ohms::new(15.0), Farads::new(1.5))
+            .unwrap();
         b.add_capacitance(a, Farads::new(2.0)).unwrap();
         let s1 = b.add_resistor(a, "s1", Ohms::new(8.0)).unwrap();
         b.add_capacitance(s1, Farads::new(7.0)).unwrap();
-        let s2 = b.add_line(s1, "s2", Ohms::new(2.0), Farads::new(0.5)).unwrap();
+        let s2 = b
+            .add_line(s1, "s2", Ohms::new(2.0), Farads::new(0.5))
+            .unwrap();
         b.add_capacitance(s2, Farads::new(0.25)).unwrap();
-        let o = b.add_line(a, "o", Ohms::new(3.0), Farads::new(4.0)).unwrap();
+        let o = b
+            .add_line(a, "o", Ohms::new(3.0), Farads::new(4.0))
+            .unwrap();
         b.add_capacitance(o, Farads::new(9.0)).unwrap();
         b.mark_output(o).unwrap();
         b.mark_output(s2).unwrap();

@@ -82,7 +82,7 @@ impl RampResponse {
     #[must_use]
     pub fn with_panels(mut self, panels: usize) -> Self {
         let p = panels.max(4);
-        self.panels = if p % 2 == 0 { p } else { p + 1 };
+        self.panels = if p.is_multiple_of(2) { p } else { p + 1 };
         self
     }
 
@@ -276,8 +276,7 @@ mod tests {
             .unwrap()
             .with_panels(512);
         for &t in &[2.0, 3.0, 5.0, 8.0, 12.0] {
-            let exact =
-                1.0 - (tau / t_rise) * ((t_rise / tau).exp() - 1.0) * (-t / tau).exp();
+            let exact = 1.0 - (tau / t_rise) * ((t_rise / tau).exp() - 1.0) * (-t / tau).exp();
             let b = ramp.voltage_bounds(Seconds::new(t)).unwrap();
             assert!(
                 (b.lower - exact).abs() < 1e-3 && (b.upper - exact).abs() < 1e-3,

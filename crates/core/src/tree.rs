@@ -41,6 +41,87 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Flattened traversal arrays derived from the node table, built once by
+/// [`RcTree::from_nodes`] and shared by every whole-tree algorithm.
+///
+/// Everything here is redundant with `nodes` — it is a cache, indexed by
+/// [`NodeId::index`], that turns the hot traversal loops of
+/// [`crate::batch`], [`crate::elmore`] and [`crate::moments`] into
+/// allocation-free array walks instead of `Result`-returning accessor calls
+/// that rebuild `preorder()` / `path_from_input()` vectors per query.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TraversalCache {
+    /// Node indices in depth-first pre-order (children in insertion order);
+    /// entry 0 is always the input.  Iterating it in reverse gives a valid
+    /// post-order (children before parents).
+    pub(crate) preorder: Vec<u32>,
+    /// Parent index per node; the input maps to itself.
+    pub(crate) parent: Vec<u32>,
+    /// Series resistance of the branch `parent → node` (0 for the input).
+    pub(crate) branch_r: Vec<f64>,
+    /// Distributed capacitance of the branch `parent → node` (0 for the
+    /// input and for lumped resistors).
+    pub(crate) branch_c: Vec<f64>,
+    /// Lumped grounded capacitance at the node.
+    pub(crate) node_cap: Vec<f64>,
+    /// Prefix path resistance input → node (`R_kk` of Section III).
+    pub(crate) path_r: Vec<f64>,
+    /// Capacitance in the subtree rooted at the node: its lumped capacitor,
+    /// all descendant capacitors, and the full distributed capacitance of
+    /// every branch *below* the node (not the branch feeding it).
+    pub(crate) down_cap: Vec<f64>,
+}
+
+impl TraversalCache {
+    fn build(nodes: &[NodeData]) -> Self {
+        let n = nodes.len();
+        let mut preorder = Vec::with_capacity(n);
+        let mut stack = vec![0u32];
+        while let Some(i) = stack.pop() {
+            preorder.push(i);
+            for &child in nodes[i as usize].children.iter().rev() {
+                stack.push(child.0 as u32);
+            }
+        }
+
+        let mut parent = vec![0u32; n];
+        let mut branch_r = vec![0.0; n];
+        let mut branch_c = vec![0.0; n];
+        let mut node_cap = vec![0.0; n];
+        let mut path_r = vec![0.0; n];
+        for (i, data) in nodes.iter().enumerate() {
+            node_cap[i] = data.cap.value();
+            if let Some(p) = data.parent {
+                parent[i] = p.0 as u32;
+            }
+            if let Some(branch) = &data.branch {
+                branch_r[i] = branch.resistance().value();
+                branch_c[i] = branch.capacitance().value();
+            }
+        }
+        for &i in &preorder[1..] {
+            let i = i as usize;
+            path_r[i] = path_r[parent[i] as usize] + branch_r[i];
+        }
+
+        let mut down_cap = node_cap.clone();
+        for &i in preorder[1..].iter().rev() {
+            let i = i as usize;
+            down_cap[parent[i] as usize] += down_cap[i] + branch_c[i];
+        }
+
+        TraversalCache {
+            preorder,
+            parent,
+            branch_r,
+            branch_c,
+            node_cap,
+            path_r,
+            down_cap,
+        }
+    }
+}
+
 /// Per-node payload stored by [`RcTree`].
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -78,13 +159,41 @@ pub(crate) struct NodeData {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RcTree {
     pub(crate) nodes: Vec<NodeData>,
+    /// Flattened traversal arrays derived from `nodes`; rebuilt on
+    /// construction, excluded from equality (it is a pure function of the
+    /// node table).
+    ///
+    /// NOTE for restoring the (currently placeholder) `serde` feature: a
+    /// plain derived `Deserialize` would leave this cache empty — the impl
+    /// must route through [`RcTree::from_nodes`] so the cache is rebuilt.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub(crate) cache: TraversalCache,
+}
+
+impl PartialEq for RcTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+    }
 }
 
 impl RcTree {
+    /// Builds a tree from a validated node table, deriving the traversal
+    /// cache (the only construction path; used by
+    /// [`RcTreeBuilder`](crate::builder::RcTreeBuilder)).
+    pub(crate) fn from_nodes(nodes: Vec<NodeData>) -> Self {
+        let cache = TraversalCache::build(&nodes);
+        RcTree { nodes, cache }
+    }
+
+    /// The flattened traversal arrays shared by the whole-tree algorithms.
+    pub(crate) fn traversal(&self) -> &TraversalCache {
+        &self.cache
+    }
+
     /// The input (root) node where the step excitation is applied.
     pub fn input(&self) -> NodeId {
         NodeId::INPUT
@@ -240,15 +349,7 @@ impl RcTree {
     /// tree.
     pub fn resistance_from_input(&self, node: NodeId) -> Result<Ohms> {
         self.check(node)?;
-        let mut total = Ohms::ZERO;
-        let mut cur = node;
-        while let Some(parent) = self.nodes[cur.0].parent {
-            if let Some(branch) = &self.nodes[cur.0].branch {
-                total += branch.resistance();
-            }
-            cur = parent;
-        }
-        Ok(total)
+        Ok(Ohms::new(self.cache.path_r[node.0]))
     }
 
     /// Depth of a node (number of branches between it and the input).
@@ -263,16 +364,11 @@ impl RcTree {
 
     /// Returns the node ids in depth-first pre-order starting at the input.
     pub fn preorder(&self) -> Vec<NodeId> {
-        let mut order = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![NodeId::INPUT];
-        while let Some(id) = stack.pop() {
-            order.push(id);
-            // Push children in reverse so they pop in insertion order.
-            for &child in self.nodes[id.0].children.iter().rev() {
-                stack.push(child);
-            }
-        }
-        order
+        self.cache
+            .preorder
+            .iter()
+            .map(|&i| NodeId(i as usize))
+            .collect()
     }
 
     /// Returns the node ids in depth-first post-order (children before
@@ -338,42 +434,7 @@ impl RcTree {
     /// tree.
     pub fn subtree_capacitance(&self, node: NodeId) -> Result<Farads> {
         self.check(node)?;
-        let mut total = Farads::ZERO;
-        let mut stack = vec![node];
-        while let Some(id) = stack.pop() {
-            total += self.nodes[id.0].cap;
-            for &child in &self.nodes[id.0].children {
-                if let Some(branch) = &self.nodes[child.0].branch {
-                    total += branch.capacitance();
-                }
-                stack.push(child);
-            }
-        }
-        Ok(total)
-    }
-
-    /// Capacitance "hanging below" every branch: for each non-input node `n`
-    /// the returned vector holds, at index `n`, the capacitance downstream of
-    /// the branch `parent(n) → n` **including half... no — including the
-    /// branch's own distributed capacitance in full**, which is the quantity
-    /// multiplied by the branch resistance in the Elmore/`T_P` sums only when
-    /// the distributed correction terms are added separately.
-    ///
-    /// This is an internal helper shared by the moment computations; see
-    /// [`crate::moments`].
-    pub(crate) fn downstream_capacitance(&self) -> Vec<Farads> {
-        let mut down = vec![Farads::ZERO; self.nodes.len()];
-        for id in self.postorder() {
-            let mut total = self.nodes[id.0].cap;
-            for &child in &self.nodes[id.0].children {
-                total += down[child.0];
-                if let Some(branch) = &self.nodes[child.0].branch {
-                    total += branch.capacitance();
-                }
-            }
-            down[id.0] = total;
-        }
-        down
+        Ok(Farads::new(self.cache.down_cap[node.0]))
     }
 
     pub(crate) fn data(&self, node: NodeId) -> Result<&NodeData> {
@@ -560,11 +621,46 @@ mod tests {
     }
 
     #[test]
-    fn downstream_capacitance_matches_subtree() {
+    fn cached_subtree_capacitance_matches_explicit_walk() {
+        // The cached post-order accumulation must agree with a naive
+        // stack-based walk over the node table.
         let (tree, _, _) = fig3();
-        let down = tree.downstream_capacitance();
         for id in tree.node_ids() {
-            assert_eq!(down[id.index()], tree.subtree_capacitance(id).unwrap());
+            let mut total = Farads::ZERO;
+            let mut stack = vec![id];
+            while let Some(cur) = stack.pop() {
+                total += tree.capacitance(cur).unwrap();
+                for &child in tree.children(cur).unwrap() {
+                    if let Some(branch) = tree.branch(child).unwrap() {
+                        total += branch.capacitance();
+                    }
+                    stack.push(child);
+                }
+            }
+            assert_eq!(tree.subtree_capacitance(id).unwrap(), total);
         }
+    }
+
+    #[test]
+    fn cached_path_resistance_matches_explicit_walk() {
+        let (tree, _, _) = fig3();
+        for id in tree.node_ids() {
+            let mut total = Ohms::ZERO;
+            let mut cur = id;
+            while let Some(parent) = tree.parent(cur).unwrap() {
+                if let Some(branch) = tree.branch(cur).unwrap() {
+                    total += branch.resistance();
+                }
+                cur = parent;
+            }
+            assert_eq!(tree.resistance_from_input(id).unwrap(), total);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_the_derived_cache() {
+        let (a, _, _) = fig3();
+        let b = a.clone();
+        assert_eq!(a, b);
     }
 }

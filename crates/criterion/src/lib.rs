@@ -1,0 +1,319 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This build environment has no access to crates.io, so the workspace ships
+//! a minimal API-compatible subset of criterion: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups with
+//! [`Throughput`] annotations, and [`Bencher::iter`].  Measurement is plain
+//! wall-clock sampling (warm-up, then a fixed number of timed samples with
+//! median/mean reporting) — adequate for the order-of-magnitude and scaling
+//! claims the benches assert, not for microsecond-level regression tracking.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_SAMPLE_MS` — target milliseconds of measurement per benchmark
+//!   (default 300);
+//! * `BENCH_WARMUP_MS` — target milliseconds of warm-up (default 100).
+//!
+//! Swapping back to real criterion requires only restoring the crates.io
+//! dependency; no bench source changes are needed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of elements or bytes processed per iteration, used to derive a
+/// throughput figure alongside the per-iteration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (reported as elem/s).
+    Elements(u64),
+    /// Iterations process this many bytes (reported as B/s).
+    Bytes(u64),
+}
+
+/// Identifier of one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_target: Duration,
+    warmup_target: Duration,
+    /// Filled in by [`Bencher::iter`]: (mean, median, iterations).
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    median: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(sample_target: Duration, warmup_target: Duration) -> Self {
+        Bencher {
+            sample_target,
+            warmup_target,
+            result: None,
+        }
+    }
+
+    /// Times `routine`, first warming up, then sampling until the target
+    /// measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.warmup_target {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Split the measurement budget into ~31 samples of >= 1 iteration.
+        const SAMPLES: usize = 31;
+        let budget = self.sample_target.as_secs_f64();
+        let iters_per_sample =
+            ((budget / SAMPLES as f64 / per_iter.max(1e-12)).round() as u64).max(1);
+        let mut times = Vec::with_capacity(SAMPLES);
+        let mut total = Duration::ZERO;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            times.push(elapsed.as_secs_f64() / iters_per_sample as f64);
+            total += elapsed;
+        }
+        times.sort_by(f64::total_cmp);
+        let mean = total.as_secs_f64() / (SAMPLES as u64 * iters_per_sample) as f64;
+        self.result = Some(Sample {
+            mean: Duration::from_secs_f64(mean),
+            median: Duration::from_secs_f64(times[SAMPLES / 2]),
+            iterations: SAMPLES as u64 * iters_per_sample,
+        });
+    }
+}
+
+/// The top-level harness handle passed to every registered bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_target: Duration,
+    warmup_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+        };
+        Criterion {
+            sample_target: ms("BENCH_SAMPLE_MS", 300),
+            warmup_target: ms("BENCH_WARMUP_MS", 100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, self.sample_target, self.warmup_target, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for reporting until changed.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the measurement budget for this group (accepted for
+    /// criterion compatibility; the shim derives iteration counts itself).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark with its input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.sample_target,
+            self.criterion.warmup_target,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.sample_target,
+            self.criterion.warmup_target,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_target: Duration,
+    warmup_target: Duration,
+    f: F,
+) {
+    let mut bencher = Bencher::new(sample_target, warmup_target);
+    f(&mut bencher);
+    match bencher.result {
+        Some(sample) => {
+            let median_s = sample.median.as_secs_f64();
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / median_s),
+                Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / median_s),
+            });
+            println!(
+                "{label:<60} median {:>12}  mean {:>12}  ({} iters){}",
+                format_duration(sample.median),
+                format_duration(sample.mean),
+                sample.iterations,
+                rate.unwrap_or_default(),
+            );
+        }
+        None => println!("{label:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Registers bench functions under a group name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the registered groups, mirroring criterion's
+/// macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_sample() {
+        let mut c = Criterion {
+            sample_target: Duration::from_millis(5),
+            warmup_target: Duration::from_millis(1),
+        };
+        // Should not panic and should print a sample line.
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion {
+            sample_target: Duration::from_millis(5),
+            warmup_target: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("f", 10), &10usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

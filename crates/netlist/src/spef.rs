@@ -77,9 +77,9 @@ pub fn parse_spef(text: &str) -> Result<Vec<SpefNet>> {
         }
         let upper = line.to_ascii_uppercase();
         if upper.starts_with("*R_UNIT") {
-            r_unit = unit_scale(&line, line_no, &["OHM", "KOHM"])?;
+            r_unit = unit_scale(line, line_no, &["OHM", "KOHM"])?;
         } else if upper.starts_with("*C_UNIT") {
-            c_unit = unit_scale(&line, line_no, &["FF", "PF", "NF", "UF", "F"])?;
+            c_unit = unit_scale(line, line_no, &["FF", "PF", "NF", "UF", "F"])?;
         } else if upper.starts_with("*D_NET") {
             let tokens: Vec<&str> = line.split_whitespace().collect();
             if tokens.len() < 3 {
@@ -398,7 +398,10 @@ mod tests {
 1 a x 2
 *END
 "#;
-        assert!(matches!(parse_spef(text), Err(NetlistError::NotATree { .. })));
+        assert!(matches!(
+            parse_spef(text),
+            Err(NetlistError::NotATree { .. })
+        ));
     }
 
     #[test]
@@ -432,7 +435,10 @@ mod tests {
 
     #[test]
     fn empty_document_rejected() {
-        assert!(matches!(parse_spef("// nothing here\n"), Err(NetlistError::Empty)));
+        assert!(matches!(
+            parse_spef("// nothing here\n"),
+            Err(NetlistError::Empty)
+        ));
     }
 
     #[test]

@@ -288,10 +288,12 @@ pub(crate) fn build_tree(
 
     // Grounded capacitors.
     for (line, node, value) in caps {
-        let id = builder.node_by_name(node).map_err(|_| NetlistError::Parse {
-            line: *line,
-            message: format!("capacitor references unknown node `{node}`"),
-        })?;
+        let id = builder
+            .node_by_name(node)
+            .map_err(|_| NetlistError::Parse {
+                line: *line,
+                message: format!("capacitor references unknown node `{node}`"),
+            })?;
         builder.add_capacitance(id, Farads::new(*value))?;
     }
 
@@ -475,19 +477,28 @@ C2 c 0 1
     #[test]
     fn loops_are_rejected() {
         let deck = "R1 in a 10\nR2 a b 10\nR3 b in 10\nC1 b 0 1\n";
-        assert!(matches!(parse_spice(deck), Err(NetlistError::NotATree { .. })));
+        assert!(matches!(
+            parse_spice(deck),
+            Err(NetlistError::NotATree { .. })
+        ));
     }
 
     #[test]
     fn disconnected_elements_are_rejected() {
         let deck = "R1 in a 10\nR2 x y 10\nC1 a 0 1\n";
-        assert!(matches!(parse_spice(deck), Err(NetlistError::NotATree { .. })));
+        assert!(matches!(
+            parse_spice(deck),
+            Err(NetlistError::NotATree { .. })
+        ));
     }
 
     #[test]
     fn resistor_to_ground_is_rejected() {
         let deck = "R1 in a 10\nR2 a 0 10\nC1 a 0 1\n";
-        assert!(matches!(parse_spice(deck), Err(NetlistError::NotATree { .. })));
+        assert!(matches!(
+            parse_spice(deck),
+            Err(NetlistError::NotATree { .. })
+        ));
     }
 
     #[test]
@@ -512,7 +523,10 @@ C2 c 0 1
             parse_spice(".input\nR1 in a 1\n"),
             Err(NetlistError::Parse { .. })
         ));
-        assert!(matches!(parse_spice("* only a comment\n"), Err(NetlistError::Empty)));
+        assert!(matches!(
+            parse_spice("* only a comment\n"),
+            Err(NetlistError::Empty)
+        ));
     }
 
     #[test]
@@ -536,7 +550,9 @@ C2 c 0 1
         let deck2 = write_spice(&tree, "round trip");
         let tree2 = parse_spice(&deck2).unwrap();
         assert_eq!(tree2.node_count(), tree.node_count());
-        assert!((tree2.total_capacitance().value() - tree.total_capacitance().value()).abs() < 1e-18);
+        assert!(
+            (tree2.total_capacitance().value() - tree.total_capacitance().value()).abs() < 1e-18
+        );
         let out1 = tree.node_by_name("n2").unwrap();
         let out2 = tree2.node_by_name("n2").unwrap();
         let t1 = characteristic_times(&tree, out1).unwrap();

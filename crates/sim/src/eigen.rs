@@ -156,7 +156,12 @@ mod tests {
         for i in 0..n {
             lam[(i, i)] = e.values[i];
         }
-        let recon = e.vectors.mul(&lam).unwrap().mul(&e.vectors.transpose()).unwrap();
+        let recon = e
+            .vectors
+            .mul(&lam)
+            .unwrap()
+            .mul(&e.vectors.transpose())
+            .unwrap();
         for i in 0..n {
             for j in 0..n {
                 assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9, "entry ({i},{j})");
@@ -172,7 +177,8 @@ mod tests {
         }
         // Known eigenvalues of this tridiagonal: 2 − 2·cos(kπ/(n+1)).
         for (k, lam_k) in e.values.iter().enumerate() {
-            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!((lam_k - expect).abs() < 1e-9);
         }
     }

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_rejected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(solve(&a, &[1.0, 1.0]), Err(SimError::SingularMatrix)));
+        assert!(matches!(
+            solve(&a, &[1.0, 1.0]),
+            Err(SimError::SingularMatrix)
+        ));
     }
 
     #[test]

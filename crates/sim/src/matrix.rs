@@ -50,7 +50,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -82,9 +86,9 @@ impl Matrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         Ok(y)
     }

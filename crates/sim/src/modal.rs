@@ -158,12 +158,12 @@ impl ModalStepResponse {
         // w(t) = C^{-1/2}·Q·e^{−Λt}·Qᵀ·C^{1/2}·w(0) with w(0) = −v∞, so
         // v_c(t) = v∞_n − Σ_j [C^{-1/2}Q]_{nj} · [QᵀC^{1/2}v∞]_j · e^{−λ_j t}.
         let mut weights = vec![0.0; nc];
-        for j in 0..nc {
+        for (j, weight) in weights.iter_mut().enumerate() {
             let mut acc = 0.0;
             for i in 0..nc {
                 acc += eig.vectors[(i, j)] * sqrt_c[i] * v_inf[i];
             }
-            weights[j] = acc;
+            *weight = acc;
         }
         let mut coeffs = Matrix::zeros(nc, nc);
         for i in 0..nc {
@@ -260,7 +260,8 @@ impl ModalStepResponse {
     /// Propagates [`SimError::NodeOutOfRange`] and waveform construction
     /// errors.
     pub fn waveform(&self, node: usize, t_stop: f64, samples: usize) -> Result<Waveform> {
-        if samples < 2 || !(t_stop > 0.0) {
+        let positive = |x: f64| x > 0.0;
+        if samples < 2 || !positive(t_stop) {
             return Err(SimError::InvalidTimeGrid {
                 reason: "need at least 2 samples and a positive horizon",
             });
@@ -360,7 +361,8 @@ mod tests {
     fn single_lump() -> LumpedNetwork {
         let mut net = LumpedNetwork::new();
         let a = net.add_node("a", 2.0).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(a), 3.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 3.0)
+            .unwrap();
         net
     }
 
@@ -388,11 +390,13 @@ mod tests {
         let mut net = LumpedNetwork::new();
         let a = net.add_node("a", 1.0).unwrap();
         let b = net.add_node("b", 2.0).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0).unwrap();
-        net.add_resistor(Terminal::Node(a), Terminal::Node(b), 3.0).unwrap();
-        let modal = ModalStepResponse::new(&net).unwrap();
-        let transient = simulate(&net, InputSource::Step, TransientOptions::new(0.002, 30.0))
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0)
             .unwrap();
+        net.add_resistor(Terminal::Node(a), Terminal::Node(b), 3.0)
+            .unwrap();
+        let modal = ModalStepResponse::new(&net).unwrap();
+        let transient =
+            simulate(&net, InputSource::Step, TransientOptions::new(0.002, 30.0)).unwrap();
         for node in [a, b] {
             let wave = transient.waveform(node).unwrap();
             for &t in &[0.5, 2.0, 5.0, 15.0] {
@@ -410,8 +414,10 @@ mod tests {
         let mut net = LumpedNetwork::new();
         let mid = net.add_node("mid", 0.0).unwrap();
         let out = net.add_node("out", 1.0).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(mid), 1.0).unwrap();
-        net.add_resistor(Terminal::Node(mid), Terminal::Node(out), 1.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(mid), 1.0)
+            .unwrap();
+        net.add_resistor(Terminal::Node(mid), Terminal::Node(out), 1.0)
+            .unwrap();
         let modal = ModalStepResponse::new(&net).unwrap();
         assert_eq!(modal.poles().len(), 1);
         assert!((modal.poles()[0] - 0.5).abs() < 1e-12);
@@ -431,7 +437,9 @@ mod tests {
         b.add_capacitance(a, Farads::new(2.0)).unwrap();
         let s = b.add_resistor(a, "s", Ohms::new(8.0)).unwrap();
         b.add_capacitance(s, Farads::new(7.0)).unwrap();
-        let o = b.add_line(a, "o", Ohms::new(3.0), Farads::new(4.0)).unwrap();
+        let o = b
+            .add_line(a, "o", Ohms::new(3.0), Farads::new(4.0))
+            .unwrap();
         b.add_capacitance(o, Farads::new(9.0)).unwrap();
         b.mark_output(o).unwrap();
         let tree = b.build().unwrap();
@@ -455,7 +463,8 @@ mod tests {
     fn network_without_capacitance_is_rejected() {
         let mut net = LumpedNetwork::new();
         let a = net.add_node("a", 0.0).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0)
+            .unwrap();
         assert!(ModalStepResponse::new(&net).is_err());
     }
 }

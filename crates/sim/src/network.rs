@@ -325,8 +325,10 @@ mod tests {
         let mut net = LumpedNetwork::new();
         let a = net.add_node("a", 1e-12).unwrap();
         let b = net.add_node("b", 2e-12).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(a), 100.0).unwrap();
-        net.add_resistor(Terminal::Node(a), Terminal::Node(b), 50.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 100.0)
+            .unwrap();
+        net.add_resistor(Terminal::Node(a), Terminal::Node(b), 50.0)
+            .unwrap();
         let (g, c, bv) = net.assemble().unwrap();
         assert!((g[(0, 0)] - (0.01 + 0.02)).abs() < 1e-15);
         assert!((g[(1, 1)] - 0.02).abs() < 1e-15);
@@ -357,7 +359,8 @@ mod tests {
     fn zero_resistance_becomes_a_short() {
         let mut net = LumpedNetwork::new();
         let a = net.add_node("a", 1.0).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(a), 0.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 0.0)
+            .unwrap();
         let (g, _, b) = net.assemble().unwrap();
         assert!(g[(0, 0)] > 1e8);
         assert!(b[0] > 1e8);
@@ -373,7 +376,9 @@ mod tests {
         let mut b = RcTreeBuilder::new();
         let a = b.add_resistor(b.input(), "a", Ohms::new(10.0)).unwrap();
         b.add_capacitance(a, Farads::new(1.0)).unwrap();
-        let w = b.add_line(a, "w", Ohms::new(6.0), Farads::new(3.0)).unwrap();
+        let w = b
+            .add_line(a, "w", Ohms::new(6.0), Farads::new(3.0))
+            .unwrap();
         b.add_capacitance(w, Farads::new(2.0)).unwrap();
         b.mark_output(w).unwrap();
         b.build().unwrap()

@@ -144,14 +144,18 @@ pub fn simulate(
     source: InputSource,
     options: TransientOptions,
 ) -> Result<TransientResult> {
-    if !(options.time_step > 0.0) || !(options.t_stop > 0.0) || options.t_stop < options.time_step
+    // `is_positive`-style checks must also reject NaN, hence no plain `<= 0.0`.
+    let positive = |x: f64| x > 0.0;
+    if !positive(options.time_step)
+        || !positive(options.t_stop)
+        || options.t_stop < options.time_step
     {
         return Err(SimError::InvalidTimeGrid {
             reason: "time_step and t_stop must be positive with t_stop ≥ time_step",
         });
     }
     if let InputSource::Ramp { rise_time } = source {
-        if !(rise_time > 0.0) {
+        if !positive(rise_time) {
             return Err(SimError::InvalidValue {
                 what: "ramp rise time",
                 value: rise_time,
@@ -253,7 +257,8 @@ mod tests {
     fn single_lump() -> LumpedNetwork {
         let mut net = LumpedNetwork::new();
         let a = net.add_node("a", 1.0).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0).unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(a), 1.0)
+            .unwrap();
         net
     }
 
@@ -287,8 +292,14 @@ mod tests {
         let net = single_lump();
         let opts_be = TransientOptions::new(0.01, 3.0).with_method(Method::BackwardEuler);
         let opts_tr = TransientOptions::new(0.01, 3.0).with_method(Method::Trapezoidal);
-        let be = simulate(&net, InputSource::Step, opts_be).unwrap().waveform(0).unwrap();
-        let tr = simulate(&net, InputSource::Step, opts_tr).unwrap().waveform(0).unwrap();
+        let be = simulate(&net, InputSource::Step, opts_be)
+            .unwrap()
+            .waveform(0)
+            .unwrap();
+        let tr = simulate(&net, InputSource::Step, opts_tr)
+            .unwrap()
+            .waveform(0)
+            .unwrap();
         let exact = |t: f64| 1.0 - (-t).exp();
         let err = |w: &Waveform| {
             w.times()
@@ -305,7 +316,9 @@ mod tests {
         let mut b = RcTreeBuilder::new();
         let a = b.add_resistor(b.input(), "a", Ohms::new(2.0)).unwrap();
         b.add_capacitance(a, Farads::new(1.0)).unwrap();
-        let w = b.add_line(a, "w", Ohms::new(4.0), Farads::new(0.5)).unwrap();
+        let w = b
+            .add_line(a, "w", Ohms::new(4.0), Farads::new(0.5))
+            .unwrap();
         b.add_capacitance(w, Farads::new(2.0)).unwrap();
         b.mark_output(w).unwrap();
         let tree = b.build().unwrap();
@@ -322,14 +335,11 @@ mod tests {
         let mut net = LumpedNetwork::new();
         let mid = net.add_node("mid", 0.0).unwrap();
         let out = net.add_node("out", 1.0).unwrap();
-        net.add_resistor(Terminal::Input, Terminal::Node(mid), 1.0).unwrap();
-        net.add_resistor(Terminal::Node(mid), Terminal::Node(out), 1.0).unwrap();
-        let result = simulate(
-            &net,
-            InputSource::Step,
-            TransientOptions::new(0.005, 20.0),
-        )
-        .unwrap();
+        net.add_resistor(Terminal::Input, Terminal::Node(mid), 1.0)
+            .unwrap();
+        net.add_resistor(Terminal::Node(mid), Terminal::Node(out), 1.0)
+            .unwrap();
+        let result = simulate(&net, InputSource::Step, TransientOptions::new(0.005, 20.0)).unwrap();
         let w = result.waveform(out).unwrap();
         // Effective single pole with R = 2, C = 1.
         let exact = |t: f64| 1.0 - (-t / 2.0).exp();
@@ -342,7 +352,10 @@ mod tests {
     fn ramp_source_lags_step_source() {
         let net = single_lump();
         let opts = TransientOptions::new(0.005, 10.0);
-        let step = simulate(&net, InputSource::Step, opts).unwrap().waveform(0).unwrap();
+        let step = simulate(&net, InputSource::Step, opts)
+            .unwrap()
+            .waveform(0)
+            .unwrap();
         let ramp = simulate(&net, InputSource::Ramp { rise_time: 2.0 }, opts)
             .unwrap()
             .waveform(0)

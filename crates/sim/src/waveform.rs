@@ -31,8 +31,10 @@ impl Waveform {
                 actual: values.len(),
             });
         }
+        // Strict increase must also reject NaN, hence no plain `<=`.
+        let strictly_increasing = |a: f64, b: f64| b > a;
         for w in times.windows(2) {
-            if !(w[1] > w[0]) {
+            if !strictly_increasing(w[0], w[1]) {
                 return Err(SimError::InvalidTimeGrid {
                     reason: "times must be strictly increasing",
                 });
@@ -54,7 +56,8 @@ impl Waveform {
     /// Returns [`SimError::InvalidTimeGrid`] if `samples < 2` or `t_stop` is
     /// not positive.
     pub fn from_fn(t_stop: f64, samples: usize, mut f: impl FnMut(f64) -> f64) -> Result<Self> {
-        if samples < 2 || !(t_stop > 0.0) {
+        let positive = |x: f64| x > 0.0;
+        if samples < 2 || !positive(t_stop) {
             return Err(SimError::InvalidTimeGrid {
                 reason: "need at least 2 samples and a positive horizon",
             });

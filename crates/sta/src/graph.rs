@@ -181,11 +181,7 @@ impl Design {
     ///
     /// * [`StaError::UnknownCell`] if the cell is not in the library;
     /// * [`StaError::DuplicateInstance`] if the instance name is taken.
-    pub fn add_instance(
-        &mut self,
-        name: impl Into<String>,
-        cell: impl Into<String>,
-    ) -> Result<()> {
+    pub fn add_instance(&mut self, name: impl Into<String>, cell: impl Into<String>) -> Result<()> {
         let name = name.into();
         let cell = cell.into();
         self.library.cell(&cell)?;
@@ -253,7 +249,10 @@ impl Design {
             return Err(StaError::EmptyDesign);
         }
 
-        // Stage timing per net: delay window of every sink.
+        // Stage timing per net: delay window of every sink.  Each call to
+        // `analyze_stage` batches the whole net — one O(n) sweep covers all
+        // of the net's fan-outs — so the full design evaluation is linear in
+        // total extracted-node count plus total sink count.
         struct SinkDelay {
             load: Load,
             window: (Seconds, Seconds),
@@ -279,7 +278,8 @@ impl Design {
                 };
                 sink_loads.push((node, load_cap));
             }
-            let stage = analyze_stage(driver_resistance, &net.interconnect, &sink_loads, threshold)?;
+            let stage =
+                analyze_stage(driver_resistance, &net.interconnect, &sink_loads, threshold)?;
             let delays = net
                 .sinks
                 .iter()
@@ -522,7 +522,12 @@ mod tests {
         // Fan-out net with two sinks at different depths.
         let mut b = RcTreeBuilder::new();
         let stem = b
-            .add_line(b.input(), "stem", Ohms::new(100.0), Farads::from_femto(10.0))
+            .add_line(
+                b.input(),
+                "stem",
+                Ohms::new(100.0),
+                Farads::from_femto(10.0),
+            )
             .unwrap();
         b.add_line(stem, "near", Ohms::new(10.0), Farads::from_femto(1.0))
             .unwrap();

@@ -32,6 +32,7 @@ pub mod ladder;
 pub mod mos_net;
 pub mod pla;
 pub mod random;
+pub mod rng;
 pub mod tech;
 
 pub use crate::fig3::{figure3_tree, Figure3Nodes, Figure3Values};

@@ -86,7 +86,11 @@ pub fn mos_fanout_tree(params: MosNetParams, tech: &Technology) -> (RcTree, MosN
     let mut b = RcTreeBuilder::new();
     // Pull-up resistor to the inverter output node.
     let drv = b
-        .add_resistor(b.input(), "inverter_out", Ohms::new(params.pullup_resistance))
+        .add_resistor(
+            b.input(),
+            "inverter_out",
+            Ohms::new(params.pullup_resistance),
+        )
         .expect("static construction");
     b.add_capacitance(drv, Farads::new(params.driver_capacitance))
         .expect("static construction");
@@ -110,7 +114,8 @@ pub fn mos_fanout_tree(params: MosNetParams, tech: &Technology) -> (RcTree, MosN
             tech.poly_wire_capacitance(params.poly_to_a, params.poly_width),
         )
         .expect("static construction");
-    b.add_capacitance(gate_a, gate_cap).expect("static construction");
+    b.add_capacitance(gate_a, gate_cap)
+        .expect("static construction");
     b.mark_output(gate_a).expect("static construction");
 
     // Branch B: shorter poly run.
@@ -122,7 +127,8 @@ pub fn mos_fanout_tree(params: MosNetParams, tech: &Technology) -> (RcTree, MosN
             tech.poly_wire_capacitance(params.poly_to_b, params.poly_width),
         )
         .expect("static construction");
-    b.add_capacitance(gate_b, gate_cap).expect("static construction");
+    b.add_capacitance(gate_b, gate_cap)
+        .expect("static construction");
     b.mark_output(gate_b).expect("static construction");
 
     // Branch C: metal line — resistance neglected, capacitance kept
@@ -136,7 +142,8 @@ pub fn mos_fanout_tree(params: MosNetParams, tech: &Technology) -> (RcTree, MosN
             Farads::new(params.metal_cap_per_length * params.metal_to_c),
         )
         .expect("static construction");
-    b.add_capacitance(gate_c, gate_cap).expect("static construction");
+    b.add_capacitance(gate_c, gate_cap)
+        .expect("static construction");
     b.mark_output(gate_c).expect("static construction");
 
     let tree = b.build().expect("static construction");

@@ -7,11 +7,11 @@
 //! node, branches are randomly lumped resistors or distributed lines, and
 //! every leaf is marked as an output.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rctree_core::builder::RcTreeBuilder;
 use rctree_core::tree::RcTree;
 use rctree_core::units::{Farads, Ohms};
+
+use crate::rng::Rng;
 
 /// Configuration for the random tree generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,31 +62,32 @@ impl RandomTreeConfig {
                 && self.capacitance_range.0 <= self.capacitance_range.1,
             "ranges must be ordered"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let mut b = RcTreeBuilder::new();
         let mut ids = vec![b.input()];
 
         for i in 1..=self.nodes {
-            let parent = if self.prefer_chains && rng.gen_bool(0.5) {
+            let parent = if self.prefer_chains && rng.chance(0.5) {
                 *ids.last().expect("non-empty")
             } else {
-                ids[rng.gen_range(0..ids.len())]
+                ids[rng.index(ids.len())]
             };
-            let r = Ohms::new(rng.gen_range(self.resistance_range.0..=self.resistance_range.1));
+            let r = Ohms::new(rng.range_f64(self.resistance_range.0, self.resistance_range.1));
             let name = format!("n{i}");
-            let node = if rng.gen_bool(self.line_probability) {
-                let c = Farads::new(
-                    rng.gen_range(self.capacitance_range.0..=self.capacitance_range.1),
-                );
-                b.add_line(parent, name, r, c).expect("generated values are valid")
+            let node = if rng.chance(self.line_probability) {
+                let c =
+                    Farads::new(rng.range_f64(self.capacitance_range.0, self.capacitance_range.1));
+                b.add_line(parent, name, r, c)
+                    .expect("generated values are valid")
             } else {
-                b.add_resistor(parent, name, r).expect("generated values are valid")
+                b.add_resistor(parent, name, r)
+                    .expect("generated values are valid")
             };
-            if rng.gen_bool(self.capacitor_probability) {
-                let c = Farads::new(
-                    rng.gen_range(self.capacitance_range.0..=self.capacitance_range.1),
-                );
-                b.add_capacitance(node, c).expect("generated values are valid");
+            if rng.chance(self.capacitor_probability) {
+                let c =
+                    Farads::new(rng.range_f64(self.capacitance_range.0, self.capacitance_range.1));
+                b.add_capacitance(node, c)
+                    .expect("generated values are valid");
             }
             ids.push(node);
         }
@@ -162,9 +163,18 @@ mod tests {
                 let fast = characteristic_times(&tree, out).unwrap();
                 let slow = characteristic_times_direct(&tree, out).unwrap();
                 let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
-                assert!(rel(fast.t_p.value(), slow.t_p.value()) < 1e-9, "seed {seed}");
-                assert!(rel(fast.t_d.value(), slow.t_d.value()) < 1e-9, "seed {seed}");
-                assert!(rel(fast.t_r.value(), slow.t_r.value()) < 1e-9, "seed {seed}");
+                assert!(
+                    rel(fast.t_p.value(), slow.t_p.value()) < 1e-9,
+                    "seed {seed}"
+                );
+                assert!(
+                    rel(fast.t_d.value(), slow.t_d.value()) < 1e-9,
+                    "seed {seed}"
+                );
+                assert!(
+                    rel(fast.t_r.value(), slow.t_r.value()) < 1e-9,
+                    "seed {seed}"
+                );
             }
         }
     }

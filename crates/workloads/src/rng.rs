@@ -1,0 +1,123 @@
+//! A small, self-contained pseudo-random number generator.
+//!
+//! The build environment does not vendor the `rand` crate, so the seeded
+//! generators in this crate use their own PRNG: SplitMix64 to expand the
+//! seed, then xoshiro256++ for the stream (Blackman & Vigna, 2019).  The
+//! statistical quality is far beyond what structural tree generation needs,
+//! and the implementation is ~40 lines with no dependencies.
+//!
+//! Determinism is part of the public contract of the workload generators:
+//! the same seed always produces the same tree, across platforms, because
+//! everything below is integer arithmetic with explicit wrapping.
+
+/// A seeded xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 seed expansion).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)` (53 mantissa bits).
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform f64 in `[lo, hi]`.  Requires `lo <= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "inverted range");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform index in `[0, n)`.  Requires `n > 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "empty range");
+        // Multiply-shift range reduction; the modulo bias is < 2^-64 * n,
+        // irrelevant for workload generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::from_seed(7);
+        let mut b = Rng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::from_seed(1);
+        let mut b = Rng::from_seed(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut r = Rng::from_seed(3);
+        for _ in 0..1000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Rng::from_seed(4);
+        for _ in 0..1000 {
+            let x = r.range_f64(5.0, 6.0);
+            assert!((5.0..=6.0).contains(&x));
+            let i = r.index(7);
+            assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn chance_mean_is_approximately_p() {
+        let mut r = Rng::from_seed(5);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+}

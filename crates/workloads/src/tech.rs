@@ -12,7 +12,7 @@
 use rctree_core::units::{Farads, Ohms};
 
 /// Permittivity of free space (F/m).
-const EPSILON_0: f64 = 8.854_187_8128e-12;
+const EPSILON_0: f64 = 8.854_187_812_8e-12;
 /// Relative permittivity of SiO₂.
 const EPSILON_R_SIO2: f64 = 3.9;
 

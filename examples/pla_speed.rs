@@ -15,7 +15,10 @@ use penfield_rubinstein::workloads::tech::Technology;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("PLA AND-plane polysilicon line (Section V / Figures 12-13)");
     println!("threshold: 0.7 * VDD\n");
-    println!("{:>9} {:>12} {:>12} {:>12}", "minterms", "t_min (ns)", "t_max (ns)", "elmore (ns)");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "minterms", "t_min (ns)", "t_max (ns)", "elmore (ns)"
+    );
 
     let mut minterms = 2usize;
     while minterms <= 100 {
@@ -29,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bounds.upper.as_nano(),
             times.elmore_delay().as_nano()
         );
-        minterms = if minterms < 10 { minterms + 2 } else { minterms + 10 };
+        minterms = if minterms < 10 {
+            minterms + 2
+        } else {
+            minterms + 10
+        };
     }
 
     // The same sweep with parasitics derived from the geometry/technology
@@ -42,8 +49,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bounds.lower.as_nano(),
         bounds.upper.as_nano()
     );
-    println!(
-        "paper's conclusion: ~10 ns worst case, so the dominant PLA delay is elsewhere."
-    );
+    println!("paper's conclusion: ~10 ns worst case, so the dominant PLA delay is elsewhere.");
     Ok(())
 }

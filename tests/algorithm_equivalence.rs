@@ -4,11 +4,11 @@
 
 use penfield_rubinstein::core::elmore::elmore_delays;
 use penfield_rubinstein::core::moments::{characteristic_times, characteristic_times_direct};
+use penfield_rubinstein::core::units::{Farads, Ohms};
 use penfield_rubinstein::workloads::htree::{h_tree, HTreeParams};
 use penfield_rubinstein::workloads::ladder::{distributed_line, rc_ladder};
 use penfield_rubinstein::workloads::pla::PlaLine;
 use penfield_rubinstein::workloads::random::RandomTreeConfig;
-use penfield_rubinstein::core::units::{Farads, Ohms};
 
 fn rel(a: f64, b: f64) -> f64 {
     (a - b).abs() / b.abs().max(1e-30)
@@ -19,9 +19,18 @@ fn assert_algorithms_agree(tree: &penfield_rubinstein::core::RcTree, label: &str
     for out in tree.outputs().collect::<Vec<_>>() {
         let fast = characteristic_times(tree, out).expect("fast");
         let slow = characteristic_times_direct(tree, out).expect("direct");
-        assert!(rel(fast.t_p.value(), slow.t_p.value()) < 1e-9, "{label} T_P");
-        assert!(rel(fast.t_d.value(), slow.t_d.value()) < 1e-9, "{label} T_D");
-        assert!(rel(fast.t_r.value(), slow.t_r.value()) < 1e-9, "{label} T_R");
+        assert!(
+            rel(fast.t_p.value(), slow.t_p.value()) < 1e-9,
+            "{label} T_P"
+        );
+        assert!(
+            rel(fast.t_d.value(), slow.t_d.value()) < 1e-9,
+            "{label} T_D"
+        );
+        assert!(
+            rel(fast.t_r.value(), slow.t_r.value()) < 1e-9,
+            "{label} T_R"
+        );
         assert!(
             rel(elmore[out.index()].value(), fast.t_d.value()) < 1e-9,
             "{label} Elmore fast path"

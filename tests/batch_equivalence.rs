@@ -1,0 +1,119 @@
+//! Equivalence of the O(n) batch engine with the per-output oracles.
+//!
+//! [`BatchTimes`] must agree with `characteristic_times_direct` (the
+//! paper's straightforward per-capacitor method, kept as an independent
+//! oracle) to 1e-9 relative for **every output of every workload
+//! generator** — ladders, distributed lines, H-trees, the paper's Figure 3
+//! and Figure 7 networks, PLA lines, the MOS fan-out, and a seeded sweep of
+//! random trees — and the Eq. (7) ordering `T_Re ≤ T_De ≤ T_P` must hold at
+//! every node, not just at the marked outputs.
+
+use penfield_rubinstein::core::batch::BatchTimes;
+use penfield_rubinstein::core::moments::{characteristic_times, characteristic_times_direct};
+use penfield_rubinstein::core::tree::RcTree;
+use penfield_rubinstein::core::units::{Farads, Ohms};
+use penfield_rubinstein::workloads::fig3::{figure3_tree, Figure3Values};
+use penfield_rubinstein::workloads::fig7::figure7_tree;
+use penfield_rubinstein::workloads::htree::{h_tree, HTreeParams};
+use penfield_rubinstein::workloads::ladder::{distributed_line, rc_ladder};
+use penfield_rubinstein::workloads::mos_net::representative_mos_fanout;
+use penfield_rubinstein::workloads::pla::PlaLine;
+use penfield_rubinstein::workloads::random::RandomTreeConfig;
+use penfield_rubinstein::workloads::rng::Rng;
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-30)
+}
+
+/// Checks the batch engine against both per-output oracles on every node of
+/// `tree`, plus the Eq. (7) ordering.
+fn assert_batch_matches(tree: &RcTree, label: &str) {
+    let batch = BatchTimes::of(tree).expect("analysable");
+    assert_eq!(batch.node_count(), tree.node_count());
+    for node in tree.node_ids() {
+        let got = batch.times(node).expect("valid node");
+        let direct = characteristic_times_direct(tree, node).expect("direct oracle");
+        let linear = characteristic_times(tree, node).expect("linear oracle");
+        for (g, want) in [
+            (got.t_p.value(), direct.t_p.value()),
+            (got.t_d.value(), direct.t_d.value()),
+            (got.t_r.value(), direct.t_r.value()),
+            (got.t_p.value(), linear.t_p.value()),
+            (got.t_d.value(), linear.t_d.value()),
+            (got.t_r.value(), linear.t_r.value()),
+        ] {
+            assert!(rel(g, want) < 1e-9, "{label}: node {node}: {g} vs {want}");
+        }
+        assert_eq!(got.r_ee, direct.r_ee, "{label}: node {node}");
+        assert!(got.satisfies_ordering(), "{label}: node {node}");
+    }
+}
+
+#[test]
+fn ladders_and_lines_match() {
+    for sections in [1usize, 2, 7, 64] {
+        let (tree, _) = rc_ladder(Ohms::new(150.0), Farads::new(2e-12), sections);
+        assert_batch_matches(&tree, &format!("ladder[{sections}]"));
+    }
+    let (line, _) = distributed_line(Ohms::new(500.0), Farads::new(1e-12));
+    assert_batch_matches(&line, "distributed_line");
+}
+
+#[test]
+fn h_trees_match() {
+    for levels in [1usize, 3, 6] {
+        let (tree, _) = h_tree(HTreeParams {
+            levels,
+            ..HTreeParams::default()
+        });
+        assert_batch_matches(&tree, &format!("htree[{levels}]"));
+    }
+}
+
+#[test]
+fn paper_networks_match() {
+    let (fig3, _) = figure3_tree(Figure3Values::default());
+    assert_batch_matches(&fig3, "figure3");
+    let (fig7, _) = figure7_tree();
+    assert_batch_matches(&fig7, "figure7");
+    let (mos, _) = representative_mos_fanout();
+    assert_batch_matches(&mos, "mos_fanout");
+}
+
+#[test]
+fn pla_lines_match() {
+    for minterms in [2usize, 10, 40] {
+        let (tree, _) = PlaLine::new(minterms).tree();
+        assert_batch_matches(&tree, &format!("pla[{minterms}]"));
+    }
+}
+
+#[test]
+fn random_trees_match() {
+    let mut rng = Rng::from_seed(0xBA7C4);
+    for case in 0..64u64 {
+        let cfg = RandomTreeConfig {
+            nodes: 2 + rng.index(60),
+            line_probability: rng.uniform(),
+            capacitor_probability: rng.range_f64(0.3, 1.0),
+            prefer_chains: rng.chance(0.5),
+            ..RandomTreeConfig::default()
+        };
+        let tree = cfg.generate(rng.next_u64());
+        assert_batch_matches(&tree, &format!("random[{case}]"));
+    }
+}
+
+#[test]
+fn batch_agrees_with_characteristic_times_all() {
+    // The `characteristic_times_all` convenience wrapper (now itself backed
+    // by the batch engine) must stay consistent with direct batch queries.
+    let (tree, _) = h_tree(HTreeParams::default());
+    let batch = BatchTimes::of(&tree).expect("analysable");
+    let all =
+        penfield_rubinstein::core::moments::characteristic_times_all(&tree).expect("analysable");
+    assert_eq!(all.len(), tree.outputs().count());
+    for (node, times) in all {
+        assert_eq!(times, batch.times(node).expect("valid node"));
+    }
+}

@@ -53,7 +53,9 @@ fn assert_bounds_bracket_exact(tree: &penfield_rubinstein::core::RcTree, label: 
         }
         // Threshold crossings bracketed by the delay bounds.
         for threshold in [0.1, 0.5, 0.9] {
-            let crossing = modal.crossing_time(idx, threshold).expect("reaches threshold");
+            let crossing = modal
+                .crossing_time(idx, threshold)
+                .expect("reaches threshold");
             let bounds = times.delay_bounds(threshold).expect("valid threshold");
             assert!(
                 crossing >= bounds.lower.value() * (1.0 - 5e-3) - 1e-15,

@@ -1,135 +1,160 @@
-//! Property-based tests (proptest) for the core invariants of the paper:
+//! Property-based tests for the core invariants of the paper:
 //!
 //! * Eq. (7): `T_Re ≤ T_De ≤ T_P` for every output of every RC tree;
 //! * bound ordering and monotonicity of the voltage bounds;
 //! * consistency of the delay and voltage bounds as inverse functions;
 //! * equality of the independent characteristic-time algorithms;
 //! * the two-port cascade algebra against the explicit-tree algorithms.
-
-use proptest::prelude::*;
+//!
+//! The build environment does not vendor `proptest`, so the properties run
+//! as a deterministic sweep: every test draws its generator configurations
+//! from a seeded [`Rng`](penfield_rubinstein::workloads::rng::Rng), which
+//! keeps the case corpus identical on every run and makes a failing case
+//! number directly reproducible.
 
 use penfield_rubinstein::core::expr::NetworkExpr;
 use penfield_rubinstein::core::moments::{characteristic_times, characteristic_times_direct};
 use penfield_rubinstein::core::units::{Farads, Ohms, Seconds};
 use penfield_rubinstein::workloads::random::RandomTreeConfig;
+use penfield_rubinstein::workloads::rng::Rng;
 
-/// Strategy: a random-tree configuration plus seed, kept small enough that
-/// the quadratic reference algorithm stays fast.
-fn tree_strategy() -> impl Strategy<Value = (RandomTreeConfig, u64)> {
+/// Number of generated cases per property (matches the proptest config the
+/// suite used historically).
+const CASES: u64 = 64;
+
+/// Draws a random-tree configuration plus generation seed, kept small enough
+/// that the quadratic reference algorithm stays fast.
+fn draw_tree_config(rng: &mut Rng) -> (RandomTreeConfig, u64) {
     (
-        2usize..30,
-        0.0f64..1.0,
-        0.3f64..1.0,
-        prop::bool::ANY,
-        any::<u64>(),
+        RandomTreeConfig {
+            nodes: 2 + rng.index(28),
+            line_probability: rng.uniform(),
+            capacitor_probability: rng.range_f64(0.3, 1.0),
+            prefer_chains: rng.chance(0.5),
+            ..RandomTreeConfig::default()
+        },
+        rng.next_u64(),
     )
-        .prop_map(|(nodes, line_p, cap_p, chains, seed)| {
-            (
-                RandomTreeConfig {
-                    nodes,
-                    line_probability: line_p,
-                    capacitor_probability: cap_p,
-                    prefer_chains: chains,
-                    ..RandomTreeConfig::default()
-                },
-                seed,
-            )
-        })
 }
 
-/// Strategy: a chain expression in the two-port algebra.
-fn expr_strategy() -> impl Strategy<Value = NetworkExpr> {
-    let element = (0.0f64..1000.0, 0.0f64..1e-12, prop::bool::ANY).prop_map(|(r, c, branch)| {
-        let e = NetworkExpr::line(Ohms::new(r), Farads::new(c));
-        if branch {
+/// Draws a chain expression in the two-port algebra.
+fn draw_expr(rng: &mut Rng) -> NetworkExpr {
+    let element = |rng: &mut Rng| {
+        let e = NetworkExpr::line(
+            Ohms::new(rng.range_f64(0.0, 1000.0)),
+            Farads::new(rng.range_f64(0.0, 1e-12)),
+        );
+        if rng.chance(0.5) {
             e.side_branch()
         } else {
             e
         }
-    });
-    prop::collection::vec(element, 1..20).prop_map(|elems| {
-        let mut iter = elems.into_iter();
-        let first = iter.next().expect("at least one element");
-        iter.fold(first, |acc, e| acc.cascade(e))
-            .cascade(NetworkExpr::capacitor(Farads::new(1e-15)))
-    })
+    };
+    let len = 1 + rng.index(19);
+    let mut expr = element(rng);
+    for _ in 1..len {
+        expr = expr.cascade(element(rng));
+    }
+    expr.cascade(NetworkExpr::capacitor(Farads::new(1e-15)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ordering_invariant_holds_for_random_trees((cfg, seed) in tree_strategy()) {
+#[test]
+fn ordering_invariant_holds_for_random_trees() {
+    let mut rng = Rng::from_seed(0xA11CE);
+    for case in 0..CASES {
+        let (cfg, seed) = draw_tree_config(&mut rng);
         let tree = cfg.generate(seed);
         for out in tree.outputs().collect::<Vec<_>>() {
             let t = characteristic_times(&tree, out).expect("analysable");
-            prop_assert!(t.satisfies_ordering());
+            assert!(t.satisfies_ordering(), "case {case}, output {out}");
         }
     }
+}
 
-    #[test]
-    fn fast_and_direct_algorithms_agree((cfg, seed) in tree_strategy()) {
+#[test]
+fn fast_and_direct_algorithms_agree() {
+    let mut rng = Rng::from_seed(0xB0B);
+    for case in 0..CASES {
+        let (cfg, seed) = draw_tree_config(&mut rng);
         let tree = cfg.generate(seed);
         for out in tree.outputs().collect::<Vec<_>>() {
             let fast = characteristic_times(&tree, out).expect("fast");
             let slow = characteristic_times_direct(&tree, out).expect("direct");
             let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
-            prop_assert!(rel(fast.t_p.value(), slow.t_p.value()) < 1e-9);
-            prop_assert!(rel(fast.t_d.value(), slow.t_d.value()) < 1e-9);
-            prop_assert!(rel(fast.t_r.value(), slow.t_r.value()) < 1e-9);
+            assert!(
+                rel(fast.t_p.value(), slow.t_p.value()) < 1e-9,
+                "case {case}"
+            );
+            assert!(
+                rel(fast.t_d.value(), slow.t_d.value()) < 1e-9,
+                "case {case}"
+            );
+            assert!(
+                rel(fast.t_r.value(), slow.t_r.value()) < 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn voltage_bounds_are_ordered_clamped_and_monotone(
-        (cfg, seed) in tree_strategy(),
-        times in prop::collection::vec(0.0f64..10.0, 1..20)
-    ) {
+#[test]
+fn voltage_bounds_are_ordered_clamped_and_monotone() {
+    let mut rng = Rng::from_seed(0xC0FFEE);
+    for case in 0..CASES {
+        let (cfg, seed) = draw_tree_config(&mut rng);
         let tree = cfg.generate(seed);
         let out = tree.outputs().next().expect("outputs exist");
         let ct = characteristic_times(&tree, out).expect("analysable");
         let scale = ct.t_p.value().max(1e-18);
-        let mut sorted = times;
+        let mut sorted: Vec<f64> = (0..1 + rng.index(19))
+            .map(|_| rng.range_f64(0.0, 10.0))
+            .collect();
         sorted.sort_by(f64::total_cmp);
         let mut prev_lower = -1.0;
         let mut prev_upper = -1.0;
         for &x in &sorted {
-            let b = ct.voltage_bounds(Seconds::new(x * scale)).expect("valid time");
-            prop_assert!(b.lower >= 0.0 && b.upper <= 1.0);
-            prop_assert!(b.lower <= b.upper + 1e-12);
-            prop_assert!(b.lower >= prev_lower - 1e-12);
-            prop_assert!(b.upper >= prev_upper - 1e-12);
+            let b = ct
+                .voltage_bounds(Seconds::new(x * scale))
+                .expect("valid time");
+            assert!(b.lower >= 0.0 && b.upper <= 1.0, "case {case}");
+            assert!(b.lower <= b.upper + 1e-12, "case {case}");
+            assert!(b.lower >= prev_lower - 1e-12, "case {case}");
+            assert!(b.upper >= prev_upper - 1e-12, "case {case}");
             prev_lower = b.lower;
             prev_upper = b.upper;
         }
     }
+}
 
-    #[test]
-    fn delay_bounds_are_ordered_and_inverse_consistent(
-        (cfg, seed) in tree_strategy(),
-        threshold in 0.01f64..0.99
-    ) {
+#[test]
+fn delay_bounds_are_ordered_and_inverse_consistent() {
+    let mut rng = Rng::from_seed(0xDE1A);
+    for case in 0..CASES {
+        let (cfg, seed) = draw_tree_config(&mut rng);
+        let threshold = rng.range_f64(0.01, 0.99);
         let tree = cfg.generate(seed);
         let out = tree.outputs().next().expect("outputs exist");
         let ct = characteristic_times(&tree, out).expect("analysable");
         let b = ct.delay_bounds(threshold).expect("valid threshold");
-        prop_assert!(b.lower.value() >= 0.0);
-        prop_assert!(b.lower <= b.upper);
+        assert!(b.lower.value() >= 0.0, "case {case}");
+        assert!(b.lower <= b.upper, "case {case}");
         // By the upper-bound definition, the voltage guaranteed at t_max is
         // at least the threshold; the voltage possible at t_min is at least
         // the threshold.
         let v_at_upper = ct.voltage_lower_bound(b.upper).expect("valid time");
-        prop_assert!(v_at_upper >= threshold - 1e-6);
+        assert!(v_at_upper >= threshold - 1e-6, "case {case}");
         let v_at_lower = ct.voltage_upper_bound(b.lower).expect("valid time");
-        prop_assert!(v_at_lower >= threshold - 1e-6);
+        assert!(v_at_lower >= threshold - 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn certification_is_consistent_with_bounds(
-        (cfg, seed) in tree_strategy(),
-        threshold in 0.05f64..0.95,
-        budget_scale in 0.0f64..3.0
-    ) {
+#[test]
+fn certification_is_consistent_with_bounds() {
+    let mut rng = Rng::from_seed(0xCE27);
+    for case in 0..CASES {
+        let (cfg, seed) = draw_tree_config(&mut rng);
+        let threshold = rng.range_f64(0.05, 0.95);
+        let budget_scale = rng.range_f64(0.0, 3.0);
         let tree = cfg.generate(seed);
         let out = tree.outputs().next().expect("outputs exist");
         let ct = characteristic_times(&tree, out).expect("analysable");
@@ -137,37 +162,55 @@ proptest! {
         let budget = Seconds::new(budget_scale * b.upper.value().max(1e-18));
         let verdict = ct.certify(threshold, budget).expect("valid inputs");
         if verdict.is_pass() {
-            prop_assert!(budget >= b.upper);
+            assert!(budget >= b.upper, "case {case}");
         } else if verdict.is_fail() {
-            prop_assert!(budget < b.lower);
+            assert!(budget < b.lower, "case {case}");
         } else {
-            prop_assert!(budget >= b.lower - Seconds::new(1e-18) && budget <= b.upper);
+            assert!(
+                budget >= b.lower - Seconds::new(1e-18) && budget <= b.upper,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn twoport_algebra_matches_tree_elaboration(expr in expr_strategy()) {
+#[test]
+fn twoport_algebra_matches_tree_elaboration() {
+    let mut rng = Rng::from_seed(0x79_0807);
+    for case in 0..CASES {
+        let expr = draw_expr(&mut rng);
         let state = expr.evaluate();
         let tree = expr.to_tree().expect("expression elaborates");
         let out = tree.outputs().next().expect("one output");
         if state.total_cap().is_zero() {
-            return Ok(());
+            continue;
         }
         let from_expr = state.characteristic_times().expect("analysable");
         let from_tree = characteristic_times(&tree, out).expect("analysable");
         let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-24);
-        prop_assert!(rel(from_expr.t_p.value(), from_tree.t_p.value()) < 1e-9);
-        prop_assert!(rel(from_expr.t_d.value(), from_tree.t_d.value()) < 1e-9);
-        prop_assert!(rel(from_expr.t_r.value(), from_tree.t_r.value()) < 1e-9);
+        assert!(
+            rel(from_expr.t_p.value(), from_tree.t_p.value()) < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            rel(from_expr.t_d.value(), from_tree.t_d.value()) < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            rel(from_expr.t_r.value(), from_tree.t_r.value()) < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn elmore_delay_lies_between_the_halfway_bounds(
-        (cfg, seed) in tree_strategy()
-    ) {
-        // Classical sanity relation: at the 50% threshold the lower bound
-        // never exceeds the Elmore delay (Elmore over-estimates the median
-        // delay for RC trees).
+#[test]
+fn elmore_delay_lies_between_the_halfway_bounds() {
+    // Classical sanity relation: at the 50% threshold the lower bound never
+    // exceeds the Elmore delay (Elmore over-estimates the median delay for
+    // RC trees).
+    let mut rng = Rng::from_seed(0xE1);
+    for case in 0..CASES {
+        let (cfg, seed) = draw_tree_config(&mut rng);
         let tree = cfg.generate(seed);
         for out in tree.outputs().collect::<Vec<_>>() {
             let ct = characteristic_times(&tree, out).expect("analysable");
@@ -175,7 +218,7 @@ proptest! {
                 continue;
             }
             let b = ct.delay_bounds(0.5).expect("valid threshold");
-            prop_assert!(b.lower <= ct.t_d + Seconds::new(1e-18));
+            assert!(b.lower <= ct.t_d + Seconds::new(1e-18), "case {case}");
         }
     }
 }

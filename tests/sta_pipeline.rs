@@ -66,13 +66,8 @@ fn clock_tree_design_certifies_against_budget() {
 
     // Primary input to the buffer through a short wire.
     let mut b = penfield_rubinstein::core::builder::RcTreeBuilder::new();
-    b.add_line(
-        b.input(),
-        "load",
-        Ohms::new(25.0),
-        Farads::from_femto(5.0),
-    )
-    .unwrap();
+    b.add_line(b.input(), "load", Ohms::new(25.0), Farads::from_femto(5.0))
+        .unwrap();
     design
         .add_net(Net {
             name: "n_in".into(),
@@ -127,13 +122,8 @@ fn library_drive_strength_trades_off_as_expected() {
     let lib = CellLibrary::nmos_1981();
     let wire = {
         let mut b = penfield_rubinstein::core::builder::RcTreeBuilder::new();
-        b.add_line(
-            b.input(),
-            "load",
-            Ohms::new(500.0),
-            Farads::from_pico(0.3),
-        )
-        .unwrap();
+        b.add_line(b.input(), "load", Ohms::new(500.0), Farads::from_pico(0.3))
+            .unwrap();
         b.build().unwrap()
     };
     let mut arrivals = Vec::new();
