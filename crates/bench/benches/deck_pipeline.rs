@@ -1,0 +1,135 @@
+//! End-to-end deck pipeline: SPEF parse → design build → batch STA →
+//! certification, serial versus parallel.
+//!
+//! This is the ROADMAP's "SPEF-scale ingestion" benchmark: a generated
+//! multi-thousand-net deck is pushed through the entire stack twice — once
+//! with one worker, once with the work-stealing pool — and throughput is
+//! reported in nets per second.  Before timing anything the two paths are
+//! asserted **bit-identical** (parsed nets and timing reports compare equal
+//! with exact `f64` equality), so the speedup is never bought with drift.
+//!
+//! Environment knobs:
+//!
+//! * `DECK_NETS`  — nets in the generated deck (default 1000);
+//! * `DECK_JOBS`  — parallel worker count (default: available parallelism,
+//!   but at least 4 so the configured shape matches the acceptance target);
+//! * `DECK_ITERS` — timed repetitions per path, best-of reported (default 3).
+//!
+//! A machine-readable summary is written to
+//! `target/BENCH_deck_pipeline.json`.
+
+use std::time::Instant;
+
+use rctree_core::cert::Certification;
+use rctree_core::units::Seconds;
+use rctree_netlist::{parse_spef, parse_spef_deck};
+use rctree_sta::{CellLibrary, Design, TimingReport};
+use rctree_workloads::deck::{spef_deck, SpefDeckParams};
+
+const THRESHOLD: f64 = 0.5;
+const DRIVER_CELL: &str = "inv_4x";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Runs the whole pipeline with the given worker count and returns the
+/// report plus the certification verdict.
+fn pipeline(text: &str, budget: Seconds, jobs: usize) -> (TimingReport, Certification) {
+    let nets = if jobs == 1 {
+        parse_spef(text).expect("generated deck parses")
+    } else {
+        parse_spef_deck(text, jobs).expect("generated deck parses")
+    };
+    let design = Design::from_extracted(
+        CellLibrary::nmos_1981(),
+        DRIVER_CELL,
+        nets.into_iter().map(|n| (n.name, n.tree)),
+    )
+    .expect("generated deck builds a design");
+    let report = design
+        .analyze_with_jobs(THRESHOLD, budget, jobs)
+        .expect("generated deck analyses");
+    let verdict = report.certification();
+    (report, verdict)
+}
+
+fn best_of<F: FnMut() -> (TimingReport, Certification)>(iters: usize, mut f: F) -> f64 {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let nets = env_usize("DECK_NETS", 1000);
+    let iters = env_usize("DECK_ITERS", 3);
+    let avail = rctree_par::available_parallelism();
+    let jobs = env_usize("DECK_JOBS", avail.max(4));
+    let budget = Seconds::from_nano(50.0);
+
+    let params = SpefDeckParams {
+        nets,
+        ..SpefDeckParams::default()
+    };
+    let text = spef_deck(&params, 0xDECC);
+
+    // Correctness gate: the parallel path must be bit-identical to the
+    // serial one before its timing means anything.
+    let serial_nets = parse_spef(&text).expect("deck parses");
+    let parallel_nets = parse_spef_deck(&text, jobs).expect("deck parses");
+    assert!(
+        serial_nets == parallel_nets,
+        "parse_spef_deck({jobs}) differs from parse_spef"
+    );
+    let nodes: usize = serial_nets.iter().map(|n| n.tree.node_count()).sum();
+    let (serial_report, serial_verdict) = pipeline(&text, budget, 1);
+    let (parallel_report, _) = pipeline(&text, budget, jobs);
+    assert!(
+        serial_report == parallel_report,
+        "analyze_with_jobs({jobs}) differs from the serial analysis"
+    );
+
+    let serial_s = best_of(iters, || pipeline(&text, budget, 1));
+    let parallel_s = best_of(iters, || pipeline(&text, budget, jobs));
+    let speedup = serial_s / parallel_s;
+
+    println!(
+        "deck_pipeline: {nets} nets / {nodes} nodes, verdict {serial_verdict}, {jobs} workers \
+         (hardware {avail})"
+    );
+    println!(
+        "  serial   {serial_s:>10.4} s  {:>12.1} nets/s",
+        nets as f64 / serial_s
+    );
+    println!(
+        "  parallel {parallel_s:>10.4} s  {:>12.1} nets/s",
+        nets as f64 / parallel_s
+    );
+    println!("  speedup  {speedup:>10.2}x  (bit-identical: true)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"deck_pipeline\",\n  \"nets\": {nets},\n  \"nodes\": {nodes},\n  \
+         \"workers\": {jobs},\n  \"available_parallelism\": {avail},\n  \"iters\": {iters},\n  \
+         \"serial\": {{ \"total_s\": {serial_s}, \"nets_per_s\": {} }},\n  \
+         \"parallel\": {{ \"total_s\": {parallel_s}, \"nets_per_s\": {} }},\n  \
+         \"speedup\": {speedup},\n  \"bit_identical\": true\n}}\n",
+        nets as f64 / serial_s,
+        nets as f64 / parallel_s,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/BENCH_deck_pipeline.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  summary written to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

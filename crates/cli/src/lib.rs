@@ -11,6 +11,7 @@
 //!   --threshold <v>              switching threshold   (default: 0.5)
 //!   --budget <seconds>           certify against a delay budget
 //!   --voltage-at <seconds>       also report voltage bounds at this time
+//!   --jobs <n>                   worker threads        (default: available parallelism)
 //!   --help                       print usage
 //! ```
 //!
@@ -27,7 +28,7 @@ use std::fmt::Write as _;
 use rctree_core::analysis::TreeAnalysis;
 use rctree_core::tree::RcTree;
 use rctree_core::units::Seconds;
-use rctree_netlist::{parse_expr, parse_spef, parse_spice};
+use rctree_netlist::{parse_expr, parse_spef_deck, parse_spice};
 
 /// Input netlist formats understood by the tool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +56,9 @@ pub struct Options {
     pub budget: Option<f64>,
     /// Optional time at which to report voltage bounds, in seconds.
     pub voltage_at: Option<f64>,
+    /// Worker threads for deck-scale work (`None`: `RCTREE_JOBS` or the
+    /// available hardware parallelism, per [`rctree_par::default_jobs`]).
+    pub jobs: Option<usize>,
 }
 
 impl Default for Options {
@@ -66,6 +70,7 @@ impl Default for Options {
             threshold: 0.5,
             budget: None,
             voltage_at: None,
+            jobs: None,
         }
     }
 }
@@ -82,6 +87,9 @@ options:
   --threshold <v>              switching threshold in (0,1) (default: 0.5)
   --budget <seconds>           certify every output against this budget
   --voltage-at <seconds>       also report voltage bounds at this time
+  --jobs <n>                   worker threads for SPEF deck parsing
+                               (default: RCTREE_JOBS, else available
+                               parallelism)
   --help                       print this message
 ";
 
@@ -154,6 +162,17 @@ where
             "--voltage-at" => {
                 opts.voltage_at = Some(parse_number(&value_of("--voltage-at")?, "--voltage-at")?);
             }
+            "--jobs" => {
+                let text = value_of("--jobs")?;
+                let jobs = text
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("--jobs: `{text}` is not a positive integer"))
+                    })?;
+                opts.jobs = Some(jobs);
+            }
             other if other.starts_with('-') && other != "-" => {
                 return Err(CliError::Usage(format!("unknown option `{other}`")));
             }
@@ -191,7 +210,10 @@ pub fn load_tree(text: &str, opts: &Options) -> Result<RcTree, CliError> {
     match opts.format {
         InputFormat::Spice => parse_spice(text).map_err(|e| CliError::Netlist(e.to_string())),
         InputFormat::Spef => {
-            let nets = parse_spef(text).map_err(|e| CliError::Netlist(e.to_string()))?;
+            // Deck-level parallel ingestion: `*D_NET` sections are parsed
+            // across the worker pool, with results in document order.
+            let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+            let nets = parse_spef_deck(text, jobs).map_err(|e| CliError::Netlist(e.to_string()))?;
             let net = match &opts.net {
                 Some(name) => nets
                     .into_iter()
@@ -294,6 +316,8 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             "1e-9",
             "--voltage-at",
             "5e-10",
+            "--jobs",
+            "3",
             "deck.spef",
         ])
         .unwrap();
@@ -302,6 +326,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
         assert_eq!(opts.threshold, 0.9);
         assert_eq!(opts.budget, Some(1e-9));
         assert_eq!(opts.voltage_at, Some(5e-10));
+        assert_eq!(opts.jobs, Some(3));
         assert_eq!(opts.path, "deck.spef");
     }
 
@@ -311,6 +336,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
         assert_eq!(opts.format, InputFormat::Spice);
         assert_eq!(opts.threshold, 0.5);
         assert!(opts.budget.is_none());
+        assert!(opts.jobs.is_none());
     }
 
     #[test]
@@ -330,6 +356,14 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             Err(CliError::Usage(_))
         ));
         assert!(matches!(parse_args(["--budget"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["--jobs", "0", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--jobs", "two", "x"]),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_args(["a.sp", "b.sp"]),
             Err(CliError::Usage(_))

@@ -10,6 +10,10 @@ pub enum NetlistError {
     Parse {
         /// 1-based line number of the offending input line.
         line: usize,
+        /// The offending token, when one can be singled out.  Kept as a
+        /// structured field (not just interpolated into `message`) so that
+        /// tools wrapping the parser can point at the exact text span.
+        token: Option<String>,
         /// Description of the problem.
         message: String,
     },
@@ -36,10 +40,39 @@ pub enum NetlistError {
     Core(rctree_core::CoreError),
 }
 
+impl NetlistError {
+    /// A [`NetlistError::Parse`] with no offending token singled out.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        NetlistError::Parse {
+            line,
+            token: None,
+            message: message.into(),
+        }
+    }
+
+    /// A [`NetlistError::Parse`] pointing at a specific offending token.
+    pub fn parse_at(line: usize, token: impl Into<String>, message: impl Into<String>) -> Self {
+        NetlistError::Parse {
+            line,
+            token: Some(token.into()),
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            NetlistError::Parse {
+                line,
+                token: Some(token),
+                message,
+            } => write!(f, "line {line}: {message} (near `{token}`)"),
+            NetlistError::Parse {
+                line,
+                token: None,
+                message,
+            } => write!(f, "line {line}: {message}"),
             NetlistError::NotATree { message } => write!(f, "not an RC tree: {message}"),
             NetlistError::FloatingCapacitor { line } => write!(
                 f,
@@ -78,12 +111,12 @@ mod tests {
 
     #[test]
     fn messages_are_meaningful() {
-        assert!(NetlistError::Parse {
-            line: 3,
-            message: "bad token".into()
-        }
-        .to_string()
-        .contains("line 3"));
+        assert!(NetlistError::parse(3, "bad token")
+            .to_string()
+            .contains("line 3"));
+        let at = NetlistError::parse_at(4, "0.0x", "invalid numeric literal");
+        assert!(at.to_string().contains("line 4"));
+        assert!(at.to_string().contains("`0.0x`"));
         assert!(NetlistError::Empty.to_string().contains("no elements"));
         assert!(NetlistError::FloatingCapacitor { line: 7 }
             .to_string()

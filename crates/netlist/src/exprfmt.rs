@@ -36,13 +36,12 @@ pub fn parse_expr(text: &str) -> Result<NetworkExpr> {
     let mut parser = Parser { tokens, pos: 0 };
     let expr = parser.parse_expr()?;
     if parser.pos != parser.tokens.len() {
-        return Err(NetlistError::Parse {
-            line: 1,
-            message: format!(
-                "unexpected trailing token `{}`",
-                parser.tokens[parser.pos].text
-            ),
-        });
+        let token = parser.tokens[parser.pos].text.clone();
+        return Err(NetlistError::parse_at(
+            1,
+            token.clone(),
+            format!("unexpected trailing token `{token}`"),
+        ));
     }
     Ok(expr)
 }
@@ -96,10 +95,7 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
         tokens.push(Token { text: current });
     }
     if tokens.is_empty() {
-        return Err(NetlistError::Parse {
-            line: 1,
-            message: "empty expression".into(),
-        });
+        return Err(NetlistError::parse(1, "empty expression"));
     }
     Ok(tokens)
 }
@@ -123,9 +119,8 @@ impl Parser {
     }
 
     fn expect(&mut self, what: &str) -> Result<String> {
-        self.bump().ok_or_else(|| NetlistError::Parse {
-            line: 1,
-            message: format!("unexpected end of expression, expected {what}"),
+        self.bump().ok_or_else(|| {
+            NetlistError::parse(1, format!("unexpected end of expression, expected {what}"))
         })
     }
 
@@ -153,10 +148,11 @@ impl Parser {
             let inner = self.parse_expr()?;
             let close = self.expect("`)`")?;
             if close != ")" {
-                return Err(NetlistError::Parse {
-                    line: 1,
-                    message: format!("expected `)`, found `{close}`"),
-                });
+                return Err(NetlistError::parse_at(
+                    1,
+                    close.clone(),
+                    format!("expected `)`, found `{close}`"),
+                ));
             }
             return Ok(inner);
         }
@@ -167,10 +163,11 @@ impl Parser {
             let c = parse_value(&c_tok, 1)?;
             return Ok(NetworkExpr::line(Ohms::new(r), Farads::new(c)));
         }
-        Err(NetlistError::Parse {
-            line: 1,
-            message: format!("unexpected token `{tok}`"),
-        })
+        Err(NetlistError::parse_at(
+            1,
+            tok.clone(),
+            format!("unexpected token `{tok}`"),
+        ))
     }
 }
 

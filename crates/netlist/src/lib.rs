@@ -39,7 +39,7 @@ pub mod value;
 
 pub use crate::error::{NetlistError, Result};
 pub use crate::exprfmt::{format_expr, parse_expr};
-pub use crate::spef::{parse_spef, parse_spef_net, SpefNet};
+pub use crate::spef::{parse_spef, parse_spef_deck, parse_spef_net, SpefNet};
 pub use crate::spice::{parse_spice, write_spice};
 
 #[cfg(test)]

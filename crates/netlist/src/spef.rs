@@ -38,7 +38,7 @@ use crate::value::parse_value;
 use rctree_core::tree::RcTree;
 
 /// A single `*D_NET` parsed from a SPEF-lite file.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpefNet {
     /// Net name from the `*D_NET` line.
     pub name: String,
@@ -65,32 +65,17 @@ enum Section {
 /// [`NetlistError::Empty`] if the document holds no `*D_NET` at all.
 pub fn parse_spef(text: &str) -> Result<Vec<SpefNet>> {
     let mut nets = Vec::new();
-    let mut r_unit = 1.0; // ohms
-    let mut c_unit = 1e-12; // SPEF default: picofarads
+    let mut units = Units::default();
 
-    let mut lines = text.lines().enumerate().peekable();
+    let mut lines = text.lines().enumerate();
     while let Some((idx, raw)) = lines.next() {
         let line_no = idx + 1;
         let line = strip_comment(raw);
         if line.is_empty() {
             continue;
         }
-        let upper = line.to_ascii_uppercase();
-        if upper.starts_with("*R_UNIT") {
-            r_unit = unit_scale(line, line_no, &["OHM", "KOHM"])?;
-        } else if upper.starts_with("*C_UNIT") {
-            c_unit = unit_scale(line, line_no, &["FF", "PF", "NF", "UF", "F"])?;
-        } else if upper.starts_with("*D_NET") {
-            let tokens: Vec<&str> = line.split_whitespace().collect();
-            if tokens.len() < 3 {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: "*D_NET requires a name and a total capacitance".into(),
-                });
-            }
-            let name = tokens[1].to_string();
-            let total = parse_value(tokens[2], line_no)? * c_unit;
-            let net = parse_d_net(&mut lines, name, total, r_unit, c_unit)?;
+        if let Some((name, total)) = units.scan_top_level(line, line_no)? {
+            let net = parse_d_net(&mut lines, name, line_no, total, units.r, units.c)?;
             nets.push(net);
         }
     }
@@ -99,6 +84,54 @@ pub fn parse_spef(text: &str) -> Result<Vec<SpefNet>> {
         return Err(NetlistError::Empty);
     }
     Ok(nets)
+}
+
+/// The `*R_UNIT`/`*C_UNIT` scales in effect at a point of the document,
+/// plus the recognition of top-level directives.  Shared verbatim between
+/// the serial parser and the deck splitter so the two scanners cannot
+/// drift apart (their bit-identity is a documented guarantee of
+/// [`parse_spef_deck`]).
+#[derive(Debug, Clone, Copy)]
+struct Units {
+    r: f64,
+    c: f64,
+}
+
+impl Default for Units {
+    fn default() -> Self {
+        Units {
+            r: 1.0,   // ohms
+            c: 1e-12, // SPEF default: picofarads
+        }
+    }
+}
+
+impl Units {
+    /// Processes one top-level (outside any `*D_NET` body) line: unit
+    /// directives update the scales in place; a `*D_NET` header returns the
+    /// net name and its declared total capacitance (already scaled); any
+    /// other line is ignored.
+    fn scan_top_level(&mut self, line: &str, line_no: usize) -> Result<Option<(String, f64)>> {
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("*R_UNIT") {
+            self.r = unit_scale(line, line_no, &["OHM", "KOHM"])?;
+        } else if upper.starts_with("*C_UNIT") {
+            self.c = unit_scale(line, line_no, &["FF", "PF", "NF", "UF", "F"])?;
+        } else if upper.starts_with("*D_NET") {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() < 3 {
+                return Err(NetlistError::parse_at(
+                    line_no,
+                    tokens[0],
+                    "*D_NET requires a name and a total capacitance",
+                ));
+            }
+            let name = tokens[1].to_string();
+            let total = parse_value(tokens[2], line_no)? * self.c;
+            return Ok(Some((name, total)));
+        }
+        Ok(None)
+    }
 }
 
 /// Parses a SPEF-lite document and returns the net with the given name.
@@ -116,6 +149,112 @@ pub fn parse_spef_net(text: &str, net_name: &str) -> Result<SpefNet> {
         })
 }
 
+/// One `*D_NET` section located by the deck splitter: the parsed header
+/// plus the absolute (0-based) line range of the section body, so the
+/// section can be parsed independently of the rest of the document with
+/// correct line numbers in every error.
+#[derive(Debug, Clone)]
+struct DeckSection {
+    name: String,
+    declared_total_cap: f64,
+    /// Unit scales in effect where the section starts (unit directives are
+    /// processed in document order, exactly as in the serial parser).
+    r_unit: f64,
+    c_unit: f64,
+    /// 1-based line number of the `*D_NET` header.
+    header_line: usize,
+    /// 0-based line range of the body, from the line after the header
+    /// through the `*END` line (or end of input when `*END` is missing).
+    body: (usize, usize),
+}
+
+/// Locates every `*D_NET` section and the unit scales in effect at each,
+/// without parsing section bodies.
+fn split_deck(lines: &[&str]) -> Result<Vec<DeckSection>> {
+    let mut sections = Vec::new();
+    let mut units = Units::default();
+    let mut i = 0;
+    while i < lines.len() {
+        let line_no = i + 1;
+        let line = strip_comment(lines[i]);
+        if line.is_empty() {
+            i += 1;
+            continue;
+        }
+        if let Some((name, declared_total_cap)) = units.scan_top_level(line, line_no)? {
+            // The body runs through the matching `*END`.  Lines inside it
+            // (including any stray `*D_NET`) belong to the section, exactly
+            // as the serial parser consumes them.
+            let mut j = i + 1;
+            while j < lines.len()
+                && !strip_comment(lines[j])
+                    .to_ascii_uppercase()
+                    .starts_with("*END")
+            {
+                j += 1;
+            }
+            let body_end = (j + 1).min(lines.len());
+            sections.push(DeckSection {
+                name,
+                declared_total_cap,
+                r_unit: units.r,
+                c_unit: units.c,
+                header_line: line_no,
+                body: (i + 1, body_end),
+            });
+            i = body_end;
+            continue;
+        }
+        i += 1;
+    }
+    Ok(sections)
+}
+
+/// Parses every `*D_NET` section of a SPEF-lite document, fanning the
+/// sections out over `jobs` worker threads.
+///
+/// This is the deck-scale entry point: the document is first split on
+/// `*D_NET` section boundaries in one cheap sequential scan (which also
+/// resolves the `*R_UNIT`/`*C_UNIT` scales in effect at each section), and
+/// the sections — where all the real parsing work is — are then parsed
+/// independently in parallel.  The result is **bit-identical** to
+/// [`parse_spef`] for every `jobs` value: nets are returned in document
+/// order and each section sees exactly the lines and unit scales the serial
+/// parser would give it, with absolute line numbers in every error.
+///
+/// On an invalid document the error returned is the first failing section
+/// in document order (a malformed unit directive or `*D_NET` header found
+/// during the scan is reported before any section error).
+///
+/// # Errors
+///
+/// The same errors as [`parse_spef`], including [`NetlistError::Empty`]
+/// when the document holds no `*D_NET` at all.
+pub fn parse_spef_deck(text: &str, jobs: usize) -> Result<Vec<SpefNet>> {
+    let lines: Vec<&str> = text.lines().collect();
+    let sections = split_deck(&lines)?;
+    if sections.is_empty() {
+        return Err(NetlistError::Empty);
+    }
+    let lines = &lines;
+    rctree_par::par_map_indexed(jobs, &sections, |_, sec| {
+        let mut body = lines[sec.body.0..sec.body.1]
+            .iter()
+            .enumerate()
+            .map(|(k, &raw)| (sec.body.0 + k, raw));
+        parse_d_net(
+            &mut body,
+            sec.name.clone(),
+            sec.header_line,
+            sec.declared_total_cap,
+            sec.r_unit,
+            sec.c_unit,
+        )
+    })
+    .into_iter()
+    .collect()
+}
+
 fn strip_comment(raw: &str) -> &str {
     raw.split("//").next().unwrap_or("").trim()
 }
@@ -123,18 +262,20 @@ fn strip_comment(raw: &str) -> &str {
 fn unit_scale(line: &str, line_no: usize, accepted: &[&str]) -> Result<f64> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
     if tokens.len() < 3 {
-        return Err(NetlistError::Parse {
-            line: line_no,
-            message: format!("unit directive `{line}` requires a scale and a unit"),
-        });
+        return Err(NetlistError::parse_at(
+            line_no,
+            tokens[0],
+            format!("unit directive `{line}` requires a scale and a unit"),
+        ));
     }
     let scale = parse_value(tokens[1], line_no)?;
     let unit = tokens[2].to_ascii_uppercase();
     if !accepted.contains(&unit.as_str()) {
-        return Err(NetlistError::Parse {
-            line: line_no,
-            message: format!("unsupported unit `{}`", tokens[2]),
-        });
+        return Err(NetlistError::parse_at(
+            line_no,
+            tokens[2],
+            format!("unsupported unit `{}`", tokens[2]),
+        ));
     }
     let unit_factor = match unit.as_str() {
         "OHM" => 1.0,
@@ -150,8 +291,9 @@ fn unit_scale(line: &str, line_no: usize, accepted: &[&str]) -> Result<f64> {
 }
 
 fn parse_d_net<'a, I>(
-    lines: &mut std::iter::Peekable<I>,
+    lines: &mut I,
     name: String,
+    header_line: usize,
     declared_total_cap: f64,
     r_unit: f64,
     c_unit: f64,
@@ -161,7 +303,7 @@ where
 {
     let mut section = Section::Preamble;
     let mut driver: Option<String> = None;
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
     let mut caps: Vec<(usize, String, f64)> = Vec::new();
     let mut branches: Vec<BranchCard> = Vec::new();
 
@@ -173,9 +315,12 @@ where
         }
         let upper = line.to_ascii_uppercase();
         if upper.starts_with("*END") {
-            let input = driver.ok_or(NetlistError::Parse {
-                line: line_no,
-                message: format!("net `{name}` has no *I driver pin"),
+            let input = driver.ok_or_else(|| {
+                NetlistError::parse_at(
+                    line_no,
+                    name.as_str(),
+                    format!("net `{name}` has no *I driver pin"),
+                )
             })?;
             let tree = build_tree(&input, &branches, &caps, &outputs)?;
             return Ok(SpefNet {
@@ -197,18 +342,20 @@ where
             continue;
         }
         if upper.starts_with("*I ") || upper.starts_with("*P ") {
-            if section != Section::Conn {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: "pin declarations must appear inside *CONN".into(),
-                });
-            }
             let tokens: Vec<&str> = line.split_whitespace().collect();
+            if section != Section::Conn {
+                return Err(NetlistError::parse_at(
+                    line_no,
+                    tokens[0],
+                    "pin declarations must appear inside *CONN",
+                ));
+            }
             if tokens.len() < 3 {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: "pin declaration requires a name and a direction".into(),
-                });
+                return Err(NetlistError::parse_at(
+                    line_no,
+                    tokens[0],
+                    "pin declaration requires a name and a direction",
+                ));
             }
             let pin = tokens[1].to_string();
             match tokens[2].to_ascii_uppercase().as_str() {
@@ -219,12 +366,13 @@ where
                         });
                     }
                 }
-                "O" => outputs.push(pin),
+                "O" => outputs.push((line_no, pin)),
                 other => {
-                    return Err(NetlistError::Parse {
-                        line: line_no,
-                        message: format!("unknown pin direction `{other}`"),
-                    });
+                    return Err(NetlistError::parse_at(
+                        line_no,
+                        other,
+                        format!("unknown pin direction `{other}`"),
+                    ));
                 }
             }
             continue;
@@ -242,20 +390,22 @@ where
                         return Err(NetlistError::FloatingCapacitor { line: line_no });
                     }
                     _ => {
-                        return Err(NetlistError::Parse {
-                            line: line_no,
-                            message: "*CAP entry requires: index node value".into(),
-                        });
+                        return Err(NetlistError::parse_at(
+                            line_no,
+                            tokens.first().copied().unwrap_or(""),
+                            "*CAP entry requires: index node value",
+                        ));
                     }
                 }
             }
             Section::Res => {
                 let tokens: Vec<&str> = line.split_whitespace().collect();
                 if tokens.len() < 4 {
-                    return Err(NetlistError::Parse {
-                        line: line_no,
-                        message: "*RES entry requires: index node node value".into(),
-                    });
+                    return Err(NetlistError::parse_at(
+                        line_no,
+                        tokens[0],
+                        "*RES entry requires: index node node value",
+                    ));
                 }
                 let value = parse_value(tokens[3], line_no)? * r_unit;
                 branches.push(BranchCard::new(
@@ -268,18 +418,22 @@ where
                 ));
             }
             Section::Conn | Section::Preamble => {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: format!("unexpected line `{line}` in D_NET section"),
-                });
+                return Err(NetlistError::parse_at(
+                    line_no,
+                    line.split_whitespace().next().unwrap_or(""),
+                    format!("unexpected line `{line}` in D_NET section"),
+                ));
             }
         }
     }
 
-    Err(NetlistError::Parse {
-        line: 0,
-        message: format!("net `{name}` is missing its *END line"),
-    })
+    // Reported at the `*D_NET` header (the old behaviour was a useless
+    // "line 0" once the rest of the document had been consumed).
+    Err(NetlistError::parse_at(
+        header_line,
+        name.as_str(),
+        format!("net `{name}` is missing its *END line"),
+    ))
 }
 
 #[cfg(test)]
@@ -447,5 +601,83 @@ mod tests {
         let nets = parse_spef(&text).unwrap();
         assert_eq!(nets.len(), 2);
         assert_eq!(nets[1].name, "net2");
+    }
+
+    /// A deck of `n` copies of [`SAMPLE`]'s net under distinct names.
+    fn replicated_deck(n: usize) -> String {
+        let mut text = String::new();
+        for i in 0..n {
+            text.push_str(&SAMPLE.replace("net1", &format!("net{i}")));
+        }
+        text
+    }
+
+    #[test]
+    fn deck_parse_is_bit_identical_to_serial_for_any_job_count() {
+        let text = replicated_deck(33);
+        let serial = parse_spef(&text).unwrap();
+        assert_eq!(serial.len(), 33);
+        for jobs in [1, 2, 7, rctree_par::available_parallelism()] {
+            let parallel = parse_spef_deck(&text, jobs).unwrap();
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn deck_parse_applies_units_in_document_order() {
+        // The second net is parsed under KOHM/FF scales declared between
+        // the sections; the splitter must hand each section the scales in
+        // effect where it starts.
+        let text = "\
+*D_NET a 1\n*CONN\n*I drv I\n*P x O\n*CAP\n1 x 1\n*RES\n1 drv x 5\n*END\n\
+*R_UNIT 1 KOHM\n*C_UNIT 1 FF\n\
+*D_NET b 1\n*CONN\n*I drv I\n*P y O\n*CAP\n1 y 2\n*RES\n1 drv y 7\n*END\n";
+        let serial = parse_spef(text).unwrap();
+        let parallel = parse_spef_deck(text, 2).unwrap();
+        assert_eq!(parallel, serial);
+        let y = parallel[1].tree.node_by_name("y").unwrap();
+        assert!((parallel[1].tree.resistance_from_input(y).unwrap().value() - 7000.0).abs() < 1e-9);
+        assert!((parallel[1].tree.total_capacitance().value() - 2e-15).abs() < 1e-26);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_token() {
+        // A bad `*CAP` value inside the second net: the error names the
+        // absolute 1-based line and the offending token, from both the
+        // serial and the deck parser.
+        let text = "\
+*D_NET a 1\n*CONN\n*I drv I\n*CAP\n1 x 1\n*RES\n1 drv x 5\n*END\n\
+*D_NET b 1\n*CONN\n*I drv I\n*CAP\n1 y bogus\n*RES\n1 drv y 7\n*END\n";
+        for result in [parse_spef(text), parse_spef_deck(text, 2)] {
+            match result {
+                Err(NetlistError::Parse { line, token, .. }) => {
+                    assert_eq!(line, 13);
+                    assert_eq!(token.as_deref(), Some("bogus"));
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_end_is_reported_at_the_net_header() {
+        let text = "// preamble\n*D_NET n 1\n*CONN\n*I drv I\n*CAP\n1 load 1\n";
+        for result in [parse_spef(text), parse_spef_deck(text, 2)] {
+            match result {
+                Err(NetlistError::Parse { line, token, .. }) => {
+                    assert_eq!(line, 2, "reported at the *D_NET header");
+                    assert_eq!(token.as_deref(), Some("n"));
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deck_parser_rejects_empty_documents() {
+        assert!(matches!(
+            parse_spef_deck("// nothing\n", 4),
+            Err(NetlistError::Empty)
+        ));
     }
 }

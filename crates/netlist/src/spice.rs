@@ -67,7 +67,7 @@ pub fn parse_spice(deck: &str) -> Result<RcTree> {
     let mut branches: Vec<BranchCard> = Vec::new();
     let mut caps: Vec<(usize, String, f64)> = Vec::new();
     let mut input: Option<String> = None;
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
 
     for (idx, raw_line) in deck.lines().enumerate() {
         let line_no = idx + 1;
@@ -82,21 +82,21 @@ pub fn parse_spice(deck: &str) -> Result<RcTree> {
             break;
         }
         if head == ".input" {
-            let name = tokens.get(1).ok_or_else(|| NetlistError::Parse {
-                line: line_no,
-                message: ".input requires a node name".into(),
+            let name = tokens.get(1).ok_or_else(|| {
+                NetlistError::parse_at(line_no, tokens[0], ".input requires a node name")
             })?;
             input = Some((*name).to_string());
             continue;
         }
         if head == ".output" {
             if tokens.len() < 2 {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: ".output requires at least one node name".into(),
-                });
+                return Err(NetlistError::parse_at(
+                    line_no,
+                    tokens[0],
+                    ".output requires at least one node name",
+                ));
             }
-            outputs.extend(tokens[1..].iter().map(|s| s.to_string()));
+            outputs.extend(tokens[1..].iter().map(|s| (line_no, s.to_string())));
             continue;
         }
         if head.starts_with('.') {
@@ -129,10 +129,11 @@ pub fn parse_spice(deck: &str) -> Result<RcTree> {
             }
             Some('u') => {
                 if tokens.len() < 5 {
-                    return Err(NetlistError::Parse {
-                        line: line_no,
-                        message: "U card requires: name node node R C".into(),
-                    });
+                    return Err(NetlistError::parse_at(
+                        line_no,
+                        tokens[0],
+                        "U card requires: name node node R C",
+                    ));
                 }
                 let r = parse_value(tokens[3], line_no)?;
                 let c = parse_value(tokens[4], line_no)?;
@@ -146,10 +147,11 @@ pub fn parse_spice(deck: &str) -> Result<RcTree> {
                 });
             }
             _ => {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: format!("unknown element card `{}`", tokens[0]),
-                });
+                return Err(NetlistError::parse_at(
+                    line_no,
+                    tokens[0],
+                    format!("unknown element card `{}`", tokens[0]),
+                ));
             }
         }
     }
@@ -164,10 +166,11 @@ pub fn parse_spice(deck: &str) -> Result<RcTree> {
 
 fn three_fields(tokens: &[&str], line: usize) -> Result<(String, String, f64)> {
     if tokens.len() < 4 {
-        return Err(NetlistError::Parse {
+        return Err(NetlistError::parse_at(
             line,
-            message: format!("`{}` card requires: name node node value", tokens[0]),
-        });
+            tokens[0],
+            format!("`{}` card requires: name node node value", tokens[0]),
+        ));
     }
     let v = parse_value(tokens[3], line)?;
     Ok((tokens[1].to_string(), tokens[2].to_string(), v))
@@ -204,7 +207,7 @@ pub(crate) fn build_tree(
     input_name: &str,
     branches: &[BranchCard],
     caps: &[(usize, String, f64)],
-    outputs: &[String],
+    outputs: &[(usize, String)],
 ) -> Result<RcTree> {
     // Adjacency of resistive branches.
     let mut adjacency: HashMap<&str, Vec<usize>> = HashMap::new();
@@ -288,12 +291,13 @@ pub(crate) fn build_tree(
 
     // Grounded capacitors.
     for (line, node, value) in caps {
-        let id = builder
-            .node_by_name(node)
-            .map_err(|_| NetlistError::Parse {
-                line: *line,
-                message: format!("capacitor references unknown node `{node}`"),
-            })?;
+        let id = builder.node_by_name(node).map_err(|_| {
+            NetlistError::parse_at(
+                *line,
+                node.as_str(),
+                format!("capacitor references unknown node `{node}`"),
+            )
+        })?;
         builder.add_capacitance(id, Farads::new(*value))?;
     }
 
@@ -318,13 +322,14 @@ pub(crate) fn build_tree(
             builder.mark_output(id)?;
         }
     } else {
-        for name in outputs {
-            let id = builder
-                .node_by_name(name)
-                .map_err(|_| NetlistError::Parse {
-                    line: 0,
-                    message: format!(".output references unknown node `{name}`"),
-                })?;
+        for (line, name) in outputs {
+            let id = builder.node_by_name(name).map_err(|_| {
+                NetlistError::parse_at(
+                    *line,
+                    name.as_str(),
+                    format!("output references unknown node `{name}`"),
+                )
+            })?;
             builder.mark_output(id)?;
         }
     }
@@ -542,6 +547,37 @@ C2 c 0 1
     fn unknown_output_node_rejected() {
         let deck = "R1 in a 10\nC1 a 0 1\n.output zzz\n";
         assert!(matches!(parse_spice(deck), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_token() {
+        // A bad numeric literal deep in the deck is reported with the exact
+        // 1-based line number and the offending token.
+        let deck = "R1 in a 10\nC1 a 0 1\nR2 a b bogus\nC2 b 0 1\n.output b\n";
+        match parse_spice(deck) {
+            Err(NetlistError::Parse { line, token, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(token.as_deref(), Some("bogus"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // An unknown `.output` node is reported at the directive's line (it
+        // used to surface as line 0 once the deck had been tokenized).
+        match parse_spice("R1 in a 10\nC1 a 0 1\n.output zzz\n") {
+            Err(NetlistError::Parse { line, token, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(token.as_deref(), Some("zzz"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Unknown element cards name the card itself.
+        match parse_spice("X1 a b 5\n") {
+            Err(NetlistError::Parse { line, token, .. }) => {
+                assert_eq!(line, 1);
+                assert_eq!(token.as_deref(), Some("X1"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -32,9 +32,12 @@ pub fn parse_value(token: &str, line: usize) -> Result<f64> {
         num_part = &num_part[..num_part.len() - 1];
         suffix = &lower[split - 1..];
     }
-    let base: f64 = num_part.parse().map_err(|_| NetlistError::Parse {
-        line,
-        message: format!("invalid numeric literal `{token}`"),
+    let base: f64 = num_part.parse().map_err(|_| {
+        NetlistError::parse_at(
+            line,
+            token.trim(),
+            format!("invalid numeric literal `{token}`"),
+        )
     })?;
     let mult = if suffix.starts_with("meg") {
         1e6
@@ -128,7 +131,10 @@ mod tests {
         assert!(parse_value("abc", 3).is_err());
         assert!(parse_value("", 3).is_err());
         match parse_value("xyz", 9) {
-            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 9),
+            Err(NetlistError::Parse { line, token, .. }) => {
+                assert_eq!(line, 9);
+                assert_eq!(token.as_deref(), Some("xyz"));
+            }
             other => panic!("unexpected: {other:?}"),
         }
     }

@@ -1,0 +1,403 @@
+//! The scoped work-stealing pool: [`scope`], [`Scope::spawn`] and
+//! [`par_map_indexed`].
+//!
+//! # Scheduling model
+//!
+//! [`scope`] starts `workers` threads for the duration of one closure.
+//! Jobs spawned through the [`Scope`] handle are distributed round-robin
+//! across per-worker [`JobDeque`]s; each worker pops its own deque LIFO and,
+//! when empty, sweeps the other deques and steals *half* of the first
+//! non-empty queue it finds (see [`crate::deque`]).  Idle workers sleep on a
+//! condvar guarded by a version counter, so a quiet pool costs nothing.
+//!
+//! # Determinism
+//!
+//! The pool never reorders *results*: [`par_map_indexed`] writes every
+//! element into a slot chosen by its input index and concatenates the slots
+//! in index order, so its output is byte-for-byte identical to the serial
+//! map regardless of worker count or steal interleaving (provided the
+//! mapped function itself is deterministic).  Scheduling only affects *when*
+//! a job runs, never where its result lands.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::deque::JobDeque;
+
+/// A unit of work: a boxed closure that may borrow from the environment of
+/// the enclosing [`scope`] call.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Bookkeeping shared by the scope owner and every worker.
+#[derive(Debug)]
+struct State {
+    /// Jobs spawned but not yet finished.
+    pending: usize,
+    /// Bumped on every spawn; lets a worker detect "work arrived between my
+    /// failed sweep and my wait" without missing a wakeup.
+    version: u64,
+    /// Set once the scope closure has returned and all jobs finished (or the
+    /// closure panicked); workers exit at the next dispatch point.
+    shutdown: bool,
+}
+
+struct Shared<'env> {
+    deques: Vec<JobDeque<Job<'env>>>,
+    state: Mutex<State>,
+    /// Workers wait here for new work.
+    work: Condvar,
+    /// The scope owner waits here for `pending` to reach zero.
+    done: Condvar,
+    /// First panic payload raised by a job; re-thrown by [`scope`].
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'env> Shared<'env> {
+    fn new(workers: usize) -> Self {
+        Shared {
+            deques: (0..workers).map(|_| JobDeque::new()).collect(),
+            state: Mutex::new(State {
+                pending: 0,
+                version: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn locked_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pops from the worker's own deque, else steals half of the first
+    /// non-empty victim deque (scanning from the worker's right neighbour so
+    /// contention spreads instead of piling on worker 0).
+    fn find_job(&self, me: usize) -> Option<Job<'env>> {
+        if let Some(job) = self.deques[me].pop() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            let mut stolen = self.deques[victim].steal_half();
+            if let Some(job) = stolen.pop() {
+                // Keep the rest of the loot runnable locally (and stealable
+                // by others); run the newest stolen job first.
+                for job in stolen {
+                    self.deques[me].push(job);
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs one job, decrementing `pending` even if the job panics, and
+    /// stashing the first panic payload for the scope owner to re-throw.
+    fn run_job(&self, job: Job<'env>) {
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        if let Err(payload) = outcome {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+        let mut st = self.locked_state();
+        st.pending -= 1;
+        if st.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn worker(&self, me: usize) {
+        loop {
+            if self.locked_state().shutdown {
+                return;
+            }
+            if let Some(job) = self.find_job(me) {
+                self.run_job(job);
+                continue;
+            }
+            // Nothing found: record the spawn version, re-sweep once (a job
+            // may have been pushed between the sweep and now), then sleep
+            // until the version moves.
+            let seen = {
+                let st = self.locked_state();
+                if st.shutdown {
+                    return;
+                }
+                st.version
+            };
+            if let Some(job) = self.find_job(me) {
+                self.run_job(job);
+                continue;
+            }
+            let mut st = self.locked_state();
+            while !st.shutdown && st.version == seen {
+                st = self.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+/// Handle for spawning jobs into an active [`scope`].
+///
+/// Spawned jobs may borrow anything that outlives the `scope` call (the
+/// `'env` lifetime); the scope does not return until every spawned job has
+/// finished.  Jobs run on the pool's worker threads, never on the caller's.
+pub struct Scope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+    next: AtomicUsize,
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("workers", &self.shared.deques.len())
+            .finish()
+    }
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues a job on the pool.  Jobs are seeded round-robin across the
+    /// per-worker deques; load imbalance is fixed up by stealing.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, job: F) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
+        {
+            // `pending` must be visible before the job can complete, and the
+            // push must land before the version bump that re-sweeping
+            // workers key off, so both happen under the state lock.
+            let mut st = self.shared.locked_state();
+            st.pending += 1;
+            self.shared.deques[slot].push(Box::new(job));
+            st.version = st.version.wrapping_add(1);
+        }
+        self.shared.work.notify_one();
+    }
+}
+
+/// Ensures workers are released even if the scope closure panics: without
+/// the shutdown flag they would sleep on the condvar forever and
+/// `std::thread::scope` would never finish joining them.
+struct ShutdownGuard<'pool, 'env>(&'pool Shared<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = self.0.locked_state();
+        st.shutdown = true;
+        st.version = st.version.wrapping_add(1);
+        drop(st);
+        self.0.work.notify_all();
+    }
+}
+
+/// Runs `f` with a [`Scope`] backed by `workers` freshly spawned threads,
+/// waits for every spawned job to finish, then tears the threads down and
+/// returns `f`'s result.
+///
+/// A panic inside a spawned job does not poison the pool: remaining jobs
+/// still run, and the first panic payload is re-thrown from `scope` itself
+/// once the pool has drained.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero (a pool with no workers could never run a
+/// job), or to propagate a panic from `f` or from a spawned job.
+pub fn scope<'env, F, R>(workers: usize, f: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    assert!(workers > 0, "scope requires at least one worker");
+    let shared = Shared::new(workers);
+    let result = std::thread::scope(|ts| {
+        for me in 0..workers {
+            let shared = &shared;
+            ts.spawn(move || shared.worker(me));
+        }
+        let guard = ShutdownGuard(&shared);
+        let handle = Scope {
+            shared: &shared,
+            next: AtomicUsize::new(0),
+        };
+        let result = f(&handle);
+        // Wait for the pool to drain, then release the workers.
+        let mut st = shared.locked_state();
+        while st.pending > 0 {
+            st = shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(st);
+        drop(guard);
+        result
+    });
+    // Re-throw a job panic only after the thread scope has joined, so worker
+    // threads are never leaked even on the panic path.
+    let payload = shared
+        .panic
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+    result
+}
+
+/// How many jobs each worker is seeded with in [`par_map_indexed`]: more
+/// than one so that stealing has granularity to work with, few enough that
+/// per-job overhead stays negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Applies `f` to every element of `items` (with its index) and returns the
+/// results in input order, sharding the work over `jobs` workers.
+///
+/// The output is **bit-identical** to
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` for any
+/// deterministic `f`, for every `jobs` value: results are written into
+/// per-chunk slots addressed by input index and concatenated in index
+/// order, so scheduling can never reorder them.
+///
+/// Inputs too small to amortise thread startup (fewer than two items per
+/// worker) take a chunked serial fallback path on the calling thread.
+pub fn par_map_indexed<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 || n < 2 * jobs {
+        // Chunked-index fallback: same chunk walk as the parallel path,
+        // executed in place.
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let chunk = n.div_ceil(jobs * CHUNKS_PER_WORKER).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let slots: Vec<Mutex<Vec<U>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let f = &f;
+
+    scope(jobs, |s| {
+        for (ci, slot) in slots.iter().enumerate() {
+            let start = ci * chunk;
+            let end = (start + chunk).min(n);
+            s.spawn(move || {
+                let out: Vec<U> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, x)| f(start + k, x))
+                    .collect();
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = out;
+            });
+        }
+    });
+
+    let mut result = Vec::with_capacity(n);
+    for slot in slots {
+        result.extend(slot.into_inner().unwrap_or_else(|e| e.into_inner()));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_every_spawned_job() {
+        let counter = AtomicU64::new(0);
+        scope(3, |s| {
+            for i in 0..100u64 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum());
+    }
+
+    #[test]
+    fn scope_returns_the_closure_result() {
+        let out = scope(2, |_| 42);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn jobs_can_borrow_the_environment() {
+        let data = vec![1, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        scope(2, |s| {
+            for x in &data {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(*x, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_every_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 * x)
+            .collect();
+        for jobs in [1, 2, 3, 7, 16] {
+            let par = par_map_indexed(jobs, &items, |i, x| i as u64 * x);
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_tiny_and_empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_indexed(4, &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map_indexed(4, &[9], |i, x| (i, *x)), vec![(0, 9)]);
+        assert_eq!(par_map_indexed(4, &[1, 2, 3], |_, x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_map_results_are_in_index_order_not_completion_order() {
+        // Earlier indices sleep longer, so completion order is roughly the
+        // reverse of index order; the output must still be index-ordered.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_indexed(4, &items, |i, x| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            *x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_the_pool_drains() {
+        let ran = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(2, |s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..10 {
+                    let ran = &ran;
+                    s.spawn(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The panic did not cancel the other jobs.
+        assert_eq!(ran.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        scope(0, |_| ());
+    }
+}

@@ -102,13 +102,20 @@ pub struct TimingReport {
 }
 
 impl TimingReport {
-    /// The endpoint with the largest guaranteed-worst-case arrival.
+    /// The endpoint with the largest guaranteed-worst-case arrival, or
+    /// `None` for a report with no endpoints (a design whose nets feed only
+    /// instance inputs produces such a report — it is not an error).
     pub fn critical_endpoint(&self) -> Option<&EndpointTiming> {
         self.endpoints.first()
     }
 
     /// Worst slack in the design: `required_time − worst arrival upper
     /// bound`.  Negative slack means the design may miss timing.
+    ///
+    /// An empty report (no endpoints) has nothing that can miss timing, so
+    /// its worst slack is the full `required_time` — the vacuous analogue
+    /// of "every endpoint meets the budget with the entire budget to
+    /// spare".
     pub fn worst_slack(&self) -> Seconds {
         match self.critical_endpoint() {
             Some(e) => self.required_time - e.arrival.max,
@@ -118,6 +125,10 @@ impl TimingReport {
 
     /// Three-valued certification of the whole design against the required
     /// time (the multi-stage generalisation of the paper's `OK` function).
+    ///
+    /// An empty report certifies as [`Certification::Pass`]: the verdict is
+    /// the conjunction over all endpoints, and a conjunction over none is
+    /// vacuously true.
     pub fn certification(&self) -> Certification {
         let mut verdict = Certification::Pass;
         for e in &self.endpoints {
@@ -163,6 +174,12 @@ pub struct Design {
     /// instance name → cell name.
     instances: BTreeMap<String, String>,
     nets: Vec<Net>,
+}
+
+/// Delay window of one sink of a net, produced by the per-net stage sweep.
+struct SinkDelay {
+    load: Load,
+    window: (Seconds, Seconds),
 }
 
 impl Design {
@@ -233,7 +250,10 @@ impl Design {
         self.nets.len()
     }
 
-    /// Runs the full arrival-time propagation and produces a report.
+    /// Runs the full arrival-time propagation and produces a report,
+    /// sharding the per-net stage evaluation over
+    /// [`rctree_par::default_jobs`] worker threads (`RCTREE_JOBS` overrides
+    /// the hardware default).  See [`Design::analyze_with_jobs`].
     ///
     /// `threshold` is the switching threshold (fraction of the swing) used
     /// for every stage; `required_time` is the budget every endpoint must
@@ -245,6 +265,29 @@ impl Design {
     /// * [`StaError::CombinationalCycle`] if the instance graph has a cycle;
     /// * stage-level errors from the core crate.
     pub fn analyze(&self, threshold: f64, required_time: Seconds) -> Result<TimingReport> {
+        self.analyze_with_jobs(threshold, required_time, rctree_par::default_jobs())
+    }
+
+    /// [`Design::analyze`] with an explicit worker count.
+    ///
+    /// Net/stage evaluation — all the numerical work — is embarrassingly
+    /// parallel: every net is one independent `O(n)` batched sweep.  The
+    /// per-net results are written by net index and merged in net order, so
+    /// the report is **bit-identical** to the serial evaluation
+    /// (`jobs = 1`) for every worker count; on invalid designs the error
+    /// surfaced is the first failing net in net order, equally independent
+    /// of scheduling.  The subsequent arrival-time propagation is a cheap
+    /// serial pass over precomputed windows.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Design::analyze`].
+    pub fn analyze_with_jobs(
+        &self,
+        threshold: f64,
+        required_time: Seconds,
+        jobs: usize,
+    ) -> Result<TimingReport> {
         if self.nets.is_empty() {
             return Err(StaError::EmptyDesign);
         }
@@ -252,45 +295,14 @@ impl Design {
         // Stage timing per net: delay window of every sink.  Each call to
         // `analyze_stage` batches the whole net — one O(n) sweep covers all
         // of the net's fan-outs — so the full design evaluation is linear in
-        // total extracted-node count plus total sink count.
-        struct SinkDelay {
-            load: Load,
-            window: (Seconds, Seconds),
-        }
-        let mut net_sink_delays: Vec<Vec<SinkDelay>> = Vec::with_capacity(self.nets.len());
-        for net in &self.nets {
-            let driver_resistance = match &net.driver {
-                Driver::PrimaryInput => rctree_core::units::Ohms::ZERO,
-                Driver::Instance(inst) => {
-                    let cell_name = &self.instances[inst];
-                    self.library.cell(cell_name)?.drive_resistance
-                }
-            };
-            let mut sink_loads = Vec::with_capacity(net.sinks.len());
-            for sink in &net.sinks {
-                let node = net.interconnect.node_by_name(&sink.node)?;
-                let load_cap = match &sink.load {
-                    Load::Instance(inst) => {
-                        let cell_name = &self.instances[inst];
-                        self.library.cell(cell_name)?.input_capacitance
-                    }
-                    Load::PrimaryOutput(_) => Farads::ZERO,
-                };
-                sink_loads.push((node, load_cap));
-            }
-            let stage =
-                analyze_stage(driver_resistance, &net.interconnect, &sink_loads, threshold)?;
-            let delays = net
-                .sinks
-                .iter()
-                .zip(stage.sinks.iter())
-                .map(|(sink, timing)| SinkDelay {
-                    load: sink.load.clone(),
-                    window: (timing.bounds.lower, timing.bounds.upper),
-                })
-                .collect();
-            net_sink_delays.push(delays);
-        }
+        // total extracted-node count plus total sink count, divided across
+        // the workers.
+        let net_sink_delays: Vec<Vec<SinkDelay>> =
+            rctree_par::par_map_indexed(jobs, &self.nets, |_, net| {
+                self.net_sink_delays(net, threshold)
+            })
+            .into_iter()
+            .collect::<Result<_>>()?;
 
         // Topological order of instances (Kahn's algorithm over the
         // instance-to-instance edges induced by nets).
@@ -410,6 +422,108 @@ impl Design {
             required_time,
             endpoints,
         })
+    }
+
+    /// Delay windows of every sink of one net: the unit of work that
+    /// [`Design::analyze_with_jobs`] shards across the thread pool.
+    fn net_sink_delays(&self, net: &Net, threshold: f64) -> Result<Vec<SinkDelay>> {
+        let driver_resistance = match &net.driver {
+            Driver::PrimaryInput => rctree_core::units::Ohms::ZERO,
+            Driver::Instance(inst) => {
+                let cell_name = &self.instances[inst];
+                self.library.cell(cell_name)?.drive_resistance
+            }
+        };
+        let mut sink_loads = Vec::with_capacity(net.sinks.len());
+        for sink in &net.sinks {
+            let node = net.interconnect.node_by_name(&sink.node)?;
+            let load_cap = match &sink.load {
+                Load::Instance(inst) => {
+                    let cell_name = &self.instances[inst];
+                    self.library.cell(cell_name)?.input_capacitance
+                }
+                Load::PrimaryOutput(_) => Farads::ZERO,
+            };
+            sink_loads.push((node, load_cap));
+        }
+        let stage = analyze_stage(driver_resistance, &net.interconnect, &sink_loads, threshold)?;
+        Ok(net
+            .sinks
+            .iter()
+            .zip(stage.sinks.iter())
+            .map(|(sink, timing)| SinkDelay {
+                load: sink.load.clone(),
+                window: (timing.bounds.lower, timing.bounds.upper),
+            })
+            .collect())
+    }
+
+    /// Builds a single-stage-per-net design from extracted parasitics: the
+    /// shape of a deck fresh out of a parasitic extractor, before gate-level
+    /// connectivity is known.
+    ///
+    /// Every `(name, tree)` pair becomes one instance of `driver_cell`
+    /// driving `tree`, fed from a primary input through a short feeder wire;
+    /// every output node of `tree` becomes a primary output named
+    /// `"{name}/{node}"`.  This is the bridge from
+    /// `rctree_netlist::parse_spef_deck` to a [`Design`] that
+    /// [`Design::analyze`] can shard across workers.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::UnknownCell`] if `driver_cell` is not in `library`;
+    /// * [`StaError::DuplicateInstance`] if two nets share a name.
+    pub fn from_extracted<I>(library: CellLibrary, driver_cell: &str, nets: I) -> Result<Design>
+    where
+        I: IntoIterator<Item = (String, RcTree)>,
+    {
+        let mut design = Design::new(library);
+        // Validate the driver cell up front so an empty deck still reports
+        // a bad cell name.
+        design.library.cell(driver_cell)?;
+        for (name, tree) in nets {
+            let inst = format!("{name}_drv");
+            design.add_instance(&inst, driver_cell)?;
+
+            // Feeder: a primary input reaching the driver through a token
+            // 10 Ω / 1 fF wire, so every stage has a real arrival window.
+            let mut feeder = rctree_core::builder::RcTreeBuilder::new();
+            feeder
+                .add_line(
+                    feeder.input(),
+                    "pin",
+                    rctree_core::units::Ohms::new(10.0),
+                    Farads::from_femto(1.0),
+                )
+                .expect("static feeder wire is valid");
+            design.add_net(Net {
+                name: format!("{name}_pi"),
+                driver: Driver::PrimaryInput,
+                interconnect: feeder.build().expect("static feeder wire is valid"),
+                sinks: vec![Sink {
+                    node: "pin".into(),
+                    load: Load::Instance(inst.clone()),
+                }],
+            })?;
+
+            let sinks = tree
+                .outputs()
+                .map(|id| {
+                    let node = tree.name(id).expect("output node exists").to_string();
+                    Sink {
+                        load: Load::PrimaryOutput(format!("{name}/{node}")),
+                        node,
+                    }
+                })
+                .collect();
+            design.add_net(Net {
+                name,
+                driver: Driver::Instance(inst),
+                interconnect: tree,
+                sinks,
+            })?;
+        }
+        Ok(design)
     }
 }
 
@@ -603,6 +717,98 @@ mod tests {
         assert!(matches!(
             d.analyze(0.5, Seconds::from_nano(1.0)),
             Err(StaError::EmptyDesign)
+        ));
+    }
+
+    #[test]
+    fn empty_report_semantics_are_pinned() {
+        // A report with no endpoints is a legitimate outcome (nets that feed
+        // only instance inputs), not a panic or an error: the critical
+        // endpoint is absent, the whole budget is slack, and certification
+        // passes vacuously.
+        let empty = TimingReport {
+            threshold: 0.5,
+            required_time: Seconds::from_nano(10.0),
+            endpoints: Vec::new(),
+        };
+        assert!(empty.critical_endpoint().is_none());
+        assert_eq!(empty.worst_slack(), Seconds::from_nano(10.0));
+        assert_eq!(empty.certification(), Certification::Pass);
+        assert!(empty.to_string().contains("worst slack"));
+    }
+
+    #[test]
+    fn design_without_primary_outputs_yields_an_empty_report() {
+        let mut d = Design::new(CellLibrary::nmos_1981());
+        d.add_instance("u1", "inv_1x").unwrap();
+        d.add_net(Net {
+            name: "n_in".into(),
+            driver: Driver::PrimaryInput,
+            interconnect: wire(50.0, 5.0),
+            sinks: vec![Sink {
+                node: "load".into(),
+                load: Load::Instance("u1".into()),
+            }],
+        })
+        .unwrap();
+        let report = d.analyze(0.5, Seconds::from_nano(7.0)).unwrap();
+        assert!(report.endpoints.is_empty());
+        assert!(report.critical_endpoint().is_none());
+        assert_eq!(report.worst_slack(), Seconds::from_nano(7.0));
+        assert_eq!(report.certification(), Certification::Pass);
+    }
+
+    #[test]
+    fn analysis_is_bit_identical_for_any_worker_count() {
+        let d = buffer_chain();
+        let serial = d
+            .analyze_with_jobs(0.5, Seconds::from_nano(50.0), 1)
+            .unwrap();
+        for jobs in [2, 7, rctree_par::available_parallelism()] {
+            let parallel = d
+                .analyze_with_jobs(0.5, Seconds::from_nano(50.0), jobs)
+                .unwrap();
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn from_extracted_builds_an_analyzable_deck_design() {
+        // Like `wire`, but with the far node marked as an output the way an
+        // extractor marks load pins.
+        let tapped_wire = |r: f64| {
+            let mut b = RcTreeBuilder::new();
+            let n = b
+                .add_line(b.input(), "load", Ohms::new(r), Farads::from_femto(10.0))
+                .unwrap();
+            b.mark_output(n).unwrap();
+            b.build().unwrap()
+        };
+        let nets: Vec<(String, RcTree)> = (0..5)
+            .map(|i| (format!("net{i}"), tapped_wire(100.0 * (i + 1) as f64)))
+            .collect();
+        let d = Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", nets).unwrap();
+        assert_eq!(d.instance_count(), 5);
+        assert_eq!(d.net_count(), 10); // feeder + payload per extracted net
+        let report = d.analyze(0.5, Seconds::from_nano(100.0)).unwrap();
+        assert_eq!(report.endpoints.len(), 5);
+        assert!(report.endpoints.iter().any(|e| e.name == "net4/load"));
+        // The longest wire is the critical endpoint.
+        assert_eq!(report.critical_endpoint().unwrap().name, "net4/load");
+
+        // Duplicate net names collide on the instance name.
+        let dup = vec![
+            ("x".to_string(), wire(1.0, 1.0)),
+            ("x".to_string(), wire(2.0, 1.0)),
+        ];
+        assert!(matches!(
+            Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", dup),
+            Err(StaError::DuplicateInstance { .. })
+        ));
+        // Unknown driver cells are rejected up front.
+        assert!(matches!(
+            Design::from_extracted(CellLibrary::nmos_1981(), "nand_999x", Vec::new()),
+            Err(StaError::UnknownCell { .. })
         ));
     }
 

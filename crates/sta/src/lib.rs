@@ -11,6 +11,11 @@
 //! * [`graph`] — multi-stage designs, interval arrival-time propagation,
 //!   critical paths, slack and three-valued certification.
 //!
+//! Design-wide analysis shards its per-net stage evaluation across a
+//! work-stealing thread pool (`rctree-par`); results are merged in net
+//! order and are bit-identical to the serial evaluation for any worker
+//! count ([`Design::analyze_with_jobs`]).
+//!
 //! ```
 //! use rctree_core::builder::RcTreeBuilder;
 //! use rctree_core::units::{Farads, Ohms};

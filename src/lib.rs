@@ -8,9 +8,10 @@
 //! | Re-export | Crate | Contents |
 //! |-----------|-------|----------|
 //! | [`core`] | `rctree-core` | RC-tree model, characteristic times, Penfield–Rubinstein bounds |
+//! | [`par`] | `rctree-par` | scoped work-stealing thread pool for deck-scale parallelism |
 //! | [`sim`] | `rctree-sim` | exact transient / modal simulation |
 //! | [`netlist`] | `rctree-netlist` | SPICE-subset, SPEF-lite, wiring-algebra parsers |
-//! | [`workloads`] | `rctree-workloads` | paper networks, PLA lines, H-trees, random trees |
+//! | [`workloads`] | `rctree-workloads` | paper networks, PLA lines, H-trees, random trees, SPEF decks |
 //! | [`sta`] | `rctree-sta` | miniature static-timing layer |
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
@@ -35,6 +36,7 @@
 
 pub use rctree_core as core;
 pub use rctree_netlist as netlist;
+pub use rctree_par as par;
 pub use rctree_sim as sim;
 pub use rctree_sta as sta;
 pub use rctree_workloads as workloads;
@@ -42,7 +44,8 @@ pub use rctree_workloads as workloads;
 /// Commonly used items from every sub-crate.
 pub mod prelude {
     pub use rctree_core::prelude::*;
-    pub use rctree_netlist::{parse_expr, parse_spef, parse_spice, write_spice};
+    pub use rctree_netlist::{parse_expr, parse_spef, parse_spef_deck, parse_spice, write_spice};
+    pub use rctree_par::{available_parallelism, default_jobs, par_map_indexed};
     pub use rctree_sim::{exact_step_response, InputSource, LumpedNetwork, TransientOptions};
     pub use rctree_sta::{analyze_stage, CellLibrary, Design};
     pub use rctree_workloads::{figure7_tree, h_tree, PlaLine, RandomTreeConfig, Technology};
