@@ -5,15 +5,23 @@
 //!
 //! ```text
 //! rcdelay [OPTIONS] <netlist-file>
+//! rcdelay eco [OPTIONS] --budget <seconds> <deck.spef> <edit-script>
 //!
-//!   --format <spice|spef|expr>   input format          (default: spice)
+//!   --format <spice|spef|expr>   input format          (default: spice; eco: spef)
 //!   --net <name>                 SPEF net to analyse   (default: first net)
 //!   --threshold <v>              switching threshold   (default: 0.5)
 //!   --budget <seconds>           certify against a delay budget
 //!   --voltage-at <seconds>       also report voltage bounds at this time
 //!   --jobs <n>                   worker threads        (default: available parallelism)
+//!   --driver <cell>              eco mode driver cell  (default: inv_4x)
 //!   --help                       print usage
 //! ```
+//!
+//! `rcdelay eco` turns the deck into a per-net timing design, applies an
+//! edit script one line at a time through the incremental ECO engine, and
+//! prints the slack delta after every edit.  The process exits nonzero
+//! when the final certification fails or when the script references an
+//! unknown net or node (reported with the offending token and line).
 //!
 //! The library half of the crate (this module) contains the argument parser
 //! and the report generation so that both are unit-testable without spawning
@@ -26,9 +34,12 @@
 use std::fmt::Write as _;
 
 use rctree_core::analysis::TreeAnalysis;
+use rctree_core::cert::Certification;
+use rctree_core::element::Branch;
 use rctree_core::tree::RcTree;
-use rctree_core::units::Seconds;
+use rctree_core::units::{Farads, Ohms, Seconds};
 use rctree_netlist::{parse_expr, parse_spef_deck, parse_spice};
+use rctree_sta::{CellLibrary, Design, EcoEdit, EcoEditKind};
 
 /// Input netlist formats understood by the tool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,9 +52,26 @@ pub enum InputFormat {
     Expr,
 }
 
+/// The tool's operating mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// One-shot delay-bound report of a single tree (the default).
+    Report,
+    /// Incremental ECO session: apply an edit script to a SPEF deck and
+    /// print per-edit slack deltas.
+    Eco {
+        /// Path of the edit-script file.
+        script: String,
+        /// Driver cell prepended to every extracted net.
+        driver: String,
+    },
+}
+
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
+    /// Operating mode (`rcdelay` vs `rcdelay eco`).
+    pub command: Command,
     /// Path of the netlist file (`-` for standard input).
     pub path: String,
     /// Input format.
@@ -64,6 +92,7 @@ pub struct Options {
 impl Default for Options {
     fn default() -> Self {
         Options {
+            command: Command::Report,
             path: String::new(),
             format: InputFormat::Spice,
             net: None,
@@ -80,17 +109,32 @@ pub const USAGE: &str = "\
 rcdelay: Penfield-Rubinstein delay bounds for RC tree netlists
 
 usage: rcdelay [OPTIONS] <netlist-file>
+       rcdelay eco [OPTIONS] --budget <seconds> <deck.spef> <edit-script>
 
 options:
-  --format <spice|spef|expr>   input format (default: spice)
+  --format <spice|spef|expr>   input format (default: spice; eco mode: spef)
   --net <name>                 SPEF net to analyse (default: first)
   --threshold <v>              switching threshold in (0,1) (default: 0.5)
   --budget <seconds>           certify every output against this budget
+                               (required in eco mode; exit status 1 on a
+                               failing certification, 2 on indeterminate)
   --voltage-at <seconds>       also report voltage bounds at this time
-  --jobs <n>                   worker threads for SPEF deck parsing
-                               (default: RCTREE_JOBS, else available
-                               parallelism)
+  --jobs <n>                   worker threads for deck parsing and design
+                               analysis (default: RCTREE_JOBS, else
+                               available parallelism)
+  --driver <cell>              eco mode: driver cell for every extracted
+                               net (default: inv_4x)
   --help                       print this message
+
+edit-script directives (one per line, `#` comments):
+  setcap  <net> <node> <farads>          replace a node's load capacitance
+  setres  <net> <node> <ohms>            replace a branch with a resistor
+  setline <net> <node> <ohms> <farads>   replace a branch with an RC line
+  graft   <net> <parent> <name> <ohms> <farads>
+                                         attach a new load node via a
+                                         resistor (adds load to existing
+                                         endpoints; not itself timed)
+  prune   <net> <node>                   remove a node and its subtree
 ";
 
 /// Errors produced by argument parsing or analysis.
@@ -103,6 +147,11 @@ pub enum CliError {
     Netlist(String),
     /// The analysis failed (e.g. no outputs marked).
     Analysis(String),
+    /// An ECO edit script failed to parse or apply; the message carries
+    /// the 1-based script line and, where one can be singled out, the
+    /// offending token in backticks (the same structured shape as the
+    /// netlist parse errors).
+    Script(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -111,6 +160,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Netlist(m) => write!(f, "netlist error: {m}"),
             CliError::Analysis(m) => write!(f, "analysis error: {m}"),
+            CliError::Script(m) => write!(f, "edit script error: {m}"),
         }
     }
 }
@@ -131,10 +181,22 @@ where
 {
     let mut opts = Options::default();
     let mut iter = args.into_iter();
-    let mut path: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
+    let mut eco = false;
+    let mut driver = "inv_4x".to_string();
+    let mut driver_given = false;
+    let mut format_given = false;
+    let mut first = true;
 
     while let Some(arg) = iter.next() {
         let arg = arg.as_ref();
+        if first {
+            first = false;
+            if arg == "eco" {
+                eco = true;
+                continue;
+            }
+        }
         let mut value_of = |name: &str| -> Result<String, CliError> {
             iter.next()
                 .map(|v| v.as_ref().to_string())
@@ -142,7 +204,12 @@ where
         };
         match arg {
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
+            "--driver" => {
+                driver_given = true;
+                driver = value_of("--driver")?;
+            }
             "--format" => {
+                format_given = true;
                 opts.format = match value_of("--format")?.as_str() {
                     "spice" => InputFormat::Spice,
                     "spef" => InputFormat::Spef,
@@ -176,16 +243,53 @@ where
             other if other.starts_with('-') && other != "-" => {
                 return Err(CliError::Usage(format!("unknown option `{other}`")));
             }
-            positional => {
-                if path.is_some() {
-                    return Err(CliError::Usage("more than one input file given".into()));
-                }
-                path = Some(positional.to_string());
-            }
+            positional => positionals.push(positional.to_string()),
         }
     }
 
-    opts.path = path.ok_or_else(|| CliError::Usage("missing input netlist file".into()))?;
+    if eco {
+        if positionals.len() != 2 {
+            return Err(CliError::Usage(
+                "eco mode requires exactly <deck.spef> and <edit-script>".into(),
+            ));
+        }
+        if format_given && opts.format != InputFormat::Spef {
+            return Err(CliError::Usage(
+                "eco mode only supports --format spef".into(),
+            ));
+        }
+        opts.format = InputFormat::Spef;
+        if opts.budget.is_none() {
+            return Err(CliError::Usage(
+                "eco mode requires --budget (slack needs a required time)".into(),
+            ));
+        }
+        if opts.net.is_some() {
+            return Err(CliError::Usage(
+                "--net does not apply to eco mode (edits name their nets)".into(),
+            ));
+        }
+        if opts.voltage_at.is_some() {
+            return Err(CliError::Usage(
+                "--voltage-at does not apply to eco mode".into(),
+            ));
+        }
+        let script = positionals.pop().expect("two positionals");
+        opts.path = positionals.pop().expect("two positionals");
+        opts.command = Command::Eco { script, driver };
+    } else {
+        if driver_given {
+            return Err(CliError::Usage(
+                "--driver only applies to `rcdelay eco`".into(),
+            ));
+        }
+        if positionals.len() > 1 {
+            return Err(CliError::Usage("more than one input file given".into()));
+        }
+        opts.path = positionals
+            .pop()
+            .ok_or_else(|| CliError::Usage("missing input netlist file".into()))?;
+    }
     if !(opts.threshold > 0.0 && opts.threshold < 1.0) {
         return Err(CliError::Usage(format!(
             "threshold {} must lie strictly between 0 and 1",
@@ -233,13 +337,31 @@ pub fn load_tree(text: &str, opts: &Options) -> Result<RcTree, CliError> {
     }
 }
 
+/// A rendered report plus the machine-readable verdict that decides the
+/// process exit code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The human-readable report text.
+    pub text: String,
+    /// The certification verdict when a `--budget` was given
+    /// (`None` otherwise).  [`Certification::Fail`] makes `rcdelay` exit
+    /// nonzero.
+    pub certification: Option<Certification>,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
 /// Runs the analysis and renders the human-readable report.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Analysis`] when the tree cannot be analysed (no
 /// outputs, no capacitance, invalid threshold).
-pub fn report(tree: &RcTree, opts: &Options) -> Result<String, CliError> {
+pub fn report(tree: &RcTree, opts: &Options) -> Result<Report, CliError> {
     let analysis = TreeAnalysis::of(tree).map_err(|e| CliError::Analysis(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -284,6 +406,7 @@ pub fn report(tree: &RcTree, opts: &Options) -> Result<String, CliError> {
         }
     }
 
+    let mut certification = None;
     if let Some(budget) = opts.budget {
         let verdict = analysis
             .certify_all(opts.threshold, Seconds::new(budget))
@@ -292,8 +415,216 @@ pub fn report(tree: &RcTree, opts: &Options) -> Result<String, CliError> {
             out,
             "\ncertification against a {budget:.6e} s budget: {verdict}"
         );
+        certification = Some(verdict);
     }
-    Ok(out)
+    Ok(Report {
+        text: out,
+        certification,
+    })
+}
+
+/// One parsed edit-script line: the source line number (for error
+/// reporting) plus the resolved design-level edit.
+#[derive(Debug, Clone)]
+pub struct ScriptEdit {
+    /// 1-based line number in the script file.
+    pub line: usize,
+    /// Short human-readable rendering of the directive.
+    pub summary: String,
+    /// The design-level edit.
+    pub edit: EcoEdit,
+}
+
+/// Parses an ECO edit script (see [`USAGE`] for the grammar).
+///
+/// # Errors
+///
+/// Returns [`CliError::Script`] with the 1-based line number and the
+/// offending token for unknown directives, missing fields and malformed
+/// numbers.
+pub fn parse_eco_script(text: &str) -> Result<Vec<ScriptEdit>, CliError> {
+    let mut edits = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = body.split_whitespace().collect();
+        let expect = |count: usize| -> Result<(), CliError> {
+            if tokens.len() == count {
+                Ok(())
+            } else {
+                Err(CliError::Script(format!(
+                    "line {line}: `{}` takes {} fields, found {} (near `{body}`)",
+                    tokens[0],
+                    count - 1,
+                    tokens.len() - 1
+                )))
+            }
+        };
+        let number = |token: &str, what: &str| -> Result<f64, CliError> {
+            token
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| {
+                    CliError::Script(format!(
+                        "line {line}: {what} is not a finite number (near `{token}`)"
+                    ))
+                })
+        };
+        let kind = match tokens[0] {
+            "setcap" => {
+                expect(4)?;
+                EcoEditKind::SetCap {
+                    node: tokens[2].to_string(),
+                    cap: Farads::new(number(tokens[3], "capacitance")?),
+                }
+            }
+            "setres" => {
+                expect(4)?;
+                EcoEditKind::SetBranch {
+                    node: tokens[2].to_string(),
+                    branch: Branch::resistor(Ohms::new(number(tokens[3], "resistance")?)),
+                }
+            }
+            "setline" => {
+                expect(5)?;
+                EcoEditKind::SetBranch {
+                    node: tokens[2].to_string(),
+                    branch: Branch::line(
+                        Ohms::new(number(tokens[3], "resistance")?),
+                        Farads::new(number(tokens[4], "line capacitance")?),
+                    ),
+                }
+            }
+            "graft" => {
+                expect(6)?;
+                // The graft adds *load* only: net sinks are frozen when the
+                // design is built, so the new node is never a timed endpoint.
+                let mut b = rctree_core::builder::RcTreeBuilder::with_input_name(tokens[3]);
+                b.add_capacitance(b.input(), Farads::new(number(tokens[5], "capacitance")?))
+                    .map_err(|e| CliError::Script(format!("line {line}: {e}")))?;
+                EcoEditKind::Graft {
+                    parent: tokens[2].to_string(),
+                    via: Branch::resistor(Ohms::new(number(tokens[4], "resistance")?)),
+                    subtree: Box::new(
+                        b.build()
+                            .map_err(|e| CliError::Script(format!("line {line}: {e}")))?,
+                    ),
+                }
+            }
+            "prune" => {
+                expect(3)?;
+                EcoEditKind::Prune {
+                    node: tokens[2].to_string(),
+                }
+            }
+            other => {
+                return Err(CliError::Script(format!(
+                    "line {line}: unknown directive (near `{other}`)"
+                )));
+            }
+        };
+        edits.push(ScriptEdit {
+            line,
+            summary: body.to_string(),
+            edit: EcoEdit {
+                net: tokens[1].to_string(),
+                kind,
+            },
+        });
+    }
+    Ok(edits)
+}
+
+/// The result of an ECO session: the rendered per-edit log and the final
+/// verdict (which decides the exit code).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoOutcome {
+    /// Human-readable per-edit slack log.
+    pub text: String,
+    /// Certification of the design after the last edit.
+    pub certification: Certification,
+}
+
+/// Runs a full ECO session: parse the deck, build the per-net design,
+/// apply the script one edit at a time, and log the slack delta after
+/// each.
+///
+/// # Errors
+///
+/// * [`CliError::Netlist`] if the deck fails to parse;
+/// * [`CliError::Script`] if the script fails to parse, or an edit
+///   references an unknown net/node (reported with its script line and the
+///   offending token) or fails validation;
+/// * [`CliError::Analysis`] if the design cannot be built or analysed.
+pub fn run_eco(deck: &str, script: &str, opts: &Options) -> Result<EcoOutcome, CliError> {
+    let Command::Eco { driver, .. } = &opts.command else {
+        return Err(CliError::Usage("run_eco requires eco mode".into()));
+    };
+    let budget = opts
+        .budget
+        .ok_or_else(|| CliError::Usage("eco mode requires --budget".into()))?;
+    let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+    let edits = parse_eco_script(script)?;
+
+    let nets = parse_spef_deck(deck, jobs).map_err(|e| CliError::Netlist(e.to_string()))?;
+    let net_count = nets.len();
+    let mut design = Design::from_extracted(
+        CellLibrary::nmos_1981(),
+        driver,
+        nets.into_iter().map(|n| (n.name, n.tree)),
+    )
+    .map_err(|e| CliError::Analysis(e.to_string()))?;
+
+    let required = Seconds::new(budget);
+    let baseline = design
+        .apply_eco_with_jobs(&[], opts.threshold, required, jobs)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "eco session: {net_count} nets, {} edits, threshold {}, budget {budget:.6e} s, driver {driver}",
+        edits.len(),
+        opts.threshold
+    );
+    let mut slack = baseline.worst_slack();
+    let mut certification = baseline.certification();
+    let _ = writeln!(
+        out,
+        "baseline: worst slack {:+.6e} s, certification {certification}",
+        slack.value()
+    );
+    for (k, se) in edits.iter().enumerate() {
+        let report = design
+            .apply_eco_with_jobs(
+                std::slice::from_ref(&se.edit),
+                opts.threshold,
+                required,
+                jobs,
+            )
+            .map_err(|e| CliError::Script(format!("line {}: {e}", se.line)))?;
+        let new_slack = report.worst_slack();
+        certification = report.certification();
+        let _ = writeln!(
+            out,
+            "edit {:>4} (line {:>3}) {:<44} slack {:+.6e} s (delta {:+.3e} s) {certification}",
+            k + 1,
+            se.line,
+            se.summary,
+            new_slack.value(),
+            (new_slack - slack).value()
+        );
+        slack = new_slack;
+    }
+    let _ = writeln!(out, "final certification: {certification}");
+    Ok(EcoOutcome {
+        text: out,
+        certification,
+    })
 }
 
 #[cfg(test)]
@@ -384,11 +715,13 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             ..Options::default()
         };
         let tree = load_tree(FIG7_DECK, &opts).unwrap();
-        let text = report(&tree, &opts).unwrap();
+        let report = report(&tree, &opts).unwrap();
+        let text = &report.text;
         assert!(text.contains("n2"));
         assert!(text.contains("7.23664"), "{text}");
         assert!(text.contains("pass"));
         assert!(text.contains("[0.16644, 0.35714]"));
+        assert_eq!(report.certification, Some(Certification::Pass));
     }
 
     #[test]
@@ -404,8 +737,10 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
         )
         .unwrap();
         assert_eq!(tree.outputs().count(), 1);
-        let text = report(&tree, &opts).unwrap();
-        assert!(text.contains("threshold 0.5"));
+        let report = report(&tree, &opts).unwrap();
+        assert!(report.text.contains("threshold 0.5"));
+        // No budget given: no verdict, so the exit code cannot be failure.
+        assert_eq!(report.certification, None);
     }
 
     #[test]
@@ -451,5 +786,220 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
         assert!(CliError::Analysis("x".into())
             .to_string()
             .contains("analysis"));
+        assert!(CliError::Script("x".into())
+            .to_string()
+            .contains("edit script"));
+    }
+
+    /// A two-net SPEF deck for the eco tests: one fast wire, one slow.
+    const ECO_DECK: &str = "\
+*D_NET fast 0.001
+*CONN
+*I drv I
+*P x O
+*CAP
+1 x 0.001
+*RES
+1 drv x 5
+*END
+\
+*D_NET slow 0.3
+*CONN
+*I drv I
+*P y O
+*CAP
+1 y 0.3
+*RES
+1 drv y 800
+*END
+";
+
+    fn eco_opts(budget: f64) -> Options {
+        Options {
+            command: Command::Eco {
+                script: "edits.eco".into(),
+                driver: "inv_4x".into(),
+            },
+            path: "deck.spef".into(),
+            format: InputFormat::Spef,
+            budget: Some(budget),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn eco_arguments_parse_and_validate() {
+        let opts = parse_args([
+            "eco",
+            "--budget",
+            "5e-9",
+            "--driver",
+            "buf_8x",
+            "--jobs",
+            "2",
+            "deck.spef",
+            "edits.eco",
+        ])
+        .unwrap();
+        assert_eq!(opts.path, "deck.spef");
+        assert_eq!(opts.format, InputFormat::Spef);
+        assert_eq!(
+            opts.command,
+            Command::Eco {
+                script: "edits.eco".into(),
+                driver: "buf_8x".into(),
+            }
+        );
+
+        // Missing budget, missing script, or a non-SPEF format are refused.
+        assert!(matches!(
+            parse_args(["eco", "deck.spef", "edits.eco"]),
+            Err(CliError::Usage(_))
+        ));
+        // Mode-mismatched flags are refused rather than silently ignored.
+        assert!(matches!(
+            parse_args(["--driver", "buf_8x", "deck.sp"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "eco",
+                "--budget",
+                "1e-9",
+                "--net",
+                "n1",
+                "deck.spef",
+                "edits.eco"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "eco",
+                "--budget",
+                "1e-9",
+                "--voltage-at",
+                "1e-9",
+                "deck.spef",
+                "edits.eco"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["eco", "--budget", "1e-9", "deck.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "eco",
+                "--budget",
+                "1e-9",
+                "--format",
+                "spice",
+                "deck.spef",
+                "edits.eco"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn eco_script_parses_every_directive_and_flags_bad_tokens() {
+        let script = "\
+# a comment line
+setcap fast x 2e-15
+setres fast x 120 # trailing comment
+setline slow y 90 3e-14
+graft slow y tap1 50 1e-14
+prune slow tap1
+";
+        let edits = parse_eco_script(script).unwrap();
+        assert_eq!(edits.len(), 5);
+        assert_eq!(edits[0].line, 2);
+        assert_eq!(edits[0].edit.net, "fast");
+        assert!(matches!(edits[4].edit.kind, EcoEditKind::Prune { .. }));
+
+        for (bad, needle) in [
+            (
+                "resize fast x 1
+",
+                "`resize`",
+            ),
+            (
+                "setcap fast x nope
+",
+                "`nope`",
+            ),
+            (
+                "setcap fast x
+",
+                "takes 3 fields",
+            ),
+            (
+                "graft slow y tap 50
+",
+                "takes 5 fields",
+            ),
+        ] {
+            let err = parse_eco_script(bad).unwrap_err();
+            let CliError::Script(message) = &err else {
+                panic!("expected script error, got {err:?}");
+            };
+            assert!(
+                message.contains("line 1") && message.contains(needle),
+                "{message}"
+            );
+        }
+    }
+
+    #[test]
+    fn eco_session_reports_slack_deltas_and_verdicts() {
+        let opts = eco_opts(60e-9);
+        let script = "setcap slow y 1.2e-12\nsetcap slow y 0.3e-12\n";
+        let outcome = run_eco(ECO_DECK, script, &opts).unwrap();
+        assert_eq!(outcome.certification, Certification::Pass);
+        assert!(outcome.text.contains("baseline"), "{}", outcome.text);
+        assert!(outcome.text.contains("edit    1"), "{}", outcome.text);
+        assert!(outcome.text.contains("delta"), "{}", outcome.text);
+        assert!(outcome.text.contains("final certification: pass"));
+
+        // An impossible budget fails certification.
+        let fail = run_eco(ECO_DECK, script, &eco_opts(1e-12)).unwrap();
+        assert_eq!(fail.certification, Certification::Fail);
+    }
+
+    #[test]
+    fn eco_unknown_references_carry_line_and_token() {
+        let opts = eco_opts(60e-9);
+        let err = run_eco(
+            ECO_DECK,
+            "setcap ghost x 1e-15
+",
+            &opts,
+        )
+        .unwrap_err();
+        let CliError::Script(message) = &err else {
+            panic!("expected script error, got {err:?}");
+        };
+        assert!(
+            message.contains("line 1") && message.contains("`ghost`"),
+            "{message}"
+        );
+
+        let err = run_eco(
+            ECO_DECK,
+            "setcap fast x 1e-15
+prune fast nope
+",
+            &opts,
+        )
+        .unwrap_err();
+        let CliError::Script(message) = &err else {
+            panic!("expected script error, got {err:?}");
+        };
+        assert!(
+            message.contains("line 2") && message.contains("`nope`"),
+            "{message}"
+        );
     }
 }

@@ -1,11 +1,39 @@
 //! `rcdelay` — Penfield–Rubinstein delay bounds from the command line.
 //!
 //! See [`rctree_cli::USAGE`] or run `rcdelay --help`.
+//!
+//! Exit status: `0` when every requested certification passes (or none
+//! was requested), `1` on any error **and** whenever a certification
+//! (`--budget`, or the final verdict of an `rcdelay eco` session) fails,
+//! `2` when the bounds cannot decide (`indeterminate`) — so a CI gate on
+//! "exit 0" only goes green for *proven* timing.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use rctree_cli::{load_tree, parse_args, report, CliError, USAGE};
+use rctree_cli::{load_tree, parse_args, report, run_eco, CliError, Command, USAGE};
+use rctree_core::cert::Certification;
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read standard input: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    }
+}
+
+/// Maps an optional certification verdict to the process exit status.
+fn verdict_exit(verdict: Option<Certification>) -> ExitCode {
+    match verdict {
+        Some(Certification::Fail) => ExitCode::FAILURE,
+        Some(Certification::Indeterminate) => ExitCode::from(2),
+        Some(Certification::Pass) | None => ExitCode::SUCCESS,
+    }
+}
 
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1)) {
@@ -24,31 +52,45 @@ fn main() -> ExitCode {
         }
     };
 
-    let text = if opts.path == "-" {
-        let mut buf = String::new();
-        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
-            eprintln!("error: cannot read standard input: {e}");
+    let text = match read_input(&opts.path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
-        }
-        buf
-    } else {
-        match std::fs::read_to_string(&opts.path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("error: cannot read `{}`: {e}", opts.path);
-                return ExitCode::FAILURE;
-            }
         }
     };
 
-    match load_tree(&text, &opts).and_then(|tree| report(&tree, &opts)) {
-        Ok(text) => {
-            print!("{text}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+    match &opts.command {
+        Command::Report => match load_tree(&text, &opts).and_then(|tree| report(&tree, &opts)) {
+            Ok(report) => {
+                print!("{report}");
+                // The verdict must be visible to scripts and CI, not just
+                // humans reading stdout: fail → 1, unproven → 2.
+                verdict_exit(report.certification)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Eco { script, .. } => {
+            let script_text = match read_input(script) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_eco(&text, &script_text, &opts) {
+                Ok(outcome) => {
+                    print!("{}", outcome.text);
+                    verdict_exit(Some(outcome.certification))
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
     }
 }

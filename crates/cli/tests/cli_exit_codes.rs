@@ -1,0 +1,115 @@
+//! Exit-code regression tests for the `rcdelay` binary: a failing
+//! certification and a bad edit script must be visible to shells and CI
+//! through the process status, not only through stdout text.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const FIG7_DECK: &str =
+    "R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output n2\n";
+
+const ECO_DECK: &str = "\
+*D_NET slow 0.3\n*CONN\n*I drv I\n*P y O\n*CAP\n1 y 0.3\n*RES\n1 drv y 800\n*END\n";
+
+fn rcdelay() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcdelay"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcdelay-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("temp file");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    rcdelay().args(args).output().expect("rcdelay runs")
+}
+
+#[test]
+fn passing_certification_exits_zero() {
+    let deck = write_temp("fig7.sp", FIG7_DECK);
+    let out = run(&["--budget", "1000", deck.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pass"));
+}
+
+#[test]
+fn indeterminate_certification_exits_two() {
+    // Bounds straddling the budget cannot prove timing either way; the
+    // gate must not go green (exit 0), but the distinct status 2 lets
+    // callers tell "unproven" from "proven violation".
+    let deck = write_temp("fig7_indet.sp", FIG7_DECK);
+    let out = run(&[
+        "--threshold",
+        "0.9",
+        "--budget",
+        "900",
+        deck.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("indeterminate"));
+}
+
+#[test]
+fn failing_certification_exits_nonzero() {
+    let deck = write_temp("fig7_fail.sp", FIG7_DECK);
+    let out = run(&["--budget", "1e-3", deck.to_str().unwrap()]);
+    assert!(!out.status.success(), "{out:?}");
+    // The report itself still prints; the failure is in the status.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fail"));
+}
+
+#[test]
+fn eco_session_exit_codes_follow_the_final_verdict() {
+    let deck = write_temp("eco.spef", ECO_DECK);
+    let script = write_temp("edits.eco", "setcap slow y 0.6e-12\n");
+    let pass = run(&[
+        "eco",
+        "--budget",
+        "100e-9",
+        deck.to_str().unwrap(),
+        script.to_str().unwrap(),
+    ]);
+    assert!(pass.status.success(), "{pass:?}");
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("final certification: pass"));
+
+    let fail = run(&[
+        "eco",
+        "--budget",
+        "1e-12",
+        deck.to_str().unwrap(),
+        script.to_str().unwrap(),
+    ]);
+    assert!(!fail.status.success(), "{fail:?}");
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("final certification: fail"));
+}
+
+#[test]
+fn eco_unknown_node_exits_nonzero_with_the_offending_token() {
+    let deck = write_temp("eco_unknown.spef", ECO_DECK);
+    let script = write_temp("bad.eco", "setcap slow ghost 1e-15\n");
+    let out = run(&[
+        "eco",
+        "--budget",
+        "100e-9",
+        deck.to_str().unwrap(),
+        script.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 1") && stderr.contains("`ghost`"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn eco_without_budget_is_a_usage_error() {
+    let deck = write_temp("eco_nobudget.spef", ECO_DECK);
+    let script = write_temp("nobudget.eco", "setcap slow y 1e-15\n");
+    let out = run(&["eco", deck.to_str().unwrap(), script.to_str().unwrap()]);
+    assert!(!out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget"));
+}

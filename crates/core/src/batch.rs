@@ -41,6 +41,11 @@
 //! as independent oracles; the `batch_equivalence` suite checks agreement to
 //! 1e-9 relative on every workload generator).
 //!
+//! [`BatchTimes`] is the *one-shot facade* over this computation; when a
+//! tree is edited repeatedly (ECO loops), [`crate::incremental`] keeps the
+//! same arrays live and repairs them in `O(depth + |dirty subtree|)` per
+//! edit instead of re-running the sweep.
+//!
 //! ```
 //! use rctree_core::batch::BatchTimes;
 //! use rctree_core::builder::RcTreeBuilder;
@@ -93,6 +98,11 @@ impl BatchTimes {
     /// Computes the characteristic times of all nodes of `tree` in one
     /// post-order plus one pre-order traversal.
     ///
+    /// This is the one-shot facade over the incremental core: the traversal
+    /// itself lives in [`crate::incremental::raw_times`], shared with the
+    /// mutable [`EditableTree`](crate::incremental::EditableTree) engine,
+    /// which seeds its live state from the identical float sequence.
+    ///
     /// # Errors
     ///
     /// * [`CoreError::NoCapacitance`] if the tree carries no capacitance
@@ -102,53 +112,38 @@ impl BatchTimes {
     ///   builder accepts, since `R_ke ≤ R_ee` forces the numerator to zero
     ///   with `R_ee`; kept as a defensive check).
     pub fn of(tree: &RcTree) -> Result<Self> {
-        let cache = tree.traversal();
-        let n = cache.preorder.len();
-
-        // C_T via the tree's own summation (bit-identical to the value the
-        // per-output oracles embed), T_P in one pass over the flat arrays.
-        let total_cap = tree.total_capacitance().value();
-        if total_cap == 0.0 {
+        let raw = crate::incremental::raw_times(tree);
+        if raw.total_cap == 0.0 {
             return Err(CoreError::NoCapacitance);
         }
-        let mut t_p = 0.0_f64;
-        for i in 0..n {
-            let p = cache.parent[i] as usize;
-            t_p += cache.node_cap[i] * cache.path_r[i]
-                + cache.branch_c[i] * (cache.path_r[p] + cache.branch_r[i] / 2.0);
-        }
+        Self::from_raw(raw, tree.traversal().path_r.clone())
+    }
 
-        // Pre-order pass: carry T_De and the Σ R_ke²·C_k numerator down
-        // every root→node edge.
-        let mut t_d = vec![0.0_f64; n];
-        let mut t_r_num = vec![0.0_f64; n];
-        for &c in &cache.preorder[1..] {
-            let c = c as usize;
-            let p = cache.parent[c] as usize;
-            let r = cache.branch_r[c];
-            let c_line = cache.branch_c[c];
-            let c_sub = cache.down_cap[c];
-            let (r_pp, r_cc) = (cache.path_r[p], cache.path_r[c]);
-            t_d[c] = t_d[p] + r * (c_sub + c_line / 2.0);
-            t_r_num[c] = t_r_num[p] + (r_cc + r_pp) * r * c_sub + c_line * (r_pp * r + r * r / 3.0);
-        }
-
+    /// Normalises raw per-node sums (Elmore delays and `Σ R_ke²·C_k`
+    /// numerators) into a finished signature table.  Shared by
+    /// [`BatchTimes::of`] and the incremental engine's snapshot path.
+    pub(crate) fn from_raw(raw: crate::incremental::RawTimes, r_ee: Vec<f64>) -> Result<Self> {
+        let crate::incremental::RawTimes {
+            t_p,
+            total_cap,
+            t_d,
+            t_r_num,
+        } = raw;
         // Normalize the numerator into T_Re.
         let mut t_r = t_r_num;
         for (i, num) in t_r.iter_mut().enumerate() {
             if *num == 0.0 {
                 // No capacitor shares any resistance with this node.
-            } else if cache.path_r[i] == 0.0 {
+            } else if r_ee[i] == 0.0 {
                 return Err(CoreError::NoPathResistance { output: NodeId(i) });
             } else {
-                *num /= cache.path_r[i];
+                *num /= r_ee[i];
             }
         }
-
         Ok(BatchTimes {
             t_p,
             total_cap,
-            r_ee: cache.path_r.clone(),
+            r_ee,
             t_d,
             t_r,
         })

@@ -71,6 +71,9 @@ pub enum CoreError {
         /// The offending rise time in seconds.
         rise_time: f64,
     },
+    /// A structural edit targeted the input node, which has no feeding
+    /// branch and cannot be replaced or pruned.
+    CannotEditInput,
 }
 
 impl fmt::Display for CoreError {
@@ -113,6 +116,12 @@ impl fmt::Display for CoreError {
             CoreError::NameNotFound { name } => write!(f, "no node named `{name}`"),
             CoreError::NonPositiveRiseTime { rise_time } => {
                 write!(f, "ramp rise time {rise_time} s must be strictly positive")
+            }
+            CoreError::CannotEditInput => {
+                write!(
+                    f,
+                    "the input node has no feeding branch and cannot be edited structurally"
+                )
             }
         }
     }
@@ -161,6 +170,7 @@ mod tests {
                 CoreError::NonPositiveRiseTime { rise_time: 0.0 },
                 "strictly positive",
             ),
+            (CoreError::CannotEditInput, "input node"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -22,6 +22,7 @@
 //! | [`resistance`] | path and shared resistances `R_kk`, `R_ke` |
 //! | [`moments`] | the characteristic times (direct and linear algorithms) |
 //! | [`batch`] | all-outputs batch engine: every node's times in `O(n)` total |
+//! | [`incremental`] | mutable trees with `O(depth)` ECO delta re-analysis |
 //! | [`bounds`] | the Penfield–Rubinstein voltage/delay bounds (Eqs. 8–17) |
 //! | [`cert`] | the three-valued `OK` certification |
 //! | [`twoport`], [`expr`] | the constructive `URC`/`WB`/`WC` algebra of Section IV |
@@ -83,6 +84,7 @@ pub mod element;
 pub mod elmore;
 pub mod error;
 pub mod expr;
+pub mod incremental;
 pub mod moments;
 pub mod ramp;
 pub mod resistance;
@@ -101,6 +103,7 @@ pub mod prelude {
     pub use crate::elmore::{critical_output, elmore_delay, elmore_delays};
     pub use crate::error::{CoreError, Result};
     pub use crate::expr::NetworkExpr;
+    pub use crate::incremental::{EditableTree, IncrementalTimes, TreeEdit};
     pub use crate::moments::{
         characteristic_times, characteristic_times_all, characteristic_times_direct,
         CharacteristicTimes,
@@ -118,6 +121,7 @@ pub use crate::bounds::{DelayBounds, VoltageBounds};
 pub use crate::builder::RcTreeBuilder;
 pub use crate::cert::Certification;
 pub use crate::error::{CoreError, Result};
+pub use crate::incremental::{EditableTree, IncrementalTimes, TreeEdit};
 pub use crate::moments::CharacteristicTimes;
 pub use crate::tree::{NodeId, RcTree};
 pub use crate::twoport::TwoPort;

@@ -70,6 +70,15 @@ pub(crate) struct TraversalCache {
     /// all descendant capacitors, and the full distributed capacitance of
     /// every branch *below* the node (not the branch feeding it).
     pub(crate) down_cap: Vec<f64>,
+    /// Position of each node in `preorder` (the inverse permutation).
+    pub(crate) pre_index: Vec<u32>,
+    /// Exclusive end of each node's subtree interval in `preorder`: the
+    /// subtree rooted at node `i` occupies
+    /// `preorder[pre_index[i] .. subtree_end[i]]`.  This is the
+    /// subtree-extent index shared by the one-shot batch engine and the
+    /// incremental delta engine ([`crate::incremental`]): "the whole subtree
+    /// under a node" is always one contiguous slice.
+    pub(crate) subtree_end: Vec<u32>,
 }
 
 impl TraversalCache {
@@ -110,7 +119,7 @@ impl TraversalCache {
             down_cap[parent[i] as usize] += down_cap[i] + branch_c[i];
         }
 
-        TraversalCache {
+        let mut cache = TraversalCache {
             preorder,
             parent,
             branch_r,
@@ -118,7 +127,39 @@ impl TraversalCache {
             node_cap,
             path_r,
             down_cap,
+            pre_index: Vec::new(),
+            subtree_end: Vec::new(),
+        };
+        cache.rebuild_intervals();
+        cache
+    }
+
+    /// Recomputes `pre_index` and `subtree_end` from `preorder` and
+    /// `parent` in `O(n)`.  Called at build time and after every structural
+    /// patch (graft/prune) of the incremental engine.
+    pub(crate) fn rebuild_intervals(&mut self) {
+        let n = self.preorder.len();
+        self.pre_index.resize(n, 0);
+        self.subtree_end.resize(n, 0);
+        for (pos, &i) in self.preorder.iter().enumerate() {
+            self.pre_index[i as usize] = pos as u32;
         }
+        for (i, end) in self.subtree_end.iter_mut().enumerate() {
+            *end = self.pre_index[i] + 1;
+        }
+        for &i in self.preorder[1..].iter().rev() {
+            let i = i as usize;
+            let p = self.parent[i] as usize;
+            if self.subtree_end[i] > self.subtree_end[p] {
+                self.subtree_end[p] = self.subtree_end[i];
+            }
+        }
+    }
+
+    /// The half-open `preorder` interval occupied by the subtree rooted at
+    /// node index `i`.
+    pub(crate) fn interval(&self, i: usize) -> (usize, usize) {
+        (self.pre_index[i] as usize, self.subtree_end[i] as usize)
     }
 }
 
@@ -192,6 +233,18 @@ impl RcTree {
     /// The flattened traversal arrays shared by the whole-tree algorithms.
     pub(crate) fn traversal(&self) -> &TraversalCache {
         &self.cache
+    }
+
+    /// Rebuilds every piece of derived state (the traversal cache) from the
+    /// node table, from scratch.
+    ///
+    /// The returned tree is structurally identical to `self`
+    /// (`rebuilt == *self` under [`PartialEq`], which compares node tables
+    /// only) but carries freshly recomputed prefix sums.  This is the
+    /// rebuild-and-rerun oracle against which the incremental engine
+    /// ([`crate::incremental`]) is validated and benchmarked.
+    pub fn rebuild(&self) -> RcTree {
+        RcTree::from_nodes(self.nodes.clone())
     }
 
     /// The input (root) node where the step excitation is applied.
@@ -406,6 +459,10 @@ impl RcTree {
     /// Returns `true` if `descendant` lies in the subtree rooted at
     /// `ancestor` (a node is its own descendant).
     ///
+    /// `O(1)` via the cached pre-order subtree intervals: `descendant` is in
+    /// the subtree of `ancestor` exactly when its pre-order position falls
+    /// inside `ancestor`'s interval.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::NodeNotFound`] if either node does not belong to
@@ -413,14 +470,22 @@ impl RcTree {
     pub fn is_descendant(&self, descendant: NodeId, ancestor: NodeId) -> Result<bool> {
         self.check(ancestor)?;
         self.check(descendant)?;
-        let mut cur = Some(descendant);
-        while let Some(id) = cur {
-            if id == ancestor {
-                return Ok(true);
-            }
-            cur = self.nodes[id.0].parent;
-        }
-        Ok(false)
+        let (start, end) = self.cache.interval(ancestor.0);
+        let pos = self.cache.pre_index[descendant.0] as usize;
+        Ok(start <= pos && pos < end)
+    }
+
+    /// Number of nodes in the subtree rooted at `node`, including `node`
+    /// itself (`O(1)` via the cached pre-order subtree intervals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotFound`] if `node` does not belong to this
+    /// tree.
+    pub fn subtree_size(&self, node: NodeId) -> Result<usize> {
+        self.check(node)?;
+        let (start, end) = self.cache.interval(node.0);
+        Ok(end - start)
     }
 
     /// Total capacitance in the subtree rooted at `node` (its own lumped
@@ -662,5 +727,53 @@ mod tests {
         let (a, _, _) = fig3();
         let b = a.clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rebuild_reproduces_the_tree_and_its_cache() {
+        let (tree, k, e) = fig3();
+        let rebuilt = tree.rebuild();
+        assert_eq!(rebuilt, tree);
+        assert_eq!(rebuilt.preorder(), tree.preorder());
+        assert_eq!(
+            rebuilt.resistance_from_input(k).unwrap(),
+            tree.resistance_from_input(k).unwrap()
+        );
+        assert_eq!(
+            rebuilt.subtree_capacitance(e).unwrap(),
+            tree.subtree_capacitance(e).unwrap()
+        );
+    }
+
+    #[test]
+    fn subtree_intervals_agree_with_parent_walks() {
+        let (tree, _, _) = fig3();
+        // Interval-based descendant test must agree with a naive parent walk
+        // for every node pair.
+        for a in tree.node_ids() {
+            for d in tree.node_ids() {
+                let mut walk = false;
+                let mut cur = Some(d);
+                while let Some(id) = cur {
+                    if id == a {
+                        walk = true;
+                        break;
+                    }
+                    cur = tree.parent(id).unwrap();
+                }
+                assert_eq!(tree.is_descendant(d, a).unwrap(), walk, "{d} under {a}");
+            }
+            // Subtree size equals the number of interval-descendants.
+            let count = tree
+                .node_ids()
+                .filter(|&d| tree.is_descendant(d, a).unwrap())
+                .count();
+            assert_eq!(tree.subtree_size(a).unwrap(), count);
+        }
+        assert_eq!(tree.subtree_size(tree.input()).unwrap(), tree.node_count());
+        assert!(matches!(
+            tree.subtree_size(NodeId(999)),
+            Err(CoreError::NodeNotFound { .. })
+        ));
     }
 }

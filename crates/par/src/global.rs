@@ -1,0 +1,324 @@
+//! A persistent, lazily-started global worker pool.
+//!
+//! [`scope`](crate::scope) starts fresh OS threads for every call, which is
+//! fine for one deck-sized analysis but wasteful for the edit→re-query loops
+//! of the ECO flow, where `Design::apply_eco` may run thousands of times in
+//! a session and each call's parallel region is small.  [`global_pool`]
+//! amortises that: worker threads are spawned on first demand, parked on a
+//! condvar while idle, and reused by every subsequent parallel region in
+//! the process (`rctree-sta`'s design analysis, and through it the CLI
+//! across decks and edit scripts).
+//!
+//! The trade-off against the scoped pool is ownership: this workspace
+//! forbids `unsafe`, and safe Rust cannot hand a non-`'static` closure to
+//! an already-running thread (only `std::thread::scope`'s join-before-return
+//! proof makes borrowing sound).  Global-pool jobs therefore own their data
+//! — in practice an `Arc` of the shared state, which is exactly how
+//! `rctree-sta` now stores its design core.  Borrow-based callers
+//! (`parse_spef_deck` slicing one big input string) stay on the scoped
+//! pool.
+//!
+//! Determinism matches [`par_map_indexed`](crate::par_map_indexed): results
+//! are written into slots addressed by input index and concatenated in
+//! index order, so the output is bit-identical to the serial map for every
+//! width, even though chunks are claimed dynamically by whichever worker is
+//! free.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A unit of work owned by the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Worker threads started so far (they never exit).
+    workers: usize,
+}
+
+/// The process-wide persistent worker pool; obtain it with [`global_pool`].
+pub struct GlobalPool {
+    state: Mutex<QueueState>,
+    work: Condvar,
+}
+
+impl std::fmt::Debug for GlobalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalPool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+static POOL: OnceLock<GlobalPool> = OnceLock::new();
+
+/// The process-wide persistent pool, started lazily on first use.
+pub fn global_pool() -> &'static GlobalPool {
+    POOL.get_or_init(|| GlobalPool {
+        state: Mutex::new(QueueState::default()),
+        work: Condvar::new(),
+    })
+}
+
+impl GlobalPool {
+    fn locked(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of worker threads currently alive (monotonically grows to the
+    /// largest width any caller has requested).
+    pub fn workers(&self) -> usize {
+        self.locked().workers
+    }
+
+    /// Lazily starts workers until at least `target` are alive.  The
+    /// worker count is reserved under the lock but the (slow) OS spawns
+    /// happen outside it, so concurrent sessions keep enqueuing and
+    /// dequeuing while the pool grows.
+    fn ensure_workers(&'static self, target: usize) {
+        let (first, last) = {
+            let mut st = self.locked();
+            let first = st.workers + 1;
+            if st.workers < target {
+                st.workers = target;
+            }
+            (first, st.workers)
+        };
+        for id in first..=last {
+            std::thread::Builder::new()
+                .name(format!("rctree-global-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawning a global-pool worker thread");
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut st = self.locked();
+                loop {
+                    if let Some(job) = st.jobs.pop_front() {
+                        break job;
+                    }
+                    st = self.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // Sessions handle their own panics; this guard only keeps a
+            // stray unwind from killing a pooled worker.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+    }
+
+    /// Queues one owned job on the pool (fire-and-forget; see
+    /// [`par_map_global`] for the join-and-collect pattern).
+    pub fn spawn(&'static self, job: impl FnOnce() + Send + 'static) {
+        self.locked().jobs.push_back(Box::new(job));
+        self.work.notify_one();
+    }
+}
+
+/// One parallel-map session: dynamic chunk claiming, index-addressed result
+/// slots, panic capture, and a completion latch the caller waits on.
+struct Session<S, U, F> {
+    state: Arc<S>,
+    f: F,
+    len: usize,
+    chunk: usize,
+    next: AtomicUsize,
+    slots: Vec<Mutex<Vec<U>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<S, U, F> Session<S, U, F>
+where
+    F: Fn(usize, &S) -> U,
+{
+    /// Claims and runs chunks until none are left.  Returns once this
+    /// runner can make no further progress.
+    fn run(&self) {
+        loop {
+            let ci = self.next.fetch_add(1, Ordering::Relaxed);
+            if ci >= self.slots.len() {
+                return;
+            }
+            let start = ci * self.chunk;
+            let end = (start + self.chunk).min(self.len);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                (start..end).map(|i| (self.f)(i, &self.state)).collect()
+            }));
+            match outcome {
+                Ok(out) => {
+                    *self.slots[ci].lock().unwrap_or_else(|e| e.into_inner()) = out;
+                }
+                Err(payload) => {
+                    let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                }
+            }
+            let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// How many chunks each worker is seeded with (matches the scoped pool's
+/// [`par_map_indexed`](crate::par_map_indexed) granularity policy).
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Order-preserving parallel map over indices `0..len` of a shared
+/// `Arc`-owned state, executed on the persistent [`global_pool`].
+///
+/// `f(i, &state)` is evaluated for every index; results come back in index
+/// order, **bit-identical** to the serial loop for any `jobs` width and any
+/// scheduling (slots are addressed by index).  `jobs` bounds the
+/// concurrency of this call: `jobs - 1` pool workers plus the calling
+/// thread, which participates instead of idling.  Inputs too small to
+/// amortise the handoff (fewer than two items per worker) run serially on
+/// the caller.
+///
+/// # Ownership caveat
+///
+/// The `jobs - 1` runner jobs queued on the pool each hold a clone of the
+/// session (and therefore of `state`).  All *chunks* are guaranteed
+/// complete when this returns, but a runner that never got dequeued (the
+/// caller drained every chunk first) may sit in the pool queue briefly
+/// afterwards, keeping `state`'s strong count above one.  Callers that
+/// rely on unique ownership after the call (e.g. a subsequent
+/// [`Arc::make_mut`]) should hand the pool a [`std::sync::Weak`] and
+/// upgrade per item instead of sharing the `Arc` itself.
+///
+/// # Panics
+///
+/// Re-throws the first panic raised inside `f` after every chunk has
+/// settled, mirroring [`scope`](crate::scope).
+pub fn par_map_global<S, U, F>(jobs: usize, state: Arc<S>, len: usize, f: F) -> Vec<U>
+where
+    S: Send + Sync + 'static,
+    U: Send + 'static,
+    F: Fn(usize, &S) -> U + Send + Sync + 'static,
+{
+    let jobs = jobs.max(1).min(len.max(1));
+    if jobs == 1 || len < 2 * jobs {
+        return (0..len).map(|i| f(i, &state)).collect();
+    }
+
+    let chunk = len.div_ceil(jobs * CHUNKS_PER_WORKER).max(1);
+    let n_chunks = len.div_ceil(chunk);
+    let session = Arc::new(Session {
+        state,
+        f,
+        len,
+        chunk,
+        next: AtomicUsize::new(0),
+        slots: (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect(),
+        remaining: Mutex::new(n_chunks),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    let pool = global_pool();
+    pool.ensure_workers(jobs - 1);
+    for _ in 0..jobs - 1 {
+        let session = Arc::clone(&session);
+        pool.spawn(move || session.run());
+    }
+    // The caller is the final runner, then waits out any stragglers.
+    session.run();
+    {
+        let mut remaining = session.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = session
+                .done
+                .wait(remaining)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    let payload = session
+        .panic
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+
+    let mut result = Vec::with_capacity(len);
+    for slot in &session.slots {
+        result.append(&mut slot.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_map_matches_serial_for_every_width() {
+        let items: Vec<u64> = (0..311).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 * x)
+            .collect();
+        let shared = Arc::new(items);
+        for jobs in [1, 2, 3, 7, 16] {
+            let par = par_map_global(jobs, Arc::clone(&shared), shared.len(), |i, items| {
+                i as u64 * items[i]
+            });
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_threads_persist_across_calls() {
+        // The pool is process-global and other tests in this binary use it
+        // concurrently, so only monotone properties are asserted: workers
+        // exist after the first wide call and the count never shrinks.
+        let shared = Arc::new((0..64u64).collect::<Vec<_>>());
+        let _ = par_map_global(4, Arc::clone(&shared), 64, |i, v| v[i]);
+        let after_first = global_pool().workers();
+        assert!(after_first >= 3, "got {after_first}");
+        let _ = par_map_global(4, Arc::clone(&shared), 64, |i, v| v[i] * 2);
+        let _ = par_map_global(2, shared, 64, |i, v| v[i] * 3);
+        assert!(global_pool().workers() >= after_first);
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_the_caller() {
+        let shared = Arc::new(vec![5u32, 6, 7]);
+        assert_eq!(
+            par_map_global(8, Arc::clone(&shared), 3, |i, v| v[i] + 1),
+            vec![6, 7, 8]
+        );
+        assert!(par_map_global(4, shared, 0, |i, v: &Vec<u32>| v[i]).is_empty());
+    }
+
+    #[test]
+    fn panic_in_a_chunk_propagates_after_the_session_drains() {
+        let shared = Arc::new((0..128u64).collect::<Vec<_>>());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map_global(4, shared, 128, |i, v| {
+                if i == 77 {
+                    panic!("boom");
+                }
+                v[i]
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and keeps serving.
+        let shared = Arc::new(vec![1u64; 64]);
+        let sum: u64 = par_map_global(4, shared, 64, |i, v| v[i]).iter().sum();
+        assert_eq!(sum, 64);
+    }
+}

@@ -17,7 +17,12 @@
 //!   may borrow the environment and are all joined before `scope` returns;
 //! * [`par_map_indexed`] — order-preserving parallel map over a slice,
 //!   bit-identical to the serial map for any worker count;
-//! * [`JobDeque`] — the per-worker steal-half deque underneath both;
+//! * [`global_pool`] / [`par_map_global`] — a persistent, lazily-started
+//!   pool for `'static` (`Arc`-owned) jobs, reused across calls so that
+//!   repeated small parallel regions (the ECO edit→re-query loop, a CLI
+//!   session over many decks) stop paying thread startup;
+//! * [`JobDeque`] — the per-worker steal-half deque underneath the scoped
+//!   pool;
 //! * [`available_parallelism`] / [`default_jobs`] — worker-count policy
 //!   (`RCTREE_JOBS` overrides the hardware default).
 //!
@@ -31,9 +36,11 @@
 #![forbid(unsafe_code)]
 
 pub mod deque;
+pub mod global;
 pub mod pool;
 
 pub use crate::deque::JobDeque;
+pub use crate::global::{global_pool, par_map_global, GlobalPool};
 pub use crate::pool::{par_map_indexed, scope, Scope};
 
 /// Environment variable overriding the default worker count (used by CI to

@@ -16,6 +16,8 @@
 //! [`matrix`] (dense matrices), [`lu`] (LU factorization with partial
 //! pivoting), [`eigen`] (cyclic Jacobi), [`network`] (MNA stamping and
 //! distributed-line discretization) and [`waveform`] (measurements).
+//! [`sweep`] shards whole-workload batches of either solver across the
+//! `rctree-par` pool with serial-identical results.
 //!
 //! ```
 //! use rctree_core::builder::RcTreeBuilder;
@@ -45,12 +47,14 @@ pub mod lu;
 pub mod matrix;
 pub mod modal;
 pub mod network;
+pub mod sweep;
 pub mod transient;
 pub mod waveform;
 
 pub use crate::error::{Result, SimError};
 pub use crate::modal::{exact_step_response, ModalStepResponse};
 pub use crate::network::{LumpedNetwork, Terminal};
+pub use crate::sweep::{modal_crossing_sweep, transient_crossing_sweep};
 pub use crate::transient::{simulate, step_response, InputSource, Method, TransientOptions};
 pub use crate::waveform::Waveform;
 

@@ -28,6 +28,21 @@ pub enum StaError {
         /// The repeated name.
         name: String,
     },
+    /// An ECO edit referenced a net that is not in the design.
+    UnknownNet {
+        /// The offending net name (kept structured so tools can point at
+        /// the exact token).
+        name: String,
+    },
+    /// An ECO edit referenced a node name missing from its net's
+    /// interconnect tree.
+    UnknownEcoNode {
+        /// Name of the net the edit targeted.
+        net: String,
+        /// The offending node name (kept structured so tools can point at
+        /// the exact token).
+        node: String,
+    },
     /// The design's instance/net graph contains a combinational cycle, so
     /// topological arrival-time propagation is impossible.
     CombinationalCycle,
@@ -47,6 +62,15 @@ impl fmt::Display for StaError {
             }
             StaError::DuplicateInstance { name } => {
                 write!(f, "instance `{name}` is defined more than once")
+            }
+            StaError::UnknownNet { name } => {
+                write!(f, "eco edit references unknown net `{name}`")
+            }
+            StaError::UnknownEcoNode { net, node } => {
+                write!(
+                    f,
+                    "eco edit on net `{net}` references unknown node `{node}`"
+                )
             }
             StaError::CombinationalCycle => {
                 write!(f, "design contains a combinational cycle")
@@ -95,6 +119,15 @@ mod tests {
         assert!(StaError::DuplicateInstance { name: "u1".into() }
             .to_string()
             .contains("u1"));
+        assert!(StaError::UnknownNet { name: "clk".into() }
+            .to_string()
+            .contains("`clk`"));
+        let eco = StaError::UnknownEcoNode {
+            net: "n1".into(),
+            node: "x9".into(),
+        }
+        .to_string();
+        assert!(eco.contains("`n1`") && eco.contains("`x9`"));
         assert!(StaError::UnknownInstance { name: "u9".into() }
             .to_string()
             .contains("u9"));

@@ -12,8 +12,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{Arc, Weak};
 
 use rctree_core::cert::Certification;
+use rctree_core::element::Branch;
+use rctree_core::incremental::{EditableTree, TreeEdit};
 use rctree_core::tree::RcTree;
 use rctree_core::units::{Farads, Seconds};
 
@@ -168,8 +171,26 @@ impl fmt::Display for TimingReport {
 }
 
 /// A gate-level design with extracted interconnect.
+///
+/// The library, instance table and nets live behind an [`Arc`] so that the
+/// persistent global worker pool ([`rctree_par::global_pool`]) can hold
+/// owned (`'static`) references to them while a sharded analysis is in
+/// flight; mutation goes through [`Arc::make_mut`].  Pool jobs reference
+/// the core only through a [`Weak`] (upgraded per net while the analysing
+/// borrow keeps it alive), so even a straggler runner still queued on the
+/// pool after an analysis returns cannot pin the strong count — make_mut
+/// copies only when the *caller* holds other clones of the design.
 #[derive(Debug, Clone)]
 pub struct Design {
+    shared: Arc<DesignCore>,
+    /// Cached per-net stage results backing the incremental
+    /// [`Design::apply_eco`] path; invalidated by structural mutation.
+    eco: Option<EcoState>,
+}
+
+/// The shareable heart of a [`Design`].
+#[derive(Debug, Clone)]
+struct DesignCore {
     library: CellLibrary,
     /// instance name → cell name.
     instances: BTreeMap<String, String>,
@@ -177,18 +198,79 @@ pub struct Design {
 }
 
 /// Delay window of one sink of a net, produced by the per-net stage sweep.
+#[derive(Debug, Clone)]
 struct SinkDelay {
     load: Load,
     window: (Seconds, Seconds),
+}
+
+/// Cached stage results for the ECO loop: the per-net sink windows of the
+/// last evaluation at `threshold`, so an edit only pays for the nets it
+/// touches.
+#[derive(Debug, Clone)]
+struct EcoState {
+    threshold: f64,
+    delays: Vec<Vec<SinkDelay>>,
+}
+
+/// One net-level engineering change order: a named net plus a name-based
+/// edit of its extracted interconnect.
+///
+/// Node references are by *name* rather than [`rctree_core::NodeId`]
+/// because structural edits (prunes) renumber ids; names are the stable
+/// handle across an edit script.
+#[derive(Debug, Clone)]
+pub struct EcoEdit {
+    /// Name of the net whose interconnect is edited.
+    pub net: String,
+    /// The edit to apply.
+    pub kind: EcoEditKind,
+}
+
+/// The name-based edit vocabulary of [`Design::apply_eco`], mirroring
+/// [`TreeEdit`].
+#[derive(Debug, Clone)]
+pub enum EcoEditKind {
+    /// Replace the lumped grounded capacitance at a node.
+    SetCap {
+        /// Node name within the net's interconnect.
+        node: String,
+        /// New total lumped capacitance.
+        cap: Farads,
+    },
+    /// Replace the branch element feeding a node.
+    SetBranch {
+        /// Node name within the net's interconnect (not the net root).
+        node: String,
+        /// The new branch element.
+        branch: Branch,
+    },
+    /// Graft a validated subtree under an existing node.
+    Graft {
+        /// Host node name the subtree is attached under.
+        parent: String,
+        /// The new branch connecting the host node to the subtree's input.
+        via: Branch,
+        /// The subtree to graft (boxed to keep the edit enum small).
+        subtree: Box<RcTree>,
+    },
+    /// Remove a node, its feeding branch, and its whole subtree.
+    Prune {
+        /// Name of the subtree root to remove.
+        node: String,
+    },
 }
 
 impl Design {
     /// Creates an empty design over the given cell library.
     pub fn new(library: CellLibrary) -> Self {
         Design {
-            library,
-            instances: BTreeMap::new(),
-            nets: Vec::new(),
+            shared: Arc::new(DesignCore {
+                library,
+                instances: BTreeMap::new(),
+                nets: Vec::new(),
+            }),
+            eco: None,
         }
     }
 
@@ -201,11 +283,12 @@ impl Design {
     pub fn add_instance(&mut self, name: impl Into<String>, cell: impl Into<String>) -> Result<()> {
         let name = name.into();
         let cell = cell.into();
-        self.library.cell(&cell)?;
-        if self.instances.contains_key(&name) {
+        self.shared.library.cell(&cell)?;
+        if self.shared.instances.contains_key(&name) {
             return Err(StaError::DuplicateInstance { name });
         }
-        self.instances.insert(name, cell);
+        Arc::make_mut(&mut self.shared).instances.insert(name, cell);
+        self.eco = None;
         Ok(())
     }
 
@@ -219,7 +302,7 @@ impl Design {
     ///   not part of the net's interconnect tree.
     pub fn add_net(&mut self, net: Net) -> Result<()> {
         if let Driver::Instance(inst) = &net.driver {
-            if !self.instances.contains_key(inst) {
+            if !self.shared.instances.contains_key(inst) {
                 return Err(StaError::UnknownInstance { name: inst.clone() });
             }
         }
@@ -231,23 +314,24 @@ impl Design {
                 });
             }
             if let Load::Instance(inst) = &sink.load {
-                if !self.instances.contains_key(inst) {
+                if !self.shared.instances.contains_key(inst) {
                     return Err(StaError::UnknownInstance { name: inst.clone() });
                 }
             }
         }
-        self.nets.push(net);
+        Arc::make_mut(&mut self.shared).nets.push(net);
+        self.eco = None;
         Ok(())
     }
 
     /// Number of instances in the design.
     pub fn instance_count(&self) -> usize {
-        self.instances.len()
+        self.shared.instances.len()
     }
 
     /// Number of nets in the design.
     pub fn net_count(&self) -> usize {
-        self.nets.len()
+        self.shared.nets.len()
     }
 
     /// Runs the full arrival-time propagation and produces a report,
@@ -271,7 +355,9 @@ impl Design {
     /// [`Design::analyze`] with an explicit worker count.
     ///
     /// Net/stage evaluation — all the numerical work — is embarrassingly
-    /// parallel: every net is one independent `O(n)` batched sweep.  The
+    /// parallel: every net is one independent `O(n)` batched sweep, sharded
+    /// over the persistent [`rctree_par::global_pool`] (worker threads are
+    /// started once per process and reused by every subsequent call).  The
     /// per-net results are written by net index and merged in net order, so
     /// the report is **bit-identical** to the serial evaluation
     /// (`jobs = 1`) for every worker count; on invalid designs the error
@@ -288,28 +374,247 @@ impl Design {
         required_time: Seconds,
         jobs: usize,
     ) -> Result<TimingReport> {
-        if self.nets.is_empty() {
+        if self.shared.nets.is_empty() {
+            return Err(StaError::EmptyDesign);
+        }
+        let net_sink_delays = self.stage_delays(threshold, jobs)?;
+        self.propagate(threshold, required_time, &net_sink_delays)
+    }
+
+    /// Stage timing per net: the delay window of every sink.  Each call to
+    /// `analyze_stage` batches the whole net — one `O(n)` sweep covers all
+    /// of the net's fan-outs — so the full design evaluation is linear in
+    /// total extracted-node count plus total sink count, divided across the
+    /// global pool's workers.
+    fn stage_delays(&self, threshold: f64, jobs: usize) -> Result<Vec<Vec<SinkDelay>>> {
+        // The pool jobs hold the core through a Weak so that a queued
+        // straggler runner (see `par_map_global`'s ownership note) can
+        // never pin the strong count past this call and turn a later
+        // `Arc::make_mut` commit into a deep clone of the whole design.
+        // The upgrade always succeeds while this `&self` borrow is live.
+        let core = Arc::new(Arc::downgrade(&self.shared));
+        let n = self.shared.nets.len();
+        rctree_par::par_map_global(jobs, core, n, move |i, weak: &Weak<DesignCore>| {
+            let core = weak.upgrade().expect("design outlives its analysis");
+            core.net_sink_delays(&core.nets[i], threshold)
+        })
+        .into_iter()
+        .collect::<Result<_>>()
+    }
+
+    /// Applies a batch of net-level ECO edits and returns the refreshed
+    /// timing report, re-evaluating **only the touched nets**.
+    ///
+    /// Uses [`rctree_par::default_jobs`] workers when many nets are dirty;
+    /// see [`Design::apply_eco_with_jobs`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Design::apply_eco_with_jobs`].
+    pub fn apply_eco(
+        &mut self,
+        edits: &[EcoEdit],
+        threshold: f64,
+        required_time: Seconds,
+    ) -> Result<TimingReport> {
+        self.apply_eco_with_jobs(edits, threshold, required_time, rctree_par::default_jobs())
+    }
+
+    /// [`Design::apply_eco`] with an explicit worker count.
+    ///
+    /// The first call (or a call after the threshold changes or the design
+    /// is structurally modified) evaluates every net once and caches the
+    /// per-net sink windows; subsequent calls map each edit onto its net's
+    /// interconnect through the incremental
+    /// [`EditableTree`] engine and re-run the stage sweep for the dirty
+    /// nets only, sharded over the persistent global pool when the dirty
+    /// set is large.  Untouched nets keep their cached windows, so the
+    /// report delta is **schedule-independent**: for any `jobs` value the
+    /// result equals a full [`Design::analyze_with_jobs`] of the edited
+    /// design, bit for bit.
+    ///
+    /// An empty `edits` slice is a cache-warming full analysis.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::UnknownNet`] if an edit names a net not in the design;
+    /// * [`StaError::UnknownEcoNode`] if an edit references a node name
+    ///   missing from its net's interconnect;
+    /// * [`StaError::UnknownSinkNode`] if an edit prunes a node that a
+    ///   sink of the net is attached to;
+    /// * [`StaError::Core`] for edit-level validation failures (negative
+    ///   values, grafted name collisions, pruning the net root);
+    /// * plus every error of [`Design::analyze_with_jobs`].
+    ///
+    /// Edits are applied transactionally per call: validation **and** the
+    /// stage re-analysis both run against pre-commit state, so on any error
+    /// — including an edit batch that makes a net unanalysable — the design
+    /// and its cache are left exactly as they were before the call.
+    pub fn apply_eco_with_jobs(
+        &mut self,
+        edits: &[EcoEdit],
+        threshold: f64,
+        required_time: Seconds,
+        jobs: usize,
+    ) -> Result<TimingReport> {
+        if self.shared.nets.is_empty() {
             return Err(StaError::EmptyDesign);
         }
 
-        // Stage timing per net: delay window of every sink.  Each call to
-        // `analyze_stage` batches the whole net — one O(n) sweep covers all
-        // of the net's fan-outs — so the full design evaluation is linear in
-        // total extracted-node count plus total sink count, divided across
-        // the workers.
-        let net_sink_delays: Vec<Vec<SinkDelay>> =
-            rctree_par::par_map_indexed(jobs, &self.nets, |_, net| {
-                self.net_sink_delays(net, threshold)
-            })
-            .into_iter()
-            .collect::<Result<_>>()?;
+        // Group the edits by net index, preserving intra-net order (one
+        // name→index map instead of a linear scan per edit).
+        let net_index: HashMap<&str, usize> = self
+            .shared
+            .nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.as_str(), i))
+            .collect();
+        let mut by_net: BTreeMap<usize, Vec<&EcoEdit>> = BTreeMap::new();
+        for edit in edits {
+            let idx = *net_index
+                .get(edit.net.as_str())
+                .ok_or_else(|| StaError::UnknownNet {
+                    name: edit.net.clone(),
+                })?;
+            by_net.entry(idx).or_default().push(edit);
+        }
 
+        // Apply the edits to freshly wrapped interconnects; nothing touches
+        // the design until the whole batch validates *and* re-times.
+        let mut edited: Vec<(usize, RcTree)> = Vec::with_capacity(by_net.len());
+        for (&idx, net_edits) in &by_net {
+            let net = &self.shared.nets[idx];
+            let mut eco_tree = EditableTree::new(net.interconnect.clone());
+            for edit in net_edits {
+                let tree_edit = resolve_edit(&edit.net, &edit.kind, eco_tree.tree())?;
+                eco_tree.apply(&tree_edit).map_err(StaError::Core)?;
+            }
+            // Every sink must survive the edits (a prune may not remove a
+            // node a gate is attached to).
+            for sink in &net.sinks {
+                if eco_tree.tree().node_by_name(&sink.node).is_err() {
+                    return Err(StaError::UnknownSinkNode {
+                        net: net.name.clone(),
+                        node: sink.node.clone(),
+                    });
+                }
+            }
+            edited.push((idx, eco_tree.into_tree()));
+        }
+
+        // Re-time the dirty nets against their edited (still uncommitted)
+        // interconnects, sharded over the global pool when the dirty set is
+        // large enough to amortise the handoff.
+        let eval_nets: Vec<Net> = edited
+            .iter()
+            .map(|(idx, tree)| {
+                let net = &self.shared.nets[*idx];
+                Net {
+                    name: net.name.clone(),
+                    driver: net.driver.clone(),
+                    interconnect: tree.clone(),
+                    sinks: net.sinks.clone(),
+                }
+            })
+            .collect();
+        let refreshed: Vec<Vec<SinkDelay>> = {
+            // Weak for the same no-straggler-pinning reason as
+            // `stage_delays`; the edited nets are cheap transient clones.
+            let eval = Arc::new((Arc::downgrade(&self.shared), eval_nets));
+            let n = eval.1.len();
+            rctree_par::par_map_global(
+                jobs,
+                eval,
+                n,
+                move |k, eval: &(Weak<DesignCore>, Vec<Net>)| {
+                    let core = eval.0.upgrade().expect("design outlives its analysis");
+                    core.net_sink_delays(&eval.1[k], threshold)
+                },
+            )
+            .into_iter()
+            .collect::<Result<_>>()?
+        };
+
+        // Cached windows for the untouched nets; a cold cache (first call,
+        // or threshold change) is warmed with one sweep that *skips* the
+        // dirty nets — their fresh windows land right below, so no net is
+        // evaluated twice.
+        let mut state = match self.eco.take() {
+            Some(state) if state.threshold == threshold => state,
+            _ => {
+                let mut dirty_mask = vec![false; self.shared.nets.len()];
+                for (idx, _) in &edited {
+                    dirty_mask[*idx] = true;
+                }
+                let core = Arc::new(Arc::downgrade(&self.shared));
+                let n = self.shared.nets.len();
+                let delays =
+                    rctree_par::par_map_global(jobs, core, n, move |i, weak: &Weak<DesignCore>| {
+                        if dirty_mask[i] {
+                            Ok(Vec::new())
+                        } else {
+                            let core = weak.upgrade().expect("design outlives its analysis");
+                            core.net_sink_delays(&core.nets[i], threshold)
+                        }
+                    })
+                    .into_iter()
+                    .collect::<Result<_>>();
+                match delays {
+                    Ok(delays) => EcoState { threshold, delays },
+                    Err(e) => {
+                        // Nothing was committed; the design is untouched.
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        for ((idx, _), delays) in edited.iter().zip(refreshed) {
+            state.delays[*idx] = delays;
+        }
+
+        // Propagation reads only connectivity and the windows above, never
+        // the interconnect values, so running it pre-commit yields exactly
+        // the post-commit report.
+        let report = match self.propagate(threshold, required_time, &state.delays) {
+            Ok(report) => report,
+            Err(e) => {
+                // The design is untouched, but `state` already carries the
+                // edited nets' windows — discard it rather than cache
+                // windows that no longer match the (rolled-back) trees.
+                self.eco = None;
+                return Err(e);
+            }
+        };
+
+        // Everything validated and re-timed: commit.
+        let core = Arc::make_mut(&mut self.shared);
+        for (idx, tree) in edited {
+            core.nets[idx].interconnect = tree;
+        }
+        self.eco = Some(state);
+        Ok(report)
+    }
+
+    /// Serial arrival-time propagation over precomputed per-net sink
+    /// windows: topological ordering, interval accumulation, critical-path
+    /// extraction.  Shared by the one-shot and the ECO paths.
+    fn propagate(
+        &self,
+        threshold: f64,
+        required_time: Seconds,
+        net_sink_delays: &[Vec<SinkDelay>],
+    ) -> Result<TimingReport> {
         // Topological order of instances (Kahn's algorithm over the
         // instance-to-instance edges induced by nets).
-        let mut in_degree: HashMap<&str, usize> =
-            self.instances.keys().map(|k| (k.as_str(), 0)).collect();
+        let mut in_degree: HashMap<&str, usize> = self
+            .shared
+            .instances
+            .keys()
+            .map(|k| (k.as_str(), 0))
+            .collect();
         let mut successors: HashMap<&str, Vec<&str>> = HashMap::new();
-        for net in &self.nets {
+        for net in &self.shared.nets {
             if let Driver::Instance(driver) = &net.driver {
                 for sink in &net.sinks {
                     if let Load::Instance(load) = &sink.load {
@@ -325,7 +630,7 @@ impl Design {
             .map(|(&k, _)| k)
             .collect();
         queue.sort_unstable();
-        let mut topo_order: Vec<&str> = Vec::with_capacity(self.instances.len());
+        let mut topo_order: Vec<&str> = Vec::with_capacity(self.shared.instances.len());
         let mut queue_idx = 0;
         while queue_idx < queue.len() {
             let inst = queue[queue_idx];
@@ -341,7 +646,7 @@ impl Design {
                 }
             }
         }
-        if topo_order.len() != self.instances.len() {
+        if topo_order.len() != self.shared.instances.len() {
             return Err(StaError::CombinationalCycle);
         }
         let topo_rank: HashMap<&str, usize> = topo_order
@@ -357,19 +662,19 @@ impl Design {
 
         // Process nets in driver topological order so that a driver's input
         // arrival is final before its output net is evaluated.
-        let mut net_order: Vec<usize> = (0..self.nets.len()).collect();
-        net_order.sort_by_key(|&i| match &self.nets[i].driver {
+        let mut net_order: Vec<usize> = (0..self.shared.nets.len()).collect();
+        net_order.sort_by_key(|&i| match &self.shared.nets[i].driver {
             Driver::PrimaryInput => 0,
             Driver::Instance(inst) => 1 + topo_rank[inst.as_str()],
         });
 
         for &net_idx in &net_order {
-            let net = &self.nets[net_idx];
+            let net = &self.shared.nets[net_idx];
             // Arrival at the driver's output pin.
             let (driver_arrival, driver_path) = match &net.driver {
                 Driver::PrimaryInput => (ArrivalWindow::ZERO, Vec::new()),
                 Driver::Instance(inst) => {
-                    let cell = self.library.cell(&self.instances[inst])?;
+                    let cell = self.shared.library.cell(&self.shared.instances[inst])?;
                     let (input, mut path) = input_arrival
                         .get(inst.as_str())
                         .cloned()
@@ -393,6 +698,7 @@ impl Design {
                 match &delay.load {
                     Load::Instance(inst) => {
                         let inst_key = self
+                            .shared
                             .instances
                             .keys()
                             .find(|k| k.as_str() == inst.as_str())
@@ -424,40 +730,6 @@ impl Design {
         })
     }
 
-    /// Delay windows of every sink of one net: the unit of work that
-    /// [`Design::analyze_with_jobs`] shards across the thread pool.
-    fn net_sink_delays(&self, net: &Net, threshold: f64) -> Result<Vec<SinkDelay>> {
-        let driver_resistance = match &net.driver {
-            Driver::PrimaryInput => rctree_core::units::Ohms::ZERO,
-            Driver::Instance(inst) => {
-                let cell_name = &self.instances[inst];
-                self.library.cell(cell_name)?.drive_resistance
-            }
-        };
-        let mut sink_loads = Vec::with_capacity(net.sinks.len());
-        for sink in &net.sinks {
-            let node = net.interconnect.node_by_name(&sink.node)?;
-            let load_cap = match &sink.load {
-                Load::Instance(inst) => {
-                    let cell_name = &self.instances[inst];
-                    self.library.cell(cell_name)?.input_capacitance
-                }
-                Load::PrimaryOutput(_) => Farads::ZERO,
-            };
-            sink_loads.push((node, load_cap));
-        }
-        let stage = analyze_stage(driver_resistance, &net.interconnect, &sink_loads, threshold)?;
-        Ok(net
-            .sinks
-            .iter()
-            .zip(stage.sinks.iter())
-            .map(|(sink, timing)| SinkDelay {
-                load: sink.load.clone(),
-                window: (timing.bounds.lower, timing.bounds.upper),
-            })
-            .collect())
-    }
-
     /// Builds a single-stage-per-net design from extracted parasitics: the
     /// shape of a deck fresh out of a parasitic extractor, before gate-level
     /// connectivity is known.
@@ -480,7 +752,7 @@ impl Design {
         let mut design = Design::new(library);
         // Validate the driver cell up front so an empty deck still reports
         // a bad cell name.
-        design.library.cell(driver_cell)?;
+        design.shared.library.cell(driver_cell)?;
         for (name, tree) in nets {
             let inst = format!("{name}_drv");
             design.add_instance(&inst, driver_cell)?;
@@ -525,6 +797,78 @@ impl Design {
         }
         Ok(design)
     }
+}
+
+impl DesignCore {
+    /// Delay windows of every sink of one net: the unit of work that
+    /// [`Design::analyze_with_jobs`] shards across the global pool's
+    /// workers (it lives on the `Arc`-shared core so the jobs can own
+    /// their state).
+    fn net_sink_delays(&self, net: &Net, threshold: f64) -> Result<Vec<SinkDelay>> {
+        let driver_resistance = match &net.driver {
+            Driver::PrimaryInput => rctree_core::units::Ohms::ZERO,
+            Driver::Instance(inst) => {
+                let cell_name = &self.instances[inst];
+                self.library.cell(cell_name)?.drive_resistance
+            }
+        };
+        let mut sink_loads = Vec::with_capacity(net.sinks.len());
+        for sink in &net.sinks {
+            let node = net.interconnect.node_by_name(&sink.node)?;
+            let load_cap = match &sink.load {
+                Load::Instance(inst) => {
+                    let cell_name = &self.instances[inst];
+                    self.library.cell(cell_name)?.input_capacitance
+                }
+                Load::PrimaryOutput(_) => Farads::ZERO,
+            };
+            sink_loads.push((node, load_cap));
+        }
+        let stage = analyze_stage(driver_resistance, &net.interconnect, &sink_loads, threshold)?;
+        Ok(net
+            .sinks
+            .iter()
+            .zip(stage.sinks.iter())
+            .map(|(sink, timing)| SinkDelay {
+                load: sink.load.clone(),
+                window: (timing.bounds.lower, timing.bounds.upper),
+            })
+            .collect())
+    }
+}
+
+/// Resolves a name-based [`EcoEditKind`] against the current state of a
+/// net's interconnect into an id-based [`TreeEdit`].
+fn resolve_edit(net: &str, kind: &EcoEditKind, tree: &RcTree) -> Result<TreeEdit> {
+    let lookup = |node: &str| {
+        tree.node_by_name(node)
+            .map_err(|_| StaError::UnknownEcoNode {
+                net: net.to_string(),
+                node: node.to_string(),
+            })
+    };
+    Ok(match kind {
+        EcoEditKind::SetCap { node, cap } => TreeEdit::SetCap {
+            node: lookup(node)?,
+            cap: *cap,
+        },
+        EcoEditKind::SetBranch { node, branch } => TreeEdit::SetBranch {
+            node: lookup(node)?,
+            branch: *branch,
+        },
+        EcoEditKind::Graft {
+            parent,
+            via,
+            subtree,
+        } => TreeEdit::GraftSubtree {
+            parent: lookup(parent)?,
+            via: *via,
+            subtree: subtree.clone(),
+        },
+        EcoEditKind::Prune { node } => TreeEdit::PruneSubtree {
+            node: lookup(node)?,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -833,6 +1177,174 @@ mod tests {
             d.analyze(0.5, Seconds::from_nano(1.0)),
             Err(StaError::CombinationalCycle)
         ));
+    }
+
+    #[test]
+    fn apply_eco_matches_full_reanalysis() {
+        let mut d = buffer_chain();
+        let threshold = 0.5;
+        let budget = Seconds::from_nano(50.0);
+        let baseline = d.analyze(threshold, budget).unwrap();
+        // A cache-warming empty batch reproduces the full analysis exactly.
+        let warmed = d.apply_eco(&[], threshold, budget).unwrap();
+        assert_eq!(warmed, baseline);
+
+        // Fatten the load on the output net; the incremental report must be
+        // bit-identical to a from-scratch analysis of the edited design.
+        let report = d
+            .apply_eco(
+                &[EcoEdit {
+                    net: "n_out".into(),
+                    kind: EcoEditKind::SetCap {
+                        node: "load".into(),
+                        cap: Farads::from_femto(500.0),
+                    },
+                }],
+                threshold,
+                budget,
+            )
+            .unwrap();
+        assert!(report.endpoints[0].arrival.max > baseline.endpoints[0].arrival.max);
+        assert_eq!(report, d.analyze(threshold, budget).unwrap());
+
+        // Structural edits: graft an extra stub, then prune it again.
+        let mut gb = rctree_core::builder::RcTreeBuilder::with_input_name("stub");
+        gb.add_capacitance(gb.input(), Farads::from_femto(40.0))
+            .unwrap();
+        let graft = EcoEdit {
+            net: "n_out".into(),
+            kind: EcoEditKind::Graft {
+                parent: "load".into(),
+                via: Branch::resistor(rctree_core::units::Ohms::new(50.0)),
+                subtree: Box::new(gb.build().unwrap()),
+            },
+        };
+        let grafted = d.apply_eco(&[graft], threshold, budget).unwrap();
+        assert_eq!(grafted, d.analyze(threshold, budget).unwrap());
+        let pruned = d
+            .apply_eco(
+                &[EcoEdit {
+                    net: "n_out".into(),
+                    kind: EcoEditKind::Prune {
+                        node: "stub".into(),
+                    },
+                }],
+                threshold,
+                budget,
+            )
+            .unwrap();
+        assert_eq!(pruned, d.analyze(threshold, budget).unwrap());
+    }
+
+    #[test]
+    fn apply_eco_is_schedule_independent() {
+        let budget = Seconds::from_nano(50.0);
+        let edit = |ff: f64| {
+            vec![EcoEdit {
+                net: "n_mid".into(),
+                kind: EcoEditKind::SetCap {
+                    node: "load".into(),
+                    cap: Farads::from_femto(ff),
+                },
+            }]
+        };
+        let mut serial = buffer_chain();
+        let mut serial_reports = Vec::new();
+        for step in 1..5 {
+            serial_reports.push(
+                serial
+                    .apply_eco_with_jobs(&edit(step as f64 * 30.0), 0.5, budget, 1)
+                    .unwrap(),
+            );
+        }
+        for jobs in [2, 7, rctree_par::available_parallelism()] {
+            let mut d = buffer_chain();
+            for (step, want) in serial_reports.iter().enumerate() {
+                let got = d
+                    .apply_eco_with_jobs(&edit((step + 1) as f64 * 30.0), 0.5, budget, jobs)
+                    .unwrap();
+                assert_eq!(&got, want, "jobs = {jobs}, step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_eco_rejects_unknown_references_transactionally() {
+        let mut d = buffer_chain();
+        let budget = Seconds::from_nano(50.0);
+        let before = d.analyze(0.5, budget).unwrap();
+        assert!(matches!(
+            d.apply_eco(
+                &[EcoEdit {
+                    net: "no_such_net".into(),
+                    kind: EcoEditKind::Prune { node: "x".into() },
+                }],
+                0.5,
+                budget,
+            ),
+            Err(StaError::UnknownNet { .. })
+        ));
+        assert!(matches!(
+            d.apply_eco(
+                &[EcoEdit {
+                    net: "n_out".into(),
+                    kind: EcoEditKind::SetCap {
+                        node: "ghost".into(),
+                        cap: Farads::from_femto(1.0),
+                    },
+                }],
+                0.5,
+                budget,
+            ),
+            Err(StaError::UnknownEcoNode { .. })
+        ));
+        // Pruning the node a sink hangs on is refused.
+        assert!(matches!(
+            d.apply_eco(
+                &[EcoEdit {
+                    net: "n_out".into(),
+                    kind: EcoEditKind::Prune {
+                        node: "load".into(),
+                    },
+                }],
+                0.5,
+                budget,
+            ),
+            Err(StaError::UnknownSinkNode { .. })
+        ));
+        // Nothing was committed.
+        assert_eq!(d.analyze(0.5, budget).unwrap(), before);
+    }
+
+    #[test]
+    fn apply_eco_rolls_back_edits_that_break_analysis() {
+        // An edit batch can be valid at the tree level yet make a net
+        // unanalysable: replacing the output wire (a distributed line, the
+        // net's only capacitance) with a plain resistor leaves a
+        // capacitance-free net whose sink is a zero-load primary output.
+        // The failure surfaces during re-timing, *after* validation — the
+        // batch must still roll back completely.
+        let mut d = buffer_chain();
+        let budget = Seconds::from_nano(50.0);
+        let before = d.apply_eco(&[], 0.5, budget).unwrap();
+        let err = d
+            .apply_eco(
+                &[EcoEdit {
+                    net: "n_out".into(),
+                    kind: EcoEditKind::SetBranch {
+                        node: "load".into(),
+                        branch: Branch::resistor(rctree_core::units::Ohms::new(400.0)),
+                    },
+                }],
+                0.5,
+                budget,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StaError::Core(_)), "{err:?}");
+        // The design still analyses and matches the pre-edit report, both
+        // through the cache and from scratch.
+        assert_eq!(d.apply_eco(&[], 0.5, budget).unwrap(), before);
+        assert_eq!(d.analyze(0.5, budget).unwrap(), before);
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! * [`graph`] — multi-stage designs, interval arrival-time propagation,
 //!   critical paths, slack and three-valued certification.
 //!
-//! Design-wide analysis shards its per-net stage evaluation across a
-//! work-stealing thread pool (`rctree-par`); results are merged in net
+//! Design-wide analysis shards its per-net stage evaluation across the
+//! persistent global worker pool (`rctree-par`); results are merged in net
 //! order and are bit-identical to the serial evaluation for any worker
-//! count ([`Design::analyze_with_jobs`]).
+//! count ([`Design::analyze_with_jobs`]).  [`Design::apply_eco`] is the
+//! incremental path: net-level [`EcoEdit`]s are mapped onto the mutable
+//! RC-tree engine of `rctree-core` and only the touched nets are
+//! re-evaluated, with the rest served from cached sink windows.
 //!
 //! ```
 //! use rctree_core::builder::RcTreeBuilder;
@@ -45,7 +48,8 @@ pub mod stage;
 pub use crate::cell::{Cell, CellLibrary};
 pub use crate::error::{Result, StaError};
 pub use crate::graph::{
-    ArrivalWindow, Design, Driver, EndpointTiming, Load, Net, Sink, TimingReport,
+    ArrivalWindow, Design, Driver, EcoEdit, EcoEditKind, EndpointTiming, Load, Net, Sink,
+    TimingReport,
 };
 pub use crate::stage::{analyze_stage, prepend_driver, SinkTiming, StageTiming};
 

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod deck;
+pub mod eco;
 pub mod fig3;
 pub mod fig7;
 pub mod htree;
@@ -37,6 +38,7 @@ pub mod rng;
 pub mod tech;
 
 pub use crate::deck::{spef_deck, SpefDeckParams};
+pub use crate::eco::{EcoStream, EcoStreamParams};
 pub use crate::fig3::{figure3_tree, Figure3Nodes, Figure3Values};
 pub use crate::fig7::{figure7_expr, figure7_tree, FIG10_DELAY_TABLE, FIG10_VOLTAGE_TABLE};
 pub use crate::htree::{h_tree, HTreeParams};
