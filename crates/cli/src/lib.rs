@@ -14,14 +14,30 @@
 //!   --voltage-at <seconds>       also report voltage bounds at this time
 //!   --jobs <n>                   worker threads        (default: available parallelism)
 //!   --driver <cell>              eco mode driver cell  (default: inv_4x)
+//!   --watch                      eco mode: stream the script line by line
 //!   --help                       print usage
 //! ```
 //!
 //! `rcdelay eco` turns the deck into a per-net timing design, applies an
-//! edit script one line at a time through the incremental ECO engine, and
-//! prints the slack delta after every edit.  The process exits nonzero
+//! edit script one edit at a time through the incremental ECO engine, and
+//! prints the slack delta after every edit.  Several directives may share
+//! a line separated by `;` — errors then report the 1-based edit index
+//! within the line next to the line number.  The process exits nonzero
 //! when the final certification fails or when the script references an
-//! unknown net or node (reported with the offending token and line).
+//! unknown net or node (reported with the offending token and location).
+//!
+//! # Watch mode
+//!
+//! With `--watch` the script is consumed **line by line** instead of up
+//! front — from standard input when the script argument is `-`, or by
+//! tailing the script file (polled every 40 ms) otherwise — and each
+//! edit's slack delta is printed (and flushed) as it lands.  That turns
+//! the command into a sizing-loop server: a synthesis or optimisation
+//! process pipes one edit batch per line and reads one slack line back
+//! per edit.  Failing edits are reported on stderr and *skipped* (the
+//! incremental engine is transactional, so the session state stays
+//! valid); a `quit` line — or end of input — ends the session, and the
+//! exit status reflects the final certification exactly like batch mode.
 //!
 //! The library half of the crate (this module) contains the argument parser
 //! and the report generation so that both are unit-testable without spawning
@@ -60,10 +76,14 @@ pub enum Command {
     /// Incremental ECO session: apply an edit script to a SPEF deck and
     /// print per-edit slack deltas.
     Eco {
-        /// Path of the edit-script file.
+        /// Path of the edit-script file (`-` for standard input).
         script: String,
         /// Driver cell prepended to every extracted net.
         driver: String,
+        /// Stream the script line by line (stdin or a file tail), printing
+        /// each edit's slack delta as it lands, instead of reading the
+        /// whole script up front.
+        watch: bool,
     },
 }
 
@@ -124,9 +144,16 @@ options:
                                available parallelism)
   --driver <cell>              eco mode: driver cell for every extracted
                                net (default: inv_4x)
+  --watch                      eco mode: stream the edit script line by
+                               line (stdin when <edit-script> is `-`, a
+                               polled file tail otherwise), printing each
+                               edit's slack delta immediately; bad edits
+                               are reported and skipped instead of ending
+                               the session
   --help                       print this message
 
-edit-script directives (one per line, `#` comments):
+edit-script directives (`#` comments; several directives may share a line,
+separated by `;` — errors then name the 1-based edit within the line):
   setcap  <net> <node> <farads>          replace a node's load capacitance
   setres  <net> <node> <ohms>            replace a branch with a resistor
   setline <net> <node> <ohms> <farads>   replace a branch with an RC line
@@ -135,6 +162,8 @@ edit-script directives (one per line, `#` comments):
                                          resistor (adds load to existing
                                          endpoints; not itself timed)
   prune   <net> <node>                   remove a node and its subtree
+  quit                                   end the session (ends a --watch
+                                         file tail cleanly)
 ";
 
 /// Errors produced by argument parsing or analysis.
@@ -183,6 +212,7 @@ where
     let mut iter = args.into_iter();
     let mut positionals: Vec<String> = Vec::new();
     let mut eco = false;
+    let mut watch = false;
     let mut driver = "inv_4x".to_string();
     let mut driver_given = false;
     let mut format_given = false;
@@ -208,6 +238,7 @@ where
                 driver_given = true;
                 driver = value_of("--driver")?;
             }
+            "--watch" => watch = true,
             "--format" => {
                 format_given = true;
                 opts.format = match value_of("--format")?.as_str() {
@@ -276,11 +307,20 @@ where
         }
         let script = positionals.pop().expect("two positionals");
         opts.path = positionals.pop().expect("two positionals");
-        opts.command = Command::Eco { script, driver };
+        opts.command = Command::Eco {
+            script,
+            driver,
+            watch,
+        };
     } else {
         if driver_given {
             return Err(CliError::Usage(
                 "--driver only applies to `rcdelay eco`".into(),
+            ));
+        }
+        if watch {
+            return Err(CliError::Usage(
+                "--watch only applies to `rcdelay eco`".into(),
             ));
         }
         if positionals.len() > 1 {
@@ -423,118 +463,199 @@ pub fn report(tree: &RcTree, opts: &Options) -> Result<Report, CliError> {
     })
 }
 
-/// One parsed edit-script line: the source line number (for error
-/// reporting) plus the resolved design-level edit.
+/// One parsed edit-script directive: its source location (line number plus
+/// its 1-based position within a `;`-separated multi-edit line) and the
+/// resolved design-level edit.
 #[derive(Debug, Clone)]
 pub struct ScriptEdit {
     /// 1-based line number in the script file.
     pub line: usize,
+    /// 1-based position of this edit within its line.
+    pub index: usize,
+    /// Number of edits sharing the line (error messages name the edit
+    /// index only when this exceeds one).
+    pub count: usize,
     /// Short human-readable rendering of the directive.
     pub summary: String,
     /// The design-level edit.
     pub edit: EcoEdit,
 }
 
-/// Parses an ECO edit script (see [`USAGE`] for the grammar).
+impl ScriptEdit {
+    /// The location prefix used in error messages: `line N`, or
+    /// `line N, edit K` within a multi-edit line (the format is pinned by
+    /// the binary-level `cli_exit_codes` tests).
+    pub fn location(&self) -> String {
+        if self.count > 1 {
+            format!("line {}, edit {}", self.line, self.index)
+        } else {
+            format!("line {}", self.line)
+        }
+    }
+}
+
+/// One parsed line of an ECO edit script.
+#[derive(Debug, Clone)]
+pub enum ScriptLine {
+    /// Nothing to apply (blank or comment-only).
+    Empty,
+    /// End of the session (`quit` directive).
+    Quit,
+    /// One or more edits, applied in order.
+    Edits(Vec<ScriptEdit>),
+}
+
+/// Parses one script line (1-based `line` number for error reporting).
+/// Several directives may share a line, separated by `;`.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Script`] with the 1-based line number and the
-/// offending token for unknown directives, missing fields and malformed
-/// numbers.
+/// Returns [`CliError::Script`] with the location (line, and 1-based edit
+/// index within multi-edit lines) and the offending token for unknown
+/// directives, missing fields and malformed numbers.
+pub fn parse_eco_script_line(line: usize, raw: &str) -> Result<ScriptLine, CliError> {
+    let body = raw.split('#').next().unwrap_or("").trim();
+    if body.is_empty() {
+        return Ok(ScriptLine::Empty);
+    }
+    let segments: Vec<&str> = body.split(';').map(str::trim).collect();
+    let count = segments.iter().filter(|s| !s.is_empty()).count();
+    if count == 1 && segments.contains(&"quit") {
+        return Ok(ScriptLine::Quit);
+    }
+    let mut edits = Vec::with_capacity(count);
+    let mut index = 0;
+    for segment in segments {
+        if segment.is_empty() {
+            continue;
+        }
+        index += 1;
+        let loc = if count > 1 {
+            format!("line {line}, edit {index}")
+        } else {
+            format!("line {line}")
+        };
+        edits.push(parse_directive(segment, &loc, line, index, count)?);
+    }
+    Ok(ScriptLine::Edits(edits))
+}
+
+/// Parses one `;`-free directive, with `loc` as the error-message prefix.
+fn parse_directive(
+    body: &str,
+    loc: &str,
+    line: usize,
+    index: usize,
+    count: usize,
+) -> Result<ScriptEdit, CliError> {
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    let expect = |want: usize| -> Result<(), CliError> {
+        if tokens.len() == want {
+            Ok(())
+        } else {
+            Err(CliError::Script(format!(
+                "{loc}: `{}` takes {} fields, found {} (near `{body}`)",
+                tokens[0],
+                want - 1,
+                tokens.len() - 1
+            )))
+        }
+    };
+    let number = |token: &str, what: &str| -> Result<f64, CliError> {
+        token
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| {
+                CliError::Script(format!(
+                    "{loc}: {what} is not a finite number (near `{token}`)"
+                ))
+            })
+    };
+    let kind = match tokens[0] {
+        "setcap" => {
+            expect(4)?;
+            EcoEditKind::SetCap {
+                node: tokens[2].to_string(),
+                cap: Farads::new(number(tokens[3], "capacitance")?),
+            }
+        }
+        "setres" => {
+            expect(4)?;
+            EcoEditKind::SetBranch {
+                node: tokens[2].to_string(),
+                branch: Branch::resistor(Ohms::new(number(tokens[3], "resistance")?)),
+            }
+        }
+        "setline" => {
+            expect(5)?;
+            EcoEditKind::SetBranch {
+                node: tokens[2].to_string(),
+                branch: Branch::line(
+                    Ohms::new(number(tokens[3], "resistance")?),
+                    Farads::new(number(tokens[4], "line capacitance")?),
+                ),
+            }
+        }
+        "graft" => {
+            expect(6)?;
+            // The graft adds *load* only: net sinks are frozen when the
+            // design is built, so the new node is never a timed endpoint.
+            let mut b = rctree_core::builder::RcTreeBuilder::with_input_name(tokens[3]);
+            b.add_capacitance(b.input(), Farads::new(number(tokens[5], "capacitance")?))
+                .map_err(|e| CliError::Script(format!("{loc}: {e}")))?;
+            EcoEditKind::Graft {
+                parent: tokens[2].to_string(),
+                via: Branch::resistor(Ohms::new(number(tokens[4], "resistance")?)),
+                subtree: Box::new(
+                    b.build()
+                        .map_err(|e| CliError::Script(format!("{loc}: {e}")))?,
+                ),
+            }
+        }
+        "prune" => {
+            expect(3)?;
+            EcoEditKind::Prune {
+                node: tokens[2].to_string(),
+            }
+        }
+        "quit" => {
+            return Err(CliError::Script(format!(
+                "{loc}: `quit` cannot share a line with other directives"
+            )));
+        }
+        other => {
+            return Err(CliError::Script(format!(
+                "{loc}: unknown directive (near `{other}`)"
+            )));
+        }
+    };
+    Ok(ScriptEdit {
+        line,
+        index,
+        count,
+        summary: body.to_string(),
+        edit: EcoEdit {
+            net: tokens[1].to_string(),
+            kind,
+        },
+    })
+}
+
+/// Parses a whole ECO edit script (see [`USAGE`] for the grammar).  A
+/// `quit` directive ends the script early.
+///
+/// # Errors
+///
+/// As for [`parse_eco_script_line`].
 pub fn parse_eco_script(text: &str) -> Result<Vec<ScriptEdit>, CliError> {
     let mut edits = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
-        let body = raw.split('#').next().unwrap_or("").trim();
-        if body.is_empty() {
-            continue;
+        match parse_eco_script_line(idx + 1, raw)? {
+            ScriptLine::Empty => {}
+            ScriptLine::Quit => break,
+            ScriptLine::Edits(line_edits) => edits.extend(line_edits),
         }
-        let tokens: Vec<&str> = body.split_whitespace().collect();
-        let expect = |count: usize| -> Result<(), CliError> {
-            if tokens.len() == count {
-                Ok(())
-            } else {
-                Err(CliError::Script(format!(
-                    "line {line}: `{}` takes {} fields, found {} (near `{body}`)",
-                    tokens[0],
-                    count - 1,
-                    tokens.len() - 1
-                )))
-            }
-        };
-        let number = |token: &str, what: &str| -> Result<f64, CliError> {
-            token
-                .parse::<f64>()
-                .ok()
-                .filter(|v| v.is_finite())
-                .ok_or_else(|| {
-                    CliError::Script(format!(
-                        "line {line}: {what} is not a finite number (near `{token}`)"
-                    ))
-                })
-        };
-        let kind = match tokens[0] {
-            "setcap" => {
-                expect(4)?;
-                EcoEditKind::SetCap {
-                    node: tokens[2].to_string(),
-                    cap: Farads::new(number(tokens[3], "capacitance")?),
-                }
-            }
-            "setres" => {
-                expect(4)?;
-                EcoEditKind::SetBranch {
-                    node: tokens[2].to_string(),
-                    branch: Branch::resistor(Ohms::new(number(tokens[3], "resistance")?)),
-                }
-            }
-            "setline" => {
-                expect(5)?;
-                EcoEditKind::SetBranch {
-                    node: tokens[2].to_string(),
-                    branch: Branch::line(
-                        Ohms::new(number(tokens[3], "resistance")?),
-                        Farads::new(number(tokens[4], "line capacitance")?),
-                    ),
-                }
-            }
-            "graft" => {
-                expect(6)?;
-                // The graft adds *load* only: net sinks are frozen when the
-                // design is built, so the new node is never a timed endpoint.
-                let mut b = rctree_core::builder::RcTreeBuilder::with_input_name(tokens[3]);
-                b.add_capacitance(b.input(), Farads::new(number(tokens[5], "capacitance")?))
-                    .map_err(|e| CliError::Script(format!("line {line}: {e}")))?;
-                EcoEditKind::Graft {
-                    parent: tokens[2].to_string(),
-                    via: Branch::resistor(Ohms::new(number(tokens[4], "resistance")?)),
-                    subtree: Box::new(
-                        b.build()
-                            .map_err(|e| CliError::Script(format!("line {line}: {e}")))?,
-                    ),
-                }
-            }
-            "prune" => {
-                expect(3)?;
-                EcoEditKind::Prune {
-                    node: tokens[2].to_string(),
-                }
-            }
-            other => {
-                return Err(CliError::Script(format!(
-                    "line {line}: unknown directive (near `{other}`)"
-                )));
-            }
-        };
-        edits.push(ScriptEdit {
-            line,
-            summary: body.to_string(),
-            edit: EcoEdit {
-                net: tokens[1].to_string(),
-                kind,
-            },
-        });
     }
     Ok(edits)
 }
@@ -549,6 +670,140 @@ pub struct EcoOutcome {
     pub certification: Certification,
 }
 
+/// A live ECO session over a parsed deck: the incremental design plus the
+/// rolling slack/certification state.  Both the batch [`run_eco`] and the
+/// `--watch` streaming loop in `main` drive one of these, so the per-edit
+/// output is identical whether the script arrives up front or line by
+/// line.
+#[derive(Debug)]
+pub struct EcoSession {
+    design: Design,
+    threshold: f64,
+    required: Seconds,
+    jobs: usize,
+    slack: Seconds,
+    certification: Certification,
+    edits_applied: usize,
+}
+
+impl EcoSession {
+    /// Parses the deck, builds the per-net design, runs the cache-warming
+    /// baseline analysis, and returns the session plus its header text
+    /// (the `eco session:` / `baseline:` lines).
+    ///
+    /// `script_edits` is the edit count shown in the header; streaming
+    /// callers that cannot know it pass `None`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CliError::Usage`] outside eco mode or without a budget;
+    /// * [`CliError::Netlist`] if the deck fails to parse;
+    /// * [`CliError::Analysis`] if the design cannot be built or analysed.
+    pub fn new(
+        deck: &str,
+        opts: &Options,
+        script_edits: Option<usize>,
+    ) -> Result<(EcoSession, String), CliError> {
+        let Command::Eco { driver, .. } = &opts.command else {
+            return Err(CliError::Usage("run_eco requires eco mode".into()));
+        };
+        let budget = opts
+            .budget
+            .ok_or_else(|| CliError::Usage("eco mode requires --budget".into()))?;
+        let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+
+        let nets = parse_spef_deck(deck, jobs).map_err(|e| CliError::Netlist(e.to_string()))?;
+        let net_count = nets.len();
+        let mut design = Design::from_extracted(
+            CellLibrary::nmos_1981(),
+            driver,
+            nets.into_iter().map(|n| (n.name, n.tree)),
+        )
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+
+        let required = Seconds::new(budget);
+        let baseline = design
+            .apply_eco_with_jobs(&[], opts.threshold, required, jobs)
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+
+        let mut out = String::new();
+        let edits_text = match script_edits {
+            Some(n) => format!("{n} edits, "),
+            None => "streaming edits, ".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "eco session: {net_count} nets, {edits_text}threshold {}, budget {budget:.6e} s, driver {driver}",
+            opts.threshold
+        );
+        let slack = baseline.worst_slack();
+        let certification = baseline.certification();
+        let _ = writeln!(
+            out,
+            "baseline: worst slack {:+.6e} s, certification {certification}",
+            slack.value()
+        );
+        Ok((
+            EcoSession {
+                design,
+                threshold: opts.threshold,
+                required,
+                jobs,
+                slack,
+                certification,
+                edits_applied: 0,
+            },
+            out,
+        ))
+    }
+
+    /// Certification of the design after the last applied edit.
+    pub fn certification(&self) -> Certification {
+        self.certification
+    }
+
+    /// Applies one script edit through the incremental engine and returns
+    /// its log line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Script`] carrying the edit's location (line,
+    /// and 1-based edit index within multi-edit lines) when the edit
+    /// references an unknown net/node or fails validation; the design is
+    /// left exactly as it was (the engine is transactional), so a
+    /// streaming caller may keep the session running.
+    pub fn apply(&mut self, se: &ScriptEdit) -> Result<String, CliError> {
+        let report = self
+            .design
+            .apply_eco_with_jobs(
+                std::slice::from_ref(&se.edit),
+                self.threshold,
+                self.required,
+                self.jobs,
+            )
+            .map_err(|e| CliError::Script(format!("{}: {e}", se.location())))?;
+        let new_slack = report.worst_slack();
+        self.certification = report.certification();
+        self.edits_applied += 1;
+        let line = format!(
+            "edit {:>4} (line {:>3}) {:<44} slack {:+.6e} s (delta {:+.3e} s) {}",
+            self.edits_applied,
+            se.line,
+            se.summary,
+            new_slack.value(),
+            (new_slack - self.slack).value(),
+            self.certification
+        );
+        self.slack = new_slack;
+        Ok(line)
+    }
+
+    /// The closing `final certification:` line.
+    pub fn footer(&self) -> String {
+        format!("final certification: {}", self.certification)
+    }
+}
+
 /// Runs a full ECO session: parse the deck, build the per-net design,
 /// apply the script one edit at a time, and log the slack delta after
 /// each.
@@ -557,73 +812,20 @@ pub struct EcoOutcome {
 ///
 /// * [`CliError::Netlist`] if the deck fails to parse;
 /// * [`CliError::Script`] if the script fails to parse, or an edit
-///   references an unknown net/node (reported with its script line and the
-///   offending token) or fails validation;
+///   references an unknown net/node (reported with its script location and
+///   the offending token) or fails validation;
 /// * [`CliError::Analysis`] if the design cannot be built or analysed.
 pub fn run_eco(deck: &str, script: &str, opts: &Options) -> Result<EcoOutcome, CliError> {
-    let Command::Eco { driver, .. } = &opts.command else {
-        return Err(CliError::Usage("run_eco requires eco mode".into()));
-    };
-    let budget = opts
-        .budget
-        .ok_or_else(|| CliError::Usage("eco mode requires --budget".into()))?;
-    let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
     let edits = parse_eco_script(script)?;
-
-    let nets = parse_spef_deck(deck, jobs).map_err(|e| CliError::Netlist(e.to_string()))?;
-    let net_count = nets.len();
-    let mut design = Design::from_extracted(
-        CellLibrary::nmos_1981(),
-        driver,
-        nets.into_iter().map(|n| (n.name, n.tree)),
-    )
-    .map_err(|e| CliError::Analysis(e.to_string()))?;
-
-    let required = Seconds::new(budget);
-    let baseline = design
-        .apply_eco_with_jobs(&[], opts.threshold, required, jobs)
-        .map_err(|e| CliError::Analysis(e.to_string()))?;
-
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "eco session: {net_count} nets, {} edits, threshold {}, budget {budget:.6e} s, driver {driver}",
-        edits.len(),
-        opts.threshold
-    );
-    let mut slack = baseline.worst_slack();
-    let mut certification = baseline.certification();
-    let _ = writeln!(
-        out,
-        "baseline: worst slack {:+.6e} s, certification {certification}",
-        slack.value()
-    );
-    for (k, se) in edits.iter().enumerate() {
-        let report = design
-            .apply_eco_with_jobs(
-                std::slice::from_ref(&se.edit),
-                opts.threshold,
-                required,
-                jobs,
-            )
-            .map_err(|e| CliError::Script(format!("line {}: {e}", se.line)))?;
-        let new_slack = report.worst_slack();
-        certification = report.certification();
-        let _ = writeln!(
-            out,
-            "edit {:>4} (line {:>3}) {:<44} slack {:+.6e} s (delta {:+.3e} s) {certification}",
-            k + 1,
-            se.line,
-            se.summary,
-            new_slack.value(),
-            (new_slack - slack).value()
-        );
-        slack = new_slack;
+    let (mut session, mut out) = EcoSession::new(deck, opts, Some(edits.len()))?;
+    for se in &edits {
+        let line = session.apply(se)?;
+        let _ = writeln!(out, "{line}");
     }
-    let _ = writeln!(out, "final certification: {certification}");
+    let _ = writeln!(out, "{}", session.footer());
     Ok(EcoOutcome {
         text: out,
-        certification,
+        certification: session.certification(),
     })
 }
 
@@ -819,6 +1021,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             command: Command::Eco {
                 script: "edits.eco".into(),
                 driver: "inv_4x".into(),
+                watch: false,
             },
             path: "deck.spef".into(),
             format: InputFormat::Spef,
@@ -848,8 +1051,16 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             Command::Eco {
                 script: "edits.eco".into(),
                 driver: "buf_8x".into(),
+                watch: false,
             }
         );
+        // `--watch` rides along in eco mode and is refused elsewhere.
+        let watch = parse_args(["eco", "--watch", "--budget", "1e-9", "deck.spef", "-"]).unwrap();
+        assert!(matches!(watch.command, Command::Eco { watch: true, .. }));
+        assert!(matches!(
+            parse_args(["--watch", "deck.sp"]),
+            Err(CliError::Usage(_))
+        ));
 
         // Missing budget, missing script, or a non-SPEF format are refused.
         assert!(matches!(
@@ -950,6 +1161,84 @@ prune slow tap1
                 "{message}"
             );
         }
+    }
+
+    #[test]
+    fn multi_edit_lines_split_on_semicolons_and_number_their_edits() {
+        let script = "setcap fast x 2e-15; setres fast x 120; setcap slow y 1e-13\nprune slow y\n";
+        let edits = parse_eco_script(script).unwrap();
+        assert_eq!(edits.len(), 4);
+        assert_eq!(
+            edits
+                .iter()
+                .map(|e| (e.line, e.index, e.count))
+                .collect::<Vec<_>>(),
+            vec![(1, 1, 3), (1, 2, 3), (1, 3, 3), (2, 1, 1)]
+        );
+        assert_eq!(edits[1].location(), "line 1, edit 2");
+        assert_eq!(edits[3].location(), "line 2");
+
+        // Parse errors inside a multi-edit line carry the edit index.
+        let err = parse_eco_script("setcap fast x 1e-15; resize fast x 2\n").unwrap_err();
+        let CliError::Script(message) = &err else {
+            panic!("expected script error, got {err:?}");
+        };
+        assert!(
+            message.contains("line 1, edit 2") && message.contains("`resize`"),
+            "{message}"
+        );
+        // Trailing/doubled separators are harmless.
+        assert_eq!(
+            parse_eco_script("setcap fast x 1e-15;;\n").unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn quit_directive_ends_the_script() {
+        let edits = parse_eco_script("setcap fast x 1e-15\nquit\nsetcap fast x 2e-15\n").unwrap();
+        assert_eq!(edits.len(), 1);
+        assert!(matches!(
+            parse_eco_script_line(3, "  quit  # done"),
+            Ok(ScriptLine::Quit)
+        ));
+        assert!(matches!(
+            parse_eco_script_line(1, "# note"),
+            Ok(ScriptLine::Empty)
+        ));
+        // `quit` may not share a line with edits, and stray tokens are
+        // rejected.
+        assert!(parse_eco_script("setcap fast x 1e-15; quit\n").is_err());
+        assert!(parse_eco_script("quit now\n").is_err());
+    }
+
+    #[test]
+    fn session_applies_multi_edit_lines_atomically_per_edit() {
+        // The failing middle edit of a multi-edit line is reported with
+        // its index while the edits around it land (the engine is
+        // transactional per apply).
+        let opts = eco_opts(60e-9);
+        let (mut session, header) = EcoSession::new(ECO_DECK, &opts, None).unwrap();
+        assert!(header.contains("streaming edits"), "{header}");
+        let ScriptLine::Edits(edits) = parse_eco_script_line(
+            7,
+            "setcap slow y 1.2e-12; setcap slow ghost 1e-15; setcap fast x 2e-15",
+        )
+        .unwrap() else {
+            panic!("expected edits");
+        };
+        assert!(session.apply(&edits[0]).unwrap().contains("edit    1"));
+        let err = session.apply(&edits[1]).unwrap_err();
+        let CliError::Script(message) = &err else {
+            panic!("expected script error, got {err:?}");
+        };
+        assert!(
+            message.contains("line 7, edit 2") && message.contains("`ghost`"),
+            "{message}"
+        );
+        // The session keeps serving after the failure.
+        assert!(session.apply(&edits[2]).unwrap().contains("edit    2"));
+        assert!(session.footer().contains("final certification"));
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! `2` when the bounds cannot decide (`indeterminate`) — so a CI gate on
 //! "exit 0" only goes green for *proven* timing.
 
-use std::io::Read;
+use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
-use rctree_cli::{load_tree, parse_args, report, run_eco, CliError, Command, USAGE};
+use rctree_cli::{
+    load_tree, parse_args, parse_eco_script_line, report, run_eco, CliError, Command, EcoSession,
+    Options, ScriptLine, USAGE,
+};
 use rctree_core::cert::Certification;
 
 fn read_input(path: &str) -> Result<String, String> {
@@ -73,7 +76,10 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Command::Eco { script, .. } => {
+        Command::Eco { script, watch, .. } => {
+            if *watch {
+                return run_watch(&text, script, &opts);
+            }
             let script_text = match read_input(script) {
                 Ok(text) => text,
                 Err(e) => {
@@ -93,4 +99,129 @@ fn main() -> ExitCode {
             }
         }
     }
+}
+
+/// Prints a session line immediately (stdout is block-buffered when piped,
+/// and a sizing loop wants each slack delta as it lands).
+fn emit(line: &str) {
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "{line}");
+    let _ = stdout.flush();
+}
+
+/// One streamed script line: parse, apply each edit, report.  Bad lines
+/// and failing edits are reported on stderr and skipped — the engine is
+/// transactional, so the session keeps serving.  Returns `true` on `quit`.
+fn watch_line(session: &mut EcoSession, line_no: usize, raw: &str) -> bool {
+    match parse_eco_script_line(line_no, raw) {
+        Ok(ScriptLine::Empty) => false,
+        Ok(ScriptLine::Quit) => true,
+        Ok(ScriptLine::Edits(edits)) => {
+            for se in &edits {
+                match session.apply(se) {
+                    Ok(out) => emit(&out),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            false
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
+/// `rcdelay eco --watch`: stream the edit script line by line — from
+/// standard input when the script argument is `-`, or by tailing the
+/// script file (polled; a `quit` line ends the session) — printing each
+/// edit's slack delta as it lands.  The exit status reflects the final
+/// certification, exactly like batch mode.
+fn run_watch(deck: &str, script: &str, opts: &Options) -> ExitCode {
+    let (mut session, header) = match EcoSession::new(deck, opts, None) {
+        Ok(started) => started,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{header}");
+    let _ = std::io::stdout().flush();
+
+    let mut line_no = 0usize;
+    if script == "-" {
+        let stdin = std::io::stdin();
+        for raw in stdin.lock().lines() {
+            let raw = match raw {
+                Ok(raw) => raw,
+                Err(e) => {
+                    eprintln!("error: cannot read standard input: {e}");
+                    break;
+                }
+            };
+            line_no += 1;
+            if watch_line(&mut session, line_no, &raw) {
+                break;
+            }
+        }
+    } else {
+        let file = match std::fs::File::open(script) {
+            Ok(file) => file,
+            Err(e) => {
+                eprintln!("error: cannot read `{script}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut reader = std::io::BufReader::new(file);
+        let mut buf = String::new();
+        // Polls with no new data while a partial line is pending; after two
+        // quiet polls the pending text is treated as a complete final line,
+        // so a script whose last line (e.g. `quit`) lacks a trailing
+        // newline cannot hang the session.
+        let mut quiet_polls = 0u32;
+        loop {
+            match reader.read_line(&mut buf) {
+                Err(e) => {
+                    eprintln!("error: cannot read `{script}`: {e}");
+                    break;
+                }
+                // No new data yet: poll until the writer appends or quits.
+                Ok(0) => {
+                    if !buf.is_empty() {
+                        quiet_polls += 1;
+                        if quiet_polls >= 2 {
+                            line_no += 1;
+                            let quit = watch_line(
+                                &mut session,
+                                line_no,
+                                buf.trim_end_matches(['\n', '\r']),
+                            );
+                            buf.clear();
+                            quiet_polls = 0;
+                            if quit {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                }
+                Ok(_) => {
+                    quiet_polls = 0;
+                    if buf.ends_with('\n') {
+                        line_no += 1;
+                        let quit =
+                            watch_line(&mut session, line_no, buf.trim_end_matches(['\n', '\r']));
+                        buf.clear();
+                        if quit {
+                            break;
+                        }
+                    }
+                    // else: a partially written line — keep accumulating.
+                }
+            }
+        }
+    }
+    emit(&session.footer());
+    verdict_exit(Some(session.certification()))
 }

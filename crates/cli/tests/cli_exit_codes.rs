@@ -2,8 +2,9 @@
 //! certification and a bad edit script must be visible to shells and CI
 //! through the process status, not only through stdout text.
 
+use std::io::Write;
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
 
 const FIG7_DECK: &str =
     "R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output n2\n";
@@ -103,6 +104,154 @@ fn eco_unknown_node_exits_nonzero_with_the_offending_token() {
         stderr.contains("line 1") && stderr.contains("`ghost`"),
         "{stderr}"
     );
+}
+
+#[test]
+fn eco_multi_edit_line_errors_carry_the_edit_index() {
+    // A failing edit inside a `;`-separated multi-edit line must name both
+    // the script line and the 1-based edit within it; this pins the
+    // `line N, edit K` format.
+    let deck = write_temp("eco_multi.spef", ECO_DECK);
+    let script = write_temp(
+        "multi.eco",
+        "setcap slow y 0.6e-12; setcap slow ghost 1e-15\n",
+    );
+    let out = run(&[
+        "eco",
+        "--budget",
+        "100e-9",
+        deck.to_str().unwrap(),
+        script.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 1, edit 2") && stderr.contains("`ghost`"),
+        "{stderr}"
+    );
+    // Single-edit lines keep the bare `line N` form.
+    let script = write_temp("single.eco", "setcap slow ghost 1e-15\n");
+    let out = run(&[
+        "eco",
+        "--budget",
+        "100e-9",
+        deck.to_str().unwrap(),
+        script.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 1:") && !stderr.contains("edit 1"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn eco_watch_streams_edits_from_stdin() {
+    // The sizing-loop server mode: pipe a 3-edit script over stdin and
+    // collect one output line per edit plus the final verdict, with the
+    // exit status still reflecting the certification.
+    let deck = write_temp("eco_watch.spef", ECO_DECK);
+    let mut child = rcdelay()
+        .args([
+            "eco",
+            "--watch",
+            "--budget",
+            "100e-9",
+            deck.to_str().unwrap(),
+            "-",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("rcdelay spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(
+            b"setcap slow y 0.6e-12\n# a comment\nsetcap slow y 0.4e-12; setcap slow y 0.5e-12\n",
+        )
+        .expect("script piped");
+    let out = child.wait_with_output().expect("rcdelay runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["baseline:", "edit    1", "edit    2", "edit    3"] {
+        assert!(stdout.contains(needle), "missing `{needle}` in: {stdout}");
+    }
+    assert!(stdout.contains("final certification: pass"), "{stdout}");
+
+    // A failing edit is reported (with its location) and skipped; the
+    // session keeps serving and still exits on the final verdict.
+    let mut child = rcdelay()
+        .args([
+            "eco",
+            "--watch",
+            "--budget",
+            "100e-9",
+            deck.to_str().unwrap(),
+            "-",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("rcdelay spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"setcap slow ghost 1e-15\nsetcap slow y 0.6e-12\nquit\n")
+        .expect("script piped");
+    let out = child.wait_with_output().expect("rcdelay runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 1") && stderr.contains("`ghost`"),
+        "{stderr}"
+    );
+    assert!(stdout.contains("edit    1"), "{stdout}");
+}
+
+#[test]
+fn eco_watch_tail_handles_a_missing_final_newline() {
+    // A tailed script whose last line lacks a trailing newline (editors and
+    // `echo -n` both produce these) must still be processed after the
+    // writer goes quiet — the session used to hang forever on the partial
+    // `quit`.
+    let deck = write_temp("eco_tail_nonl.spef", ECO_DECK);
+    let script = write_temp("tail_nonl.eco", "setcap slow y 0.6e-12\nquit");
+    let out = run(&[
+        "eco",
+        "--watch",
+        "--budget",
+        "100e-9",
+        deck.to_str().unwrap(),
+        script.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edit    1"), "{stdout}");
+    assert!(stdout.contains("final certification: pass"), "{stdout}");
+}
+
+#[test]
+fn eco_watch_tails_a_script_file_until_quit() {
+    let deck = write_temp("eco_tail.spef", ECO_DECK);
+    let script = write_temp("tail.eco", "setcap slow y 0.6e-12\nquit\n");
+    let out = run(&[
+        "eco",
+        "--watch",
+        "--budget",
+        "100e-9",
+        deck.to_str().unwrap(),
+        script.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edit    1"), "{stdout}");
+    assert!(stdout.contains("final certification: pass"), "{stdout}");
 }
 
 #[test]

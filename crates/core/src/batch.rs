@@ -149,6 +149,127 @@ impl BatchTimes {
         })
     }
 
+    /// Computes the characteristic times of an ad-hoc tree given as flat
+    /// **pre-order** arrays, without constructing an [`RcTree`].
+    ///
+    /// Node `i` is the `i`-th node of a depth-first pre-order walk
+    /// (`parent[i] < i` for every non-root node, `parent[0] == 0`);
+    /// `branch_r`/`branch_c` describe the element feeding node `i` from its
+    /// parent (both zero for the root), and `node_cap` is the lumped
+    /// grounded capacitance at the node.
+    ///
+    /// This is the allocation-light kernel behind the static-timing layer's
+    /// stage evaluation: a driver resistor and sink load capacitances can be
+    /// spliced around an interconnect tree as plain array entries, skipping
+    /// the name-validating builder entirely.  Because
+    /// [`RcTreeBuilder`](crate::builder::RcTreeBuilder) assigns ids in
+    /// insertion order and the traversal cache derives every prefix sum in
+    /// pre-order, the result is **bit-identical** to
+    /// [`BatchTimes::of`] on a builder-constructed tree whose insertion
+    /// order was a pre-order walk of the same shape — every accumulation
+    /// below runs in the same order with the same operations.  The
+    /// `rctree-sta` stage tests pin this equivalence against
+    /// `analyze_stage`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidValue`] if the arrays disagree in length, are
+    ///   empty, or `parent` is not a valid pre-order parent vector;
+    /// * [`CoreError::NoCapacitance`] / [`CoreError::NoPathResistance`] as
+    ///   for [`BatchTimes::of`] (node ids in the latter refer to pre-order
+    ///   positions).
+    pub fn of_preorder(
+        parent: &[u32],
+        branch_r: &[f64],
+        branch_c: &[f64],
+        node_cap: &[f64],
+    ) -> Result<Self> {
+        let n = parent.len();
+        if n == 0 || branch_r.len() != n || branch_c.len() != n || node_cap.len() != n {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order array length",
+                value: n as f64,
+            });
+        }
+        if parent[0] != 0 {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order root parent",
+                value: parent[0] as f64,
+            });
+        }
+        // The root has no feeding element; a nonzero root branch would make
+        // the total-capacitance and T_P accumulations inconsistent.
+        if branch_r[0] != 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order root branch resistance",
+                value: branch_r[0],
+            });
+        }
+        if branch_c[0] != 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order root branch capacitance",
+                value: branch_c[0],
+            });
+        }
+        for (i, &p) in parent.iter().enumerate().skip(1) {
+            if p as usize >= i {
+                return Err(CoreError::InvalidValue {
+                    what: "pre-order parent index",
+                    value: p as f64,
+                });
+            }
+        }
+
+        // Total capacitance exactly as `RcTree::total_capacitance`: the
+        // lumped sum and the distributed sum are accumulated separately (in
+        // id order) and added at the end.
+        let lumped: f64 = node_cap.iter().sum();
+        let distributed: f64 = branch_c[1..].iter().sum();
+        let total_cap = lumped + distributed;
+        if total_cap == 0.0 {
+            return Err(CoreError::NoCapacitance);
+        }
+
+        // Derived prefix state, in the same order as `TraversalCache::build`
+        // (pre-order equals id order here by construction).
+        let mut path_r = vec![0.0_f64; n];
+        for i in 1..n {
+            path_r[i] = path_r[parent[i] as usize] + branch_r[i];
+        }
+        let mut down_cap = node_cap.to_vec();
+        for i in (1..n).rev() {
+            down_cap[parent[i] as usize] += down_cap[i] + branch_c[i];
+        }
+
+        // The raw sweep, in the same order as `incremental::raw_times`.
+        let mut t_p = 0.0_f64;
+        for i in 0..n {
+            let p = parent[i] as usize;
+            t_p += node_cap[i] * path_r[i] + branch_c[i] * (path_r[p] + branch_r[i] / 2.0);
+        }
+        let mut t_d = vec![0.0_f64; n];
+        let mut t_r_num = vec![0.0_f64; n];
+        for i in 1..n {
+            let p = parent[i] as usize;
+            let r = branch_r[i];
+            let c_line = branch_c[i];
+            let c_sub = down_cap[i];
+            let (r_pp, r_cc) = (path_r[p], path_r[i]);
+            t_d[i] = t_d[p] + r * (c_sub + c_line / 2.0);
+            t_r_num[i] = t_r_num[p] + (r_cc + r_pp) * r * c_sub + c_line * (r_pp * r + r * r / 3.0);
+        }
+
+        Self::from_raw(
+            crate::incremental::RawTimes {
+                t_p,
+                total_cap,
+                t_d,
+                t_r_num,
+            },
+            path_r,
+        )
+    }
+
     /// Number of analysed nodes (every node of the source tree).
     pub fn node_count(&self) -> usize {
         self.r_ee.len()
@@ -190,6 +311,19 @@ impl BatchTimes {
             Ohms::new(self.r_ee[i]),
             Farads::new(self.total_cap),
         )
+    }
+
+    /// The complete signature of the node at a raw index (`O(1)`).
+    ///
+    /// Equivalent to [`BatchTimes::times`]; useful with
+    /// [`BatchTimes::of_preorder`], whose nodes are addressed by pre-order
+    /// position rather than by a tree's [`NodeId`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotFound`] if `index` is out of range.
+    pub fn times_at(&self, index: usize) -> Result<CharacteristicTimes> {
+        self.times(NodeId(index))
     }
 
     /// Signatures of every node, indexed by [`NodeId::index`].
@@ -313,6 +447,66 @@ mod tests {
         let t = batch.times(out).unwrap();
         assert_eq!(t.t_r, Seconds::ZERO);
         assert_eq!(t.t_d, Seconds::ZERO);
+    }
+
+    #[test]
+    fn of_preorder_is_bit_identical_to_the_builder_path() {
+        // The builder inserts nodes in pre-order here, so ids equal
+        // pre-order positions and the flat kernel must reproduce the exact
+        // float sequence of the tree-based sweep.
+        let tree = branching_tree_with_lines();
+        let cache = tree.traversal();
+        let n = tree.node_count();
+        assert_eq!(
+            cache.preorder,
+            (0..n as u32).collect::<Vec<_>>(),
+            "test tree must be inserted in pre-order"
+        );
+        let flat = BatchTimes::of_preorder(
+            &cache.parent,
+            &cache.branch_r,
+            &cache.branch_c,
+            &cache.node_cap,
+        )
+        .unwrap();
+        assert_eq!(flat, BatchTimes::of(&tree).unwrap());
+    }
+
+    #[test]
+    fn of_preorder_rejects_malformed_inputs() {
+        let ok = |p: &[u32]| BatchTimes::of_preorder(p, &[0.0; 3], &[0.0; 3], &[1.0; 3]);
+        assert!(matches!(
+            BatchTimes::of_preorder(&[], &[], &[], &[]),
+            Err(CoreError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            BatchTimes::of_preorder(&[0, 0], &[0.0], &[0.0, 0.0], &[1.0, 1.0]),
+            Err(CoreError::InvalidValue { .. })
+        ));
+        // Root must be its own parent; parents must precede children.
+        assert!(matches!(
+            ok(&[1, 0, 1]),
+            Err(CoreError::InvalidValue { .. })
+        ));
+        // The root carries no feeding element: a nonzero root branch would
+        // silently skew the C_T / T_P accumulations.
+        assert!(matches!(
+            BatchTimes::of_preorder(&[0, 0], &[3.0, 5.0], &[0.0, 0.0], &[1.0, 1.0]),
+            Err(CoreError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            BatchTimes::of_preorder(&[0, 0], &[0.0, 5.0], &[2.0, 0.0], &[1.0, 1.0]),
+            Err(CoreError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            ok(&[0, 2, 1]),
+            Err(CoreError::InvalidValue { .. })
+        ));
+        // A capacitance-free network is rejected like `of`.
+        assert!(matches!(
+            BatchTimes::of_preorder(&[0, 0], &[0.0, 5.0], &[0.0, 0.0], &[0.0, 0.0]),
+            Err(CoreError::NoCapacitance)
+        ));
     }
 
     #[test]

@@ -43,6 +43,23 @@ pub enum StaError {
         /// the exact token).
         node: String,
     },
+    /// A net's driver or sink refers to an instance that is missing from
+    /// the design's instance table.
+    ///
+    /// **Invariant:** this is unreachable through the public API —
+    /// [`add_net`](crate::Design::add_net) validates every instance
+    /// reference at insertion time, [`add_instance`](crate::Design::add_instance)
+    /// never removes entries, and the net/instance tables are private — so
+    /// arrival propagation used to `expect(..)` on these lookups.  The
+    /// lookups now surface this structured error instead, so a future
+    /// mutation path (or a bug in one) degrades into a reportable failure
+    /// rather than a panic.
+    DanglingInstance {
+        /// Name of the net holding the broken reference.
+        net: String,
+        /// The instance name that is not in the instance table.
+        instance: String,
+    },
     /// The design's instance/net graph contains a combinational cycle, so
     /// topological arrival-time propagation is impossible.
     CombinationalCycle,
@@ -70,6 +87,13 @@ impl fmt::Display for StaError {
                 write!(
                     f,
                     "eco edit on net `{net}` references unknown node `{node}`"
+                )
+            }
+            StaError::DanglingInstance { net, instance } => {
+                write!(
+                    f,
+                    "net `{net}` references instance `{instance}`, which is \
+                     missing from the instance table (broken design invariant)"
                 )
             }
             StaError::CombinationalCycle => {
@@ -131,6 +155,12 @@ mod tests {
         assert!(StaError::UnknownInstance { name: "u9".into() }
             .to_string()
             .contains("u9"));
+        let dangling = StaError::DanglingInstance {
+            net: "n3".into(),
+            instance: "u7".into(),
+        }
+        .to_string();
+        assert!(dangling.contains("`n3`") && dangling.contains("`u7`"));
     }
 
     #[test]

@@ -15,9 +15,17 @@
 //! persistent global worker pool (`rctree-par`); results are merged in net
 //! order and are bit-identical to the serial evaluation for any worker
 //! count ([`Design::analyze_with_jobs`]).  [`Design::apply_eco`] is the
-//! incremental path: net-level [`EcoEdit`]s are mapped onto the mutable
-//! RC-tree engine of `rctree-core` and only the touched nets are
-//! re-evaluated, with the rest served from cached sink windows.
+//! incremental path, end to end: net-level [`EcoEdit`]s are mapped onto
+//! **persistent per-net `EditableTree` engines** (value edits cost
+//! `O(depth · log n_net)` to apply), dirty nets are re-timed with one flat
+//! pre-order stage sweep ([`stage_delay_bounds`]) that is bit-identical to
+//! the one-shot path, and arrival times are re-propagated only through the
+//! **affected fan-out cone** over the cached Kahn topology — untouched
+//! cones keep their cached arrival windows and endpoint contributions
+//! verbatim.  See [`Design::apply_eco_with_jobs`] for the per-step
+//! complexity table; the report stays bit-identical to a full
+//! [`Design::analyze_with_jobs`] of the edited design for every worker
+//! count.
 //!
 //! ```
 //! use rctree_core::builder::RcTreeBuilder;
@@ -51,7 +59,9 @@ pub use crate::graph::{
     ArrivalWindow, Design, Driver, EcoEdit, EcoEditKind, EndpointTiming, Load, Net, Sink,
     TimingReport,
 };
-pub use crate::stage::{analyze_stage, prepend_driver, SinkTiming, StageTiming};
+pub use crate::stage::{
+    analyze_stage, prepend_driver, stage_delay_bounds, SinkTiming, StageTiming,
+};
 
 #[cfg(test)]
 mod tests {

@@ -108,6 +108,115 @@ pub fn analyze_stage(
     Ok(StageTiming { threshold, sinks })
 }
 
+/// Name given to the augmented stage tree's input node.
+pub const STAGE_INPUT_NODE: &str = "__stage_input";
+
+/// Per-sink Penfield–Rubinstein delay bounds of one stage, computed by a
+/// **flat pre-order sweep** over the augmented tree's arrays instead of
+/// constructing the augmented tree through the builder.
+///
+/// This is the hot kernel behind [`crate::Design`]'s per-net evaluation and
+/// the incremental ECO path: the driver resistor and the sink load
+/// capacitances are spliced around the interconnect as plain array entries
+/// (`O(n)` with no hashing and no per-node allocation), and the sweep runs
+/// through [`BatchTimes::of_preorder`].  The result is **bit-identical** to
+/// [`analyze_stage`] — `prepend_driver` inserts the augmented nodes in
+/// pre-order, so both paths accumulate the same floats in the same order —
+/// which `flat_stage_is_bit_identical_to_the_builder_stage` pins.
+///
+/// Returns one [`DelayBounds`] per entry of `sink_loads`, in order.
+///
+/// # Errors
+///
+/// As for [`analyze_stage`], including
+/// [`rctree_core::CoreError::DuplicateName`] when the interconnect already
+/// uses one of the reserved augmented-node names (the builder path fails
+/// the same way).
+pub fn stage_delay_bounds(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    threshold: f64,
+) -> Result<Vec<DelayBounds>> {
+    if sink_loads.is_empty() {
+        return Ok(Vec::new());
+    }
+    // The builder path validates the spliced-in values through
+    // `RcTreeBuilder`'s finite/non-negative checks; reject the same inputs
+    // with the same error (the interconnect's own values were validated at
+    // its construction).
+    let check = |what: &'static str, value: f64| -> Result<()> {
+        if !value.is_finite() || value < 0.0 {
+            Err(rctree_core::CoreError::InvalidValue { what, value }.into())
+        } else {
+            Ok(())
+        }
+    };
+    check("resistance", driver_resistance.value())?;
+    let n_raw = interconnect.node_count();
+    let n_aug = n_raw + 1;
+
+    let mut parent = Vec::with_capacity(n_aug);
+    let mut branch_r = Vec::with_capacity(n_aug);
+    let mut branch_c = Vec::with_capacity(n_aug);
+    let mut node_cap = Vec::with_capacity(n_aug);
+    // Raw node id -> augmented pre-order position.
+    let mut pos = vec![0u32; n_raw];
+
+    // Augmented node 0: the stage input (no element, no capacitance), and
+    // node 1: the driver's output, carrying the driver resistance and the
+    // interconnect input's lumped capacitance.
+    parent.push(0);
+    branch_r.push(0.0);
+    branch_c.push(0.0);
+    node_cap.push(0.0);
+    parent.push(0);
+    branch_r.push(driver_resistance.value());
+    branch_c.push(0.0);
+    node_cap.push(interconnect.capacitance(interconnect.input())?.value());
+    pos[interconnect.input().index()] = 1;
+
+    for id in interconnect.preorder() {
+        if id == interconnect.input() {
+            // The raw input's name is dropped by the augmentation (the node
+            // is merged into the driver output), so it cannot collide.
+            continue;
+        }
+        let name = interconnect.name(id)?;
+        if name == DRIVER_OUTPUT_NODE || name == STAGE_INPUT_NODE {
+            // The builder path would collide on the reserved names; fail
+            // identically so both evaluations agree on such inputs.
+            return Err(rctree_core::CoreError::DuplicateName {
+                name: name.to_string(),
+            }
+            .into());
+        }
+        let p = interconnect.parent(id)?.expect("non-input node");
+        let branch = interconnect.branch(id)?.expect("non-input node");
+        pos[id.index()] = parent.len() as u32;
+        parent.push(pos[p.index()]);
+        branch_r.push(branch.resistance().value());
+        branch_c.push(branch.capacitance().value());
+        node_cap.push(interconnect.capacitance(id)?.value());
+    }
+
+    for &(node, load) in sink_loads {
+        // Validates the node and the load value, exactly like (and in the
+        // same order as) the builder path's load loop.
+        let _ = interconnect.name(node)?;
+        check("capacitance", load.value())?;
+        node_cap[pos[node.index()] as usize] += load.value();
+    }
+
+    let batch = BatchTimes::of_preorder(&parent, &branch_r, &branch_c, &node_cap)?;
+    let mut bounds = Vec::with_capacity(sink_loads.len());
+    for &(node, _) in sink_loads {
+        let times = batch.times_at(pos[node.index()] as usize)?;
+        bounds.push(times.delay_bounds(threshold)?);
+    }
+    Ok(bounds)
+}
+
 /// Builds the augmented stage tree: a new input, a lumped resistor equal to
 /// the driver resistance, and a copy of the interconnect tree hanging off
 /// it, with the extra sink load capacitances added.  Returns the augmented
@@ -122,7 +231,7 @@ pub fn prepend_driver(
     interconnect: &RcTree,
     sink_loads: &[(NodeId, Farads)],
 ) -> Result<(RcTree, Vec<NodeId>)> {
-    let mut b = RcTreeBuilder::with_input_name("__stage_input");
+    let mut b = RcTreeBuilder::with_input_name(STAGE_INPUT_NODE);
     let mut map = vec![NodeId::INPUT; interconnect.node_count()];
 
     // The interconnect's input node becomes the driver's output node.
@@ -286,6 +395,90 @@ mod tests {
         let timing = analyze_stage(Ohms::new(1000.0), &net, &[], 0.5).unwrap();
         assert!(timing.sinks.is_empty());
         assert!(timing.critical_sink().is_none());
+    }
+
+    #[test]
+    fn flat_stage_is_bit_identical_to_the_builder_stage() {
+        // Exhaustive bit-exact comparison (not a tolerance) across driver
+        // strengths, thresholds and load mixes, including a sink on the
+        // interconnect's input node and doubled-up loads on one node.
+        let (net, near, far) = simple_interconnect();
+        let load_sets: Vec<Vec<(NodeId, Farads)>> = vec![
+            vec![(near, Farads::from_femto(13.0))],
+            vec![
+                (near, Farads::from_femto(13.0)),
+                (far, Farads::from_femto(52.0)),
+            ],
+            vec![
+                (net.input(), Farads::from_femto(104.0)),
+                (far, Farads::ZERO),
+                (far, Farads::from_femto(7.0)),
+            ],
+        ];
+        for driver in [Ohms::ZERO, Ohms::new(380.0), Ohms::new(10_000.0)] {
+            for threshold in [0.1, 0.5, 0.9] {
+                for loads in &load_sets {
+                    let built = analyze_stage(driver, &net, loads, threshold).unwrap();
+                    let flat = stage_delay_bounds(driver, &net, loads, threshold).unwrap();
+                    assert_eq!(flat.len(), built.sinks.len());
+                    for (f, s) in flat.iter().zip(built.sinks.iter()) {
+                        assert_eq!(f, &s.bounds, "driver {driver}, threshold {threshold}");
+                    }
+                }
+            }
+        }
+
+        // Seeded random trees from the workloads crate, every node loaded.
+        for seed in [3u64, 17, 91] {
+            let tree = rctree_workloads::RandomTreeConfig::default().generate(seed);
+            let loads: Vec<(NodeId, Farads)> = tree
+                .node_ids()
+                .map(|id| (id, Farads::from_femto(1.0 + id.index() as f64)))
+                .collect();
+            let built = analyze_stage(Ohms::new(1000.0), &tree, &loads, 0.5).unwrap();
+            let flat = stage_delay_bounds(Ohms::new(1000.0), &tree, &loads, 0.5).unwrap();
+            for (f, s) in flat.iter().zip(built.sinks.iter()) {
+                assert_eq!(f, &s.bounds, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_stage_matches_builder_errors() {
+        // Reserved augmented-node names fail identically on both paths.
+        let mut b = RcTreeBuilder::new();
+        let clash = b
+            .add_resistor(b.input(), DRIVER_OUTPUT_NODE, Ohms::new(5.0))
+            .unwrap();
+        b.add_capacitance(clash, Farads::from_femto(3.0)).unwrap();
+        let tree = b.build().unwrap();
+        let loads = vec![(clash, Farads::from_femto(1.0))];
+        let built = analyze_stage(Ohms::new(100.0), &tree, &loads, 0.5).unwrap_err();
+        let flat = stage_delay_bounds(Ohms::new(100.0), &tree, &loads, 0.5).unwrap_err();
+        assert_eq!(format!("{built}"), format!("{flat}"));
+
+        // An empty sink list short-circuits to no bounds, like the builder
+        // path's sink-less early return.
+        let (net, _, _) = simple_interconnect();
+        assert!(stage_delay_bounds(Ohms::new(100.0), &net, &[], 0.5)
+            .unwrap()
+            .is_empty());
+
+        // Non-finite / negative spliced-in values fail with the builder's
+        // `InvalidValue` on both paths (the builder validates them in
+        // `add_resistor` / `add_capacitance`).
+        let (net, near, _) = simple_interconnect();
+        for (driver, load) in [
+            (Ohms::new(f64::NAN), Farads::from_femto(1.0)),
+            (Ohms::new(-5.0), Farads::from_femto(1.0)),
+            (Ohms::new(100.0), Farads::new(f64::INFINITY)),
+            (Ohms::new(100.0), Farads::new(-1e-15)),
+        ] {
+            let loads = vec![(near, load)];
+            let built = analyze_stage(driver, &net, &loads, 0.5).unwrap_err();
+            let flat = stage_delay_bounds(driver, &net, &loads, 0.5).unwrap_err();
+            assert_eq!(format!("{built}"), format!("{flat}"));
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod dag;
 pub mod deck;
 pub mod eco;
 pub mod fig3;
@@ -37,6 +38,7 @@ pub mod random;
 pub mod rng;
 pub mod tech;
 
+pub use crate::dag::{eco_dag, EcoDag, EcoDagNet, EcoDagParams};
 pub use crate::deck::{spef_deck, SpefDeckParams};
 pub use crate::eco::{EcoStream, EcoStreamParams};
 pub use crate::fig3::{figure3_tree, Figure3Nodes, Figure3Values};
