@@ -1,0 +1,120 @@
+//! Timing-server throughput: K concurrent connections against an
+//! in-process `rctree-serve` instance.
+//!
+//! Measures the read path end to end — TCP, request parse, snapshot load,
+//! render — with a seeded read-only mix (queries dominate, plus REPORT
+//! and CERTIFY), then repeats with a mixed read/write load to show that
+//! ECO writes serialize without starving readers.  Every response is
+//! validated by the load generator (reads to the final `OK`/`ERR` line);
+//! the read-only run must produce **zero** protocol errors.
+//!
+//! Environment knobs:
+//!
+//! * `SERVE_NETS`  — deck size (default 64);
+//! * `SERVE_CONNS` — concurrent connections (default 4);
+//! * `SERVE_REQS`  — requests per connection (default 250);
+//!
+//! A machine-readable summary is written to
+//! `target/BENCH_serve_throughput.json` (the `rcdelay bench-client`
+//! command writes the equivalent `BENCH_serve.json` against an external
+//! server).
+
+use rctree_core::units::Seconds;
+use rctree_serve::{run_load, LoadReport, ServeConfig, Server};
+use rctree_sta::{CellLibrary, Design};
+use rctree_workloads::{request_mix, RequestMixParams, SpefDeckParams};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nets = env_usize("SERVE_NETS", 64);
+    let connections = env_usize("SERVE_CONNS", 4);
+    let requests = env_usize("SERVE_REQS", 250);
+
+    let trees = SpefDeckParams {
+        nets,
+        ..SpefDeckParams::default()
+    }
+    .trees(0x5E17E);
+    let design = Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", trees.clone())
+        .expect("deck builds");
+    let config = ServeConfig {
+        threshold: 0.5,
+        required_time: Seconds::new(500e-9),
+        jobs: rctree_par::default_jobs(),
+    };
+    let server = Server::start(design, &config, ("127.0.0.1", 0)).expect("server starts");
+    let addr = server.local_addr();
+    println!(
+        "serve_throughput: {nets}-net deck on {addr}, {connections} connections x \
+         {requests} requests"
+    );
+
+    let run = |eco_fraction: f64, seed: u64| -> LoadReport {
+        let params = RequestMixParams {
+            requests_per_connection: requests,
+            eco_fraction,
+            certify_budget: 400e-9,
+        };
+        let scripts = request_mix(&trees, connections, &params, seed);
+        run_load(addr, &scripts).expect("load run")
+    };
+
+    let read_only = run(0.0, 11);
+    assert_eq!(
+        read_only.protocol_errors, 0,
+        "read-only mix produced protocol errors"
+    );
+    assert!(read_only.queries_per_s > 0.0);
+    println!(
+        "  read-only {:>10.0} queries/s   p50 {:>7.0} us   p90 {:>7.0} us   p99 {:>7.0} us",
+        read_only.queries_per_s, read_only.p50_us, read_only.p90_us, read_only.p99_us
+    );
+
+    let mixed = run(0.2, 12);
+    assert_eq!(
+        mixed.protocol_errors, 0,
+        "generated ECO edits must all apply"
+    );
+    println!(
+        "  20% ECO   {:>10.0} requests/s  p50 {:>7.0} us   p90 {:>7.0} us   p99 {:>7.0} us \
+         (revision {})",
+        mixed.queries_per_s,
+        mixed.p50_us,
+        mixed.p90_us,
+        mixed.p99_us,
+        server.revision()
+    );
+    assert!(server.revision() > 0, "mixed run committed edits");
+
+    server.shutdown();
+    server.join();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"nets\": {nets},\n  \
+         \"connections\": {connections},\n  \"requests_per_connection\": {requests},\n  \
+         \"read_only_queries_per_s\": {},\n  \"read_only_p50_us\": {},\n  \
+         \"read_only_p99_us\": {},\n  \"mixed_requests_per_s\": {},\n  \
+         \"mixed_p50_us\": {},\n  \"mixed_p99_us\": {},\n  \"protocol_errors\": 0\n}}\n",
+        read_only.queries_per_s,
+        read_only.p50_us,
+        read_only.p99_us,
+        mixed.queries_per_s,
+        mixed.p50_us,
+        mixed.p99_us
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/BENCH_serve_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  summary written to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -6,6 +6,10 @@
 //! ```text
 //! rcdelay [OPTIONS] <netlist-file>
 //! rcdelay eco [OPTIONS] --budget <seconds> <deck.spef> <edit-script>
+//! rcdelay report --budget <seconds> <deck.spef>...
+//! rcdelay serve --budget <seconds> [--port N] <deck.spef>...
+//! rcdelay bench-client [OPTIONS] <host:port> <deck.spef>
+//! rcdelay gen-deck [--nets N] [--seed N]
 //!
 //!   --format <spice|spef|expr>   input format          (default: spice; eco: spef)
 //!   --net <name>                 SPEF net to analyse   (default: first net)
@@ -17,6 +21,13 @@
 //!   --watch                      eco mode: stream the script line by line
 //!   --help                       print usage
 //! ```
+//!
+//! `rcdelay report` prints the deck-level design timing report —
+//! byte-identical to the `REPORT` payload of a server on the same decks;
+//! `rcdelay serve` starts the `rctree-serve` timing/ECO server and
+//! `rcdelay bench-client` load-tests one (emitting
+//! `target/BENCH_serve.json`); `rcdelay gen-deck` prints a reproducible
+//! multi-net SPEF deck for smoke tests.
 //!
 //! `rcdelay eco` turns the deck into a per-net timing design, applies an
 //! edit script one edit at a time through the incremental ECO engine, and
@@ -51,11 +62,11 @@ use std::fmt::Write as _;
 
 use rctree_core::analysis::TreeAnalysis;
 use rctree_core::cert::Certification;
-use rctree_core::element::Branch;
 use rctree_core::tree::RcTree;
-use rctree_core::units::{Farads, Ohms, Seconds};
+use rctree_core::units::Seconds;
 use rctree_netlist::{parse_expr, parse_spef_deck, parse_spice};
-use rctree_sta::{CellLibrary, Design, EcoEdit, EcoEditKind};
+use rctree_sta::{CellLibrary, Design};
+pub use rctree_sta::{ScriptEdit, ScriptLine};
 
 /// Input netlist formats understood by the tool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +95,56 @@ pub enum Command {
         /// each edit's slack delta as it lands, instead of reading the
         /// whole script up front.
         watch: bool,
+    },
+    /// Deck-level design report (`rcdelay report`): every net of one or
+    /// more SPEF decks as a timed stage, the full arrival-propagated
+    /// timing report printed — byte-identical to the payload of the
+    /// server's `REPORT` verb on the same decks.
+    DeckReport {
+        /// SPEF deck paths (`-` for standard input).
+        decks: Vec<String>,
+        /// Driver cell prepended to every extracted net.
+        driver: String,
+    },
+    /// Long-running timing server (`rcdelay serve`): load the decks into
+    /// a shared design and serve the `rctree-serve` wire protocol.
+    Serve {
+        /// SPEF deck paths.
+        decks: Vec<String>,
+        /// Driver cell prepended to every extracted net.
+        driver: String,
+        /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port,
+        /// printed on startup).
+        port: u16,
+    },
+    /// Load generator (`rcdelay bench-client`): drive a running server
+    /// with a seeded request mix and emit `BENCH_serve.json`.
+    BenchClient {
+        /// Server address (`host:port`, as printed by `rcdelay serve`).
+        addr: String,
+        /// The deck the server was started with (source of net/node names
+        /// for the request mix).
+        deck: String,
+        /// Concurrent connections.
+        connections: usize,
+        /// Requests per connection.
+        requests: usize,
+        /// Mix seed.
+        seed: u64,
+        /// Fraction of requests that are ECO edits (0.0 = read-only).
+        eco_fraction: f64,
+        /// Output path of the JSON summary.
+        out: String,
+        /// Send `SHUTDOWN` to the server after the run.
+        shutdown: bool,
+    },
+    /// Deterministic SPEF deck generator (`rcdelay gen-deck`), printed to
+    /// standard output.
+    GenDeck {
+        /// Number of `*D_NET` sections.
+        nets: usize,
+        /// Generator seed.
+        seed: u64,
     },
 }
 
@@ -130,6 +191,17 @@ rcdelay: Penfield-Rubinstein delay bounds for RC tree netlists
 
 usage: rcdelay [OPTIONS] <netlist-file>
        rcdelay eco [OPTIONS] --budget <seconds> <deck.spef> <edit-script>
+       rcdelay report --budget <seconds> <deck.spef>...
+       rcdelay serve --budget <seconds> [--port <n>] <deck.spef>...
+       rcdelay bench-client [OPTIONS] <host:port> <deck.spef>
+       rcdelay gen-deck [--nets <n>] [--seed <n>]
+
+`report` prints the deck-level design timing report (byte-identical to the
+server's REPORT payload on the same decks); `serve` starts the rctree-serve
+timing/ECO server (see crates/serve/README.md for the wire protocol);
+`bench-client` drives a running server with a seeded request mix and writes
+queries/s + latency percentiles to target/BENCH_serve.json; `gen-deck`
+prints a reproducible multi-net SPEF deck.
 
 options:
   --format <spice|spef|expr>   input format (default: spice; eco mode: spef)
@@ -150,6 +222,17 @@ options:
                                edit's slack delta immediately; bad edits
                                are reported and skipped instead of ending
                                the session
+  --port <n>                   serve mode: TCP port on 127.0.0.1
+                               (default 0 = ephemeral, printed on start)
+  --connections <n>            bench-client: concurrent connections (4)
+  --requests <n>               bench-client: requests per connection (100)
+  --eco-fraction <v>           bench-client: fraction of requests that are
+                               ECO edits, in [0,1] (default 0 = read-only)
+  --out <path>                 bench-client: JSON summary path
+                               (default target/BENCH_serve.json)
+  --shutdown                   bench-client: send SHUTDOWN when done
+  --nets <n>                   gen-deck: number of *D_NET sections (64)
+  --seed <n>                   bench-client/gen-deck: generator seed (1)
   --help                       print this message
 
 edit-script directives (`#` comments; several directives may share a line,
@@ -208,22 +291,47 @@ where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Mode {
+        Tree,
+        Eco,
+        DeckReport,
+        Serve,
+        BenchClient,
+        GenDeck,
+    }
+
     let mut opts = Options::default();
     let mut iter = args.into_iter();
     let mut positionals: Vec<String> = Vec::new();
-    let mut eco = false;
+    let mut mode = Mode::Tree;
     let mut watch = false;
     let mut driver = "inv_4x".to_string();
     let mut driver_given = false;
     let mut format_given = false;
     let mut first = true;
+    let mut port: Option<u16> = None;
+    let mut connections: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut eco_fraction: Option<f64> = None;
+    let mut out: Option<String> = None;
+    let mut nets: Option<usize> = None;
+    let mut shutdown = false;
 
     while let Some(arg) = iter.next() {
         let arg = arg.as_ref();
         if first {
             first = false;
-            if arg == "eco" {
-                eco = true;
+            mode = match arg {
+                "eco" => Mode::Eco,
+                "report" => Mode::DeckReport,
+                "serve" => Mode::Serve,
+                "bench-client" => Mode::BenchClient,
+                "gen-deck" => Mode::GenDeck,
+                _ => Mode::Tree,
+            };
+            if mode != Mode::Tree {
                 continue;
             }
         }
@@ -232,6 +340,14 @@ where
                 .map(|v| v.as_ref().to_string())
                 .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
         };
+        let positive = |flag: &str, text: &str| -> Result<usize, CliError> {
+            text.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    CliError::Usage(format!("{flag}: `{text}` is not a positive integer"))
+                })
+        };
         match arg {
             "--help" | "-h" => return Err(CliError::Usage(USAGE.to_string())),
             "--driver" => {
@@ -239,6 +355,7 @@ where
                 driver = value_of("--driver")?;
             }
             "--watch" => watch = true,
+            "--shutdown" => shutdown = true,
             "--format" => {
                 format_given = true;
                 opts.format = match value_of("--format")?.as_str() {
@@ -262,14 +379,41 @@ where
             }
             "--jobs" => {
                 let text = value_of("--jobs")?;
-                let jobs = text
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| {
-                        CliError::Usage(format!("--jobs: `{text}` is not a positive integer"))
-                    })?;
-                opts.jobs = Some(jobs);
+                opts.jobs = Some(positive("--jobs", &text)?);
+            }
+            "--port" => {
+                let text = value_of("--port")?;
+                port = Some(text.parse::<u16>().map_err(|_| {
+                    CliError::Usage(format!("--port: `{text}` is not a port number"))
+                })?);
+            }
+            "--connections" => {
+                let text = value_of("--connections")?;
+                connections = Some(positive("--connections", &text)?);
+            }
+            "--requests" => {
+                let text = value_of("--requests")?;
+                requests = Some(positive("--requests", &text)?);
+            }
+            "--seed" => {
+                let text = value_of("--seed")?;
+                seed = Some(text.parse::<u64>().map_err(|_| {
+                    CliError::Usage(format!("--seed: `{text}` is not an unsigned integer"))
+                })?);
+            }
+            "--eco-fraction" => {
+                let value = parse_number(&value_of("--eco-fraction")?, "--eco-fraction")?;
+                if !(0.0..=1.0).contains(&value) {
+                    return Err(CliError::Usage(format!(
+                        "--eco-fraction {value} must lie in [0, 1]"
+                    )));
+                }
+                eco_fraction = Some(value);
+            }
+            "--out" => out = Some(value_of("--out")?),
+            "--nets" => {
+                let text = value_of("--nets")?;
+                nets = Some(positive("--nets", &text)?);
             }
             other if other.starts_with('-') && other != "-" => {
                 return Err(CliError::Usage(format!("unknown option `{other}`")));
@@ -278,57 +422,171 @@ where
         }
     }
 
-    if eco {
-        if positionals.len() != 2 {
-            return Err(CliError::Usage(
-                "eco mode requires exactly <deck.spef> and <edit-script>".into(),
-            ));
+    // Flags that belong to one mode are refused elsewhere rather than
+    // silently ignored.
+    let refuse = |given: bool, message: &str| -> Result<(), CliError> {
+        if given {
+            Err(CliError::Usage(message.into()))
+        } else {
+            Ok(())
         }
+    };
+    if mode != Mode::Serve {
+        refuse(port.is_some(), "--port only applies to `rcdelay serve`")?;
+    }
+    if mode != Mode::BenchClient {
+        refuse(
+            connections.is_some() || requests.is_some() || eco_fraction.is_some(),
+            "--connections/--requests/--eco-fraction only apply to `rcdelay bench-client`",
+        )?;
+        refuse(
+            out.is_some() || shutdown,
+            "--out/--shutdown only apply to `rcdelay bench-client`",
+        )?;
+    }
+    if mode != Mode::GenDeck {
+        refuse(nets.is_some(), "--nets only applies to `rcdelay gen-deck`")?;
+    }
+    if !matches!(mode, Mode::BenchClient | Mode::GenDeck) {
+        refuse(
+            seed.is_some(),
+            "--seed only applies to `rcdelay bench-client` and `rcdelay gen-deck`",
+        )?;
+    }
+    if mode != Mode::Eco {
+        refuse(watch, "--watch only applies to `rcdelay eco`")?;
+    }
+
+    // The deck-design modes share the eco-mode flag surface.
+    let deck_mode_checks = |opts: &Options, what: &str| -> Result<(), CliError> {
         if format_given && opts.format != InputFormat::Spef {
-            return Err(CliError::Usage(
-                "eco mode only supports --format spef".into(),
-            ));
+            return Err(CliError::Usage(format!(
+                "{what} mode only supports --format spef"
+            )));
         }
-        opts.format = InputFormat::Spef;
         if opts.budget.is_none() {
-            return Err(CliError::Usage(
-                "eco mode requires --budget (slack needs a required time)".into(),
-            ));
+            return Err(CliError::Usage(format!(
+                "{what} mode requires --budget (slack needs a required time)"
+            )));
         }
         if opts.net.is_some() {
-            return Err(CliError::Usage(
-                "--net does not apply to eco mode (edits name their nets)".into(),
-            ));
+            return Err(CliError::Usage(format!(
+                "--net does not apply to {what} mode"
+            )));
         }
         if opts.voltage_at.is_some() {
-            return Err(CliError::Usage(
-                "--voltage-at does not apply to eco mode".into(),
-            ));
+            return Err(CliError::Usage(format!(
+                "--voltage-at does not apply to {what} mode"
+            )));
         }
-        let script = positionals.pop().expect("two positionals");
-        opts.path = positionals.pop().expect("two positionals");
-        opts.command = Command::Eco {
-            script,
-            driver,
-            watch,
-        };
-    } else {
-        if driver_given {
-            return Err(CliError::Usage(
-                "--driver only applies to `rcdelay eco`".into(),
-            ));
+        Ok(())
+    };
+
+    match mode {
+        Mode::Eco => {
+            if positionals.len() != 2 {
+                return Err(CliError::Usage(
+                    "eco mode requires exactly <deck.spef> and <edit-script>".into(),
+                ));
+            }
+            deck_mode_checks(&opts, "eco")?;
+            opts.format = InputFormat::Spef;
+            let script = positionals.pop().expect("two positionals");
+            opts.path = positionals.pop().expect("two positionals");
+            opts.command = Command::Eco {
+                script,
+                driver,
+                watch,
+            };
         }
-        if watch {
-            return Err(CliError::Usage(
-                "--watch only applies to `rcdelay eco`".into(),
-            ));
+        Mode::DeckReport | Mode::Serve => {
+            let what = if mode == Mode::Serve {
+                "serve"
+            } else {
+                "report"
+            };
+            if positionals.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "{what} mode requires at least one <deck.spef>"
+                )));
+            }
+            deck_mode_checks(&opts, what)?;
+            opts.format = InputFormat::Spef;
+            opts.path = positionals[0].clone();
+            opts.command = if mode == Mode::Serve {
+                Command::Serve {
+                    decks: positionals,
+                    driver,
+                    port: port.unwrap_or(0),
+                }
+            } else {
+                Command::DeckReport {
+                    decks: positionals,
+                    driver,
+                }
+            };
         }
-        if positionals.len() > 1 {
-            return Err(CliError::Usage("more than one input file given".into()));
+        Mode::BenchClient => {
+            if positionals.len() != 2 {
+                return Err(CliError::Usage(
+                    "bench-client mode requires <host:port> and <deck.spef>".into(),
+                ));
+            }
+            refuse(
+                driver_given,
+                "--driver does not apply to `rcdelay bench-client`",
+            )?;
+            refuse(
+                format_given && opts.format != InputFormat::Spef,
+                "bench-client mode only supports --format spef",
+            )?;
+            refuse(
+                opts.net.is_some() || opts.voltage_at.is_some(),
+                "--net/--voltage-at do not apply to `rcdelay bench-client`",
+            )?;
+            opts.format = InputFormat::Spef;
+            let deck = positionals.pop().expect("two positionals");
+            let addr = positionals.pop().expect("two positionals");
+            opts.path = deck.clone();
+            opts.command = Command::BenchClient {
+                addr,
+                deck,
+                connections: connections.unwrap_or(4),
+                requests: requests.unwrap_or(100),
+                seed: seed.unwrap_or(1),
+                eco_fraction: eco_fraction.unwrap_or(0.0),
+                out: out.unwrap_or_else(|| "target/BENCH_serve.json".into()),
+                shutdown,
+            };
         }
-        opts.path = positionals
-            .pop()
-            .ok_or_else(|| CliError::Usage("missing input netlist file".into()))?;
+        Mode::GenDeck => {
+            if !positionals.is_empty() {
+                return Err(CliError::Usage(
+                    "gen-deck takes no positional arguments (the deck prints to stdout)".into(),
+                ));
+            }
+            refuse(
+                driver_given || format_given || opts.net.is_some() || opts.voltage_at.is_some(),
+                "gen-deck only accepts --nets and --seed",
+            )?;
+            refuse(
+                opts.budget.is_some() || opts.jobs.is_some(),
+                "gen-deck only accepts --nets and --seed",
+            )?;
+            opts.command = Command::GenDeck {
+                nets: nets.unwrap_or(64),
+                seed: seed.unwrap_or(1),
+            };
+        }
+        Mode::Tree => {
+            refuse(driver_given, "--driver only applies to `rcdelay eco`")?;
+            if positionals.len() > 1 {
+                return Err(CliError::Usage("more than one input file given".into()));
+            }
+            opts.path = positionals
+                .pop()
+                .ok_or_else(|| CliError::Usage("missing input netlist file".into()))?;
+        }
     }
     if !(opts.threshold > 0.0 && opts.threshold < 1.0) {
         return Err(CliError::Usage(format!(
@@ -463,50 +721,59 @@ pub fn report(tree: &RcTree, opts: &Options) -> Result<Report, CliError> {
     })
 }
 
-/// One parsed edit-script directive: its source location (line number plus
-/// its 1-based position within a `;`-separated multi-edit line) and the
-/// resolved design-level edit.
-#[derive(Debug, Clone)]
-pub struct ScriptEdit {
-    /// 1-based line number in the script file.
-    pub line: usize,
-    /// 1-based position of this edit within its line.
-    pub index: usize,
-    /// Number of edits sharing the line (error messages name the edit
-    /// index only when this exceeds one).
-    pub count: usize,
-    /// Short human-readable rendering of the directive.
-    pub summary: String,
-    /// The design-level edit.
-    pub edit: EcoEdit,
-}
-
-impl ScriptEdit {
-    /// The location prefix used in error messages: `line N`, or
-    /// `line N, edit K` within a multi-edit line (the format is pinned by
-    /// the binary-level `cli_exit_codes` tests).
-    pub fn location(&self) -> String {
-        if self.count > 1 {
-            format!("line {}, edit {}", self.line, self.index)
-        } else {
-            format!("line {}", self.line)
-        }
+/// Builds the per-net timing design of one or more SPEF decks: every
+/// extracted net becomes one driven stage with its leaves as primary
+/// outputs, exactly as in eco mode ([`Design::from_extracted`]).  Deck
+/// boundaries are invisible to the design — net names must be unique
+/// across all decks (duplicates are rejected).
+///
+/// # Errors
+///
+/// * [`CliError::Netlist`] if a deck fails to parse;
+/// * [`CliError::Analysis`] if the design cannot be built (unknown driver
+///   cell, duplicate net names across decks).
+pub fn deck_design(deck_texts: &[String], driver: &str, jobs: usize) -> Result<Design, CliError> {
+    let mut all: Vec<(String, RcTree)> = Vec::new();
+    for text in deck_texts {
+        let nets = parse_spef_deck(text, jobs).map_err(|e| CliError::Netlist(e.to_string()))?;
+        all.extend(nets.into_iter().map(|n| (n.name, n.tree)));
     }
+    Design::from_extracted(CellLibrary::nmos_1981(), driver, all)
+        .map_err(|e| CliError::Analysis(e.to_string()))
 }
 
-/// One parsed line of an ECO edit script.
-#[derive(Debug, Clone)]
-pub enum ScriptLine {
-    /// Nothing to apply (blank or comment-only).
-    Empty,
-    /// End of the session (`quit` directive).
-    Quit,
-    /// One or more edits, applied in order.
-    Edits(Vec<ScriptEdit>),
+/// Runs the deck-level design report (`rcdelay report`): the full
+/// arrival-propagated [`rctree_sta::TimingReport`], rendered through its
+/// `Display` — **byte-identical** to the payload of the server's `REPORT`
+/// verb on the same decks (the server's snapshot path is pinned
+/// bit-identical to `analyze`).
+///
+/// # Errors
+///
+/// As for [`deck_design`], plus analysis errors.
+pub fn deck_report(
+    deck_texts: &[String],
+    driver: &str,
+    threshold: f64,
+    budget: f64,
+    jobs: usize,
+) -> Result<Report, CliError> {
+    let design = deck_design(deck_texts, driver, jobs)?;
+    let report = design
+        .analyze_with_jobs(threshold, Seconds::new(budget), jobs)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    Ok(Report {
+        text: report.to_string(),
+        certification: Some(report.certification()),
+    })
 }
 
 /// Parses one script line (1-based `line` number for error reporting).
 /// Several directives may share a line, separated by `;`.
+///
+/// The grammar lives in [`rctree_sta::script`] (shared with the
+/// `rctree-serve` wire protocol); this wrapper maps its errors into
+/// [`CliError::Script`].
 ///
 /// # Errors
 ///
@@ -514,132 +781,8 @@ pub enum ScriptLine {
 /// index within multi-edit lines) and the offending token for unknown
 /// directives, missing fields and malformed numbers.
 pub fn parse_eco_script_line(line: usize, raw: &str) -> Result<ScriptLine, CliError> {
-    let body = raw.split('#').next().unwrap_or("").trim();
-    if body.is_empty() {
-        return Ok(ScriptLine::Empty);
-    }
-    let segments: Vec<&str> = body.split(';').map(str::trim).collect();
-    let count = segments.iter().filter(|s| !s.is_empty()).count();
-    if count == 1 && segments.contains(&"quit") {
-        return Ok(ScriptLine::Quit);
-    }
-    let mut edits = Vec::with_capacity(count);
-    let mut index = 0;
-    for segment in segments {
-        if segment.is_empty() {
-            continue;
-        }
-        index += 1;
-        let loc = if count > 1 {
-            format!("line {line}, edit {index}")
-        } else {
-            format!("line {line}")
-        };
-        edits.push(parse_directive(segment, &loc, line, index, count)?);
-    }
-    Ok(ScriptLine::Edits(edits))
-}
-
-/// Parses one `;`-free directive, with `loc` as the error-message prefix.
-fn parse_directive(
-    body: &str,
-    loc: &str,
-    line: usize,
-    index: usize,
-    count: usize,
-) -> Result<ScriptEdit, CliError> {
-    let tokens: Vec<&str> = body.split_whitespace().collect();
-    let expect = |want: usize| -> Result<(), CliError> {
-        if tokens.len() == want {
-            Ok(())
-        } else {
-            Err(CliError::Script(format!(
-                "{loc}: `{}` takes {} fields, found {} (near `{body}`)",
-                tokens[0],
-                want - 1,
-                tokens.len() - 1
-            )))
-        }
-    };
-    let number = |token: &str, what: &str| -> Result<f64, CliError> {
-        token
-            .parse::<f64>()
-            .ok()
-            .filter(|v| v.is_finite())
-            .ok_or_else(|| {
-                CliError::Script(format!(
-                    "{loc}: {what} is not a finite number (near `{token}`)"
-                ))
-            })
-    };
-    let kind = match tokens[0] {
-        "setcap" => {
-            expect(4)?;
-            EcoEditKind::SetCap {
-                node: tokens[2].to_string(),
-                cap: Farads::new(number(tokens[3], "capacitance")?),
-            }
-        }
-        "setres" => {
-            expect(4)?;
-            EcoEditKind::SetBranch {
-                node: tokens[2].to_string(),
-                branch: Branch::resistor(Ohms::new(number(tokens[3], "resistance")?)),
-            }
-        }
-        "setline" => {
-            expect(5)?;
-            EcoEditKind::SetBranch {
-                node: tokens[2].to_string(),
-                branch: Branch::line(
-                    Ohms::new(number(tokens[3], "resistance")?),
-                    Farads::new(number(tokens[4], "line capacitance")?),
-                ),
-            }
-        }
-        "graft" => {
-            expect(6)?;
-            // The graft adds *load* only: net sinks are frozen when the
-            // design is built, so the new node is never a timed endpoint.
-            let mut b = rctree_core::builder::RcTreeBuilder::with_input_name(tokens[3]);
-            b.add_capacitance(b.input(), Farads::new(number(tokens[5], "capacitance")?))
-                .map_err(|e| CliError::Script(format!("{loc}: {e}")))?;
-            EcoEditKind::Graft {
-                parent: tokens[2].to_string(),
-                via: Branch::resistor(Ohms::new(number(tokens[4], "resistance")?)),
-                subtree: Box::new(
-                    b.build()
-                        .map_err(|e| CliError::Script(format!("{loc}: {e}")))?,
-                ),
-            }
-        }
-        "prune" => {
-            expect(3)?;
-            EcoEditKind::Prune {
-                node: tokens[2].to_string(),
-            }
-        }
-        "quit" => {
-            return Err(CliError::Script(format!(
-                "{loc}: `quit` cannot share a line with other directives"
-            )));
-        }
-        other => {
-            return Err(CliError::Script(format!(
-                "{loc}: unknown directive (near `{other}`)"
-            )));
-        }
-    };
-    Ok(ScriptEdit {
-        line,
-        index,
-        count,
-        summary: body.to_string(),
-        edit: EcoEdit {
-            net: tokens[1].to_string(),
-            kind,
-        },
-    })
+    rctree_sta::script::parse_eco_script_line(line, raw)
+        .map_err(|e| CliError::Script(e.message().to_string()))
 }
 
 /// Parses a whole ECO edit script (see [`USAGE`] for the grammar).  A
@@ -649,15 +792,8 @@ fn parse_directive(
 ///
 /// As for [`parse_eco_script_line`].
 pub fn parse_eco_script(text: &str) -> Result<Vec<ScriptEdit>, CliError> {
-    let mut edits = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        match parse_eco_script_line(idx + 1, raw)? {
-            ScriptLine::Empty => {}
-            ScriptLine::Quit => break,
-            ScriptLine::Edits(line_edits) => edits.extend(line_edits),
-        }
-    }
-    Ok(edits)
+    rctree_sta::script::parse_eco_script(text)
+        .map_err(|e| CliError::Script(e.message().to_string()))
 }
 
 /// The result of an ECO session: the rendered per-edit log and the final
@@ -832,6 +968,7 @@ pub fn run_eco(deck: &str, script: &str, opts: &Options) -> Result<EcoOutcome, C
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rctree_sta::EcoEditKind;
 
     const FIG7_DECK: &str = "\
 R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output n2\n";
@@ -1112,6 +1249,155 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             ]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_and_report_arguments_parse_and_validate() {
+        let opts = parse_args([
+            "serve", "--budget", "1e-7", "--port", "7411", "--driver", "buf_8x", "a.spef", "b.spef",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.command,
+            Command::Serve {
+                decks: vec!["a.spef".into(), "b.spef".into()],
+                driver: "buf_8x".into(),
+                port: 7411,
+            }
+        );
+        assert_eq!(opts.format, InputFormat::Spef);
+
+        let opts = parse_args(["report", "--budget", "1e-7", "deck.spef"]).unwrap();
+        assert_eq!(
+            opts.command,
+            Command::DeckReport {
+                decks: vec!["deck.spef".into()],
+                driver: "inv_4x".into(),
+            }
+        );
+
+        // Budget is mandatory, decks are mandatory, port is serve-only.
+        assert!(matches!(
+            parse_args(["serve", "deck.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--port", "7411", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["serve", "--budget", "1e-7", "--port", "worst", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bench_client_and_gen_deck_arguments_parse_and_validate() {
+        let opts = parse_args([
+            "bench-client",
+            "--connections",
+            "8",
+            "--requests",
+            "250",
+            "--seed",
+            "42",
+            "--eco-fraction",
+            "0.25",
+            "--out",
+            "/tmp/bench.json",
+            "--shutdown",
+            "127.0.0.1:7411",
+            "deck.spef",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.command,
+            Command::BenchClient {
+                addr: "127.0.0.1:7411".into(),
+                deck: "deck.spef".into(),
+                connections: 8,
+                requests: 250,
+                seed: 42,
+                eco_fraction: 0.25,
+                out: "/tmp/bench.json".into(),
+                shutdown: true,
+            }
+        );
+
+        // Defaults.
+        let opts = parse_args(["bench-client", "127.0.0.1:7411", "deck.spef"]).unwrap();
+        assert_eq!(
+            opts.command,
+            Command::BenchClient {
+                addr: "127.0.0.1:7411".into(),
+                deck: "deck.spef".into(),
+                connections: 4,
+                requests: 100,
+                seed: 1,
+                eco_fraction: 0.0,
+                out: "target/BENCH_serve.json".into(),
+                shutdown: false,
+            }
+        );
+
+        let opts = parse_args(["gen-deck", "--nets", "9", "--seed", "3"]).unwrap();
+        assert_eq!(opts.command, Command::GenDeck { nets: 9, seed: 3 });
+        assert_eq!(
+            parse_args(["gen-deck"]).unwrap().command,
+            Command::GenDeck { nets: 64, seed: 1 }
+        );
+
+        // Mode-mismatched flags are refused rather than ignored.
+        assert!(matches!(
+            parse_args(["bench-client", "127.0.0.1:1", "d.spef", "--nets", "4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["gen-deck", "--connections", "4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["bench-client", "--eco-fraction", "1.5", "a", "b"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--seed", "3", "tree.sp"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["bench-client", "only-addr"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn deck_report_renders_the_design_report() {
+        let texts = vec![ECO_DECK.to_string()];
+        let report = deck_report(&texts, "inv_4x", 0.5, 60e-9, 1).unwrap();
+        assert_eq!(report.certification, Some(Certification::Pass));
+        assert!(report.text.contains("timing report"), "{}", report.text);
+        assert!(report.text.contains("worst slack"), "{}", report.text);
+        // Both deck nets produced endpoints.
+        assert!(report.text.contains("fast/x") && report.text.contains("slow/y"));
+
+        // Duplicate net names across decks are rejected (the nets collide).
+        let err = deck_report(
+            &[ECO_DECK.to_string(), ECO_DECK.to_string()],
+            "inv_4x",
+            0.5,
+            60e-9,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Analysis(_)), "{err:?}");
+
+        // A bad driver cell is an analysis error.
+        let err = deck_report(&texts, "nand_999x", 0.5, 60e-9, 1).unwrap_err();
+        assert!(matches!(err, CliError::Analysis(_)), "{err:?}");
     }
 
     #[test]

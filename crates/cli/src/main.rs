@@ -12,10 +12,11 @@ use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 use rctree_cli::{
-    load_tree, parse_args, parse_eco_script_line, report, run_eco, CliError, Command, EcoSession,
-    Options, ScriptLine, USAGE,
+    deck_design, deck_report, load_tree, parse_args, parse_eco_script_line, report, run_eco,
+    CliError, Command, EcoSession, Options, ScriptLine, USAGE,
 };
 use rctree_core::cert::Certification;
+use rctree_core::units::Seconds;
 
 fn read_input(path: &str) -> Result<String, String> {
     if path == "-" {
@@ -55,28 +56,36 @@ fn main() -> ExitCode {
         }
     };
 
-    let text = match read_input(&opts.path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
     match &opts.command {
-        Command::Report => match load_tree(&text, &opts).and_then(|tree| report(&tree, &opts)) {
-            Ok(report) => {
-                print!("{report}");
-                // The verdict must be visible to scripts and CI, not just
-                // humans reading stdout: fail → 1, unproven → 2.
-                verdict_exit(report.certification)
+        Command::Report => {
+            let text = match read_input(&opts.path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match load_tree(&text, &opts).and_then(|tree| report(&tree, &opts)) {
+                Ok(report) => {
+                    print!("{report}");
+                    // The verdict must be visible to scripts and CI, not
+                    // just humans reading stdout: fail → 1, unproven → 2.
+                    verdict_exit(report.certification)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        }
         Command::Eco { script, watch, .. } => {
+            let text = match read_input(&opts.path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             if *watch {
                 return run_watch(&text, script, &opts);
             }
@@ -98,7 +107,206 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Command::DeckReport { decks, driver } => {
+            let texts = match read_all(decks) {
+                Ok(texts) => texts,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let budget = opts.budget.expect("report mode requires --budget");
+            let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+            match deck_report(&texts, driver, opts.threshold, budget, jobs) {
+                Ok(report) => {
+                    print!("{}", report.text);
+                    verdict_exit(report.certification)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Command::Serve {
+            decks,
+            driver,
+            port,
+        } => run_serve(&opts, decks, driver, *port),
+        Command::BenchClient {
+            addr,
+            deck,
+            connections,
+            requests,
+            seed,
+            eco_fraction,
+            out,
+            shutdown,
+        } => run_bench_client(
+            &opts,
+            addr,
+            deck,
+            *connections,
+            *requests,
+            *seed,
+            *eco_fraction,
+            out,
+            *shutdown,
+        ),
+        Command::GenDeck { nets, seed } => {
+            let params = rctree_workloads::SpefDeckParams {
+                nets: *nets,
+                ..rctree_workloads::SpefDeckParams::default()
+            };
+            print!("{}", rctree_workloads::spef_deck(&params, *seed));
+            ExitCode::SUCCESS
+        }
     }
+}
+
+/// Reads every deck path (supporting `-` once for standard input).
+fn read_all(paths: &[String]) -> Result<Vec<String>, String> {
+    paths.iter().map(|p| read_input(p)).collect()
+}
+
+/// `rcdelay serve`: build the deck design, start the server, and block
+/// until a client sends `SHUTDOWN`.
+fn run_serve(opts: &Options, decks: &[String], driver: &str, port: u16) -> ExitCode {
+    let texts = match read_all(decks) {
+        Ok(texts) => texts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let budget = opts.budget.expect("serve mode requires --budget");
+    let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+    let design = match deck_design(&texts, driver, jobs) {
+        Ok(design) => design,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = rctree_serve::ServeConfig {
+        threshold: opts.threshold,
+        required_time: Seconds::new(budget),
+        jobs,
+    };
+    let server = match rctree_serve::Server::start(design, &config, ("127.0.0.1", port)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The listening line is the machine-readable handshake: scripts (and
+    // the CI smoke step) scrape the bound address from it.
+    emit(&format!(
+        "rctree-serve listening on {} ({} nets, threshold {}, budget {budget:e} s, {jobs} jobs)",
+        server.local_addr(),
+        server.net_count(),
+        opts.threshold
+    ));
+    server.join();
+    emit("rctree-serve stopped");
+    ExitCode::SUCCESS
+}
+
+/// `rcdelay bench-client`: drive a running server with a seeded request
+/// mix and write the JSON summary.
+#[allow(clippy::too_many_arguments)]
+fn run_bench_client(
+    opts: &Options,
+    addr: &str,
+    deck: &str,
+    connections: usize,
+    requests: usize,
+    seed: u64,
+    eco_fraction: f64,
+    out: &str,
+    shutdown: bool,
+) -> ExitCode {
+    use std::net::ToSocketAddrs;
+
+    let text = match read_input(deck) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+    let nets = match rctree_netlist::parse_spef_deck(&text, jobs) {
+        Ok(nets) => nets
+            .into_iter()
+            .map(|n| (n.name, n.tree))
+            .collect::<Vec<_>>(),
+        Err(e) => {
+            eprintln!("error: netlist error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = rctree_workloads::RequestMixParams {
+        requests_per_connection: requests,
+        eco_fraction,
+        certify_budget: opts.budget.unwrap_or(100e-9),
+    };
+    let scripts = rctree_workloads::request_mix(&nets, connections, &params, seed);
+    let socket = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(socket) => socket,
+        None => {
+            eprintln!("error: cannot resolve `{addr}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match rctree_serve::run_load(socket, &scripts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: load run against {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit(&format!(
+        "bench-client: {} connections x {} requests -> {:.0} queries/s \
+         (p50 {:.0} us, p90 {:.0} us, p99 {:.0} us, {} protocol errors)",
+        report.connections,
+        requests,
+        report.queries_per_s,
+        report.p50_us,
+        report.p90_us,
+        report.p99_us,
+        report.protocol_errors
+    ));
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(out, report.to_json()) {
+        eprintln!("error: cannot write `{out}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    emit(&format!("summary written to {out}"));
+    if shutdown {
+        if let Err(e) = send_shutdown(socket) {
+            eprintln!("error: SHUTDOWN failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Sends `SHUTDOWN` on a fresh connection and waits for its `OK`.
+fn send_shutdown(addr: std::net::SocketAddr) -> std::io::Result<()> {
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    writeln!(writer, "SHUTDOWN")?;
+    writer.flush()?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(())
 }
 
 /// Prints a session line immediately (stdout is block-buffered when piped,

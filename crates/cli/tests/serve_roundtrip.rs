@@ -1,0 +1,113 @@
+//! Binary-level round-trip: a `rcdelay serve` process's `REPORT` payload
+//! must be byte-identical to offline `rcdelay report` output on the same
+//! deck — the read-only server is just the offline report behind a socket.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn rcdelay() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcdelay"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcdelay-serve-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("temp file");
+    path
+}
+
+/// Kills the child on drop so a failing assertion can't leak a listener.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn server_report_is_bit_identical_to_offline_report() {
+    // A reproducible deck from the binary itself.
+    let gen = rcdelay()
+        .args(["gen-deck", "--nets", "10", "--seed", "5"])
+        .output()
+        .expect("gen-deck runs");
+    assert!(gen.status.success(), "{gen:?}");
+    let deck = write_temp("deck.spef", &String::from_utf8(gen.stdout).expect("utf8"));
+    let deck = deck.to_str().unwrap();
+
+    // The offline report.
+    let offline = rcdelay()
+        .args(["report", "--budget", "2e-7", deck])
+        .output()
+        .expect("report runs");
+    assert!(offline.status.success(), "{offline:?}");
+    let offline_text = String::from_utf8(offline.stdout).expect("utf8");
+    assert!(offline_text.contains("timing report"), "{offline_text}");
+
+    // A server on the same deck, ephemeral port scraped from its
+    // handshake line.
+    let child = rcdelay()
+        .args(["serve", "--budget", "2e-7", "--port", "0", deck])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut child = Reap(child);
+    let mut server_out = BufReader::new(child.0.stdout.take().expect("piped stdout"));
+    let mut handshake = String::new();
+    server_out.read_line(&mut handshake).expect("handshake");
+    assert!(
+        handshake.contains("listening on "),
+        "unexpected handshake: {handshake}"
+    );
+    let addr = handshake
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in handshake")
+        .to_string();
+
+    // REPORT over the wire; the payload is everything before the final
+    // `OK rev 0` line.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "REPORT").expect("send");
+    writer.flush().expect("flush");
+    let mut payload = String::new();
+    loop {
+        let mut line = String::new();
+        assert_ne!(reader.read_line(&mut line).expect("read"), 0, "early EOF");
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.starts_with("OK ") || trimmed.starts_with("ERR ") {
+            assert_eq!(trimmed, "OK rev 0");
+            break;
+        }
+        payload.push_str(trimmed);
+        payload.push('\n');
+    }
+    assert_eq!(
+        payload, offline_text,
+        "server REPORT payload differs from offline `rcdelay report`"
+    );
+
+    // Stop the server through the protocol and let it exit cleanly.
+    writeln!(writer, "SHUTDOWN").expect("send");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("ok");
+    assert_eq!(line.trim_end(), "OK rev 0");
+    let status = child.0.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
+    let mut rest = String::new();
+    server_out.read_to_string(&mut rest).expect("drain stdout");
+    assert!(
+        rest.contains("stopped"),
+        "server did not log shutdown: {rest}"
+    );
+}

@@ -150,8 +150,9 @@ pub fn parse_spef_net(text: &str, net_name: &str) -> Result<SpefNet> {
 }
 
 /// One `*D_NET` section located by the deck splitter: the parsed header
-/// plus the absolute (0-based) line range of the section body, so the
-/// section can be parsed independently of the rest of the document with
+/// plus the absolute **byte** range of the section body (and the header's
+/// line number), so the section can be parsed independently of the rest of
+/// the document — straight off a subslice of the original text — with
 /// correct line numbers in every error.
 #[derive(Debug, Clone)]
 struct DeckSection {
@@ -163,50 +164,63 @@ struct DeckSection {
     c_unit: f64,
     /// 1-based line number of the `*D_NET` header.
     header_line: usize,
-    /// 0-based line range of the body, from the line after the header
-    /// through the `*END` line (or end of input when `*END` is missing).
+    /// Byte range of the body, from the byte after the header line through
+    /// the end of the `*END` line (or end of input when `*END` is
+    /// missing).
     body: (usize, usize),
 }
 
 /// Locates every `*D_NET` section and the unit scales in effect at each,
 /// without parsing section bodies.
-fn split_deck(lines: &[&str]) -> Result<Vec<DeckSection>> {
+///
+/// One sequential pass over the raw bytes (`split_inclusive('\n')` with a
+/// running offset — no intermediate `Vec` of line slices, so a
+/// multi-hundred-MB deck costs the scan and nothing else).  Line contents
+/// are interpreted exactly as `str::lines` would hand them to the serial
+/// parser: the trailing `\n` and any `\r` before it are stripped.
+fn split_deck(text: &str) -> Result<Vec<DeckSection>> {
     let mut sections = Vec::new();
     let mut units = Units::default();
-    let mut i = 0;
-    while i < lines.len() {
-        let line_no = i + 1;
-        let line = strip_comment(lines[i]);
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    // The section currently awaiting its `*END` line, if any.  While one
+    // is open every line — stray `*D_NET` headers and unit directives
+    // included — belongs to its body, exactly as the serial parser
+    // consumes them.
+    let mut open: Option<DeckSection> = None;
+    for seg in text.split_inclusive('\n') {
+        line_no += 1;
+        offset += seg.len();
+        let raw = seg
+            .strip_suffix('\n')
+            .map(|s| s.strip_suffix('\r').unwrap_or(s))
+            .unwrap_or(seg);
+        let line = strip_comment(raw);
+        if let Some(section) = open.as_mut() {
+            if line.to_ascii_uppercase().starts_with("*END") {
+                section.body.1 = offset;
+                sections.push(open.take().expect("section is open"));
+            }
+            continue;
+        }
         if line.is_empty() {
-            i += 1;
             continue;
         }
         if let Some((name, declared_total_cap)) = units.scan_top_level(line, line_no)? {
-            // The body runs through the matching `*END`.  Lines inside it
-            // (including any stray `*D_NET`) belong to the section, exactly
-            // as the serial parser consumes them.
-            let mut j = i + 1;
-            while j < lines.len()
-                && !strip_comment(lines[j])
-                    .to_ascii_uppercase()
-                    .starts_with("*END")
-            {
-                j += 1;
-            }
-            let body_end = (j + 1).min(lines.len());
-            sections.push(DeckSection {
+            open = Some(DeckSection {
                 name,
                 declared_total_cap,
                 r_unit: units.r,
                 c_unit: units.c,
                 header_line: line_no,
-                body: (i + 1, body_end),
+                // The body starts right after the header line; a missing
+                // `*END` leaves it running to the end of input, where
+                // `parse_d_net` reports the error at the header.
+                body: (offset, text.len()),
             });
-            i = body_end;
-            continue;
         }
-        i += 1;
     }
+    sections.extend(open);
     Ok(sections)
 }
 
@@ -214,13 +228,15 @@ fn split_deck(lines: &[&str]) -> Result<Vec<DeckSection>> {
 /// sections out over `jobs` worker threads.
 ///
 /// This is the deck-scale entry point: the document is first split on
-/// `*D_NET` section boundaries in one cheap sequential scan (which also
-/// resolves the `*R_UNIT`/`*C_UNIT` scales in effect at each section), and
-/// the sections — where all the real parsing work is — are then parsed
-/// independently in parallel.  The result is **bit-identical** to
-/// [`parse_spef`] for every `jobs` value: nets are returned in document
-/// order and each section sees exactly the lines and unit scales the serial
-/// parser would give it, with absolute line numbers in every error.
+/// `*D_NET` section boundaries in one cheap sequential **byte-offset**
+/// scan (which also resolves the `*R_UNIT`/`*C_UNIT` scales in effect at
+/// each section, and never materialises a line table), and the sections —
+/// where all the real parsing work is — are then parsed independently in
+/// parallel, each straight off its subslice of the input.  The result is
+/// **bit-identical** to [`parse_spef`] for every `jobs` value: nets are
+/// returned in document order and each section sees exactly the lines and
+/// unit scales the serial parser would give it, with absolute line numbers
+/// in every error.
 ///
 /// On an invalid document the error returned is the first failing section
 /// in document order (a malformed unit directive or `*D_NET` header found
@@ -231,17 +247,18 @@ fn split_deck(lines: &[&str]) -> Result<Vec<DeckSection>> {
 /// The same errors as [`parse_spef`], including [`NetlistError::Empty`]
 /// when the document holds no `*D_NET` at all.
 pub fn parse_spef_deck(text: &str, jobs: usize) -> Result<Vec<SpefNet>> {
-    let lines: Vec<&str> = text.lines().collect();
-    let sections = split_deck(&lines)?;
+    let sections = split_deck(text)?;
     if sections.is_empty() {
         return Err(NetlistError::Empty);
     }
-    let lines = &lines;
     rctree_par::par_map_indexed(jobs, &sections, |_, sec| {
-        let mut body = lines[sec.body.0..sec.body.1]
-            .iter()
+        // The header is line `header_line` (1-based), so the body's first
+        // line has 0-based index `header_line` — `parse_d_net` reports
+        // `idx + 1`, giving absolute document line numbers.
+        let mut body = text[sec.body.0..sec.body.1]
+            .lines()
             .enumerate()
-            .map(|(k, &raw)| (sec.body.0 + k, raw));
+            .map(|(k, raw)| (sec.header_line + k, raw));
         parse_d_net(
             &mut body,
             sec.name.clone(),
@@ -679,5 +696,43 @@ mod tests {
             parse_spef_deck("// nothing\n", 4),
             Err(NetlistError::Empty)
         ));
+    }
+
+    #[test]
+    fn byte_splitter_handles_crlf_and_missing_trailing_newline() {
+        // CRLF line endings: the byte scanner must strip `\r` exactly like
+        // `str::lines` does for the serial parser.
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        assert_eq!(
+            parse_spef_deck(&crlf, 2).unwrap(),
+            parse_spef(&crlf).unwrap()
+        );
+
+        // A document whose final `*END` lacks a trailing newline still
+        // closes the last section.
+        let trimmed = replicated_deck(3);
+        let trimmed = trimmed.trim_end_matches('\n');
+        assert_eq!(
+            parse_spef_deck(trimmed, 2).unwrap(),
+            parse_spef(trimmed).unwrap()
+        );
+
+        // Section followed by trailing top-level noise only.
+        let noisy = format!("{SAMPLE}\n// trailing comment\n\n");
+        assert_eq!(
+            parse_spef_deck(&noisy, 2).unwrap(),
+            parse_spef(&noisy).unwrap()
+        );
+    }
+
+    #[test]
+    fn byte_splitter_treats_in_body_headers_as_body_lines() {
+        // A stray `*D_NET`-looking line inside an unterminated body belongs
+        // to that body; both parsers agree the document is one broken net,
+        // reported at the first header.
+        let text = "*D_NET outer 1\n*CONN\n*I drv I\n*D_NET inner 2\n*CAP\n1 x 1\n";
+        let serial = parse_spef(text).unwrap_err();
+        let deck = parse_spef_deck(text, 2).unwrap_err();
+        assert_eq!(format!("{serial}"), format!("{deck}"));
     }
 }

@@ -1,0 +1,60 @@
+//! # rctree-serve
+//!
+//! A concurrent timing-query + ECO server over the incremental STA engine:
+//! the subsystem that turns the library into a long-running service.
+//!
+//! The paper's delay bounds are cheap enough to answer interactively, and
+//! the PR-3/PR-4 ECO engine re-times an edit in `O(depth)` — this crate
+//! puts both behind a hand-rolled multi-threaded TCP server (`std::net`
+//! only; the workspace is offline) speaking a line-based text protocol:
+//!
+//! ```text
+//! QUERY <net> [node]      cached sink windows / per-node characteristic times
+//! REPORT                  full design timing report (== offline `rcdelay report`)
+//! ECO <edit-script-line>  transactional edits, one slack-delta line per edit
+//! CERTIFY <budget>        three-valued certification against any budget
+//! STATS                   server counters
+//! QUIT                    close this connection
+//! SHUTDOWN                stop the server
+//! ```
+//!
+//! ## Concurrency model
+//!
+//! * **Readers never block on analysis.**  Every read verb answers
+//!   against an immutable [`DesignSnapshot`] loaded from the
+//!   [`SnapshotStore`] — one `Arc` clone under a nanosecond-scale lock —
+//!   so read throughput scales with connection threads, and a snapshot
+//!   once loaded stays self-consistent no matter how many edits commit
+//!   after it.
+//! * **Writes serialize.**  All `ECO` requests funnel through the single
+//!   [`EcoExecutor`] behind a mutex; each accepted directive applies on
+//!   the cone-limited incremental path and publishes the successor
+//!   snapshot atomically, bumping the revision by one.
+//! * **Every response is attributable.**  The final `OK rev <r>` /
+//!   `ERR rev <r> …` line names the revision the response was computed
+//!   against, so each response is byte-identical to a serial oracle that
+//!   replays the server's accepted-edit order to revision `r` — the
+//!   guarantee `tests/server_sessions.rs` pins under concurrent clients.
+//!
+//! See `crates/serve/README.md` for the wire grammar and the consistency
+//! model in full.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod store;
+
+pub use crate::loadgen::{run_load, LoadReport};
+pub use crate::protocol::Request;
+pub use crate::server::{ServeConfig, ServeError, Server};
+pub use crate::session::{EcoCounts, EcoExecutor};
+pub use crate::store::{ServerStats, SnapshotStore};
+
+// Re-exported so protocol consumers (oracle tests, the CLI) name the
+// snapshot type without a direct rctree-sta dependency.
+pub use rctree_sta::DesignSnapshot;

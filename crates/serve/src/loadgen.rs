@@ -1,0 +1,175 @@
+//! A multi-connection load generator for the wire protocol.
+//!
+//! Drives `K` concurrent connections, each issuing its own request script
+//! (one request per line, responses read to their final `OK`/`ERR` line),
+//! and aggregates throughput plus latency percentiles.  This is the engine
+//! behind `rcdelay bench-client` and the `serve_throughput` bench.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use crate::protocol;
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Concurrent connections driven.
+    pub connections: usize,
+    /// Requests completed (across all connections).
+    pub requests: usize,
+    /// Responses whose final line was `ERR`.
+    pub protocol_errors: usize,
+    /// Wall-clock time of the whole run, in seconds.
+    pub elapsed_s: f64,
+    /// Completed requests per second of wall-clock time.
+    pub queries_per_s: f64,
+    /// Median request latency, in microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile request latency, in microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile request latency, in microseconds.
+    pub p99_us: f64,
+    /// Worst request latency, in microseconds.
+    pub max_us: f64,
+}
+
+impl LoadReport {
+    /// Renders the report as the `BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"connections\": {},\n  \"requests\": {},\n  \
+             \"protocol_errors\": {},\n  \"elapsed_s\": {},\n  \"queries_per_s\": {},\n  \
+             \"p50_us\": {},\n  \"p90_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {}\n}}\n",
+            self.connections,
+            self.requests,
+            self.protocol_errors,
+            self.elapsed_s,
+            self.queries_per_s,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us
+        )
+    }
+}
+
+/// The nearest-rank percentile of an already **sorted** latency list.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs one connection's script, returning `(latency_us, was_err)` per
+/// request.
+fn run_connection(addr: SocketAddr, script: &[String]) -> io::Result<Vec<(f64, bool)>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut samples = Vec::with_capacity(script.len());
+    let mut line = String::new();
+    for request in script {
+        let start = Instant::now();
+        writeln!(writer, "{request}")?;
+        writer.flush()?;
+        let is_err = loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if protocol::is_final(trimmed) {
+                break trimmed.starts_with("ERR");
+            }
+        };
+        samples.push((start.elapsed().as_secs_f64() * 1e6, is_err));
+    }
+    Ok(samples)
+}
+
+/// Drives one script per connection concurrently against `addr` and
+/// aggregates the results.
+///
+/// # Errors
+///
+/// The first connection/transport error of any connection thread (protocol
+/// `ERR` responses are *not* transport errors; they are tallied in
+/// [`LoadReport::protocol_errors`]).
+pub fn run_load(addr: SocketAddr, scripts: &[Vec<String>]) -> io::Result<LoadReport> {
+    let start = Instant::now();
+    let results: Vec<io::Result<Vec<(f64, bool)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| scope.spawn(move || run_connection(addr, script)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err(io::Error::other("load connection thread panicked")),
+            })
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut protocol_errors = 0usize;
+    for result in results {
+        for (us, is_err) in result? {
+            latencies.push(us);
+            protocol_errors += usize::from(is_err);
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let requests = latencies.len();
+    Ok(LoadReport {
+        connections: scripts.len(),
+        requests,
+        protocol_errors,
+        elapsed_s,
+        queries_per_s: requests as f64 / elapsed_s.max(1e-12),
+        p50_us: percentile(&latencies, 50.0),
+        p90_us: percentile(&latencies, 90.0),
+        p99_us: percentile(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough_to_grep() {
+        let report = LoadReport {
+            connections: 4,
+            requests: 100,
+            protocol_errors: 0,
+            elapsed_s: 0.5,
+            queries_per_s: 200.0,
+            p50_us: 10.0,
+            p90_us: 20.0,
+            p99_us: 30.0,
+            max_us: 40.0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"queries_per_s\": 200"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

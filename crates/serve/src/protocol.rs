@@ -1,0 +1,295 @@
+//! The wire protocol: request grammar and response rendering.
+//!
+//! Requests are single text lines; responses are blocks of zero or more
+//! payload lines terminated by exactly one final line beginning with
+//! `OK rev <r>` or `ERR rev <r> <message>` (see `crates/serve/README.md`
+//! for the full grammar).  The revision `r` names the snapshot the
+//! response was computed against, which is what makes every response
+//! *attributable*: a client (or a test oracle) can replay the server's
+//! accepted-edit order to revision `r` and re-derive the response
+//! byte-for-byte.
+//!
+//! Rendering lives here as pure functions over a [`DesignSnapshot`] so the
+//! connection handlers and the serial-oracle equivalence tests share one
+//! formatter — the equivalence pinned by `tests/server_sessions.rs` is
+//! then exactly the concurrency model (which snapshot a response saw), not
+//! accidental formatting drift.
+
+use rctree_core::units::Seconds;
+use rctree_sta::{DesignSnapshot, Load};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `QUERY <net> [node]` — cached sink windows of a net, or on-demand
+    /// characteristic times and delay bounds at one interconnect node.
+    Query {
+        /// Net name.
+        net: String,
+        /// Optional node name within the net's interconnect.
+        node: Option<String>,
+    },
+    /// `REPORT` — the full design timing report.
+    Report,
+    /// `ECO <edit-script-line>` — one edit-script line (the `rcdelay eco`
+    /// grammar; several `;`-separated directives allowed).
+    Eco {
+        /// The raw script line (everything after the verb).
+        script: String,
+    },
+    /// `CERTIFY <budget-seconds>` — three-valued certification against an
+    /// arbitrary budget.
+    Certify {
+        /// Required arrival time in seconds.
+        budget: f64,
+    },
+    /// `STATS` — server counters (not part of the deterministic surface).
+    Stats,
+    /// `QUIT` — close this connection.
+    Quit,
+    /// `SHUTDOWN` — stop the whole server (connections drain, the
+    /// listener closes).
+    Shutdown,
+}
+
+/// Parses one request line.  Returns `Ok(None)` for blank lines (they get
+/// no response), `Err(message)` for malformed requests.
+///
+/// Verbs are case-insensitive; net and node names are case-sensitive.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let verb = trimmed.split_whitespace().next().expect("non-empty");
+    let rest = trimmed[verb.len()..].trim();
+    let args: Vec<&str> = rest.split_whitespace().collect();
+    let exact = |want: usize, usage: &str| -> Result<(), String> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(format!("`{verb}` takes {usage}"))
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "QUERY" => match args.as_slice() {
+            [net] => Ok(Some(Request::Query {
+                net: (*net).to_string(),
+                node: None,
+            })),
+            [net, node] => Ok(Some(Request::Query {
+                net: (*net).to_string(),
+                node: Some((*node).to_string()),
+            })),
+            _ => Err("`QUERY` takes <net> [node]".into()),
+        },
+        "REPORT" => {
+            exact(0, "no arguments")?;
+            Ok(Some(Request::Report))
+        }
+        "ECO" => {
+            if rest.is_empty() {
+                Err("`ECO` takes an edit-script line".into())
+            } else {
+                Ok(Some(Request::Eco {
+                    script: rest.to_string(),
+                }))
+            }
+        }
+        "CERTIFY" => {
+            exact(1, "<budget-seconds>")?;
+            let budget = args[0]
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("`CERTIFY`: `{}` is not a finite number", args[0]))?;
+            Ok(Some(Request::Certify { budget }))
+        }
+        "STATS" => {
+            exact(0, "no arguments")?;
+            Ok(Some(Request::Stats))
+        }
+        "QUIT" => {
+            exact(0, "no arguments")?;
+            Ok(Some(Request::Quit))
+        }
+        "SHUTDOWN" => {
+            exact(0, "no arguments")?;
+            Ok(Some(Request::Shutdown))
+        }
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+/// The success terminator of a response block.
+pub fn ok_line(rev: u64) -> String {
+    format!("OK rev {rev}")
+}
+
+/// The failure terminator of a response block.
+pub fn err_line(rev: u64, message: &str) -> String {
+    format!("ERR rev {rev} {message}")
+}
+
+/// Whether a line terminates a response block.
+pub fn is_final(line: &str) -> bool {
+    line.starts_with("OK ") || line.starts_with("ERR ") || line == "OK" || line == "ERR"
+}
+
+/// Extracts the revision from a final line (`OK rev <r>` / `ERR rev <r> …`).
+pub fn final_revision(line: &str) -> Option<u64> {
+    let mut tokens = line.split_whitespace();
+    let status = tokens.next()?;
+    if status != "OK" && status != "ERR" {
+        return None;
+    }
+    if tokens.next()? != "rev" {
+        return None;
+    }
+    tokens.next()?.parse().ok()
+}
+
+/// Renders what a sink drives.
+fn load_text(load: &Load) -> String {
+    match load {
+        Load::Instance(inst) => format!("inst {inst}"),
+        Load::PrimaryOutput(po) => format!("po {po}"),
+    }
+}
+
+/// Renders the response block of `QUERY <net> [node]` against one
+/// snapshot.
+pub fn render_query(
+    snapshot: &DesignSnapshot,
+    rev: u64,
+    net: &str,
+    node: Option<&str>,
+) -> Vec<String> {
+    let Some(timing) = snapshot.net(net) else {
+        return vec![err_line(rev, &format!("unknown net `{net}`"))];
+    };
+    match node {
+        None => {
+            let mut lines: Vec<String> = timing
+                .sinks()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "sink {} drives {} lower {:e} upper {:e}",
+                        s.node,
+                        load_text(&s.load),
+                        s.lower.value(),
+                        s.upper.value()
+                    )
+                })
+                .collect();
+            lines.push(ok_line(rev));
+            lines
+        }
+        Some(node) => match timing.node_times(node, snapshot.threshold()) {
+            Ok((times, bounds)) => vec![
+                format!(
+                    "node {node} t_p {:e} t_d {:e} t_r {:e} elmore {:e} lower {:e} upper {:e}",
+                    times.t_p.value(),
+                    times.t_d.value(),
+                    times.t_r.value(),
+                    times.elmore_delay().value(),
+                    bounds.lower.value(),
+                    bounds.upper.value()
+                ),
+                ok_line(rev),
+            ],
+            Err(e) => vec![err_line(rev, &format!("query failed: {e}"))],
+        },
+    }
+}
+
+/// Renders the response block of `REPORT`: the payload is exactly the
+/// [`rctree_sta::TimingReport`] display text — byte-identical to what
+/// `rcdelay report` prints offline for the same design state.
+pub fn render_report(snapshot: &DesignSnapshot, rev: u64) -> Vec<String> {
+    let mut lines: Vec<String> = snapshot
+        .report()
+        .to_string()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines.push(ok_line(rev));
+    lines
+}
+
+/// Renders the response block of `CERTIFY <budget>`.
+pub fn render_certify(snapshot: &DesignSnapshot, rev: u64, budget: f64) -> Vec<String> {
+    let required = Seconds::new(budget);
+    let report = snapshot.report();
+    vec![
+        format!(
+            "certify required {:e} worst_slack {:e} {}",
+            budget,
+            report.slack_against(required).value(),
+            report.certification_against(required)
+        ),
+        ok_line(rev),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(parse_request("  "), Ok(None));
+        assert_eq!(
+            parse_request("QUERY clk"),
+            Ok(Some(Request::Query {
+                net: "clk".into(),
+                node: None
+            }))
+        );
+        assert_eq!(
+            parse_request("query clk n4"),
+            Ok(Some(Request::Query {
+                net: "clk".into(),
+                node: Some("n4".into())
+            }))
+        );
+        assert_eq!(parse_request("REPORT"), Ok(Some(Request::Report)));
+        assert_eq!(
+            parse_request("ECO setcap clk n4 2e-15; prune clk stub"),
+            Ok(Some(Request::Eco {
+                script: "setcap clk n4 2e-15; prune clk stub".into()
+            }))
+        );
+        assert_eq!(
+            parse_request("CERTIFY 5e-9"),
+            Ok(Some(Request::Certify { budget: 5e-9 }))
+        );
+        assert_eq!(parse_request("STATS"), Ok(Some(Request::Stats)));
+        assert_eq!(parse_request("QUIT"), Ok(Some(Request::Quit)));
+        assert_eq!(parse_request("shutdown"), Ok(Some(Request::Shutdown)));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_a_message() {
+        assert!(parse_request("QUERY").unwrap_err().contains("QUERY"));
+        assert!(parse_request("QUERY a b c").is_err());
+        assert!(parse_request("REPORT now").is_err());
+        assert!(parse_request("CERTIFY abc").unwrap_err().contains("`abc`"));
+        assert!(parse_request("CERTIFY inf").is_err());
+        assert!(parse_request("ECO").is_err());
+        assert!(parse_request("FROBNICATE x")
+            .unwrap_err()
+            .contains("`FROBNICATE`"));
+    }
+
+    #[test]
+    fn final_lines_carry_the_revision() {
+        assert!(is_final(&ok_line(7)));
+        assert!(is_final(&err_line(3, "nope")));
+        assert!(!is_final("sink n4 drives po out lower 1e-9 upper 2e-9"));
+        assert_eq!(final_revision(&ok_line(7)), Some(7));
+        assert_eq!(final_revision(&err_line(3, "nope")), Some(3));
+        assert_eq!(final_revision("sink x"), None);
+    }
+}

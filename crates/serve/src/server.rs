@@ -1,0 +1,331 @@
+//! The TCP listener, connection threads, and request dispatch.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rctree_core::units::Seconds;
+use rctree_sta::{Design, StaError};
+
+use crate::protocol::{self, Request};
+use crate::session::EcoExecutor;
+use crate::store::{ServerStats, SnapshotStore};
+
+/// How long a blocked accept/read waits before re-checking the shutdown
+/// flag (`std::net` has no readiness notification without `unsafe` or an
+/// external dependency, so both loops poll on this granularity).
+const POLL: Duration = Duration::from_millis(25);
+
+/// Analysis parameters of a server instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Switching threshold for every stage delay.
+    pub threshold: f64,
+    /// Required arrival time (the slack/certification budget).
+    pub required_time: Seconds,
+    /// Worker threads for the initial analysis and ECO re-timing.
+    pub jobs: usize,
+}
+
+/// Errors starting a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The baseline analysis of the design failed.
+    Sta(StaError),
+    /// Binding or configuring the listener failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sta(e) => write!(f, "baseline analysis failed: {e}"),
+            ServeError::Io(e) => write!(f, "cannot start server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StaError> for ServeError {
+    fn from(e: StaError) -> Self {
+        ServeError::Sta(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+#[derive(Debug)]
+struct Shared {
+    store: SnapshotStore,
+    writer: Mutex<EcoExecutor>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    /// Accepted directives in commit order — the audit log the
+    /// serial-oracle equivalence tests replay.
+    eco_log: Mutex<Vec<String>>,
+}
+
+/// A running timing server.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`Server::shutdown`] (or have a client send `SHUTDOWN`) and then
+/// [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Warms the design, publishes the baseline snapshot (revision 0),
+    /// binds the listener, and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Sta`] if the baseline analysis fails;
+    /// * [`ServeError::Io`] if the listener cannot be bound.
+    pub fn start(
+        design: Design,
+        config: &ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Server, ServeError> {
+        let executor =
+            EcoExecutor::new(design, config.threshold, config.required_time, config.jobs)?;
+        let store = SnapshotStore::new(executor.snapshot());
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            writer: Mutex::new(executor),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            eco_log: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the actual port when started with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The latest committed revision.
+    pub fn revision(&self) -> u64 {
+        self.shared.store.load().1
+    }
+
+    /// Number of nets in the served design.
+    pub fn net_count(&self) -> usize {
+        self.shared.store.load().0.net_count()
+    }
+
+    /// The accepted-directive log, in commit order.
+    pub fn eco_log(&self) -> Vec<String> {
+        lock(&self.shared.eco_log).clone()
+    }
+
+    /// Requests shutdown: the listener stops accepting and every
+    /// connection closes after its in-flight request.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop and every connection thread exit
+    /// (after [`Server::shutdown`] or a client `SHUTDOWN`).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Accepts connections until shutdown, then joins every handler.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                ServerStats::bump(&shared.stats.connections);
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, shared)
+                }));
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// What to do after responding to one request.
+enum After {
+    Continue,
+    Close,
+}
+
+/// One connection: read request lines, write response blocks, until EOF,
+/// `QUIT`, `SHUTDOWN`, or server shutdown.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // Reads poll so a parked connection notices server shutdown.
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut buf) {
+            // EOF.  A read timeout may have parked a partial request in
+            // `buf` (appended without its newline before the client
+            // closed); serve it before closing, exactly as the
+            // `at_eof` branch below does when EOF and data arrive in one
+            // read.
+            Ok(0) => {
+                if !buf.is_empty() {
+                    let line = buf.trim_end_matches(['\r', '\n']).to_string();
+                    buf.clear();
+                    let _ = respond(&line, &shared, &mut writer);
+                }
+                break;
+            }
+            Ok(_) => {
+                // `read_line` without a trailing newline means EOF cut the
+                // final line; serve it, then close.
+                let at_eof = !buf.ends_with('\n');
+                let line = buf.trim_end_matches(['\r', '\n']).to_string();
+                buf.clear();
+                match respond(&line, &shared, &mut writer) {
+                    Ok(After::Continue) if !at_eof => {}
+                    _ => break,
+                }
+            }
+            // Timeout while idle (or mid-line: partial data stays in `buf`
+            // and the next round continues it).
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parses one request line, serves it, writes the response block.
+fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<After> {
+    let mut after = After::Continue;
+    let lines = match protocol::parse_request(line) {
+        // Blank lines get no response at all.
+        Ok(None) => return Ok(After::Continue),
+        Err(message) => {
+            let (_, rev) = shared.store.load();
+            vec![protocol::err_line(rev, &format!("bad request: {message}"))]
+        }
+        Ok(Some(request)) => {
+            ServerStats::bump(&shared.stats.requests);
+            match request {
+                Request::Query { net, node } => {
+                    ServerStats::bump(&shared.stats.queries);
+                    let (snapshot, rev) = shared.store.load();
+                    protocol::render_query(&snapshot, rev, &net, node.as_deref())
+                }
+                Request::Report => {
+                    let (snapshot, rev) = shared.store.load();
+                    protocol::render_report(&snapshot, rev)
+                }
+                Request::Certify { budget } => {
+                    let (snapshot, rev) = shared.store.load();
+                    protocol::render_certify(&snapshot, rev, budget)
+                }
+                Request::Stats => render_stats(shared),
+                Request::Quit => {
+                    after = After::Close;
+                    vec![protocol::ok_line(shared.store.load().1)]
+                }
+                Request::Shutdown => {
+                    after = After::Close;
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    vec![protocol::ok_line(shared.store.load().1)]
+                }
+                Request::Eco { script } => {
+                    // All writers serialize here; reads keep flowing off
+                    // the store while this lock is held.
+                    let mut executor = lock(&shared.writer);
+                    let (lines, counts) = executor.exec_eco(
+                        &script,
+                        &mut |snapshot, rev| shared.store.publish(Arc::clone(snapshot), rev),
+                        &mut |summary| lock(&shared.eco_log).push(summary.to_string()),
+                    );
+                    ServerStats::add(&shared.stats.eco_applied, counts.applied);
+                    ServerStats::add(&shared.stats.eco_skipped, counts.skipped);
+                    lines
+                }
+            }
+        }
+    };
+    for line in &lines {
+        writeln!(out, "{line}")?;
+    }
+    out.flush()?;
+    Ok(after)
+}
+
+/// The `STATS` response block.
+fn render_stats(shared: &Shared) -> Vec<String> {
+    let (snapshot, rev) = shared.store.load();
+    vec![
+        format!(
+            "stats nets {} instances {} endpoints {} revision {} connections {} requests {} \
+             queries {} eco_applied {} eco_skipped {}",
+            snapshot.net_count(),
+            snapshot.instance_count(),
+            snapshot.report().endpoints.len(),
+            rev,
+            ServerStats::get(&shared.stats.connections),
+            ServerStats::get(&shared.stats.requests),
+            ServerStats::get(&shared.stats.queries),
+            ServerStats::get(&shared.stats.eco_applied),
+            ServerStats::get(&shared.stats.eco_skipped),
+        ),
+        protocol::ok_line(rev),
+    ]
+}

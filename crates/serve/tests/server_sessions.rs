@@ -1,0 +1,332 @@
+//! Concurrent-session equivalence: every response a live server hands any
+//! of K concurrent clients must be **byte-identical** to a serial oracle
+//! that replays the server's accepted-edit order — the protocol's
+//! attributability guarantee (`OK rev <r>` names the snapshot) made
+//! testable.
+//!
+//! The oracle is a fresh [`EcoExecutor`] over the same design, driven
+//! through the same pure rendering functions the connection handlers use;
+//! what the test pins is therefore exactly the concurrency model — that
+//! the `RwLock`-swapped snapshot store and the single-writer mutex never
+//! expose a torn or unserialisable state — not formatting trivia.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use rctree_core::tree::RcTree;
+use rctree_core::units::Seconds;
+use rctree_serve::protocol::{self, Request};
+use rctree_serve::{EcoExecutor, ServeConfig, Server};
+use rctree_sta::{CellLibrary, Design, DesignSnapshot};
+use rctree_workloads::{request_mix, RequestMixParams, SpefDeckParams};
+
+const THRESHOLD: f64 = 0.5;
+const BUDGET_S: f64 = 150e-9;
+
+fn deck_trees() -> Vec<(String, RcTree)> {
+    SpefDeckParams {
+        nets: 12,
+        ..SpefDeckParams::default()
+    }
+    .trees(0xC0FFEE)
+}
+
+fn design_of(trees: &[(String, RcTree)]) -> Design {
+    Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", trees.to_vec()).expect("deck builds")
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        threshold: THRESHOLD,
+        required_time: Seconds::new(BUDGET_S),
+        jobs: 1,
+    }
+}
+
+/// One client session: sends every request line, reads every response
+/// block to its final line.
+fn run_client(addr: SocketAddr, script: &[String]) -> Vec<Vec<String>> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    let mut responses = Vec::with_capacity(script.len());
+    for request in script {
+        writeln!(writer, "{request}").expect("send");
+        writer.flush().expect("flush");
+        let mut block = Vec::new();
+        loop {
+            let mut line = String::new();
+            assert_ne!(
+                reader.read_line(&mut line).expect("read"),
+                0,
+                "server closed mid-response to `{request}`"
+            );
+            let line = line.trim_end_matches(['\r', '\n']).to_string();
+            let done = protocol::is_final(&line);
+            block.push(line);
+            if done {
+                break;
+            }
+        }
+        responses.push(block);
+    }
+    responses
+}
+
+/// The final line's revision of a response block.
+fn block_rev(block: &[String]) -> u64 {
+    protocol::final_revision(block.last().expect("non-empty block")).expect("rev on final line")
+}
+
+/// Replays the captured run through a serial oracle and asserts every
+/// response byte-identical.
+fn verify_against_oracle(
+    trees: &[(String, RcTree)],
+    scripts: &[Vec<String>],
+    transcripts: &[Vec<Vec<String>>],
+    server_log: &[String],
+) {
+    // Partition the captured (request, response) pairs into reads and ECO
+    // writes; order the writes by their committed revision window.
+    let mut reads: Vec<(&String, &Vec<String>)> = Vec::new();
+    // (pre_rev, applied, request, response)
+    let mut writes: Vec<(u64, u64, &String, &Vec<String>)> = Vec::new();
+    for (script, transcript) in scripts.iter().zip(transcripts) {
+        assert_eq!(script.len(), transcript.len());
+        for (request, response) in script.iter().zip(transcript) {
+            match protocol::parse_request(request).expect("generated requests parse") {
+                Some(Request::Eco { .. }) => {
+                    let applied = response.iter().filter(|l| l.starts_with("edit ")).count() as u64;
+                    let pre_rev = block_rev(response) - applied;
+                    writes.push((pre_rev, applied, request, response));
+                }
+                Some(_) => reads.push((request, response)),
+                None => panic!("blank request generated"),
+            }
+        }
+    }
+    // Commit order: by pre-revision; all-skip requests at a given revision
+    // ran before the request that advanced it (they would otherwise have
+    // seen the successor revision), and are order-independent among
+    // themselves since they mutate nothing.
+    writes.sort_by_key(|&(pre_rev, applied, _, _)| (pre_rev, applied > 0));
+
+    // Serial replay: every write request re-executed in commit order on a
+    // fresh executor over the same design.
+    let mut oracle =
+        EcoExecutor::new(design_of(trees), THRESHOLD, Seconds::new(BUDGET_S), 1).expect("oracle");
+    let mut snapshots: Vec<Arc<DesignSnapshot>> = vec![oracle.snapshot()];
+    let mut accepted: Vec<String> = Vec::new();
+    for (pre_rev, _, request, response) in &writes {
+        assert_eq!(
+            oracle.revision(),
+            *pre_rev,
+            "oracle out of sync before `{request}`"
+        );
+        let script = match protocol::parse_request(request) {
+            Ok(Some(Request::Eco { script })) => script,
+            other => panic!("expected ECO request, got {other:?}"),
+        };
+        let (lines, _) = oracle.exec_eco(
+            &script,
+            &mut |snapshot, _rev| snapshots.push(Arc::clone(snapshot)),
+            &mut |summary| accepted.push(summary.to_string()),
+        );
+        assert_eq!(&&lines, response, "ECO response diverged for `{request}`");
+    }
+    assert_eq!(
+        accepted, server_log,
+        "oracle's accepted-edit order diverged from the server log"
+    );
+
+    // Every read response re-rendered against the snapshot its final line
+    // names.
+    for (request, response) in reads {
+        let rev = block_rev(response) as usize;
+        assert!(
+            rev < snapshots.len(),
+            "response names unknown revision {rev}"
+        );
+        let snapshot = &snapshots[rev];
+        let expected = match protocol::parse_request(request).expect("parses") {
+            Some(Request::Query { net, node }) => {
+                protocol::render_query(snapshot, rev as u64, &net, node.as_deref())
+            }
+            Some(Request::Report) => protocol::render_report(snapshot, rev as u64),
+            Some(Request::Certify { budget }) => {
+                protocol::render_certify(snapshot, rev as u64, budget)
+            }
+            other => panic!("unexpected read request {other:?}"),
+        };
+        assert_eq!(
+            response, &expected,
+            "read response diverged for `{request}` at rev {rev}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_sessions_match_a_serial_oracle_replay() {
+    let trees = deck_trees();
+    for clients in [1usize, 4, 8] {
+        let server =
+            Server::start(design_of(&trees), &config(), ("127.0.0.1", 0)).expect("server starts");
+        let addr = server.local_addr();
+        let params = RequestMixParams {
+            requests_per_connection: 50,
+            eco_fraction: 0.3,
+            certify_budget: 120e-9,
+        };
+        let scripts = request_mix(&trees, clients, &params, 0xBEEF + clients as u64);
+        let transcripts: Vec<Vec<Vec<String>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = scripts
+                .iter()
+                .map(|script| scope.spawn(move || run_client(addr, script)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        let log = server.eco_log();
+        assert_eq!(
+            log.len() as u64,
+            server.revision(),
+            "one committed edit per revision"
+        );
+        server.shutdown();
+        server.join();
+
+        verify_against_oracle(&trees, &scripts, &transcripts, &log);
+    }
+}
+
+#[test]
+fn read_only_sessions_are_deterministic_and_see_revision_zero() {
+    let trees = deck_trees();
+    let server =
+        Server::start(design_of(&trees), &config(), ("127.0.0.1", 0)).expect("server starts");
+    let addr = server.local_addr();
+    let params = RequestMixParams {
+        requests_per_connection: 40,
+        eco_fraction: 0.0,
+        certify_budget: 110e-9,
+    };
+    // Two clients issuing the *same* script concurrently must receive
+    // bit-identical transcripts (there are no writers, so every response
+    // is rev 0).
+    let script = request_mix(&trees, 1, &params, 77).remove(0);
+    let (a, b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| run_client(addr, &script));
+        let hb = scope.spawn(|| run_client(addr, &script));
+        (ha.join().expect("a"), hb.join().expect("b"))
+    });
+    assert_eq!(a, b);
+    assert!(a.iter().all(|block| block_rev(block) == 0));
+
+    // And the REPORT payload equals the offline baseline rendering.
+    let mut offline = design_of(&trees);
+    let baseline = offline
+        .publish(THRESHOLD, Seconds::new(BUDGET_S), 1)
+        .expect("baseline");
+    let expected_report = protocol::render_report(&Arc::new(baseline), 0);
+    let report_blocks: Vec<&Vec<String>> = script
+        .iter()
+        .zip(&a)
+        .filter(|(req, _)| *req == "REPORT")
+        .map(|(_, block)| block)
+        .collect();
+    assert!(!report_blocks.is_empty(), "mix contains REPORT requests");
+    for block in report_blocks {
+        assert_eq!(block, &expected_report);
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn protocol_errors_quit_and_shutdown_behave() {
+    let trees = deck_trees();
+    let server =
+        Server::start(design_of(&trees), &config(), ("127.0.0.1", 0)).expect("server starts");
+    let addr = server.local_addr();
+
+    let responses = run_client(
+        addr,
+        &[
+            "FROBNICATE".to_string(),
+            "QUERY no_such_net".to_string(),
+            "QUERY net0 no_such_node".to_string(),
+            "ECO setcap net0 ghost 1e-15".to_string(),
+            "ECO quit".to_string(),
+            "CERTIFY nan".to_string(),
+        ],
+    );
+    assert!(responses[0][0].starts_with("ERR rev 0 bad request: unknown verb"));
+    assert!(responses[1][0].starts_with("ERR rev 0 unknown net `no_such_net`"));
+    assert!(responses[2][0].starts_with("ERR rev 0 query failed:"));
+    // The failing directive is skipped, not fatal — and commits nothing.
+    assert!(responses[3][0].starts_with("skip line 1:"), "{responses:?}");
+    assert_eq!(responses[3][1], "OK rev 0");
+    assert!(responses[4][0].contains("QUIT"), "{responses:?}");
+    assert!(responses[5][0].starts_with("ERR rev 0 bad request:"));
+
+    // A final request whose newline never arrives is still served at EOF,
+    // even when a read timeout already buffered it as a partial line
+    // (the client pauses longer than the server's poll interval before
+    // closing its write half).
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        write!(writer, "CERTIFY 2e-7").expect("send partial");
+        writer.flush().expect("flush");
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut block = Vec::new();
+        loop {
+            let mut line = String::new();
+            assert_ne!(
+                reader.read_line(&mut line).expect("read"),
+                0,
+                "partial final request was dropped unserved"
+            );
+            let line = line.trim_end_matches(['\r', '\n']).to_string();
+            let done = protocol::is_final(&line);
+            block.push(line);
+            if done {
+                break;
+            }
+        }
+        assert!(block[0].starts_with("certify required 2e-7"), "{block:?}");
+        assert_eq!(block[1], "OK rev 0");
+    }
+
+    // QUIT closes just this connection; the server keeps serving others.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        writeln!(writer, "QUIT").expect("send");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("ok line");
+        assert_eq!(line.trim_end(), "OK rev 0");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
+    }
+    let survivors = run_client(addr, &["STATS".to_string()]);
+    assert!(survivors[0][0].starts_with("stats "));
+
+    // SHUTDOWN stops the whole server.
+    let _ = run_client(addr, &["SHUTDOWN".to_string()]);
+    server.join();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener closed after SHUTDOWN"
+    );
+}

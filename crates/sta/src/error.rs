@@ -28,6 +28,16 @@ pub enum StaError {
         /// The repeated name.
         name: String,
     },
+    /// A net name was used twice.
+    ///
+    /// Duplicate net names used to be accepted silently (ECO edits then
+    /// resolved to the highest-index net); they are now rejected at
+    /// [`add_net`](crate::Design::add_net) so every name-addressed
+    /// operation — ECO edits, server queries — has exactly one target.
+    DuplicateNet {
+        /// The repeated name.
+        name: String,
+    },
     /// An ECO edit referenced a net that is not in the design.
     UnknownNet {
         /// The offending net name (kept structured so tools can point at
@@ -79,6 +89,9 @@ impl fmt::Display for StaError {
             }
             StaError::DuplicateInstance { name } => {
                 write!(f, "instance `{name}` is defined more than once")
+            }
+            StaError::DuplicateNet { name } => {
+                write!(f, "net `{name}` is defined more than once")
             }
             StaError::UnknownNet { name } => {
                 write!(f, "eco edit references unknown net `{name}`")
@@ -143,6 +156,9 @@ mod tests {
         assert!(StaError::DuplicateInstance { name: "u1".into() }
             .to_string()
             .contains("u1"));
+        assert!(StaError::DuplicateNet { name: "n1".into() }
+            .to_string()
+            .contains("`n1`"));
         assert!(StaError::UnknownNet { name: "clk".into() }
             .to_string()
             .contains("`clk`"));

@@ -12,11 +12,14 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
+use rctree_core::bounds::DelayBounds;
 use rctree_core::cert::Certification;
 use rctree_core::element::Branch;
 use rctree_core::incremental::{EditableTree, TreeEdit};
+use rctree_core::moments::CharacteristicTimes;
 use rctree_core::tree::{NodeId, RcTree};
 use rctree_core::units::{Farads, Ohms, Seconds};
 
@@ -90,7 +93,12 @@ pub struct EndpointTiming {
     pub arrival: ArrivalWindow,
     /// The chain of instance names on the latest path to this endpoint,
     /// starting from the primary input side.
-    pub critical_path: Vec<String>,
+    ///
+    /// The spine is shared (`Arc`) with the propagation state and with
+    /// every endpoint reached through the same driver, so cloning an
+    /// endpoint — and therefore assembling or cloning a whole report — no
+    /// longer copies `O(depth)` strings per endpoint.
+    pub critical_path: Arc<Vec<String>>,
 }
 
 /// Whole-design timing report.
@@ -120,9 +128,16 @@ impl TimingReport {
     /// of "every endpoint meets the budget with the entire budget to
     /// spare".
     pub fn worst_slack(&self) -> Seconds {
+        self.slack_against(self.required_time)
+    }
+
+    /// [`TimingReport::worst_slack`] against an arbitrary required time:
+    /// the arrivals are budget-independent, so one report answers slack
+    /// queries for any budget (the server's `CERTIFY` verb).
+    pub fn slack_against(&self, required_time: Seconds) -> Seconds {
         match self.critical_endpoint() {
-            Some(e) => self.required_time - e.arrival.max,
-            None => self.required_time,
+            Some(e) => required_time - e.arrival.max,
+            None => required_time,
         }
     }
 
@@ -133,11 +148,16 @@ impl TimingReport {
     /// the conjunction over all endpoints, and a conjunction over none is
     /// vacuously true.
     pub fn certification(&self) -> Certification {
+        self.certification_against(self.required_time)
+    }
+
+    /// [`TimingReport::certification`] against an arbitrary required time.
+    pub fn certification_against(&self, required_time: Seconds) -> Certification {
         let mut verdict = Certification::Pass;
         for e in &self.endpoints {
-            let v = if e.arrival.max <= self.required_time {
+            let v = if e.arrival.max <= required_time {
                 Certification::Pass
-            } else if e.arrival.min > self.required_time {
+            } else if e.arrival.min > required_time {
                 Certification::Fail
             } else {
                 Certification::Indeterminate
@@ -186,7 +206,18 @@ pub struct Design {
     /// Cached per-net stage results backing the incremental
     /// [`Design::apply_eco`] path; invalidated by structural mutation.
     eco: Option<EcoState>,
+    /// Id of the last [`DesignSnapshot`] this design published, `0` when
+    /// no published snapshot reflects the current state.  Guards
+    /// [`Design::publish_after_eco`] against reusing the per-net views of
+    /// an *outdated* snapshot: any mutation outside the publish path
+    /// (structural edits, a direct [`Design::apply_eco`]) zeroes it, so
+    /// only the design's own latest snapshot ever qualifies for reuse.
+    published: u64,
 }
+
+/// Process-unique snapshot ids (see [`Design::published`]); `0` is
+/// reserved for "none".
+static NEXT_SNAPSHOT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// The shareable heart of a [`Design`].
 #[derive(Debug, Clone)]
@@ -195,6 +226,10 @@ struct DesignCore {
     /// instance name → cell name.
     instances: BTreeMap<String, String>,
     nets: Vec<Net>,
+    /// Net name → index.  Maintained by [`Design::add_net`], which rejects
+    /// duplicate names, so every name-addressed operation (ECO edits,
+    /// snapshot queries) has exactly one target.
+    net_index: HashMap<String, usize>,
 }
 
 /// Delay window of one sink of a net, produced by the per-net stage sweep.
@@ -243,8 +278,17 @@ struct NetEngine {
 }
 
 /// One instance's propagated arrival state: the worst input window and the
-/// instance chain of the path that set it.
-type InstArrival = (ArrivalWindow, Vec<String>);
+/// instance chain of the path that set it.  The chain is an `Arc`-shared
+/// spine: propagating it to a fan-out instance or an endpoint is one
+/// refcount bump, and only `driver_path` (once per net, when the net's
+/// driver changes) materialises a new `Vec`.
+type InstArrival = (ArrivalWindow, Arc<Vec<String>>);
+
+/// The shared empty path spine (primary-input arrivals).
+fn empty_path() -> Arc<Vec<String>> {
+    static EMPTY: std::sync::OnceLock<Arc<Vec<String>>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
 
 /// The cached arrival-propagation topology of a design: everything the
 /// serial Kahn pass recomputed per call, hoisted so the ECO path can
@@ -291,9 +335,6 @@ struct PropagationCache {
 #[derive(Debug, Clone)]
 struct EcoState {
     threshold: f64,
-    /// Net name → index (duplicate names resolve to the highest index,
-    /// matching the per-call map the pre-cache implementation built).
-    net_index: HashMap<String, usize>,
     delays: Vec<Vec<SinkDelay>>,
     engines: Vec<NetEngine>,
     prop: PropagationCache,
@@ -407,18 +448,22 @@ fn driver_window(
     }
 }
 
-/// The instance chain of the latest path through a net's driver.
+/// The instance chain of the latest path through a net's driver: the
+/// driver's own spine extended by its name.  This is the only place a new
+/// spine `Vec` is materialised — `O(depth)` once per net, after which every
+/// endpoint and fan-out instance shares it by `Arc`.
 fn driver_path(
     cache: &PropagationCache,
     arrivals: &[InstArrival],
     driver: Option<usize>,
-) -> Vec<String> {
+) -> Arc<Vec<String>> {
     match driver {
-        None => Vec::new(),
+        None => empty_path(),
         Some(d) => {
-            let mut path = arrivals[d].1.clone();
+            let mut path = Vec::with_capacity(arrivals[d].1.len() + 1);
+            path.extend(arrivals[d].1.iter().cloned());
             path.push(cache.inst_names[d].clone());
-            path
+            Arc::new(path)
         }
     }
 }
@@ -432,7 +477,7 @@ fn run_full(
     delays: &[Vec<SinkDelay>],
 ) -> (Vec<InstArrival>, Vec<Vec<EndpointTiming>>) {
     let mut arrivals: Vec<InstArrival> =
-        vec![(ArrivalWindow::ZERO, Vec::new()); cache.inst_names.len()];
+        vec![(ArrivalWindow::ZERO, empty_path()); cache.inst_names.len()];
     let mut endpoints: Vec<Vec<EndpointTiming>> = vec![Vec::new(); delays.len()];
     for &net in &cache.net_order {
         let driver = cache.net_driver[net];
@@ -490,7 +535,7 @@ fn refold_instance(
         }
     }
     match winner {
-        None => (ArrivalWindow::ZERO, Vec::new()),
+        None => (ArrivalWindow::ZERO, empty_path()),
         Some(net) => (best, driver_path(cache, arrivals, cache.net_driver[net])),
     }
 }
@@ -532,7 +577,7 @@ fn run_cone(
                         min: d_arr.min + delay.window.0,
                         max: d_arr.max + delay.window.1,
                     },
-                    critical_path: Vec::new(),
+                    critical_path: empty_path(),
                 }),
                 (None, Load::Instance(_)) => {}
             }
@@ -634,8 +679,10 @@ impl Design {
                 library,
                 instances: BTreeMap::new(),
                 nets: Vec::new(),
+                net_index: HashMap::new(),
             }),
             eco: None,
+            published: 0,
         }
     }
 
@@ -654,6 +701,7 @@ impl Design {
         }
         Arc::make_mut(&mut self.shared).instances.insert(name, cell);
         self.eco = None;
+        self.published = 0;
         Ok(())
     }
 
@@ -661,11 +709,17 @@ impl Design {
     ///
     /// # Errors
     ///
+    /// * [`StaError::DuplicateNet`] if a net with the same name already
+    ///   exists (names address ECO edits and snapshot queries, so they
+    ///   must be unique);
     /// * [`StaError::UnknownInstance`] if the driver or a sink instance does
     ///   not exist;
     /// * [`StaError::UnknownSinkNode`] if a sink references a node that is
     ///   not part of the net's interconnect tree.
     pub fn add_net(&mut self, net: Net) -> Result<()> {
+        if self.shared.net_index.contains_key(&net.name) {
+            return Err(StaError::DuplicateNet { name: net.name });
+        }
         if let Driver::Instance(inst) = &net.driver {
             if !self.shared.instances.contains_key(inst) {
                 return Err(StaError::UnknownInstance { name: inst.clone() });
@@ -684,8 +738,11 @@ impl Design {
                 }
             }
         }
-        Arc::make_mut(&mut self.shared).nets.push(net);
+        let core = Arc::make_mut(&mut self.shared);
+        core.net_index.insert(net.name.clone(), core.nets.len());
+        core.nets.push(net);
         self.eco = None;
+        self.published = 0;
         Ok(())
     }
 
@@ -849,18 +906,8 @@ impl Design {
             .is_some_and(|state| state.threshold == threshold);
 
         // Group the edits by net index, preserving intra-net order; the
-        // name→index map is cached on the warm state.
-        let by_net = {
-            let fresh;
-            let net_index: &HashMap<String, usize> = match self.eco.as_ref() {
-                Some(state) if warm => &state.net_index,
-                _ => {
-                    fresh = net_index_of(&self.shared.nets);
-                    &fresh
-                }
-            };
-            group_edits(net_index, edits)?
-        };
+        // name→index map is maintained by `add_net` on the core.
+        let by_net = group_edits(&self.shared.net_index, edits)?;
 
         // Apply the edits to *clones* of the persistent per-net engines and
         // re-time them (the transactional snapshot: on any error below,
@@ -893,6 +940,10 @@ impl Design {
             );
             let report = assemble_report(threshold, required_time, &state.prop, &state.endpoints);
             self.eco = Some(state);
+            // The design state moved past whatever snapshot was last
+            // published; `publish`/`publish_after_eco` re-stamp after
+            // their internal apply.
+            self.published = 0;
             Ok(report)
         } else {
             // Cold cache (first call, threshold change, or structural
@@ -908,6 +959,10 @@ impl Design {
                 core.nets[idx].interconnect = state.engines[idx].tree.tree().clone();
             }
             self.eco = Some(state);
+            // The design state moved past whatever snapshot was last
+            // published; `publish`/`publish_after_eco` re-stamp after
+            // their internal apply.
+            self.published = 0;
             Ok(report)
         }
     }
@@ -964,6 +1019,10 @@ impl Design {
             state.endpoints = endpoints;
             let report = assemble_report(threshold, required_time, &state.prop, &state.endpoints);
             self.eco = Some(state);
+            // The design state moved past whatever snapshot was last
+            // published; `publish`/`publish_after_eco` re-stamp after
+            // their internal apply.
+            self.published = 0;
             Ok(report)
         } else {
             let dirty: Vec<usize> = work.iter().map(|(idx, _, _)| *idx).collect();
@@ -974,6 +1033,10 @@ impl Design {
                 core.nets[idx].interconnect = state.engines[idx].tree.tree().clone();
             }
             self.eco = Some(state);
+            // The design state moved past whatever snapshot was last
+            // published; `publish`/`publish_after_eco` re-stamp after
+            // their internal apply.
+            self.published = 0;
             Ok(report)
         }
     }
@@ -1107,13 +1170,6 @@ impl Design {
         let (arrivals, endpoints) = run_full(&prop, &delays);
         Ok(EcoState {
             threshold,
-            net_index: self
-                .shared
-                .nets
-                .iter()
-                .enumerate()
-                .map(|(i, net)| (net.name.clone(), i))
-                .collect(),
             delays,
             engines,
             prop,
@@ -1157,7 +1213,12 @@ impl Design {
     /// # Errors
     ///
     /// * [`StaError::UnknownCell`] if `driver_cell` is not in `library`;
-    /// * [`StaError::DuplicateInstance`] if two nets share a name.
+    /// * [`StaError::DuplicateInstance`] if two nets share a name;
+    /// * [`StaError::DuplicateNet`] if a deck net name collides with a
+    ///   synthesized feeder name (a deck holding both `x` and `x_pi` —
+    ///   such decks used to build silently with two nets named `x_pi`
+    ///   and undefined ECO edit targeting; they are now rejected with a
+    ///   structured error naming the colliding net).
     pub fn from_extracted<I>(library: CellLibrary, driver_cell: &str, nets: I) -> Result<Design>
     where
         I: IntoIterator<Item = (String, RcTree)>,
@@ -1209,6 +1270,264 @@ impl Design {
             })?;
         }
         Ok(design)
+    }
+}
+
+/// One sink of a net as exposed by a [`DesignSnapshot`]: the interconnect
+/// node it hangs on, what it drives, and its cached stage delay window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkWindow {
+    /// Node name within the net's interconnect.
+    pub node: String,
+    /// What the sink drives.
+    pub load: Load,
+    /// Guaranteed lower stage-delay bound at this sink.
+    pub lower: Seconds,
+    /// Guaranteed upper stage-delay bound at this sink.
+    pub upper: Seconds,
+}
+
+/// Read-only timing view of one net inside a [`DesignSnapshot`]: the
+/// committed interconnect tree, the stage augmentation data (driver
+/// resistance and sink loads), and the cached per-sink delay windows.
+///
+/// Everything is behind `Arc`s, so cloning a `NetTiming` — or the snapshot
+/// holding it — is a handful of refcount bumps.  Node-level queries
+/// ([`NetTiming::node_times`]) are computed on demand from the shared tree
+/// in one `O(n_net)` sweep.
+#[derive(Debug, Clone)]
+pub struct NetTiming {
+    name: String,
+    tree: Arc<RcTree>,
+    driver_r: Ohms,
+    loads: Arc<Vec<(NodeId, Farads)>>,
+    sinks: Arc<Vec<SinkWindow>>,
+}
+
+impl NetTiming {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cached per-sink stage delay windows, in net sink order.
+    pub fn sinks(&self) -> &[SinkWindow] {
+        &self.sinks
+    }
+
+    /// Characteristic times and delay bounds at an arbitrary node of the
+    /// net's interconnect, evaluated against the same augmented stage tree
+    /// (driver resistance + sink loads) the cached windows came from.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::UnknownEcoNode`] if the node name is not part of the
+    ///   net's interconnect;
+    /// * core errors from the stage sweep or the threshold validation.
+    pub fn node_times(
+        &self,
+        node: &str,
+        threshold: f64,
+    ) -> Result<(CharacteristicTimes, DelayBounds)> {
+        let id = self
+            .tree
+            .node_by_name(node)
+            .map_err(|_| StaError::UnknownEcoNode {
+                net: self.name.clone(),
+                node: node.to_string(),
+            })?;
+        let times = crate::stage::stage_node_times(self.driver_r, &self.tree, &self.loads, id)?;
+        let bounds = times.delay_bounds(threshold)?;
+        Ok((times, bounds))
+    }
+}
+
+/// An immutable, cheaply cloneable timing snapshot of a whole design: the
+/// full [`TimingReport`] plus per-net [`NetTiming`] views, everything
+/// `Arc`-shared.
+///
+/// This is the publication unit of the concurrent query server
+/// (`rctree-serve`): readers answer every query against one consistent
+/// snapshot while the single writer applies ECO edits and publishes
+/// successors — [`Design::publish_after_eco`] rebuilds only the dirty
+/// nets' views and reuses every other `Arc` verbatim, so publishing after
+/// a `k`-net edit costs `O(Σ n_dirty + nets)` pointer copies, not a deep
+/// copy of the design.
+#[derive(Debug, Clone)]
+pub struct DesignSnapshot {
+    /// Process-unique id; `publish_after_eco` reuses `prev`'s views only
+    /// when `prev` is the publishing design's latest snapshot.
+    id: u64,
+    threshold: f64,
+    required_time: Seconds,
+    report: Arc<TimingReport>,
+    nets: Vec<Arc<NetTiming>>,
+    net_index: Arc<HashMap<String, usize>>,
+    instances: usize,
+}
+
+impl DesignSnapshot {
+    /// The switching threshold the snapshot was analysed at.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The required arrival time of the snapshot's report.
+    pub fn required_time(&self) -> Seconds {
+        self.required_time
+    }
+
+    /// The full timing report of the snapshot's design state.
+    pub fn report(&self) -> &TimingReport {
+        &self.report
+    }
+
+    /// Looks up one net's timing view by name.
+    pub fn net(&self, name: &str) -> Option<&NetTiming> {
+        self.net_index.get(name).map(|&i| &*self.nets[i])
+    }
+
+    /// Number of nets in the snapshot.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of instances in the snapshotted design.
+    pub fn instance_count(&self) -> usize {
+        self.instances
+    }
+
+    /// Net names in design net order.
+    pub fn net_names(&self) -> impl Iterator<Item = &str> {
+        self.nets.iter().map(|n| n.name())
+    }
+}
+
+impl Design {
+    /// Publishes a complete read-only [`DesignSnapshot`] of the current
+    /// design state, warming the incremental ECO cache in the process (an
+    /// empty-edit [`Design::apply_eco_with_jobs`], so the snapshot's
+    /// report is bit-identical to [`Design::analyze_with_jobs`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Design::apply_eco_with_jobs`].
+    pub fn publish(
+        &mut self,
+        threshold: f64,
+        required_time: Seconds,
+        jobs: usize,
+    ) -> Result<DesignSnapshot> {
+        let report = self.apply_eco_with_jobs(&[], threshold, required_time, jobs)?;
+        let snapshot = self.snapshot_from_state(threshold, required_time, report, None, &[]);
+        self.published = snapshot.id;
+        Ok(snapshot)
+    }
+
+    /// Applies an ECO edit batch through the incremental engine and
+    /// publishes the successor snapshot, rebuilding only the **dirty**
+    /// nets' [`NetTiming`] views; every untouched net's view (and the
+    /// name index) is reused from `prev` by `Arc`.
+    ///
+    /// Reuse happens only when `prev` is this design's **latest published
+    /// snapshot** at the same threshold (checked via a process-unique
+    /// snapshot id — any mutation outside the publish path, including a
+    /// direct [`Design::apply_eco`], invalidates it); otherwise the
+    /// snapshot is rebuilt in full instead — never incorrectly reused.
+    ///
+    /// Transactional exactly like [`Design::apply_eco_with_jobs`]: on any
+    /// error, the design, the ECO cache, and `prev` are all untouched.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Design::apply_eco_with_jobs`].
+    pub fn publish_after_eco(
+        &mut self,
+        edits: &[EcoEdit],
+        threshold: f64,
+        required_time: Seconds,
+        jobs: usize,
+        prev: &DesignSnapshot,
+    ) -> Result<DesignSnapshot> {
+        let reuse = prev.id == self.published
+            && self.published != 0
+            && prev.threshold == threshold
+            && prev.nets.len() == self.shared.nets.len();
+        let dirty: Vec<usize> = if reuse {
+            let set: BTreeSet<usize> = edits
+                .iter()
+                .filter_map(|e| self.shared.net_index.get(e.net.as_str()).copied())
+                .collect();
+            set.into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        let report = self.apply_eco_with_jobs(edits, threshold, required_time, jobs)?;
+        let snapshot = self.snapshot_from_state(
+            threshold,
+            required_time,
+            report,
+            if reuse { Some(prev) } else { None },
+            &dirty,
+        );
+        self.published = snapshot.id;
+        Ok(snapshot)
+    }
+
+    /// Builds a snapshot from the warm ECO state, reusing `prev`'s views
+    /// for every net not listed in `dirty` when `prev` is given.
+    fn snapshot_from_state(
+        &self,
+        threshold: f64,
+        required_time: Seconds,
+        report: TimingReport,
+        prev: Option<&DesignSnapshot>,
+        dirty: &[usize],
+    ) -> DesignSnapshot {
+        let state = self.eco.as_ref().expect("publish warms the eco cache");
+        let net_timing = |idx: usize| -> Arc<NetTiming> {
+            let engine = &state.engines[idx];
+            let sinks: Vec<SinkWindow> = engine
+                .sinks
+                .iter()
+                .zip(&state.delays[idx])
+                .map(|(binding, delay)| SinkWindow {
+                    node: binding.name.clone(),
+                    load: binding.load.clone(),
+                    lower: delay.window.0,
+                    upper: delay.window.1,
+                })
+                .collect();
+            Arc::new(NetTiming {
+                name: self.shared.nets[idx].name.clone(),
+                tree: Arc::new(engine.tree.tree().clone()),
+                driver_r: engine.driver_r,
+                loads: Arc::new(engine.sinks.iter().map(|s| (s.node, s.load_cap)).collect()),
+                sinks: Arc::new(sinks),
+            })
+        };
+        let (nets, net_index) = match prev {
+            Some(prev) => {
+                let mut nets = prev.nets.clone();
+                for &idx in dirty {
+                    nets[idx] = net_timing(idx);
+                }
+                (nets, Arc::clone(&prev.net_index))
+            }
+            None => (
+                (0..self.shared.nets.len()).map(net_timing).collect(),
+                Arc::new(self.shared.net_index.clone()),
+            ),
+        };
+        DesignSnapshot {
+            id: NEXT_SNAPSHOT_ID.fetch_add(1, Ordering::Relaxed),
+            threshold,
+            required_time,
+            report: Arc::new(report),
+            nets,
+            net_index,
+            instances: self.shared.instances.len(),
+        }
     }
 }
 
@@ -1400,8 +1719,9 @@ impl DesignCore {
     }
 }
 
-/// Net name → index map; duplicate names resolve to the highest index (the
-/// behaviour the per-call `HashMap` collect always had).
+/// Net name → index map rebuilt from scratch, preserved verbatim for the
+/// PR-3 baseline's per-call cost profile (`add_net` now maintains the same
+/// map incrementally on the design core, and rejects duplicates).
 fn net_index_of(nets: &[Net]) -> HashMap<String, usize> {
     nets.iter()
         .enumerate()
@@ -1526,7 +1846,7 @@ mod tests {
         assert!(e.arrival.min <= e.arrival.max);
         // Both gate intrinsic delays must be included.
         assert!(e.arrival.min >= Seconds::from_nano(1.8));
-        assert_eq!(e.critical_path, vec!["u1".to_string(), "u2".to_string()]);
+        assert_eq!(*e.critical_path, vec!["u1".to_string(), "u2".to_string()]);
         let text = report.to_string();
         assert!(text.contains("out"));
         assert!(text.contains("certification"));
@@ -1654,6 +1974,165 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_net_names_are_rejected() {
+        let mut d = Design::new(CellLibrary::nmos_1981());
+        d.add_instance("u1", "inv_1x").unwrap();
+        let net = |name: &str| Net {
+            name: name.into(),
+            driver: Driver::PrimaryInput,
+            interconnect: wire(10.0, 1.0),
+            sinks: vec![Sink {
+                node: "load".into(),
+                load: Load::Instance("u1".into()),
+            }],
+        };
+        d.add_net(net("n1")).unwrap();
+        let err = d.add_net(net("n1")).unwrap_err();
+        assert!(
+            matches!(&err, StaError::DuplicateNet { name } if name == "n1"),
+            "{err:?}"
+        );
+        // The rejected net was not inserted and the design still works.
+        assert_eq!(d.net_count(), 1);
+        d.add_net(net("n2")).unwrap();
+        assert_eq!(d.net_count(), 2);
+        d.analyze(0.5, Seconds::from_nano(50.0)).unwrap();
+    }
+
+    #[test]
+    fn snapshots_expose_the_report_and_per_net_views() {
+        let mut d = buffer_chain();
+        let budget = Seconds::from_nano(50.0);
+        let baseline = d.analyze(0.5, budget).unwrap();
+        let snap = d.publish(0.5, budget, 1).unwrap();
+        assert_eq!(snap.report(), &baseline);
+        assert_eq!(snap.threshold(), 0.5);
+        assert_eq!(snap.required_time(), budget);
+        assert_eq!(snap.net_count(), 3);
+        assert_eq!(snap.instance_count(), 2);
+        assert_eq!(
+            snap.net_names().collect::<Vec<_>>(),
+            vec!["n_in", "n_mid", "n_out"]
+        );
+        assert!(snap.net("ghost").is_none());
+
+        // Per-net sink windows match the report's arithmetic: the output
+        // net's single sink window plus the upstream arrival reproduces the
+        // endpoint arrival exactly.
+        let out = snap.net("n_out").unwrap();
+        assert_eq!(out.name(), "n_out");
+        assert_eq!(out.sinks().len(), 1);
+        let sink = &out.sinks()[0];
+        assert_eq!(sink.node, "load");
+        assert!(matches!(&sink.load, Load::PrimaryOutput(po) if po == "out"));
+        assert!(sink.lower <= sink.upper);
+
+        // Node-level queries resolve against the same augmented stage tree
+        // the windows came from: at the sink node they are the windows.
+        let (times, bounds) = out.node_times("load", 0.5).unwrap();
+        assert_eq!(bounds.lower, sink.lower);
+        assert_eq!(bounds.upper, sink.upper);
+        assert!(times.t_p.value() > 0.0);
+        let err = out.node_times("ghost", 0.5).unwrap_err();
+        assert!(matches!(err, StaError::UnknownEcoNode { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn publish_after_eco_reuses_untouched_net_views() {
+        let mut d = buffer_chain();
+        let budget = Seconds::from_nano(50.0);
+        let snap0 = d.publish(0.5, budget, 1).unwrap();
+        let edit = EcoEdit {
+            net: "n_out".into(),
+            kind: EcoEditKind::SetCap {
+                node: "load".into(),
+                cap: Farads::from_femto(500.0),
+            },
+        };
+        let snap1 = d
+            .publish_after_eco(std::slice::from_ref(&edit), 0.5, budget, 1, &snap0)
+            .unwrap();
+        // The successor's report is bit-identical to a full re-analysis.
+        assert_eq!(snap1.report(), &d.analyze(0.5, budget).unwrap());
+        // Untouched nets' views are the same allocations; the dirty net's
+        // is fresh and reflects the edit.
+        assert!(Arc::ptr_eq(
+            &snap0.nets[0], // n_in
+            &snap1.nets[0]
+        ));
+        assert!(Arc::ptr_eq(&snap0.nets[1], &snap1.nets[1]));
+        assert!(!Arc::ptr_eq(&snap0.nets[2], &snap1.nets[2]));
+        let before = snap0.net("n_out").unwrap().sinks()[0].upper;
+        let after = snap1.net("n_out").unwrap().sinks()[0].upper;
+        assert!(after > before);
+        // The predecessor snapshot is untouched (readers keep serving it).
+        assert_eq!(snap0.net("n_out").unwrap().sinks()[0].upper, before);
+
+        // A failing batch leaves the design publishable and `prev` valid.
+        let bad = EcoEdit {
+            net: "ghost".into(),
+            kind: EcoEditKind::Prune { node: "x".into() },
+        };
+        let err = d
+            .publish_after_eco(&[bad], 0.5, budget, 1, &snap1)
+            .unwrap_err();
+        assert!(matches!(err, StaError::UnknownNet { .. }), "{err:?}");
+        let snap2 = d.publish_after_eco(&[], 0.5, budget, 1, &snap1).unwrap();
+        assert_eq!(snap2.report(), snap1.report());
+
+        // A threshold change falls back to a full rebuild, never a stale
+        // reuse.
+        let warm = d.publish_after_eco(&[], 0.7, budget, 1, &snap1).unwrap();
+        assert_eq!(warm.threshold(), 0.7);
+        assert_eq!(warm.report(), &d.analyze(0.7, budget).unwrap());
+    }
+
+    #[test]
+    fn publish_after_eco_never_reuses_an_outdated_snapshot() {
+        // Reuse is keyed on snapshot identity: handing back anything but
+        // the design's *latest* published snapshot must trigger a full
+        // rebuild, or stale per-net views would leak into the successor.
+        let mut d = buffer_chain();
+        let budget = Seconds::from_nano(50.0);
+        let fatten = |net: &str, ff: f64| EcoEdit {
+            net: net.into(),
+            kind: EcoEditKind::SetCap {
+                node: "load".into(),
+                cap: Farads::from_femto(ff),
+            },
+        };
+        let snap0 = d.publish(0.5, budget, 1).unwrap();
+        let _snap1 = d
+            .publish_after_eco(&[fatten("n_out", 500.0)], 0.5, budget, 1, &snap0)
+            .unwrap();
+        // snap0 is now outdated; publishing against it again must not
+        // resurrect its pre-edit view of `n_out`.
+        let snap2 = d
+            .publish_after_eco(&[fatten("n_mid", 90.0)], 0.5, budget, 1, &snap0)
+            .unwrap();
+        let fresh = d.publish(0.5, budget, 1).unwrap();
+        assert_eq!(snap2.report(), fresh.report());
+        assert_eq!(
+            snap2.net("n_out").unwrap().sinks(),
+            fresh.net("n_out").unwrap().sinks(),
+            "stale n_out view leaked from the outdated snapshot"
+        );
+
+        // A direct apply_eco (outside the publish path) equally
+        // invalidates the latest snapshot for reuse.
+        let snap3 = d.publish(0.5, budget, 1).unwrap();
+        d.apply_eco(&[fatten("n_out", 60.0)], 0.5, budget).unwrap();
+        let snap4 = d.publish_after_eco(&[], 0.5, budget, 1, &snap3).unwrap();
+        let fresh = d.publish(0.5, budget, 1).unwrap();
+        assert_eq!(snap4.report(), fresh.report());
+        assert_eq!(
+            snap4.net("n_out").unwrap().sinks(),
+            fresh.net("n_out").unwrap().sinks(),
+            "direct apply_eco did not invalidate snapshot reuse"
+        );
+    }
+
+    #[test]
     fn empty_report_semantics_are_pinned() {
         // A report with no endpoints is a legitimate outcome (nets that feed
         // only instance inputs), not a panic or an error: the critical
@@ -1737,6 +2216,16 @@ mod tests {
         assert!(matches!(
             Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", dup),
             Err(StaError::DuplicateInstance { .. })
+        ));
+        // A deck net colliding with a synthesized feeder name is a
+        // structured error too (it used to build two nets named `x_pi`).
+        let feeder_clash = vec![
+            ("x".to_string(), wire(1.0, 1.0)),
+            ("x_pi".to_string(), wire(2.0, 1.0)),
+        ];
+        assert!(matches!(
+            Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", feeder_clash),
+            Err(StaError::DuplicateNet { name }) if name == "x_pi"
         ));
         // Unknown driver cells are rejected up front.
         assert!(matches!(

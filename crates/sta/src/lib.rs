@@ -51,16 +51,20 @@
 pub mod cell;
 pub mod error;
 pub mod graph;
+pub mod script;
 pub mod stage;
 
 pub use crate::cell::{Cell, CellLibrary};
 pub use crate::error::{Result, StaError};
 pub use crate::graph::{
-    ArrivalWindow, Design, Driver, EcoEdit, EcoEditKind, EndpointTiming, Load, Net, Sink,
-    TimingReport,
+    ArrivalWindow, Design, DesignSnapshot, Driver, EcoEdit, EcoEditKind, EndpointTiming, Load, Net,
+    NetTiming, Sink, SinkWindow, TimingReport,
+};
+pub use crate::script::{
+    parse_eco_script, parse_eco_script_line, ScriptEdit, ScriptError, ScriptLine,
 };
 pub use crate::stage::{
-    analyze_stage, prepend_driver, stage_delay_bounds, SinkTiming, StageTiming,
+    analyze_stage, prepend_driver, stage_delay_bounds, stage_node_times, SinkTiming, StageTiming,
 };
 
 #[cfg(test)]

@@ -1,0 +1,297 @@
+//! The textual ECO edit-script grammar shared by `rcdelay eco` and the
+//! `rctree-serve` wire protocol's `ECO` verb.
+//!
+//! A script is a sequence of lines; each line holds `#` comments and one or
+//! more `;`-separated directives:
+//!
+//! ```text
+//! setcap  <net> <node> <farads>          replace a node's load capacitance
+//! setres  <net> <node> <ohms>            replace a branch with a resistor
+//! setline <net> <node> <ohms> <farads>   replace a branch with an RC line
+//! graft   <net> <parent> <name> <ohms> <farads>
+//!                                        attach a new load node via a resistor
+//! prune   <net> <node>                   remove a node and its subtree
+//! quit                                   end the session
+//! ```
+//!
+//! Parsing lives here — next to the [`EcoEdit`] vocabulary it produces —
+//! so every consumer (batch CLI, `--watch` streams, the timing server)
+//! reports identical locations and offending tokens.  The historical home
+//! was the CLI crate; `rctree-cli` re-exports these types unchanged.
+
+use std::fmt;
+
+use rctree_core::builder::RcTreeBuilder;
+use rctree_core::element::Branch;
+use rctree_core::units::{Farads, Ohms};
+
+use crate::graph::{EcoEdit, EcoEditKind};
+
+/// A script parse failure: the message carries the location (line, and the
+/// 1-based edit index within `;`-separated multi-edit lines) and, where one
+/// can be singled out, the offending token in backticks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    message: String,
+}
+
+impl ScriptError {
+    fn new(message: impl Into<String>) -> Self {
+        ScriptError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message (location-prefixed, offending token backticked).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// One parsed edit-script directive: its source location (line number plus
+/// its 1-based position within a `;`-separated multi-edit line) and the
+/// resolved design-level edit.
+#[derive(Debug, Clone)]
+pub struct ScriptEdit {
+    /// 1-based line number in the script file.
+    pub line: usize,
+    /// 1-based position of this edit within its line.
+    pub index: usize,
+    /// Number of edits sharing the line (error messages name the edit
+    /// index only when this exceeds one).
+    pub count: usize,
+    /// Short human-readable rendering of the directive.
+    pub summary: String,
+    /// The design-level edit.
+    pub edit: EcoEdit,
+}
+
+impl ScriptEdit {
+    /// The location prefix used in error messages: `line N`, or
+    /// `line N, edit K` within a multi-edit line (the format is pinned by
+    /// the binary-level `cli_exit_codes` tests).
+    pub fn location(&self) -> String {
+        if self.count > 1 {
+            format!("line {}, edit {}", self.line, self.index)
+        } else {
+            format!("line {}", self.line)
+        }
+    }
+}
+
+/// One parsed line of an ECO edit script.
+#[derive(Debug, Clone)]
+pub enum ScriptLine {
+    /// Nothing to apply (blank or comment-only).
+    Empty,
+    /// End of the session (`quit` directive).
+    Quit,
+    /// One or more edits, applied in order.
+    Edits(Vec<ScriptEdit>),
+}
+
+/// Parses one script line (1-based `line` number for error reporting).
+/// Several directives may share a line, separated by `;`.
+///
+/// # Errors
+///
+/// Returns [`ScriptError`] with the location (line, and 1-based edit index
+/// within multi-edit lines) and the offending token for unknown
+/// directives, missing fields and malformed numbers.
+pub fn parse_eco_script_line(line: usize, raw: &str) -> Result<ScriptLine, ScriptError> {
+    let body = raw.split('#').next().unwrap_or("").trim();
+    if body.is_empty() {
+        return Ok(ScriptLine::Empty);
+    }
+    let segments: Vec<&str> = body.split(';').map(str::trim).collect();
+    let count = segments.iter().filter(|s| !s.is_empty()).count();
+    if count == 1 && segments.contains(&"quit") {
+        return Ok(ScriptLine::Quit);
+    }
+    let mut edits = Vec::with_capacity(count);
+    let mut index = 0;
+    for segment in segments {
+        if segment.is_empty() {
+            continue;
+        }
+        index += 1;
+        let loc = if count > 1 {
+            format!("line {line}, edit {index}")
+        } else {
+            format!("line {line}")
+        };
+        edits.push(parse_directive(segment, &loc, line, index, count)?);
+    }
+    Ok(ScriptLine::Edits(edits))
+}
+
+/// Parses one `;`-free directive, with `loc` as the error-message prefix.
+fn parse_directive(
+    body: &str,
+    loc: &str,
+    line: usize,
+    index: usize,
+    count: usize,
+) -> Result<ScriptEdit, ScriptError> {
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    let expect = |want: usize| -> Result<(), ScriptError> {
+        if tokens.len() == want {
+            Ok(())
+        } else {
+            Err(ScriptError::new(format!(
+                "{loc}: `{}` takes {} fields, found {} (near `{body}`)",
+                tokens[0],
+                want - 1,
+                tokens.len() - 1
+            )))
+        }
+    };
+    let number = |token: &str, what: &str| -> Result<f64, ScriptError> {
+        token
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| {
+                ScriptError::new(format!(
+                    "{loc}: {what} is not a finite number (near `{token}`)"
+                ))
+            })
+    };
+    let kind = match tokens[0] {
+        "setcap" => {
+            expect(4)?;
+            EcoEditKind::SetCap {
+                node: tokens[2].to_string(),
+                cap: Farads::new(number(tokens[3], "capacitance")?),
+            }
+        }
+        "setres" => {
+            expect(4)?;
+            EcoEditKind::SetBranch {
+                node: tokens[2].to_string(),
+                branch: Branch::resistor(Ohms::new(number(tokens[3], "resistance")?)),
+            }
+        }
+        "setline" => {
+            expect(5)?;
+            EcoEditKind::SetBranch {
+                node: tokens[2].to_string(),
+                branch: Branch::line(
+                    Ohms::new(number(tokens[3], "resistance")?),
+                    Farads::new(number(tokens[4], "line capacitance")?),
+                ),
+            }
+        }
+        "graft" => {
+            expect(6)?;
+            // The graft adds *load* only: net sinks are frozen when the
+            // design is built, so the new node is never a timed endpoint.
+            let mut b = RcTreeBuilder::with_input_name(tokens[3]);
+            b.add_capacitance(b.input(), Farads::new(number(tokens[5], "capacitance")?))
+                .map_err(|e| ScriptError::new(format!("{loc}: {e}")))?;
+            EcoEditKind::Graft {
+                parent: tokens[2].to_string(),
+                via: Branch::resistor(Ohms::new(number(tokens[4], "resistance")?)),
+                subtree: Box::new(
+                    b.build()
+                        .map_err(|e| ScriptError::new(format!("{loc}: {e}")))?,
+                ),
+            }
+        }
+        "prune" => {
+            expect(3)?;
+            EcoEditKind::Prune {
+                node: tokens[2].to_string(),
+            }
+        }
+        "quit" => {
+            return Err(ScriptError::new(format!(
+                "{loc}: `quit` cannot share a line with other directives"
+            )));
+        }
+        other => {
+            return Err(ScriptError::new(format!(
+                "{loc}: unknown directive (near `{other}`)"
+            )));
+        }
+    };
+    Ok(ScriptEdit {
+        line,
+        index,
+        count,
+        summary: body.to_string(),
+        edit: EcoEdit {
+            net: tokens[1].to_string(),
+            kind,
+        },
+    })
+}
+
+/// Parses a whole ECO edit script.  A `quit` directive ends the script
+/// early.
+///
+/// # Errors
+///
+/// As for [`parse_eco_script_line`].
+pub fn parse_eco_script(text: &str) -> Result<Vec<ScriptEdit>, ScriptError> {
+    let mut edits = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        match parse_eco_script_line(idx + 1, raw)? {
+            ScriptLine::Empty => {}
+            ScriptLine::Quit => break,
+            ScriptLine::Edits(line_edits) => edits.extend(line_edits),
+        }
+    }
+    Ok(edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_directive() {
+        let script = "\
+# a comment line
+setcap fast x 2e-15
+setres fast x 120 # trailing comment
+setline slow y 90 3e-14
+graft slow y tap1 50 1e-14
+prune slow tap1
+";
+        let edits = parse_eco_script(script).unwrap();
+        assert_eq!(edits.len(), 5);
+        assert_eq!(edits[0].line, 2);
+        assert_eq!(edits[0].edit.net, "fast");
+        assert!(matches!(edits[4].edit.kind, EcoEditKind::Prune { .. }));
+    }
+
+    #[test]
+    fn errors_carry_location_and_token() {
+        let err = parse_eco_script("setcap fast x 1e-15; resize fast x 2\n").unwrap_err();
+        assert!(
+            err.message().contains("line 1, edit 2") && err.message().contains("`resize`"),
+            "{err}"
+        );
+        let err = parse_eco_script("setcap fast x nope\n").unwrap_err();
+        assert!(err.message().contains("`nope`"), "{err}");
+    }
+
+    #[test]
+    fn quit_handling() {
+        assert!(matches!(
+            parse_eco_script_line(3, "  quit  # done"),
+            Ok(ScriptLine::Quit)
+        ));
+        assert!(parse_eco_script("setcap fast x 1e-15; quit\n").is_err());
+        assert!(parse_eco_script("quit now\n").is_err());
+    }
+}

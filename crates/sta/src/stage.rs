@@ -141,6 +141,50 @@ pub fn stage_delay_bounds(
     if sink_loads.is_empty() {
         return Ok(Vec::new());
     }
+    let (batch, pos) = augmented_batch(driver_resistance, interconnect, sink_loads)?;
+    let mut bounds = Vec::with_capacity(sink_loads.len());
+    for &(node, _) in sink_loads {
+        let times = batch.times_at(pos[node.index()] as usize)?;
+        bounds.push(times.delay_bounds(threshold)?);
+    }
+    Ok(bounds)
+}
+
+/// Characteristic times at an arbitrary node of a stage's interconnect,
+/// evaluated on the same augmented tree (driver resistance + sink loads)
+/// as [`stage_delay_bounds`] — the kernel behind per-node snapshot queries
+/// (`QUERY <net> <node>` in `rctree-serve`).
+///
+/// Unlike [`stage_delay_bounds`], an empty `sink_loads` slice still runs
+/// the sweep: a sink-less net's nodes remain queryable.
+///
+/// # Errors
+///
+/// As for [`stage_delay_bounds`], plus node-lookup errors when `node` is
+/// not part of `interconnect`.
+pub fn stage_node_times(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    node: NodeId,
+) -> Result<CharacteristicTimes> {
+    // Validate the queried node against the tree before indexing `pos`.
+    let _ = interconnect.name(node)?;
+    let (batch, pos) = augmented_batch(driver_resistance, interconnect, sink_loads)?;
+    Ok(batch.times_at(pos[node.index()] as usize)?)
+}
+
+/// Builds the augmented stage arrays (driver resistor spliced above the
+/// interconnect, sink loads added) and runs the batched sweep, returning
+/// the [`BatchTimes`] plus the raw-node → augmented-pre-order-position
+/// map.  Shared verbatim by [`stage_delay_bounds`] and
+/// [`stage_node_times`] so both accumulate the same floats in the same
+/// order.
+fn augmented_batch(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+) -> Result<(BatchTimes, Vec<u32>)> {
     // The builder path validates the spliced-in values through
     // `RcTreeBuilder`'s finite/non-negative checks; reject the same inputs
     // with the same error (the interconnect's own values were validated at
@@ -209,12 +253,7 @@ pub fn stage_delay_bounds(
     }
 
     let batch = BatchTimes::of_preorder(&parent, &branch_r, &branch_c, &node_cap)?;
-    let mut bounds = Vec::with_capacity(sink_loads.len());
-    for &(node, _) in sink_loads {
-        let times = batch.times_at(pos[node.index()] as usize)?;
-        bounds.push(times.delay_bounds(threshold)?);
-    }
-    Ok(bounds)
+    Ok((batch, pos))
 }
 
 /// Builds the augmented stage tree: a new input, a lumped resistor equal to

@@ -35,6 +35,7 @@ pub mod ladder;
 pub mod mos_net;
 pub mod pla;
 pub mod random;
+pub mod requests;
 pub mod rng;
 pub mod tech;
 
@@ -48,4 +49,5 @@ pub use crate::ladder::{distributed_line, rc_ladder, repeated_chain};
 pub use crate::mos_net::{mos_fanout_tree, representative_mos_fanout, MosNetOutputs, MosNetParams};
 pub use crate::pla::{PlaLine, PlaLineParams};
 pub use crate::random::RandomTreeConfig;
+pub use crate::requests::{request_mix, RequestMixParams};
 pub use crate::tech::Technology;

@@ -11,8 +11,9 @@
 //! | [`par`] | `rctree-par` | scoped work-stealing thread pool for deck-scale parallelism |
 //! | [`sim`] | `rctree-sim` | exact transient / modal simulation |
 //! | [`netlist`] | `rctree-netlist` | SPICE-subset, SPEF-lite, wiring-algebra parsers |
-//! | [`workloads`] | `rctree-workloads` | paper networks, PLA lines, H-trees, random trees, SPEF decks |
+//! | [`workloads`] | `rctree-workloads` | paper networks, PLA lines, H-trees, random trees, SPEF decks, request mixes |
 //! | [`sta`] | `rctree-sta` | miniature static-timing layer |
+//! | [`serve`] | `rctree-serve` | concurrent timing-query + ECO server and load generator |
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure and table.
@@ -37,6 +38,7 @@
 pub use rctree_core as core;
 pub use rctree_netlist as netlist;
 pub use rctree_par as par;
+pub use rctree_serve as serve;
 pub use rctree_sim as sim;
 pub use rctree_sta as sta;
 pub use rctree_workloads as workloads;
