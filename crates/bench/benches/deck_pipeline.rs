@@ -1,33 +1,46 @@
-//! End-to-end deck pipeline: SPEF parse → design build → batch STA →
-//! certification, serial versus parallel.
+//! End-to-end deck pipeline at ingestion scale: stream-generate a SPEF
+//! deck to disk, stream-parse it back (chunked reader, the document text
+//! never fully in memory), build the design, and analyze — reporting
+//! per-stage times, nets/s, and the process peak RSS at every deck size.
 //!
-//! This is the ROADMAP's "SPEF-scale ingestion" benchmark: a generated
-//! multi-thousand-net deck is pushed through the entire stack twice — once
-//! with one worker, once with the work-stealing pool — and throughput is
-//! reported in nets per second.  Before timing anything the two paths are
-//! asserted **bit-identical** (parsed nets and timing reports compare equal
-//! with exact `f64` equality), so the speedup is never bought with drift.
+//! Two analysis paths run on every deck:
+//!
+//! * **arena** — [`Design::analyze_with_jobs`]: augmentation pre-resolved
+//!   at `add_net` through the name interner, per-net arrays packed into
+//!   one contiguous SoA arena, cached propagation topology;
+//! * **baseline** — [`Design::analyze_rebuild_with_jobs`]: the preserved
+//!   pre-PR path that re-resolves every name and rebuilds every per-net
+//!   array and the topology on each call.
+//!
+//! The two reports are asserted **bit-identical** before timing means
+//! anything, and at `>= 100_000` nets the arena path must be at least
+//! 1.5x the baseline's nets/s — the acceptance bar for this optimisation.
 //!
 //! Environment knobs:
 //!
-//! * `DECK_NETS`  — nets in the generated deck (default 1000);
-//! * `DECK_JOBS`  — parallel worker count (default: available parallelism,
-//!   but at least 4 so the configured shape matches the acceptance target);
-//! * `DECK_ITERS` — timed repetitions per path, best-of reported (default 3).
+//! * `DECK_NETS`        — single deck size (default 1000);
+//! * `DECK_NETS_LIST`   — comma-separated sizes overriding `DECK_NETS`
+//!   (e.g. `10000,100000,1000000` for the ROADMAP trajectory);
+//! * `DECK_JOBS`        — worker count (default: available parallelism,
+//!   at least 4);
+//! * `DECK_ITERS`       — timed repetitions per path, best-of (default 3);
+//! * `DECK_RSS_CEILING_MB` — when set, assert the process peak RSS
+//!   (`VmHWM`) stays below this many MiB (the CI smoke gate).
 //!
-//! A machine-readable summary is written to
+//! A machine-readable summary (one entry per size) is written to
 //! `target/BENCH_deck_pipeline.json`.
 
+use std::io::{BufWriter, Write as _};
 use std::time::Instant;
 
-use rctree_core::cert::Certification;
 use rctree_core::units::Seconds;
-use rctree_netlist::{parse_spef, parse_spef_deck};
+use rctree_netlist::parse_spef_read;
 use rctree_sta::{CellLibrary, Design, TimingReport};
-use rctree_workloads::deck::{spef_deck, SpefDeckParams};
+use rctree_workloads::deck::{render_spef_deck, SpefDeckParams};
 
 const THRESHOLD: f64 = 0.5;
 const DRIVER_CELL: &str = "inv_4x";
+const SEED: u64 = 0xDECC;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -37,28 +50,35 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Runs the whole pipeline with the given worker count and returns the
-/// report plus the certification verdict.
-fn pipeline(text: &str, budget: Seconds, jobs: usize) -> (TimingReport, Certification) {
-    let nets = if jobs == 1 {
-        parse_spef(text).expect("generated deck parses")
-    } else {
-        parse_spef_deck(text, jobs).expect("generated deck parses")
-    };
-    let design = Design::from_extracted(
-        CellLibrary::nmos_1981(),
-        DRIVER_CELL,
-        nets.into_iter().map(|n| (n.name, n.tree)),
-    )
-    .expect("generated deck builds a design");
-    let report = design
-        .analyze_with_jobs(THRESHOLD, budget, jobs)
-        .expect("generated deck analyses");
-    let verdict = report.certification();
-    (report, verdict)
+/// Deck sizes to sweep: `DECK_NETS_LIST` wins, else a single `DECK_NETS`.
+fn sizes() -> Vec<usize> {
+    if let Ok(list) = std::env::var("DECK_NETS_LIST") {
+        let sizes: Vec<usize> = list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect();
+        if !sizes.is_empty() {
+            return sizes;
+        }
+    }
+    vec![env_usize("DECK_NETS", 1000)]
 }
 
-fn best_of<F: FnMut() -> (TimingReport, Certification)>(iters: usize, mut f: F) -> f64 {
+/// Peak resident set size of this process in MiB (`VmHWM`, monotonic over
+/// the process lifetime), or 0.0 where `/proc` is unavailable.
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse::<f64>().ok())
+        .map_or(0.0, |kib| kib / 1024.0)
+}
+
+fn best_of<T, F: FnMut() -> T>(iters: usize, mut f: F) -> f64 {
     (0..iters)
         .map(|_| {
             let start = Instant::now();
@@ -68,68 +88,200 @@ fn best_of<F: FnMut() -> (TimingReport, Certification)>(iters: usize, mut f: F) 
         .fold(f64::INFINITY, f64::min)
 }
 
-fn main() {
-    let nets = env_usize("DECK_NETS", 1000);
-    let iters = env_usize("DECK_ITERS", 3);
-    let avail = rctree_par::available_parallelism();
-    let jobs = env_usize("DECK_JOBS", avail.max(4));
-    let budget = Seconds::from_nano(50.0);
+struct SizeResult {
+    nets: usize,
+    nodes: usize,
+    bytes: u64,
+    gen_s: f64,
+    parse_s: f64,
+    build_s: f64,
+    arena_s: f64,
+    baseline_s: f64,
+    peak_rss_mib: f64,
+}
 
+fn run_size(
+    nets: usize,
+    jobs: usize,
+    iters: usize,
+    budget: Seconds,
+    dir: &std::path::Path,
+) -> SizeResult {
     let params = SpefDeckParams {
         nets,
         ..SpefDeckParams::default()
     };
-    let text = spef_deck(&params, 0xDECC);
+    let path = dir.join(format!("deck_pipeline_{nets}.spef"));
 
-    // Correctness gate: the parallel path must be bit-identical to the
-    // serial one before its timing means anything.
-    let serial_nets = parse_spef(&text).expect("deck parses");
-    let parallel_nets = parse_spef_deck(&text, jobs).expect("deck parses");
+    // Stage 1: stream-generate the deck to disk (constant memory).
+    let start = Instant::now();
+    {
+        let file = std::fs::File::create(&path).expect("create deck file");
+        let mut out = BufWriter::new(file);
+        render_spef_deck(&params, SEED, &mut out).expect("render deck");
+        out.flush().expect("flush deck");
+    }
+    let gen_s = start.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    // Stage 2: stream-parse it back (chunked reader — the file text is
+    // never fully resident).
+    let start = Instant::now();
+    let parsed = {
+        let file = std::fs::File::open(&path).expect("open deck file");
+        parse_spef_read(file, jobs).expect("generated deck parses")
+    };
+    let parse_s = start.elapsed().as_secs_f64();
+    let nodes: usize = parsed.iter().map(|n| n.tree.node_count()).sum();
+
+    // Stage 3: design build (augmentation pre-resolved, names interned).
+    let start = Instant::now();
+    let design = Design::from_extracted(
+        CellLibrary::nmos_1981(),
+        DRIVER_CELL,
+        parsed.into_iter().map(|n| (n.name, n.tree)),
+    )
+    .expect("generated deck builds a design");
+    let build_s = start.elapsed().as_secs_f64();
+
+    // Correctness gate: the arena path must be bit-identical to the
+    // preserved string-keyed baseline before its timing means anything.
+    let arena_report: TimingReport = design
+        .analyze_with_jobs(THRESHOLD, budget, jobs)
+        .expect("arena analysis");
+    let baseline_report = design
+        .analyze_rebuild_with_jobs(THRESHOLD, budget, jobs)
+        .expect("baseline analysis");
     assert!(
-        serial_nets == parallel_nets,
-        "parse_spef_deck({jobs}) differs from parse_spef"
-    );
-    let nodes: usize = serial_nets.iter().map(|n| n.tree.node_count()).sum();
-    let (serial_report, serial_verdict) = pipeline(&text, budget, 1);
-    let (parallel_report, _) = pipeline(&text, budget, jobs);
-    assert!(
-        serial_report == parallel_report,
-        "analyze_with_jobs({jobs}) differs from the serial analysis"
+        arena_report == baseline_report,
+        "arena analysis differs from the string-keyed baseline at {nets} nets"
     );
 
-    let serial_s = best_of(iters, || pipeline(&text, budget, 1));
-    let parallel_s = best_of(iters, || pipeline(&text, budget, jobs));
-    let speedup = serial_s / parallel_s;
+    // Stage 4: steady-state analysis throughput, both paths.
+    let arena_s = best_of(iters, || {
+        design
+            .analyze_with_jobs(THRESHOLD, budget, jobs)
+            .expect("arena analysis")
+    });
+    let baseline_s = best_of(iters, || {
+        design
+            .analyze_rebuild_with_jobs(THRESHOLD, budget, jobs)
+            .expect("baseline analysis")
+    });
 
-    println!(
-        "deck_pipeline: {nets} nets / {nodes} nodes, verdict {serial_verdict}, {jobs} workers \
-         (hardware {avail})"
-    );
-    println!(
-        "  serial   {serial_s:>10.4} s  {:>12.1} nets/s",
-        nets as f64 / serial_s
-    );
-    println!(
-        "  parallel {parallel_s:>10.4} s  {:>12.1} nets/s",
-        nets as f64 / parallel_s
-    );
-    println!("  speedup  {speedup:>10.2}x  (bit-identical: true)");
+    let _ = std::fs::remove_file(&path);
+    SizeResult {
+        nets,
+        nodes,
+        bytes,
+        gen_s,
+        parse_s,
+        build_s,
+        arena_s,
+        baseline_s,
+        peak_rss_mib: peak_rss_mib(),
+    }
+}
+
+fn main() {
+    let iters = env_usize("DECK_ITERS", 3);
+    let avail = rctree_par::available_parallelism();
+    let jobs = env_usize("DECK_JOBS", avail.max(4));
+    let budget = Seconds::from_nano(50.0);
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target"));
+    let _ = std::fs::create_dir_all(dir);
+
+    let mut entries = Vec::new();
+    println!("deck_pipeline: {jobs} workers (hardware {avail}), best of {iters}");
+    for nets in sizes() {
+        let r = run_size(nets, jobs, iters, budget, dir);
+        let speedup = r.baseline_s / r.arena_s;
+        println!(
+            "  {:>9} nets / {:>9} nodes  ({:.1} MiB SPEF)",
+            r.nets,
+            r.nodes,
+            r.bytes as f64 / (1024.0 * 1024.0)
+        );
+        println!(
+            "    gen {:>9.3} s   parse {:>9.3} s ({:>10.0} nets/s)   build {:>9.3} s",
+            r.gen_s,
+            r.parse_s,
+            r.nets as f64 / r.parse_s,
+            r.build_s
+        );
+        println!(
+            "    analyze/arena    {:>9.4} s  {:>12.1} nets/s",
+            r.arena_s,
+            r.nets as f64 / r.arena_s
+        );
+        println!(
+            "    analyze/baseline {:>9.4} s  {:>12.1} nets/s",
+            r.baseline_s,
+            r.nets as f64 / r.baseline_s
+        );
+        println!(
+            "    speedup {speedup:>10.2}x   peak RSS {:>8.1} MiB",
+            r.peak_rss_mib
+        );
+        // The acceptance bar: at 1e5+ nets the interned/arena path must
+        // beat the string-keyed baseline by 1.5x.
+        if r.nets >= 100_000 {
+            assert!(
+                speedup >= 1.5,
+                "arena path is only {speedup:.2}x the baseline at {} nets (need >= 1.5x)",
+                r.nets
+            );
+        }
+        entries.push(format!(
+            "    {{ \"nets\": {}, \"nodes\": {}, \"spef_bytes\": {}, \"gen_s\": {}, \
+             \"parse_s\": {}, \"parse_nets_per_s\": {}, \"build_s\": {}, \
+             \"analyze_arena_s\": {}, \"arena_nets_per_s\": {}, \
+             \"analyze_baseline_s\": {}, \"baseline_nets_per_s\": {}, \
+             \"speedup\": {}, \"peak_rss_mib\": {} }}",
+            r.nets,
+            r.nodes,
+            r.bytes,
+            r.gen_s,
+            r.parse_s,
+            r.nets as f64 / r.parse_s,
+            r.build_s,
+            r.arena_s,
+            r.nets as f64 / r.arena_s,
+            r.baseline_s,
+            r.nets as f64 / r.baseline_s,
+            speedup,
+            r.peak_rss_mib
+        ));
+    }
+
+    // CI smoke gate: bounded-memory ingestion means the peak RSS stays
+    // under an explicit ceiling for the configured deck size.
+    let final_rss = peak_rss_mib();
+    if let Ok(ceiling) = std::env::var("DECK_RSS_CEILING_MB") {
+        let ceiling: f64 = ceiling
+            .trim()
+            .parse()
+            .expect("DECK_RSS_CEILING_MB is a number");
+        println!("  peak RSS {final_rss:.1} MiB (ceiling {ceiling} MiB)");
+        assert!(
+            final_rss > 0.0,
+            "VmHWM unavailable; cannot enforce the RSS ceiling"
+        );
+        assert!(
+            final_rss <= ceiling,
+            "peak RSS {final_rss:.1} MiB exceeds the {ceiling} MiB ceiling"
+        );
+    }
 
     let json = format!(
-        "{{\n  \"bench\": \"deck_pipeline\",\n  \"nets\": {nets},\n  \"nodes\": {nodes},\n  \
-         \"workers\": {jobs},\n  \"available_parallelism\": {avail},\n  \"iters\": {iters},\n  \
-         \"serial\": {{ \"total_s\": {serial_s}, \"nets_per_s\": {} }},\n  \
-         \"parallel\": {{ \"total_s\": {parallel_s}, \"nets_per_s\": {} }},\n  \
-         \"speedup\": {speedup},\n  \"bit_identical\": true\n}}\n",
-        nets as f64 / serial_s,
-        nets as f64 / parallel_s,
+        "{{\n  \"bench\": \"deck_pipeline\",\n  \"workers\": {jobs},\n  \
+         \"available_parallelism\": {avail},\n  \"iters\": {iters},\n  \
+         \"bit_identical\": true,\n  \"peak_rss_mib\": {final_rss},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
     );
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../target/BENCH_deck_pipeline.json"
-    );
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("  summary written to {path}"),
-        Err(e) => eprintln!("  could not write {path}: {e}"),
+    let path = dir.join("BENCH_deck_pipeline.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  summary written to {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
     }
 }

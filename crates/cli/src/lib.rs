@@ -64,7 +64,7 @@ use rctree_core::analysis::TreeAnalysis;
 use rctree_core::cert::Certification;
 use rctree_core::tree::RcTree;
 use rctree_core::units::Seconds;
-use rctree_netlist::{parse_expr, parse_spef_deck, parse_spice};
+use rctree_netlist::{parse_expr, parse_spef_deck, parse_spef_read, parse_spice, SpefNet};
 use rctree_sta::{CellLibrary, Design};
 pub use rctree_sta::{ScriptEdit, ScriptLine};
 
@@ -742,6 +742,49 @@ pub fn deck_design(deck_texts: &[String], driver: &str, jobs: usize) -> Result<D
         .map_err(|e| CliError::Analysis(e.to_string()))
 }
 
+/// Streams one deck input — a file path, or standard input for `-` —
+/// through the chunked SPEF reader ([`parse_spef_read`]), so the document
+/// text never has to fit in memory.  Results (nets and errors) are
+/// byte-identical to reading the whole file and calling
+/// [`parse_spef_deck`].
+///
+/// # Errors
+///
+/// Returns [`CliError::Netlist`] when the input cannot be opened or
+/// parsed.
+pub fn read_deck_nets(path: &str, jobs: usize) -> Result<Vec<SpefNet>, CliError> {
+    let parsed = if path == "-" {
+        parse_spef_read(std::io::stdin().lock(), jobs)
+    } else {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CliError::Netlist(format!("cannot read `{path}`: {e}")))?;
+        parse_spef_read(file, jobs)
+    };
+    parsed.map_err(|e| CliError::Netlist(e.to_string()))
+}
+
+/// [`deck_design`] over deck **paths** instead of in-memory texts: each
+/// deck streams through [`read_deck_nets`], which is what keeps
+/// million-net ingestion within a bounded text footprint.
+///
+/// # Errors
+///
+/// As for [`deck_design`], plus open/read failures as
+/// [`CliError::Netlist`].
+pub fn deck_design_from_paths(
+    paths: &[String],
+    driver: &str,
+    jobs: usize,
+) -> Result<Design, CliError> {
+    let mut all: Vec<(String, RcTree)> = Vec::new();
+    for path in paths {
+        let nets = read_deck_nets(path, jobs)?;
+        all.extend(nets.into_iter().map(|n| (n.name, n.tree)));
+    }
+    Design::from_extracted(CellLibrary::nmos_1981(), driver, all)
+        .map_err(|e| CliError::Analysis(e.to_string()))
+}
+
 /// Runs the deck-level design report (`rcdelay report`): the full
 /// arrival-propagated [`rctree_sta::TimingReport`], rendered through its
 /// `Display` — **byte-identical** to the payload of the server's `REPORT`
@@ -758,7 +801,42 @@ pub fn deck_report(
     budget: f64,
     jobs: usize,
 ) -> Result<Report, CliError> {
-    let design = deck_design(deck_texts, driver, jobs)?;
+    render_deck_report(
+        deck_design(deck_texts, driver, jobs)?,
+        threshold,
+        budget,
+        jobs,
+    )
+}
+
+/// [`deck_report`] over deck **paths**: streams each deck through
+/// [`read_deck_nets`] instead of requiring the texts in memory.
+///
+/// # Errors
+///
+/// As for [`deck_report`], plus open/read failures as
+/// [`CliError::Netlist`].
+pub fn deck_report_from_paths(
+    paths: &[String],
+    driver: &str,
+    threshold: f64,
+    budget: f64,
+    jobs: usize,
+) -> Result<Report, CliError> {
+    render_deck_report(
+        deck_design_from_paths(paths, driver, jobs)?,
+        threshold,
+        budget,
+        jobs,
+    )
+}
+
+fn render_deck_report(
+    design: Design,
+    threshold: f64,
+    budget: f64,
+    jobs: usize,
+) -> Result<Report, CliError> {
     let report = design
         .analyze_with_jobs(threshold, Seconds::new(budget), jobs)
         .map_err(|e| CliError::Analysis(e.to_string()))?;
@@ -840,6 +918,34 @@ impl EcoSession {
         opts: &Options,
         script_edits: Option<usize>,
     ) -> Result<(EcoSession, String), CliError> {
+        let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+        let nets = parse_spef_deck(deck, jobs).map_err(|e| CliError::Netlist(e.to_string()))?;
+        Self::from_nets(nets, opts, script_edits)
+    }
+
+    /// [`EcoSession::new`] over a deck **path** (or `-` for standard
+    /// input): the deck streams through [`read_deck_nets`] instead of
+    /// being read into one string first.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EcoSession::new`], plus open/read failures as
+    /// [`CliError::Netlist`].
+    pub fn open(
+        path: &str,
+        opts: &Options,
+        script_edits: Option<usize>,
+    ) -> Result<(EcoSession, String), CliError> {
+        let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+        let nets = read_deck_nets(path, jobs)?;
+        Self::from_nets(nets, opts, script_edits)
+    }
+
+    fn from_nets(
+        nets: Vec<SpefNet>,
+        opts: &Options,
+        script_edits: Option<usize>,
+    ) -> Result<(EcoSession, String), CliError> {
         let Command::Eco { driver, .. } = &opts.command else {
             return Err(CliError::Usage("run_eco requires eco mode".into()));
         };
@@ -847,8 +953,6 @@ impl EcoSession {
             .budget
             .ok_or_else(|| CliError::Usage("eco mode requires --budget".into()))?;
         let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
-
-        let nets = parse_spef_deck(deck, jobs).map_err(|e| CliError::Netlist(e.to_string()))?;
         let net_count = nets.len();
         let mut design = Design::from_extracted(
             CellLibrary::nmos_1981(),
@@ -953,8 +1057,27 @@ impl EcoSession {
 /// * [`CliError::Analysis`] if the design cannot be built or analysed.
 pub fn run_eco(deck: &str, script: &str, opts: &Options) -> Result<EcoOutcome, CliError> {
     let edits = parse_eco_script(script)?;
-    let (mut session, mut out) = EcoSession::new(deck, opts, Some(edits.len()))?;
-    for se in &edits {
+    let session = EcoSession::new(deck, opts, Some(edits.len()))?;
+    drive_eco(session, &edits)
+}
+
+/// [`run_eco`] over a deck **path** (or `-` for standard input): the deck
+/// streams through [`read_deck_nets`].
+///
+/// # Errors
+///
+/// As for [`run_eco`], plus open/read failures as [`CliError::Netlist`].
+pub fn run_eco_path(path: &str, script: &str, opts: &Options) -> Result<EcoOutcome, CliError> {
+    let edits = parse_eco_script(script)?;
+    let session = EcoSession::open(path, opts, Some(edits.len()))?;
+    drive_eco(session, &edits)
+}
+
+fn drive_eco(
+    (mut session, mut out): (EcoSession, String),
+    edits: &[ScriptEdit],
+) -> Result<EcoOutcome, CliError> {
+    for se in edits {
         let line = session.apply(se)?;
         let _ = writeln!(out, "{line}");
     }

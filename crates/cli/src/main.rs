@@ -12,8 +12,9 @@ use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 use rctree_cli::{
-    deck_design, deck_report, load_tree, parse_args, parse_eco_script_line, report, run_eco,
-    CliError, Command, EcoSession, Options, ScriptLine, USAGE,
+    deck_design_from_paths, deck_report_from_paths, load_tree, parse_args, parse_eco_script_line,
+    read_deck_nets, report, run_eco_path, CliError, Command, EcoSession, Options, ScriptLine,
+    USAGE,
 };
 use rctree_core::cert::Certification;
 use rctree_core::units::Seconds;
@@ -79,15 +80,11 @@ fn main() -> ExitCode {
             }
         }
         Command::Eco { script, watch, .. } => {
-            let text = match read_input(&opts.path) {
-                Ok(text) => text,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            // The deck streams from its path through the chunked SPEF
+            // reader inside the session/run helpers — it is never read
+            // into one string here.
             if *watch {
-                return run_watch(&text, script, &opts);
+                return run_watch(script, &opts);
             }
             let script_text = match read_input(script) {
                 Ok(text) => text,
@@ -96,7 +93,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match run_eco(&text, &script_text, &opts) {
+            match run_eco_path(&opts.path, &script_text, &opts) {
                 Ok(outcome) => {
                     print!("{}", outcome.text);
                     verdict_exit(Some(outcome.certification))
@@ -108,16 +105,9 @@ fn main() -> ExitCode {
             }
         }
         Command::DeckReport { decks, driver } => {
-            let texts = match read_all(decks) {
-                Ok(texts) => texts,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
             let budget = opts.budget.expect("report mode requires --budget");
             let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
-            match deck_report(&texts, driver, opts.threshold, budget, jobs) {
+            match deck_report_from_paths(decks, driver, opts.threshold, budget, jobs) {
                 Ok(report) => {
                     print!("{}", report.text);
                     verdict_exit(report.certification)
@@ -158,30 +148,27 @@ fn main() -> ExitCode {
                 nets: *nets,
                 ..rctree_workloads::SpefDeckParams::default()
             };
-            print!("{}", rctree_workloads::spef_deck(&params, *seed));
+            // Stream net by net: a million-net fixture deck writes in
+            // constant memory instead of materialising gigabytes first.
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            let written = rctree_workloads::render_spef_deck(&params, *seed, &mut out)
+                .and_then(|()| out.flush());
+            if let Err(e) = written {
+                eprintln!("error: cannot write deck: {e}");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
     }
 }
 
-/// Reads every deck path (supporting `-` once for standard input).
-fn read_all(paths: &[String]) -> Result<Vec<String>, String> {
-    paths.iter().map(|p| read_input(p)).collect()
-}
-
 /// `rcdelay serve`: build the deck design, start the server, and block
 /// until a client sends `SHUTDOWN`.
 fn run_serve(opts: &Options, decks: &[String], driver: &str, port: u16) -> ExitCode {
-    let texts = match read_all(decks) {
-        Ok(texts) => texts,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let budget = opts.budget.expect("serve mode requires --budget");
     let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
-    let design = match deck_design(&texts, driver, jobs) {
+    let design = match deck_design_from_paths(decks, driver, jobs) {
         Ok(design) => design,
         Err(e) => {
             eprintln!("error: {e}");
@@ -229,21 +216,14 @@ fn run_bench_client(
 ) -> ExitCode {
     use std::net::ToSocketAddrs;
 
-    let text = match read_input(deck) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
-    let nets = match rctree_netlist::parse_spef_deck(&text, jobs) {
+    let nets = match read_deck_nets(deck, jobs) {
         Ok(nets) => nets
             .into_iter()
             .map(|n| (n.name, n.tree))
             .collect::<Vec<_>>(),
         Err(e) => {
-            eprintln!("error: netlist error: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -344,9 +324,10 @@ fn watch_line(session: &mut EcoSession, line_no: usize, raw: &str) -> bool {
 /// standard input when the script argument is `-`, or by tailing the
 /// script file (polled; a `quit` line ends the session) — printing each
 /// edit's slack delta as it lands.  The exit status reflects the final
-/// certification, exactly like batch mode.
-fn run_watch(deck: &str, script: &str, opts: &Options) -> ExitCode {
-    let (mut session, header) = match EcoSession::new(deck, opts, None) {
+/// certification, exactly like batch mode.  The deck itself streams from
+/// `opts.path` through the chunked SPEF reader.
+fn run_watch(script: &str, opts: &Options) -> ExitCode {
+    let (mut session, header) = match EcoSession::open(&opts.path, opts, None) {
         Ok(started) => started,
         Err(e) => {
             eprintln!("error: {e}");

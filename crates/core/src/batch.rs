@@ -347,6 +347,177 @@ impl BatchTimes {
     }
 }
 
+/// Reusable buffers for repeated [`BatchTimes::of_preorder`]-shaped sweeps.
+///
+/// Sweeping a million small nets through [`BatchTimes::of_preorder`] pays
+/// four `Vec` allocations per net.  A `BatchScratch` owns those buffers
+/// once per worker; [`BatchScratch::sweep`] runs the *identical* float
+/// sequence (same validation, same accumulation order — pinned
+/// bit-identical by a unit test) and returns a borrowed [`BatchView`] for
+/// `O(1)` per-node lookups, so the steady-state sweep allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    path_r: Vec<f64>,
+    down_cap: Vec<f64>,
+    t_d: Vec<f64>,
+    t_r: Vec<f64>,
+}
+
+/// The result of one [`BatchScratch::sweep`], borrowing the scratch
+/// buffers.  Equivalent to the [`BatchTimes`] of the same arrays.
+#[derive(Debug)]
+pub struct BatchView<'a> {
+    t_p: f64,
+    total_cap: f64,
+    r_ee: &'a [f64],
+    t_d: &'a [f64],
+    t_r: &'a [f64],
+}
+
+impl BatchScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Runs the [`BatchTimes::of_preorder`] sweep over pre-order arrays,
+    /// reusing this scratch's buffers instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`BatchTimes::of_preorder`] on the same
+    /// inputs, in the same detection order.
+    pub fn sweep<'a>(
+        &'a mut self,
+        parent: &[u32],
+        branch_r: &[f64],
+        branch_c: &[f64],
+        node_cap: &[f64],
+    ) -> Result<BatchView<'a>> {
+        let n = parent.len();
+        if n == 0 || branch_r.len() != n || branch_c.len() != n || node_cap.len() != n {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order array length",
+                value: n as f64,
+            });
+        }
+        if parent[0] != 0 {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order root parent",
+                value: parent[0] as f64,
+            });
+        }
+        if branch_r[0] != 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order root branch resistance",
+                value: branch_r[0],
+            });
+        }
+        if branch_c[0] != 0.0 {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order root branch capacitance",
+                value: branch_c[0],
+            });
+        }
+        for (i, &p) in parent.iter().enumerate().skip(1) {
+            if p as usize >= i {
+                return Err(CoreError::InvalidValue {
+                    what: "pre-order parent index",
+                    value: p as f64,
+                });
+            }
+        }
+
+        let lumped: f64 = node_cap.iter().sum();
+        let distributed: f64 = branch_c[1..].iter().sum();
+        let total_cap = lumped + distributed;
+        if total_cap == 0.0 {
+            return Err(CoreError::NoCapacitance);
+        }
+
+        let path_r = &mut self.path_r;
+        path_r.clear();
+        path_r.resize(n, 0.0);
+        for i in 1..n {
+            path_r[i] = path_r[parent[i] as usize] + branch_r[i];
+        }
+        let down_cap = &mut self.down_cap;
+        down_cap.clear();
+        down_cap.extend_from_slice(node_cap);
+        for i in (1..n).rev() {
+            down_cap[parent[i] as usize] += down_cap[i] + branch_c[i];
+        }
+
+        let mut t_p = 0.0_f64;
+        for i in 0..n {
+            let p = parent[i] as usize;
+            t_p += node_cap[i] * path_r[i] + branch_c[i] * (path_r[p] + branch_r[i] / 2.0);
+        }
+        let t_d = &mut self.t_d;
+        t_d.clear();
+        t_d.resize(n, 0.0);
+        let t_r = &mut self.t_r;
+        t_r.clear();
+        t_r.resize(n, 0.0);
+        for i in 1..n {
+            let p = parent[i] as usize;
+            let r = branch_r[i];
+            let c_line = branch_c[i];
+            let c_sub = down_cap[i];
+            let (r_pp, r_cc) = (path_r[p], path_r[i]);
+            t_d[i] = t_d[p] + r * (c_sub + c_line / 2.0);
+            t_r[i] = t_r[p] + (r_cc + r_pp) * r * c_sub + c_line * (r_pp * r + r * r / 3.0);
+        }
+        // Normalise the T_Re numerator in place, as `from_raw` does.
+        for (i, num) in t_r.iter_mut().enumerate() {
+            if *num == 0.0 {
+                // No capacitor shares any resistance with this node.
+            } else if path_r[i] == 0.0 {
+                return Err(CoreError::NoPathResistance { output: NodeId(i) });
+            } else {
+                *num /= path_r[i];
+            }
+        }
+
+        Ok(BatchView {
+            t_p,
+            total_cap,
+            r_ee: path_r,
+            t_d,
+            t_r,
+        })
+    }
+}
+
+impl BatchView<'_> {
+    /// The complete signature of the node at a pre-order index (`O(1)`) —
+    /// the same [`CharacteristicTimes`] that [`BatchTimes::times_at`]
+    /// yields for these arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotFound`] if `index` is out of range.
+    pub fn times_at(&self, index: usize) -> Result<CharacteristicTimes> {
+        if index >= self.r_ee.len() {
+            return Err(CoreError::NodeNotFound {
+                node: NodeId(index),
+            });
+        }
+        CharacteristicTimes::new(
+            Seconds::new(self.t_p),
+            Seconds::new(self.t_d[index]),
+            Seconds::new(self.t_r[index]),
+            Ohms::new(self.r_ee[index]),
+            Farads::new(self.total_cap),
+        )
+    }
+
+    /// Number of analysed nodes.
+    pub fn node_count(&self) -> usize {
+        self.r_ee.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +678,60 @@ mod tests {
             BatchTimes::of_preorder(&[0, 0], &[0.0, 5.0], &[0.0, 0.0], &[0.0, 0.0]),
             Err(CoreError::NoCapacitance)
         ));
+    }
+
+    #[test]
+    fn scratch_sweep_is_bit_identical_to_of_preorder() {
+        let tree = branching_tree_with_lines();
+        let cache = tree.traversal();
+        let batch = BatchTimes::of_preorder(
+            &cache.parent,
+            &cache.branch_r,
+            &cache.branch_c,
+            &cache.node_cap,
+        )
+        .unwrap();
+        let mut scratch = BatchScratch::new();
+        // Pollute the scratch with an unrelated sweep first: reuse must not
+        // leak state between nets.
+        scratch
+            .sweep(&[0, 0], &[0.0, 7.0], &[0.0, 0.0], &[3.0, 4.0])
+            .unwrap();
+        let view = scratch
+            .sweep(
+                &cache.parent,
+                &cache.branch_r,
+                &cache.branch_c,
+                &cache.node_cap,
+            )
+            .unwrap();
+        assert_eq!(view.node_count(), batch.node_count());
+        for i in 0..batch.node_count() {
+            assert_eq!(view.times_at(i).unwrap(), batch.times_at(i).unwrap());
+        }
+        assert!(matches!(
+            view.times_at(999),
+            Err(CoreError::NodeNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn scratch_sweep_rejects_malformed_inputs_like_of_preorder() {
+        type Case<'a> = (&'a [u32], &'a [f64], &'a [f64], &'a [f64]);
+        let mut scratch = BatchScratch::new();
+        let cases: [Case; 6] = [
+            (&[], &[], &[], &[]),
+            (&[0, 0], &[0.0], &[0.0, 0.0], &[1.0, 1.0]),
+            (&[1, 0, 1], &[0.0; 3], &[0.0; 3], &[1.0; 3]),
+            (&[0, 0], &[3.0, 5.0], &[0.0, 0.0], &[1.0, 1.0]),
+            (&[0, 0], &[0.0, 5.0], &[2.0, 0.0], &[1.0, 1.0]),
+            (&[0, 0], &[0.0, 5.0], &[0.0, 0.0], &[0.0, 0.0]),
+        ];
+        for (parent, r, c, cap) in cases {
+            let want = BatchTimes::of_preorder(parent, r, c, cap).unwrap_err();
+            let got = scratch.sweep(parent, r, c, cap).map(|_| ()).unwrap_err();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

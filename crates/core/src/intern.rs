@@ -1,0 +1,241 @@
+//! Deck-scoped string interning: names to dense `u32` ids.
+//!
+//! A million-net deck names every net (and, through the `rctree-sta`
+//! layer, every instance pin) with a short string.  Keying hot maps by
+//! `String` costs an allocation per key, a heap indirection per probe, and
+//! scatters the names across the heap; at `10^6` nets that dominates both
+//! memory and cache traffic.  [`Interner`] stores every distinct name
+//! exactly once, contiguously, and hands out a dense [`NameId`] (`u32`) —
+//! hot maps key on the id, and the string itself materialises only at the
+//! protocol/report boundary via [`Interner::resolve`].
+//!
+//! The table is a plain open hash over FNV-1a with per-bucket collision
+//! chains that compare the actual bytes, so two distinct names that land
+//! in one bucket always receive distinct ids (pinned by a forced-collision
+//! regression test).  Ids are assigned in first-intern order and are never
+//! invalidated; the structure is append-only.
+
+/// A dense identifier for an interned name.
+///
+/// Ids are assigned contiguously from zero in first-intern order, so they
+/// double as indices into id-ordered side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The id as a dense index (`0..interner.len()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string arena mapping names to dense [`NameId`]s.
+///
+/// ```
+/// use rctree_core::intern::Interner;
+///
+/// let mut names = Interner::new();
+/// let clk = names.intern("clk");
+/// assert_eq!(names.intern("clk"), clk);       // idempotent
+/// assert_eq!(names.resolve(clk), "clk");      // O(1) reverse lookup
+/// assert_eq!(names.get("clk"), Some(clk));    // O(1) forward lookup
+/// assert_eq!(names.get("rst"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    /// Every interned name, concatenated.
+    buf: String,
+    /// Byte range of each id's name within `buf`.
+    spans: Vec<(u32, u32)>,
+    /// Hash table: bucket -> chain of ids whose names hash there.
+    /// `buckets.len()` is always a power of two.
+    buckets: Vec<Vec<u32>>,
+}
+
+/// FNV-1a over the name bytes — stable, dependency-free, and good enough
+/// for short identifier-like keys.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no name has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total bytes of interned name text (diagnostic; excludes table
+    /// overhead).
+    pub fn text_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn bucket_of(&self, name: &str) -> usize {
+        debug_assert!(self.buckets.len().is_power_of_two());
+        (fnv1a(name) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn span_str(&self, id: u32) -> &str {
+        let (start, end) = self.spans[id as usize];
+        &self.buf[start as usize..end as usize]
+    }
+
+    /// The id of `name`, if it has been interned.
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let bucket = self.bucket_of(name);
+        self.buckets[bucket]
+            .iter()
+            .copied()
+            .find(|&id| self.span_str(id) == name)
+            .map(NameId)
+    }
+
+    /// Interns `name`, returning its id.  Idempotent: re-interning an
+    /// existing name returns the original id without storing anything.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(id) = self.get(name) {
+            return id;
+        }
+        // Grow at load factor 1 so chains stay short.
+        if self.spans.len() >= self.buckets.len() {
+            self.grow();
+        }
+        let start = self.buf.len() as u32;
+        self.buf.push_str(name);
+        let end = self.buf.len() as u32;
+        let id = u32::try_from(self.spans.len()).expect("more than u32::MAX interned names");
+        self.spans.push((start, end));
+        let bucket = self.bucket_of(name);
+        self.buckets[bucket].push(id);
+        NameId(id)
+    }
+
+    /// The name of an interned id (`O(1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this interner (out of range).
+    pub fn resolve(&self, id: NameId) -> &str {
+        self.span_str(id.0)
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
+        (0..self.spans.len() as u32).map(|id| (NameId(id), self.span_str(id)))
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.buckets.len() * 2).max(16);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); new_len];
+        let mask = new_len - 1;
+        for id in 0..self.spans.len() as u32 {
+            let bucket = (fnv1a(self.span_str(id)) as usize) & mask;
+            buckets[bucket].push(id);
+        }
+        self.buckets = buckets;
+    }
+
+    /// The bucket chain length holding `name` — test hook for the
+    /// collision regression.
+    #[cfg(test)]
+    fn chain_len(&self, name: &str) -> usize {
+        if self.buckets.is_empty() {
+            return 0;
+        }
+        self.buckets[self.bucket_of(name)].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut names = Interner::new();
+        let a = names.intern("a");
+        let b = names.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(names.intern("a"), a);
+        assert_eq!(names.len(), 2);
+        assert_eq!(names.resolve(a), "a");
+        assert_eq!(names.resolve(b), "b");
+        assert_eq!(names.get("a"), Some(a));
+        assert_eq!(names.get("c"), None);
+    }
+
+    #[test]
+    fn empty_interner_answers_lookups() {
+        let names = Interner::new();
+        assert!(names.is_empty());
+        assert_eq!(names.get("anything"), None);
+    }
+
+    #[test]
+    fn survives_growth_with_many_names() {
+        let mut names = Interner::new();
+        let ids: Vec<NameId> = (0..10_000)
+            .map(|i| names.intern(&format!("net{i}")))
+            .collect();
+        assert_eq!(names.len(), 10_000);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(names.resolve(*id), format!("net{i}"));
+            assert_eq!(names.get(&format!("net{i}")), Some(*id));
+        }
+        // Ids stay dense and in first-intern order.
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn colliding_names_get_distinct_ids() {
+        // Force two distinct names into one bucket, then check the chain
+        // compares bytes rather than hashes: both names keep independent
+        // ids and resolve to their own text.
+        let mut names = Interner::new();
+        let mut pool: Vec<String> = (0..512).map(|i| format!("n{i}")).collect();
+        for n in &pool {
+            names.intern(n);
+        }
+        let collided = pool
+            .drain(..)
+            .find(|n| names.chain_len(n) >= 2)
+            .expect("512 names over <=512 buckets must collide somewhere");
+        let id = names.get(&collided).expect("interned");
+        assert_eq!(names.resolve(id), collided);
+        // A fresh name steered into the same bucket still gets its own id.
+        let before = names.len();
+        let fresh = names.intern(&format!("{collided}_x"));
+        assert_eq!(names.len(), before + 1);
+        assert_ne!(fresh, id);
+        assert_eq!(names.resolve(fresh), format!("{collided}_x"));
+    }
+
+    #[test]
+    fn iter_walks_in_id_order() {
+        let mut names = Interner::new();
+        for n in ["z", "y", "x"] {
+            names.intern(n);
+        }
+        let walked: Vec<(usize, &str)> = names.iter().map(|(id, s)| (id.index(), s)).collect();
+        assert_eq!(walked, vec![(0, "z"), (1, "y"), (2, "x")]);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`moments`] | the characteristic times (direct and linear algorithms) |
 //! | [`batch`] | all-outputs batch engine: every node's times in `O(n)` total |
 //! | [`incremental`] | mutable trees with `O(depth)` ECO delta re-analysis |
+//! | [`intern`] | deck-scoped string interning: names to dense `u32` ids |
 //! | [`bounds`] | the Penfield–Rubinstein voltage/delay bounds (Eqs. 8–17) |
 //! | [`cert`] | the three-valued `OK` certification |
 //! | [`twoport`], [`expr`] | the constructive `URC`/`WB`/`WC` algebra of Section IV |
@@ -85,6 +86,7 @@ pub mod elmore;
 pub mod error;
 pub mod expr;
 pub mod incremental;
+pub mod intern;
 pub mod moments;
 pub mod ramp;
 pub mod resistance;
@@ -95,7 +97,7 @@ pub mod units;
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::analysis::{OutputTiming, TreeAnalysis};
-    pub use crate::batch::BatchTimes;
+    pub use crate::batch::{BatchScratch, BatchTimes, BatchView};
     pub use crate::bounds::{DelayBounds, VoltageBounds};
     pub use crate::builder::RcTreeBuilder;
     pub use crate::cert::Certification;
@@ -104,6 +106,7 @@ pub mod prelude {
     pub use crate::error::{CoreError, Result};
     pub use crate::expr::NetworkExpr;
     pub use crate::incremental::{EditableTree, IncrementalTimes, TreeEdit};
+    pub use crate::intern::{Interner, NameId};
     pub use crate::moments::{
         characteristic_times, characteristic_times_all, characteristic_times_direct,
         CharacteristicTimes,
@@ -116,12 +119,13 @@ pub mod prelude {
 }
 
 pub use crate::analysis::TreeAnalysis;
-pub use crate::batch::BatchTimes;
+pub use crate::batch::{BatchScratch, BatchTimes, BatchView};
 pub use crate::bounds::{DelayBounds, VoltageBounds};
 pub use crate::builder::RcTreeBuilder;
 pub use crate::cert::Certification;
 pub use crate::error::{CoreError, Result};
 pub use crate::incremental::{EditableTree, IncrementalTimes, TreeEdit};
+pub use crate::intern::{Interner, NameId};
 pub use crate::moments::CharacteristicTimes;
 pub use crate::tree::{NodeId, RcTree};
 pub use crate::twoport::TwoPort;

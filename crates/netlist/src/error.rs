@@ -31,6 +31,14 @@ pub enum NetlistError {
     },
     /// The netlist did not define any elements.
     Empty,
+    /// An I/O failure while reading a streamed netlist source.
+    ///
+    /// The underlying `std::io::Error` is captured as its display text so
+    /// this type stays `Clone + PartialEq`.
+    Io {
+        /// Display text of the underlying I/O error.
+        message: String,
+    },
     /// The declared input node never appears in any element.
     UnknownInput {
         /// Name of the missing input node.
@@ -79,6 +87,7 @@ impl fmt::Display for NetlistError {
                 "line {line}: capacitor must connect a node to ground in an RC tree"
             ),
             NetlistError::Empty => write!(f, "netlist contains no elements"),
+            NetlistError::Io { message } => write!(f, "i/o error: {message}"),
             NetlistError::UnknownInput { name } => {
                 write!(f, "input node `{name}` does not appear in any element")
             }
@@ -99,6 +108,14 @@ impl std::error::Error for NetlistError {
 impl From<rctree_core::CoreError> for NetlistError {
     fn from(e: rctree_core::CoreError) -> Self {
         NetlistError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for NetlistError {
+    fn from(e: std::io::Error) -> Self {
+        NetlistError::Io {
+            message: e.to_string(),
+        }
     }
 }
 

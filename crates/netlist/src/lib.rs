@@ -35,12 +35,14 @@ pub mod error;
 pub mod exprfmt;
 pub mod spef;
 pub mod spice;
+pub mod stream;
 pub mod value;
 
 pub use crate::error::{NetlistError, Result};
 pub use crate::exprfmt::{format_expr, parse_expr};
 pub use crate::spef::{parse_spef, parse_spef_deck, parse_spef_net, SpefNet};
 pub use crate::spice::{parse_spice, write_spice};
+pub use crate::stream::{parse_spef_read, SpefReader};
 
 #[cfg(test)]
 mod tests {

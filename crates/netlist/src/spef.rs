@@ -92,9 +92,9 @@ pub fn parse_spef(text: &str) -> Result<Vec<SpefNet>> {
 /// drift apart (their bit-identity is a documented guarantee of
 /// [`parse_spef_deck`]).
 #[derive(Debug, Clone, Copy)]
-struct Units {
-    r: f64,
-    c: f64,
+pub(crate) struct Units {
+    pub(crate) r: f64,
+    pub(crate) c: f64,
 }
 
 impl Default for Units {
@@ -111,7 +111,11 @@ impl Units {
     /// directives update the scales in place; a `*D_NET` header returns the
     /// net name and its declared total capacitance (already scaled); any
     /// other line is ignored.
-    fn scan_top_level(&mut self, line: &str, line_no: usize) -> Result<Option<(String, f64)>> {
+    pub(crate) fn scan_top_level(
+        &mut self,
+        line: &str,
+        line_no: usize,
+    ) -> Result<Option<(String, f64)>> {
         let upper = line.to_ascii_uppercase();
         if upper.starts_with("*R_UNIT") {
             self.r = unit_scale(line, line_no, &["OHM", "KOHM"])?;
@@ -272,7 +276,7 @@ pub fn parse_spef_deck(text: &str, jobs: usize) -> Result<Vec<SpefNet>> {
     .collect()
 }
 
-fn strip_comment(raw: &str) -> &str {
+pub(crate) fn strip_comment(raw: &str) -> &str {
     raw.split("//").next().unwrap_or("").trim()
 }
 
@@ -307,7 +311,7 @@ fn unit_scale(line: &str, line_no: usize, accepted: &[&str]) -> Result<f64> {
     Ok(scale * unit_factor)
 }
 
-fn parse_d_net<'a, I>(
+pub(crate) fn parse_d_net<'a, I>(
     lines: &mut I,
     name: String,
     header_line: usize,

@@ -1,0 +1,383 @@
+//! Streaming SPEF-lite ingestion in bounded memory.
+//!
+//! [`crate::parse_spef_deck`] wants the whole document resident as one
+//! `&str` before the byte-offset splitter can hand out section subslices.
+//! At `10^6` nets that is hundreds of megabytes of text held alive for the
+//! duration of the parse — pure overhead, since each `*D_NET` section is
+//! parsed independently and discarded.  [`SpefReader`] removes it: the
+//! document is consumed from any [`Read`] source in fixed-size chunks, a
+//! carry-over buffer stitches the partial line at each chunk boundary, and
+//! completed `*D_NET` sections are parsed (in parallel batches via
+//! `rctree-par`) as soon as their `*END` arrives.  Peak memory is
+//! `O(chunk + largest section + one parsed batch)` regardless of deck
+//! size.
+//!
+//! # Equivalence with the whole-text parsers
+//!
+//! [`parse_spef_read`] is pinned **byte-identical** to
+//! [`crate::parse_spef_deck`] on the same bytes (the `streaming_seams`
+//! integration suite sweeps chunk sizes of 1–64 bytes so every seam —
+//! mid-line, mid-section, mid-CRLF — is exercised):
+//!
+//! * the line splitter reproduces `str::lines` exactly (trailing `\n`
+//!   stripped, a `\r` before it stripped, final unterminated line kept);
+//! * absolute 1-based line numbers appear in every error;
+//! * unit directives apply in document order, each section capturing the
+//!   scales in effect at its header;
+//! * a section left open at end of input is parsed anyway and reports its
+//!   missing `*END` at the `*D_NET` header;
+//! * error *ordering* matches: a malformed top-level line (unit directive
+//!   or `*D_NET` header) anywhere in the document is reported in
+//!   preference to any section-body error, because the whole-text path
+//!   scans the full document before parsing any section.  The streaming
+//!   path replicates this by continuing to scan (without parsing) to end
+//!   of input once a section has failed.
+//!
+//! The only inputs the streaming path rejects that the `&str` entry points
+//! cannot even express are non-UTF-8 bytes ([`NetlistError::Parse`] at the
+//! offending line) and I/O failures ([`NetlistError::Io`]).
+
+use std::collections::VecDeque;
+use std::io::Read;
+
+use crate::error::{NetlistError, Result};
+use crate::spef::{parse_d_net, strip_comment, SpefNet, Units};
+
+/// Default chunk size: large enough to amortise syscalls, small enough
+/// that a reader never holds a meaningful fraction of a big deck.
+const DEFAULT_CHUNK: usize = 1 << 20;
+
+/// How many completed sections [`SpefReader::next_nets`] parses per batch.
+/// Small enough to bound memory, large enough to keep the worker pool fed.
+const PARSE_BATCH: usize = 512;
+
+/// A completed `*D_NET` section awaiting parsing: the scanned header plus
+/// the body text (every line after the header through `*END`, when
+/// present), with the line numbering anchor needed for absolute error
+/// positions.
+#[derive(Debug, Clone)]
+struct RawSection {
+    name: String,
+    declared_total_cap: f64,
+    r_unit: f64,
+    c_unit: f64,
+    /// 1-based line number of the `*D_NET` header.
+    header_line: usize,
+    /// Body lines, newline-separated, `\r` already stripped.
+    body: String,
+}
+
+impl RawSection {
+    fn parse(&self) -> Result<SpefNet> {
+        // The body's first line is document line `header_line + 1`;
+        // `parse_d_net` reports `idx + 1`, so enumerate from the header.
+        let mut lines = self
+            .body
+            .lines()
+            .enumerate()
+            .map(|(k, raw)| (self.header_line + k, raw));
+        parse_d_net(
+            &mut lines,
+            self.name.clone(),
+            self.header_line,
+            self.declared_total_cap,
+            self.r_unit,
+            self.c_unit,
+        )
+    }
+}
+
+/// A chunked, bounded-memory reader of SPEF-lite decks.
+///
+/// Feed it any [`Read`] source and pull parsed nets in document order with
+/// [`SpefReader::next_nets`], or use the one-shot [`parse_spef_read`].
+/// See the module docs for the equivalence guarantees.
+#[derive(Debug)]
+pub struct SpefReader<R> {
+    source: R,
+    chunk_size: usize,
+    /// Bytes of the line(s) not yet terminated by `\n` — the carry-over
+    /// across chunk boundaries.  Never holds more than one line plus one
+    /// chunk.
+    carry: Vec<u8>,
+    /// 1-based number of the last line handed to the scanner.
+    line_no: usize,
+    units: Units,
+    /// The section currently accumulating body lines, if any.
+    open: Option<RawSection>,
+    /// Completed sections not yet returned.
+    ready: VecDeque<RawSection>,
+    /// End of input reached and fully processed.
+    done: bool,
+}
+
+impl<R: Read> SpefReader<R> {
+    /// A reader with the default chunk size (1 MiB).
+    pub fn new(source: R) -> Self {
+        Self::with_chunk_size(source, DEFAULT_CHUNK)
+    }
+
+    /// A reader with an explicit chunk size (minimum 1 byte).  Tiny sizes
+    /// are only useful for seam tests; throughput wants the default.
+    pub fn with_chunk_size(source: R, chunk_size: usize) -> Self {
+        SpefReader {
+            source,
+            chunk_size: chunk_size.max(1),
+            carry: Vec::new(),
+            line_no: 0,
+            units: Units::default(),
+            open: None,
+            ready: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// Number of input lines consumed so far.
+    pub fn lines_read(&self) -> usize {
+        self.line_no
+    }
+
+    /// Scans one complete line, exactly as `split_deck` interprets it.
+    fn scan_line(&mut self, raw: &str) -> Result<()> {
+        self.line_no += 1;
+        let line = strip_comment(raw);
+        if let Some(section) = self.open.as_mut() {
+            // Every line of an open section — stray headers and unit
+            // directives included — belongs to its body.
+            section.body.push_str(raw);
+            section.body.push('\n');
+            if line.to_ascii_uppercase().starts_with("*END") {
+                self.ready
+                    .push_back(self.open.take().expect("section is open"));
+            }
+            return Ok(());
+        }
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some((name, declared_total_cap)) = self.units.scan_top_level(line, self.line_no)? {
+            self.open = Some(RawSection {
+                name,
+                declared_total_cap,
+                r_unit: self.units.r,
+                c_unit: self.units.c,
+                header_line: self.line_no,
+                body: String::new(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drains every complete line out of the carry buffer.
+    fn drain_carry_lines(&mut self) -> Result<()> {
+        let mut start = 0usize;
+        while let Some(nl) = self.carry[start..].iter().position(|&b| b == b'\n') {
+            let end = start + nl;
+            let mut line = &self.carry[start..end];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            let text = std::str::from_utf8(line)
+                .map_err(|_| NetlistError::parse(self.line_no + 1, "input is not valid UTF-8"))?;
+            // Borrow dance: the line borrows `carry`, so copy out the
+            // (short) text before scanning mutates `self`.
+            let owned;
+            let text = if self.open.is_some() || !strip_comment(text).is_empty() {
+                owned = text.to_string();
+                owned.as_str()
+            } else {
+                ""
+            };
+            self.scan_line(text)?;
+            start = end + 1;
+        }
+        self.carry.drain(..start);
+        Ok(())
+    }
+
+    /// Pulls the next completed raw section, reading more chunks as
+    /// needed.  `Ok(None)` at end of input.  Top-level scan errors, UTF-8
+    /// errors and I/O errors are terminal.
+    fn next_raw_section(&mut self) -> Result<Option<RawSection>> {
+        loop {
+            if let Some(section) = self.ready.pop_front() {
+                return Ok(Some(section));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            let mut buf = vec![0u8; self.chunk_size];
+            let n = self.source.read(&mut buf).map_err(|e| {
+                self.done = true;
+                NetlistError::from(e)
+            })?;
+            if n == 0 {
+                // End of input: the carry holds the final unterminated
+                // line, if any (exactly the line `str::lines` would still
+                // yield), and an open section is parsed as-is so its
+                // missing `*END` is reported at the header.
+                if !self.carry.is_empty() {
+                    // A trailing `\r` stays: `str::lines` strips `\r` only
+                    // immediately before a `\n`.
+                    let line = std::mem::take(&mut self.carry);
+                    let text = String::from_utf8(line).map_err(|_| {
+                        self.done = true;
+                        NetlistError::parse(self.line_no + 1, "input is not valid UTF-8")
+                    })?;
+                    if let Err(e) = self.scan_line(&text) {
+                        self.done = true;
+                        return Err(e);
+                    }
+                }
+                if let Some(section) = self.open.take() {
+                    self.ready.push_back(section);
+                }
+                self.done = true;
+                continue;
+            }
+            self.carry.extend_from_slice(&buf[..n]);
+            if let Err(e) = self.drain_carry_lines() {
+                self.done = true;
+                return Err(e);
+            }
+        }
+    }
+
+    /// Parses and returns the next batch of nets, in document order;
+    /// `Ok(None)` at end of input.  Batches are parsed in parallel over
+    /// `jobs` workers (0 = default pool size).
+    ///
+    /// Errors follow the [`crate::parse_spef_deck`] ordering: when a
+    /// section body fails to parse, the rest of the input is still scanned
+    /// and a top-level scan error found there wins over the section error.
+    /// Any error is terminal for the reader.
+    pub fn next_nets(&mut self, jobs: usize) -> Result<Option<Vec<SpefNet>>> {
+        let mut raws = Vec::new();
+        while raws.len() < PARSE_BATCH {
+            match self.next_raw_section()? {
+                Some(raw) => raws.push(raw),
+                None => break,
+            }
+        }
+        if raws.is_empty() {
+            return Ok(None);
+        }
+        let parsed: Result<Vec<SpefNet>> =
+            rctree_par::par_map_indexed(jobs, &raws, |_, raw| raw.parse())
+                .into_iter()
+                .collect();
+        match parsed {
+            Ok(nets) => Ok(Some(nets)),
+            Err(section_error) => {
+                // Keep scanning (not parsing) to end of input: the
+                // whole-text path scans the full document before parsing
+                // any section, so a later top-level error outranks this
+                // section error.
+                loop {
+                    match self.next_raw_section() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) => {
+                            self.done = true;
+                            return Err(section_error);
+                        }
+                        Err(scan_error) => return Err(scan_error),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses the whole source, collecting every net in document order.
+    ///
+    /// Identical results and errors to [`crate::parse_spef_deck`] on the
+    /// same bytes, including [`NetlistError::Empty`] when the input holds
+    /// no `*D_NET` at all — but without ever holding the full text.
+    pub fn parse_all(&mut self, jobs: usize) -> Result<Vec<SpefNet>> {
+        let mut nets = Vec::new();
+        while let Some(batch) = self.next_nets(jobs)? {
+            nets.extend(batch);
+        }
+        if nets.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+        Ok(nets)
+    }
+}
+
+/// Parses a SPEF-lite deck from any [`Read`] source in bounded memory —
+/// the streaming drop-in for [`crate::parse_spef_deck`].
+///
+/// # Errors
+///
+/// The same errors in the same order as [`crate::parse_spef_deck`] on the
+/// same bytes, plus [`NetlistError::Io`] for source failures and a
+/// [`NetlistError::Parse`] for non-UTF-8 input.
+pub fn parse_spef_read<R: Read>(source: R, jobs: usize) -> Result<Vec<SpefNet>> {
+    SpefReader::new(source).parse_all(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+*SPEF \"IEEE 1481-1998\"\n\
+*R_UNIT 1 OHM\n\
+*C_UNIT 1 PF\n\
+*D_NET net1 0.022\n\
+*CONN\n\
+*I buf:Z I\n\
+*P ff1:CK O\n\
+*CAP\n\
+1 n1 0.002\n\
+2 ff1:CK 0.020\n\
+*RES\n\
+1 buf:Z n1 15.0\n\
+2 n1 ff1:CK 8.0\n\
+*END\n";
+
+    #[test]
+    fn streams_match_whole_text_parse() {
+        let want = crate::parse_spef_deck(SAMPLE, 1).unwrap();
+        for chunk in [1, 2, 3, 7, 64, DEFAULT_CHUNK] {
+            let mut reader = SpefReader::with_chunk_size(SAMPLE.as_bytes(), chunk);
+            assert_eq!(reader.parse_all(1).unwrap(), want, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(matches!(
+            parse_spef_read("// nothing\n".as_bytes(), 1),
+            Err(NetlistError::Empty)
+        ));
+        assert!(matches!(
+            parse_spef_read("".as_bytes(), 1),
+            Err(NetlistError::Empty)
+        ));
+    }
+
+    #[test]
+    fn io_failures_surface_as_io_errors() {
+        struct Broken;
+        impl Read for Broken {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        match parse_spef_read(Broken, 1) {
+            Err(NetlistError::Io { message }) => assert!(message.contains("disk on fire")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_input_is_a_parse_error_at_the_line() {
+        let mut bytes = SAMPLE.as_bytes().to_vec();
+        bytes.extend_from_slice(b"*D_NET bad \xFF\n");
+        match parse_spef_read(&bytes[..], 1) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 15),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

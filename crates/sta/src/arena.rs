@@ -1,0 +1,223 @@
+//! Contiguous SoA net arena: every net's augmented stage arrays packed
+//! into one allocation.
+//!
+//! [`Design::analyze_with_jobs`](crate::Design::analyze_with_jobs) used to
+//! rebuild four per-net `Vec`s (parent / branch R / branch C / node cap)
+//! inside every worker on every call — at `10^6` nets that is four million
+//! short-lived allocations per analysis and a heap walk that defeats the
+//! cache.  [`NetArena`] materialises the same arrays **once** per design
+//! revision, each net occupying one contiguous range of four structure-of-
+//! arrays columns, so the sharded stage sweep streams through memory
+//! linearly and reuses one per-worker [`BatchScratch`] for every net it
+//! visits.
+//!
+//! The arrays of each net are byte-for-byte the arrays
+//! [`crate::stage::augmented_batch`] would build (same splice order, same
+//! validation, same floats), and the sweep itself runs through
+//! [`BatchScratch::sweep`], which is pinned bit-identical to
+//! [`rctree_core::batch::BatchTimes::of_preorder`] — so arena-backed
+//! analysis reproduces the historical per-net evaluation exactly.
+//!
+//! Per-net validation failures are **deferred**, not raised at build time:
+//! each net carries an optional error slot that the sweep surfaces when
+//! (and only when) that net is evaluated, preserving the historical
+//! first-failing-net-in-net-order error semantics of the parallel map.
+
+use rctree_core::batch::BatchScratch;
+use rctree_core::units::Seconds;
+
+use crate::error::{Result, StaError};
+use crate::graph::{Net, NetAug};
+use crate::stage::{DRIVER_OUTPUT_NODE, STAGE_INPUT_NODE};
+
+/// The packed augmented-stage arrays of every net of a design.
+///
+/// Built lazily (and cached on the design core) from the committed nets and
+/// their pre-resolved [`NetAug`] side table; any mutation of the nets
+/// invalidates the cache.
+#[derive(Debug)]
+pub(crate) struct NetArena {
+    /// Parent index of every augmented node, **local** to its net's range
+    /// (each range is a standalone pre-order array).
+    parent: Vec<u32>,
+    /// Branch resistance feeding every augmented node.
+    branch_r: Vec<f64>,
+    /// Distributed branch capacitance of every augmented node.
+    branch_c: Vec<f64>,
+    /// Lumped node capacitance (interconnect + spliced sink loads).
+    node_cap: Vec<f64>,
+    /// Per net: `[start, end)` into the four columns.  Empty for sink-less
+    /// nets (which the stage evaluation skips) and for nets whose build
+    /// failed.
+    node_range: Vec<(u32, u32)>,
+    /// Per-net sink positions (local pre-order indices), concatenated.
+    sink_pos: Vec<u32>,
+    /// Per net: `[start, end)` into `sink_pos`.
+    sink_range: Vec<(u32, u32)>,
+    /// Per net: the validation error `augmented_batch` would have raised,
+    /// surfaced when the net is swept.
+    errors: Vec<Option<StaError>>,
+}
+
+impl NetArena {
+    /// Packs every net's augmented arrays.  Infallible: per-net validation
+    /// failures are recorded in the net's error slot instead.
+    pub(crate) fn build(nets: &[Net], aug: &[NetAug]) -> NetArena {
+        let total_nodes: usize = nets
+            .iter()
+            .zip(aug)
+            .filter(|(_, a)| !a.loads.is_empty())
+            .map(|(n, _)| n.interconnect.node_count() + 1)
+            .sum();
+        let total_sinks: usize = aug.iter().map(|a| a.loads.len()).sum();
+        let mut arena = NetArena {
+            parent: Vec::with_capacity(total_nodes),
+            branch_r: Vec::with_capacity(total_nodes),
+            branch_c: Vec::with_capacity(total_nodes),
+            node_cap: Vec::with_capacity(total_nodes),
+            node_range: Vec::with_capacity(nets.len()),
+            sink_pos: Vec::with_capacity(total_sinks),
+            sink_range: Vec::with_capacity(nets.len()),
+            errors: Vec::with_capacity(nets.len()),
+        };
+        // Raw node id -> local augmented pre-order position, reused across
+        // nets (cleared and resized per net).
+        let mut pos: Vec<u32> = Vec::new();
+        for (net, net_aug) in nets.iter().zip(aug) {
+            let start = arena.parent.len();
+            let sink_start = arena.sink_pos.len();
+            match arena.append_net(net, net_aug, &mut pos) {
+                Ok(()) => arena.errors.push(None),
+                Err(e) => {
+                    // Roll the partial append back so the ranges of later
+                    // nets stay consistent; the error replays at sweep time.
+                    arena.parent.truncate(start);
+                    arena.branch_r.truncate(start);
+                    arena.branch_c.truncate(start);
+                    arena.node_cap.truncate(start);
+                    arena.sink_pos.truncate(sink_start);
+                    arena.errors.push(Some(e));
+                }
+            }
+            arena
+                .node_range
+                .push((start as u32, arena.parent.len() as u32));
+            arena
+                .sink_range
+                .push((sink_start as u32, arena.sink_pos.len() as u32));
+        }
+        arena
+    }
+
+    /// Appends one net's augmented arrays, replicating
+    /// [`crate::stage::augmented_batch`]'s splice and validation order
+    /// exactly (driver check, pre-order walk with reserved-name checks,
+    /// then per-sink node/load checks) so deferred errors match the
+    /// historical per-call evaluation.
+    fn append_net(&mut self, net: &Net, aug: &NetAug, pos: &mut Vec<u32>) -> Result<()> {
+        // A sink-less net has nothing to time — `stage_delay_bounds`
+        // short-circuits before any validation, and so does the sweep.
+        if aug.loads.is_empty() {
+            return Ok(());
+        }
+        let check = |what: &'static str, value: f64| -> Result<()> {
+            if !value.is_finite() || value < 0.0 {
+                Err(rctree_core::CoreError::InvalidValue { what, value }.into())
+            } else {
+                Ok(())
+            }
+        };
+        check("resistance", aug.driver_r.value())?;
+        let tree = &net.interconnect;
+        let base = self.parent.len();
+        pos.clear();
+        pos.resize(tree.node_count(), 0);
+
+        // Local node 0: the stage input (no element, no capacitance), and
+        // node 1: the driver's output, carrying the driver resistance and
+        // the interconnect input's lumped capacitance.
+        self.parent.push(0);
+        self.branch_r.push(0.0);
+        self.branch_c.push(0.0);
+        self.node_cap.push(0.0);
+        self.parent.push(0);
+        self.branch_r.push(aug.driver_r.value());
+        self.branch_c.push(0.0);
+        self.node_cap.push(tree.capacitance(tree.input())?.value());
+        pos[tree.input().index()] = 1;
+
+        for id in tree.preorder() {
+            if id == tree.input() {
+                continue;
+            }
+            let name = tree.name(id)?;
+            if name == DRIVER_OUTPUT_NODE || name == STAGE_INPUT_NODE {
+                return Err(rctree_core::CoreError::DuplicateName {
+                    name: name.to_string(),
+                }
+                .into());
+            }
+            let p = tree.parent(id)?.expect("non-input node");
+            let branch = tree.branch(id)?.expect("non-input node");
+            pos[id.index()] = (self.parent.len() - base) as u32;
+            self.parent.push(pos[p.index()]);
+            self.branch_r.push(branch.resistance().value());
+            self.branch_c.push(branch.capacitance().value());
+            self.node_cap.push(tree.capacitance(id)?.value());
+        }
+
+        for &(node, load) in &aug.loads {
+            let _ = tree.name(node)?;
+            check("capacitance", load.value())?;
+            self.node_cap[base + pos[node.index()] as usize] += load.value();
+            self.sink_pos.push(pos[node.index()]);
+        }
+        Ok(())
+    }
+
+    /// Number of nets the arena covers.
+    #[cfg(test)]
+    pub(crate) fn net_count(&self) -> usize {
+        self.node_range.len()
+    }
+
+    /// Total packed augmented nodes across every net.
+    #[cfg(test)]
+    pub(crate) fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Sweeps one net in place: runs the batched pre-order kernel over the
+    /// net's arena range through the caller's reusable scratch and returns
+    /// the `(lower, upper)` delay window of every sink, in sink order —
+    /// bit-identical to `stage_delay_bounds` on the same net.
+    pub(crate) fn sweep_net(
+        &self,
+        i: usize,
+        threshold: f64,
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<(Seconds, Seconds)>> {
+        if let Some(e) = &self.errors[i] {
+            return Err(e.clone());
+        }
+        let (start, end) = self.node_range[i];
+        let (start, end) = (start as usize, end as usize);
+        if start == end {
+            return Ok(Vec::new());
+        }
+        let view = scratch.sweep(
+            &self.parent[start..end],
+            &self.branch_r[start..end],
+            &self.branch_c[start..end],
+            &self.node_cap[start..end],
+        )?;
+        let (ks, ke) = self.sink_range[i];
+        let mut out = Vec::with_capacity((ke - ks) as usize);
+        for &p in &self.sink_pos[ks as usize..ke as usize] {
+            let times = view.times_at(p as usize)?;
+            let bounds = times.delay_bounds(threshold)?;
+            out.push((bounds.lower, bounds.upper));
+        }
+        Ok(out)
+    }
+}

@@ -48,6 +48,8 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod arena;
+
 pub mod cell;
 pub mod error;
 pub mod graph;

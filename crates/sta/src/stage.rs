@@ -180,7 +180,7 @@ pub fn stage_node_times(
 /// map.  Shared verbatim by [`stage_delay_bounds`] and
 /// [`stage_node_times`] so both accumulate the same floats in the same
 /// order.
-fn augmented_batch(
+pub(crate) fn augmented_batch(
     driver_resistance: Ohms,
     interconnect: &RcTree,
     sink_loads: &[(NodeId, Farads)],

@@ -11,6 +11,8 @@
 //! distributed-line element), so the generator forces
 //! [`RandomTreeConfig::line_probability`] to zero.
 
+use std::io;
+
 use rctree_core::tree::RcTree;
 
 use crate::random::RandomTreeConfig;
@@ -68,16 +70,47 @@ impl SpefDeckParams {
 /// `parse_spef_deck`; every leaf of every net is declared as a `*P` load
 /// pin, and the `*D_NET` total-capacitance field matches the section's
 /// `*CAP` entries.
+///
+/// Convenience wrapper over [`render_spef_deck`] for callers that want the
+/// whole document in memory; million-net decks should stream instead.
 pub fn spef_deck(params: &SpefDeckParams, seed: u64) -> String {
-    let mut out = String::with_capacity(params.nets * 256);
-    out.push_str("*SPEF \"IEEE 1481-1998\"\n");
-    out.push_str("*DESIGN \"rctree-workloads deck\"\n");
-    out.push_str("*R_UNIT 1 OHM\n");
-    out.push_str("*C_UNIT 1 PF\n");
-    for (name, tree) in params.trees(seed) {
-        render_d_net(&mut out, &name, &tree);
+    let mut out = Vec::with_capacity(params.nets * 256);
+    render_spef_deck(params, seed, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("rendered deck is ASCII")
+}
+
+/// Streams the deck [`spef_deck`] would return — byte-identical — into any
+/// writer, generating and rendering one net at a time.
+///
+/// Peak memory is one net's tree plus one section's text regardless of
+/// [`SpefDeckParams::nets`], which is what makes million-net fixture decks
+/// practical: pipe the output to a file (`rcdelay gen-deck`) instead of
+/// materialising gigabytes of SPEF in memory.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O errors.
+pub fn render_spef_deck<W: io::Write>(
+    params: &SpefDeckParams,
+    seed: u64,
+    out: &mut W,
+) -> io::Result<()> {
+    let cfg = RandomTreeConfig {
+        line_probability: 0.0,
+        ..params.tree
+    };
+    out.write_all(b"*SPEF \"IEEE 1481-1998\"\n")?;
+    out.write_all(b"*DESIGN \"rctree-workloads deck\"\n")?;
+    out.write_all(b"*R_UNIT 1 OHM\n")?;
+    out.write_all(b"*C_UNIT 1 PF\n")?;
+    let mut section = String::new();
+    for i in 0..params.nets {
+        let tree = cfg.generate(params.net_seed(seed, i));
+        section.clear();
+        render_d_net(&mut section, &format!("net{i}"), &tree);
+        out.write_all(section.as_bytes())?;
     }
-    out
+    Ok(())
 }
 
 /// Renders one RC tree as a `*D_NET` section.  The tree's input node is the
@@ -160,6 +193,32 @@ mod tests {
         let small_trees = small.trees(11);
         let large_trees = large.trees(11);
         assert_eq!(small_trees[..], large_trees[..3]);
+    }
+
+    #[test]
+    fn streamed_deck_matches_the_in_memory_render() {
+        let params = SpefDeckParams {
+            nets: 8,
+            ..SpefDeckParams::default()
+        };
+        let mut streamed = Vec::new();
+        render_spef_deck(&params, 42, &mut streamed).unwrap();
+        assert_eq!(streamed, spef_deck(&params, 42).into_bytes());
+    }
+
+    #[test]
+    fn writer_errors_propagate() {
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = render_spef_deck(&SpefDeckParams::default(), 1, &mut Broken).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
     }
 
     #[test]

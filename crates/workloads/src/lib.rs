@@ -40,7 +40,7 @@ pub mod rng;
 pub mod tech;
 
 pub use crate::dag::{eco_dag, EcoDag, EcoDagNet, EcoDagParams};
-pub use crate::deck::{spef_deck, SpefDeckParams};
+pub use crate::deck::{render_spef_deck, spef_deck, SpefDeckParams};
 pub use crate::eco::{EcoStream, EcoStreamParams};
 pub use crate::fig3::{figure3_tree, Figure3Nodes, Figure3Values};
 pub use crate::fig7::{figure7_expr, figure7_tree, FIG10_DELAY_TABLE, FIG10_VOLTAGE_TABLE};

@@ -1,0 +1,144 @@
+//! Streaming/whole-text seam equivalence: `parse_spef_read` must return
+//! **byte-identical** results (and errors) to `parse_spef_deck` on the
+//! same bytes, for every chunk size.
+//!
+//! Sweeping chunk sizes of 1..=17 bytes places a chunk boundary at every
+//! byte offset of each fixture, so every seam is exercised: mid-line,
+//! mid-token, mid-`*D_NET` section, between the `\r` and `\n` of a CRLF
+//! pair, and at end of input with and without a trailing newline.
+
+use penfield_rubinstein::netlist::{parse_spef_deck, NetlistError, SpefNet};
+use penfield_rubinstein::workloads::deck::{spef_deck, SpefDeckParams};
+use rctree_netlist::stream::SpefReader;
+
+/// Chunk sizes that cover every byte boundary of small fixtures plus a
+/// couple of larger strides.
+fn chunk_sweep() -> Vec<usize> {
+    let mut sizes: Vec<usize> = (1..=17).collect();
+    sizes.extend([64, 4096, 1 << 20]);
+    sizes
+}
+
+/// Streams `text` at every chunk size and checks exact agreement —
+/// parsed nets and errors alike — with the whole-text deck parser.
+fn assert_stream_matches(text: &str) {
+    let want: Result<Vec<SpefNet>, NetlistError> = parse_spef_deck(text, 2);
+    for chunk in chunk_sweep() {
+        let got = SpefReader::with_chunk_size(text.as_bytes(), chunk).parse_all(2);
+        assert_eq!(got, want, "chunk size {chunk} diverged on:\n{text}");
+    }
+}
+
+fn small_deck() -> String {
+    spef_deck(
+        &SpefDeckParams {
+            nets: 9,
+            ..SpefDeckParams::default()
+        },
+        1234,
+    )
+}
+
+#[test]
+fn generated_deck_streams_identically_at_every_seam() {
+    assert_stream_matches(&small_deck());
+}
+
+#[test]
+fn crlf_line_endings_stream_identically() {
+    assert_stream_matches(&small_deck().replace('\n', "\r\n"));
+}
+
+#[test]
+fn missing_trailing_newline_streams_identically() {
+    let deck = small_deck();
+    assert_stream_matches(deck.trim_end_matches('\n'));
+    // ... and with CRLF endings.
+    let crlf = deck.replace('\n', "\r\n");
+    assert_stream_matches(crlf.trim_end_matches("\r\n"));
+}
+
+#[test]
+fn missing_end_streams_identically() {
+    // Drop the final `*END` so the last section runs to end of input; the
+    // error must still be reported at that section's `*D_NET` header.
+    let deck = small_deck();
+    let truncated = deck.trim_end_matches('\n').trim_end_matches("*END");
+    assert!(truncated.len() < deck.len(), "fixture must end with *END");
+    assert_stream_matches(truncated);
+    assert!(matches!(
+        parse_spef_deck(truncated, 1),
+        Err(NetlistError::Parse { .. })
+    ));
+}
+
+#[test]
+fn unit_directives_between_sections_stream_identically() {
+    let text = "\
+*D_NET a 1\n*CONN\n*I drv I\n*P x O\n*CAP\n1 x 1\n*RES\n1 drv x 5\n*END\n\
+*R_UNIT 1 KOHM\n*C_UNIT 1 FF\n\
+*D_NET b 1\n*CONN\n*I drv I\n*P y O\n*CAP\n1 y 2\n*RES\n1 drv y 7\n*END\n";
+    assert_stream_matches(text);
+}
+
+#[test]
+fn section_error_then_scan_error_prefers_the_scan_error() {
+    // The whole-text path scans the entire document before parsing any
+    // section, so the malformed `*R_UNIT` after the broken section wins.
+    // The streaming path must replicate that ordering even though it
+    // encounters (and fails) the section first.
+    let text = "\
+*D_NET a 1\n*CONN\n*I drv I\n*CAP\n1 x bogus\n*RES\n1 drv x 5\n*END\n\
+*R_UNIT 1 PARSEC\n";
+    assert_stream_matches(text);
+    match parse_spef_deck(text, 1) {
+        Err(NetlistError::Parse { line, token, .. }) => {
+            assert_eq!(line, 9, "the scan error's line, not the section's");
+            assert_eq!(token.as_deref(), Some("PARSEC"));
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn section_error_alone_is_reported_as_is() {
+    let text = "\
+*D_NET a 1\n*CONN\n*I drv I\n*CAP\n1 x bogus\n*RES\n1 drv x 5\n*END\n\
+*D_NET b 1\n*CONN\n*I drv I\n*CAP\n1 y 2\n*RES\n1 drv y 7\n*END\n";
+    assert_stream_matches(text);
+    match parse_spef_deck(text, 1) {
+        Err(NetlistError::Parse { line, token, .. }) => {
+            assert_eq!(line, 5);
+            assert_eq!(token.as_deref(), Some("bogus"));
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn in_body_stray_headers_stream_identically() {
+    // A stray `*D_NET`-looking line inside an unterminated body belongs to
+    // that body on both paths.
+    assert_stream_matches("*D_NET outer 1\n*CONN\n*I drv I\n*D_NET inner 2\n*CAP\n1 x 1\n");
+}
+
+#[test]
+fn empty_and_comment_only_documents_stream_identically() {
+    assert_stream_matches("");
+    assert_stream_matches("// nothing here\n");
+    assert_stream_matches("*SPEF \"IEEE 1481-1998\"\n\n// still nothing\n");
+}
+
+#[test]
+fn incremental_pull_api_yields_document_order() {
+    let deck = small_deck();
+    let want = parse_spef_deck(&deck, 1).unwrap();
+    let mut reader = SpefReader::with_chunk_size(deck.as_bytes(), 11);
+    let mut got = Vec::new();
+    while let Some(batch) = reader.next_nets(1).unwrap() {
+        assert!(!batch.is_empty());
+        got.extend(batch);
+    }
+    assert_eq!(got, want);
+    assert_eq!(reader.next_nets(1).unwrap(), None, "reader stays done");
+}
