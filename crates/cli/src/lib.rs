@@ -19,6 +19,8 @@
 //!   --jobs <n>                   worker threads        (default: available parallelism)
 //!   --driver <cell>              eco mode driver cell  (default: inv_4x)
 //!   --watch                      eco mode: stream the script line by line
+//!   --corners <spec>             report/serve/eco: multi-corner PVT set
+//!   --corner <k|name|worst>      report mode: select the printed corner
 //!   --help                       print usage
 //! ```
 //!
@@ -62,6 +64,7 @@ use std::fmt::Write as _;
 
 use rctree_core::analysis::TreeAnalysis;
 use rctree_core::cert::Certification;
+use rctree_core::corner::CornerSet;
 use rctree_core::tree::RcTree;
 use rctree_core::units::Seconds;
 use rctree_netlist::{parse_expr, parse_spef_deck, parse_spef_read, parse_spice, SpefNet};
@@ -168,6 +171,13 @@ pub struct Options {
     /// Worker threads for deck-scale work (`None`: `RCTREE_JOBS` or the
     /// available hardware parallelism, per [`rctree_par::default_jobs`]).
     pub jobs: Option<usize>,
+    /// Multi-corner spec for the deck modes (`--corners`): a spec file
+    /// path, or an inline spec when the value contains `=` (the
+    /// `CornerSet::parse` grammar; separate inline lines with `;`).
+    pub corners: Option<String>,
+    /// Corner selector for `rcdelay report` (`--corner`): a lane index, a
+    /// corner name, or `worst`.
+    pub corner: Option<String>,
 }
 
 impl Default for Options {
@@ -181,6 +191,8 @@ impl Default for Options {
             budget: None,
             voltage_at: None,
             jobs: None,
+            corners: None,
+            corner: None,
         }
     }
 }
@@ -222,6 +234,18 @@ options:
                                edit's slack delta immediately; bad edits
                                are reported and skipped instead of ending
                                the session
+  --corners <spec>             report/serve/eco: install a multi-corner
+                               PVT set — a spec file path, or an inline
+                               spec when the value contains `=` (lines
+                               `<name>=<r>,<c>[,<d>]` and
+                               `override <net> <corner> <r> <c>`,
+                               `;`-separated inline); all corners are
+                               timed in one traversal per net
+  --corner <k|name|worst>      report mode: print this corner's report
+                               instead of nominal (`worst` picks the
+                               smallest-slack corner against --budget);
+                               byte-identical to the server's
+                               `REPORT --corner` payload
   --port <n>                   serve mode: TCP port on 127.0.0.1
                                (default 0 = ephemeral, printed on start)
   --connections <n>            bench-client: concurrent connections (4)
@@ -410,6 +434,8 @@ where
                 }
                 eco_fraction = Some(value);
             }
+            "--corners" => opts.corners = Some(value_of("--corners")?),
+            "--corner" => opts.corner = Some(value_of("--corner")?),
             "--out" => out = Some(value_of("--out")?),
             "--nets" => {
                 let text = value_of("--nets")?;
@@ -455,6 +481,18 @@ where
     }
     if mode != Mode::Eco {
         refuse(watch, "--watch only applies to `rcdelay eco`")?;
+    }
+    if !matches!(mode, Mode::Eco | Mode::DeckReport | Mode::Serve) {
+        refuse(
+            opts.corners.is_some(),
+            "--corners only applies to `rcdelay report`, `rcdelay serve` and `rcdelay eco`",
+        )?;
+    }
+    if mode != Mode::DeckReport {
+        refuse(
+            opts.corner.is_some(),
+            "--corner only applies to `rcdelay report`",
+        )?;
     }
 
     // The deck-design modes share the eco-mode flag surface.
@@ -635,6 +673,48 @@ pub fn load_tree(text: &str, opts: &Options) -> Result<RcTree, CliError> {
     }
 }
 
+/// Resolves a `--corners` value into a [`CornerSet`]: an **inline** spec
+/// when the value contains `=` (corner definitions are `name=r,c[,d]`, so
+/// any spec text has one; separate lines with `;`), otherwise the path of
+/// a spec file in the same grammar.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when the file cannot be read or the spec
+/// fails to parse.
+pub fn load_corner_set(value: &str) -> Result<CornerSet, CliError> {
+    let spec = if value.contains('=') {
+        value.to_string()
+    } else {
+        std::fs::read_to_string(value)
+            .map_err(|e| CliError::Usage(format!("--corners: cannot read `{value}`: {e}")))?
+    };
+    CornerSet::parse(&spec).map_err(|e| CliError::Usage(format!("--corners: {e}")))
+}
+
+/// Resolves a `--corner` selector against the corner names of an
+/// analysis: a lane index, a corner name, or `worst` (whose lane the
+/// caller computes against the budget).
+fn resolve_corner_selector(names: &[String], token: &str, worst: usize) -> Result<usize, CliError> {
+    if token == "worst" {
+        return Ok(worst);
+    }
+    if let Ok(k) = token.parse::<usize>() {
+        return if k < names.len() {
+            Ok(k)
+        } else {
+            Err(CliError::Usage(format!(
+                "--corner: index {k} out of range (deck has {} corner(s))",
+                names.len()
+            )))
+        };
+    }
+    names
+        .iter()
+        .position(|n| n == token)
+        .ok_or_else(|| CliError::Usage(format!("--corner: unknown corner `{token}`")))
+}
+
 /// A rendered report plus the machine-readable verdict that decides the
 /// process exit code.
 #[derive(Debug, Clone, PartialEq)]
@@ -800,12 +880,16 @@ pub fn deck_report(
     threshold: f64,
     budget: f64,
     jobs: usize,
+    corners: Option<&CornerSet>,
+    corner: Option<&str>,
 ) -> Result<Report, CliError> {
     render_deck_report(
         deck_design(deck_texts, driver, jobs)?,
         threshold,
         budget,
         jobs,
+        corners,
+        corner,
     )
 }
 
@@ -822,24 +906,54 @@ pub fn deck_report_from_paths(
     threshold: f64,
     budget: f64,
     jobs: usize,
+    corners: Option<&CornerSet>,
+    corner: Option<&str>,
 ) -> Result<Report, CliError> {
     render_deck_report(
         deck_design_from_paths(paths, driver, jobs)?,
         threshold,
         budget,
         jobs,
+        corners,
+        corner,
     )
 }
 
 fn render_deck_report(
-    design: Design,
+    mut design: Design,
     threshold: f64,
     budget: f64,
     jobs: usize,
+    corners: Option<&CornerSet>,
+    corner: Option<&str>,
 ) -> Result<Report, CliError> {
-    let report = design
-        .analyze_with_jobs(threshold, Seconds::new(budget), jobs)
+    if corners.is_none() && corner.is_none() {
+        // The single-corner path: exactly the pre-corner float sequence
+        // (which `analyze_corners` lane 0 is pinned bit-identical to).
+        let report = design
+            .analyze_with_jobs(threshold, Seconds::new(budget), jobs)
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+        return Ok(Report {
+            text: report.to_string(),
+            certification: Some(report.certification()),
+        });
+    }
+    if let Some(set) = corners {
+        design.set_corners(set.clone());
+    }
+    let required = Seconds::new(budget);
+    let analysis = design
+        .analyze_corners(threshold, required, jobs)
         .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let k = match corner {
+        None => 0,
+        Some(token) => {
+            resolve_corner_selector(analysis.names(), token, analysis.worst_against(required))?
+        }
+    };
+    let report = analysis
+        .report(k)
+        .expect("resolved corner index is in range");
     Ok(Report {
         text: report.to_string(),
         certification: Some(report.certification()),
@@ -960,6 +1074,15 @@ impl EcoSession {
             nets.into_iter().map(|n| (n.name, n.tree)),
         )
         .map_err(|e| CliError::Analysis(e.to_string()))?;
+        let corner_names = match &opts.corners {
+            Some(value) => {
+                let set = load_corner_set(value)?;
+                let names = (!set.is_nominal_only()).then(|| set.names_csv());
+                design.set_corners(set);
+                names
+            }
+            None => None,
+        };
 
         let required = Seconds::new(budget);
         let baseline = design
@@ -976,6 +1099,9 @@ impl EcoSession {
             "eco session: {net_count} nets, {edits_text}threshold {}, budget {budget:.6e} s, driver {driver}",
             opts.threshold
         );
+        if let Some(names) = corner_names {
+            let _ = writeln!(out, "corners: {names} (every lane re-timed per edit)");
+        }
         let slack = baseline.worst_slack();
         let certification = baseline.certification();
         let _ = writeln!(
@@ -1419,6 +1545,100 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
     }
 
     #[test]
+    fn corner_flags_parse_and_validate() {
+        let opts = parse_args([
+            "report",
+            "--budget",
+            "1e-7",
+            "--corners",
+            "fast=0.8,0.85,0.9",
+            "--corner",
+            "fast",
+            "d.spef",
+        ])
+        .unwrap();
+        assert_eq!(opts.corners.as_deref(), Some("fast=0.8,0.85,0.9"));
+        assert_eq!(opts.corner.as_deref(), Some("fast"));
+
+        // serve and eco accept --corners; --corner is report-only; the
+        // single-tree mode refuses both.
+        assert!(parse_args(["serve", "--budget", "1e-7", "--corners", "c.spec", "d.spef"]).is_ok());
+        assert!(parse_args([
+            "eco",
+            "--budget",
+            "1e-7",
+            "--corners",
+            "c.spec",
+            "d.spef",
+            "e.eco"
+        ])
+        .is_ok());
+        assert!(matches!(
+            parse_args(["--corners", "c.spec", "tree.sp"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["serve", "--budget", "1e-7", "--corner", "1", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["gen-deck", "--corners", "x=1,1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn corner_reports_select_lanes_and_keep_nominal_bytes() {
+        let set = load_corner_set("fast=0.8,0.85,0.9;slow=1.3,1.2").unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(matches!(
+            load_corner_set("fast=0,1"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            load_corner_set("/no/such/spec.corners"),
+            Err(CliError::Usage(_))
+        ));
+
+        let texts = vec![ECO_DECK.to_string()];
+        let nominal = deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, None, None).unwrap();
+        // Installing corners leaves the default (lane-0) report
+        // byte-identical to the single-corner rendering.
+        let with = deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, Some(&set), None).unwrap();
+        assert_eq!(nominal.text, with.text);
+        let slow = deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, Some(&set), Some("slow")).unwrap();
+        assert_ne!(slow.text, nominal.text);
+        let by_index = deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, Some(&set), Some("2")).unwrap();
+        assert_eq!(by_index.text, slow.text);
+        // Every scale of `slow` exceeds 1, so it is the worst corner.
+        let worst =
+            deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, Some(&set), Some("worst")).unwrap();
+        assert_eq!(worst.text, slow.text);
+        assert!(matches!(
+            deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, Some(&set), Some("bogus")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, Some(&set), Some("9")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn eco_sessions_install_corners_and_keep_applying_edits() {
+        let mut opts = eco_opts(60e-9);
+        opts.corners = Some("fast=0.8,0.85,0.9;slow=1.3,1.2,1.1".into());
+        let (mut session, header) = EcoSession::new(ECO_DECK, &opts, None).unwrap();
+        assert!(header.contains("corners: nominal,fast,slow"), "{header}");
+        let ScriptLine::Edits(edits) = parse_eco_script_line(1, "setcap slow y 1.2e-12").unwrap()
+        else {
+            panic!("expected edits");
+        };
+        assert!(session.apply(&edits[0]).unwrap().contains("edit    1"));
+        assert!(session.footer().contains("final certification"));
+    }
+
+    #[test]
     fn bench_client_and_gen_deck_arguments_parse_and_validate() {
         let opts = parse_args([
             "bench-client",
@@ -1500,7 +1720,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
     #[test]
     fn deck_report_renders_the_design_report() {
         let texts = vec![ECO_DECK.to_string()];
-        let report = deck_report(&texts, "inv_4x", 0.5, 60e-9, 1).unwrap();
+        let report = deck_report(&texts, "inv_4x", 0.5, 60e-9, 1, None, None).unwrap();
         assert_eq!(report.certification, Some(Certification::Pass));
         assert!(report.text.contains("timing report"), "{}", report.text);
         assert!(report.text.contains("worst slack"), "{}", report.text);
@@ -1514,12 +1734,14 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             0.5,
             60e-9,
             1,
+            None,
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Analysis(_)), "{err:?}");
 
         // A bad driver cell is an analysis error.
-        let err = deck_report(&texts, "nand_999x", 0.5, 60e-9, 1).unwrap_err();
+        let err = deck_report(&texts, "nand_999x", 0.5, 60e-9, 1, None, None).unwrap_err();
         assert!(matches!(err, CliError::Analysis(_)), "{err:?}");
     }
 

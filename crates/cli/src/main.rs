@@ -12,9 +12,9 @@ use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 use rctree_cli::{
-    deck_design_from_paths, deck_report_from_paths, load_tree, parse_args, parse_eco_script_line,
-    read_deck_nets, report, run_eco_path, CliError, Command, EcoSession, Options, ScriptLine,
-    USAGE,
+    deck_design_from_paths, deck_report_from_paths, load_corner_set, load_tree, parse_args,
+    parse_eco_script_line, read_deck_nets, report, run_eco_path, CliError, Command, EcoSession,
+    Options, ScriptLine, USAGE,
 };
 use rctree_core::cert::Certification;
 use rctree_core::units::Seconds;
@@ -107,7 +107,22 @@ fn main() -> ExitCode {
         Command::DeckReport { decks, driver } => {
             let budget = opts.budget.expect("report mode requires --budget");
             let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
-            match deck_report_from_paths(decks, driver, opts.threshold, budget, jobs) {
+            let corners = match opts.corners.as_deref().map(load_corner_set).transpose() {
+                Ok(corners) => corners,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match deck_report_from_paths(
+                decks,
+                driver,
+                opts.threshold,
+                budget,
+                jobs,
+                corners.as_ref(),
+                opts.corner.as_deref(),
+            ) {
                 Ok(report) => {
                     print!("{}", report.text);
                     verdict_exit(report.certification)
@@ -168,13 +183,22 @@ fn main() -> ExitCode {
 fn run_serve(opts: &Options, decks: &[String], driver: &str, port: u16) -> ExitCode {
     let budget = opts.budget.expect("serve mode requires --budget");
     let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
-    let design = match deck_design_from_paths(decks, driver, jobs) {
+    let mut design = match deck_design_from_paths(decks, driver, jobs) {
         Ok(design) => design,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(spec) = opts.corners.as_deref() {
+        match load_corner_set(spec) {
+            Ok(set) => design.set_corners(set),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let config = rctree_serve::ServeConfig {
         threshold: opts.threshold,
         required_time: Seconds::new(budget),

@@ -111,3 +111,102 @@ fn server_report_is_bit_identical_to_offline_report() {
         "server did not log shutdown: {rest}"
     );
 }
+
+#[test]
+fn corner_report_over_the_wire_matches_offline_corner_report() {
+    let gen = rcdelay()
+        .args(["gen-deck", "--nets", "8", "--seed", "11"])
+        .output()
+        .expect("gen-deck runs");
+    assert!(gen.status.success(), "{gen:?}");
+    let deck = write_temp(
+        "corner-deck.spef",
+        &String::from_utf8(gen.stdout).expect("utf8"),
+    );
+    let deck = deck.to_str().unwrap();
+    let spec = write_temp(
+        "corners.spec",
+        "# three extra corners on top of nominal\nfast=0.82,0.88,0.9\nslow=1.3,1.2,1.1\nhot=1.05,1.12\n",
+    );
+    let spec = spec.to_str().unwrap();
+
+    // Offline: lane 2 (`slow`) of the multi-corner sweep.
+    let offline = rcdelay()
+        .args([
+            "report",
+            "--budget",
+            "2e-7",
+            "--corners",
+            spec,
+            "--corner",
+            "2",
+            deck,
+        ])
+        .output()
+        .expect("report runs");
+    let offline_text = String::from_utf8(offline.stdout).expect("utf8");
+    assert!(offline_text.contains("timing report"), "{offline_text}");
+
+    // A server on the same deck with the same corner set.
+    let child = rcdelay()
+        .args([
+            "serve",
+            "--budget",
+            "2e-7",
+            "--corners",
+            spec,
+            "--port",
+            "0",
+            deck,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut child = Reap(child);
+    let mut server_out = BufReader::new(child.0.stdout.take().expect("piped stdout"));
+    let mut handshake = String::new();
+    server_out.read_line(&mut handshake).expect("handshake");
+    let addr = handshake
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in handshake")
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "REPORT --corner 2").expect("send");
+    writer.flush().expect("flush");
+    let mut payload = String::new();
+    loop {
+        let mut line = String::new();
+        assert_ne!(reader.read_line(&mut line).expect("read"), 0, "early EOF");
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.starts_with("OK ") || trimmed.starts_with("ERR ") {
+            // Multi-corner final line: explicit selection echoed, then the
+            // corner vector in lane order.
+            assert_eq!(
+                trimmed,
+                "OK rev 0 corner 2 slow corners nominal,fast,slow,hot"
+            );
+            break;
+        }
+        payload.push_str(trimmed);
+        payload.push('\n');
+    }
+    assert_eq!(
+        payload, offline_text,
+        "server `REPORT --corner 2` payload differs from offline \
+         `rcdelay report --corners … --corner 2`"
+    );
+
+    writeln!(writer, "SHUTDOWN").expect("send");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("ok");
+    assert_eq!(line.trim_end(), "OK rev 0");
+    let status = child.0.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
+}

@@ -26,6 +26,7 @@
 //! | [`intern`] | deck-scoped string interning: names to dense `u32` ids |
 //! | [`bounds`] | the Penfield–Rubinstein voltage/delay bounds (Eqs. 8–17) |
 //! | [`cert`] | the three-valued `OK` certification |
+//! | [`corner`] | named PVT corners: per-element R/C/delay scale factors |
 //! | [`twoport`], [`expr`] | the constructive `URC`/`WB`/`WC` algebra of Section IV |
 //! | [`elmore`] | Elmore delay of every node in one traversal |
 //! | [`analysis`] | whole-tree, multi-output reports |
@@ -81,6 +82,7 @@ pub mod batch;
 pub mod bounds;
 pub mod builder;
 pub mod cert;
+pub mod corner;
 pub mod element;
 pub mod elmore;
 pub mod error;
@@ -97,10 +99,13 @@ pub mod units;
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::analysis::{OutputTiming, TreeAnalysis};
-    pub use crate::batch::{BatchScratch, BatchTimes, BatchView};
+    pub use crate::batch::{
+        BatchScratch, BatchTimes, BatchView, LaneArrays, LaneScratch, LanesView,
+    };
     pub use crate::bounds::{DelayBounds, VoltageBounds};
     pub use crate::builder::RcTreeBuilder;
     pub use crate::cert::Certification;
+    pub use crate::corner::{Corner, CornerSet};
     pub use crate::element::Branch;
     pub use crate::elmore::{critical_output, elmore_delay, elmore_delays};
     pub use crate::error::{CoreError, Result};
@@ -119,10 +124,11 @@ pub mod prelude {
 }
 
 pub use crate::analysis::TreeAnalysis;
-pub use crate::batch::{BatchScratch, BatchTimes, BatchView};
+pub use crate::batch::{BatchScratch, BatchTimes, BatchView, LaneArrays, LaneScratch, LanesView};
 pub use crate::bounds::{DelayBounds, VoltageBounds};
 pub use crate::builder::RcTreeBuilder;
 pub use crate::cert::Certification;
+pub use crate::corner::{Corner, CornerSet};
 pub use crate::error::{CoreError, Result};
 pub use crate::incremental::{EditableTree, IncrementalTimes, TreeEdit};
 pub use crate::intern::{Interner, NameId};

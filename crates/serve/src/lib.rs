@@ -9,14 +9,29 @@
 //! only; the workspace is offline) speaking a line-based text protocol:
 //!
 //! ```text
-//! QUERY <net> [node]      cached sink windows / per-node characteristic times
-//! REPORT                  full design timing report (== offline `rcdelay report`)
-//! ECO <edit-script-line>  transactional edits, one slack-delta line per edit
-//! CERTIFY <budget>        three-valued certification against any budget
-//! STATS                   server counters
-//! QUIT                    close this connection
-//! SHUTDOWN                stop the server
+//! QUERY <net> [node] [--corner <k|name>]   cached sink windows / per-node times
+//! REPORT [--corner <k|name|worst>]         one corner's full timing report
+//!                                          (== offline `rcdelay report`)
+//! ECO <edit-script-line>                   transactional edits, one slack-delta
+//!                                          line per edit (all lanes re-timed)
+//! CERTIFY <budget>                         certification against any budget;
+//!                                          worst corner over all lanes, named
+//! STATS                                    server counters
+//! QUIT                                     close this connection
+//! SHUTDOWN                                 stop the server
 //! ```
+//!
+//! ## Corners on the wire
+//!
+//! When the served design carries a multi-corner `CornerSet`, every
+//! data-bearing `OK` line grows a ` corners <name,...>` tail naming the
+//! corner vector, and `QUERY`/`REPORT` accept a `--corner` selector
+//! (lane index or corner name; `REPORT` also takes `worst`).  `CERTIFY`
+//! reports the smallest-slack corner by name with the conjunction verdict
+//! over all lanes.  Nominal-only decks are byte-identical to the
+//! single-corner protocol — clients parse `OK rev <r>` prefixes either
+//! way.  Repeated `REPORT`s of one revision are served from a rendered
+//! cache (see [`SnapshotStore::rendered_report`]).
 //!
 //! ## Concurrency model
 //!

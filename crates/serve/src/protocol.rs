@@ -21,16 +21,26 @@ use rctree_sta::{DesignSnapshot, Load};
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `QUERY <net> [node]` — cached sink windows of a net, or on-demand
-    /// characteristic times and delay bounds at one interconnect node.
+    /// `QUERY <net> [node] [--corner <k|name>]` — cached sink windows of a
+    /// net, or on-demand characteristic times and delay bounds at one
+    /// interconnect node, in the selected timing corner (nominal when
+    /// omitted).
     Query {
         /// Net name.
         net: String,
         /// Optional node name within the net's interconnect.
         node: Option<String>,
+        /// Optional corner selector: a lane index or a corner name.
+        corner: Option<String>,
     },
-    /// `REPORT` — the full design timing report.
-    Report,
+    /// `REPORT [--corner <k|name|worst>]` — the full design timing report
+    /// of one corner (nominal when omitted, `worst` for the smallest-slack
+    /// lane against the server budget).
+    Report {
+        /// Optional corner selector: a lane index, a corner name, or
+        /// `worst`.
+        corner: Option<String>,
+    },
     /// `ECO <edit-script-line>` — one edit-script line (the `rcdelay eco`
     /// grammar; several `;`-separated directives allowed).
     Eco {
@@ -63,29 +73,48 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
     }
     let verb = trimmed.split_whitespace().next().expect("non-empty");
     let rest = trimmed[verb.len()..].trim();
-    let args: Vec<&str> = rest.split_whitespace().collect();
-    let exact = |want: usize, usage: &str| -> Result<(), String> {
+    let mut args: Vec<&str> = rest.split_whitespace().collect();
+    let exact = |args: &[&str], want: usize, usage: &str| -> Result<(), String> {
         if args.len() == want {
             Ok(())
         } else {
             Err(format!("`{verb}` takes {usage}"))
         }
     };
+    // Pulls a trailing-or-anywhere `--corner <value>` out of the argument
+    // list, so positional arguments parse the same with or without it.
+    let take_corner = |args: &mut Vec<&str>| -> Result<Option<String>, String> {
+        match args.iter().position(|a| *a == "--corner") {
+            None => Ok(None),
+            Some(i) if i + 1 < args.len() => {
+                let value = args.remove(i + 1).to_string();
+                args.remove(i);
+                Ok(Some(value))
+            }
+            Some(_) => Err(format!("`{verb}`: --corner takes a value")),
+        }
+    };
     match verb.to_ascii_uppercase().as_str() {
-        "QUERY" => match args.as_slice() {
-            [net] => Ok(Some(Request::Query {
-                net: (*net).to_string(),
-                node: None,
-            })),
-            [net, node] => Ok(Some(Request::Query {
-                net: (*net).to_string(),
-                node: Some((*node).to_string()),
-            })),
-            _ => Err("`QUERY` takes <net> [node]".into()),
-        },
+        "QUERY" => {
+            let corner = take_corner(&mut args)?;
+            match args.as_slice() {
+                [net] => Ok(Some(Request::Query {
+                    net: (*net).to_string(),
+                    node: None,
+                    corner,
+                })),
+                [net, node] => Ok(Some(Request::Query {
+                    net: (*net).to_string(),
+                    node: Some((*node).to_string()),
+                    corner,
+                })),
+                _ => Err("`QUERY` takes <net> [node] [--corner <k|name>]".into()),
+            }
+        }
         "REPORT" => {
-            exact(0, "no arguments")?;
-            Ok(Some(Request::Report))
+            let corner = take_corner(&mut args)?;
+            exact(&args, 0, "[--corner <k|name|worst>]")?;
+            Ok(Some(Request::Report { corner }))
         }
         "ECO" => {
             if rest.is_empty() {
@@ -97,7 +126,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             }
         }
         "CERTIFY" => {
-            exact(1, "<budget-seconds>")?;
+            exact(&args, 1, "<budget-seconds>")?;
             let budget = args[0]
                 .parse::<f64>()
                 .ok()
@@ -106,15 +135,15 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Ok(Some(Request::Certify { budget }))
         }
         "STATS" => {
-            exact(0, "no arguments")?;
+            exact(&args, 0, "no arguments")?;
             Ok(Some(Request::Stats))
         }
         "QUIT" => {
-            exact(0, "no arguments")?;
+            exact(&args, 0, "no arguments")?;
             Ok(Some(Request::Quit))
         }
         "SHUTDOWN" => {
-            exact(0, "no arguments")?;
+            exact(&args, 0, "no arguments")?;
             Ok(Some(Request::Shutdown))
         }
         other => Err(format!("unknown verb `{other}`")),
@@ -149,6 +178,58 @@ pub fn final_revision(line: &str) -> Option<u64> {
     tokens.next()?.parse().ok()
 }
 
+/// The ` corners <name,...>` tail appended to data-bearing `OK` lines of
+/// multi-corner decks.  Empty for nominal-only decks, so their responses
+/// stay byte-identical to the single-corner protocol (`final_revision`
+/// tolerates trailing tokens either way).
+pub fn corner_tail(snapshot: &DesignSnapshot) -> String {
+    match snapshot.corners() {
+        Some(corners) => format!(" corners {}", corners.names_csv()),
+        None => String::new(),
+    }
+}
+
+/// The name of corner `k` (callers resolve `k` first, so it is in range).
+fn corner_name(snapshot: &DesignSnapshot, k: usize) -> String {
+    match snapshot.corners() {
+        Some(corners) => corners.names()[k].clone(),
+        None => "nominal".to_string(),
+    }
+}
+
+/// The final `OK` line of a data-bearing response: revision, the selected
+/// corner when one was requested explicitly, then the corner vector.
+fn ok_selected(snapshot: &DesignSnapshot, rev: u64, selected: Option<usize>) -> String {
+    let mut line = ok_line(rev);
+    if let Some(k) = selected {
+        line.push_str(&format!(" corner {k} {}", corner_name(snapshot, k)));
+    }
+    line.push_str(&corner_tail(snapshot));
+    line
+}
+
+/// Resolves a `--corner` selector (lane index or corner name) against a
+/// snapshot.  `worst` is only meaningful for `REPORT` and handled there.
+fn resolve_corner(snapshot: &DesignSnapshot, token: &str) -> Result<usize, String> {
+    let count = snapshot.corner_count();
+    if let Ok(k) = token.parse::<usize>() {
+        return if k < count {
+            Ok(k)
+        } else {
+            Err(format!(
+                "corner index {k} out of range (deck has {count} corner(s))"
+            ))
+        };
+    }
+    match snapshot.corners() {
+        Some(corners) => corners
+            .index_of(token)
+            .ok_or_else(|| format!("unknown corner `{token}`")),
+        None if token == "nominal" => Ok(0),
+        None => Err(format!("unknown corner `{token}` (deck is nominal-only)")),
+    }
+}
+
 /// Renders what a sink drives.
 fn load_text(load: &Load) -> String {
     match load {
@@ -157,21 +238,29 @@ fn load_text(load: &Load) -> String {
     }
 }
 
-/// Renders the response block of `QUERY <net> [node]` against one
-/// snapshot.
+/// Renders the response block of `QUERY <net> [node] [--corner <k|name>]`
+/// against one snapshot.  Sink and node lines have the same shape in
+/// every corner; the selected corner is named on the final `OK` line when
+/// one was requested explicitly.
 pub fn render_query(
     snapshot: &DesignSnapshot,
     rev: u64,
     net: &str,
     node: Option<&str>,
+    corner: Option<&str>,
 ) -> Vec<String> {
+    let selected = match corner.map(|c| resolve_corner(snapshot, c)).transpose() {
+        Ok(selected) => selected,
+        Err(message) => return vec![err_line(rev, &message)],
+    };
+    let k = selected.unwrap_or(0);
     let Some(timing) = snapshot.net(net) else {
         return vec![err_line(rev, &format!("unknown net `{net}`"))];
     };
     match node {
         None => {
-            let mut lines: Vec<String> = timing
-                .sinks()
+            let sinks = timing.sinks_at(k).expect("resolved corner is in range");
+            let mut lines: Vec<String> = sinks
                 .iter()
                 .map(|s| {
                     format!(
@@ -183,10 +272,10 @@ pub fn render_query(
                     )
                 })
                 .collect();
-            lines.push(ok_line(rev));
+            lines.push(ok_selected(snapshot, rev, selected));
             lines
         }
-        Some(node) => match timing.node_times(node, snapshot.threshold()) {
+        Some(node) => match timing.node_times_at(node, snapshot.threshold(), k) {
             Ok((times, bounds)) => vec![
                 format!(
                     "node {node} t_p {:e} t_d {:e} t_r {:e} elmore {:e} lower {:e} upper {:e}",
@@ -197,40 +286,72 @@ pub fn render_query(
                     bounds.lower.value(),
                     bounds.upper.value()
                 ),
-                ok_line(rev),
+                ok_selected(snapshot, rev, selected),
             ],
             Err(e) => vec![err_line(rev, &format!("query failed: {e}"))],
         },
     }
 }
 
-/// Renders the response block of `REPORT`: the payload is exactly the
-/// [`rctree_sta::TimingReport`] display text — byte-identical to what
-/// `rcdelay report` prints offline for the same design state.
-pub fn render_report(snapshot: &DesignSnapshot, rev: u64) -> Vec<String> {
-    let mut lines: Vec<String> = snapshot
-        .report()
-        .to_string()
-        .lines()
-        .map(str::to_string)
-        .collect();
-    lines.push(ok_line(rev));
+/// Renders the response block of `REPORT [--corner <k|name|worst>]`: the
+/// payload is exactly the [`rctree_sta::TimingReport`] display text of the
+/// selected corner — byte-identical to what `rcdelay report` (with the
+/// same `--corners` spec and `--corner` selector) prints offline for the
+/// same design state.  `worst` picks the smallest-slack lane against the
+/// snapshot's required time.
+pub fn render_report(snapshot: &DesignSnapshot, rev: u64, corner: Option<&str>) -> Vec<String> {
+    let selected = match corner {
+        None => None,
+        Some("worst") => Some(match snapshot.corners() {
+            Some(corners) => corners.worst_against(snapshot.required_time()).0,
+            None => 0,
+        }),
+        Some(token) => match resolve_corner(snapshot, token) {
+            Ok(k) => Some(k),
+            Err(message) => return vec![err_line(rev, &message)],
+        },
+    };
+    let report = match selected {
+        None | Some(0) => snapshot.report(),
+        Some(k) => snapshot
+            .corners()
+            .and_then(|c| c.report(k))
+            .expect("resolved corner is in range"),
+    };
+    let mut lines: Vec<String> = report.to_string().lines().map(str::to_string).collect();
+    lines.push(ok_selected(snapshot, rev, selected));
     lines
 }
 
 /// Renders the response block of `CERTIFY <budget>`.
+///
+/// On a multi-corner deck the worst (smallest-slack) corner is named on
+/// the certify line and the verdict is the conjunction over **all**
+/// corners; nominal-only decks keep the single-corner line format.
 pub fn render_certify(snapshot: &DesignSnapshot, rev: u64, budget: f64) -> Vec<String> {
     let required = Seconds::new(budget);
-    let report = snapshot.report();
-    vec![
-        format!(
-            "certify required {:e} worst_slack {:e} {}",
-            budget,
-            report.slack_against(required).value(),
-            report.certification_against(required)
-        ),
-        ok_line(rev),
-    ]
+    let certify = match snapshot.corners() {
+        Some(corners) => {
+            let (worst, slack, verdict) = corners.worst_against(required);
+            format!(
+                "certify required {:e} worst_slack {:e} corner {} {}",
+                budget,
+                slack.value(),
+                corners.names()[worst],
+                verdict
+            )
+        }
+        None => {
+            let report = snapshot.report();
+            format!(
+                "certify required {:e} worst_slack {:e} {}",
+                budget,
+                report.slack_against(required).value(),
+                report.certification_against(required)
+            )
+        }
+    };
+    vec![certify, ok_selected(snapshot, rev, None)]
 }
 
 #[cfg(test)]
@@ -244,17 +365,22 @@ mod tests {
             parse_request("QUERY clk"),
             Ok(Some(Request::Query {
                 net: "clk".into(),
-                node: None
+                node: None,
+                corner: None
             }))
         );
         assert_eq!(
             parse_request("query clk n4"),
             Ok(Some(Request::Query {
                 net: "clk".into(),
-                node: Some("n4".into())
+                node: Some("n4".into()),
+                corner: None
             }))
         );
-        assert_eq!(parse_request("REPORT"), Ok(Some(Request::Report)));
+        assert_eq!(
+            parse_request("REPORT"),
+            Ok(Some(Request::Report { corner: None }))
+        );
         assert_eq!(
             parse_request("ECO setcap clk n4 2e-15; prune clk stub"),
             Ok(Some(Request::Eco {
@@ -268,6 +394,37 @@ mod tests {
         assert_eq!(parse_request("STATS"), Ok(Some(Request::Stats)));
         assert_eq!(parse_request("QUIT"), Ok(Some(Request::Quit)));
         assert_eq!(parse_request("shutdown"), Ok(Some(Request::Shutdown)));
+    }
+
+    #[test]
+    fn corner_selectors_parse() {
+        assert_eq!(
+            parse_request("QUERY clk --corner slow"),
+            Ok(Some(Request::Query {
+                net: "clk".into(),
+                node: None,
+                corner: Some("slow".into())
+            }))
+        );
+        assert_eq!(
+            parse_request("query clk --corner 2 n4"),
+            Ok(Some(Request::Query {
+                net: "clk".into(),
+                node: Some("n4".into()),
+                corner: Some("2".into())
+            }))
+        );
+        assert_eq!(
+            parse_request("REPORT --corner worst"),
+            Ok(Some(Request::Report {
+                corner: Some("worst".into())
+            }))
+        );
+        assert!(parse_request("REPORT --corner")
+            .unwrap_err()
+            .contains("--corner"));
+        assert!(parse_request("QUERY clk n4 --corner").is_err());
+        assert!(parse_request("REPORT --corner 1 extra").is_err());
     }
 
     #[test]

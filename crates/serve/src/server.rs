@@ -250,41 +250,72 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+/// A response block: owned lines, or a shared rendering out of the
+/// per-revision report cache.
+enum Block {
+    Owned(Vec<String>),
+    Cached(Arc<Vec<String>>),
+}
+
+impl Block {
+    fn lines(&self) -> &[String] {
+        match self {
+            Block::Owned(lines) => lines,
+            Block::Cached(lines) => lines,
+        }
+    }
+}
+
 /// Parses one request line, serves it, writes the response block.
 fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<After> {
     let mut after = After::Continue;
-    let lines = match protocol::parse_request(line) {
+    let block = match protocol::parse_request(line) {
         // Blank lines get no response at all.
         Ok(None) => return Ok(After::Continue),
         Err(message) => {
             let (_, rev) = shared.store.load();
-            vec![protocol::err_line(rev, &format!("bad request: {message}"))]
+            Block::Owned(vec![protocol::err_line(
+                rev,
+                &format!("bad request: {message}"),
+            )])
         }
         Ok(Some(request)) => {
             ServerStats::bump(&shared.stats.requests);
             match request {
-                Request::Query { net, node } => {
+                Request::Query { net, node, corner } => {
                     ServerStats::bump(&shared.stats.queries);
                     let (snapshot, rev) = shared.store.load();
-                    protocol::render_query(&snapshot, rev, &net, node.as_deref())
+                    Block::Owned(protocol::render_query(
+                        &snapshot,
+                        rev,
+                        &net,
+                        node.as_deref(),
+                        corner.as_deref(),
+                    ))
                 }
-                Request::Report => {
+                Request::Report { corner } => {
                     let (snapshot, rev) = shared.store.load();
-                    protocol::render_report(&snapshot, rev)
+                    let (lines, hit) = shared.store.rendered_report(rev, corner.as_deref(), || {
+                        protocol::render_report(&snapshot, rev, corner.as_deref())
+                    });
+                    if hit {
+                        ServerStats::bump(&shared.stats.report_cache_hits);
+                    }
+                    Block::Cached(lines)
                 }
                 Request::Certify { budget } => {
                     let (snapshot, rev) = shared.store.load();
-                    protocol::render_certify(&snapshot, rev, budget)
+                    Block::Owned(protocol::render_certify(&snapshot, rev, budget))
                 }
-                Request::Stats => render_stats(shared),
+                Request::Stats => Block::Owned(render_stats(shared)),
                 Request::Quit => {
                     after = After::Close;
-                    vec![protocol::ok_line(shared.store.load().1)]
+                    Block::Owned(vec![protocol::ok_line(shared.store.load().1)])
                 }
                 Request::Shutdown => {
                     after = After::Close;
                     shared.shutdown.store(true, Ordering::SeqCst);
-                    vec![protocol::ok_line(shared.store.load().1)]
+                    Block::Owned(vec![protocol::ok_line(shared.store.load().1)])
                 }
                 Request::Eco { script } => {
                     // All writers serialize here; reads keep flowing off
@@ -297,12 +328,12 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                     );
                     ServerStats::add(&shared.stats.eco_applied, counts.applied);
                     ServerStats::add(&shared.stats.eco_skipped, counts.skipped);
-                    lines
+                    Block::Owned(lines)
                 }
             }
         }
     };
-    for line in &lines {
+    for line in block.lines() {
         writeln!(out, "{line}")?;
     }
     out.flush()?;
@@ -310,22 +341,36 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
 }
 
 /// The `STATS` response block.
+///
+/// The arena byte sizes come from the live design behind the writer lock
+/// (a size probe, not an analysis); like every other counter here they
+/// are *not* part of the deterministic response surface.
 fn render_stats(shared: &Shared) -> Vec<String> {
     let (snapshot, rev) = shared.store.load();
+    let (arena_base, arena_corner) = lock(&shared.writer).arena_bytes();
     vec![
         format!(
-            "stats nets {} instances {} endpoints {} revision {} connections {} requests {} \
-             queries {} eco_applied {} eco_skipped {}",
+            "stats nets {} instances {} endpoints {} revision {} corners {} arena_base_bytes {} \
+             arena_corner_bytes {} connections {} requests {} queries {} eco_applied {} \
+             eco_skipped {} report_cache_hits {}",
             snapshot.net_count(),
             snapshot.instance_count(),
             snapshot.report().endpoints.len(),
             rev,
+            snapshot.corner_count(),
+            arena_base,
+            arena_corner,
             ServerStats::get(&shared.stats.connections),
             ServerStats::get(&shared.stats.requests),
             ServerStats::get(&shared.stats.queries),
             ServerStats::get(&shared.stats.eco_applied),
             ServerStats::get(&shared.stats.eco_skipped),
+            ServerStats::get(&shared.stats.report_cache_hits),
         ),
-        protocol::ok_line(rev),
+        format!(
+            "{}{}",
+            protocol::ok_line(rev),
+            protocol::corner_tail(&snapshot)
+        ),
     ]
 }

@@ -18,7 +18,7 @@ use rctree_core::units::Seconds;
 use rctree_sta::script::{parse_eco_script_line, ScriptLine};
 use rctree_sta::{Design, DesignSnapshot, StaError};
 
-use crate::protocol::{err_line, ok_line};
+use crate::protocol::{corner_tail, err_line, ok_line};
 
 /// Applied/skipped directive tallies of one `ECO` request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -79,6 +79,23 @@ impl EcoExecutor {
         self.revision
     }
 
+    /// Number of timing corners of the live design (1 when nominal-only).
+    pub fn corner_count(&self) -> usize {
+        self.snapshot.corner_count()
+    }
+
+    /// `(base, corner-lane)` byte sizes of the design's SoA net arena
+    /// (zeros until an arena-building analysis ran).
+    pub fn arena_bytes(&self) -> (usize, usize) {
+        self.design.arena_bytes()
+    }
+
+    /// The final `OK` line of an `ECO` response: revision plus the corner
+    /// vector on multi-corner decks (the edits re-timed every lane).
+    fn ok(&self) -> String {
+        format!("{}{}", ok_line(self.revision), corner_tail(&self.snapshot))
+    }
+
     /// Executes one `ECO` request line and returns its full response block
     /// plus the applied/skipped tallies.
     ///
@@ -105,7 +122,7 @@ impl EcoExecutor {
                     counts,
                 );
             }
-            Ok(ScriptLine::Empty) => return (vec![ok_line(self.revision)], counts),
+            Ok(ScriptLine::Empty) => return (vec![self.ok()], counts),
             Ok(ScriptLine::Quit) => {
                 return (
                     vec![err_line(
@@ -150,7 +167,7 @@ impl EcoExecutor {
                 }
             }
         }
-        lines.push(ok_line(self.revision));
+        lines.push(self.ok());
         (lines, counts)
     }
 }

@@ -1,7 +1,8 @@
-//! The snapshot store and the server counters.
+//! The snapshot store, the rendered-report cache and the server counters.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use rctree_sta::DesignSnapshot;
 
@@ -20,6 +21,21 @@ use rctree_sta::DesignSnapshot;
 #[derive(Debug)]
 pub struct SnapshotStore {
     inner: RwLock<(Arc<DesignSnapshot>, u64)>,
+    reports: Mutex<ReportCache>,
+}
+
+/// Per-revision cache of rendered `REPORT` response blocks, keyed by the
+/// raw `--corner` selector (`None` for the plain verb).  Rendering a
+/// [`rctree_sta::TimingReport`] walks and formats every endpoint, which
+/// dwarfs the cost of writing the already-rendered lines on big decks —
+/// and between edits every `REPORT` for the same selector is
+/// byte-identical by construction, so the block is rendered once per
+/// `(revision, selector)` and shared via `Arc` after that.  The cache is
+/// dropped wholesale whenever a new revision is published.
+#[derive(Debug, Default)]
+struct ReportCache {
+    revision: u64,
+    rendered: HashMap<Option<String>, Arc<Vec<String>>>,
 }
 
 impl SnapshotStore {
@@ -27,6 +43,7 @@ impl SnapshotStore {
     pub fn new(snapshot: Arc<DesignSnapshot>) -> Self {
         SnapshotStore {
             inner: RwLock::new((snapshot, 0)),
+            reports: Mutex::new(ReportCache::default()),
         }
     }
 
@@ -46,6 +63,35 @@ impl SnapshotStore {
         };
         *guard = (snapshot, revision);
     }
+
+    /// The rendered `REPORT` block for `(revision, corner-selector)`,
+    /// rendering it with `render` on a miss.  Returns the shared block and
+    /// whether it was a cache hit.  A stale-revision entry set is dropped
+    /// before lookup, so the cache never serves a superseded snapshot's
+    /// rendering.
+    pub fn rendered_report(
+        &self,
+        revision: u64,
+        corner: Option<&str>,
+        render: impl FnOnce() -> Vec<String>,
+    ) -> (Arc<Vec<String>>, bool) {
+        let mut cache = match self.reports.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if cache.revision != revision {
+            cache.revision = revision;
+            cache.rendered.clear();
+        }
+        if let Some(block) = cache.rendered.get(&corner.map(str::to_string)) {
+            return (Arc::clone(block), true);
+        }
+        let block = Arc::new(render());
+        cache
+            .rendered
+            .insert(corner.map(str::to_string), Arc::clone(&block));
+        (block, false)
+    }
 }
 
 /// Monotone server counters, shown by the `STATS` verb.  They are
@@ -64,6 +110,8 @@ pub struct ServerStats {
     pub eco_applied: AtomicU64,
     /// ECO directives skipped (rejected by validation or re-timing).
     pub eco_skipped: AtomicU64,
+    /// `REPORT` responses served from the per-revision rendered cache.
+    pub report_cache_hits: AtomicU64,
 }
 
 impl ServerStats {

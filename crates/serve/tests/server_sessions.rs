@@ -151,10 +151,16 @@ fn verify_against_oracle(
         );
         let snapshot = &snapshots[rev];
         let expected = match protocol::parse_request(request).expect("parses") {
-            Some(Request::Query { net, node }) => {
-                protocol::render_query(snapshot, rev as u64, &net, node.as_deref())
+            Some(Request::Query { net, node, corner }) => protocol::render_query(
+                snapshot,
+                rev as u64,
+                &net,
+                node.as_deref(),
+                corner.as_deref(),
+            ),
+            Some(Request::Report { corner }) => {
+                protocol::render_report(snapshot, rev as u64, corner.as_deref())
             }
-            Some(Request::Report) => protocol::render_report(snapshot, rev as u64),
             Some(Request::Certify { budget }) => {
                 protocol::render_certify(snapshot, rev as u64, budget)
             }
@@ -231,7 +237,7 @@ fn read_only_sessions_are_deterministic_and_see_revision_zero() {
     let baseline = offline
         .publish(THRESHOLD, Seconds::new(BUDGET_S), 1)
         .expect("baseline");
-    let expected_report = protocol::render_report(&Arc::new(baseline), 0);
+    let expected_report = protocol::render_report(&Arc::new(baseline), 0, None);
     let report_blocks: Vec<&Vec<String>> = script
         .iter()
         .zip(&a)
@@ -244,6 +250,151 @@ fn read_only_sessions_are_deterministic_and_see_revision_zero() {
     }
     server.shutdown();
     server.join();
+}
+
+/// A multi-corner deck: every data-bearing `OK` line names the corner
+/// vector, `--corner` selects lanes by index or name, `CERTIFY` names the
+/// worst corner — and the whole transcript (a request mix with accepted
+/// ECO edits, then corner-specific requests) is byte-identical to a
+/// serial oracle replay over the same corner-carrying design.
+#[test]
+fn multi_corner_sessions_name_the_corner_vector_and_match_the_oracle() {
+    use rctree_workloads::{corner_set, CornerSpecParams};
+
+    let trees = deck_trees();
+    let net_names: Vec<String> = trees.iter().map(|(n, _)| n.clone()).collect();
+    let set = corner_set(
+        &CornerSpecParams {
+            corners: 4,
+            overrides: 2,
+        },
+        &net_names,
+        0xD1CE,
+    );
+    let csv = set.names_csv();
+    let mut design = design_of(&trees);
+    design.set_corners(set.clone());
+    let server = Server::start(design, &config(), ("127.0.0.1", 0)).expect("server starts");
+    let addr = server.local_addr();
+
+    let params = RequestMixParams {
+        requests_per_connection: 30,
+        eco_fraction: 0.35,
+        certify_budget: 120e-9,
+    };
+    let mut script = request_mix(&trees, 1, &params, 0xAB).remove(0);
+    let (net0, tree0) = &trees[0];
+    let node0 = tree0
+        .name(tree0.outputs().next().expect("an output"))
+        .expect("named")
+        .to_string();
+    script.extend([
+        "REPORT".to_string(),
+        "REPORT --corner 2".to_string(),
+        "REPORT --corner 2".to_string(),
+        format!("REPORT --corner {}", set.corner(3).name),
+        "REPORT --corner worst".to_string(),
+        format!("QUERY {net0} --corner 1"),
+        format!("QUERY {net0} {node0} --corner {}", set.corner(1).name),
+        "CERTIFY 1.2e-7".to_string(),
+        "REPORT --corner bogus".to_string(),
+        "STATS".to_string(),
+    ]);
+    let transcript = run_client(addr, &script);
+    let log = server.eco_log();
+    server.shutdown();
+    server.join();
+
+    // Every successful response names the corner vector on its final line.
+    let tail = format!(" corners {csv}");
+    for (request, block) in script.iter().zip(&transcript) {
+        let last = block.last().expect("non-empty block");
+        if last.starts_with("OK ") {
+            assert!(
+                last.ends_with(&tail),
+                "`{request}` final line lacks the corner vector: {last}"
+            );
+        }
+    }
+
+    // Serial oracle replay over the same corner-carrying design: one
+    // client is serial, so reads see the oracle's current revision and
+    // every response must be byte-identical — including the CERTIFY
+    // worst-corner line and the `--corner` renderings.
+    let mut oracle_design = design_of(&trees);
+    oracle_design.set_corners(set.clone());
+    let mut oracle =
+        EcoExecutor::new(oracle_design, THRESHOLD, Seconds::new(BUDGET_S), 1).expect("oracle");
+    let mut snapshots: Vec<Arc<DesignSnapshot>> = vec![oracle.snapshot()];
+    let mut accepted: Vec<String> = Vec::new();
+    for (request, response) in script.iter().zip(&transcript) {
+        match protocol::parse_request(request).expect("script parses") {
+            Some(Request::Eco { script }) => {
+                let (lines, _) = oracle.exec_eco(
+                    &script,
+                    &mut |snapshot, _rev| snapshots.push(Arc::clone(snapshot)),
+                    &mut |summary| accepted.push(summary.to_string()),
+                );
+                assert_eq!(&lines, response, "ECO response diverged for `{request}`");
+            }
+            Some(Request::Stats) => {
+                assert!(response[0].contains(" corners 4 "), "{response:?}");
+                assert!(response[0].contains(" report_cache_hits "), "{response:?}");
+            }
+            Some(read) => {
+                let rev = block_rev(response);
+                let snapshot = &snapshots[rev as usize];
+                let expected = match read {
+                    Request::Query { net, node, corner } => protocol::render_query(
+                        snapshot,
+                        rev,
+                        &net,
+                        node.as_deref(),
+                        corner.as_deref(),
+                    ),
+                    Request::Report { corner } => {
+                        protocol::render_report(snapshot, rev, corner.as_deref())
+                    }
+                    Request::Certify { budget } => protocol::render_certify(snapshot, rev, budget),
+                    other => panic!("unexpected request {other:?}"),
+                };
+                assert_eq!(
+                    response, &expected,
+                    "read response diverged for `{request}`"
+                );
+            }
+            None => panic!("blank request"),
+        }
+    }
+    assert_eq!(accepted, log, "accepted-edit order diverged");
+    assert!(!log.is_empty(), "the mix should commit some edits");
+
+    // The CERTIFY response names the oracle's worst corner explicitly.
+    let certify = &transcript[script.len() - 3];
+    let final_snapshot = snapshots.last().expect("snapshots");
+    let corners = final_snapshot.corners().expect("multi-corner snapshot");
+    let (worst, _, _) = corners.worst_against(Seconds::new(1.2e-7));
+    assert!(
+        certify[0].contains(&format!(" corner {} ", corners.names()[worst])),
+        "CERTIFY must name the worst corner: {certify:?}"
+    );
+
+    // Identical REPORT --corner 2 requests at one revision hit the
+    // rendered cache; the second response is byte-identical regardless.
+    let stats_line = &transcript[script.len() - 1][0];
+    let hits: u64 = stats_line
+        .split_whitespace()
+        .skip_while(|t| *t != "report_cache_hits")
+        .nth(1)
+        .expect("report_cache_hits counter")
+        .parse()
+        .expect("numeric counter");
+    assert!(hits >= 1, "repeated REPORTs should hit the cache: {hits}");
+
+    // A bogus selector is a clean error naming the revision.
+    let bogus = &transcript[script.len() - 2];
+    assert!(bogus[0].starts_with("ERR rev "), "{bogus:?}");
+    assert!(bogus[0].contains("unknown corner `bogus`"), "{bogus:?}");
 }
 
 #[test]

@@ -16,9 +16,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
-use rctree_core::batch::{BatchScratch, BatchTimes};
+use rctree_core::batch::{BatchScratch, BatchTimes, LaneScratch};
 use rctree_core::bounds::DelayBounds;
 use rctree_core::cert::Certification;
+use rctree_core::corner::CornerSet;
 use rctree_core::element::Branch;
 use rctree_core::incremental::{EditableTree, TreeEdit};
 use rctree_core::intern::{Interner, NameId};
@@ -27,9 +28,9 @@ use rctree_core::tree::{NodeId, RcTree};
 use rctree_core::units::{Farads, Ohms, Seconds};
 
 use crate::arena::NetArena;
-use crate::cell::CellLibrary;
+use crate::cell::{Cell, CellLibrary};
 use crate::error::{Result, StaError};
-use crate::stage::stage_delay_bounds;
+use crate::stage::{stage_delay_bounds, stage_delay_bounds_scaled, StageScales};
 
 thread_local! {
     /// Per-thread reusable sweep buffers for the arena-backed stage
@@ -37,6 +38,10 @@ thread_local! {
     /// worker's scratch survives across nets *and* across analysis calls —
     /// the steady state allocates nothing per net.
     static SWEEP_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::new());
+
+    /// Per-thread reusable buffers for the multi-lane (all-corners) sweep,
+    /// the corner analogue of [`SWEEP_SCRATCH`].
+    static LANE_SCRATCH: RefCell<LaneScratch> = RefCell::new(LaneScratch::new());
 }
 
 /// What drives a net.
@@ -202,6 +207,77 @@ impl fmt::Display for TimingReport {
     }
 }
 
+/// Per-corner timing results of one [`Design::analyze_corners`] call: one
+/// full [`TimingReport`] per corner, in corner (lane) order.  Index 0 is
+/// always the nominal corner and is bit-identical to the single-corner
+/// [`Design::analyze_with_jobs`] report.
+#[derive(Debug, Clone)]
+pub struct CornerAnalysis {
+    /// Corner names in lane order.
+    names: Vec<String>,
+    /// One report per corner, parallel to `names`.
+    reports: Vec<TimingReport>,
+}
+
+impl CornerAnalysis {
+    /// Corner names in lane order (index 0 is the nominal corner).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of corners analysed (at least 1).
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Always `false`: the nominal corner is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The report of corner `k`, or `None` when `k` is out of range.
+    pub fn report(&self, k: usize) -> Option<&TimingReport> {
+        self.reports.get(k)
+    }
+
+    /// Every corner's report, in lane order.
+    pub fn reports(&self) -> &[TimingReport] {
+        &self.reports
+    }
+
+    /// Index of the corner with the smallest slack against
+    /// `required_time`.  Ties break to the lowest lane index, so the
+    /// nominal corner wins a tie against any scaled corner — a stable,
+    /// scheduling-independent answer.
+    pub fn worst_against(&self, required_time: Seconds) -> usize {
+        let mut worst = 0usize;
+        let mut slack = self.reports[0].slack_against(required_time);
+        for (k, report) in self.reports.iter().enumerate().skip(1) {
+            let s = report.slack_against(required_time);
+            if s < slack {
+                worst = k;
+                slack = s;
+            }
+        }
+        worst
+    }
+
+    /// Index of the worst corner against the analysis' own required time.
+    pub fn worst_index(&self) -> usize {
+        self.worst_against(self.reports[0].required_time)
+    }
+
+    /// Whole-deck certification against `required_time`: the conjunction
+    /// over every corner (the deck passes only when **all** corners pass).
+    pub fn certification_against(&self, required_time: Seconds) -> Certification {
+        self.reports
+            .iter()
+            .fold(Certification::Pass, |verdict, report| {
+                verdict.and(report.certification_against(required_time))
+            })
+    }
+}
+
 /// A gate-level design with extracted interconnect.
 ///
 /// The library, instance table and nets live behind an [`Arc`] so that the
@@ -257,6 +333,11 @@ struct DesignCore {
     /// instance table or the net list changes (ECO edits keep it — they
     /// touch interconnect values, never connectivity).
     topo: Mutex<Option<Arc<PropagationCache>>>,
+    /// Active PVT corner set, `None` for a nominal-only design.  Corner 0
+    /// of any installed set is the implicit unscaled nominal corner, so
+    /// lane 0 of the arena — and every single-corner code path — is
+    /// unaffected by this field.
+    corners: Option<Arc<CornerSet>>,
 }
 
 impl Clone for DesignCore {
@@ -272,6 +353,7 @@ impl Clone for DesignCore {
             // which would invalidate the caches anyway; rebuild on demand.
             arena: Mutex::new(None),
             topo: Mutex::new(None),
+            corners: self.corners.clone(),
         }
     }
 }
@@ -401,6 +483,105 @@ struct EcoState {
     prop: Arc<PropagationCache>,
     arrivals: Vec<InstArrival>,
     endpoints: Vec<Vec<EndpointTiming>>,
+    /// Per-corner companion state when the design has a multi-corner set
+    /// installed; `None` for nominal-only designs.  Maintained through the
+    /// same dirty-net commits and cone walks as the nominal fields, so a
+    /// publish always has every corner's windows current.
+    corners: Option<CornerState>,
+}
+
+/// Incrementally maintained multi-corner analysis state: the corner set
+/// plus one [`CornerLane`] per **extra** corner (arena lane `k` ↔
+/// `lanes[k − 1]`; the nominal lane 0 *is* the base [`EcoState`]).
+#[derive(Debug, Clone)]
+struct CornerState {
+    set: Arc<CornerSet>,
+    lanes: Vec<CornerLane>,
+}
+
+/// One extra corner's worth of [`EcoState`]: the corner's scaled intrinsic
+/// delays plus its own windows, arrivals and endpoint contributions — all
+/// re-derived in lock-step with the nominal lane (same dirty nets, same
+/// cone ranks).
+#[derive(Debug, Clone)]
+struct CornerLane {
+    /// Per-instance intrinsic delay scaled by the corner's `delay_scale`.
+    intrinsic: Vec<Seconds>,
+    delays: Vec<Vec<Window>>,
+    arrivals: Vec<InstArrival>,
+    endpoints: Vec<Vec<EndpointTiming>>,
+}
+
+/// The [`StageScales`] of one net at corner `k`: wire scales honour the
+/// set's per-net override, cell-side scales are always the corner's global
+/// `r_scale`/`c_scale` (cell parameters carry no per-net override).
+fn net_stage_scales(set: &CornerSet, net_name: &str, k: usize) -> StageScales {
+    let corner = set.corner(k);
+    let (wire_r, wire_c) = set.wire_scales(net_name, k);
+    StageScales {
+        wire_r,
+        wire_c,
+        driver_r: corner.r_scale,
+        load_c: corner.c_scale,
+    }
+}
+
+/// A corner's per-instance intrinsic delays: each nominal value scaled by
+/// the corner's `delay_scale` with **one** multiplication — the same bits a
+/// materialized corner design's scaled cell library produces.
+fn scale_intrinsic(nominal: &[Seconds], delay_scale: f64) -> Vec<Seconds> {
+    nominal
+        .iter()
+        .map(|d| Seconds::new(d.value() * delay_scale))
+        .collect()
+}
+
+/// A copy of `tree` with every branch resistance scaled by `r_scale` and
+/// every branch/node capacitance scaled by `c_scale` — one multiplication
+/// per element, nodes inserted in pre-order with their original names, so
+/// a sweep over the copy sees exactly the values the arena's corner lane
+/// stores, in the same order ([`Design::materialize_corner`]'s oracle
+/// contract).
+fn scale_tree(tree: &RcTree, r_scale: f64, c_scale: f64) -> Result<RcTree> {
+    let input = tree.input();
+    let mut b = rctree_core::builder::RcTreeBuilder::with_input_name(tree.name(input)?);
+    let mut map = vec![NodeId::INPUT; tree.node_count()];
+    map[input.index()] = b.input();
+    let new_input = b.input();
+    b.add_capacitance(
+        new_input,
+        Farads::new(tree.capacitance(input)?.value() * c_scale),
+    )?;
+    if tree.is_output(input)? {
+        b.mark_output(new_input)?;
+    }
+    for id in tree.preorder() {
+        if id == input {
+            continue;
+        }
+        let parent = map[tree.parent(id)?.expect("non-input node").index()];
+        let name = tree.name(id)?;
+        let new_id = match tree.branch(id)?.expect("non-input node") {
+            Branch::Resistor { resistance } => {
+                b.add_resistor(parent, name, Ohms::new(resistance.value() * r_scale))?
+            }
+            Branch::Line {
+                resistance,
+                capacitance,
+            } => b.add_line(
+                parent,
+                name,
+                Ohms::new(resistance.value() * r_scale),
+                Farads::new(capacitance.value() * c_scale),
+            )?,
+        };
+        b.add_capacitance(new_id, Farads::new(tree.capacitance(id)?.value() * c_scale))?;
+        if tree.is_output(id)? {
+            b.mark_output(new_id)?;
+        }
+        map[id.index()] = new_id;
+    }
+    Ok(b.build()?)
 }
 
 impl NetEngine {
@@ -479,12 +660,29 @@ impl NetEngine {
         let bounds = stage_delay_bounds(self.driver_r, self.tree.tree(), &loads, threshold)?;
         Ok(bounds.into_iter().map(|b| (b.lower, b.upper)).collect())
     }
+
+    /// [`NetEngine::windows`] at a PVT corner: the same flat sweep with
+    /// the corner's scale factors applied per element
+    /// ([`stage_delay_bounds_scaled`]) — bit-identical to sweeping the
+    /// corresponding corner lane of the arena built from the committed net.
+    fn windows_scaled(&self, threshold: f64, scales: StageScales) -> Result<Vec<Window>> {
+        let loads: Vec<(NodeId, Farads)> =
+            self.sinks.iter().map(|s| (s.node, s.load_cap)).collect();
+        let bounds =
+            stage_delay_bounds_scaled(self.driver_r, self.tree.tree(), &loads, threshold, scales)?;
+        Ok(bounds.into_iter().map(|b| (b.lower, b.upper)).collect())
+    }
 }
 
 /// Arrival window at a net's driver output: zero for primary inputs, the
 /// driver's worst input window plus its intrinsic delay otherwise.
+///
+/// `intrinsic` is passed explicitly (instead of read off the cache) so the
+/// per-corner propagation passes can supply the corner's `delay_scale`d
+/// intrinsic vector; the nominal passes hand in `&cache.intrinsic`
+/// unchanged.
 fn driver_window(
-    cache: &PropagationCache,
+    intrinsic: &[Seconds],
     arrivals: &[InstArrival],
     driver: Option<usize>,
 ) -> ArrivalWindow {
@@ -492,7 +690,7 @@ fn driver_window(
         None => ArrivalWindow::ZERO,
         Some(d) => {
             let input = arrivals[d].0;
-            let intrinsic = cache.intrinsic[d];
+            let intrinsic = intrinsic[d];
             ArrivalWindow {
                 min: input.min + intrinsic,
                 max: input.max + intrinsic,
@@ -527,6 +725,7 @@ fn driver_path(
 /// [`PropagationCache`] was built.
 fn run_full(
     cache: &PropagationCache,
+    intrinsic: &[Seconds],
     delays: &[Vec<Window>],
 ) -> (Vec<InstArrival>, Vec<Vec<EndpointTiming>>) {
     let mut arrivals: Vec<InstArrival> =
@@ -534,7 +733,7 @@ fn run_full(
     let mut endpoints: Vec<Vec<EndpointTiming>> = vec![Vec::new(); delays.len()];
     for &net in &cache.net_order {
         let driver = cache.net_driver[net];
-        let d_arr = driver_window(cache, &arrivals, driver);
+        let d_arr = driver_window(intrinsic, &arrivals, driver);
         let d_path = driver_path(cache, &arrivals, driver);
         for ((delay, &target), po) in delays[net]
             .iter()
@@ -571,6 +770,7 @@ fn run_full(
 /// incrementally, so the result is bit-identical to a full propagation.
 fn refold_instance(
     cache: &PropagationCache,
+    intrinsic: &[Seconds],
     delays: &[Vec<Window>],
     arrivals: &[InstArrival],
     inst: usize,
@@ -581,7 +781,7 @@ fn refold_instance(
         let Some(delay) = delays[net].get(k) else {
             continue; // defensive: window list shorter than the sink table
         };
-        let d_arr = driver_window(cache, arrivals, cache.net_driver[net]);
+        let d_arr = driver_window(intrinsic, arrivals, cache.net_driver[net]);
         let window = ArrivalWindow {
             min: d_arr.min + delay.0,
             max: d_arr.max + delay.1,
@@ -606,6 +806,7 @@ fn refold_instance(
 /// from the cone.  Infallible, like [`run_full`].
 fn run_cone(
     cache: &PropagationCache,
+    intrinsic: &[Seconds],
     delays: &[Vec<Window>],
     arrivals: &mut [InstArrival],
     endpoints: &mut [Vec<EndpointTiming>],
@@ -615,7 +816,7 @@ fn run_cone(
     while let Some(rank) = pending.pop_first() {
         let net = cache.net_order[rank];
         let driver = cache.net_driver[net];
-        let d_arr = driver_window(cache, arrivals, driver);
+        let d_arr = driver_window(intrinsic, arrivals, driver);
 
         // Refresh this net's endpoint contributions (kept in sink order,
         // matching the full pass) and collect its target instances.
@@ -652,7 +853,7 @@ fn run_cone(
         endpoints[net] = eps;
 
         for u in targets {
-            let refolded = refold_instance(cache, delays, arrivals, u);
+            let refolded = refold_instance(cache, intrinsic, delays, arrivals, u);
             if refolded != arrivals[u] {
                 arrivals[u] = refolded;
                 for &out in &cache.out_ranks[u] {
@@ -745,6 +946,7 @@ impl Design {
                 aug: Vec::new(),
                 arena: Mutex::new(None),
                 topo: Mutex::new(None),
+                corners: None,
             }),
             eco: None,
             published: 0,
@@ -837,6 +1039,46 @@ impl Design {
         self.shared.nets.len()
     }
 
+    /// Installs (or replaces) the design's PVT corner set.
+    ///
+    /// Corner 0 of any set is the implicit nominal corner, so a
+    /// nominal-only set is stored as "no corners" and the design behaves
+    /// exactly as an uncornered one (no extra lanes, no corner tails).
+    /// Installing corners invalidates the cached arena (its value columns
+    /// grow one lane per extra corner) and the incremental ECO state; the
+    /// nominal analysis results themselves are unchanged — lane 0 runs the
+    /// exact float sequence of the single-corner path.
+    pub fn set_corners(&mut self, corners: CornerSet) {
+        let core = Arc::make_mut(&mut self.shared);
+        core.corners = if corners.is_nominal_only() {
+            None
+        } else {
+            Some(Arc::new(corners))
+        };
+        core.arena = Mutex::new(None);
+        self.eco = None;
+        self.published = 0;
+    }
+
+    /// The active corner set, `None` when the design is nominal-only.
+    pub fn corners(&self) -> Option<&CornerSet> {
+        self.shared.corners.as_deref()
+    }
+
+    /// Number of timing corners (1 when no corner set is installed).
+    pub fn corner_count(&self) -> usize {
+        self.shared.corners.as_ref().map_or(1, |set| set.len())
+    }
+
+    /// Size in bytes of the cached SoA arena as `(base, corner_lanes)`:
+    /// the single-corner columns plus shared metadata, and the extra value
+    /// lanes appended for corners 1.. (zero without a multi-corner set).
+    /// Builds the arena if no analysis has run yet — the observability
+    /// hook behind the serve `STATS` verb.
+    pub fn arena_bytes(&self) -> (usize, usize) {
+        self.shared.arena().bytes()
+    }
+
     /// Runs the full arrival-time propagation and produces a report,
     /// sharding the per-net stage evaluation over
     /// [`rctree_par::default_jobs`] worker threads (`RCTREE_JOBS` overrides
@@ -905,6 +1147,137 @@ impl Design {
         .collect::<Result<_>>()
     }
 
+    /// Analyses **every corner** of the installed [`CornerSet`] in one
+    /// traversal per net: the per-net sweep walks all of the arena's corner
+    /// lanes node-by-node ([`NetArena::sweep_net_lanes`]), so the parent
+    /// array and every shared-metadata cache line are read once for all
+    /// `K` corners instead of once per corner — the amortization
+    /// `benches/corner_sweep.rs` measures.  Arrival windows are then
+    /// propagated once per corner over the cached topology, each corner
+    /// using its `delay_scale`d intrinsic delays.
+    ///
+    /// Corner 0 (nominal) runs the exact float sequence of
+    /// [`Design::analyze_with_jobs`], so `report(0)` is bit-identical to a
+    /// single-corner analysis for every `jobs` value.  Every other corner
+    /// is bit-identical to analysing that corner's fully materialized
+    /// design ([`Design::materialize_corner`]): both paths scale each
+    /// element with a single multiplication before any accumulation.
+    ///
+    /// Without an installed corner set this is exactly one nominal
+    /// analysis wrapped in a single-entry [`CornerAnalysis`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Design::analyze_with_jobs`].
+    pub fn analyze_corners(
+        &self,
+        threshold: f64,
+        required_time: Seconds,
+        jobs: usize,
+    ) -> Result<CornerAnalysis> {
+        if self.shared.nets.is_empty() {
+            return Err(StaError::EmptyDesign);
+        }
+        let Some(set) = self.shared.corners.clone() else {
+            let report = self.analyze_with_jobs(threshold, required_time, jobs)?;
+            return Ok(CornerAnalysis {
+                names: vec![CornerSet::default().corner(0).name.clone()],
+                reports: vec![report],
+            });
+        };
+        let per_net = self.stage_delays_corners(threshold, jobs)?;
+        let cache = self.shared.topology()?;
+        let mut reports = Vec::with_capacity(set.len());
+        for k in 0..set.len() {
+            let delays: Vec<Vec<Window>> = per_net.iter().map(|lanes| lanes[k].clone()).collect();
+            let (_arrivals, endpoints) = if k == 0 {
+                // The nominal lane propagates with the cached intrinsics
+                // untouched — not even an identity multiplication.
+                run_full(&cache, &cache.intrinsic, &delays)
+            } else {
+                let ds = set.corner(k).delay_scale;
+                let intrinsic = scale_intrinsic(&cache.intrinsic, ds);
+                run_full(&cache, &intrinsic, &delays)
+            };
+            reports.push(assemble_report(
+                threshold,
+                required_time,
+                &cache,
+                &endpoints,
+            ));
+        }
+        Ok(CornerAnalysis {
+            names: set.corners().iter().map(|c| c.name.clone()).collect(),
+            reports,
+        })
+    }
+
+    /// Per-net, per-corner stage windows: like [`Design::stage_delays`]
+    /// but sweeping **all corner lanes** of each net in one traversal.
+    /// Outer index: net; middle: corner lane; inner: sink.
+    fn stage_delays_corners(&self, threshold: f64, jobs: usize) -> Result<Vec<Vec<Vec<Window>>>> {
+        let state = Arc::new((self.shared.arena(), threshold));
+        let n = self.shared.nets.len();
+        rctree_par::par_map_global(jobs, state, n, move |i, st: &(Arc<NetArena>, f64)| {
+            LANE_SCRATCH.with(|s| st.0.sweep_net_lanes(i, st.1, &mut s.borrow_mut()))
+        })
+        .into_iter()
+        .collect::<Result<_>>()
+    }
+
+    /// Builds a standalone single-corner [`Design`]: every cell parameter
+    /// and every interconnect element of this design scaled by corner
+    /// `k`'s factors (wire scales honour per-net overrides).  Analysing
+    /// the materialized design with [`Design::analyze_with_jobs`] is
+    /// **bit-identical** to `analyze_corners(..).report(k)` — both scale
+    /// each element with a single multiplication before any accumulation —
+    /// which makes this the serial per-corner oracle of the equivalence
+    /// tests and the baseline of `benches/corner_sweep.rs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::Core`] with an `InvalidValue` on a corner index out of
+    ///   range;
+    /// * construction errors while rebuilding the scaled trees (reachable
+    ///   only through pathological scale factors, e.g. an overflow to
+    ///   infinity).
+    pub fn materialize_corner(&self, k: usize) -> Result<Design> {
+        let nominal = CornerSet::default();
+        let set: &CornerSet = self.shared.corners.as_deref().unwrap_or(&nominal);
+        if k >= set.len() {
+            return Err(StaError::Core(
+                rctree_core::error::CoreError::InvalidValue {
+                    what: "corner lane index",
+                    value: k as f64,
+                },
+            ));
+        }
+        let corner = set.corner(k);
+        let mut library = CellLibrary::new();
+        for cell in self.shared.library.iter() {
+            library.insert(Cell::new(
+                cell.name.clone(),
+                Ohms::new(cell.drive_resistance.value() * corner.r_scale),
+                Farads::new(cell.input_capacitance.value() * corner.c_scale),
+                Seconds::new(cell.intrinsic_delay.value() * corner.delay_scale),
+            ));
+        }
+        let mut out = Design::new(library);
+        for (inst, cell) in &self.shared.instances {
+            out.add_instance(inst.clone(), cell.clone())?;
+        }
+        for net in &self.shared.nets {
+            let (wire_r, wire_c) = set.wire_scales(&net.name, k);
+            out.add_net(Net {
+                name: net.name.clone(),
+                driver: net.driver.clone(),
+                interconnect: scale_tree(&net.interconnect, wire_r, wire_c)?,
+                sinks: net.sinks.clone(),
+            })?;
+        }
+        Ok(out)
+    }
+
     /// The pre-arena one-shot path, kept verbatim in cost profile as the
     /// baseline for `benches/deck_pipeline.rs`: every net re-resolves its
     /// driver cell and sink loads through the string-keyed tables and
@@ -934,7 +1307,7 @@ impl Design {
             .into_iter()
             .collect::<Result<_>>()?;
         let cache = self.shared.propagation_cache()?;
-        let (_arrivals, endpoints) = run_full(&cache, &delays);
+        let (_arrivals, endpoints) = run_full(&cache, &cache.intrinsic, &delays);
         Ok(assemble_report(
             threshold,
             required_time,
@@ -1038,15 +1411,27 @@ impl Design {
             jobs,
         )?;
 
+        // Corner lanes of the dirty nets, re-timed pre-commit so a failing
+        // corner sweep stays transactional (lane errors beyond lane 0 are
+        // pathological — scale factors are validated positive and finite —
+        // but the guarantee costs nothing to keep).
+        let corner_work = self.corner_dirty_windows(
+            if warm { self.eco.as_ref() } else { None },
+            &work,
+            threshold,
+        )?;
+
         if warm {
             let mut state = self.eco.take().expect("warm state present");
             // Everything fallible has succeeded — commit, then re-propagate
             // only the affected cone.
             let mut dirty_ranks = Vec::with_capacity(work.len());
+            let mut dirty_idx = Vec::with_capacity(work.len());
             let touched = !work.is_empty();
             let core = Arc::make_mut(&mut self.shared);
             for (idx, engine, delays) in work {
                 dirty_ranks.push(state.prop.net_rank[idx]);
+                dirty_idx.push(idx);
                 core.nets[idx].interconnect = engine.tree.tree().clone();
                 // Structural edits renumber node ids; keep the resolved
                 // augmentation exact.
@@ -1059,11 +1444,30 @@ impl Design {
             }
             run_cone(
                 &state.prop,
+                &state.prop.intrinsic,
                 &state.delays,
                 &mut state.arrivals,
                 &mut state.endpoints,
-                dirty_ranks,
+                dirty_ranks.iter().copied(),
             );
+            // Every extra corner walks the **same** dirty cone ranks: the
+            // dirty-net set and the topology are corner-independent, only
+            // the windows and intrinsics differ per lane.
+            if let Some(cs) = state.corners.as_mut() {
+                for (lane, rows) in cs.lanes.iter_mut().zip(corner_work) {
+                    for (&idx, delays) in dirty_idx.iter().zip(rows) {
+                        lane.delays[idx] = delays;
+                    }
+                    run_cone(
+                        &state.prop,
+                        &lane.intrinsic,
+                        &lane.delays,
+                        &mut lane.arrivals,
+                        &mut lane.endpoints,
+                        dirty_ranks.iter().copied(),
+                    );
+                }
+            }
             let report = assemble_report(threshold, required_time, &state.prop, &state.endpoints);
             self.eco = Some(state);
             // The design state moved past whatever snapshot was last
@@ -1130,6 +1534,12 @@ impl Design {
         // Throwaway engines per call — the PR-3 cost model (`None` forces a
         // fresh `EditableTree` seed per dirty net).
         let work = self.process_dirty(None, &by_net, threshold, jobs)?;
+        // Pre-commit corner re-timing, exactly like the incremental path.
+        let corner_work = self.corner_dirty_windows(
+            if warm { self.eco.as_ref() } else { None },
+            &work,
+            threshold,
+        )?;
 
         if warm {
             let mut state = self.eco.take().expect("warm state present");
@@ -1143,8 +1553,10 @@ impl Design {
                 }
             };
             let touched = !work.is_empty();
+            let mut dirty_idx = Vec::with_capacity(work.len());
             let core = Arc::make_mut(&mut self.shared);
             for (idx, engine, delays) in work {
+                dirty_idx.push(idx);
                 core.nets[idx].interconnect = engine.tree.tree().clone();
                 core.aug[idx].loads = engine.sinks.iter().map(|s| (s.node, s.load_cap)).collect();
                 state.delays[idx] = delays;
@@ -1153,10 +1565,21 @@ impl Design {
             if touched {
                 core.arena = Mutex::new(None);
             }
-            let (arrivals, endpoints) = run_full(&prop, &state.delays);
+            let (arrivals, endpoints) = run_full(&prop, &prop.intrinsic, &state.delays);
             state.prop = prop;
             state.arrivals = arrivals;
             state.endpoints = endpoints;
+            if let Some(cs) = state.corners.as_mut() {
+                for (lane, rows) in cs.lanes.iter_mut().zip(corner_work) {
+                    for (&idx, delays) in dirty_idx.iter().zip(rows) {
+                        lane.delays[idx] = delays;
+                    }
+                    let (arrivals, endpoints) =
+                        run_full(&state.prop, &lane.intrinsic, &lane.delays);
+                    lane.arrivals = arrivals;
+                    lane.endpoints = endpoints;
+                }
+            }
             let report = assemble_report(threshold, required_time, &state.prop, &state.endpoints);
             self.eco = Some(state);
             // The design state moved past whatever snapshot was last
@@ -1255,6 +1678,33 @@ impl Design {
         }
     }
 
+    /// Re-times the already-edited engines in `work` at every extra corner
+    /// of the warm state's corner set — the corner half of the pre-commit
+    /// transactional snapshot.  Outer index: extra corner (lane `k` ↔
+    /// entry `k − 1`); inner: `work` order.  Empty when there is no warm
+    /// multi-corner state (the cold path builds its lanes in
+    /// [`Design::warm_state`] instead).
+    fn corner_dirty_windows(
+        &self,
+        existing: Option<&EcoState>,
+        work: &[(usize, NetEngine, Vec<Window>)],
+        threshold: f64,
+    ) -> Result<Vec<Vec<Vec<Window>>>> {
+        let Some(cs) = existing.and_then(|state| state.corners.as_ref()) else {
+            return Ok(Vec::new());
+        };
+        let mut per_corner = Vec::with_capacity(cs.set.len() - 1);
+        for k in 1..cs.set.len() {
+            let mut rows = Vec::with_capacity(work.len());
+            for (idx, engine, _) in work {
+                let scales = net_stage_scales(&cs.set, &self.shared.nets[*idx].name, k);
+                rows.push(engine.windows_scaled(threshold, scales)?);
+            }
+            per_corner.push(rows);
+        }
+        Ok(per_corner)
+    }
+
     /// Builds a complete [`EcoState`] for the current design at
     /// `threshold`: engines and stage windows for every net (`overrides`
     /// supplies the pre-edited engines of dirty nets, so no net is
@@ -1316,7 +1766,39 @@ impl Design {
             .expect("every net has an engine");
 
         let prop = self.shared.topology()?;
-        let (arrivals, endpoints) = run_full(&prop, &delays);
+        let (arrivals, endpoints) = run_full(&prop, &prop.intrinsic, &delays);
+
+        // One lane of incremental state per extra corner: windows via the
+        // per-element-scaled engine sweep (bit-identical to the arena's
+        // corner lanes), then a full propagation with the corner's scaled
+        // intrinsics.  Paid once per warm-up, like the nominal lane.
+        let corners = match self.shared.corners.as_ref() {
+            Some(set) => {
+                let mut lanes = Vec::with_capacity(set.len() - 1);
+                for k in 1..set.len() {
+                    let corner = set.corner(k);
+                    let mut delays_k = Vec::with_capacity(n);
+                    for (idx, engine) in engines.iter().enumerate() {
+                        let scales = net_stage_scales(set, &self.shared.nets[idx].name, k);
+                        delays_k.push(engine.windows_scaled(threshold, scales)?);
+                    }
+                    let intrinsic = scale_intrinsic(&prop.intrinsic, corner.delay_scale);
+                    let (arrivals_k, endpoints_k) = run_full(&prop, &intrinsic, &delays_k);
+                    lanes.push(CornerLane {
+                        intrinsic,
+                        delays: delays_k,
+                        arrivals: arrivals_k,
+                        endpoints: endpoints_k,
+                    });
+                }
+                Some(CornerState {
+                    set: Arc::clone(set),
+                    lanes,
+                })
+            }
+            None => None,
+        };
+
         Ok(EcoState {
             threshold,
             delays,
@@ -1324,6 +1806,7 @@ impl Design {
             prop,
             arrivals,
             endpoints,
+            corners,
         })
     }
 
@@ -1339,7 +1822,7 @@ impl Design {
         net_sink_delays: &[Vec<Window>],
     ) -> Result<TimingReport> {
         let cache = self.shared.topology()?;
-        let (_arrivals, endpoints) = run_full(&cache, net_sink_delays);
+        let (_arrivals, endpoints) = run_full(&cache, &cache.intrinsic, net_sink_delays);
         Ok(assemble_report(
             threshold,
             required_time,
@@ -1436,6 +1919,10 @@ pub struct SinkWindow {
     pub upper: Seconds,
 }
 
+/// A lazily built augmented-stage sweep of one net: the `BatchTimes`
+/// plus the raw-node → augmented-position map.
+type SweepCache = Arc<(BatchTimes, Vec<u32>)>;
+
 /// Read-only timing view of one net inside a [`DesignSnapshot`]: the
 /// committed interconnect tree, the stage augmentation data (driver
 /// resistance and sink loads), and the cached per-sink delay windows.
@@ -1456,7 +1943,16 @@ pub struct NetTiming {
     /// repeated node queries against one snapshot revision cost `O(1)`
     /// after the first.  Built at most once per view (races rebuild the
     /// identical value and drop the loser).
-    batch: OnceLock<Arc<(BatchTimes, Vec<u32>)>>,
+    batch: OnceLock<SweepCache>,
+    /// Per **extra** corner (lane `k` ↔ entry `k − 1`): this net's cached
+    /// sink windows at that corner.  Empty for nominal-only snapshots.
+    corner_sinks: Arc<Vec<Vec<SinkWindow>>>,
+    /// Per extra corner: the net's stage scale factors, so node queries at
+    /// a corner can re-run the scaled sweep on demand.
+    corner_scales: Arc<Vec<StageScales>>,
+    /// Per extra corner: the lazily built scaled-sweep cache, the corner
+    /// analogue of `batch` (shared across clones of the view).
+    corner_batch: Arc<Vec<OnceLock<SweepCache>>>,
 }
 
 impl NetTiming {
@@ -1468,6 +1964,23 @@ impl NetTiming {
     /// The cached per-sink stage delay windows, in net sink order.
     pub fn sinks(&self) -> &[SinkWindow] {
         &self.sinks
+    }
+
+    /// Number of corners this view carries windows for (1 when the
+    /// snapshot is nominal-only).
+    pub fn corner_count(&self) -> usize {
+        1 + self.corner_sinks.len()
+    }
+
+    /// The cached per-sink windows at corner `k` (`0` is the nominal
+    /// corner and returns [`NetTiming::sinks`]); `None` when `k` is out of
+    /// range.
+    pub fn sinks_at(&self, k: usize) -> Option<&[SinkWindow]> {
+        if k == 0 {
+            Some(&self.sinks)
+        } else {
+            self.corner_sinks.get(k - 1).map(Vec::as_slice)
+        }
     }
 
     /// Characteristic times and delay bounds at an arbitrary node of the
@@ -1514,6 +2027,61 @@ impl NetTiming {
         let bounds = times.delay_bounds(threshold)?;
         Ok((times, bounds))
     }
+
+    /// [`NetTiming::node_times`] evaluated at corner `k` (`0` is the
+    /// nominal corner).  The corner's sweep runs the scaled augmented
+    /// arrays ([`crate::stage`]'s per-element scaling) and is cached per
+    /// corner, so repeated `QUERY … --corner k` hits are `O(1)` lookups
+    /// after the first.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NetTiming::node_times`], plus [`StaError::Core`] with an
+    /// `InvalidValue` on a corner index out of range.
+    pub fn node_times_at(
+        &self,
+        node: &str,
+        threshold: f64,
+        k: usize,
+    ) -> Result<(CharacteristicTimes, DelayBounds)> {
+        if k == 0 {
+            return self.node_times(node, threshold);
+        }
+        let (Some(cell), Some(scales)) = (
+            self.corner_batch.get(k - 1),
+            self.corner_scales.get(k - 1).copied(),
+        ) else {
+            return Err(StaError::Core(
+                rctree_core::error::CoreError::InvalidValue {
+                    what: "corner lane index",
+                    value: k as f64,
+                },
+            ));
+        };
+        let id = self
+            .tree
+            .node_by_name(node)
+            .map_err(|_| StaError::UnknownEcoNode {
+                net: self.name.clone(),
+                node: node.to_string(),
+            })?;
+        let batch = match cell.get() {
+            Some(batch) => Arc::clone(batch),
+            None => {
+                let built = Arc::new(crate::stage::augmented_batch_scaled(
+                    self.driver_r,
+                    &self.tree,
+                    &self.loads,
+                    scales,
+                )?);
+                let _ = cell.set(Arc::clone(&built));
+                built
+            }
+        };
+        let times = batch.0.times_at(batch.1[id.index()] as usize)?;
+        let bounds = times.delay_bounds(threshold)?;
+        Ok((times, bounds))
+    }
 }
 
 /// An immutable, cheaply cloneable timing snapshot of a whole design: the
@@ -1539,6 +2107,76 @@ pub struct DesignSnapshot {
     names: Arc<Interner>,
     net_index: Arc<HashMap<NameId, usize>>,
     instances: usize,
+    /// Per-corner reports when the snapshotted design has a multi-corner
+    /// set installed, `None` for nominal-only designs.
+    corners: Option<Arc<SnapshotCorners>>,
+}
+
+/// Per-corner views of a [`DesignSnapshot`] over a multi-corner design:
+/// the corner names and one full report per corner, in lane order.  Index
+/// 0 is the nominal corner; its report is the snapshot's main
+/// [`DesignSnapshot::report`] (the same `Arc`).
+#[derive(Debug, Clone)]
+pub struct SnapshotCorners {
+    names: Vec<String>,
+    reports: Vec<Arc<TimingReport>>,
+}
+
+impl SnapshotCorners {
+    /// Corner names in lane order (index 0 is the nominal corner).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Comma-joined corner names — the corner vector of the serve
+    /// protocol's response tails.
+    pub fn names_csv(&self) -> String {
+        self.names.join(",")
+    }
+
+    /// Number of corners (at least 2 — nominal-only designs snapshot with
+    /// no [`SnapshotCorners`] at all).
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Always `false`: the nominal corner is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The full report of corner `k` (0 is the nominal report), `None`
+    /// when out of range.
+    pub fn report(&self, k: usize) -> Option<&TimingReport> {
+        self.reports.get(k).map(|r| &**r)
+    }
+
+    /// Resolves a corner name to its lane index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The worst corner against `required_time`: the lane with the
+    /// smallest slack (ties break to the lowest index, so the answer is
+    /// deterministic).  Returns `(lane, slack, certification)` where the
+    /// certification is the conjunction over **all** corners — the
+    /// whole-deck verdict the `CERTIFY` verb reports.
+    pub fn worst_against(&self, required_time: Seconds) -> (usize, Seconds, Certification) {
+        let mut worst = 0usize;
+        let mut slack = self.reports[0].slack_against(required_time);
+        let mut verdict = Certification::Pass;
+        for (k, report) in self.reports.iter().enumerate() {
+            if k > 0 {
+                let s = report.slack_against(required_time);
+                if s < slack {
+                    worst = k;
+                    slack = s;
+                }
+            }
+            verdict = verdict.and(report.certification_against(required_time));
+        }
+        (worst, slack, verdict)
+    }
 }
 
 impl DesignSnapshot {
@@ -1576,6 +2214,18 @@ impl DesignSnapshot {
     /// Net names in design net order.
     pub fn net_names(&self) -> impl Iterator<Item = &str> {
         self.nets.iter().map(|n| n.name())
+    }
+
+    /// Per-corner reports when the snapshotted design has a multi-corner
+    /// set installed, `None` for nominal-only designs.
+    pub fn corners(&self) -> Option<&SnapshotCorners> {
+        self.corners.as_deref()
+    }
+
+    /// Number of timing corners baked into the snapshot (1 when
+    /// nominal-only).
+    pub fn corner_count(&self) -> usize {
+        self.corners.as_ref().map_or(1, |c| c.len())
     }
 }
 
@@ -1666,17 +2316,33 @@ impl Design {
         let state = self.eco.as_ref().expect("publish warms the eco cache");
         let net_timing = |idx: usize| -> Arc<NetTiming> {
             let engine = &state.engines[idx];
-            let sinks: Vec<SinkWindow> = engine
-                .sinks
-                .iter()
-                .zip(&state.delays[idx])
-                .map(|(binding, delay)| SinkWindow {
-                    node: binding.name.clone(),
-                    load: binding.load.clone(),
-                    lower: delay.0,
-                    upper: delay.1,
-                })
-                .collect();
+            let window_views = |delays: &[Window]| -> Vec<SinkWindow> {
+                engine
+                    .sinks
+                    .iter()
+                    .zip(delays)
+                    .map(|(binding, delay)| SinkWindow {
+                        node: binding.name.clone(),
+                        load: binding.load.clone(),
+                        lower: delay.0,
+                        upper: delay.1,
+                    })
+                    .collect()
+            };
+            let sinks = window_views(&state.delays[idx]);
+            let (corner_sinks, corner_scales) = match state.corners.as_ref() {
+                Some(cs) => (
+                    cs.lanes
+                        .iter()
+                        .map(|lane| window_views(&lane.delays[idx]))
+                        .collect(),
+                    (1..cs.set.len())
+                        .map(|k| net_stage_scales(&cs.set, &self.shared.nets[idx].name, k))
+                        .collect(),
+                ),
+                None => (Vec::new(), Vec::new()),
+            };
+            let extra = corner_sinks.len();
             Arc::new(NetTiming {
                 name: self.shared.nets[idx].name.clone(),
                 tree: Arc::new(engine.tree.tree().clone()),
@@ -1684,6 +2350,9 @@ impl Design {
                 loads: Arc::new(engine.sinks.iter().map(|s| (s.node, s.load_cap)).collect()),
                 sinks: Arc::new(sinks),
                 batch: OnceLock::new(),
+                corner_sinks: Arc::new(corner_sinks),
+                corner_scales: Arc::new(corner_scales),
+                corner_batch: Arc::new((0..extra).map(|_| OnceLock::new()).collect()),
             })
         };
         let (nets, names, net_index) = match prev {
@@ -1700,15 +2369,33 @@ impl Design {
                 Arc::new(self.shared.net_index.clone()),
             ),
         };
+        let report = Arc::new(report);
+        let corners = state.corners.as_ref().map(|cs| {
+            let mut reports = Vec::with_capacity(cs.lanes.len() + 1);
+            reports.push(Arc::clone(&report));
+            for lane in &cs.lanes {
+                reports.push(Arc::new(assemble_report(
+                    threshold,
+                    required_time,
+                    &state.prop,
+                    &lane.endpoints,
+                )));
+            }
+            Arc::new(SnapshotCorners {
+                names: cs.set.corners().iter().map(|c| c.name.clone()).collect(),
+                reports,
+            })
+        });
         DesignSnapshot {
             id: NEXT_SNAPSHOT_ID.fetch_add(1, Ordering::Relaxed),
             threshold,
             required_time,
-            report: Arc::new(report),
+            report,
             nets,
             names,
             net_index,
             instances: self.shared.instances.len(),
+            corners,
         }
     }
 }
@@ -1808,7 +2495,11 @@ impl DesignCore {
         if let Some(arena) = slot.as_ref() {
             return Arc::clone(arena);
         }
-        let arena = Arc::new(NetArena::build(&self.nets, &self.aug));
+        let arena = Arc::new(NetArena::build(
+            &self.nets,
+            &self.aug,
+            self.corners.as_deref(),
+        ));
         *slot = Some(Arc::clone(&arena));
         arena
     }

@@ -27,6 +27,40 @@
 //! [`Design::analyze_with_jobs`] of the edited design for every worker
 //! count.
 //!
+//! ## The corner model
+//!
+//! Multi-corner (PVT) timing rides on a [`rctree_core::corner::CornerSet`]
+//! installed with [`Design::set_corners`]: named corners, each a triple of
+//! `r_scale`/`c_scale`/`delay_scale` factors, with optional per-net wire
+//! overrides.  Corner 0 is always the implicit **nominal** corner.
+//!
+//! *Lane layout.*  The SoA net arena appends one contiguous value lane per
+//! extra corner to its `branch_r`/`branch_c`/`node_cap` columns (lane `k`
+//! of net `i` lives at column offset `k · lane_len`); topology columns
+//! (parents, ranges, sink positions) are shared by all lanes, and per-net
+//! ranges are padded to 64-byte boundaries so adjacent shards never
+//! false-share a cache line.  [`Design::analyze_corners`] sweeps **all
+//! lanes of a net in one post-order + pre-order traversal** — the shared
+//! metadata is read once for all `K` corners — then propagates arrivals
+//! once per corner with `delay_scale`d intrinsic delays.
+//!
+//! *Scaling semantics.*  Every element is scaled **individually, before
+//! any accumulation**: a corner value is always the single rounding
+//! `x * s`.  Wire elements (branch R/C, node caps) use the corner's wire
+//! scales (per-net override when present); the driving cell's resistance,
+//! sink input capacitances and intrinsic delays always use the corner's
+//! global factors.  Because `x * s` is the same bits wherever it is
+//! computed, the arena lane sweep, the engine-side ECO re-timing and a
+//! fully materialized scaled design ([`Design::materialize_corner`]) agree
+//! bit-for-bit.
+//!
+//! *Lane-0 invariant.*  Lane 0 stores the unscaled values and runs the
+//! exact float sequence of the single-corner path — installing corners
+//! never changes nominal results, and `analyze_corners(..).report(0)` is
+//! bit-identical to [`Design::analyze_with_jobs`].  The nominal corner
+//! cannot carry overrides (the core's `CornerSet` rejects them), so no
+//! configuration can break this.
+//!
 //! ```
 //! use rctree_core::builder::RcTreeBuilder;
 //! use rctree_core::units::{Farads, Ohms};
@@ -59,8 +93,8 @@ pub mod stage;
 pub use crate::cell::{Cell, CellLibrary};
 pub use crate::error::{Result, StaError};
 pub use crate::graph::{
-    ArrivalWindow, Design, DesignSnapshot, Driver, EcoEdit, EcoEditKind, EndpointTiming, Load, Net,
-    NetTiming, Sink, SinkWindow, TimingReport,
+    ArrivalWindow, CornerAnalysis, Design, DesignSnapshot, Driver, EcoEdit, EcoEditKind,
+    EndpointTiming, Load, Net, NetTiming, Sink, SinkWindow, SnapshotCorners, TimingReport,
 };
 pub use crate::script::{
     parse_eco_script, parse_eco_script_line, ScriptEdit, ScriptError, ScriptLine,

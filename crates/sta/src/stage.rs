@@ -150,6 +150,35 @@ pub fn stage_delay_bounds(
     Ok(bounds)
 }
 
+/// [`stage_delay_bounds`] evaluated at a PVT corner: the stage's elements
+/// are multiplied by the corner's [`StageScales`] factors before the sweep
+/// (one rounding per element, see [`augmented_batch_scaled`]).  This is
+/// the engine-side kernel behind corner-aware ECO re-timing and per-corner
+/// snapshot windows; its results are bit-identical to the arena's corner
+/// lane sweep and to a fully materialized scaled design.
+///
+/// # Errors
+///
+/// As for [`stage_delay_bounds`].
+pub(crate) fn stage_delay_bounds_scaled(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    threshold: f64,
+    scales: StageScales,
+) -> Result<Vec<DelayBounds>> {
+    if sink_loads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (batch, pos) = augmented_batch_scaled(driver_resistance, interconnect, sink_loads, scales)?;
+    let mut bounds = Vec::with_capacity(sink_loads.len());
+    for &(node, _) in sink_loads {
+        let times = batch.times_at(pos[node.index()] as usize)?;
+        bounds.push(times.delay_bounds(threshold)?);
+    }
+    Ok(bounds)
+}
+
 /// Characteristic times at an arbitrary node of a stage's interconnect,
 /// evaluated on the same augmented tree (driver resistance + sink loads)
 /// as [`stage_delay_bounds`] — the kernel behind per-node snapshot queries
@@ -174,6 +203,45 @@ pub fn stage_node_times(
     Ok(batch.times_at(pos[node.index()] as usize)?)
 }
 
+/// Per-corner multiplicative scale factors applied when a stage is
+/// evaluated at a non-nominal PVT corner.
+///
+/// Every element is scaled **individually before** any accumulation — the
+/// corner value of each array entry is a single rounding `x * s`, which is
+/// exactly the value the corner lanes of `NetArena` store.  Scaling after
+/// summation (`(a + b) * s`) would round differently and break the
+/// lane-equivalence bit-identity gates.
+///
+/// `wire_r`/`wire_c` apply to the interconnect's branch resistances and
+/// (branch + node) capacitances and may carry a per-net override;
+/// `driver_r` and `load_c` are the corner's global `r_scale`/`c_scale`
+/// applied to the driving cell's resistance and the sink cells' input
+/// capacitances (cell parameters are not overridable per net).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct StageScales {
+    /// Scale on interconnect branch resistances.
+    pub wire_r: f64,
+    /// Scale on interconnect branch and node capacitances.
+    pub wire_c: f64,
+    /// Scale on the driving cell's output resistance.
+    pub driver_r: f64,
+    /// Scale on sink cells' input (load) capacitances.
+    pub load_c: f64,
+}
+
+impl StageScales {
+    /// The identity scaling: multiplying any finite `x` by `1.0` returns
+    /// `x` bit-for-bit, so the nominal path through
+    /// [`augmented_batch_scaled`] runs the exact float sequence of the
+    /// historical unscaled kernel.
+    pub const NOMINAL: StageScales = StageScales {
+        wire_r: 1.0,
+        wire_c: 1.0,
+        driver_r: 1.0,
+        load_c: 1.0,
+    };
+}
+
 /// Builds the augmented stage arrays (driver resistor spliced above the
 /// interconnect, sink loads added) and runs the batched sweep, returning
 /// the [`BatchTimes`] plus the raw-node → augmented-pre-order-position
@@ -184,6 +252,27 @@ pub(crate) fn augmented_batch(
     driver_resistance: Ohms,
     interconnect: &RcTree,
     sink_loads: &[(NodeId, Farads)],
+) -> Result<(BatchTimes, Vec<u32>)> {
+    augmented_batch_scaled(
+        driver_resistance,
+        interconnect,
+        sink_loads,
+        StageScales::NOMINAL,
+    )
+}
+
+/// [`augmented_batch`] evaluated at a PVT corner: identical array layout
+/// and accumulation order, with every spliced value multiplied by its
+/// [`StageScales`] factor **at splice time** (one rounding per element).
+/// The resulting arrays are bit-identical to the corresponding corner lane
+/// of the `NetArena`, which scales the same base values by the same
+/// factors, so the engine-based ECO re-timing path and the arena lane
+/// sweep agree bit-for-bit.
+pub(crate) fn augmented_batch_scaled(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    scales: StageScales,
 ) -> Result<(BatchTimes, Vec<u32>)> {
     // The builder path validates the spliced-in values through
     // `RcTreeBuilder`'s finite/non-negative checks; reject the same inputs
@@ -196,7 +285,8 @@ pub(crate) fn augmented_batch(
             Ok(())
         }
     };
-    check("resistance", driver_resistance.value())?;
+    let driver_r = driver_resistance.value() * scales.driver_r;
+    check("resistance", driver_r)?;
     let n_raw = interconnect.node_count();
     let n_aug = n_raw + 1;
 
@@ -215,9 +305,9 @@ pub(crate) fn augmented_batch(
     branch_c.push(0.0);
     node_cap.push(0.0);
     parent.push(0);
-    branch_r.push(driver_resistance.value());
+    branch_r.push(driver_r);
     branch_c.push(0.0);
-    node_cap.push(interconnect.capacitance(interconnect.input())?.value());
+    node_cap.push(interconnect.capacitance(interconnect.input())?.value() * scales.wire_c);
     pos[interconnect.input().index()] = 1;
 
     for id in interconnect.preorder() {
@@ -239,17 +329,18 @@ pub(crate) fn augmented_batch(
         let branch = interconnect.branch(id)?.expect("non-input node");
         pos[id.index()] = parent.len() as u32;
         parent.push(pos[p.index()]);
-        branch_r.push(branch.resistance().value());
-        branch_c.push(branch.capacitance().value());
-        node_cap.push(interconnect.capacitance(id)?.value());
+        branch_r.push(branch.resistance().value() * scales.wire_r);
+        branch_c.push(branch.capacitance().value() * scales.wire_c);
+        node_cap.push(interconnect.capacitance(id)?.value() * scales.wire_c);
     }
 
     for &(node, load) in sink_loads {
         // Validates the node and the load value, exactly like (and in the
         // same order as) the builder path's load loop.
         let _ = interconnect.name(node)?;
-        check("capacitance", load.value())?;
-        node_cap[pos[node.index()] as usize] += load.value();
+        let load_c = load.value() * scales.load_c;
+        check("capacitance", load_c)?;
+        node_cap[pos[node.index()] as usize] += load_c;
     }
 
     let batch = BatchTimes::of_preorder(&parent, &branch_r, &branch_c, &node_cap)?;

@@ -1,0 +1,152 @@
+//! Seeded PVT corner-spec generator.
+//!
+//! Multi-corner tests and benches need reproducible [`CornerSet`]s over
+//! arbitrary decks.  [`corner_spec`] renders a seeded specification in the
+//! exact text grammar `CornerSet::parse` accepts (one `<name>=<r>,<c>,<d>`
+//! line per extra corner, plus `override <net> <corner> <r> <c>` lines
+//! scattered over the deck's nets), and [`corner_set`] parses it back —
+//! so every generated set also exercises the parser round-trip.
+//!
+//! Scale factors are drawn from ranges representative of real signoff
+//! spreads (slow/fast silicon, wire-stack variation): resistances and
+//! capacitances within roughly ±40% of nominal, intrinsic delays within
+//! ±25%.  Determinism is part of the contract: the same seed, parameters
+//! and net list always produce the same spec text, bit for bit.
+
+use std::fmt::Write as _;
+
+use rctree_core::corner::CornerSet;
+
+use crate::rng::Rng;
+
+/// Shape of a generated corner specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CornerSpecParams {
+    /// Total corner count **including** the implicit nominal corner
+    /// (so `corners: 4` emits three spec lines).  `0` and `1` both
+    /// produce an empty spec (nominal-only).
+    pub corners: usize,
+    /// Number of per-net wire-scale `override` lines, scattered over
+    /// seeded `(net, corner)` pairs.  Ignored when the net list is empty
+    /// or no extra corner exists.
+    pub overrides: usize,
+}
+
+impl Default for CornerSpecParams {
+    fn default() -> Self {
+        CornerSpecParams {
+            corners: 4,
+            overrides: 2,
+        }
+    }
+}
+
+/// Corner-name suffixes cycled by the generator (process-corner flavour).
+const FLAVOURS: [&str; 5] = ["ss", "ff", "sf", "fs", "tt"];
+
+/// Renders a seeded corner specification in the `CornerSet::parse`
+/// grammar.  Floats are printed in Rust's shortest round-trip form, so
+/// parsing the spec reproduces the generated scale factors bit for bit.
+pub fn corner_spec(params: &CornerSpecParams, nets: &[String], seed: u64) -> String {
+    let mut rng = Rng::from_seed(seed ^ 0xC04E_4552_5357_4545);
+    let mut out = String::from("# seeded corner spec\n");
+    let extra = params.corners.saturating_sub(1);
+    let mut names: Vec<String> = Vec::with_capacity(extra);
+    for i in 0..extra {
+        let name = format!("c{}_{}", i + 1, FLAVOURS[i % FLAVOURS.len()]);
+        let r = rng.range_f64(0.7, 1.4);
+        let c = rng.range_f64(0.7, 1.4);
+        let d = rng.range_f64(0.8, 1.25);
+        let _ = writeln!(out, "{name}={r:?},{c:?},{d:?}");
+        names.push(name);
+    }
+    if !names.is_empty() && !nets.is_empty() {
+        for _ in 0..params.overrides {
+            let net = &nets[rng.index(nets.len())];
+            let corner = &names[rng.index(names.len())];
+            let r = rng.range_f64(0.8, 1.6);
+            let c = rng.range_f64(0.8, 1.3);
+            let _ = writeln!(out, "override {net} {corner} {r:?} {c:?}");
+        }
+    }
+    out
+}
+
+/// The parsed [`CornerSet`] of [`corner_spec`] with the same arguments.
+///
+/// # Panics
+///
+/// Never in practice: the generator only emits scales the parser accepts
+/// (finite, positive) and corner names without whitespace or commas.
+pub fn corner_set(params: &CornerSpecParams, nets: &[String], seed: u64) -> CornerSet {
+    CornerSet::parse(&corner_spec(params, nets, seed)).expect("generated specs parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nets() -> Vec<String> {
+        vec!["net0".into(), "net1".into(), "net2".into()]
+    }
+
+    #[test]
+    fn same_seed_same_spec() {
+        let p = CornerSpecParams::default();
+        assert_eq!(corner_spec(&p, &nets(), 7), corner_spec(&p, &nets(), 7));
+        assert_ne!(corner_spec(&p, &nets(), 7), corner_spec(&p, &nets(), 8));
+    }
+
+    #[test]
+    fn parsed_set_has_the_requested_shape() {
+        let p = CornerSpecParams {
+            corners: 4,
+            overrides: 3,
+        };
+        let set = corner_set(&p, &nets(), 42);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.corner(0).name, "nominal");
+        assert_eq!(set.corner(1).name, "c1_ss");
+        assert!(!set.is_nominal_only());
+        for k in 1..set.len() {
+            let c = set.corner(k);
+            assert!(c.r_scale > 0.0 && c.r_scale.is_finite());
+            assert!((0.7..=1.4).contains(&c.r_scale));
+            assert!((0.8..=1.25).contains(&c.delay_scale));
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_the_parser() {
+        let p = CornerSpecParams {
+            corners: 5,
+            overrides: 4,
+        };
+        let spec = corner_spec(&p, &nets(), 99);
+        let parsed = CornerSet::parse(&spec).expect("parses");
+        assert_eq!(parsed, corner_set(&p, &nets(), 99));
+        // At least one override changed some net's wire scales away from
+        // the corner globals.
+        let moved = (1..parsed.len()).any(|k| {
+            nets().iter().any(|n| {
+                let c = parsed.corner(k);
+                parsed.wire_scales(n, k) != (c.r_scale, c.c_scale)
+            })
+        });
+        assert!(moved, "overrides should move some wire scales:\n{spec}");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_nominal_only() {
+        let p = CornerSpecParams {
+            corners: 1,
+            overrides: 5,
+        };
+        assert!(corner_set(&p, &nets(), 1).is_nominal_only());
+        let p0 = CornerSpecParams {
+            corners: 0,
+            overrides: 0,
+        };
+        assert!(corner_set(&p0, &[], 1).is_nominal_only());
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod corners;
 pub mod dag;
 pub mod deck;
 pub mod eco;
@@ -39,6 +40,7 @@ pub mod requests;
 pub mod rng;
 pub mod tech;
 
+pub use crate::corners::{corner_set, corner_spec, CornerSpecParams};
 pub use crate::dag::{eco_dag, EcoDag, EcoDagNet, EcoDagParams};
 pub use crate::deck::{render_spef_deck, spef_deck, SpefDeckParams};
 pub use crate::eco::{EcoStream, EcoStreamParams};
