@@ -44,11 +44,7 @@ fn main() {
     .trees(0x5E17E);
     let design = Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", trees.clone())
         .expect("deck builds");
-    let config = ServeConfig {
-        threshold: 0.5,
-        required_time: Seconds::new(500e-9),
-        jobs: rctree_par::default_jobs(),
-    };
+    let config = ServeConfig::new(0.5, Seconds::new(500e-9), rctree_par::default_jobs());
     let server = Server::start(design, &config, ("127.0.0.1", 0)).expect("server starts");
     let addr = server.local_addr();
     println!(

@@ -119,6 +119,12 @@ pub enum Command {
         /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port,
         /// printed on startup).
         port: u16,
+        /// Writer shards the design is partitioned into (1 = the
+        /// unsharded single-writer protocol).
+        shards: usize,
+        /// Idle-poll backoff floor in microseconds (`None` = the server
+        /// default).
+        poll_us: Option<u64>,
     },
     /// Load generator (`rcdelay bench-client`): drive a running server
     /// with a seeded request mix and emit `BENCH_serve.json`.
@@ -136,6 +142,9 @@ pub enum Command {
         seed: u64,
         /// Fraction of requests that are ECO edits (0.0 = read-only).
         eco_fraction: f64,
+        /// Writer shards of the target server (>1 switches to the
+        /// shard-crossing mix so every connection hops shards).
+        shards: usize,
         /// Output path of the JSON summary.
         out: String,
         /// Send `SHUTDOWN` to the server after the run.
@@ -204,7 +213,7 @@ rcdelay: Penfield-Rubinstein delay bounds for RC tree netlists
 usage: rcdelay [OPTIONS] <netlist-file>
        rcdelay eco [OPTIONS] --budget <seconds> <deck.spef> <edit-script>
        rcdelay report --budget <seconds> <deck.spef>...
-       rcdelay serve --budget <seconds> [--port <n>] <deck.spef>...
+       rcdelay serve --budget <seconds> [--port <n>] [--shards <n>] <deck.spef>...
        rcdelay bench-client [OPTIONS] <host:port> <deck.spef>
        rcdelay gen-deck [--nets <n>] [--seed <n>]
 
@@ -248,6 +257,15 @@ options:
                                `REPORT --corner` payload
   --port <n>                   serve mode: TCP port on 127.0.0.1
                                (default 0 = ephemeral, printed on start)
+  --shards <n>                 serve: partition the design into n writer
+                               shards (net-range split; independent ECOs
+                               commit concurrently; default 1 = the
+                               unsharded single-writer protocol);
+                               bench-client: generate the shard-crossing
+                               mix for an n-shard server (default 1)
+  --poll-us <n>                serve: idle-poll backoff floor in
+                               microseconds (default 1000; ramps up to
+                               25 ms while a connection stays idle)
   --connections <n>            bench-client: concurrent connections (4)
   --requests <n>               bench-client: requests per connection (100)
   --eco-fraction <v>           bench-client: fraction of requests that are
@@ -342,6 +360,8 @@ where
     let mut out: Option<String> = None;
     let mut nets: Option<usize> = None;
     let mut shutdown = false;
+    let mut shards: Option<usize> = None;
+    let mut poll_us: Option<u64> = None;
 
     while let Some(arg) = iter.next() {
         let arg = arg.as_ref();
@@ -436,6 +456,23 @@ where
             }
             "--corners" => opts.corners = Some(value_of("--corners")?),
             "--corner" => opts.corner = Some(value_of("--corner")?),
+            "--shards" => {
+                let text = value_of("--shards")?;
+                shards = Some(positive("--shards", &text)?);
+            }
+            "--poll-us" => {
+                let text = value_of("--poll-us")?;
+                poll_us = Some(
+                    text.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--poll-us: `{text}` is not a positive integer"
+                            ))
+                        })?,
+                );
+            }
             "--out" => out = Some(value_of("--out")?),
             "--nets" => {
                 let text = value_of("--nets")?;
@@ -459,6 +496,16 @@ where
     };
     if mode != Mode::Serve {
         refuse(port.is_some(), "--port only applies to `rcdelay serve`")?;
+        refuse(
+            poll_us.is_some(),
+            "--poll-us only applies to `rcdelay serve`",
+        )?;
+    }
+    if !matches!(mode, Mode::Serve | Mode::BenchClient) {
+        refuse(
+            shards.is_some(),
+            "--shards only applies to `rcdelay serve` and `rcdelay bench-client`",
+        )?;
     }
     if mode != Mode::BenchClient {
         refuse(
@@ -556,6 +603,8 @@ where
                     decks: positionals,
                     driver,
                     port: port.unwrap_or(0),
+                    shards: shards.unwrap_or(1),
+                    poll_us,
                 }
             } else {
                 Command::DeckReport {
@@ -593,6 +642,7 @@ where
                 requests: requests.unwrap_or(100),
                 seed: seed.unwrap_or(1),
                 eco_fraction: eco_fraction.unwrap_or(0.0),
+                shards: shards.unwrap_or(1),
                 out: out.unwrap_or_else(|| "target/BENCH_serve.json".into()),
                 shutdown,
             };
@@ -1512,9 +1562,33 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
                 decks: vec!["a.spef".into(), "b.spef".into()],
                 driver: "buf_8x".into(),
                 port: 7411,
+                shards: 1,
+                poll_us: None,
             }
         );
         assert_eq!(opts.format, InputFormat::Spef);
+
+        let opts = parse_args([
+            "serve",
+            "--budget",
+            "1e-7",
+            "--shards",
+            "4",
+            "--poll-us",
+            "250",
+            "a.spef",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.command,
+            Command::Serve {
+                decks: vec!["a.spef".into()],
+                driver: "inv_4x".into(),
+                port: 0,
+                shards: 4,
+                poll_us: Some(250),
+            }
+        );
 
         let opts = parse_args(["report", "--budget", "1e-7", "deck.spef"]).unwrap();
         assert_eq!(
@@ -1540,6 +1614,25 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
         ));
         assert!(matches!(
             parse_args(["serve", "--budget", "1e-7", "--port", "worst", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+
+        // --shards is serve/bench-client-only and must be positive;
+        // --poll-us is serve-only.
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--shards", "4", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["serve", "--budget", "1e-7", "--shards", "0", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--poll-us", "500", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["serve", "--budget", "1e-7", "--poll-us", "0", "d.spef"]),
             Err(CliError::Usage(_))
         ));
     }
@@ -1650,6 +1743,8 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             "42",
             "--eco-fraction",
             "0.25",
+            "--shards",
+            "4",
             "--out",
             "/tmp/bench.json",
             "--shutdown",
@@ -1666,6 +1761,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
                 requests: 250,
                 seed: 42,
                 eco_fraction: 0.25,
+                shards: 4,
                 out: "/tmp/bench.json".into(),
                 shutdown: true,
             }
@@ -1682,6 +1778,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
                 requests: 100,
                 seed: 1,
                 eco_fraction: 0.0,
+                shards: 1,
                 out: "target/BENCH_serve.json".into(),
                 shutdown: false,
             }

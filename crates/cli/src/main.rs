@@ -137,7 +137,9 @@ fn main() -> ExitCode {
             decks,
             driver,
             port,
-        } => run_serve(&opts, decks, driver, *port),
+            shards,
+            poll_us,
+        } => run_serve(&opts, decks, driver, *port, *shards, *poll_us),
         Command::BenchClient {
             addr,
             deck,
@@ -145,6 +147,7 @@ fn main() -> ExitCode {
             requests,
             seed,
             eco_fraction,
+            shards,
             out,
             shutdown,
         } => run_bench_client(
@@ -155,6 +158,7 @@ fn main() -> ExitCode {
             *requests,
             *seed,
             *eco_fraction,
+            *shards,
             out,
             *shutdown,
         ),
@@ -180,7 +184,14 @@ fn main() -> ExitCode {
 
 /// `rcdelay serve`: build the deck design, start the server, and block
 /// until a client sends `SHUTDOWN`.
-fn run_serve(opts: &Options, decks: &[String], driver: &str, port: u16) -> ExitCode {
+fn run_serve(
+    opts: &Options,
+    decks: &[String],
+    driver: &str,
+    port: u16,
+    shards: usize,
+    poll_us: Option<u64>,
+) -> ExitCode {
     let budget = opts.budget.expect("serve mode requires --budget");
     let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
     let mut design = match deck_design_from_paths(decks, driver, jobs) {
@@ -199,11 +210,11 @@ fn run_serve(opts: &Options, decks: &[String], driver: &str, port: u16) -> ExitC
             }
         }
     }
-    let config = rctree_serve::ServeConfig {
-        threshold: opts.threshold,
-        required_time: Seconds::new(budget),
-        jobs,
-    };
+    let mut config = rctree_serve::ServeConfig::new(opts.threshold, Seconds::new(budget), jobs);
+    config.shards = shards;
+    if let Some(us) = poll_us {
+        config.poll_floor = std::time::Duration::from_micros(us);
+    }
     let server = match rctree_serve::Server::start(design, &config, ("127.0.0.1", port)) {
         Ok(server) => server,
         Err(e) => {
@@ -214,10 +225,12 @@ fn run_serve(opts: &Options, decks: &[String], driver: &str, port: u16) -> ExitC
     // The listening line is the machine-readable handshake: scripts (and
     // the CI smoke step) scrape the bound address from it.
     emit(&format!(
-        "rctree-serve listening on {} ({} nets, threshold {}, budget {budget:e} s, {jobs} jobs)",
+        "rctree-serve listening on {} ({} nets, threshold {}, budget {budget:e} s, {jobs} jobs, \
+         {} shards)",
         server.local_addr(),
         server.net_count(),
-        opts.threshold
+        opts.threshold,
+        server.shard_count()
     ));
     server.join();
     emit("rctree-serve stopped");
@@ -235,6 +248,7 @@ fn run_bench_client(
     requests: usize,
     seed: u64,
     eco_fraction: f64,
+    shards: usize,
     out: &str,
     shutdown: bool,
 ) -> ExitCode {
@@ -256,7 +270,11 @@ fn run_bench_client(
         eco_fraction,
         certify_budget: opts.budget.unwrap_or(100e-9),
     };
-    let scripts = rctree_workloads::request_mix(&nets, connections, &params, seed);
+    let scripts = if shards > 1 {
+        rctree_workloads::shard_crossing_mix(&nets, connections, &params, shards, seed)
+    } else {
+        rctree_workloads::request_mix(&nets, connections, &params, seed)
+    };
     let socket = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
         Some(socket) => socket,
         None => {
@@ -282,6 +300,12 @@ fn run_bench_client(
         report.p99_us,
         report.protocol_errors
     ));
+    for v in &report.per_verb {
+        emit(&format!(
+            "bench-client: {:>6}: {} requests, p50 {:.0} us, p90 {:.0} us, p99 {:.0} us",
+            v.verb, v.requests, v.p50_us, v.p90_us, v.p99_us
+        ));
+    }
     if let Some(parent) = std::path::Path::new(out).parent() {
         if !parent.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(parent);

@@ -30,26 +30,33 @@
 //! reports the smallest-slack corner by name with the conjunction verdict
 //! over all lanes.  Nominal-only decks are byte-identical to the
 //! single-corner protocol — clients parse `OK rev <r>` prefixes either
-//! way.  Repeated `REPORT`s of one revision are served from a rendered
-//! cache (see [`SnapshotStore::rendered_report`]).
+//! way.  Repeated `REPORT`s of one revision(-vector) are served from a
+//! rendered cache (see [`RenderedReportCache`]).
 //!
 //! ## Concurrency model
 //!
 //! * **Readers never block on analysis.**  Every read verb answers
-//!   against an immutable [`DesignSnapshot`] loaded from the
+//!   against an immutable [`DesignSnapshot`] loaded from a
 //!   [`SnapshotStore`] — one `Arc` clone under a nanosecond-scale lock —
 //!   so read throughput scales with connection threads, and a snapshot
 //!   once loaded stays self-consistent no matter how many edits commit
 //!   after it.
-//! * **Writes serialize.**  All `ECO` requests funnel through the single
-//!   [`EcoExecutor`] behind a mutex; each accepted directive applies on
-//!   the cone-limited incremental path and publishes the successor
-//!   snapshot atomically, bumping the revision by one.
-//! * **Every response is attributable.**  The final `OK rev <r>` /
-//!   `ERR rev <r> …` line names the revision the response was computed
-//!   against, so each response is byte-identical to a serial oracle that
-//!   replays the server's accepted-edit order to revision `r` — the
-//!   guarantee `tests/server_sessions.rs` pins under concurrent clients.
+//! * **Writes serialize per shard.**  With `--shards N` the design is
+//!   partitioned by net range and each shard owns its own
+//!   [`EcoExecutor`] behind its own mutex — independent ECOs on
+//!   different shards commit and publish concurrently.  Within a shard,
+//!   each accepted directive applies on the cone-limited incremental
+//!   path and publishes the successor snapshot atomically, bumping that
+//!   shard's revision by one.  Unsharded (the default), this reduces to
+//!   the single-writer model.
+//! * **Every response is attributable.**  Single-shard verbs end with
+//!   `OK rev <r>` / `ERR rev <r> …` naming the scalar revision; composed
+//!   verbs (`REPORT`, `CERTIFY`, `STATS` when sharded) end with a
+//!   revision *vector* `OK rev <r0,r1,…>`, one entry per shard.  Either
+//!   way each response is byte-identical to per-shard serial oracles
+//!   replaying each shard's accepted-edit order to the named
+//!   revision(s) — the guarantee `tests/server_sessions.rs` pins under
+//!   concurrent clients.
 //!
 //! See `crates/serve/README.md` for the wire grammar and the consistency
 //! model in full.
@@ -64,11 +71,11 @@ pub mod server;
 pub mod session;
 pub mod store;
 
-pub use crate::loadgen::{run_load, LoadReport};
+pub use crate::loadgen::{run_load, LoadReport, VerbLatency};
 pub use crate::protocol::Request;
-pub use crate::server::{ServeConfig, ServeError, Server};
+pub use crate::server::{ServeConfig, ServeError, Server, DEFAULT_POLL_FLOOR};
 pub use crate::session::{EcoCounts, EcoExecutor};
-pub use crate::store::{ServerStats, SnapshotStore};
+pub use crate::store::{RenderedReportCache, ServerStats, SnapshotStore};
 
 // Re-exported so protocol consumers (oracle tests, the CLI) name the
 // snapshot type without a direct rctree-sta dependency.

@@ -2,14 +2,57 @@
 //!
 //! Drives `K` concurrent connections, each issuing its own request script
 //! (one request per line, responses read to their final `OK`/`ERR` line),
-//! and aggregates throughput plus latency percentiles.  This is the engine
-//! behind `rcdelay bench-client` and the `serve_throughput` bench.
+//! and aggregates throughput plus latency percentiles — blended and
+//! per-verb (`QUERY` vs `ECO` vs `REPORT` vs everything else), so the
+//! write path's scaling is visible separately from the read path's.  This
+//! is the engine behind `rcdelay bench-client` and the serve benches.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 use crate::protocol;
+
+/// Latency percentiles of one request verb.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerbLatency {
+    /// The verb (`QUERY`, `ECO`, `REPORT`, or `OTHER`).
+    pub verb: &'static str,
+    /// Requests of this verb completed.
+    pub requests: usize,
+    /// Median latency, in microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile latency, in microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile latency, in microseconds.
+    pub p99_us: f64,
+    /// Worst latency, in microseconds.
+    pub max_us: f64,
+}
+
+impl VerbLatency {
+    fn from_sorted(verb: &'static str, sorted: &[f64]) -> VerbLatency {
+        VerbLatency {
+            verb,
+            requests: sorted.len(),
+            p50_us: percentile(sorted, 50.0),
+            p90_us: percentile(sorted, 90.0),
+            p99_us: percentile(sorted, 99.0),
+            max_us: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The bucket a request line is tallied under.
+fn verb_of(request: &str) -> &'static str {
+    let head = request.split_whitespace().next().unwrap_or("");
+    match head.to_ascii_uppercase().as_str() {
+        "QUERY" => "QUERY",
+        "ECO" => "ECO",
+        "REPORT" => "REPORT",
+        _ => "OTHER",
+    }
+}
 
 /// Aggregated results of one load run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,15 +75,31 @@ pub struct LoadReport {
     pub p99_us: f64,
     /// Worst request latency, in microseconds.
     pub max_us: f64,
+    /// Per-verb latency breakdown (verbs with zero requests omitted).
+    pub per_verb: Vec<VerbLatency>,
 }
 
 impl LoadReport {
-    /// Renders the report as the `BENCH_serve.json` document.
+    /// Renders the report as the `BENCH_serve*.json` document.  The
+    /// pre-existing top-level keys are stable (CI greps them); the
+    /// per-verb breakdown is appended as a `"per_verb"` object.
     pub fn to_json(&self) -> String {
+        let mut per_verb = String::new();
+        for (i, v) in self.per_verb.iter().enumerate() {
+            if i > 0 {
+                per_verb.push_str(",\n");
+            }
+            per_verb.push_str(&format!(
+                "    \"{}\": {{ \"requests\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+                 \"p99_us\": {}, \"max_us\": {} }}",
+                v.verb, v.requests, v.p50_us, v.p90_us, v.p99_us, v.max_us
+            ));
+        }
         format!(
             "{{\n  \"bench\": \"serve\",\n  \"connections\": {},\n  \"requests\": {},\n  \
              \"protocol_errors\": {},\n  \"elapsed_s\": {},\n  \"queries_per_s\": {},\n  \
-             \"p50_us\": {},\n  \"p90_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {}\n}}\n",
+             \"p50_us\": {},\n  \"p90_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {},\n  \
+             \"per_verb\": {{\n{}\n  }}\n}}\n",
             self.connections,
             self.requests,
             self.protocol_errors,
@@ -49,7 +108,8 @@ impl LoadReport {
             self.p50_us,
             self.p90_us,
             self.p99_us,
-            self.max_us
+            self.max_us,
+            per_verb
         )
     }
 }
@@ -63,9 +123,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-/// Runs one connection's script, returning `(latency_us, was_err)` per
-/// request.
-fn run_connection(addr: SocketAddr, script: &[String]) -> io::Result<Vec<(f64, bool)>> {
+/// One request's outcome: `(latency_us, was_err, verb)`.
+type Sample = (f64, bool, &'static str);
+
+/// Runs one connection's script, returning one [`Sample`] per request.
+fn run_connection(addr: SocketAddr, script: &[String]) -> io::Result<Vec<Sample>> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -89,7 +151,11 @@ fn run_connection(addr: SocketAddr, script: &[String]) -> io::Result<Vec<(f64, b
                 break trimmed.starts_with("ERR");
             }
         };
-        samples.push((start.elapsed().as_secs_f64() * 1e6, is_err));
+        samples.push((
+            start.elapsed().as_secs_f64() * 1e6,
+            is_err,
+            verb_of(request),
+        ));
     }
     Ok(samples)
 }
@@ -104,7 +170,7 @@ fn run_connection(addr: SocketAddr, script: &[String]) -> io::Result<Vec<(f64, b
 /// [`LoadReport::protocol_errors`]).
 pub fn run_load(addr: SocketAddr, scripts: &[Vec<String>]) -> io::Result<LoadReport> {
     let start = Instant::now();
-    let results: Vec<io::Result<Vec<(f64, bool)>>> = std::thread::scope(|scope| {
+    let results: Vec<io::Result<Vec<Sample>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = scripts
             .iter()
             .map(|script| scope.spawn(move || run_connection(addr, script)))
@@ -121,14 +187,31 @@ pub fn run_load(addr: SocketAddr, scripts: &[Vec<String>]) -> io::Result<LoadRep
 
     let mut latencies = Vec::new();
     let mut protocol_errors = 0usize;
+    let mut by_verb: [(&'static str, Vec<f64>); 4] = [
+        ("QUERY", Vec::new()),
+        ("ECO", Vec::new()),
+        ("REPORT", Vec::new()),
+        ("OTHER", Vec::new()),
+    ];
     for result in results {
-        for (us, is_err) in result? {
+        for (us, is_err, verb) in result? {
             latencies.push(us);
             protocol_errors += usize::from(is_err);
+            if let Some((_, bucket)) = by_verb.iter_mut().find(|(name, _)| *name == verb) {
+                bucket.push(us);
+            }
         }
     }
     latencies.sort_by(f64::total_cmp);
     let requests = latencies.len();
+    let per_verb = by_verb
+        .iter_mut()
+        .filter(|(_, bucket)| !bucket.is_empty())
+        .map(|(verb, bucket)| {
+            bucket.sort_by(f64::total_cmp);
+            VerbLatency::from_sorted(verb, bucket)
+        })
+        .collect();
     Ok(LoadReport {
         connections: scripts.len(),
         requests,
@@ -139,6 +222,7 @@ pub fn run_load(addr: SocketAddr, scripts: &[Vec<String>]) -> io::Result<LoadRep
         p90_us: percentile(&latencies, 90.0),
         p99_us: percentile(&latencies, 99.0),
         max_us: latencies.last().copied().unwrap_or(0.0),
+        per_verb,
     })
 }
 
@@ -156,6 +240,15 @@ mod tests {
     }
 
     #[test]
+    fn verbs_classify_by_first_token() {
+        assert_eq!(verb_of("QUERY net1"), "QUERY");
+        assert_eq!(verb_of("  eco set_cap net1 n2 1e-13"), "ECO");
+        assert_eq!(verb_of("REPORT --corner worst"), "REPORT");
+        assert_eq!(verb_of("CERTIFY 1e-9"), "OTHER");
+        assert_eq!(verb_of(""), "OTHER");
+    }
+
+    #[test]
     fn json_report_is_well_formed_enough_to_grep() {
         let report = LoadReport {
             connections: 4,
@@ -167,9 +260,19 @@ mod tests {
             p90_us: 20.0,
             p99_us: 30.0,
             max_us: 40.0,
+            per_verb: vec![VerbLatency {
+                verb: "QUERY",
+                requests: 100,
+                p50_us: 10.0,
+                p90_us: 20.0,
+                p99_us: 30.0,
+                max_us: 40.0,
+            }],
         };
         let json = report.to_json();
         assert!(json.contains("\"queries_per_s\": 200"));
+        assert!(json.contains("\"per_verb\""));
+        assert!(json.contains("\"QUERY\": { \"requests\": 100"));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

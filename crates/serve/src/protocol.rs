@@ -15,8 +15,11 @@
 //! then exactly the concurrency model (which snapshot a response saw), not
 //! accidental formatting drift.
 
+use std::sync::Arc;
+
+use rctree_core::cert::Certification;
 use rctree_core::units::Seconds;
-use rctree_sta::{DesignSnapshot, Load};
+use rctree_sta::{DesignSnapshot, Load, TimingReport};
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,7 +168,9 @@ pub fn is_final(line: &str) -> bool {
     line.starts_with("OK ") || line.starts_with("ERR ") || line == "OK" || line == "ERR"
 }
 
-/// Extracts the revision from a final line (`OK rev <r>` / `ERR rev <r> …`).
+/// Extracts the revision from a **scalar** final line (`OK rev <r>` /
+/// `ERR rev <r> …`).  Multi-shard responses carry a revision vector on
+/// their final line; use [`final_revisions`] for those.
 pub fn final_revision(line: &str) -> Option<u64> {
     let mut tokens = line.split_whitespace();
     let status = tokens.next()?;
@@ -176,6 +181,46 @@ pub fn final_revision(line: &str) -> Option<u64> {
         return None;
     }
     tokens.next()?.parse().ok()
+}
+
+/// The comma-joined revision vector of a sharded response's final line.
+/// A scalar revision is a one-element vector, so single-shard lines parse
+/// too.
+pub fn rev_csv(revs: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, rev) in revs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rev.to_string());
+    }
+    out
+}
+
+/// The success terminator of a cross-shard response block:
+/// `OK rev <r0,r1,…>`.
+pub fn ok_revs(revs: &[u64]) -> String {
+    format!("OK rev {}", rev_csv(revs))
+}
+
+/// The failure terminator of a cross-shard response block.
+pub fn err_revs(revs: &[u64], message: &str) -> String {
+    format!("ERR rev {} {}", rev_csv(revs), message)
+}
+
+/// Extracts the revision vector from a final line — `OK rev <r0,r1,…>` or
+/// the scalar form (a one-element vector).  `None` for non-final lines or
+/// a malformed vector.
+pub fn final_revisions(line: &str) -> Option<Vec<u64>> {
+    let mut tokens = line.split_whitespace();
+    let status = tokens.next()?;
+    if status != "OK" && status != "ERR" {
+        return None;
+    }
+    if tokens.next()? != "rev" {
+        return None;
+    }
+    tokens.next()?.split(',').map(|t| t.parse().ok()).collect()
 }
 
 /// The ` corners <name,...>` tail appended to data-bearing `OK` lines of
@@ -352,6 +397,137 @@ pub fn render_certify(snapshot: &DesignSnapshot, rev: u64, budget: f64) -> Vec<S
         }
     };
     vec![certify, ok_selected(snapshot, rev, None)]
+}
+
+/// The final `OK` line of a composed (cross-shard) data-bearing response:
+/// the revision vector, the selected corner when one was requested
+/// explicitly, then the corner vector.  With one shard this is exactly
+/// the scalar [`ok_selected`] line.
+fn ok_selected_composed(lead: &DesignSnapshot, revs: &[u64], selected: Option<usize>) -> String {
+    let mut line = ok_revs(revs);
+    if let Some(k) = selected {
+        line.push_str(&format!(" corner {k} {}", corner_name(lead, k)));
+    }
+    line.push_str(&corner_tail(lead));
+    line
+}
+
+/// The corner-`k` report of one shard snapshot (`k` resolved, in range).
+fn corner_report(snapshot: &DesignSnapshot, k: usize) -> &TimingReport {
+    match k {
+        0 => snapshot.report(),
+        k => snapshot
+            .corners()
+            .and_then(|c| c.report(k))
+            .expect("resolved corner is in range"),
+    }
+}
+
+/// The worst lane of a composed multi-shard deck against `required`: the
+/// lane whose **composed** slack (the minimum over shards) is smallest,
+/// ties to the lowest lane — the cross-shard generalisation of
+/// [`rctree_sta::SnapshotCorners::worst_against`].  Lane 0 for
+/// nominal-only decks.
+fn composed_worst_lane(snapshots: &[Arc<DesignSnapshot>], required: Seconds) -> usize {
+    let lanes = snapshots[0].corner_count();
+    let composed_slack = |k: usize| -> Seconds {
+        snapshots
+            .iter()
+            .map(|s| corner_report(s, k).slack_against(required))
+            .reduce(|a, b| if b < a { b } else { a })
+            .expect("at least one shard")
+    };
+    let mut worst = 0usize;
+    let mut slack = composed_slack(0);
+    for k in 1..lanes {
+        let s = composed_slack(k);
+        if s < slack {
+            worst = k;
+            slack = s;
+        }
+    }
+    worst
+}
+
+/// Renders the composed `REPORT` of a sharded deck: per-shard reports of
+/// the selected lane merged through [`TimingReport::compose`], so the
+/// payload is byte-identical to the monolithic report of the unsharded
+/// design, terminated by the revision-vector final line.  `snapshots` and
+/// `revs` are the per-shard pairs, in shard order.
+pub fn render_report_composed(
+    snapshots: &[Arc<DesignSnapshot>],
+    revs: &[u64],
+    corner: Option<&str>,
+) -> Vec<String> {
+    debug_assert_eq!(snapshots.len(), revs.len());
+    let lead = &snapshots[0];
+    let selected = match corner {
+        None => None,
+        Some("worst") => Some(composed_worst_lane(snapshots, lead.required_time())),
+        Some(token) => match resolve_corner(lead, token) {
+            Ok(k) => Some(k),
+            Err(message) => return vec![err_revs(revs, &message)],
+        },
+    };
+    let k = selected.unwrap_or(0);
+    let composed = TimingReport::compose(snapshots.iter().map(|s| corner_report(s, k)));
+    let mut lines: Vec<String> = composed.to_string().lines().map(str::to_string).collect();
+    lines.push(ok_selected_composed(lead, revs, selected));
+    lines
+}
+
+/// Renders the composed `CERTIFY` of a sharded deck: the worst slack is
+/// the minimum over shards (and, on multi-corner decks, the worst
+/// composed lane is named), the verdict the conjunction over every shard
+/// and corner.  With one shard the block is byte-identical to
+/// [`render_certify`].
+pub fn render_certify_composed(
+    snapshots: &[Arc<DesignSnapshot>],
+    revs: &[u64],
+    budget: f64,
+) -> Vec<String> {
+    let required = Seconds::new(budget);
+    let lead = &snapshots[0];
+    let certify = match lead.corners() {
+        Some(corners) => {
+            let worst = composed_worst_lane(snapshots, required);
+            let slack = snapshots
+                .iter()
+                .map(|s| corner_report(s, worst).slack_against(required))
+                .reduce(|a, b| if b < a { b } else { a })
+                .expect("at least one shard");
+            let mut verdict = Certification::Pass;
+            for s in snapshots {
+                for k in 0..s.corner_count() {
+                    verdict = verdict.and(corner_report(s, k).certification_against(required));
+                }
+            }
+            format!(
+                "certify required {:e} worst_slack {:e} corner {} {}",
+                budget,
+                slack.value(),
+                corners.names()[worst],
+                verdict
+            )
+        }
+        None => {
+            let slack = snapshots
+                .iter()
+                .map(|s| s.report().slack_against(required))
+                .reduce(|a, b| if b < a { b } else { a })
+                .expect("at least one shard");
+            let verdict = snapshots.iter().fold(Certification::Pass, |v, s| {
+                v.and(s.report().certification_against(required))
+            });
+            format!(
+                "certify required {:e} worst_slack {:e} {}",
+                budget,
+                slack.value(),
+                verdict
+            )
+        }
+    };
+    vec![certify, ok_selected_composed(lead, revs, None)]
 }
 
 #[cfg(test)]

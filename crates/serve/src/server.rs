@@ -1,24 +1,55 @@
 //! The TCP listener, connection threads, and request dispatch.
+//!
+//! # Sharding
+//!
+//! With `--shards N` the served design is partitioned by net range
+//! ([`rctree_sta::Design::partition`]): each shard owns its own
+//! [`EcoExecutor`] writer, snapshot chain, and revision counter, so
+//! independent ECOs on different shards commit and publish concurrently
+//! instead of serializing behind one writer lock.  Requests route by net
+//! name through a static table built at start-up (the partition never
+//! changes while the server runs):
+//!
+//! * `QUERY` goes to the shard owning its net and answers with that
+//!   shard's scalar revision — exactly the single-shard grammar.
+//! * `ECO` routes to the single shard owning every known net in the
+//!   request; a request spanning two shards is rejected whole (no edit
+//!   applies) with an `ERR` naming both shards.  Accepted requests hold
+//!   only that shard's writer lock.
+//! * `REPORT` / `CERTIFY` / `STATS` compose across all shards and answer
+//!   with a revision *vector* (`OK rev <r0,r1,…>`), one revision per
+//!   shard, each naming the published snapshot the composition read.
+//!
+//! With one shard (the default) every path reduces to the pre-sharding
+//! single-writer code and the protocol stays byte-identical.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use rctree_core::units::Seconds;
-use rctree_sta::{Design, StaError};
+use rctree_sta::script::{parse_eco_script_line, ScriptLine};
+use rctree_sta::{Design, DesignSnapshot, StaError};
 
 use crate::protocol::{self, Request};
 use crate::session::EcoExecutor;
-use crate::store::{ServerStats, SnapshotStore};
+use crate::store::{RenderedReportCache, ServerStats, SnapshotStore};
 
-/// How long a blocked accept/read waits before re-checking the shutdown
-/// flag (`std::net` has no readiness notification without `unsafe` or an
-/// external dependency, so both loops poll on this granularity).
-const POLL: Duration = Duration::from_millis(25);
+/// Ceiling of the idle backoff ramp: how long a parked accept/read waits
+/// at most before re-checking the shutdown flag (`std::net` has no
+/// readiness notification without `unsafe` or an external dependency, so
+/// both loops poll — but the interval ramps up from
+/// [`ServeConfig::poll_floor`] only while idle, so a busy connection
+/// polls at the floor).
+const POLL_CAP: Duration = Duration::from_millis(25);
+
+/// Default floor of the idle backoff ramp (`--poll-us` overrides).
+pub const DEFAULT_POLL_FLOOR: Duration = Duration::from_millis(1);
 
 /// Analysis parameters of a server instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +60,25 @@ pub struct ServeConfig {
     pub required_time: Seconds,
     /// Worker threads for the initial analysis and ECO re-timing.
     pub jobs: usize,
+    /// Writer shards the design is partitioned into (clamped to the
+    /// design's connected-component count; 0 and 1 both mean unsharded).
+    pub shards: usize,
+    /// Floor of the idle polling backoff ramp (clamped to
+    /// `[1 µs, 25 ms]`).
+    pub poll_floor: Duration,
+}
+
+impl ServeConfig {
+    /// An unsharded config with the default polling floor.
+    pub fn new(threshold: f64, required_time: Seconds, jobs: usize) -> ServeConfig {
+        ServeConfig {
+            threshold,
+            required_time,
+            jobs,
+            shards: 1,
+            poll_floor: DEFAULT_POLL_FLOOR,
+        }
+    }
 }
 
 /// Errors starting a server.
@@ -63,16 +113,31 @@ impl From<io::Error> for ServeError {
     }
 }
 
+/// One writer shard: its snapshot store, its serialized `EcoExecutor`,
+/// and its slice of the audit log and counters.
+#[derive(Debug)]
+struct Shard {
+    store: SnapshotStore,
+    writer: Mutex<EcoExecutor>,
+    /// Accepted directives in this shard's commit order — the audit log
+    /// the per-shard serial-oracle equivalence tests replay.
+    eco_log: Mutex<Vec<String>>,
+    applied: AtomicU64,
+    skipped: AtomicU64,
+    report_cache_hits: AtomicU64,
+}
+
 /// State shared by the accept loop and every connection thread.
 #[derive(Debug)]
 struct Shared {
-    store: SnapshotStore,
-    writer: Mutex<EcoExecutor>,
+    shards: Vec<Shard>,
+    /// Net name → owning shard.  Empty when unsharded (everything is
+    /// shard 0).
+    router: HashMap<String, usize>,
+    reports: RenderedReportCache,
     stats: ServerStats,
     shutdown: AtomicBool,
-    /// Accepted directives in commit order — the audit log the
-    /// serial-oracle equivalence tests replay.
-    eco_log: Mutex<Vec<String>>,
+    poll_floor: Duration,
 }
 
 /// A running timing server.
@@ -88,30 +153,57 @@ pub struct Server {
 }
 
 impl Server {
-    /// Warms the design, publishes the baseline snapshot (revision 0),
-    /// binds the listener, and starts accepting connections.
+    /// Partitions the design into writer shards, warms each shard,
+    /// publishes the baseline snapshots (revision 0 per shard), binds
+    /// the listener, and starts accepting connections.
     ///
     /// # Errors
     ///
-    /// * [`ServeError::Sta`] if the baseline analysis fails;
+    /// * [`ServeError::Sta`] if partitioning or a baseline analysis fails;
     /// * [`ServeError::Io`] if the listener cannot be bound.
     pub fn start(
         design: Design,
         config: &ServeConfig,
         addr: impl ToSocketAddrs,
     ) -> Result<Server, ServeError> {
-        let executor =
-            EcoExecutor::new(design, config.threshold, config.required_time, config.jobs)?;
-        let store = SnapshotStore::new(executor.snapshot());
+        let designs = if config.shards <= 1 {
+            vec![design]
+        } else {
+            design.partition(config.shards)?
+        };
+        let mut shards = Vec::with_capacity(designs.len());
+        for design in designs {
+            let executor =
+                EcoExecutor::new(design, config.threshold, config.required_time, config.jobs)?;
+            let store = SnapshotStore::new(executor.snapshot());
+            shards.push(Shard {
+                store,
+                writer: Mutex::new(executor),
+                eco_log: Mutex::new(Vec::new()),
+                applied: AtomicU64::new(0),
+                skipped: AtomicU64::new(0),
+                report_cache_hits: AtomicU64::new(0),
+            });
+        }
+        let mut router = HashMap::new();
+        if shards.len() > 1 {
+            for (s, shard) in shards.iter().enumerate() {
+                let (snapshot, _) = shard.store.load();
+                for name in snapshot.net_names() {
+                    router.insert(name.to_string(), s);
+                }
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            store,
-            writer: Mutex::new(executor),
+            shards,
+            router,
+            reports: RenderedReportCache::default(),
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
-            eco_log: Mutex::new(Vec::new()),
+            poll_floor: config.poll_floor.clamp(Duration::from_micros(1), POLL_CAP),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -129,19 +221,51 @@ impl Server {
         self.addr
     }
 
-    /// The latest committed revision.
+    /// Number of writer shards actually serving (after clamping to the
+    /// design's connected-component count).
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Total committed revisions across all shards (the scalar revision
+    /// when unsharded).
     pub fn revision(&self) -> u64 {
-        self.shared.store.load().1
+        self.revisions().iter().sum()
     }
 
-    /// Number of nets in the served design.
+    /// The per-shard revision vector.
+    pub fn revisions(&self) -> Vec<u64> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.store.load().1)
+            .collect()
+    }
+
+    /// Number of nets in the served design (summed across shards).
     pub fn net_count(&self) -> usize {
-        self.shared.store.load().0.net_count()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.store.load().0.net_count())
+            .sum()
     }
 
-    /// The accepted-directive log, in commit order.
+    /// The accepted-directive log in commit order — per shard, joined in
+    /// shard order (each shard's internal order is its commit order; the
+    /// cross-shard interleaving is not serialized).
     pub fn eco_log(&self) -> Vec<String> {
-        lock(&self.shared.eco_log).clone()
+        self.eco_logs().into_iter().flatten().collect()
+    }
+
+    /// Per-shard accepted-directive logs, each in that shard's commit
+    /// order.
+    pub fn eco_logs(&self) -> Vec<Vec<String>> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| lock(&s.eco_log).clone())
+            .collect()
     }
 
     /// Requests shutdown: the listener stops accepting and every
@@ -167,14 +291,21 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Accepts connections until shutdown, then joins every handler.
+///
+/// The idle sleep ramps exponentially from the configured floor up to
+/// [`POLL_CAP`] and resets on every accepted connection, so a busy
+/// listener reacts at the floor and an idle one costs one wake-up per
+/// 25 ms.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut idle = shared.poll_floor;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                idle = shared.poll_floor;
                 ServerStats::bump(&shared.stats.connections);
                 let shared = Arc::clone(&shared);
                 handlers.push(std::thread::spawn(move || {
@@ -182,7 +313,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 }));
                 handlers.retain(|h| !h.is_finished());
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(idle);
+                idle = (idle * 2).min(POLL_CAP);
+            }
             Err(_) => break,
         }
     }
@@ -199,10 +333,17 @@ enum After {
 
 /// One connection: read request lines, write response blocks, until EOF,
 /// `QUIT`, `SHUTDOWN`, or server shutdown.
+///
+/// The read timeout ramps exponentially from the configured floor up to
+/// [`POLL_CAP`] while the connection is idle and resets to the floor on
+/// every received line, so a request that lands just after a timeout
+/// waits ≈the floor instead of a full fixed poll — this is what collapses
+/// the served p99 from the old fixed 25 ms poll.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
+    let mut idle = shared.poll_floor;
     // Reads poll so a parked connection notices server shutdown.
-    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_read_timeout(Some(idle));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -228,6 +369,10 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 break;
             }
             Ok(_) => {
+                if idle != shared.poll_floor {
+                    idle = shared.poll_floor;
+                    let _ = reader.get_ref().set_read_timeout(Some(idle));
+                }
                 // `read_line` without a trailing newline means EOF cut the
                 // final line; serve it, then close.
                 let at_eof = !buf.ends_with('\n');
@@ -244,14 +389,20 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 if matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) => {}
+                ) =>
+            {
+                if idle < POLL_CAP {
+                    idle = (idle * 2).min(POLL_CAP);
+                    let _ = reader.get_ref().set_read_timeout(Some(idle));
+                }
+            }
             Err(_) => break,
         }
     }
 }
 
 /// A response block: owned lines, or a shared rendering out of the
-/// per-revision report cache.
+/// rendered-report cache.
 enum Block {
     Owned(Vec<String>),
     Cached(Arc<Vec<String>>),
@@ -266,25 +417,101 @@ impl Block {
     }
 }
 
+/// Where an `ECO` request goes.
+enum EcoRoute {
+    /// Every known net belongs to this shard (requests naming no known
+    /// net fall through to shard 0, whose executor re-derives the exact
+    /// parse-error / skip response).
+    Shard(usize),
+    /// Known nets on two different shards: reject the request whole.
+    Reject(usize, usize),
+}
+
+/// Routes an `ECO` request line by the nets its edits name.  The script
+/// is parsed here only for routing; the owning shard's executor re-parses
+/// and renders, so malformed scripts produce the executor's own error
+/// text (against shard 0).
+fn route_eco(shared: &Shared, script: &str) -> EcoRoute {
+    let edits = match parse_eco_script_line(1, script) {
+        Ok(ScriptLine::Edits(edits)) => edits,
+        // Parse errors, blank scripts, and `quit` go to shard 0.
+        _ => return EcoRoute::Shard(0),
+    };
+    let mut target: Option<usize> = None;
+    for se in &edits {
+        let Some(&shard) = shared.router.get(&se.edit.net) else {
+            continue;
+        };
+        match target {
+            None => target = Some(shard),
+            Some(t) if t != shard => return EcoRoute::Reject(t.min(shard), t.max(shard)),
+            Some(_) => {}
+        }
+    }
+    EcoRoute::Shard(target.unwrap_or(0))
+}
+
+/// The shard owning `net` (shard 0 for unknown nets, which every shard
+/// rejects identically).
+fn route_net(shared: &Shared, net: &str) -> usize {
+    shared.router.get(net).copied().unwrap_or(0)
+}
+
+/// Loads one consistent `(snapshot, revision)` pair per shard.  Each
+/// pair is internally consistent; the vector as a whole names exactly
+/// which published shard states a composed response read.
+fn load_all(shared: &Shared) -> (Vec<Arc<DesignSnapshot>>, Vec<u64>) {
+    let mut snapshots = Vec::with_capacity(shared.shards.len());
+    let mut revs = Vec::with_capacity(shared.shards.len());
+    for shard in &shared.shards {
+        let (snapshot, rev) = shard.store.load();
+        snapshots.push(snapshot);
+        revs.push(rev);
+    }
+    (snapshots, revs)
+}
+
+/// Runs one `ECO` request on shard `s`: serializes on that shard's
+/// writer lock only, publishes into that shard's store, and logs into
+/// that shard's audit log.
+fn exec_eco_on(shared: &Shared, s: usize, script: &str) -> Vec<String> {
+    let shard = &shared.shards[s];
+    let mut executor = lock(&shard.writer);
+    let (lines, counts) = executor.exec_eco(
+        script,
+        &mut |snapshot, rev| shard.store.publish(Arc::clone(snapshot), rev),
+        &mut |summary| lock(&shard.eco_log).push(summary.to_string()),
+    );
+    ServerStats::add(&shard.applied, counts.applied);
+    ServerStats::add(&shard.skipped, counts.skipped);
+    ServerStats::add(&shared.stats.eco_applied, counts.applied);
+    ServerStats::add(&shared.stats.eco_skipped, counts.skipped);
+    lines
+}
+
 /// Parses one request line, serves it, writes the response block.
 fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<After> {
+    let sharded = shared.shards.len() > 1;
     let mut after = After::Continue;
     let block = match protocol::parse_request(line) {
         // Blank lines get no response at all.
         Ok(None) => return Ok(After::Continue),
         Err(message) => {
-            let (_, rev) = shared.store.load();
-            Block::Owned(vec![protocol::err_line(
-                rev,
-                &format!("bad request: {message}"),
-            )])
+            let message = format!("bad request: {message}");
+            Block::Owned(vec![if sharded {
+                let (_, revs) = load_all(shared);
+                protocol::err_revs(&revs, &message)
+            } else {
+                protocol::err_line(shared.shards[0].store.load().1, &message)
+            }])
         }
         Ok(Some(request)) => {
             ServerStats::bump(&shared.stats.requests);
             match request {
                 Request::Query { net, node, corner } => {
                     ServerStats::bump(&shared.stats.queries);
-                    let (snapshot, rev) = shared.store.load();
+                    let shard = &shared.shards[route_net(shared, &net)];
+                    let (snapshot, rev) = shard.store.load();
                     Block::Owned(protocol::render_query(
                         &snapshot,
                         rev,
@@ -294,42 +521,50 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                     ))
                 }
                 Request::Report { corner } => {
-                    let (snapshot, rev) = shared.store.load();
-                    let (lines, hit) = shared.store.rendered_report(rev, corner.as_deref(), || {
-                        protocol::render_report(&snapshot, rev, corner.as_deref())
+                    let (snapshots, revs) = load_all(shared);
+                    let (lines, hit) = shared.reports.rendered(&revs, corner.as_deref(), || {
+                        if sharded {
+                            protocol::render_report_composed(&snapshots, &revs, corner.as_deref())
+                        } else {
+                            protocol::render_report(&snapshots[0], revs[0], corner.as_deref())
+                        }
                     });
                     if hit {
                         ServerStats::bump(&shared.stats.report_cache_hits);
+                        for shard in &shared.shards {
+                            ServerStats::bump(&shard.report_cache_hits);
+                        }
                     }
                     Block::Cached(lines)
                 }
                 Request::Certify { budget } => {
-                    let (snapshot, rev) = shared.store.load();
-                    Block::Owned(protocol::render_certify(&snapshot, rev, budget))
+                    let (snapshots, revs) = load_all(shared);
+                    Block::Owned(if sharded {
+                        protocol::render_certify_composed(&snapshots, &revs, budget)
+                    } else {
+                        protocol::render_certify(&snapshots[0], revs[0], budget)
+                    })
                 }
                 Request::Stats => Block::Owned(render_stats(shared)),
                 Request::Quit => {
                     after = After::Close;
-                    Block::Owned(vec![protocol::ok_line(shared.store.load().1)])
+                    Block::Owned(vec![final_ok(shared, sharded)])
                 }
                 Request::Shutdown => {
                     after = After::Close;
                     shared.shutdown.store(true, Ordering::SeqCst);
-                    Block::Owned(vec![protocol::ok_line(shared.store.load().1)])
+                    Block::Owned(vec![final_ok(shared, sharded)])
                 }
-                Request::Eco { script } => {
-                    // All writers serialize here; reads keep flowing off
-                    // the store while this lock is held.
-                    let mut executor = lock(&shared.writer);
-                    let (lines, counts) = executor.exec_eco(
-                        &script,
-                        &mut |snapshot, rev| shared.store.publish(Arc::clone(snapshot), rev),
-                        &mut |summary| lock(&shared.eco_log).push(summary.to_string()),
-                    );
-                    ServerStats::add(&shared.stats.eco_applied, counts.applied);
-                    ServerStats::add(&shared.stats.eco_skipped, counts.skipped);
-                    Block::Owned(lines)
-                }
+                Request::Eco { script } => match route_eco(shared, &script) {
+                    EcoRoute::Shard(s) => Block::Owned(exec_eco_on(shared, s, &script)),
+                    EcoRoute::Reject(a, b) => {
+                        let (_, revs) = load_all(shared);
+                        Block::Owned(vec![protocol::err_revs(
+                            &revs,
+                            &format!("ECO spans shards {a} and {b}; split the request"),
+                        )])
+                    }
+                },
             }
         }
     };
@@ -340,24 +575,74 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
     Ok(after)
 }
 
+/// The bare `OK rev …` line of `QUIT`/`SHUTDOWN`: scalar when unsharded,
+/// the revision vector otherwise.
+fn final_ok(shared: &Shared, sharded: bool) -> String {
+    if sharded {
+        let (_, revs) = load_all(shared);
+        protocol::ok_revs(&revs)
+    } else {
+        protocol::ok_line(shared.shards[0].store.load().1)
+    }
+}
+
 /// The `STATS` response block.
 ///
-/// The arena byte sizes come from the live design behind the writer lock
-/// (a size probe, not an analysis); like every other counter here they
-/// are *not* part of the deterministic response surface.
+/// The arena byte sizes come from the live designs behind the writer
+/// locks (a size probe, not an analysis); like every other counter here
+/// they are *not* part of the deterministic response surface.  The
+/// sharded fields (`shards`, `routing_table`, `shard_revs`,
+/// `shard_applied`, `shard_skipped`, `shard_report_cache_hits`) are
+/// appended after the pre-sharding fields, so unsharded output stays a
+/// superset-compatible extension of the old line.
 fn render_stats(shared: &Shared) -> Vec<String> {
-    let (snapshot, rev) = shared.store.load();
-    let (arena_base, arena_corner) = lock(&shared.writer).arena_bytes();
+    let (snapshots, revs) = load_all(shared);
+    let mut nets = 0;
+    let mut instances = 0;
+    let mut endpoints = 0;
+    for snapshot in &snapshots {
+        nets += snapshot.net_count();
+        instances += snapshot.instance_count();
+        endpoints += snapshot.report().endpoints.len();
+    }
+    let (mut arena_base, mut arena_corner) = (0, 0);
+    for shard in &shared.shards {
+        let (base, corner) = lock(&shard.writer).arena_bytes();
+        arena_base += base;
+        arena_corner += corner;
+    }
+    let csv = |get: &dyn Fn(&Shard) -> u64| {
+        shared
+            .shards
+            .iter()
+            .map(|s| get(s).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let final_line = if shared.shards.len() > 1 {
+        format!(
+            "{}{}",
+            protocol::ok_revs(&revs),
+            protocol::corner_tail(&snapshots[0])
+        )
+    } else {
+        format!(
+            "{}{}",
+            protocol::ok_line(revs[0]),
+            protocol::corner_tail(&snapshots[0])
+        )
+    };
     vec![
         format!(
             "stats nets {} instances {} endpoints {} revision {} corners {} arena_base_bytes {} \
              arena_corner_bytes {} connections {} requests {} queries {} eco_applied {} \
-             eco_skipped {} report_cache_hits {}",
-            snapshot.net_count(),
-            snapshot.instance_count(),
-            snapshot.report().endpoints.len(),
-            rev,
-            snapshot.corner_count(),
+             eco_skipped {} report_cache_hits {} shards {} routing_table {} shard_revs {} \
+             shard_applied {} shard_skipped {} shard_report_cache_hits {}",
+            nets,
+            instances,
+            endpoints,
+            protocol::rev_csv(&revs),
+            snapshots[0].corner_count(),
             arena_base,
             arena_corner,
             ServerStats::get(&shared.stats.connections),
@@ -366,11 +651,13 @@ fn render_stats(shared: &Shared) -> Vec<String> {
             ServerStats::get(&shared.stats.eco_applied),
             ServerStats::get(&shared.stats.eco_skipped),
             ServerStats::get(&shared.stats.report_cache_hits),
+            shared.shards.len(),
+            shared.router.len(),
+            protocol::rev_csv(&revs),
+            csv(&|s| ServerStats::get(&s.applied)),
+            csv(&|s| ServerStats::get(&s.skipped)),
+            csv(&|s| ServerStats::get(&s.report_cache_hits)),
         ),
-        format!(
-            "{}{}",
-            protocol::ok_line(rev),
-            protocol::corner_tail(&snapshot)
-        ),
+        final_line,
     ]
 }

@@ -1,7 +1,8 @@
 //! The single-writer ECO executor: the one place design state mutates.
 //!
-//! Every `ECO` request — from any connection — serializes through one
-//! [`EcoExecutor`] behind the server's writer mutex.  Each accepted
+//! Every `ECO` request — from any connection — serializes through the
+//! target shard's [`EcoExecutor`] behind that shard's writer mutex
+//! (unsharded servers have exactly one).  Each accepted
 //! directive advances the revision by one, produces the successor
 //! [`DesignSnapshot`] through the incremental
 //! [`Design::publish_after_eco`] path (dirty-net views rebuilt, everything

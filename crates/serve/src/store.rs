@@ -21,21 +21,6 @@ use rctree_sta::DesignSnapshot;
 #[derive(Debug)]
 pub struct SnapshotStore {
     inner: RwLock<(Arc<DesignSnapshot>, u64)>,
-    reports: Mutex<ReportCache>,
-}
-
-/// Per-revision cache of rendered `REPORT` response blocks, keyed by the
-/// raw `--corner` selector (`None` for the plain verb).  Rendering a
-/// [`rctree_sta::TimingReport`] walks and formats every endpoint, which
-/// dwarfs the cost of writing the already-rendered lines on big decks —
-/// and between edits every `REPORT` for the same selector is
-/// byte-identical by construction, so the block is rendered once per
-/// `(revision, selector)` and shared via `Arc` after that.  The cache is
-/// dropped wholesale whenever a new revision is published.
-#[derive(Debug, Default)]
-struct ReportCache {
-    revision: u64,
-    rendered: HashMap<Option<String>, Arc<Vec<String>>>,
 }
 
 impl SnapshotStore {
@@ -43,7 +28,6 @@ impl SnapshotStore {
     pub fn new(snapshot: Arc<DesignSnapshot>) -> Self {
         SnapshotStore {
             inner: RwLock::new((snapshot, 0)),
-            reports: Mutex::new(ReportCache::default()),
         }
     }
 
@@ -63,24 +47,45 @@ impl SnapshotStore {
         };
         *guard = (snapshot, revision);
     }
+}
 
-    /// The rendered `REPORT` block for `(revision, corner-selector)`,
-    /// rendering it with `render` on a miss.  Returns the shared block and
-    /// whether it was a cache hit.  A stale-revision entry set is dropped
-    /// before lookup, so the cache never serves a superseded snapshot's
-    /// rendering.
-    pub fn rendered_report(
+/// Per-revision(-vector) cache of rendered `REPORT` response blocks,
+/// keyed by the raw `--corner` selector (`None` for the plain verb).
+/// Rendering a [`rctree_sta::TimingReport`] walks and formats every
+/// endpoint, which dwarfs the cost of writing the already-rendered lines
+/// on big decks — and between edits every `REPORT` for the same selector
+/// is byte-identical by construction, so the block is rendered once per
+/// `(revision vector, selector)` and shared via `Arc` after that.  On a
+/// sharded store the key is the full per-shard revision vector: an edit
+/// on **any** shard drops the whole entry set, so the cache never serves
+/// a superseded shard snapshot's rendering.
+#[derive(Debug, Default)]
+pub struct RenderedReportCache {
+    inner: Mutex<ReportCacheState>,
+}
+
+#[derive(Debug, Default)]
+struct ReportCacheState {
+    revisions: Vec<u64>,
+    rendered: HashMap<Option<String>, Arc<Vec<String>>>,
+}
+
+impl RenderedReportCache {
+    /// The rendered `REPORT` block for `(revision vector, selector)`,
+    /// rendering it with `render` on a miss.  Returns the shared block
+    /// and whether it was a cache hit.
+    pub fn rendered(
         &self,
-        revision: u64,
+        revisions: &[u64],
         corner: Option<&str>,
         render: impl FnOnce() -> Vec<String>,
     ) -> (Arc<Vec<String>>, bool) {
-        let mut cache = match self.reports.lock() {
+        let mut cache = match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        if cache.revision != revision {
-            cache.revision = revision;
+        if cache.revisions != revisions {
+            cache.revisions = revisions.to_vec();
             cache.rendered.clear();
         }
         if let Some(block) = cache.rendered.get(&corner.map(str::to_string)) {

@@ -19,7 +19,9 @@ use rctree_core::units::Seconds;
 use rctree_serve::protocol::{self, Request};
 use rctree_serve::{EcoExecutor, ServeConfig, Server};
 use rctree_sta::{CellLibrary, Design, DesignSnapshot};
-use rctree_workloads::{request_mix, RequestMixParams, SpefDeckParams};
+use rctree_workloads::{
+    request_mix, shard_crossing_mix, shard_of, RequestMixParams, SpefDeckParams,
+};
 
 const THRESHOLD: f64 = 0.5;
 const BUDGET_S: f64 = 150e-9;
@@ -37,11 +39,7 @@ fn design_of(trees: &[(String, RcTree)]) -> Design {
 }
 
 fn config() -> ServeConfig {
-    ServeConfig {
-        threshold: THRESHOLD,
-        required_time: Seconds::new(BUDGET_S),
-        jobs: 1,
-    }
+    ServeConfig::new(THRESHOLD, Seconds::new(BUDGET_S), 1)
 }
 
 /// One client session: sends every request line, reads every response
@@ -395,6 +393,298 @@ fn multi_corner_sessions_name_the_corner_vector_and_match_the_oracle() {
     let bogus = &transcript[script.len() - 2];
     assert!(bogus[0].starts_with("ERR rev "), "{bogus:?}");
     assert!(bogus[0].contains("unknown corner `bogus`"), "{bogus:?}");
+}
+
+/// The shard owning a request's net under a `shards`-way split of the
+/// deck (each deck net is one connected component, in deck order).
+fn shard_of_request(trees: &[(String, RcTree)], net: &str, shards: usize) -> usize {
+    let index = trees
+        .iter()
+        .position(|(n, _)| n == net)
+        .expect("request names a deck net");
+    shard_of(index, trees.len(), shards)
+}
+
+/// Sharded equivalence: K concurrent clients issue shard-crossing mixes
+/// against a 4-shard server, and every response is re-derived
+/// byte-identically by **per-shard serial oracles** — scalar-rev verbs
+/// (QUERY/ECO) against the owning shard's oracle at the named revision,
+/// composed verbs (REPORT/CERTIFY) through the composed renderers at the
+/// revision vector on their final line.
+#[test]
+fn sharded_sessions_match_per_shard_serial_oracle_replay() {
+    const SHARDS: usize = 4;
+    let trees = deck_trees();
+    for clients in [1usize, 4] {
+        let mut config = config();
+        config.shards = SHARDS;
+        let server =
+            Server::start(design_of(&trees), &config, ("127.0.0.1", 0)).expect("server starts");
+        assert_eq!(server.shard_count(), SHARDS);
+        let addr = server.local_addr();
+        let params = RequestMixParams {
+            requests_per_connection: 40,
+            eco_fraction: 0.35,
+            certify_budget: 120e-9,
+        };
+        let scripts = shard_crossing_mix(&trees, clients, &params, SHARDS, 0xFACE + clients as u64);
+        let transcripts: Vec<Vec<Vec<String>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = scripts
+                .iter()
+                .map(|script| scope.spawn(move || run_client(addr, script)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        let logs = server.eco_logs();
+        let revisions = server.revisions();
+        server.shutdown();
+        server.join();
+        assert_eq!(logs.len(), SHARDS);
+        for (log, rev) in logs.iter().zip(&revisions) {
+            assert_eq!(log.len() as u64, *rev, "one committed edit per revision");
+        }
+
+        // Partition the captured pairs: ECO writes per owning shard,
+        // scalar reads (QUERY) per owning shard, composed reads
+        // (REPORT/CERTIFY) at their revision vector.
+        type Write<'a> = (u64, u64, &'a String, &'a Vec<String>);
+        let mut shard_writes: Vec<Vec<Write>> = vec![Vec::new(); SHARDS];
+        let mut scalar_reads: Vec<(usize, &String, &Vec<String>)> = Vec::new();
+        let mut composed_reads: Vec<(&String, &Vec<String>)> = Vec::new();
+        for (script, transcript) in scripts.iter().zip(&transcripts) {
+            for (request, response) in script.iter().zip(transcript) {
+                match protocol::parse_request(request).expect("generated requests parse") {
+                    Some(Request::Eco { script }) => {
+                        let net = rctree_sta::script::parse_eco_script_line(1, &script)
+                            .ok()
+                            .and_then(|parsed| match parsed {
+                                rctree_sta::ScriptLine::Edits(edits) => {
+                                    Some(edits[0].edit.net.clone())
+                                }
+                                _ => None,
+                            })
+                            .expect("generated ECOs carry edits");
+                        let shard = shard_of_request(&trees, &net, SHARDS);
+                        let applied =
+                            response.iter().filter(|l| l.starts_with("edit ")).count() as u64;
+                        let pre_rev = block_rev(response) - applied;
+                        shard_writes[shard].push((pre_rev, applied, request, response));
+                    }
+                    Some(Request::Query { net, .. }) => {
+                        scalar_reads.push((
+                            shard_of_request(&trees, &net, SHARDS),
+                            request,
+                            response,
+                        ));
+                    }
+                    Some(Request::Report { .. }) | Some(Request::Certify { .. }) => {
+                        composed_reads.push((request, response));
+                    }
+                    other => panic!("unexpected request {other:?}"),
+                }
+            }
+        }
+
+        // Per-shard serial replay over the partitioned design: each
+        // shard's writes in its own commit order, snapshots recorded per
+        // revision.
+        let shard_designs = design_of(&trees).partition(SHARDS).expect("partitions");
+        assert_eq!(shard_designs.len(), SHARDS);
+        let mut shard_snapshots: Vec<Vec<Arc<DesignSnapshot>>> = Vec::new();
+        for (shard, design) in shard_designs.into_iter().enumerate() {
+            let mut oracle =
+                EcoExecutor::new(design, THRESHOLD, Seconds::new(BUDGET_S), 1).expect("oracle");
+            let mut snapshots = vec![oracle.snapshot()];
+            let mut accepted: Vec<String> = Vec::new();
+            shard_writes[shard].sort_by_key(|&(pre_rev, applied, _, _)| (pre_rev, applied > 0));
+            for (pre_rev, _, request, response) in &shard_writes[shard] {
+                assert_eq!(
+                    oracle.revision(),
+                    *pre_rev,
+                    "shard {shard} oracle out of sync before `{request}`"
+                );
+                let script = match protocol::parse_request(request) {
+                    Ok(Some(Request::Eco { script })) => script,
+                    other => panic!("expected ECO request, got {other:?}"),
+                };
+                let (lines, _) = oracle.exec_eco(
+                    &script,
+                    &mut |snapshot, _rev| snapshots.push(Arc::clone(snapshot)),
+                    &mut |summary| accepted.push(summary.to_string()),
+                );
+                assert_eq!(
+                    &&lines, response,
+                    "shard {shard} ECO response diverged for `{request}`"
+                );
+            }
+            assert_eq!(
+                accepted, logs[shard],
+                "shard {shard} accepted-edit order diverged from the server log"
+            );
+            shard_snapshots.push(snapshots);
+        }
+
+        // Scalar reads re-render against the owning shard's snapshot at
+        // the scalar revision on their final line.
+        for (shard, request, response) in scalar_reads {
+            let rev = block_rev(response);
+            let snapshot = &shard_snapshots[shard][rev as usize];
+            let expected = match protocol::parse_request(request).expect("parses") {
+                Some(Request::Query { net, node, corner }) => {
+                    protocol::render_query(snapshot, rev, &net, node.as_deref(), corner.as_deref())
+                }
+                other => panic!("unexpected scalar read {other:?}"),
+            };
+            assert_eq!(
+                response, &expected,
+                "QUERY diverged for `{request}` on shard {shard} at rev {rev}"
+            );
+        }
+
+        // Composed reads re-render through the composed renderers at the
+        // revision *vector* on their final line.
+        for (request, response) in composed_reads {
+            let revs = protocol::final_revisions(response.last().expect("non-empty"))
+                .expect("revision vector on final line");
+            assert_eq!(revs.len(), SHARDS, "one revision per shard: `{request}`");
+            let snapshots: Vec<Arc<DesignSnapshot>> = revs
+                .iter()
+                .enumerate()
+                .map(|(shard, &rev)| Arc::clone(&shard_snapshots[shard][rev as usize]))
+                .collect();
+            let expected = match protocol::parse_request(request).expect("parses") {
+                Some(Request::Report { corner }) => {
+                    protocol::render_report_composed(&snapshots, &revs, corner.as_deref())
+                }
+                Some(Request::Certify { budget }) => {
+                    protocol::render_certify_composed(&snapshots, &revs, budget)
+                }
+                other => panic!("unexpected composed read {other:?}"),
+            };
+            assert_eq!(
+                response, &expected,
+                "composed response diverged for `{request}` at revs {revs:?}"
+            );
+        }
+    }
+}
+
+/// Cross-shard invariants the mixes cannot hit: a spanning ECO is
+/// rejected whole with a revision vector, the sharded STATS line carries
+/// the per-shard counters, and a quiescent sharded REPORT equals the
+/// unsharded payload except for its vector final line.
+#[test]
+fn sharded_protocol_rejects_spanning_ecos_and_extends_stats() {
+    const SHARDS: usize = 4;
+    let trees = deck_trees();
+    let mut config = config();
+    config.shards = SHARDS;
+    let server =
+        Server::start(design_of(&trees), &config, ("127.0.0.1", 0)).expect("server starts");
+    let addr = server.local_addr();
+
+    // One net from shard 0 and one from the last shard.
+    let (net_a, tree_a) = &trees[0];
+    let (net_b, tree_b) = &trees[trees.len() - 1];
+    assert_eq!(shard_of_request(&trees, net_a, SHARDS), 0);
+    assert_eq!(shard_of_request(&trees, net_b, SHARDS), SHARDS - 1);
+    let node_a = tree_a
+        .name(tree_a.preorder()[0])
+        .expect("named")
+        .to_string();
+    let node_b = tree_b
+        .name(tree_b.preorder()[0])
+        .expect("named")
+        .to_string();
+
+    let responses = run_client(
+        addr,
+        &[
+            format!("ECO setcap {net_a} {node_a} 2e-15; setcap {net_b} {node_b} 2e-15"),
+            format!("ECO setcap {net_b} {node_b} 3e-15"),
+            "REPORT".to_string(),
+            "STATS".to_string(),
+        ],
+    );
+    // The spanning request is rejected whole — nothing committed anywhere.
+    assert_eq!(
+        responses[0],
+        vec![format!(
+            "ERR rev 0,0,0,0 ECO spans shards 0 and {}; split the request",
+            SHARDS - 1
+        )]
+    );
+    // The single-shard ECO commits on its own shard only.
+    assert!(responses[1][0].starts_with("edit 1 "), "{responses:?}");
+    assert_eq!(responses[1][1], "OK rev 1");
+    assert_eq!(server.revisions(), vec![0, 0, 0, 1]);
+
+    // REPORT answers at the revision vector.
+    assert_eq!(responses[2].last().unwrap(), "OK rev 0,0,0,1");
+
+    // STATS: per-shard counters and the routing table (feeder + main net
+    // per deck net).
+    let stats = &responses[3][0];
+    let field = |name: &str| -> String {
+        stats
+            .split_whitespace()
+            .skip_while(|t| *t != name)
+            .nth(1)
+            .unwrap_or_else(|| panic!("missing `{name}` in {stats}"))
+            .to_string()
+    };
+    assert_eq!(field("shards"), SHARDS.to_string());
+    assert_eq!(field("routing_table"), (2 * trees.len()).to_string());
+    assert_eq!(field("revision"), "0,0,0,1");
+    assert_eq!(field("shard_revs"), "0,0,0,1");
+    assert_eq!(field("shard_applied"), "0,0,0,1");
+    assert_eq!(field("shard_skipped"), "0,0,0,0");
+    assert_eq!(responses[3].last().unwrap(), "OK rev 0,0,0,1");
+
+    server.shutdown();
+    server.join();
+}
+
+/// A quiescent (no-writer) sharded server must serve the same QUERY and
+/// REPORT payloads as the unsharded server over the same deck — sharding
+/// changes who owns a net, never a single number — with only the
+/// composed verbs' final line widening to a revision vector.
+#[test]
+fn sharded_and_unsharded_servers_agree_at_rest() {
+    let trees = deck_trees();
+    let single = Server::start(design_of(&trees), &config(), ("127.0.0.1", 0)).expect("single");
+    let mut sharded_config = config();
+    sharded_config.shards = 3;
+    let sharded =
+        Server::start(design_of(&trees), &sharded_config, ("127.0.0.1", 0)).expect("sharded");
+
+    let mut script: Vec<String> = trees.iter().map(|(n, _)| format!("QUERY {n}")).collect();
+    script.push("REPORT".to_string());
+    script.push("CERTIFY 1.2e-7".to_string());
+    let a = run_client(single.local_addr(), &script);
+    let b = run_client(sharded.local_addr(), &script);
+    for (i, (request, (block_a, block_b))) in script.iter().zip(a.iter().zip(&b)).enumerate() {
+        if request.starts_with("QUERY") {
+            assert_eq!(block_a, block_b, "QUERY payloads diverge for `{request}`");
+        } else {
+            // Payload identical; final line scalar vs vector.
+            assert_eq!(
+                block_a[..block_a.len() - 1],
+                block_b[..block_b.len() - 1],
+                "payload diverges for `{request}` (#{i})"
+            );
+            assert_eq!(block_a.last().unwrap(), "OK rev 0");
+            assert_eq!(block_b.last().unwrap(), "OK rev 0,0,0");
+        }
+    }
+
+    single.shutdown();
+    single.join();
+    sharded.shutdown();
+    sharded.join();
 }
 
 #[test]

@@ -183,6 +183,38 @@ impl TimingReport {
         }
         verdict
     }
+
+    /// Composes the reports of disjoint design partitions (see
+    /// [`Design::partition`]) into one whole-design report: endpoints are
+    /// concatenated in part order and re-sorted with the same **stable**
+    /// descending-worst-arrival comparator a monolithic analysis uses, so
+    /// for a partition of a design whose parts are timing-independent the
+    /// composed report renders byte-identically to the monolithic one
+    /// (ties keep part order, exactly as the monolithic sort keeps net
+    /// order).  Endpoint `Arc` spines are shared, not copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty — a composition over no partitions has
+    /// no threshold or budget to report.
+    pub fn compose<'a, I>(parts: I) -> TimingReport
+    where
+        I: IntoIterator<Item = &'a TimingReport>,
+    {
+        let mut iter = parts.into_iter();
+        let first = iter.next().expect("compose needs at least one report");
+        let mut endpoints = first.endpoints.clone();
+        for part in iter {
+            debug_assert_eq!(part.threshold, first.threshold, "mixed-threshold compose");
+            endpoints.extend(part.endpoints.iter().cloned());
+        }
+        endpoints.sort_by(|a, b| b.arrival.max.value().total_cmp(&a.arrival.max.value()));
+        TimingReport {
+            threshold: first.threshold,
+            required_time: first.required_time,
+            endpoints,
+        }
+    }
 }
 
 impl fmt::Display for TimingReport {
@@ -1903,6 +1935,120 @@ impl Design {
         }
         Ok(design)
     }
+
+    /// Partitions the design into at most `shards` timing-independent
+    /// sub-designs for per-shard publishing (the sharded snapshot store of
+    /// `rctree-serve`).
+    ///
+    /// Nets are grouped into connected components of the net–instance
+    /// graph (two nets connect when one drives an instance the other is
+    /// driven by or loads), so no signal path ever crosses a partition and
+    /// every shard analyses exactly as it would inside the monolithic
+    /// design — per-net results are bit-identical, and
+    /// [`TimingReport::compose`] over the shard reports reproduces the
+    /// monolithic report.  Components are kept in first-net order and cut
+    /// into contiguous ranges: component `j` of `c` goes to shard
+    /// `j * n / c` — the deterministic net-range rule clients can
+    /// replicate from the deck alone (for extracted decks every component
+    /// is one deck net plus its feeder, in deck order).  Fewer components
+    /// than `shards` yields fewer (never empty) shards.  Instances not
+    /// referenced by any net ride with shard 0.  Each shard clones the
+    /// full corner set; overrides naming nets of other shards are inert
+    /// (override scales are looked up by net name at analysis time).
+    ///
+    /// # Errors
+    ///
+    /// * [`StaError::EmptyDesign`] if the design has no nets.
+    pub fn partition(&self, shards: usize) -> Result<Vec<Design>> {
+        let total = self.shared.nets.len();
+        if total == 0 {
+            return Err(StaError::EmptyDesign);
+        }
+        let shards = shards.max(1);
+
+        // Union-find over net indices, joined through shared instances.
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut first_net_of: HashMap<&str, usize> = HashMap::new();
+        for (idx, net) in self.shared.nets.iter().enumerate() {
+            let driver = match &net.driver {
+                Driver::Instance(inst) => Some(inst.as_str()),
+                Driver::PrimaryInput => None,
+            };
+            let loads = net.sinks.iter().filter_map(|sink| match &sink.load {
+                Load::Instance(inst) => Some(inst.as_str()),
+                Load::PrimaryOutput(_) => None,
+            });
+            for inst in driver.into_iter().chain(loads) {
+                match first_net_of.entry(inst) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        let (a, b) = (find(&mut parent, idx), find(&mut parent, *o.get()));
+                        // Root at the lower index so component order below
+                        // is stable first-net order.
+                        parent[a.max(b)] = a.min(b);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(idx);
+                    }
+                }
+            }
+        }
+
+        // Components in first-net order, each holding its nets ascending.
+        let mut component_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for idx in 0..total {
+            let root = find(&mut parent, idx);
+            let c = *component_of_root.entry(root).or_insert_with(|| {
+                components.push(Vec::new());
+                components.len() - 1
+            });
+            components[c].push(idx);
+        }
+        let count = components.len().min(shards);
+        let mut shard_nets: Vec<Vec<usize>> = vec![Vec::new(); count];
+        for (j, nets) in components.iter().enumerate() {
+            shard_nets[j * count / components.len()].extend(nets);
+        }
+
+        let mut out = Vec::with_capacity(count);
+        for (s, nets) in shard_nets.iter_mut().enumerate() {
+            nets.sort_unstable();
+            let mut referenced: BTreeSet<&str> = BTreeSet::new();
+            for &idx in nets.iter() {
+                let net = &self.shared.nets[idx];
+                if let Driver::Instance(inst) = &net.driver {
+                    referenced.insert(inst);
+                }
+                for sink in &net.sinks {
+                    if let Load::Instance(inst) = &sink.load {
+                        referenced.insert(inst);
+                    }
+                }
+            }
+            let mut shard = Design::new(self.shared.library.clone());
+            for (inst, cell) in &self.shared.instances {
+                let orphan = s == 0 && !first_net_of.contains_key(inst.as_str());
+                if referenced.contains(inst.as_str()) || orphan {
+                    shard.add_instance(inst.clone(), cell.clone())?;
+                }
+            }
+            for &idx in nets.iter() {
+                shard.add_net(self.shared.nets[idx].clone())?;
+            }
+            if let Some(set) = &self.shared.corners {
+                shard.set_corners((**set).clone());
+            }
+            out.push(shard);
+        }
+        Ok(out)
+    }
 }
 
 /// One sink of a net as exposed by a [`DesignSnapshot`]: the interconnect
@@ -3548,5 +3694,104 @@ mod tests {
         let intrinsic_sum = Seconds::from_nano(1.0) + Seconds::from_nano(0.8);
         assert!(out.arrival.max > intrinsic_sum);
         assert!(out.arrival.min >= intrinsic_sum);
+    }
+
+    /// A deck-style design of `n` independent extracted nets (each one a
+    /// feeder + driver + wire component, like `from_extracted` builds).
+    fn extracted_deck(n: usize) -> Design {
+        let nets: Vec<(String, RcTree)> = (0..n)
+            .map(|i| {
+                (
+                    format!("net{i}"),
+                    wire(80.0 + 37.0 * i as f64, 3.0 + 2.5 * i as f64),
+                )
+            })
+            .collect();
+        Design::from_extracted(CellLibrary::nmos_1981(), "inv_4x", nets).unwrap()
+    }
+
+    #[test]
+    fn partition_splits_components_into_contiguous_net_ranges() {
+        let design = extracted_deck(6);
+        let shards = design.partition(3).unwrap();
+        assert_eq!(shards.len(), 3);
+        // 6 components of 2 nets each, cut 2/2/2 in deck order.
+        for (s, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.net_count(), 4);
+            assert_eq!(shard.instance_count(), 2);
+            for i in 0..2 {
+                let name = format!("net{}", 2 * s + i);
+                assert!(
+                    shard.shared.names.get(&name).is_some(),
+                    "{name} in shard {s}"
+                );
+            }
+        }
+        // More shards than components clamps instead of creating empties.
+        assert_eq!(extracted_deck(2).partition(8).unwrap().len(), 2);
+        assert!(matches!(
+            Design::new(CellLibrary::nmos_1981()).partition(2),
+            Err(StaError::EmptyDesign)
+        ));
+    }
+
+    #[test]
+    fn partition_never_splits_a_connected_component() {
+        // The buffer chain is one component: PI -> u1 -> u2 -> PO.
+        let shards = buffer_chain().partition(4).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].net_count(), 3);
+        assert_eq!(shards[0].instance_count(), 2);
+    }
+
+    #[test]
+    fn composed_partition_reports_render_byte_identically_to_monolithic() {
+        let budget = Seconds::from_nano(150.0);
+        let design = extracted_deck(7);
+        let mono = design.analyze(0.5, budget).unwrap();
+        let shards = design.partition(3).unwrap();
+        let parts: Vec<TimingReport> = shards
+            .iter()
+            .map(|s| s.analyze(0.5, budget).unwrap())
+            .collect();
+        let composed = TimingReport::compose(parts.iter());
+        assert_eq!(composed.to_string(), mono.to_string());
+        assert_eq!(composed.endpoints.len(), mono.endpoints.len());
+        assert_eq!(composed.worst_slack(), mono.worst_slack());
+        // A single-part compose is the identity.
+        assert_eq!(
+            TimingReport::compose(std::iter::once(&mono)).to_string(),
+            mono.to_string()
+        );
+    }
+
+    #[test]
+    fn partition_carries_the_corner_set_and_composes_per_lane() {
+        let budget = Seconds::from_nano(150.0);
+        let mut design = extracted_deck(5);
+        let mut set = CornerSet::nominal();
+        let slow = set.push("slow", 1.3, 1.2, 1.1).unwrap();
+        set.push("fast", 0.85, 0.9, 0.95).unwrap();
+        set.override_net("net3", slow, 1.5, 1.4).unwrap();
+        design.set_corners(set);
+        let mono = design.analyze_corners(0.5, budget, 1).unwrap();
+        let shards = design.partition(2).unwrap();
+        let shard_analyses: Vec<CornerAnalysis> = shards
+            .iter()
+            .map(|s| s.analyze_corners(0.5, budget, 1).unwrap())
+            .collect();
+        for lane in 0..3 {
+            let mut parts: Vec<&TimingReport> = Vec::new();
+            for analysis in &shard_analyses {
+                assert_eq!(analysis.names(), mono.names());
+                parts.push(analysis.report(lane).unwrap());
+            }
+            let composed = TimingReport::compose(parts);
+            assert_eq!(
+                composed.to_string(),
+                mono.report(lane).unwrap().to_string(),
+                "lane {lane} diverged"
+            );
+        }
     }
 }

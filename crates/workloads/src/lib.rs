@@ -51,5 +51,5 @@ pub use crate::ladder::{distributed_line, rc_ladder, repeated_chain};
 pub use crate::mos_net::{mos_fanout_tree, representative_mos_fanout, MosNetOutputs, MosNetParams};
 pub use crate::pla::{PlaLine, PlaLineParams};
 pub use crate::random::RandomTreeConfig;
-pub use crate::requests::{request_mix, RequestMixParams};
+pub use crate::requests::{request_mix, shard_crossing_mix, shard_of, RequestMixParams};
 pub use crate::tech::Technology;

@@ -91,6 +91,10 @@ pub fn request_mix(
 
 fn one_request(nets: &[NetNodes], params: &RequestMixParams, rng: &mut Rng) -> String {
     let net = &nets[rng.index(nets.len())];
+    one_request_for(net, params, rng)
+}
+
+fn one_request_for(net: &NetNodes, params: &RequestMixParams, rng: &mut Rng) -> String {
     if rng.chance(params.eco_fraction) {
         return eco_request(net, rng);
     }
@@ -103,6 +107,65 @@ fn one_request(nets: &[NetNodes], params: &RequestMixParams, rng: &mut Rng) -> S
         u if u < 0.90 => "REPORT".to_string(),
         _ => format!("CERTIFY {:e}", params.certify_budget),
     }
+}
+
+/// The shard owning deck net `index` of `total` under an `shards`-way
+/// net-range partition — the client-side mirror of
+/// [`rctree_sta::Design::partition`]'s contiguous component split (each
+/// deck net of an extracted design is one connected component, in deck
+/// order).
+///
+/// # Panics
+///
+/// Panics if `index >= total`.
+pub fn shard_of(index: usize, total: usize, shards: usize) -> usize {
+    assert!(index < total, "net index out of range");
+    let count = shards.clamp(1, total);
+    index * count / total
+}
+
+/// One seeded *shard-crossing* request script per connection: request `r`
+/// of connection `c` targets shard `(c + r) % shards`, so every
+/// connection's consecutive requests hop across all writer shards (ECOs
+/// land on rotating shards, never spanning two) while `REPORT`/`CERTIFY`
+/// requests exercise cross-shard composition throughout.
+///
+/// With `shards == 1` this degenerates to a valid (though differently
+/// seeded-per-request) single-shard mix.  Determinism contract matches
+/// [`request_mix`]: same `(seed, connection)` → same script.
+///
+/// # Panics
+///
+/// Panics if `nets` is empty.
+pub fn shard_crossing_mix(
+    nets: &[(String, RcTree)],
+    connections: usize,
+    params: &RequestMixParams,
+    shards: usize,
+    seed: u64,
+) -> Vec<Vec<String>> {
+    assert!(!nets.is_empty(), "request mix needs at least one net");
+    let meta = net_nodes(nets);
+    let count = shards.clamp(1, meta.len());
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for i in 0..meta.len() {
+        by_shard[shard_of(i, meta.len(), count)].push(i);
+    }
+    (0..connections)
+        .map(|conn| {
+            let mut rng = Rng::from_seed(
+                seed.wrapping_mul(0xA076_1D64_78BD_642F)
+                    .wrapping_add(conn as u64 + 1),
+            );
+            (0..params.requests_per_connection)
+                .map(|r| {
+                    let pool = &by_shard[(conn + r) % count];
+                    let net = &meta[pool[rng.index(pool.len())]];
+                    one_request_for(net, params, &mut rng)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn eco_request(net: &NetNodes, rng: &mut Rng) -> String {
@@ -187,6 +250,68 @@ mod tests {
         assert!(all
             .iter()
             .any(|r| r.starts_with("QUERY ") && r.split_whitespace().count() == 3));
+    }
+
+    #[test]
+    fn shard_of_is_a_contiguous_clamped_partition() {
+        // 6 nets over 3 shards: 2 per shard, contiguous, in order.
+        let owners: Vec<usize> = (0..6).map(|i| shard_of(i, 6, 3)).collect();
+        assert_eq!(owners, [0, 0, 1, 1, 2, 2]);
+        // Monotone non-decreasing even when the split is uneven.
+        let uneven: Vec<usize> = (0..7).map(|i| shard_of(i, 7, 4)).collect();
+        assert!(uneven.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*uneven.last().unwrap(), 3);
+        // More shards than nets clamps to one net per shard.
+        assert_eq!(shard_of(1, 2, 8), 1);
+        // Zero shards behaves as one.
+        assert_eq!(shard_of(5, 6, 0), 0);
+    }
+
+    #[test]
+    fn shard_crossing_mix_rotates_target_shards_and_is_deterministic() {
+        let nets = trees();
+        let params = RequestMixParams {
+            requests_per_connection: 60,
+            eco_fraction: 0.5,
+            ..RequestMixParams::default()
+        };
+        let a = shard_crossing_mix(&nets, 3, &params, 3, 9);
+        assert_eq!(a, shard_crossing_mix(&nets, 3, &params, 3, 9));
+        assert_ne!(a, shard_crossing_mix(&nets, 3, &params, 3, 10));
+        // Request r of connection c names a net owned by shard (c + r) % 3
+        // whenever the request names a net at all.
+        for (conn, script) in a.iter().enumerate() {
+            for (r, request) in script.iter().enumerate() {
+                let expected = (conn + r) % 3;
+                let net = if let Some(rest) = request.strip_prefix("QUERY ") {
+                    rest.split_whitespace().next().unwrap().to_string()
+                } else if let Some(rest) = request.strip_prefix("ECO ") {
+                    rest.split_whitespace().nth(1).unwrap().to_string()
+                } else {
+                    continue;
+                };
+                let index = nets.iter().position(|(n, _)| *n == net).expect("deck net");
+                assert_eq!(
+                    shard_of(index, nets.len(), 3),
+                    expected,
+                    "request `{request}` off its rotation slot"
+                );
+            }
+        }
+        // Every generated ECO stays single-shard: all nets in one request
+        // line agree on an owner (the generator reuses one net per line).
+        for request in a.iter().flatten().filter(|r| r.starts_with("ECO ")) {
+            let body = request.strip_prefix("ECO ").unwrap();
+            let owners: Vec<usize> = body
+                .split(';')
+                .map(|d| {
+                    let net = d.split_whitespace().nth(1).unwrap();
+                    let index = nets.iter().position(|(n, _)| *n == net).unwrap();
+                    shard_of(index, nets.len(), 3)
+                })
+                .collect();
+            assert!(owners.windows(2).all(|w| w[0] == w[1]), "{request}");
+        }
     }
 
     #[test]
