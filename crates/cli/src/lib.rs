@@ -109,6 +109,21 @@ pub enum Command {
         /// Driver cell prepended to every extracted net.
         driver: String,
     },
+    /// Continuum certification over a box of global wire scales
+    /// (`rcdelay certify-over`): one symbolic polynomial analysis
+    /// certifies every `(r_scale, c_scale)` in the box and prints the
+    /// exact worst point — byte-identical to the payload of the server's
+    /// `CERTIFY --over` verb on the same decks.
+    CertifyOver {
+        /// SPEF deck paths (`-` for standard input).
+        decks: Vec<String>,
+        /// Driver cell prepended to every extracted net.
+        driver: String,
+        /// `r_scale` range (`--over-r`).
+        over_r: (f64, f64),
+        /// `c_scale` range (`--over-c`; nominal `(1, 1)` when omitted).
+        over_c: (f64, f64),
+    },
     /// Long-running timing server (`rcdelay serve`): load the decks into
     /// a shared design and serve the `rctree-serve` wire protocol.
     Serve {
@@ -213,12 +228,17 @@ rcdelay: Penfield-Rubinstein delay bounds for RC tree netlists
 usage: rcdelay [OPTIONS] <netlist-file>
        rcdelay eco [OPTIONS] --budget <seconds> <deck.spef> <edit-script>
        rcdelay report --budget <seconds> <deck.spef>...
+       rcdelay certify-over --budget <seconds> --over-r <lo..hi>
+                            [--over-c <lo..hi>] <deck.spef>...
        rcdelay serve --budget <seconds> [--port <n>] [--shards <n>] <deck.spef>...
        rcdelay bench-client [OPTIONS] <host:port> <deck.spef>
        rcdelay gen-deck [--nets <n>] [--seed <n>]
 
 `report` prints the deck-level design timing report (byte-identical to the
-server's REPORT payload on the same decks); `serve` starts the rctree-serve
+server's REPORT payload on the same decks); `certify-over` certifies the
+budget over a whole continuum box of wire scales through the symbolic
+polynomial lane and prints the exact worst point (byte-identical to the
+server's `CERTIFY --over` payload); `serve` starts the rctree-serve
 timing/ECO server (see crates/serve/README.md for the wire protocol);
 `bench-client` drives a running server with a seeded request mix and writes
 queries/s + latency percentiles to target/BENCH_serve.json; `gen-deck`
@@ -255,6 +275,11 @@ options:
                                smallest-slack corner against --budget);
                                byte-identical to the server's
                                `REPORT --corner` payload
+  --over-r <lo..hi>            certify-over: the r_scale range of the
+                               certification box (both ends positive and
+                               finite, lo <= hi; required)
+  --over-c <lo..hi>            certify-over: the c_scale range of the box
+                               (default 1..1, the nominal c line)
   --port <n>                   serve mode: TCP port on 127.0.0.1
                                (default 0 = ephemeral, printed on start)
   --shards <n>                 serve: partition the design into n writer
@@ -338,6 +363,7 @@ where
         Tree,
         Eco,
         DeckReport,
+        CertifyOver,
         Serve,
         BenchClient,
         GenDeck,
@@ -362,6 +388,8 @@ where
     let mut shutdown = false;
     let mut shards: Option<usize> = None;
     let mut poll_us: Option<u64> = None;
+    let mut over_r: Option<(f64, f64)> = None;
+    let mut over_c: Option<(f64, f64)> = None;
 
     while let Some(arg) = iter.next() {
         let arg = arg.as_ref();
@@ -370,6 +398,7 @@ where
             mode = match arg {
                 "eco" => Mode::Eco,
                 "report" => Mode::DeckReport,
+                "certify-over" => Mode::CertifyOver,
                 "serve" => Mode::Serve,
                 "bench-client" => Mode::BenchClient,
                 "gen-deck" => Mode::GenDeck,
@@ -473,6 +502,20 @@ where
                         })?,
                 );
             }
+            "--over-r" => {
+                let text = value_of("--over-r")?;
+                over_r = Some(
+                    rctree_core::algebra::parse_scale_range(&text)
+                        .map_err(|e| CliError::Usage(format!("--over-r: {e}")))?,
+                );
+            }
+            "--over-c" => {
+                let text = value_of("--over-c")?;
+                over_c = Some(
+                    rctree_core::algebra::parse_scale_range(&text)
+                        .map_err(|e| CliError::Usage(format!("--over-c: {e}")))?,
+                );
+            }
             "--out" => out = Some(value_of("--out")?),
             "--nets" => {
                 let text = value_of("--nets")?;
@@ -520,6 +563,12 @@ where
     if mode != Mode::GenDeck {
         refuse(nets.is_some(), "--nets only applies to `rcdelay gen-deck`")?;
     }
+    if mode != Mode::CertifyOver {
+        refuse(
+            over_r.is_some() || over_c.is_some(),
+            "--over-r/--over-c only apply to `rcdelay certify-over`",
+        )?;
+    }
     if !matches!(mode, Mode::BenchClient | Mode::GenDeck) {
         refuse(
             seed.is_some(),
@@ -533,6 +582,12 @@ where
         refuse(
             opts.corners.is_some(),
             "--corners only applies to `rcdelay report`, `rcdelay serve` and `rcdelay eco`",
+        )?;
+    }
+    if mode == Mode::CertifyOver {
+        refuse(
+            over_r.is_none(),
+            "certify-over mode requires --over-r <lo..hi> (the certification box)",
         )?;
     }
     if mode != Mode::DeckReport {
@@ -611,6 +666,22 @@ where
                     decks: positionals,
                     driver,
                 }
+            };
+        }
+        Mode::CertifyOver => {
+            if positionals.is_empty() {
+                return Err(CliError::Usage(
+                    "certify-over mode requires at least one <deck.spef>".into(),
+                ));
+            }
+            deck_mode_checks(&opts, "certify-over")?;
+            opts.format = InputFormat::Spef;
+            opts.path = positionals[0].clone();
+            opts.command = Command::CertifyOver {
+                decks: positionals,
+                driver,
+                over_r: over_r.expect("checked above"),
+                over_c: over_c.unwrap_or((1.0, 1.0)),
             };
         }
         Mode::BenchClient => {
@@ -967,6 +1038,50 @@ pub fn deck_report_from_paths(
         corners,
         corner,
     )
+}
+
+/// Runs the continuum certification (`rcdelay certify-over`): the decks
+/// stream through [`read_deck_nets`], one symbolic polynomial analysis of
+/// the published design snapshot certifies the whole `(r_scale, c_scale)`
+/// box, and the exact worst point is reported.  The payload line is
+/// rendered by the serve crate's shared formatter
+/// ([`rctree_serve::protocol::certify_over_line`]), so it is
+/// byte-identical to the server's `CERTIFY --over` response payload on
+/// the same decks.  The returned verdict (the certification at the worst
+/// point — `Pass` there proves the whole box) drives the exit status
+/// exactly like `--budget` elsewhere.
+///
+/// # Errors
+///
+/// As for [`deck_design_from_paths`], plus analysis errors.
+pub fn certify_over_from_paths(
+    paths: &[String],
+    driver: &str,
+    threshold: f64,
+    budget: f64,
+    jobs: usize,
+    over_r: (f64, f64),
+    over_c: (f64, f64),
+) -> Result<Report, CliError> {
+    let design = deck_design_from_paths(paths, driver, jobs)?;
+    let executor = rctree_serve::EcoExecutor::new(design, threshold, Seconds::new(budget), jobs)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let snapshot = executor.snapshot();
+    let over = rctree_serve::ScaleBox {
+        r: over_r,
+        c: over_c,
+    };
+    let text = rctree_serve::protocol::certify_over_line(&snapshot, budget, &over)
+        .map_err(CliError::Analysis)?;
+    let verdict = snapshot
+        .symbolic()
+        .map_err(|e| CliError::Analysis(e.to_string()))?
+        .certify_over(Seconds::new(budget), over.r, over.c)
+        .verdict;
+    Ok(Report {
+        text: format!("{text}\n"),
+        certification: Some(verdict),
+    })
 }
 
 fn render_deck_report(
@@ -1676,6 +1791,86 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
         ));
         assert!(matches!(
             parse_args(["gen-deck", "--corners", "x=1,1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn certify_over_arguments_parse_and_validate() {
+        let opts = parse_args([
+            "certify-over",
+            "--budget",
+            "1.2e-7",
+            "--over-r",
+            "0.8..1.4",
+            "--over-c",
+            "0.9..1.2",
+            "a.spef",
+            "b.spef",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.command,
+            Command::CertifyOver {
+                decks: vec!["a.spef".into(), "b.spef".into()],
+                driver: "inv_4x".into(),
+                over_r: (0.8, 1.4),
+                over_c: (0.9, 1.2),
+            }
+        );
+
+        // `--over-c` defaults to the degenerate nominal interval.
+        let opts = parse_args([
+            "certify-over",
+            "--budget",
+            "1.2e-7",
+            "--over-r",
+            "0.8..1.4",
+            "deck.spef",
+        ])
+        .unwrap();
+        assert!(matches!(
+            opts.command,
+            Command::CertifyOver {
+                over_c: (c0, c1),
+                ..
+            } if c0 == 1.0 && c1 == 1.0
+        ));
+
+        // The box is mandatory in certify-over mode and refused elsewhere;
+        // ranges must be finite, positive, and ordered; budget is mandatory.
+        assert!(matches!(
+            parse_args(["certify-over", "--budget", "1e-7", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--over-r", "0.8..1.4", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "certify-over",
+                "--budget",
+                "1e-7",
+                "--over-r",
+                "1.4..0.8",
+                "d.spef"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "certify-over",
+                "--budget",
+                "1e-7",
+                "--over-r",
+                "nope",
+                "d.spef"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["certify-over", "--over-r", "0.8..1.4", "d.spef"]),
             Err(CliError::Usage(_))
         ));
     }

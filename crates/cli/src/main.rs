@@ -12,9 +12,9 @@ use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 use rctree_cli::{
-    deck_design_from_paths, deck_report_from_paths, load_corner_set, load_tree, parse_args,
-    parse_eco_script_line, read_deck_nets, report, run_eco_path, CliError, Command, EcoSession,
-    Options, ScriptLine, USAGE,
+    certify_over_from_paths, deck_design_from_paths, deck_report_from_paths, load_corner_set,
+    load_tree, parse_args, parse_eco_script_line, read_deck_nets, report, run_eco_path, CliError,
+    Command, EcoSession, Options, ScriptLine, USAGE,
 };
 use rctree_core::cert::Certification;
 use rctree_core::units::Seconds;
@@ -122,6 +122,33 @@ fn main() -> ExitCode {
                 jobs,
                 corners.as_ref(),
                 opts.corner.as_deref(),
+            ) {
+                Ok(report) => {
+                    print!("{}", report.text);
+                    verdict_exit(report.certification)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Command::CertifyOver {
+            decks,
+            driver,
+            over_r,
+            over_c,
+        } => {
+            let budget = opts.budget.expect("certify-over mode requires --budget");
+            let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+            match certify_over_from_paths(
+                decks,
+                driver,
+                opts.threshold,
+                budget,
+                jobs,
+                *over_r,
+                *over_c,
             ) {
                 Ok(report) => {
                     print!("{}", report.text);
@@ -414,8 +441,12 @@ fn run_watch(script: &str, opts: &Options) -> ExitCode {
         // Polls with no new data while a partial line is pending; after two
         // quiet polls the pending text is treated as a complete final line,
         // so a script whose last line (e.g. `quit`) lacks a trailing
-        // newline cannot hang the session.
+        // newline cannot hang the session.  The poll interval rides the
+        // server's idle-backoff ramp (1 ms floor, 25 ms cap, reset on new
+        // data), so a bursty writer is tailed at the floor and an idle
+        // script costs a wake-up per cap interval.
         let mut quiet_polls = 0u32;
+        let mut idle = rctree_serve::Backoff::server_default();
         loop {
             match reader.read_line(&mut buf) {
                 Err(e) => {
@@ -441,10 +472,12 @@ fn run_watch(script: &str, opts: &Options) -> ExitCode {
                             continue;
                         }
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(40));
+                    std::thread::sleep(idle.current());
+                    idle.backoff();
                 }
                 Ok(_) => {
                     quiet_polls = 0;
+                    idle.reset();
                     if buf.ends_with('\n') {
                         line_no += 1;
                         let quit =

@@ -71,10 +71,154 @@
 //! # }
 //! ```
 
+use crate::algebra::{DelayValue, Poly2, SymbolicTimes};
 use crate::error::{CoreError, Result};
 use crate::moments::CharacteristicTimes;
 use crate::tree::{NodeId, RcTree};
 use crate::units::{Farads, Ohms, Seconds};
+
+/// The one-post-order + one-pre-order flat kernel, written once over the
+/// [delay algebra](crate::algebra): validation, prefix state, the `T_P` /
+/// `T_De` / `T_Re`-numerator sweep and the in-place `T_Re` normalisation,
+/// filling the caller's buffers and returning `(T_P, C_T)`.
+///
+/// Instantiated at `f64` this **is** the historical scalar kernel — every
+/// operation maps onto the identical native float operation in the identical
+/// order (see the bit-identity contract in [`crate::algebra`]), which the
+/// tests below pin with `assert_eq!` against the independent
+/// [`crate::incremental::raw_times`] traversal.  Instantiated at
+/// [`Poly2`] the same traversal yields every characteristic time as a
+/// polynomial in the uniform `(r, c)` scale factors.
+// Four parallel output buffers plus the four input arrays: the flat-array
+// calling convention is the point of this kernel, so the argument count is
+// inherent.
+#[allow(clippy::too_many_arguments)]
+fn sweep_algebra<V: DelayValue>(
+    parent: &[u32],
+    branch_r: &[f64],
+    branch_c: &[f64],
+    node_cap: &[f64],
+    path_r: &mut Vec<V>,
+    down_cap: &mut Vec<V>,
+    t_d: &mut Vec<V>,
+    t_r: &mut Vec<V>,
+) -> Result<(V, V)> {
+    let n = parent.len();
+    if n == 0 || branch_r.len() != n || branch_c.len() != n || node_cap.len() != n {
+        return Err(CoreError::InvalidValue {
+            what: "pre-order array length",
+            value: n as f64,
+        });
+    }
+    if parent[0] != 0 {
+        return Err(CoreError::InvalidValue {
+            what: "pre-order root parent",
+            value: parent[0] as f64,
+        });
+    }
+    // The root has no feeding element; a nonzero root branch would make
+    // the total-capacitance and T_P accumulations inconsistent.
+    if branch_r[0] != 0.0 {
+        return Err(CoreError::InvalidValue {
+            what: "pre-order root branch resistance",
+            value: branch_r[0],
+        });
+    }
+    if branch_c[0] != 0.0 {
+        return Err(CoreError::InvalidValue {
+            what: "pre-order root branch capacitance",
+            value: branch_c[0],
+        });
+    }
+    for (i, &p) in parent.iter().enumerate().skip(1) {
+        if p as usize >= i {
+            return Err(CoreError::InvalidValue {
+                what: "pre-order parent index",
+                value: p as f64,
+            });
+        }
+    }
+
+    // Total capacitance exactly as `RcTree::total_capacitance`: the lumped
+    // sum and the distributed sum are accumulated separately (in id order)
+    // and added at the end.
+    let mut lumped = V::zero();
+    for &c in node_cap {
+        lumped = lumped.add(&V::from_c(c));
+    }
+    let mut distributed = V::zero();
+    for &c in &branch_c[1..] {
+        distributed = distributed.add(&V::from_c(c));
+    }
+    let total_cap = lumped.add(&distributed);
+    if total_cap.is_zero() {
+        return Err(CoreError::NoCapacitance);
+    }
+
+    // Derived prefix state, in the same order as `TraversalCache::build`
+    // (pre-order equals id order here by construction).
+    path_r.clear();
+    path_r.resize(n, V::zero());
+    for i in 1..n {
+        path_r[i] = path_r[parent[i] as usize].add(&V::from_r(branch_r[i]));
+    }
+    down_cap.clear();
+    for &c in node_cap {
+        down_cap.push(V::from_c(c));
+    }
+    for i in (1..n).rev() {
+        let p = parent[i] as usize;
+        down_cap[p] = down_cap[p].add(&down_cap[i].add(&V::from_c(branch_c[i])));
+    }
+
+    // The raw sweep, in the same order as `incremental::raw_times`.
+    let mut t_p = V::zero();
+    for i in 0..n {
+        let p = parent[i] as usize;
+        let term = V::from_c(node_cap[i])
+            .mul(&path_r[i])
+            .add(&V::from_c(branch_c[i]).mul(&path_r[p].add(&V::from_r(branch_r[i]).div(2.0))));
+        t_p = t_p.add(&term);
+    }
+    t_d.clear();
+    t_d.resize(n, V::zero());
+    t_r.clear();
+    t_r.resize(n, V::zero());
+    for i in 1..n {
+        let p = parent[i] as usize;
+        let r = V::from_r(branch_r[i]);
+        let c_line = V::from_c(branch_c[i]);
+        let c_sub = down_cap[i].clone();
+        let (r_pp, r_cc) = (path_r[p].clone(), path_r[i].clone());
+        t_d[i] = t_d[p].add(&r.mul(&c_sub.add(&c_line.div(2.0))));
+        t_r[i] = t_r[p]
+            .add(&r_cc.add(&r_pp).mul(&r).mul(&c_sub))
+            .add(&c_line.mul(&r_pp.mul(&r).add(&r.mul(&r).div(3.0))));
+    }
+    // Normalise the T_Re numerator in place, as `from_raw` does.
+    for i in 0..n {
+        if t_r[i].is_zero() {
+            // No capacitor shares any resistance with this node.
+        } else if path_r[i].is_zero() {
+            return Err(CoreError::NoPathResistance { output: NodeId(i) });
+        } else {
+            match t_r[i].div_exact(&path_r[i]) {
+                Some(v) => t_r[i] = v,
+                // Unreachable for kernel-produced values: the divisor is a
+                // path resistance, which every instance's divisor class
+                // covers (f64: nonzero scalar; Poly2: the r-monomial).
+                None => {
+                    return Err(CoreError::InvalidValue {
+                        what: "path-resistance divisor",
+                        value: i as f64,
+                    })
+                }
+            }
+        }
+    }
+
+    Ok((t_p, total_cap))
+}
 
 /// Characteristic times of every node of one tree, computed in `O(n)`.
 ///
@@ -166,10 +310,11 @@ impl BatchTimes {
     /// insertion order and the traversal cache derives every prefix sum in
     /// pre-order, the result is **bit-identical** to
     /// [`BatchTimes::of`] on a builder-constructed tree whose insertion
-    /// order was a pre-order walk of the same shape — every accumulation
-    /// below runs in the same order with the same operations.  The
-    /// `rctree-sta` stage tests pin this equivalence against
-    /// `analyze_stage`.
+    /// order was a pre-order walk of the same shape — the shared generic
+    /// kernel (see [`crate::algebra`]) runs every accumulation in the same
+    /// order with the same operations, and its `f64` instantiation *is* the
+    /// scalar kernel.  The `rctree-sta` stage tests pin this equivalence
+    /// against `analyze_stage`.
     ///
     /// # Errors
     ///
@@ -184,90 +329,25 @@ impl BatchTimes {
         branch_c: &[f64],
         node_cap: &[f64],
     ) -> Result<Self> {
-        let n = parent.len();
-        if n == 0 || branch_r.len() != n || branch_c.len() != n || node_cap.len() != n {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order array length",
-                value: n as f64,
-            });
-        }
-        if parent[0] != 0 {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order root parent",
-                value: parent[0] as f64,
-            });
-        }
-        // The root has no feeding element; a nonzero root branch would make
-        // the total-capacitance and T_P accumulations inconsistent.
-        if branch_r[0] != 0.0 {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order root branch resistance",
-                value: branch_r[0],
-            });
-        }
-        if branch_c[0] != 0.0 {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order root branch capacitance",
-                value: branch_c[0],
-            });
-        }
-        for (i, &p) in parent.iter().enumerate().skip(1) {
-            if p as usize >= i {
-                return Err(CoreError::InvalidValue {
-                    what: "pre-order parent index",
-                    value: p as f64,
-                });
-            }
-        }
-
-        // Total capacitance exactly as `RcTree::total_capacitance`: the
-        // lumped sum and the distributed sum are accumulated separately (in
-        // id order) and added at the end.
-        let lumped: f64 = node_cap.iter().sum();
-        let distributed: f64 = branch_c[1..].iter().sum();
-        let total_cap = lumped + distributed;
-        if total_cap == 0.0 {
-            return Err(CoreError::NoCapacitance);
-        }
-
-        // Derived prefix state, in the same order as `TraversalCache::build`
-        // (pre-order equals id order here by construction).
-        let mut path_r = vec![0.0_f64; n];
-        for i in 1..n {
-            path_r[i] = path_r[parent[i] as usize] + branch_r[i];
-        }
-        let mut down_cap = node_cap.to_vec();
-        for i in (1..n).rev() {
-            down_cap[parent[i] as usize] += down_cap[i] + branch_c[i];
-        }
-
-        // The raw sweep, in the same order as `incremental::raw_times`.
-        let mut t_p = 0.0_f64;
-        for i in 0..n {
-            let p = parent[i] as usize;
-            t_p += node_cap[i] * path_r[i] + branch_c[i] * (path_r[p] + branch_r[i] / 2.0);
-        }
-        let mut t_d = vec![0.0_f64; n];
-        let mut t_r_num = vec![0.0_f64; n];
-        for i in 1..n {
-            let p = parent[i] as usize;
-            let r = branch_r[i];
-            let c_line = branch_c[i];
-            let c_sub = down_cap[i];
-            let (r_pp, r_cc) = (path_r[p], path_r[i]);
-            t_d[i] = t_d[p] + r * (c_sub + c_line / 2.0);
-            t_r_num[i] = t_r_num[p] + (r_cc + r_pp) * r * c_sub + c_line * (r_pp * r + r * r / 3.0);
-        }
-
-        Self::from_raw(
-            crate::incremental::RawTimes {
-                t_p,
-                total_cap,
-                t_d,
-                t_r_num,
-            },
-            path_r,
-        )
+        let (mut path_r, mut down_cap) = (Vec::new(), Vec::new());
+        let (mut t_d, mut t_r) = (Vec::new(), Vec::new());
+        let (t_p, total_cap) = sweep_algebra::<f64>(
+            parent,
+            branch_r,
+            branch_c,
+            node_cap,
+            &mut path_r,
+            &mut down_cap,
+            &mut t_d,
+            &mut t_r,
+        )?;
+        Ok(BatchTimes {
+            t_p,
+            total_cap,
+            r_ee: path_r,
+            t_d,
+            t_r,
+        })
     }
 
     /// Number of analysed nodes (every node of the source tree).
@@ -394,91 +474,15 @@ impl BatchScratch {
         branch_c: &[f64],
         node_cap: &[f64],
     ) -> Result<BatchView<'a>> {
-        let n = parent.len();
-        if n == 0 || branch_r.len() != n || branch_c.len() != n || node_cap.len() != n {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order array length",
-                value: n as f64,
-            });
-        }
-        if parent[0] != 0 {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order root parent",
-                value: parent[0] as f64,
-            });
-        }
-        if branch_r[0] != 0.0 {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order root branch resistance",
-                value: branch_r[0],
-            });
-        }
-        if branch_c[0] != 0.0 {
-            return Err(CoreError::InvalidValue {
-                what: "pre-order root branch capacitance",
-                value: branch_c[0],
-            });
-        }
-        for (i, &p) in parent.iter().enumerate().skip(1) {
-            if p as usize >= i {
-                return Err(CoreError::InvalidValue {
-                    what: "pre-order parent index",
-                    value: p as f64,
-                });
-            }
-        }
-
-        let lumped: f64 = node_cap.iter().sum();
-        let distributed: f64 = branch_c[1..].iter().sum();
-        let total_cap = lumped + distributed;
-        if total_cap == 0.0 {
-            return Err(CoreError::NoCapacitance);
-        }
-
-        let path_r = &mut self.path_r;
-        path_r.clear();
-        path_r.resize(n, 0.0);
-        for i in 1..n {
-            path_r[i] = path_r[parent[i] as usize] + branch_r[i];
-        }
-        let down_cap = &mut self.down_cap;
-        down_cap.clear();
-        down_cap.extend_from_slice(node_cap);
-        for i in (1..n).rev() {
-            down_cap[parent[i] as usize] += down_cap[i] + branch_c[i];
-        }
-
-        let mut t_p = 0.0_f64;
-        for i in 0..n {
-            let p = parent[i] as usize;
-            t_p += node_cap[i] * path_r[i] + branch_c[i] * (path_r[p] + branch_r[i] / 2.0);
-        }
-        let t_d = &mut self.t_d;
-        t_d.clear();
-        t_d.resize(n, 0.0);
-        let t_r = &mut self.t_r;
-        t_r.clear();
-        t_r.resize(n, 0.0);
-        for i in 1..n {
-            let p = parent[i] as usize;
-            let r = branch_r[i];
-            let c_line = branch_c[i];
-            let c_sub = down_cap[i];
-            let (r_pp, r_cc) = (path_r[p], path_r[i]);
-            t_d[i] = t_d[p] + r * (c_sub + c_line / 2.0);
-            t_r[i] = t_r[p] + (r_cc + r_pp) * r * c_sub + c_line * (r_pp * r + r * r / 3.0);
-        }
-        // Normalise the T_Re numerator in place, as `from_raw` does.
-        for (i, num) in t_r.iter_mut().enumerate() {
-            if *num == 0.0 {
-                // No capacitor shares any resistance with this node.
-            } else if path_r[i] == 0.0 {
-                return Err(CoreError::NoPathResistance { output: NodeId(i) });
-            } else {
-                *num /= path_r[i];
-            }
-        }
-
+        let BatchScratch {
+            path_r,
+            down_cap,
+            t_d,
+            t_r,
+        } = self;
+        let (t_p, total_cap) = sweep_algebra::<f64>(
+            parent, branch_r, branch_c, node_cap, path_r, down_cap, t_d, t_r,
+        )?;
         Ok(BatchView {
             t_p,
             total_cap,
@@ -510,6 +514,105 @@ impl BatchView<'_> {
             Ohms::new(self.r_ee[index]),
             Farads::new(self.total_cap),
         )
+    }
+
+    /// Number of analysed nodes.
+    pub fn node_count(&self) -> usize {
+        self.r_ee.len()
+    }
+}
+
+/// Reusable buffers for **symbolic** pre-order sweeps: the same generic
+/// kernel as [`BatchScratch::sweep`], instantiated at [`Poly2`], so one
+/// traversal yields every node's characteristic times as polynomials in the
+/// uniform resistance/capacitance scale factors `(r, c)`.
+///
+/// The input arrays carry the *nominal* element values; the algebra's
+/// injectors attach the symbolic scale to each element (`x` ohms becomes
+/// `x·r`, `y` farads becomes `y·c`).  Because the kernel is shared and
+/// `Poly2` coefficient arithmetic applies the identical scalar operations
+/// cellwise, evaluating any result at `(1, 1)` reproduces the scalar
+/// sweep's nominal value **bit-for-bit** (pinned by a test below), and
+/// evaluating at any `(r, c)` agrees with a scalar sweep of pre-scaled
+/// arrays to rounding.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicScratch {
+    path_r: Vec<Poly2>,
+    down_cap: Vec<Poly2>,
+    t_d: Vec<Poly2>,
+    t_r: Vec<Poly2>,
+}
+
+/// The result of one [`SymbolicScratch::sweep`], borrowing the scratch
+/// buffers: per-node characteristic-time polynomials in `(r, c)`.
+#[derive(Debug)]
+pub struct SymbolicView<'a> {
+    t_p: Poly2,
+    total_cap: Poly2,
+    r_ee: &'a [Poly2],
+    t_d: &'a [Poly2],
+    t_r: &'a [Poly2],
+}
+
+impl SymbolicScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        SymbolicScratch::default()
+    }
+
+    /// Runs the [`BatchTimes::of_preorder`] sweep symbolically over nominal
+    /// pre-order arrays, reusing this scratch's buffers.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`BatchTimes::of_preorder`] on the same
+    /// inputs, in the same detection order.
+    pub fn sweep<'a>(
+        &'a mut self,
+        parent: &[u32],
+        branch_r: &[f64],
+        branch_c: &[f64],
+        node_cap: &[f64],
+    ) -> Result<SymbolicView<'a>> {
+        let SymbolicScratch {
+            path_r,
+            down_cap,
+            t_d,
+            t_r,
+        } = self;
+        let (t_p, total_cap) = sweep_algebra::<Poly2>(
+            parent, branch_r, branch_c, node_cap, path_r, down_cap, t_d, t_r,
+        )?;
+        Ok(SymbolicView {
+            t_p,
+            total_cap,
+            r_ee: path_r,
+            t_d,
+            t_r,
+        })
+    }
+}
+
+impl SymbolicView<'_> {
+    /// The complete symbolic signature of the node at a pre-order index
+    /// (`O(1)` — copies five small coefficient grids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotFound`] if `index` is out of range.
+    pub fn times_at(&self, index: usize) -> Result<SymbolicTimes> {
+        if index >= self.r_ee.len() {
+            return Err(CoreError::NodeNotFound {
+                node: NodeId(index),
+            });
+        }
+        Ok(SymbolicTimes {
+            t_p: self.t_p,
+            t_d: self.t_d[index],
+            t_r: self.t_r[index],
+            r_ee: self.r_ee[index],
+            total_cap: self.total_cap,
+        })
     }
 
     /// Number of analysed nodes.
@@ -1089,6 +1192,107 @@ mod tests {
             ),
             Err(CoreError::NoCapacitance)
         ));
+    }
+
+    #[test]
+    fn symbolic_sweep_at_nominal_is_bit_identical_to_scalar_sweep() {
+        // Evaluating the Poly2 lane at (1, 1) must reproduce the scalar
+        // kernel's exact bits: the generic kernel applies the identical
+        // scalar operations cellwise and Horner evaluation at 1.0 returns
+        // the lone coefficient unchanged.
+        let tree = branching_tree_with_lines();
+        let cache = tree.traversal();
+        let mut scratch = BatchScratch::new();
+        let want = scratch
+            .sweep(
+                &cache.parent,
+                &cache.branch_r,
+                &cache.branch_c,
+                &cache.node_cap,
+            )
+            .unwrap();
+        let mut sym = SymbolicScratch::new();
+        let view = sym
+            .sweep(
+                &cache.parent,
+                &cache.branch_r,
+                &cache.branch_c,
+                &cache.node_cap,
+            )
+            .unwrap();
+        assert_eq!(view.node_count(), want.node_count());
+        for i in 0..want.node_count() {
+            let s = view.times_at(i).unwrap();
+            let w = want.times_at(i).unwrap();
+            assert_eq!(s.t_p.eval(1.0, 1.0), w.t_p.value(), "node {i}");
+            assert_eq!(s.t_d.eval(1.0, 1.0), w.t_d.value(), "node {i}");
+            assert_eq!(s.t_r.eval(1.0, 1.0), w.t_r.value(), "node {i}");
+            assert_eq!(s.r_ee.eval(1.0, 1.0), w.r_ee.value(), "node {i}");
+            assert_eq!(s.total_cap.eval(1.0, 1.0), w.total_cap.value(), "node {i}");
+        }
+        assert!(matches!(
+            view.times_at(999),
+            Err(CoreError::NodeNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn symbolic_sweep_evaluates_to_the_scaled_scalar_sweep() {
+        // Poly2 at (r, c) must agree with the scalar kernel run on arrays
+        // pre-scaled by (r, c) — the materialized-corner contract, to
+        // rounding.
+        let tree = branching_tree_with_lines();
+        let cache = tree.traversal();
+        let mut sym = SymbolicScratch::new();
+        // Pollute the scratch first: reuse must not leak state.
+        sym.sweep(&[0, 0], &[0.0, 7.0], &[0.0, 0.0], &[3.0, 4.0])
+            .unwrap();
+        let view = sym
+            .sweep(
+                &cache.parent,
+                &cache.branch_r,
+                &cache.branch_c,
+                &cache.node_cap,
+            )
+            .unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
+        for &(rs, cs) in &[(1.3, 1.2), (0.8, 0.9), (2.5, 0.4)] {
+            let branch_r: Vec<f64> = cache.branch_r.iter().map(|&r| r * rs).collect();
+            let branch_c: Vec<f64> = cache.branch_c.iter().map(|&c| c * cs).collect();
+            let node_cap: Vec<f64> = cache.node_cap.iter().map(|&c| c * cs).collect();
+            let mut scratch = BatchScratch::new();
+            let want = scratch
+                .sweep(&cache.parent, &branch_r, &branch_c, &node_cap)
+                .unwrap();
+            for i in 0..want.node_count() {
+                let s = view.times_at(i).unwrap();
+                let w = want.times_at(i).unwrap();
+                assert!(rel(s.t_p.eval(rs, cs), w.t_p.value()) < 1e-12);
+                assert!(rel(s.t_d.eval(rs, cs), w.t_d.value()) < 1e-12);
+                assert!(rel(s.t_r.eval(rs, cs), w.t_r.value()) < 1e-12);
+                assert!(rel(s.r_ee.eval(rs, cs), w.r_ee.value()) < 1e-12);
+                assert!(rel(s.total_cap.eval(rs, cs), w.total_cap.value()) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_sweep_rejects_malformed_inputs_like_of_preorder() {
+        type Case<'a> = (&'a [u32], &'a [f64], &'a [f64], &'a [f64]);
+        let mut sym = SymbolicScratch::new();
+        let cases: [Case; 6] = [
+            (&[], &[], &[], &[]),
+            (&[0, 0], &[0.0], &[0.0, 0.0], &[1.0, 1.0]),
+            (&[1, 0, 1], &[0.0; 3], &[0.0; 3], &[1.0; 3]),
+            (&[0, 0], &[3.0, 5.0], &[0.0, 0.0], &[1.0, 1.0]),
+            (&[0, 0], &[0.0, 5.0], &[2.0, 0.0], &[1.0, 1.0]),
+            (&[0, 0], &[0.0, 5.0], &[0.0, 0.0], &[0.0, 0.0]),
+        ];
+        for (parent, r, c, cap) in cases {
+            let want = BatchTimes::of_preorder(parent, r, c, cap).unwrap_err();
+            let got = sym.sweep(parent, r, c, cap).map(|_| ()).unwrap_err();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@
 //! # }
 //! ```
 
+use crate::algebra::{DelayValue, Poly2, SymbolicTimes};
 use crate::cert::Certification;
 use crate::error::{CoreError, Result};
 use crate::moments::CharacteristicTimes;
@@ -110,6 +111,106 @@ impl DelayBounds {
             (self.upper - self.lower) / self.upper
         }
     }
+}
+
+/// The delay bounds of one output as polynomials in the uniform `(r, c)`
+/// scale factors — the symbolic analogue of [`DelayBounds`].
+///
+/// Produced by [`symbolic_delay_bounds`]; evaluate at a concrete scale
+/// point with [`SymbolicDelayBounds::eval`], or read sensitivities
+/// (`∂bound/∂r`, `∂bound/∂c`) straight off the coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolicDelayBounds {
+    /// Guaranteed minimum delay as a polynomial in `(r, c)` (Eqs. 13–15).
+    pub lower: Poly2,
+    /// Guaranteed maximum delay as a polynomial in `(r, c)` (Eqs. 16–17).
+    pub upper: Poly2,
+}
+
+impl SymbolicDelayBounds {
+    /// Symbolic bounds that are identically zero (a zero-Elmore output).
+    pub const ZERO: SymbolicDelayBounds = SymbolicDelayBounds {
+        lower: Poly2::ZERO,
+        upper: Poly2::ZERO,
+    };
+
+    /// The concrete [`DelayBounds`] at one scale point.
+    pub fn eval(&self, r: f64, c: f64) -> DelayBounds {
+        DelayBounds {
+            lower: Seconds::new(self.lower.eval(r, c)),
+            upper: Seconds::new(self.upper.eval(r, c)),
+        }
+    }
+
+    /// `(∂upper/∂r, ∂upper/∂c)` at one scale point — the delay
+    /// sensitivities of the certified (worst-case) bound.
+    pub fn upper_sens_at(&self, r: f64, c: f64) -> (f64, f64) {
+        (self.upper.eval_dr(r, c), self.upper.eval_dc(r, c))
+    }
+
+    /// `(∂lower/∂r, ∂lower/∂c)` at one scale point.
+    pub fn lower_sens_at(&self, r: f64, c: f64) -> (f64, f64) {
+        (self.lower.eval_dr(r, c), self.lower.eval_dc(r, c))
+    }
+}
+
+/// The delay bounds of one output, **symbolically** over the uniform scale
+/// factors: for every `r, c > 0`, `symbolic_delay_bounds(t, v).eval(r, c)`
+/// equals the scalar [`CharacteristicTimes::delay_bounds`] of the network
+/// with every resistance multiplied by `r` and every capacitance by `c`
+/// (to rounding).
+///
+/// This is exact, not an approximation, because uniform scaling turns every
+/// characteristic time into a single shared monomial `m(r, c)` (for a full
+/// sweep, `m = r·c`) with `m > 0` on positive scales: the log argument
+/// `T_D/(T_P·(1−v))` is scale-invariant, and every `max`/`min` in
+/// Eqs. 13–17 commutes with multiplication by a positive `m`, so
+/// `bounds(r, c) = bounds(1, 1) · m(r, c)` identically.
+///
+/// # Errors
+///
+/// * [`CoreError::ThresholdOutOfRange`] unless `0 < threshold < 1`;
+/// * [`CoreError::InvalidValue`] if the characteristic times do not share a
+///   single monomial shape (unreachable for values produced by the
+///   symbolic kernel, which scales uniformly by construction).
+pub fn symbolic_delay_bounds(times: &SymbolicTimes, threshold: f64) -> Result<SymbolicDelayBounds> {
+    check_threshold(threshold)?;
+    if times.t_d.is_zero() {
+        return Ok(SymbolicDelayBounds::ZERO);
+    }
+    let non_uniform = || CoreError::InvalidValue {
+        what: "symbolic characteristic-time shape",
+        value: f64::NAN,
+    };
+    let (di, dj, t_d) = times.t_d.as_monomial().ok_or_else(non_uniform)?;
+    let (pi, pj, t_p) = times.t_p.as_monomial().ok_or_else(non_uniform)?;
+    if (pi, pj) != (di, dj) {
+        return Err(non_uniform());
+    }
+    let t_r = if times.t_r.is_zero() {
+        0.0
+    } else {
+        let (ri, rj, t_r) = times.t_r.as_monomial().ok_or_else(non_uniform)?;
+        if (ri, rj) != (di, dj) {
+            return Err(non_uniform());
+        }
+        t_r
+    };
+    // The nominal bounds, computed with the exact float sequence of
+    // `delay_lower_bound` / `delay_upper_bound` on the coefficient values
+    // (which are the nominal characteristic times bit-for-bit).
+    let one_minus_v = 1.0 - threshold;
+    let ln_arg = t_d / (t_p * one_minus_v);
+    let mut lower = 0.0_f64;
+    lower = lower.max(t_d - t_p * one_minus_v);
+    lower = lower.max(t_r * ln_arg.ln());
+    let hyperbolic = t_d / one_minus_v - t_r;
+    let logarithmic = t_p - t_r + (t_p * ln_arg.ln()).max(0.0);
+    let upper = hyperbolic.min(logarithmic).max(lower);
+    Ok(SymbolicDelayBounds {
+        lower: Poly2::monomial(di, dj, lower),
+        upper: Poly2::monomial(di, dj, upper),
+    })
 }
 
 impl CharacteristicTimes {
@@ -490,6 +591,115 @@ mod tests {
             upper: Seconds::ZERO,
         };
         assert_eq!(zero.relative_uncertainty(), 0.0);
+    }
+
+    #[test]
+    fn symbolic_bounds_match_scaled_scalar_bounds_everywhere() {
+        use crate::batch::{BatchScratch, SymbolicScratch};
+        // A small pre-order net: root, a wire line, a branch point, two
+        // sinks with lumped loads.
+        let parent: &[u32] = &[0, 0, 1, 2, 2];
+        let branch_r: &[f64] = &[0.0, 120.0, 45.0, 80.0, 30.0];
+        let branch_c: &[f64] = &[0.0, 4e-14, 1e-14, 0.0, 2e-14];
+        let node_cap: &[f64] = &[0.0, 1e-14, 0.0, 9e-14, 5e-14];
+        let mut sym = SymbolicScratch::new();
+        let view = sym.sweep(parent, branch_r, branch_c, node_cap).unwrap();
+        let threshold = 0.5;
+        for &(rs, cs) in &[(1.0, 1.0), (0.8, 1.4), (1.4, 0.9), (2.0, 2.0)] {
+            let br: Vec<f64> = branch_r.iter().map(|&r| r * rs).collect();
+            let bc: Vec<f64> = branch_c.iter().map(|&c| c * cs).collect();
+            let nc: Vec<f64> = node_cap.iter().map(|&c| c * cs).collect();
+            let mut scratch = BatchScratch::new();
+            let scaled = scratch.sweep(parent, &br, &bc, &nc).unwrap();
+            for i in 0..view.node_count() {
+                let st = view.times_at(i).unwrap();
+                let sb = symbolic_delay_bounds(&st, threshold).unwrap();
+                let want = scaled.times_at(i).unwrap().delay_bounds(threshold).unwrap();
+                let got = sb.eval(rs, cs);
+                let rel = |a: Seconds, b: Seconds| {
+                    (a.value() - b.value()).abs() / b.value().abs().max(1e-30)
+                };
+                assert!(rel(got.lower, want.lower) < 1e-9, "node {i} at ({rs},{cs})");
+                assert!(rel(got.upper, want.upper) < 1e-9, "node {i} at ({rs},{cs})");
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_bounds_at_nominal_are_bit_identical_to_scalar_bounds() {
+        use crate::batch::{BatchScratch, SymbolicScratch};
+        let parent: &[u32] = &[0, 0, 1, 1];
+        let branch_r: &[f64] = &[0.0, 200.0, 60.0, 75.0];
+        let branch_c: &[f64] = &[0.0, 1e-14, 3e-15, 0.0];
+        let node_cap: &[f64] = &[0.0, 0.0, 2e-14, 6e-14];
+        let mut sym = SymbolicScratch::new();
+        let view = sym.sweep(parent, branch_r, branch_c, node_cap).unwrap();
+        let mut scratch = BatchScratch::new();
+        let scalar = scratch.sweep(parent, branch_r, branch_c, node_cap).unwrap();
+        for i in 0..view.node_count() {
+            for &v in &[0.1, 0.5, 0.9] {
+                let sb = symbolic_delay_bounds(&view.times_at(i).unwrap(), v).unwrap();
+                let want = scalar.times_at(i).unwrap().delay_bounds(v).unwrap();
+                assert_eq!(sb.eval(1.0, 1.0), want, "node {i} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_bounds_sensitivities_match_finite_differences() {
+        use crate::batch::SymbolicScratch;
+        let parent: &[u32] = &[0, 0, 1];
+        let branch_r: &[f64] = &[0.0, 150.0, 90.0];
+        let branch_c: &[f64] = &[0.0, 2e-14, 1e-14];
+        let node_cap: &[f64] = &[0.0, 0.0, 8e-14];
+        let mut sym = SymbolicScratch::new();
+        let view = sym.sweep(parent, branch_r, branch_c, node_cap).unwrap();
+        let sb = symbolic_delay_bounds(&view.times_at(2).unwrap(), 0.5).unwrap();
+        let h = 1e-6;
+        let fd_r = (sb.upper.eval(1.0 + h, 1.0) - sb.upper.eval(1.0 - h, 1.0)) / (2.0 * h);
+        let fd_c = (sb.upper.eval(1.0, 1.0 + h) - sb.upper.eval(1.0, 1.0 - h)) / (2.0 * h);
+        let (dr, dc) = sb.upper_sens_at(1.0, 1.0);
+        assert!((dr - fd_r).abs() <= 1e-9 * dr.abs().max(1e-30));
+        assert!((dc - fd_c).abs() <= 1e-9 * dc.abs().max(1e-30));
+        let (lr, lc) = sb.lower_sens_at(1.0, 1.0);
+        assert!(lr >= 0.0 && lc >= 0.0);
+        // Uniform full-sweep bounds are a pure r·c monomial: both partials
+        // at (1, 1) equal the nominal bound value.
+        assert_eq!(dr, sb.upper.eval(1.0, 1.0));
+        assert_eq!(dc, sb.upper.eval(1.0, 1.0));
+    }
+
+    #[test]
+    fn symbolic_bounds_reject_bad_thresholds_and_degenerate_shapes() {
+        use crate::algebra::Poly2;
+        let zero_elmore = SymbolicTimes {
+            t_p: Poly2::monomial(1, 1, 5.0),
+            t_d: Poly2::ZERO,
+            t_r: Poly2::ZERO,
+            r_ee: Poly2::monomial(1, 0, 1.0),
+            total_cap: Poly2::monomial(0, 1, 1.0),
+        };
+        assert_eq!(
+            symbolic_delay_bounds(&zero_elmore, 0.5).unwrap(),
+            SymbolicDelayBounds::ZERO
+        );
+        assert!(matches!(
+            symbolic_delay_bounds(&zero_elmore, 1.5),
+            Err(CoreError::ThresholdOutOfRange { .. })
+        ));
+        // Mixed-shape times cannot arise from the uniform kernel and are
+        // rejected rather than silently mis-scaled.
+        let mixed = SymbolicTimes {
+            t_p: Poly2::monomial(1, 0, 5.0),
+            t_d: Poly2::monomial(1, 1, 2.0),
+            t_r: Poly2::monomial(1, 1, 1.0),
+            r_ee: Poly2::monomial(1, 0, 1.0),
+            total_cap: Poly2::monomial(0, 1, 1.0),
+        };
+        assert!(matches!(
+            symbolic_delay_bounds(&mixed, 0.5),
+            Err(CoreError::InvalidValue { .. })
+        ));
     }
 
     #[test]

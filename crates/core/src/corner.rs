@@ -360,4 +360,70 @@ mod tests {
         );
         assert!(CornerSet::parse("override n1 nominal 1").is_err());
     }
+
+    /// The exact error strings are part of the CLI/server surface (they are
+    /// echoed verbatim to users), so pin them rather than just `is_err()`.
+    #[test]
+    fn parse_errors_name_the_offending_entry() {
+        let msg = |spec: &str| CornerSet::parse(spec).unwrap_err().to_string();
+
+        // Malformed override lines: wrong arity, unknown corner, bad scale.
+        assert_eq!(
+            msg("slow=1.3,1.2\noverride n1 slow 1.4"),
+            "corner spec: override `override n1 slow 1.4` must be \
+             `override <net> <corner> <r_scale> <c_scale>`"
+        );
+        assert_eq!(
+            msg("override n1 ghost 1.1 1.1"),
+            "corner spec: override names unknown corner `ghost`"
+        );
+        assert_eq!(
+            msg("slow=1.3,1.2\noverride n1 slow 1.1 oops"),
+            "corner spec: capacitance scale `oops` is not a number"
+        );
+        assert_eq!(
+            msg("slow=1.3,1.2\noverride n1 nominal 1.1 1.1"),
+            "corner spec: the nominal corner cannot be overridden \
+             (lane 0 is the unscaled deck)"
+        );
+
+        // Duplicate corner names, including the implicit nominal lane.
+        assert_eq!(
+            msg("slow=1.3,1.2;slow=1.1,1.1"),
+            "corner spec: duplicate corner name `slow`"
+        );
+        assert_eq!(
+            msg("nominal=1,1"),
+            "corner spec: duplicate corner name `nominal`"
+        );
+
+        // Non-finite and non-positive scales name axis and value.
+        assert_eq!(
+            msg("slow=inf,1.2"),
+            "corner spec: resistance scale inf must be finite and positive"
+        );
+        assert_eq!(
+            msg("slow=1.3,NaN"),
+            "corner spec: capacitance scale NaN must be finite and positive"
+        );
+        assert_eq!(
+            msg("slow=1.3,1.2,-2"),
+            "corner spec: delay scale -2 must be finite and positive"
+        );
+        assert_eq!(
+            msg("slow=0,1.2"),
+            "corner spec: resistance scale 0 must be finite and positive"
+        );
+
+        // Entry-shape errors echo the offending text.
+        assert_eq!(
+            msg("slow 1.3,1.2"),
+            "corner spec: entry `slow 1.3,1.2` must be \
+             `<name>=<r_scale>,<c_scale>[,<delay_scale>]`"
+        );
+        assert_eq!(
+            msg("slow=1.1,1.2,1.3,1.4"),
+            "corner spec: corner `slow` must list 2 or 3 scales, got 4"
+        );
+    }
 }

@@ -18,6 +18,7 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`units`] | `Ohms`, `Farads`, `Seconds`, `Volts` newtypes |
+//! | [`algebra`] | the delay algebra: `DelayValue` trait, `f64` scalar and `Poly2` symbolic instances |
 //! | [`element`], [`tree`], [`builder`] | the RC-tree data model |
 //! | [`resistance`] | path and shared resistances `R_kk`, `R_ke` |
 //! | [`moments`] | the characteristic times (direct and linear algorithms) |
@@ -77,6 +78,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod algebra;
 pub mod analysis;
 pub mod batch;
 pub mod bounds;
@@ -98,11 +100,15 @@ pub mod units;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
+    pub use crate::algebra::{DelayValue, Poly2, SymbolicTimes};
     pub use crate::analysis::{OutputTiming, TreeAnalysis};
     pub use crate::batch::{
-        BatchScratch, BatchTimes, BatchView, LaneArrays, LaneScratch, LanesView,
+        BatchScratch, BatchTimes, BatchView, LaneArrays, LaneScratch, LanesView, SymbolicScratch,
+        SymbolicView,
     };
-    pub use crate::bounds::{DelayBounds, VoltageBounds};
+    pub use crate::bounds::{
+        symbolic_delay_bounds, DelayBounds, SymbolicDelayBounds, VoltageBounds,
+    };
     pub use crate::builder::RcTreeBuilder;
     pub use crate::cert::Certification;
     pub use crate::corner::{Corner, CornerSet};
@@ -123,9 +129,13 @@ pub mod prelude {
     pub use crate::units::{Farads, OhmSeconds, Ohms, Seconds, Volts};
 }
 
+pub use crate::algebra::{DelayValue, Poly2, SymbolicTimes};
 pub use crate::analysis::TreeAnalysis;
-pub use crate::batch::{BatchScratch, BatchTimes, BatchView, LaneArrays, LaneScratch, LanesView};
-pub use crate::bounds::{DelayBounds, VoltageBounds};
+pub use crate::batch::{
+    BatchScratch, BatchTimes, BatchView, LaneArrays, LaneScratch, LanesView, SymbolicScratch,
+    SymbolicView,
+};
+pub use crate::bounds::{symbolic_delay_bounds, DelayBounds, SymbolicDelayBounds, VoltageBounds};
 pub use crate::builder::RcTreeBuilder;
 pub use crate::cert::Certification;
 pub use crate::corner::{Corner, CornerSet};

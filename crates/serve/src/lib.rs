@@ -10,12 +10,16 @@
 //!
 //! ```text
 //! QUERY <net> [node] [--corner <k|name>]   cached sink windows / per-node times
+//!       [--sens]                           (`--sens`: nominal dT/dr, dT/dc)
 //! REPORT [--corner <k|name|worst>]         one corner's full timing report
 //!                                          (== offline `rcdelay report`)
 //! ECO <edit-script-line>                   transactional edits, one slack-delta
 //!                                          line per edit (all lanes re-timed)
 //! CERTIFY <budget>                         certification against any budget;
 //!                                          worst corner over all lanes, named
+//! CERTIFY <budget> --over r <lo..hi>       continuum certification over a whole
+//!         [c <lo..hi>]                     box of wire scales (symbolic lane);
+//!                                          exact worst point, not a sampling
 //! STATS                                    server counters
 //! QUIT                                     close this connection
 //! SHUTDOWN                                 stop the server
@@ -72,8 +76,8 @@ pub mod session;
 pub mod store;
 
 pub use crate::loadgen::{run_load, LoadReport, VerbLatency};
-pub use crate::protocol::Request;
-pub use crate::server::{ServeConfig, ServeError, Server, DEFAULT_POLL_FLOOR};
+pub use crate::protocol::{Request, ScaleBox};
+pub use crate::server::{Backoff, ServeConfig, ServeError, Server, DEFAULT_POLL_FLOOR};
 pub use crate::session::{EcoCounts, EcoExecutor};
 pub use crate::store::{RenderedReportCache, ServerStats, SnapshotStore};
 

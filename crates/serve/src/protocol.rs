@@ -17,17 +17,32 @@
 
 use std::sync::Arc;
 
+use rctree_core::algebra::parse_scale_range;
 use rctree_core::cert::Certification;
 use rctree_core::units::Seconds;
-use rctree_sta::{DesignSnapshot, Load, TimingReport};
+use rctree_sta::{BoxCertification, DesignSnapshot, Load, TimingReport};
+
+/// A continuum certification box over the global wire scales: the operand
+/// of `CERTIFY <budget> --over r <lo..hi> [c <lo..hi>]`.  The `c` range
+/// defaults to the nominal point `(1, 1)` when omitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleBox {
+    /// `r_scale` range (both ends positive and finite, `lo ≤ hi`).
+    pub r: (f64, f64),
+    /// `c_scale` range (both ends positive and finite, `lo ≤ hi`).
+    pub c: (f64, f64),
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `QUERY <net> [node] [--corner <k|name>]` — cached sink windows of a
-    /// net, or on-demand characteristic times and delay bounds at one
-    /// interconnect node, in the selected timing corner (nominal when
-    /// omitted).
+    /// `QUERY <net> [node] [--corner <k|name>] [--sens]` — cached sink
+    /// windows of a net, or on-demand characteristic times and delay
+    /// bounds at one interconnect node, in the selected timing corner
+    /// (nominal when omitted).  `--sens` additionally reports the exact
+    /// polynomial sensitivities `dT/dr`, `dT/dc` of the node's upper
+    /// bound at nominal; it requires a node and cannot be combined with
+    /// `--corner`.
     Query {
         /// Net name.
         net: String,
@@ -35,6 +50,8 @@ pub enum Request {
         node: Option<String>,
         /// Optional corner selector: a lane index or a corner name.
         corner: Option<String>,
+        /// Whether to append the nominal wire-scale sensitivities.
+        sens: bool,
     },
     /// `REPORT [--corner <k|name|worst>]` — the full design timing report
     /// of one corner (nominal when omitted, `worst` for the smallest-slack
@@ -50,11 +67,16 @@ pub enum Request {
         /// The raw script line (everything after the verb).
         script: String,
     },
-    /// `CERTIFY <budget-seconds>` — three-valued certification against an
-    /// arbitrary budget.
+    /// `CERTIFY <budget-seconds> [--over r <lo..hi> [c <lo..hi>]]` —
+    /// three-valued certification against an arbitrary budget; with
+    /// `--over`, certified over the whole continuum box of global wire
+    /// scales via the symbolic polynomial lane (the exact worst point in
+    /// the box is reported, not a sampling).
     Certify {
         /// Required arrival time in seconds.
         budget: f64,
+        /// Optional continuum certification box.
+        over: Option<ScaleBox>,
     },
     /// `STATS` — server counters (not part of the deterministic surface).
     Stats,
@@ -97,21 +119,64 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Some(_) => Err(format!("`{verb}`: --corner takes a value")),
         }
     };
+    // Pulls an `--over r <lo..hi> [c <lo..hi>]` clause out of the argument
+    // list.  Ranges use the core scale-range grammar (`parse_scale_range`).
+    let take_over = |args: &mut Vec<&str>| -> Result<Option<ScaleBox>, String> {
+        let Some(i) = args.iter().position(|a| *a == "--over") else {
+            return Ok(None);
+        };
+        let usage = || format!("`{verb}`: --over takes `r <lo..hi> [c <lo..hi>]`");
+        if args.len() < i + 3 || args[i + 1] != "r" {
+            return Err(usage());
+        }
+        let r = parse_scale_range(args[i + 2]).map_err(|e| format!("`{verb}`: {e}"))?;
+        let mut consumed = 3;
+        let c = if args.len() > i + 3 && args[i + 3] == "c" {
+            if args.len() < i + 5 {
+                return Err(usage());
+            }
+            consumed = 5;
+            parse_scale_range(args[i + 4]).map_err(|e| format!("`{verb}`: {e}"))?
+        } else {
+            (1.0, 1.0)
+        };
+        args.drain(i..i + consumed);
+        Ok(Some(ScaleBox { r, c }))
+    };
+    // Pulls a bare flag out of the argument list.
+    let take_flag = |args: &mut Vec<&str>, flag: &str| -> bool {
+        match args.iter().position(|a| *a == flag) {
+            Some(i) => {
+                args.remove(i);
+                true
+            }
+            None => false,
+        }
+    };
     match verb.to_ascii_uppercase().as_str() {
         "QUERY" => {
             let corner = take_corner(&mut args)?;
+            let sens = take_flag(&mut args, "--sens");
+            if sens && corner.is_some() {
+                return Err("`QUERY`: --sens cannot be combined with --corner \
+                            (sensitivities are nominal wire-scale derivatives)"
+                    .into());
+            }
             match args.as_slice() {
+                [_net] if sens => Err("`QUERY`: --sens requires a node".into()),
                 [net] => Ok(Some(Request::Query {
                     net: (*net).to_string(),
                     node: None,
                     corner,
+                    sens,
                 })),
                 [net, node] => Ok(Some(Request::Query {
                     net: (*net).to_string(),
                     node: Some((*node).to_string()),
                     corner,
+                    sens,
                 })),
-                _ => Err("`QUERY` takes <net> [node] [--corner <k|name>]".into()),
+                _ => Err("`QUERY` takes <net> [node] [--corner <k|name>] [--sens]".into()),
             }
         }
         "REPORT" => {
@@ -129,13 +194,18 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             }
         }
         "CERTIFY" => {
-            exact(&args, 1, "<budget-seconds>")?;
+            let over = take_over(&mut args)?;
+            exact(
+                &args,
+                1,
+                "<budget-seconds> [--over r <lo..hi> [c <lo..hi>]]",
+            )?;
             let budget = args[0]
                 .parse::<f64>()
                 .ok()
                 .filter(|v| v.is_finite())
                 .ok_or_else(|| format!("`CERTIFY`: `{}` is not a finite number", args[0]))?;
-            Ok(Some(Request::Certify { budget }))
+            Ok(Some(Request::Certify { budget, over }))
         }
         "STATS" => {
             exact(&args, 0, "no arguments")?;
@@ -283,16 +353,19 @@ fn load_text(load: &Load) -> String {
     }
 }
 
-/// Renders the response block of `QUERY <net> [node] [--corner <k|name>]`
-/// against one snapshot.  Sink and node lines have the same shape in
-/// every corner; the selected corner is named on the final `OK` line when
-/// one was requested explicitly.
+/// Renders the response block of `QUERY <net> [node] [--corner <k|name>]
+/// [--sens]` against one snapshot.  Sink and node lines have the same
+/// shape in every corner; the selected corner is named on the final `OK`
+/// line when one was requested explicitly.  With `sens`, a
+/// `sens dT_dr … dT_dc …` payload line follows the node line — the exact
+/// derivatives of the node's symbolic upper bound at the nominal scales.
 pub fn render_query(
     snapshot: &DesignSnapshot,
     rev: u64,
     net: &str,
     node: Option<&str>,
     corner: Option<&str>,
+    sens: bool,
 ) -> Vec<String> {
     let selected = match corner.map(|c| resolve_corner(snapshot, c)).transpose() {
         Ok(selected) => selected,
@@ -321,8 +394,8 @@ pub fn render_query(
             lines
         }
         Some(node) => match timing.node_times_at(node, snapshot.threshold(), k) {
-            Ok((times, bounds)) => vec![
-                format!(
+            Ok((times, bounds)) => {
+                let mut lines = vec![format!(
                     "node {node} t_p {:e} t_d {:e} t_r {:e} elmore {:e} lower {:e} upper {:e}",
                     times.t_p.value(),
                     times.t_d.value(),
@@ -330,9 +403,18 @@ pub fn render_query(
                     times.elmore_delay().value(),
                     bounds.lower.value(),
                     bounds.upper.value()
-                ),
-                ok_selected(snapshot, rev, selected),
-            ],
+                )];
+                if sens {
+                    match timing.node_sens(node, snapshot.threshold()) {
+                        Ok((dr, dc)) => {
+                            lines.push(format!("sens dT_dr {dr:e} dT_dc {dc:e}"));
+                        }
+                        Err(e) => return vec![err_line(rev, &format!("query failed: {e}"))],
+                    }
+                }
+                lines.push(ok_selected(snapshot, rev, selected));
+                lines
+            }
             Err(e) => vec![err_line(rev, &format!("query failed: {e}"))],
         },
     }
@@ -397,6 +479,56 @@ pub fn render_certify(snapshot: &DesignSnapshot, rev: u64, budget: f64) -> Vec<S
         }
     };
     vec![certify, ok_selected(snapshot, rev, None)]
+}
+
+/// The `certify … over …` payload line: box, exact worst point, slack and
+/// verdict.  Range ends and the worst point print in Rust's shortest
+/// round-trip form, so the reported point can be fed back verbatim (e.g.
+/// into a materialized-corner spec) to reproduce the worst-case analysis.
+fn over_line(budget: f64, over: &ScaleBox, cert: &BoxCertification, verdict: &str) -> String {
+    format!(
+        "certify required {:e} over r {:?}..{:?} c {:?}..{:?} worst_slack {:e} \
+         worst at r={:?},c={:?} {}",
+        budget,
+        over.r.0,
+        over.r.1,
+        over.c.0,
+        over.c.1,
+        cert.worst_slack.value(),
+        cert.at.0,
+        cert.at.1,
+        verdict
+    )
+}
+
+/// The payload line of `CERTIFY <budget> --over …` against one snapshot:
+/// the continuum certification of the symbolic polynomial lane over the
+/// whole scale box.  Shared by the server renderer and the offline
+/// `rcdelay certify-over` command, so the two surfaces are byte-identical
+/// by construction.
+pub fn certify_over_line(
+    snapshot: &DesignSnapshot,
+    budget: f64,
+    over: &ScaleBox,
+) -> Result<String, String> {
+    let sym = snapshot
+        .symbolic()
+        .map_err(|e| format!("certify failed: {e}"))?;
+    let cert = sym.certify_over(Seconds::new(budget), over.r, over.c);
+    Ok(over_line(budget, over, &cert, &cert.verdict.to_string()))
+}
+
+/// Renders the response block of `CERTIFY <budget> --over …`.
+pub fn render_certify_over(
+    snapshot: &DesignSnapshot,
+    rev: u64,
+    budget: f64,
+    over: &ScaleBox,
+) -> Vec<String> {
+    match certify_over_line(snapshot, budget, over) {
+        Ok(line) => vec![line, ok_selected(snapshot, rev, None)],
+        Err(message) => vec![err_line(rev, &message)],
+    }
 }
 
 /// The final `OK` line of a composed (cross-shard) data-bearing response:
@@ -530,6 +662,40 @@ pub fn render_certify_composed(
     vec![certify, ok_selected_composed(lead, revs, None)]
 }
 
+/// Renders the composed `CERTIFY --over` of a sharded deck: each shard
+/// certifies its own symbolic lane over the same box, the reported worst
+/// point is the smallest-slack shard's (ties to the lowest shard), and
+/// the verdict is the conjunction over every shard.  With one shard the
+/// block is byte-identical to [`render_certify_over`].
+pub fn render_certify_over_composed(
+    snapshots: &[Arc<DesignSnapshot>],
+    revs: &[u64],
+    budget: f64,
+    over: &ScaleBox,
+) -> Vec<String> {
+    let required = Seconds::new(budget);
+    let lead = &snapshots[0];
+    let mut worst: Option<BoxCertification> = None;
+    let mut verdict = Certification::Pass;
+    for snapshot in snapshots {
+        let sym = match snapshot.symbolic() {
+            Ok(sym) => sym,
+            Err(e) => return vec![err_revs(revs, &format!("certify failed: {e}"))],
+        };
+        let cert = sym.certify_over(required, over.r, over.c);
+        verdict = verdict.and(cert.verdict);
+        match &worst {
+            Some(w) if cert.worst_slack >= w.worst_slack => {}
+            _ => worst = Some(cert),
+        }
+    }
+    let cert = worst.expect("at least one shard");
+    vec![
+        over_line(budget, over, &cert, &verdict.to_string()),
+        ok_selected_composed(lead, revs, None),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,7 +708,8 @@ mod tests {
             Ok(Some(Request::Query {
                 net: "clk".into(),
                 node: None,
-                corner: None
+                corner: None,
+                sens: false
             }))
         );
         assert_eq!(
@@ -550,7 +717,8 @@ mod tests {
             Ok(Some(Request::Query {
                 net: "clk".into(),
                 node: Some("n4".into()),
-                corner: None
+                corner: None,
+                sens: false
             }))
         );
         assert_eq!(
@@ -565,7 +733,10 @@ mod tests {
         );
         assert_eq!(
             parse_request("CERTIFY 5e-9"),
-            Ok(Some(Request::Certify { budget: 5e-9 }))
+            Ok(Some(Request::Certify {
+                budget: 5e-9,
+                over: None
+            }))
         );
         assert_eq!(parse_request("STATS"), Ok(Some(Request::Stats)));
         assert_eq!(parse_request("QUIT"), Ok(Some(Request::Quit)));
@@ -579,7 +750,8 @@ mod tests {
             Ok(Some(Request::Query {
                 net: "clk".into(),
                 node: None,
-                corner: Some("slow".into())
+                corner: Some("slow".into()),
+                sens: false
             }))
         );
         assert_eq!(
@@ -587,7 +759,8 @@ mod tests {
             Ok(Some(Request::Query {
                 net: "clk".into(),
                 node: Some("n4".into()),
-                corner: Some("2".into())
+                corner: Some("2".into()),
+                sens: false
             }))
         );
         assert_eq!(
@@ -601,6 +774,63 @@ mod tests {
             .contains("--corner"));
         assert!(parse_request("QUERY clk n4 --corner").is_err());
         assert!(parse_request("REPORT --corner 1 extra").is_err());
+    }
+
+    #[test]
+    fn sens_and_over_clauses_parse() {
+        assert_eq!(
+            parse_request("QUERY clk n4 --sens"),
+            Ok(Some(Request::Query {
+                net: "clk".into(),
+                node: Some("n4".into()),
+                corner: None,
+                sens: true
+            }))
+        );
+        assert!(parse_request("QUERY clk --sens")
+            .unwrap_err()
+            .contains("requires a node"));
+        assert!(parse_request("QUERY clk n4 --sens --corner 1")
+            .unwrap_err()
+            .contains("--corner"));
+        assert_eq!(
+            parse_request("CERTIFY 5e-9 --over r 0.8..1.4"),
+            Ok(Some(Request::Certify {
+                budget: 5e-9,
+                over: Some(ScaleBox {
+                    r: (0.8, 1.4),
+                    c: (1.0, 1.0)
+                })
+            }))
+        );
+        assert_eq!(
+            parse_request("certify 5e-9 --over r 0.8..1.4 c 0.9..1.2"),
+            Ok(Some(Request::Certify {
+                budget: 5e-9,
+                over: Some(ScaleBox {
+                    r: (0.8, 1.4),
+                    c: (0.9, 1.2)
+                })
+            }))
+        );
+        // The clause may precede the budget — flags parse position-free.
+        assert_eq!(
+            parse_request("CERTIFY --over r 1..1 3e-9"),
+            Ok(Some(Request::Certify {
+                budget: 3e-9,
+                over: Some(ScaleBox {
+                    r: (1.0, 1.0),
+                    c: (1.0, 1.0)
+                })
+            }))
+        );
+        assert!(parse_request("CERTIFY 5e-9 --over").is_err());
+        assert!(parse_request("CERTIFY 5e-9 --over r").is_err());
+        assert!(parse_request("CERTIFY 5e-9 --over c 1..2").is_err());
+        assert!(parse_request("CERTIFY 5e-9 --over r 1.4..0.8").is_err());
+        assert!(parse_request("CERTIFY 5e-9 --over r 0..1").is_err());
+        assert!(parse_request("CERTIFY 5e-9 --over r nope").is_err());
+        assert!(parse_request("CERTIFY 5e-9 --over r 1..2 c").is_err());
     }
 
     #[test]

@@ -51,6 +51,70 @@ const POLL_CAP: Duration = Duration::from_millis(25);
 /// Default floor of the idle backoff ramp (`--poll-us` overrides).
 pub const DEFAULT_POLL_FLOOR: Duration = Duration::from_millis(1);
 
+/// An exponential idle-backoff ramp between a floor and a cap.
+///
+/// Polling loops over interfaces without readiness notification (the
+/// accept loop, per-connection read timeouts, `rcdelay eco --watch`'s
+/// file tail) share one policy: wait the **floor** right after activity,
+/// double the wait on every idle round up to the **cap**, and snap back
+/// to the floor the moment anything happens.  A busy source is polled at
+/// the floor (lowest latency), an idle one costs a wake-up per cap
+/// interval (lowest burn).
+///
+/// [`Backoff::backoff`]/[`Backoff::reset`] report whether the interval
+/// changed, so callers that arm timers (e.g. socket read timeouts) only
+/// re-arm on change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    floor: Duration,
+    cap: Duration,
+    current: Duration,
+}
+
+impl Backoff {
+    /// A ramp from `floor` to `cap`, starting at the floor.  The cap is
+    /// raised to at least 1 µs and the floor clamped into `[1 µs, cap]`,
+    /// so the ramp always makes progress.
+    pub fn new(floor: Duration, cap: Duration) -> Backoff {
+        let cap = cap.max(Duration::from_micros(1));
+        let floor = floor.clamp(Duration::from_micros(1), cap);
+        Backoff {
+            floor,
+            cap,
+            current: floor,
+        }
+    }
+
+    /// The server's default ramp: [`DEFAULT_POLL_FLOOR`] up to the 25 ms
+    /// poll cap.
+    pub fn server_default() -> Backoff {
+        Backoff::new(DEFAULT_POLL_FLOOR, POLL_CAP)
+    }
+
+    /// The current idle interval — what to sleep (or arm a timeout with)
+    /// before the next poll.
+    pub fn current(&self) -> Duration {
+        self.current
+    }
+
+    /// Records one idle round: doubles the interval, capped.  Returns
+    /// whether the interval changed.
+    pub fn backoff(&mut self) -> bool {
+        let next = (self.current * 2).min(self.cap);
+        let changed = next != self.current;
+        self.current = next;
+        changed
+    }
+
+    /// Records activity: snaps the interval back to the floor.  Returns
+    /// whether the interval changed.
+    pub fn reset(&mut self) -> bool {
+        let changed = self.current != self.floor;
+        self.current = self.floor;
+        changed
+    }
+}
+
 /// Analysis parameters of a server instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
@@ -298,14 +362,14 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// 25 ms.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    let mut idle = shared.poll_floor;
+    let mut idle = Backoff::new(shared.poll_floor, POLL_CAP);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                idle = shared.poll_floor;
+                idle.reset();
                 ServerStats::bump(&shared.stats.connections);
                 let shared = Arc::clone(&shared);
                 handlers.push(std::thread::spawn(move || {
@@ -314,8 +378,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 handlers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(idle);
-                idle = (idle * 2).min(POLL_CAP);
+                std::thread::sleep(idle.current());
+                idle.backoff();
             }
             Err(_) => break,
         }
@@ -341,9 +405,9 @@ enum After {
 /// the served p99 from the old fixed 25 ms poll.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
-    let mut idle = shared.poll_floor;
+    let mut idle = Backoff::new(shared.poll_floor, POLL_CAP);
     // Reads poll so a parked connection notices server shutdown.
-    let _ = stream.set_read_timeout(Some(idle));
+    let _ = stream.set_read_timeout(Some(idle.current()));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -369,9 +433,8 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 break;
             }
             Ok(_) => {
-                if idle != shared.poll_floor {
-                    idle = shared.poll_floor;
-                    let _ = reader.get_ref().set_read_timeout(Some(idle));
+                if idle.reset() {
+                    let _ = reader.get_ref().set_read_timeout(Some(idle.current()));
                 }
                 // `read_line` without a trailing newline means EOF cut the
                 // final line; serve it, then close.
@@ -391,9 +454,8 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                if idle < POLL_CAP {
-                    idle = (idle * 2).min(POLL_CAP);
-                    let _ = reader.get_ref().set_read_timeout(Some(idle));
+                if idle.backoff() {
+                    let _ = reader.get_ref().set_read_timeout(Some(idle.current()));
                 }
             }
             Err(_) => break,
@@ -508,7 +570,12 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
         Ok(Some(request)) => {
             ServerStats::bump(&shared.stats.requests);
             match request {
-                Request::Query { net, node, corner } => {
+                Request::Query {
+                    net,
+                    node,
+                    corner,
+                    sens,
+                } => {
                     ServerStats::bump(&shared.stats.queries);
                     let shard = &shared.shards[route_net(shared, &net)];
                     let (snapshot, rev) = shard.store.load();
@@ -518,6 +585,7 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                         &net,
                         node.as_deref(),
                         corner.as_deref(),
+                        sens,
                     ))
                 }
                 Request::Report { corner } => {
@@ -537,12 +605,19 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                     }
                     Block::Cached(lines)
                 }
-                Request::Certify { budget } => {
+                Request::Certify { budget, over } => {
                     let (snapshots, revs) = load_all(shared);
-                    Block::Owned(if sharded {
-                        protocol::render_certify_composed(&snapshots, &revs, budget)
-                    } else {
-                        protocol::render_certify(&snapshots[0], revs[0], budget)
+                    Block::Owned(match over {
+                        Some(over) if sharded => {
+                            protocol::render_certify_over_composed(&snapshots, &revs, budget, &over)
+                        }
+                        Some(over) => {
+                            protocol::render_certify_over(&snapshots[0], revs[0], budget, &over)
+                        }
+                        None if sharded => {
+                            protocol::render_certify_composed(&snapshots, &revs, budget)
+                        }
+                        None => protocol::render_certify(&snapshots[0], revs[0], budget),
                     })
                 }
                 Request::Stats => Block::Owned(render_stats(shared)),
@@ -660,4 +735,39 @@ fn render_stats(shared: &Shared) -> Vec<String> {
         ),
         final_line,
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_ramps_doubling_to_the_cap_and_resets_to_the_floor() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(25));
+        assert_eq!(b.current(), Duration::from_millis(1));
+        let ramp: Vec<u64> =
+            std::iter::from_fn(|| b.backoff().then(|| b.current().as_millis() as u64)).collect();
+        assert_eq!(ramp, vec![2, 4, 8, 16, 25]);
+        // Saturated: further idle rounds change nothing.
+        assert!(!b.backoff());
+        assert_eq!(b.current(), Duration::from_millis(25));
+        // Activity snaps back to the floor, once.
+        assert!(b.reset());
+        assert_eq!(b.current(), Duration::from_millis(1));
+        assert!(!b.reset());
+    }
+
+    #[test]
+    fn backoff_clamps_degenerate_ranges() {
+        // Floor above the cap collapses to the cap.
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_millis(25));
+        assert_eq!(b.current(), Duration::from_millis(25));
+        assert!(!b.backoff());
+        // Zero floor is raised so the ramp makes progress.
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_millis(25));
+        assert_eq!(b.current(), Duration::from_micros(1));
+        assert!(b.backoff());
+        assert_eq!(b.current(), Duration::from_micros(2));
+        assert_eq!(Backoff::server_default().current(), DEFAULT_POLL_FLOOR);
+    }
 }

@@ -149,19 +149,29 @@ fn verify_against_oracle(
         );
         let snapshot = &snapshots[rev];
         let expected = match protocol::parse_request(request).expect("parses") {
-            Some(Request::Query { net, node, corner }) => protocol::render_query(
+            Some(Request::Query {
+                net,
+                node,
+                corner,
+                sens,
+            }) => protocol::render_query(
                 snapshot,
                 rev as u64,
                 &net,
                 node.as_deref(),
                 corner.as_deref(),
+                sens,
             ),
             Some(Request::Report { corner }) => {
                 protocol::render_report(snapshot, rev as u64, corner.as_deref())
             }
-            Some(Request::Certify { budget }) => {
+            Some(Request::Certify { budget, over: None }) => {
                 protocol::render_certify(snapshot, rev as u64, budget)
             }
+            Some(Request::Certify {
+                budget,
+                over: Some(over),
+            }) => protocol::render_certify_over(snapshot, rev as u64, budget, &over),
             other => panic!("unexpected read request {other:?}"),
         };
         assert_eq!(
@@ -343,17 +353,29 @@ fn multi_corner_sessions_name_the_corner_vector_and_match_the_oracle() {
                 let rev = block_rev(response);
                 let snapshot = &snapshots[rev as usize];
                 let expected = match read {
-                    Request::Query { net, node, corner } => protocol::render_query(
+                    Request::Query {
+                        net,
+                        node,
+                        corner,
+                        sens,
+                    } => protocol::render_query(
                         snapshot,
                         rev,
                         &net,
                         node.as_deref(),
                         corner.as_deref(),
+                        sens,
                     ),
                     Request::Report { corner } => {
                         protocol::render_report(snapshot, rev, corner.as_deref())
                     }
-                    Request::Certify { budget } => protocol::render_certify(snapshot, rev, budget),
+                    Request::Certify { budget, over: None } => {
+                        protocol::render_certify(snapshot, rev, budget)
+                    }
+                    Request::Certify {
+                        budget,
+                        over: Some(over),
+                    } => protocol::render_certify_over(snapshot, rev, budget, &over),
                     other => panic!("unexpected request {other:?}"),
                 };
                 assert_eq!(
@@ -533,9 +555,19 @@ fn sharded_sessions_match_per_shard_serial_oracle_replay() {
             let rev = block_rev(response);
             let snapshot = &shard_snapshots[shard][rev as usize];
             let expected = match protocol::parse_request(request).expect("parses") {
-                Some(Request::Query { net, node, corner }) => {
-                    protocol::render_query(snapshot, rev, &net, node.as_deref(), corner.as_deref())
-                }
+                Some(Request::Query {
+                    net,
+                    node,
+                    corner,
+                    sens,
+                }) => protocol::render_query(
+                    snapshot,
+                    rev,
+                    &net,
+                    node.as_deref(),
+                    corner.as_deref(),
+                    sens,
+                ),
                 other => panic!("unexpected scalar read {other:?}"),
             };
             assert_eq!(
@@ -559,9 +591,13 @@ fn sharded_sessions_match_per_shard_serial_oracle_replay() {
                 Some(Request::Report { corner }) => {
                     protocol::render_report_composed(&snapshots, &revs, corner.as_deref())
                 }
-                Some(Request::Certify { budget }) => {
+                Some(Request::Certify { budget, over: None }) => {
                     protocol::render_certify_composed(&snapshots, &revs, budget)
                 }
+                Some(Request::Certify {
+                    budget,
+                    over: Some(over),
+                }) => protocol::render_certify_over_composed(&snapshots, &revs, budget, &over),
                 other => panic!("unexpected composed read {other:?}"),
             };
             assert_eq!(
@@ -770,4 +806,134 @@ fn protocol_errors_quit_and_shutdown_behave() {
         TcpStream::connect(addr).is_err(),
         "listener closed after SHUTDOWN"
     );
+}
+
+/// The continuum surface on the wire: `CERTIFY --over` answers with the
+/// exact worst point of the symbolic lane (byte-identical to the shared
+/// offline renderer), `QUERY --sens` appends the nominal sensitivities,
+/// and the sharded composed block with one shard degenerates to the
+/// scalar block.
+#[test]
+fn certify_over_and_sens_are_served_and_match_the_shared_renderer() {
+    let trees = deck_trees();
+    let server =
+        Server::start(design_of(&trees), &config(), ("127.0.0.1", 0)).expect("server starts");
+    let addr = server.local_addr();
+
+    let (net, tree) = &trees[0];
+    let node = tree.name(tree.preorder()[1]).expect("named").to_string();
+    let script = vec![
+        "CERTIFY 1.2e-7 --over r 0.8..1.4 c 0.9..1.2".to_string(),
+        "CERTIFY 1.2e-7 --over r 0.8..1.4".to_string(),
+        format!("QUERY {net} {node} --sens"),
+        format!("QUERY {net} {node}"),
+        "CERTIFY 1.2e-7 --over r 1.4..0.8".to_string(),
+        format!("QUERY {net} --sens"),
+    ];
+    let responses = run_client(addr, &script);
+    let _ = run_client(addr, &["SHUTDOWN".to_string()]);
+    server.join();
+
+    // The offline oracle: a fresh snapshot of the same design, rendered
+    // through the same shared payload function.
+    let oracle =
+        EcoExecutor::new(design_of(&trees), THRESHOLD, Seconds::new(BUDGET_S), 1).expect("oracle");
+    let snapshot = oracle.snapshot();
+
+    let over = protocol::ScaleBox {
+        r: (0.8, 1.4),
+        c: (0.9, 1.2),
+    };
+    let line = protocol::certify_over_line(&snapshot, 1.2e-7, &over).expect("renders");
+    assert_eq!(responses[0], vec![line.clone(), "OK rev 0".to_string()]);
+    assert!(
+        line.starts_with("certify required 1.2e-7 over r 0.8..1.4 c 0.9..1.2 worst_slack "),
+        "{line}"
+    );
+    assert!(line.contains(" worst at r="), "{line}");
+    // All delays grow with both scales, so the worst point of a box that
+    // excludes larger scales than its top corner is that top corner.
+    assert!(line.contains(" worst at r=1.4,c=1.2 "), "{line}");
+
+    // The composed renderer with one shard is byte-identical.
+    assert_eq!(
+        protocol::render_certify_over_composed(
+            std::slice::from_ref(&snapshot),
+            &[0],
+            1.2e-7,
+            &over
+        ),
+        responses[0]
+    );
+
+    // Omitted `c` range certifies the nominal c line.
+    assert!(
+        responses[1][0]
+            .starts_with("certify required 1.2e-7 over r 0.8..1.4 c 1.0..1.0 worst_slack "),
+        "{:?}",
+        responses[1]
+    );
+
+    // `--sens` appends one payload line; the query is otherwise unchanged.
+    assert_eq!(responses[2].len(), 3, "{:?}", responses[2]);
+    assert!(responses[2][0].starts_with("node "), "{:?}", responses[2]);
+    assert!(
+        responses[2][1].starts_with("sens dT_dr "),
+        "{:?}",
+        responses[2]
+    );
+    assert!(responses[2][1].contains(" dT_dc "), "{:?}", responses[2]);
+    assert_eq!(responses[2][0], responses[3][0]);
+    assert_eq!(
+        responses[2],
+        protocol::render_query(&snapshot, 0, net, Some(&node), None, true)
+    );
+
+    // Malformed boxes and a node-less `--sens` are clean errors.
+    assert!(responses[4][0].starts_with("ERR rev 0 bad request:"));
+    assert!(responses[5][0].starts_with("ERR rev 0 bad request:"));
+    assert!(
+        responses[5][0].contains("requires a node"),
+        "{:?}",
+        responses[5]
+    );
+}
+
+/// On a sharded server, `CERTIFY --over` composes across shards: min
+/// worst slack, the argmin shard's worst point, conjunction verdict.
+#[test]
+fn sharded_certify_over_composes_across_shards() {
+    const SHARDS: usize = 3;
+    let trees = deck_trees();
+    let mut config = config();
+    config.shards = SHARDS;
+    let server =
+        Server::start(design_of(&trees), &config, ("127.0.0.1", 0)).expect("server starts");
+    let addr = server.local_addr();
+    let responses = run_client(
+        addr,
+        &["CERTIFY 1.2e-7 --over r 0.7..1.3 c 0.8..1.1".to_string()],
+    );
+    let _ = run_client(addr, &["SHUTDOWN".to_string()]);
+    server.join();
+
+    let over = protocol::ScaleBox {
+        r: (0.7, 1.3),
+        c: (0.8, 1.1),
+    };
+    let shard_designs = design_of(&trees).partition(SHARDS).expect("partitions");
+    let snapshots: Vec<Arc<DesignSnapshot>> = shard_designs
+        .into_iter()
+        .map(|d| {
+            EcoExecutor::new(d, THRESHOLD, Seconds::new(BUDGET_S), 1)
+                .expect("oracle")
+                .snapshot()
+        })
+        .collect();
+    let revs = vec![0; SHARDS];
+    assert_eq!(
+        responses[0],
+        protocol::render_certify_over_composed(&snapshots, &revs, 1.2e-7, &over)
+    );
+    assert_eq!(*responses[0].last().expect("final"), "OK rev 0,0,0");
 }

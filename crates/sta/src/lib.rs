@@ -93,8 +93,9 @@ pub mod stage;
 pub use crate::cell::{Cell, CellLibrary};
 pub use crate::error::{Result, StaError};
 pub use crate::graph::{
-    ArrivalWindow, CornerAnalysis, Design, DesignSnapshot, Driver, EcoEdit, EcoEditKind,
-    EndpointTiming, Load, Net, NetTiming, Sink, SinkWindow, SnapshotCorners, TimingReport,
+    ArrivalWindow, BoxCertification, CornerAnalysis, Design, DesignSnapshot, Driver, EcoEdit,
+    EcoEditKind, EndpointTiming, Load, Net, NetTiming, Sink, SinkWindow, SnapshotCorners,
+    SymbolicAnalysis, SymbolicEndpointTiming, TimingReport,
 };
 pub use crate::script::{
     parse_eco_script, parse_eco_script_line, ScriptEdit, ScriptError, ScriptLine,

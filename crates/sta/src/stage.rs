@@ -7,8 +7,9 @@
 //! of the gate it drives, and the Penfield–Rubinstein machinery then yields
 //! the Elmore delay plus guaranteed lower/upper delay bounds per sink.
 
-use rctree_core::batch::BatchTimes;
-use rctree_core::bounds::DelayBounds;
+use rctree_core::algebra::SymbolicTimes;
+use rctree_core::batch::{BatchTimes, SymbolicScratch};
+use rctree_core::bounds::{symbolic_delay_bounds, DelayBounds, SymbolicDelayBounds};
 use rctree_core::builder::RcTreeBuilder;
 use rctree_core::element::Branch;
 use rctree_core::moments::CharacteristicTimes;
@@ -179,6 +180,125 @@ pub(crate) fn stage_delay_bounds_scaled(
     Ok(bounds)
 }
 
+/// The **symbolic sibling** of [`stage_delay_bounds`]: per-sink delay
+/// bounds as polynomials in the uniform `(r, c)` scale factors, from one
+/// [`SymbolicScratch`] sweep of the same augmented arrays the scalar path
+/// splices.
+///
+/// The arrays carry the nominal element values; the `Poly2` algebra's
+/// injectors attach the symbolic scale to each element, so the driver
+/// resistance rides the `r` axis and the sink loads ride the `c` axis —
+/// exactly the quantities a corner's `r_scale`/`c_scale` multiply.  For any
+/// `r, c > 0`, `result[k].eval(r, c)` agrees with
+/// [`stage_delay_bounds_scaled`] at uniform [`StageScales`]
+/// `{wire_r: r, wire_c: c, driver_r: r, load_c: c}` (to rounding), and
+/// `eval(1, 1)` reproduces [`stage_delay_bounds`] **bit-for-bit** (the
+/// shared generic kernel applies the identical scalar operations cellwise).
+///
+/// Returns one [`SymbolicDelayBounds`] per entry of `sink_loads`, in order.
+///
+/// # Errors
+///
+/// As for [`stage_delay_bounds`].
+pub fn stage_symbolic_bounds(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    threshold: f64,
+) -> Result<Vec<SymbolicDelayBounds>> {
+    if sink_loads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (arrays, pos) = augmented_arrays(
+        driver_resistance,
+        interconnect,
+        sink_loads,
+        StageScales::NOMINAL,
+    )?;
+    let mut scratch = SymbolicScratch::new();
+    let view = scratch.sweep(
+        &arrays.parent,
+        &arrays.branch_r,
+        &arrays.branch_c,
+        &arrays.node_cap,
+    )?;
+    let mut bounds = Vec::with_capacity(sink_loads.len());
+    for &(node, _) in sink_loads {
+        let times = view.times_at(pos[node.index()] as usize)?;
+        bounds.push(symbolic_delay_bounds(&times, threshold)?);
+    }
+    Ok(bounds)
+}
+
+/// Symbolic characteristic times at an arbitrary node of a stage's
+/// interconnect — the symbolic sibling of [`stage_node_times`], behind
+/// per-node sensitivity queries (`QUERY <net> <node> --sens` in
+/// `rctree-serve`).
+///
+/// Like [`stage_node_times`], an empty `sink_loads` slice still runs the
+/// sweep.
+///
+/// # Errors
+///
+/// As for [`stage_node_times`].
+pub fn stage_node_symbolic_times(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    node: NodeId,
+) -> Result<SymbolicTimes> {
+    // Validate the queried node against the tree before indexing `pos`.
+    let _ = interconnect.name(node)?;
+    let (arrays, pos) = augmented_arrays(
+        driver_resistance,
+        interconnect,
+        sink_loads,
+        StageScales::NOMINAL,
+    )?;
+    let mut scratch = SymbolicScratch::new();
+    let view = scratch.sweep(
+        &arrays.parent,
+        &arrays.branch_r,
+        &arrays.branch_c,
+        &arrays.node_cap,
+    )?;
+    Ok(view.times_at(pos[node.index()] as usize)?)
+}
+
+/// The materialized symbolic sweep of a whole stage: the per-augmented-node
+/// [`SymbolicTimes`] table plus the raw-node → augmented-position map.
+/// [`crate::graph::NetTiming`] caches this per snapshot view so repeated
+/// node-level symbolic queries (`QUERY … --sens`) are `O(1)` lookups after
+/// the first — the per-net coefficient table the snapshots carry.
+///
+/// # Errors
+///
+/// As for [`stage_node_symbolic_times`].
+pub(crate) fn stage_symbolic_sweep(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+) -> Result<(Vec<SymbolicTimes>, Vec<u32>)> {
+    let (arrays, pos) = augmented_arrays(
+        driver_resistance,
+        interconnect,
+        sink_loads,
+        StageScales::NOMINAL,
+    )?;
+    let mut scratch = SymbolicScratch::new();
+    let view = scratch.sweep(
+        &arrays.parent,
+        &arrays.branch_r,
+        &arrays.branch_c,
+        &arrays.node_cap,
+    )?;
+    let mut times = Vec::with_capacity(view.node_count());
+    for i in 0..view.node_count() {
+        times.push(view.times_at(i)?);
+    }
+    Ok((times, pos))
+}
+
 /// Characteristic times at an arbitrary node of a stage's interconnect,
 /// evaluated on the same augmented tree (driver resistance + sink loads)
 /// as [`stage_delay_bounds`] — the kernel behind per-node snapshot queries
@@ -274,6 +394,37 @@ pub(crate) fn augmented_batch_scaled(
     sink_loads: &[(NodeId, Farads)],
     scales: StageScales,
 ) -> Result<(BatchTimes, Vec<u32>)> {
+    let (arrays, pos) = augmented_arrays(driver_resistance, interconnect, sink_loads, scales)?;
+    let batch = BatchTimes::of_preorder(
+        &arrays.parent,
+        &arrays.branch_r,
+        &arrays.branch_c,
+        &arrays.node_cap,
+    )?;
+    Ok((batch, pos))
+}
+
+/// The augmented stage's flat pre-order arrays: one spliced element per
+/// entry, ready for any delay-algebra sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct AugmentedArrays {
+    pub parent: Vec<u32>,
+    pub branch_r: Vec<f64>,
+    pub branch_c: Vec<f64>,
+    pub node_cap: Vec<f64>,
+}
+
+/// Builds the augmented stage arrays shared by the scalar and symbolic
+/// sweeps: the splice order, validation order and per-element scaling
+/// (one rounding per element, at splice time) are exactly the historical
+/// [`augmented_batch_scaled`] sequence — this helper is pure code motion,
+/// so the `f64` path stays bit-identical.
+fn augmented_arrays(
+    driver_resistance: Ohms,
+    interconnect: &RcTree,
+    sink_loads: &[(NodeId, Farads)],
+    scales: StageScales,
+) -> Result<(AugmentedArrays, Vec<u32>)> {
     // The builder path validates the spliced-in values through
     // `RcTreeBuilder`'s finite/non-negative checks; reject the same inputs
     // with the same error (the interconnect's own values were validated at
@@ -343,8 +494,15 @@ pub(crate) fn augmented_batch_scaled(
         node_cap[pos[node.index()] as usize] += load_c;
     }
 
-    let batch = BatchTimes::of_preorder(&parent, &branch_r, &branch_c, &node_cap)?;
-    Ok((batch, pos))
+    Ok((
+        AugmentedArrays {
+            parent,
+            branch_r,
+            branch_c,
+            node_cap,
+        },
+        pos,
+    ))
 }
 
 /// Builds the augmented stage tree: a new input, a lumped resistor equal to
@@ -625,5 +783,89 @@ mod tests {
         .unwrap();
         assert_eq!(timing.sinks.len(), 1);
         assert!(timing.sinks[0].bounds.upper.value() > 0.0);
+    }
+
+    #[test]
+    fn symbolic_stage_at_nominal_is_bit_identical_to_the_scalar_stage() {
+        let (net, near, far) = simple_interconnect();
+        let loads = vec![
+            (near, Farads::from_femto(13.0)),
+            (far, Farads::from_femto(29.0)),
+        ];
+        for threshold in [0.1, 0.5, 0.9] {
+            for driver in [Ohms::new(42.0), Ohms::new(1000.0), Ohms::new(50_000.0)] {
+                let scalar = stage_delay_bounds(driver, &net, &loads, threshold).unwrap();
+                let symbolic = stage_symbolic_bounds(driver, &net, &loads, threshold).unwrap();
+                assert_eq!(scalar.len(), symbolic.len());
+                for (s, p) in scalar.iter().zip(&symbolic) {
+                    let at_nominal = p.eval(1.0, 1.0);
+                    assert_eq!(s.lower, at_nominal.lower);
+                    assert_eq!(s.upper, at_nominal.upper);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_stage_evaluates_to_the_scaled_scalar_stage() {
+        // Evaluating the polynomials at (r, c) must reproduce the
+        // materialized uniform-corner analysis at those scales.
+        let (net, near, far) = simple_interconnect();
+        let loads = vec![
+            (near, Farads::from_femto(13.0)),
+            (far, Farads::from_femto(29.0)),
+        ];
+        for (r, c) in [(0.8, 0.9), (1.3, 1.2), (2.5, 0.4), (1.0, 3.0)] {
+            let scales = StageScales {
+                wire_r: r,
+                wire_c: c,
+                driver_r: r,
+                load_c: c,
+            };
+            let scaled =
+                stage_delay_bounds_scaled(Ohms::new(1000.0), &net, &loads, 0.5, scales).unwrap();
+            let symbolic = stage_symbolic_bounds(Ohms::new(1000.0), &net, &loads, 0.5).unwrap();
+            for (s, p) in scaled.iter().zip(&symbolic) {
+                let at = p.eval(r, c);
+                let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+                assert!(
+                    rel(at.lower.value(), s.lower.value()) < 1e-9,
+                    "lower at r={r} c={c}: {} vs {}",
+                    at.lower.value(),
+                    s.lower.value()
+                );
+                assert!(
+                    rel(at.upper.value(), s.upper.value()) < 1e-9,
+                    "upper at r={r} c={c}: {} vs {}",
+                    at.upper.value(),
+                    s.upper.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_node_times_match_scalar_node_times_at_nominal() {
+        let (net, near, far) = simple_interconnect();
+        let loads = vec![(far, Farads::from_femto(13.0))];
+        for node in [near, far, net.input()] {
+            let scalar = stage_node_times(Ohms::new(700.0), &net, &loads, node).unwrap();
+            let symbolic = stage_node_symbolic_times(Ohms::new(700.0), &net, &loads, node).unwrap();
+            assert_eq!(symbolic.t_p.eval(1.0, 1.0), scalar.t_p.value());
+            assert_eq!(symbolic.t_d.eval(1.0, 1.0), scalar.t_d.value());
+            assert_eq!(symbolic.t_r.eval(1.0, 1.0), scalar.t_r.value());
+        }
+    }
+
+    #[test]
+    fn symbolic_stage_propagates_the_scalar_path_errors() {
+        let (net, near, _) = simple_interconnect();
+        let loads = vec![(near, Farads::new(-1e-15))];
+        let scalar = stage_delay_bounds(Ohms::new(100.0), &net, &loads, 0.5).unwrap_err();
+        let symbolic = stage_symbolic_bounds(Ohms::new(100.0), &net, &loads, 0.5).unwrap_err();
+        assert_eq!(format!("{scalar}"), format!("{symbolic}"));
+        assert!(stage_symbolic_bounds(Ohms::new(100.0), &net, &[], 0.5)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -13,6 +13,7 @@
 //! ±25%.  Determinism is part of the contract: the same seed, parameters
 //! and net list always produce the same spec text, bit for bit.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 use rctree_core::corner::CornerSet;
@@ -82,6 +83,42 @@ pub fn corner_set(params: &CornerSpecParams, nets: &[String], seed: u64) -> Corn
     CornerSet::parse(&corner_spec(params, nets, seed)).expect("generated specs parse")
 }
 
+/// A seeded continuum certification box over the global wire scales — the
+/// input shape of `CERTIFY … --over` / `rcdelay certify-over`.  Both ranges
+/// straddle the nominal `1.0`, matching realistic wire-stack spreads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSpec {
+    /// `r_scale` range (`lo ≤ 1 ≤ hi`).
+    pub r: (f64, f64),
+    /// `c_scale` range (`lo ≤ 1 ≤ hi`).
+    pub c: (f64, f64),
+}
+
+impl fmt::Display for IntervalSpec {
+    /// Renders the exact `--over` operand grammar the serve protocol
+    /// parses (`r <a..b> c <a..b>`, each range accepted by
+    /// `rctree_core::algebra::parse_scale_range`); floats print in Rust's
+    /// shortest round-trip form, so parsing reproduces the generated
+    /// bounds bit for bit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r {:?}..{:?} c {:?}..{:?}",
+            self.r.0, self.r.1, self.c.0, self.c.1
+        )
+    }
+}
+
+/// Renders a seeded certification box, reproducibly: the same seed always
+/// produces the same [`IntervalSpec`], bit for bit.
+pub fn interval_spec(seed: u64) -> IntervalSpec {
+    let mut rng = Rng::from_seed(seed ^ 0x0B0C_5343_414C_4553);
+    IntervalSpec {
+        r: (rng.range_f64(0.6, 1.0), rng.range_f64(1.0, 1.5)),
+        c: (rng.range_f64(0.7, 1.0), rng.range_f64(1.0, 1.3)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +171,31 @@ mod tests {
             })
         });
         assert!(moved, "overrides should move some wire scales:\n{spec}");
+    }
+
+    #[test]
+    fn interval_specs_are_seeded_and_straddle_nominal() {
+        assert_eq!(interval_spec(7), interval_spec(7));
+        assert_ne!(interval_spec(7), interval_spec(8));
+        for seed in 0..32 {
+            let spec = interval_spec(seed);
+            assert!(spec.r.0 <= 1.0 && 1.0 <= spec.r.1);
+            assert!(spec.c.0 <= 1.0 && 1.0 <= spec.c.1);
+        }
+    }
+
+    #[test]
+    fn interval_spec_display_round_trips_through_the_range_parser() {
+        use rctree_core::algebra::parse_scale_range;
+        let spec = interval_spec(42);
+        let text = spec.to_string();
+        let mut parts = text.split_whitespace();
+        assert_eq!(parts.next(), Some("r"));
+        let r = parse_scale_range(parts.next().unwrap()).unwrap();
+        assert_eq!(parts.next(), Some("c"));
+        let c = parse_scale_range(parts.next().unwrap()).unwrap();
+        assert_eq!(parts.next(), None);
+        assert_eq!((r, c), (spec.r, spec.c));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod requests;
 pub mod rng;
 pub mod tech;
 
-pub use crate::corners::{corner_set, corner_spec, CornerSpecParams};
+pub use crate::corners::{corner_set, corner_spec, interval_spec, CornerSpecParams, IntervalSpec};
 pub use crate::dag::{eco_dag, EcoDag, EcoDagNet, EcoDagParams};
 pub use crate::deck::{render_spef_deck, spef_deck, SpefDeckParams};
 pub use crate::eco::{EcoStream, EcoStreamParams};
