@@ -140,6 +140,35 @@ pub enum Command {
         /// Idle-poll backoff floor in microseconds (`None` = the server
         /// default).
         poll_us: Option<u64>,
+        /// Slow-request log threshold in microseconds (`--slow-us`;
+        /// `None` disables the stderr slow log).
+        slow_us: Option<u64>,
+    },
+    /// Per-phase pipeline profile (`rcdelay profile`): run the deck
+    /// pipeline (ingest, net build, baseline analysis) under the
+    /// observability runtime and print the per-phase duration breakdown.
+    Profile {
+        /// SPEF deck paths (`-` for standard input).
+        decks: Vec<String>,
+        /// Driver cell prepended to every extracted net.
+        driver: String,
+        /// Emit the machine-readable JSON document instead of the table.
+        json: bool,
+    },
+    /// Scrape and validate a running server's `METRICS` exposition
+    /// (`rcdelay scrape`): every line must parse, the required series must
+    /// be present; optionally diff against a previous scrape for counter
+    /// monotonicity.
+    Scrape {
+        /// Server address (`host:port`, as printed by `rcdelay serve`).
+        addr: String,
+        /// Scrape only the deterministic subset (`METRICS stable`).
+        stable: bool,
+        /// Write the scraped text here (`None`: stdout).
+        out: Option<String>,
+        /// Path of a previous scrape to check counter monotonicity
+        /// against.
+        prev: Option<String>,
     },
     /// Load generator (`rcdelay bench-client`): drive a running server
     /// with a seeded request mix and emit `BENCH_serve.json`.
@@ -232,6 +261,8 @@ usage: rcdelay [OPTIONS] <netlist-file>
                             [--over-c <lo..hi>] <deck.spef>...
        rcdelay serve --budget <seconds> [--port <n>] [--shards <n>] <deck.spef>...
        rcdelay bench-client [OPTIONS] <host:port> <deck.spef>
+       rcdelay profile --budget <seconds> [--json] <deck.spef>...
+       rcdelay scrape [--stable] [--prev <file>] [--out <file>] <host:port>
        rcdelay gen-deck [--nets <n>] [--seed <n>]
 
 `report` prints the deck-level design timing report (byte-identical to the
@@ -241,8 +272,12 @@ polynomial lane and prints the exact worst point (byte-identical to the
 server's `CERTIFY --over` payload); `serve` starts the rctree-serve
 timing/ECO server (see crates/serve/README.md for the wire protocol);
 `bench-client` drives a running server with a seeded request mix and writes
-queries/s + latency percentiles to target/BENCH_serve.json; `gen-deck`
-prints a reproducible multi-net SPEF deck.
+queries/s + latency percentiles (plus server-side METRICS counter deltas)
+to target/BENCH_serve.json; `profile` runs the full deck pipeline under the
+observability runtime and prints a per-phase time breakdown; `scrape`
+fetches a running server's METRICS exposition, checks it is well-formed,
+and optionally diffs it against a previous scrape; `gen-deck` prints a
+reproducible multi-net SPEF deck.
 
 options:
   --format <spice|spef|expr>   input format (default: spice; eco mode: spef)
@@ -291,13 +326,22 @@ options:
   --poll-us <n>                serve: idle-poll backoff floor in
                                microseconds (default 1000; ramps up to
                                25 ms while a connection stays idle)
+  --slow-us <n>                serve: log requests slower than n
+                               microseconds to stderr (default: off)
   --connections <n>            bench-client: concurrent connections (4)
   --requests <n>               bench-client: requests per connection (100)
   --eco-fraction <v>           bench-client: fraction of requests that are
                                ECO edits, in [0,1] (default 0 = read-only)
   --out <path>                 bench-client: JSON summary path
-                               (default target/BENCH_serve.json)
+                               (default target/BENCH_serve.json);
+                               scrape: write the exposition here instead
+                               of stdout
   --shutdown                   bench-client: send SHUTDOWN when done
+  --json                       profile: emit the breakdown as JSON
+  --stable                     scrape: request only the deterministic
+                               (cross-RCTREE_JOBS stable) metric subset
+  --prev <file>                scrape: check counter monotonicity against
+                               a previously scraped exposition file
   --nets <n>                   gen-deck: number of *D_NET sections (64)
   --seed <n>                   bench-client/gen-deck: generator seed (1)
   --help                       print this message
@@ -367,6 +411,8 @@ where
         Serve,
         BenchClient,
         GenDeck,
+        Profile,
+        Scrape,
     }
 
     let mut opts = Options::default();
@@ -388,8 +434,12 @@ where
     let mut shutdown = false;
     let mut shards: Option<usize> = None;
     let mut poll_us: Option<u64> = None;
+    let mut slow_us: Option<u64> = None;
     let mut over_r: Option<(f64, f64)> = None;
     let mut over_c: Option<(f64, f64)> = None;
+    let mut json = false;
+    let mut stable = false;
+    let mut prev: Option<String> = None;
 
     while let Some(arg) = iter.next() {
         let arg = arg.as_ref();
@@ -402,6 +452,8 @@ where
                 "serve" => Mode::Serve,
                 "bench-client" => Mode::BenchClient,
                 "gen-deck" => Mode::GenDeck,
+                "profile" => Mode::Profile,
+                "scrape" => Mode::Scrape,
                 _ => Mode::Tree,
             };
             if mode != Mode::Tree {
@@ -502,6 +554,22 @@ where
                         })?,
                 );
             }
+            "--slow-us" => {
+                let text = value_of("--slow-us")?;
+                slow_us = Some(
+                    text.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--slow-us: `{text}` is not a positive integer"
+                            ))
+                        })?,
+                );
+            }
+            "--json" => json = true,
+            "--stable" => stable = true,
+            "--prev" => prev = Some(value_of("--prev")?),
             "--over-r" => {
                 let text = value_of("--over-r")?;
                 over_r = Some(
@@ -543,6 +611,17 @@ where
             poll_us.is_some(),
             "--poll-us only applies to `rcdelay serve`",
         )?;
+        refuse(
+            slow_us.is_some(),
+            "--slow-us only applies to `rcdelay serve`",
+        )?;
+    }
+    if mode != Mode::Profile {
+        refuse(json, "--json only applies to `rcdelay profile`")?;
+    }
+    if mode != Mode::Scrape {
+        refuse(stable, "--stable only applies to `rcdelay scrape`")?;
+        refuse(prev.is_some(), "--prev only applies to `rcdelay scrape`")?;
     }
     if !matches!(mode, Mode::Serve | Mode::BenchClient) {
         refuse(
@@ -556,8 +635,14 @@ where
             "--connections/--requests/--eco-fraction only apply to `rcdelay bench-client`",
         )?;
         refuse(
-            out.is_some() || shutdown,
-            "--out/--shutdown only apply to `rcdelay bench-client`",
+            shutdown,
+            "--shutdown only applies to `rcdelay bench-client`",
+        )?;
+    }
+    if !matches!(mode, Mode::BenchClient | Mode::Scrape) {
+        refuse(
+            out.is_some(),
+            "--out only applies to `rcdelay bench-client` and `rcdelay scrape`",
         )?;
     }
     if mode != Mode::GenDeck {
@@ -660,6 +745,7 @@ where
                     port: port.unwrap_or(0),
                     shards: shards.unwrap_or(1),
                     poll_us,
+                    slow_us,
                 }
             } else {
                 Command::DeckReport {
@@ -716,6 +802,46 @@ where
                 shards: shards.unwrap_or(1),
                 out: out.unwrap_or_else(|| "target/BENCH_serve.json".into()),
                 shutdown,
+            };
+        }
+        Mode::Profile => {
+            if positionals.is_empty() {
+                return Err(CliError::Usage(
+                    "profile mode requires at least one <deck.spef>".into(),
+                ));
+            }
+            deck_mode_checks(&opts, "profile")?;
+            opts.format = InputFormat::Spef;
+            opts.path = positionals[0].clone();
+            opts.command = Command::Profile {
+                decks: positionals,
+                driver,
+                json,
+            };
+        }
+        Mode::Scrape => {
+            if positionals.len() != 1 {
+                return Err(CliError::Usage(
+                    "scrape mode requires exactly one <host:port>".into(),
+                ));
+            }
+            refuse(
+                driver_given || format_given,
+                "--driver/--format do not apply to `rcdelay scrape`",
+            )?;
+            refuse(
+                opts.budget.is_some()
+                    || opts.jobs.is_some()
+                    || opts.net.is_some()
+                    || opts.voltage_at.is_some(),
+                "scrape mode only accepts --stable, --prev and --out",
+            )?;
+            let addr = positionals.pop().expect("one positional");
+            opts.command = Command::Scrape {
+                addr,
+                stable,
+                out,
+                prev,
             };
         }
         Mode::GenDeck => {
@@ -1082,6 +1208,142 @@ pub fn certify_over_from_paths(
         text: format!("{text}\n"),
         certification: Some(verdict),
     })
+}
+
+/// One row of the `rcdelay profile` per-phase breakdown, aggregated from
+/// the observability registry's `rctree_phase_duration_us` histogram.
+///
+/// `p50_us`/`max_us` are bucket upper bounds of the log-linear histogram
+/// (≤ ~12.5% relative error by construction), hence the `~` in the table
+/// rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Span name of the phase (e.g. `sta.propagate_full`).
+    pub phase: String,
+    /// Finished spans recorded for the phase.
+    pub count: u64,
+    /// Summed duration over all spans, microseconds (exact).
+    pub total_us: u64,
+    /// `total_us / count`.
+    pub mean_us: f64,
+    /// Median span duration, microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// Largest span duration, microseconds (bucket upper bound).
+    pub max_us: u64,
+}
+
+/// Runs the full deck pipeline — streamed SPEF ingest, design build, one
+/// baseline analysis — under a private observability runtime
+/// ([`rctree_obs::Obs`]) and returns the per-phase duration breakdown
+/// (`rcdelay profile`).  The phases are the pipeline's built-in span
+/// sites (`spef.chunk`, `spef.parse_batch`, `sta.net_build`,
+/// `sta.propagate_full`, `sta.stage_sweep`, …); rows sort by phase name.
+///
+/// The certification verdict of the baseline analysis rides along so the
+/// exit status behaves exactly like `rcdelay report` on the same decks.
+///
+/// # Errors
+///
+/// As for [`deck_design_from_paths`], plus analysis errors.
+pub fn profile_from_paths(
+    paths: &[String],
+    driver: &str,
+    threshold: f64,
+    budget: f64,
+    jobs: usize,
+) -> Result<(Vec<PhaseProfile>, Certification), CliError> {
+    let obs = rctree_obs::Obs::new(rctree_obs::ObsConfig::default());
+    let certification = {
+        let _scope = obs.enter();
+        let design = deck_design_from_paths(paths, driver, jobs)?;
+        let report = design
+            .analyze_with_jobs(threshold, Seconds::new(budget), jobs)
+            .map_err(|e| CliError::Analysis(e.to_string()))?;
+        report.certification()
+    };
+
+    let mut rows: Vec<PhaseProfile> = obs
+        .registry()
+        .histogram_series("rctree_phase_duration_us")
+        .into_iter()
+        .filter(|(_, snap)| snap.count > 0)
+        .map(|(labels, snap)| {
+            // Labels render as `{phase="<name>"}` (a single label by
+            // construction of the span auto-metrics).
+            let phase = labels
+                .strip_prefix("{phase=\"")
+                .and_then(|rest| rest.strip_suffix("\"}"))
+                .unwrap_or(&labels)
+                .to_string();
+            let mut p50_us = 0;
+            let mut max_us = 0;
+            let mut seen = 0u64;
+            let half = snap.count.div_ceil(2);
+            for (idx, &n) in snap.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if seen < half {
+                    p50_us = rctree_obs::bucket_upper_bound(idx);
+                }
+                seen += n;
+                max_us = rctree_obs::bucket_upper_bound(idx);
+            }
+            PhaseProfile {
+                phase,
+                count: snap.count,
+                total_us: snap.sum,
+                mean_us: snap.sum as f64 / snap.count as f64,
+                p50_us,
+                max_us,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| a.phase.cmp(&b.phase));
+    Ok((rows, certification))
+}
+
+/// Renders a [`profile_from_paths`] breakdown as the human-readable table
+/// (`rcdelay profile`) — fixed columns, rows sorted by phase name.
+#[must_use]
+pub fn render_profile_table(rows: &[PhaseProfile]) -> String {
+    let mut out = String::new();
+    let width = rows
+        .iter()
+        .map(|r| r.phase.len())
+        .chain(std::iter::once("phase".len()))
+        .max()
+        .unwrap_or(5);
+    let _ = writeln!(
+        out,
+        "{:width$}  {:>8}  {:>12}  {:>12}  {:>10}  {:>10}",
+        "phase", "count", "total_us", "mean_us", "~p50_us", "~max_us"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>8}  {:>12}  {:>12.1}  {:>10}  {:>10}",
+            r.phase, r.count, r.total_us, r.mean_us, r.p50_us, r.max_us
+        );
+    }
+    out
+}
+
+/// Renders a [`profile_from_paths`] breakdown as the machine-readable
+/// JSON document (`rcdelay profile --json`).
+#[must_use]
+pub fn render_profile_json(rows: &[PhaseProfile]) -> String {
+    let mut out = String::from("{\n  \"phases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"phase\": \"{}\", \"count\": {}, \"total_us\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"max_us\": {} }}{comma}",
+            r.phase, r.count, r.total_us, r.mean_us, r.p50_us, r.max_us
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn render_deck_report(
@@ -1679,6 +1941,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
                 port: 7411,
                 shards: 1,
                 poll_us: None,
+                slow_us: None,
             }
         );
         assert_eq!(opts.format, InputFormat::Spef);
@@ -1691,6 +1954,8 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
             "4",
             "--poll-us",
             "250",
+            "--slow-us",
+            "5000",
             "a.spef",
         ])
         .unwrap();
@@ -1702,6 +1967,7 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
                 port: 0,
                 shards: 4,
                 poll_us: Some(250),
+                slow_us: Some(5000),
             }
         );
 
@@ -1748,6 +2014,86 @@ R1 in n1 15\nC1 n1 0 2\nRB n1 ns 8\nCB ns 0 7\nU1 n1 n2 3 4\nC2 n2 0 9\n.output 
         ));
         assert!(matches!(
             parse_args(["serve", "--budget", "1e-7", "--poll-us", "0", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+
+        // --slow-us is serve-only and must be positive.
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--slow-us", "500", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["serve", "--budget", "1e-7", "--slow-us", "0", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn profile_and_scrape_arguments_parse_and_validate() {
+        let opts =
+            parse_args(["profile", "--budget", "1e-7", "--json", "a.spef", "b.spef"]).unwrap();
+        assert_eq!(
+            opts.command,
+            Command::Profile {
+                decks: vec!["a.spef".into(), "b.spef".into()],
+                driver: "inv_4x".into(),
+                json: true,
+            }
+        );
+        assert_eq!(opts.format, InputFormat::Spef);
+
+        let opts = parse_args([
+            "scrape",
+            "--stable",
+            "--prev",
+            "prev.prom",
+            "--out",
+            "cur.prom",
+            "127.0.0.1:7411",
+        ])
+        .unwrap();
+        assert_eq!(
+            opts.command,
+            Command::Scrape {
+                addr: "127.0.0.1:7411".into(),
+                stable: true,
+                out: Some("cur.prom".into()),
+                prev: Some("prev.prom".into()),
+            }
+        );
+
+        // Profile shares the deck-mode surface: budget mandatory, decks
+        // mandatory, --json profile-only.
+        assert!(matches!(
+            parse_args(["profile", "a.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["profile", "--budget", "1e-7"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--json", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+
+        // Scrape takes exactly one address and only its own flags;
+        // --stable/--prev are scrape-only.
+        assert!(matches!(parse_args(["scrape"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["scrape", "127.0.0.1:1", "127.0.0.1:2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["scrape", "--budget", "1e-7", "127.0.0.1:1"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--stable", "d.spef"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["report", "--budget", "1e-7", "--prev", "p", "d.spef"]),
             Err(CliError::Usage(_))
         ));
     }

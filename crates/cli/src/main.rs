@@ -13,8 +13,9 @@ use std::process::ExitCode;
 
 use rctree_cli::{
     certify_over_from_paths, deck_design_from_paths, deck_report_from_paths, load_corner_set,
-    load_tree, parse_args, parse_eco_script_line, read_deck_nets, report, run_eco_path, CliError,
-    Command, EcoSession, Options, ScriptLine, USAGE,
+    load_tree, parse_args, parse_eco_script_line, profile_from_paths, read_deck_nets,
+    render_profile_json, render_profile_table, report, run_eco_path, CliError, Command, EcoSession,
+    Options, ScriptLine, USAGE,
 };
 use rctree_core::cert::Certification;
 use rctree_core::units::Seconds;
@@ -166,7 +167,36 @@ fn main() -> ExitCode {
             port,
             shards,
             poll_us,
-        } => run_serve(&opts, decks, driver, *port, *shards, *poll_us),
+            slow_us,
+        } => run_serve(&opts, decks, driver, *port, *shards, *poll_us, *slow_us),
+        Command::Profile {
+            decks,
+            driver,
+            json,
+        } => {
+            let budget = opts.budget.expect("profile mode requires --budget");
+            let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
+            match profile_from_paths(decks, driver, opts.threshold, budget, jobs) {
+                Ok((rows, certification)) => {
+                    if *json {
+                        print!("{}", render_profile_json(&rows));
+                    } else {
+                        print!("{}", render_profile_table(&rows));
+                    }
+                    verdict_exit(Some(certification))
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Command::Scrape {
+            addr,
+            stable,
+            out,
+            prev,
+        } => run_scrape(addr, *stable, out.as_deref(), prev.as_deref()),
         Command::BenchClient {
             addr,
             deck,
@@ -218,6 +248,7 @@ fn run_serve(
     port: u16,
     shards: usize,
     poll_us: Option<u64>,
+    slow_us: Option<u64>,
 ) -> ExitCode {
     let budget = opts.budget.expect("serve mode requires --budget");
     let jobs = opts.jobs.unwrap_or_else(rctree_par::default_jobs);
@@ -242,6 +273,7 @@ fn run_serve(
     if let Some(us) = poll_us {
         config.poll_floor = std::time::Duration::from_micros(us);
     }
+    config.slow_us = slow_us;
     let server = match rctree_serve::Server::start(design, &config, ("127.0.0.1", port)) {
         Ok(server) => server,
         Err(e) => {
@@ -309,13 +341,46 @@ fn run_bench_client(
             return ExitCode::FAILURE;
         }
     };
-    let report = match rctree_serve::run_load(socket, &scripts) {
+    // Server-side counters bracket the run: the stable (deterministic)
+    // METRICS subset scraped before and after, diffed into the JSON
+    // summary so a benchmark record says what the *server* did, not just
+    // what the client observed.  Best-effort — a scrape failure degrades
+    // to an empty delta map, it never fails the bench.
+    let before = match rctree_serve::fetch_metrics(socket, true) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("warning: METRICS scrape before load failed: {e}");
+            None
+        }
+    };
+    let mut report = match rctree_serve::run_load(socket, &scripts) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: load run against {addr} failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(before) = before {
+        match rctree_serve::fetch_metrics(socket, true) {
+            Ok(after) => {
+                let parsed = rctree_obs::parse_exposition(&before)
+                    .and_then(|b| rctree_obs::parse_exposition(&after).map(|a| (b, a)));
+                match parsed {
+                    Ok((b, a)) => report.server_deltas = rctree_obs::counter_deltas(&b, &a),
+                    Err(e) => eprintln!("warning: METRICS exposition failed to parse: {e}"),
+                }
+            }
+            Err(e) => eprintln!("warning: METRICS scrape after load failed: {e}"),
+        }
+    }
+    for (key, delta) in &report.server_deltas {
+        if key.starts_with("rctree_requests_total")
+            || key.starts_with("rctree_protocol_errors_total")
+            || key.starts_with("rctree_report_cache_hits_total")
+        {
+            emit(&format!("bench-client: server {key} +{delta:.0}"));
+        }
+    }
     emit(&format!(
         "bench-client: {} connections x {} requests -> {:.0} queries/s \
          (p50 {:.0} us, p90 {:.0} us, p99 {:.0} us, {} protocol errors)",
@@ -348,6 +413,85 @@ fn run_bench_client(
             eprintln!("error: SHUTDOWN failed: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rcdelay scrape`: fetch a running server's `METRICS` exposition, check
+/// it is well-formed and carries the core server series, optionally check
+/// counter monotonicity against a previous scrape, and write it out.
+fn run_scrape(addr: &str, stable: bool, out: Option<&str>, prev: Option<&str>) -> ExitCode {
+    use std::net::ToSocketAddrs;
+
+    let socket = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(socket) => socket,
+        None => {
+            eprintln!("error: cannot resolve `{addr}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match rctree_serve::fetch_metrics(socket, stable) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: METRICS scrape of {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exposition = match rctree_obs::parse_exposition(&text) {
+        Ok(exposition) => exposition,
+        Err(e) => {
+            eprintln!("error: exposition is malformed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The server registers its core families eagerly, so their absence
+    // means the scrape did not hit an rctree server (or hit a bug).
+    for family in ["rctree_connections_total", "rctree_requests_total"] {
+        if !exposition.families.contains_key(family) {
+            eprintln!("error: exposition is missing required family `{family}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(prev_path) = prev {
+        let prev_text = match std::fs::read_to_string(prev_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read `{prev_path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let prev_exposition = match rctree_obs::parse_exposition(&prev_text) {
+            Ok(exposition) => exposition,
+            Err(e) => {
+                eprintln!("error: previous exposition is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = rctree_obs::check_monotone(&prev_exposition, &exposition) {
+            eprintln!("error: counter went backwards against `{prev_path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        emit(&format!(
+            "scrape: {} series, monotone against {prev_path}",
+            exposition.series.len()
+        ));
+    } else {
+        emit(&format!("scrape: {} series", exposition.series.len()));
+    }
+    match out {
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            emit(&format!("exposition written to {path}"));
+        }
+        None => print!("{text}"),
     }
     ExitCode::SUCCESS
 }

@@ -206,11 +206,13 @@ impl<R: Read> SpefReader<R> {
             if self.done {
                 return Ok(None);
             }
+            let mut chunk_span = rctree_obs::span("spef.chunk");
             let mut buf = vec![0u8; self.chunk_size];
             let n = self.source.read(&mut buf).map_err(|e| {
                 self.done = true;
                 NetlistError::from(e)
             })?;
+            chunk_span.attr_u64("bytes", n as u64);
             if n == 0 {
                 // End of input: the carry holds the final unterminated
                 // line, if any (exactly the line `str::lines` would still
@@ -262,10 +264,13 @@ impl<R: Read> SpefReader<R> {
         if raws.is_empty() {
             return Ok(None);
         }
+        let mut batch_span = rctree_obs::span("spef.parse_batch");
+        batch_span.attr_u64("nets", raws.len() as u64);
         let parsed: Result<Vec<SpefNet>> =
             rctree_par::par_map_indexed(jobs, &raws, |_, raw| raw.parse())
                 .into_iter()
                 .collect();
+        drop(batch_span);
         match parsed {
             Ok(nets) => Ok(Some(nets)),
             Err(section_error) => {

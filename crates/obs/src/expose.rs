@@ -1,0 +1,298 @@
+//! Parsing and validation of Prometheus-style exposition text.
+//!
+//! Used by the `rcdelay scrape` CI check (every line must parse, required
+//! series present, counters monotone between scrapes) and by the bench
+//! client to diff two scrapes into server-side counter deltas.
+
+use std::collections::BTreeMap;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    Counter,
+    Gauge,
+    HistogramBucket,
+    HistogramSum,
+    HistogramCount,
+}
+
+impl SeriesKind {
+    /// Whether samples of this kind may only grow on a live server.
+    pub fn is_monotone(self) -> bool {
+        !matches!(self, SeriesKind::Gauge)
+    }
+}
+
+/// A parsed exposition: `name{labels}` → (kind, value), plus family names.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    pub series: BTreeMap<String, (SeriesKind, f64)>,
+    pub families: BTreeMap<String, String>,
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Split a sample line into its series key (`name{labels}`) and value text,
+/// validating label syntax along the way.
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    // `name{labels} value` or `name value`; the value is the text after the
+    // last space outside braces. Label values may contain spaces, so find the
+    // closing brace first.
+    if let Some(open) = line.find('{') {
+        let name = &line[..open];
+        let close = line
+            .rfind('}')
+            .ok_or_else(|| format!("unclosed label set: `{line}`"))?;
+        if close < open {
+            return Err(format!("malformed label set: `{line}`"));
+        }
+        let rest = line[close + 1..].trim_start();
+        Ok((name, &line[open..=close], rest))
+    } else {
+        let mut parts = line.splitn(2, ' ');
+        let name = parts.next().unwrap_or("");
+        let value = parts.next().unwrap_or("").trim();
+        Ok((name, "", value))
+    }
+}
+
+fn validate_labels(labels: &str) -> Result<(), String> {
+    if labels.is_empty() {
+        return Ok(());
+    }
+    let body = &labels[1..labels.len() - 1];
+    // Split on `",` boundaries so escaped quotes inside values survive.
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{labels}`"))?;
+        let key = &rest[..eq];
+        if !valid_name(key) {
+            return Err(format!("bad label key `{key}` in `{labels}`"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value in `{labels}`"));
+        }
+        let mut end = None;
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in `{labels}`"))?;
+        rest = &after[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value in `{labels}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse exposition text, failing on any malformed line.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("bad TYPE line: `{line}`"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("bad TYPE line: `{line}`"))?;
+            if !valid_name(name) || parts.next().is_some() {
+                return Err(format!("bad TYPE line: `{line}`"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown family kind in `{line}`"));
+            }
+            out.families.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, labels, value) = split_sample(line)?;
+        if !valid_name(name) {
+            return Err(format!("bad series name in `{line}`"));
+        }
+        validate_labels(labels)?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("bad sample value in `{line}`"))?;
+        // Resolve the declaring family: exact for counters/gauges, suffixed
+        // for histogram components.
+        let kind = if let Some(kind) = out.families.get(name) {
+            match kind.as_str() {
+                "counter" => SeriesKind::Counter,
+                "gauge" => SeriesKind::Gauge,
+                _ => return Err(format!("histogram family sampled without suffix: `{line}`")),
+            }
+        } else if let Some(base) = name.strip_suffix("_bucket") {
+            match out.families.get(base).map(String::as_str) {
+                Some("histogram") => SeriesKind::HistogramBucket,
+                _ => return Err(format!("sample without TYPE declaration: `{line}`")),
+            }
+        } else if let Some(base) = name.strip_suffix("_sum") {
+            match out.families.get(base).map(String::as_str) {
+                Some("histogram") => SeriesKind::HistogramSum,
+                _ => return Err(format!("sample without TYPE declaration: `{line}`")),
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            match out.families.get(base).map(String::as_str) {
+                Some("histogram") => SeriesKind::HistogramCount,
+                _ => return Err(format!("sample without TYPE declaration: `{line}`")),
+            }
+        } else {
+            return Err(format!("sample without TYPE declaration: `{line}`"));
+        };
+        let key = format!("{name}{labels}");
+        if out.series.insert(key.clone(), (kind, value)).is_some() {
+            return Err(format!("duplicate series `{key}`"));
+        }
+    }
+    Ok(out)
+}
+
+/// Check that every monotone series in `prev` is present in `cur` with a
+/// value no smaller.
+pub fn check_monotone(prev: &Exposition, cur: &Exposition) -> Result<(), String> {
+    for (key, (kind, prev_value)) in &prev.series {
+        if !kind.is_monotone() {
+            continue;
+        }
+        match cur.series.get(key) {
+            None => return Err(format!("series `{key}` disappeared between scrapes")),
+            Some((_, cur_value)) if cur_value < prev_value => {
+                return Err(format!(
+                    "series `{key}` went backwards: {prev_value} -> {cur_value}"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Non-zero deltas of counter and histogram sum/count series between two
+/// scrapes, sorted by series key. Buckets are skipped (count/sum carry the
+/// cross-check signal); series new in `cur` count from zero.
+pub fn counter_deltas(prev: &Exposition, cur: &Exposition) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (key, (kind, cur_value)) in &cur.series {
+        let keep = matches!(
+            kind,
+            SeriesKind::Counter | SeriesKind::HistogramSum | SeriesKind::HistogramCount
+        );
+        if !keep {
+            continue;
+        }
+        let prev_value = prev.series.get(key).map(|(_, v)| *v).unwrap_or(0.0);
+        let delta = cur_value - prev_value;
+        if delta != 0.0 {
+            out.push((key.clone(), delta));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# TYPE rctree_requests_total counter
+rctree_requests_total 5
+rctree_requests_total{verb=\"QUERY\"} 3
+# TYPE rctree_arena_base_bytes gauge
+rctree_arena_base_bytes 1024
+# TYPE rctree_phase_duration_us histogram
+rctree_phase_duration_us_bucket{le=\"4\",phase=\"sta.publish\"} 2
+rctree_phase_duration_us_bucket{le=\"+Inf\",phase=\"sta.publish\"} 2
+rctree_phase_duration_us_sum{phase=\"sta.publish\"} 7
+rctree_phase_duration_us_count{phase=\"sta.publish\"} 2
+";
+
+    #[test]
+    fn parses_well_formed_text() {
+        let exp = parse_exposition(SAMPLE).unwrap();
+        assert_eq!(exp.families.len(), 3);
+        assert_eq!(
+            exp.series.get("rctree_requests_total{verb=\"QUERY\"}"),
+            Some(&(SeriesKind::Counter, 3.0))
+        );
+        assert_eq!(
+            exp.series
+                .get("rctree_phase_duration_us_count{phase=\"sta.publish\"}"),
+            Some(&(SeriesKind::HistogramCount, 2.0))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_exposition("no_type_decl 1\n").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx{unclosed=\"v 1\n").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx not_a_number\n").is_err());
+        assert!(parse_exposition("# TYPE x widget\n").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx 1\nx 2\n").is_err());
+    }
+
+    #[test]
+    fn monotone_check_flags_regressions() {
+        let prev = parse_exposition(SAMPLE).unwrap();
+        let cur =
+            parse_exposition(&SAMPLE.replace("rctree_requests_total 5", "rctree_requests_total 4"))
+                .unwrap();
+        assert!(check_monotone(&prev, &prev).is_ok());
+        let err = check_monotone(&prev, &cur).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+        // Gauges may move either way.
+        let cur = parse_exposition(
+            &SAMPLE.replace("rctree_arena_base_bytes 1024", "rctree_arena_base_bytes 10"),
+        )
+        .unwrap();
+        assert!(check_monotone(&prev, &cur).is_ok());
+    }
+
+    #[test]
+    fn deltas_cover_counters_and_histogram_totals() {
+        let prev = parse_exposition(SAMPLE).unwrap();
+        let cur = parse_exposition(
+            &SAMPLE
+                .replace("rctree_requests_total 5", "rctree_requests_total 9")
+                .replace(
+                    "rctree_phase_duration_us_count{phase=\"sta.publish\"} 2",
+                    "rctree_phase_duration_us_count{phase=\"sta.publish\"} 3",
+                ),
+        )
+        .unwrap();
+        let deltas = counter_deltas(&prev, &cur);
+        assert_eq!(
+            deltas,
+            vec![
+                (
+                    "rctree_phase_duration_us_count{phase=\"sta.publish\"}".to_string(),
+                    1.0
+                ),
+                ("rctree_requests_total".to_string(), 4.0),
+            ]
+        );
+    }
+}

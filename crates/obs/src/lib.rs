@@ -1,0 +1,30 @@
+//! # rctree-obs
+//!
+//! Zero-dependency observability runtime for the rctree workspace: a sharded
+//! metrics registry (counters, gauges, HDR-style log-linear histograms), RAII
+//! span tracing into a fixed-capacity ring, and Prometheus-style text
+//! exposition with a deterministic (`stable`) subset.
+//!
+//! Everything is runtime-gated: the library records nothing until a caller
+//! builds an [`Obs`] runtime and [`Obs::enter`]s it on a thread. Instrumented
+//! code in the rest of the workspace goes through [`span`], whose disabled
+//! path is a single thread-local read.
+//!
+//! See `crates/obs/README.md` for the shard/aggregation design and the
+//! rationale for not depending on `tracing`/`prometheus` in this offline
+//! workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod expose;
+pub mod registry;
+pub mod runtime;
+pub mod trace;
+
+pub use expose::{check_monotone, counter_deltas, parse_exposition, Exposition, SeriesKind};
+pub use registry::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricKind,
+    Registry, Stability, HISTOGRAM_BUCKETS,
+};
+pub use runtime::{span, Obs, ObsConfig, ObsGuard, Span};
+pub use trace::{AttrValue, SpanRecord, SpanRing};

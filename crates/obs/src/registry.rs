@@ -1,0 +1,554 @@
+//! Metric families: counters, gauges, and log-linear histograms.
+//!
+//! Counters and histograms are sharded per thread: each writer thread is
+//! assigned a cache-line-padded shard (one per hardware thread, plus a shared
+//! fallback shard for any overflow threads), so the hot path is a single
+//! `Relaxed` `fetch_add` with no cross-core contention. Shards are summed only
+//! at scrape time. Because a histogram bucket index depends only on the
+//! recorded value — never on which shard recorded it — the merged bucket
+//! counts are identical for any thread count and any merge order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log-linear buckets: 4 exact buckets for values 0..=3, then four
+/// sub-buckets per power-of-two octave up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 252;
+
+/// A counter cell padded to a cache line so per-thread shards never share one.
+#[repr(align(64))]
+struct PadCell(AtomicU64);
+
+impl PadCell {
+    fn new() -> Self {
+        PadCell(AtomicU64::new(0))
+    }
+}
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// Stable slot for the calling thread, assigned round-robin on first use.
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|cell| {
+        let slot = cell.get();
+        if slot != usize::MAX {
+            return slot;
+        }
+        let slot = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+        cell.set(slot);
+        slot
+    })
+}
+
+/// Shard count: one shard per hardware thread (the `rctree-par` pool never
+/// runs wider) plus one shared fallback shard for overflow threads.
+pub(crate) fn shard_count() -> usize {
+    let width = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 64);
+    width + 1
+}
+
+fn shard_index(shards: usize) -> usize {
+    let slot = thread_slot();
+    if slot < shards - 1 {
+        slot
+    } else {
+        shards - 1
+    }
+}
+
+/// Monotone counter, sharded per thread.
+pub struct Counter {
+    shards: Box<[PadCell]>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            shards: (0..shard_count()).map(|_| PadCell::new()).collect(),
+        }
+    }
+
+    pub fn add(&self, v: u64) {
+        let idx = shard_index(self.shards.len());
+        self.shards[idx].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Point-in-time gauge. Set at scrape or on low-frequency state changes, so a
+/// single atomic is enough.
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, v: i64) {
+        self.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Map a value to its log-linear bucket: exact for 0..=3, then four
+/// sub-buckets per octave (HDR-style, ~25% relative error bound).
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    4 * (msb - 1) + ((v >> (msb - 2)) & 3) as usize
+}
+
+/// Inclusive upper bound of a bucket, for `le=` exposition labels.
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let msb = idx / 4 + 1;
+    let sub = (idx % 4) as u128;
+    let hi = ((4 + sub + 1) << (msb - 2)) - 1;
+    if hi > u64::MAX as u128 {
+        u64::MAX
+    } else {
+        hi as u64
+    }
+}
+
+/// One thread shard of a histogram: bucket counts plus the running sum.
+struct HistogramShard {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl HistogramShard {
+    fn new() -> Self {
+        HistogramShard {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log-linear histogram of `u64` samples, sharded per thread.
+pub struct Histogram {
+    shards: Box<[HistogramShard]>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+/// Aggregated view of a histogram at scrape time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            shards: (0..shard_count()).map(|_| HistogramShard::new()).collect(),
+        }
+    }
+
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[shard_index(self.shards.len())];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        let mut sum = 0u64;
+        for shard in self.shards.iter() {
+            for (acc, b) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            sum,
+            count,
+        }
+    }
+}
+
+/// Whether a family survives into the `stable` exposition subset.
+///
+/// `Volatile` marks wall-clock-valued families (durations): their bucket
+/// contents depend on machine speed, so they are byte-stable across repeated
+/// scrapes of a quiesced server but not across runs or worker counts.
+/// `Stable` families depend only on the workload (request counts, cone sizes,
+/// bytes) and are byte-identical across `RCTREE_JOBS` for the same input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stability {
+    Stable,
+    Volatile,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    kind: MetricKind,
+    stability: Stability,
+    series: BTreeMap<String, Series>,
+}
+
+/// Registry of metric families, keyed by name, each holding label-keyed
+/// series. Registration takes a lock and formats labels; callers cache the
+/// returned `Arc` handles so the hot path never touches the registry.
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Canonical label-set rendering: keys sorted, values escaped; empty label
+/// sets render as the empty string.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Merge an extra `le` label into an existing rendered label set.
+fn with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn family<'a>(
+        families: &'a mut BTreeMap<&'static str, Family>,
+        name: &'static str,
+        kind: MetricKind,
+        stability: Stability,
+    ) -> &'a mut Family {
+        let fam = families.entry(name).or_insert_with(|| Family {
+            kind,
+            stability,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind && fam.stability == stability,
+            "metric family `{name}` re-registered with a different kind or stability"
+        );
+        fam
+    }
+
+    pub fn counter(
+        &self,
+        name: &'static str,
+        stability: Stability,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let mut families = self.families.lock().unwrap();
+        let fam = Self::family(&mut families, name, MetricKind::Counter, stability);
+        let series = fam
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| Series::Counter(Arc::new(Counter::new())));
+        match series {
+            Series::Counter(c) => Arc::clone(c),
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        stability: Stability,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        let mut families = self.families.lock().unwrap();
+        let fam = Self::family(&mut families, name, MetricKind::Gauge, stability);
+        let series = fam
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| Series::Gauge(Arc::new(Gauge::new())));
+        match series {
+            Series::Gauge(g) => Arc::clone(g),
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        stability: Stability,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let mut families = self.families.lock().unwrap();
+        let fam = Self::family(&mut families, name, MetricKind::Histogram, stability);
+        let series = fam
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| Series::Histogram(Arc::new(Histogram::new())));
+        match series {
+            Series::Histogram(h) => Arc::clone(h),
+            _ => unreachable!(),
+        }
+    }
+
+    /// All series of one histogram family as `(label set, snapshot)` pairs,
+    /// sorted by label set. Used by `rcdelay profile` to aggregate phases.
+    pub fn histogram_series(&self, name: &str) -> Vec<(String, HistogramSnapshot)> {
+        let families = self.families.lock().unwrap();
+        let Some(fam) = families.get(name) else {
+            return Vec::new();
+        };
+        fam.series
+            .iter()
+            .filter_map(|(labels, series)| match series {
+                Series::Histogram(h) => Some((labels.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render the registry as Prometheus-style text. Families sort by name,
+    /// series by label set, buckets by upper bound: the output is a pure
+    /// function of the recorded values, so a quiesced registry renders
+    /// byte-identically on every call. With `stable_only`, volatile
+    /// (wall-clock-valued) families are skipped; the remaining text is
+    /// byte-identical across `RCTREE_JOBS` for the same workload.
+    pub fn expose(&self, stable_only: bool) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in families.iter() {
+            if stable_only && fam.stability == Stability::Volatile {
+                continue;
+            }
+            let kind = match fam.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, series) in fam.series.iter() {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (idx, n) in snap.buckets.iter().enumerate() {
+                            if *n == 0 {
+                                continue;
+                            }
+                            cum += n;
+                            let le = bucket_upper_bound(idx).to_string();
+                            out.push_str(&format!("{name}_bucket{} {cum}\n", with_le(labels, &le)));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n",
+                            with_le(labels, "+Inf"),
+                            snap.count
+                        ));
+                        out.push_str(&format!("{name}_sum{labels} {}\n", snap.sum));
+                        out.push_str(&format!("{name}_count{labels} {}\n", snap.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_exact_below_four() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+        let mut last = 0usize;
+        for shift in 2..64 {
+            for sub in 0..4u64 {
+                let v = (4 + sub) << (shift - 2);
+                let idx = bucket_index(v);
+                assert!(idx >= last, "bucket index must be monotone");
+                assert!(v <= bucket_upper_bound(idx));
+                last = idx;
+            }
+        }
+        assert!(bucket_index(u64::MAX) < HISTOGRAM_BUCKETS);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every value's bucket upper bound is >= the value, and the previous
+        // bucket's bound is < the value.
+        for &v in &[4u64, 5, 7, 8, 100, 1023, 1024, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_upper_bound(idx) >= v);
+            if idx > 0 {
+                assert!(bucket_upper_bound(idx - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", Stability::Stable, &[]);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn label_sets_are_canonicalised() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", Stability::Stable, &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("x_total", Stability::Stable, &[("a", "1"), ("b", "2")]);
+        a.bump();
+        b.bump();
+        assert_eq!(a.get(), 2, "label order must not split a series");
+        let text = reg.expose(false);
+        assert!(text.contains("x_total{a=\"1\",b=\"2\"} 2\n"), "{text}");
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_repeatable() {
+        let reg = Registry::new();
+        reg.counter("zz_total", Stability::Stable, &[]).add(7);
+        reg.gauge("aa_bytes", Stability::Stable, &[]).set(42);
+        let h = reg.histogram("mm_us", Stability::Volatile, &[("k", "v")]);
+        h.record(3);
+        h.record(900);
+        let one = reg.expose(false);
+        let two = reg.expose(false);
+        assert_eq!(one, two);
+        let aa = one.find("# TYPE aa_bytes").unwrap();
+        let mm = one.find("# TYPE mm_us").unwrap();
+        let zz = one.find("# TYPE zz_total").unwrap();
+        assert!(aa < mm && mm < zz, "families must sort by name");
+        let stable = reg.expose(true);
+        assert!(!stable.contains("mm_us"), "volatile family must be skipped");
+        assert!(stable.contains("zz_total 7\n"));
+    }
+}

@@ -1,0 +1,322 @@
+//! The `Obs` runtime: a registry plus a span ring, entered per thread.
+//!
+//! Observability is off by default for the library: instrumented code calls
+//! [`span`], which consults a thread-local stack of entered runtimes and
+//! returns an inert guard when the stack is empty. A process that wants
+//! telemetry (the serve loop, `rcdelay profile`, benches) builds an
+//! `Arc<Obs>` and calls [`Obs::enter`] on each thread that should report into
+//! it. Runtimes are per-instance, not process-global, so two servers in one
+//! test process keep disjoint counters.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::registry::{Counter, Histogram, Registry, Stability};
+use crate::trace::{AttrValue, SpanRecord, SpanRing};
+
+/// Runtime knobs. The library default (no runtime entered) disables
+/// everything; this struct only configures a runtime once one is built.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Capacity of the finished-span ring served by `TRACE`.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace_capacity: 4096,
+        }
+    }
+}
+
+/// Cached handles for one span name, so finishing a span never re-enters the
+/// registry lock.
+struct PhaseMetrics {
+    duration_us: Arc<Histogram>,
+    total: Arc<Counter>,
+    attrs: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+pub struct Obs {
+    config: ObsConfig,
+    registry: Registry,
+    ring: SpanRing,
+    epoch: Instant,
+    next_span_id: AtomicU64,
+    phases: Mutex<BTreeMap<&'static str, PhaseMetrics>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    pub fn new(config: ObsConfig) -> Arc<Self> {
+        Arc::new(Obs {
+            registry: Registry::new(),
+            ring: SpanRing::new(config.trace_capacity),
+            epoch: Instant::now(),
+            next_span_id: AtomicU64::new(0),
+            phases: Mutex::new(BTreeMap::new()),
+            config,
+        })
+    }
+
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn ring(&self) -> &SpanRing {
+        &self.ring
+    }
+
+    /// Enter this runtime on the calling thread. Spans and phase metrics
+    /// opened while the guard lives report here. Guards nest: the innermost
+    /// entered runtime wins.
+    pub fn enter(self: &Arc<Self>) -> ObsGuard {
+        SCOPES.with(|scopes| {
+            scopes.borrow_mut().push(Frame {
+                obs: Arc::clone(self),
+                span_stack: Vec::new(),
+            });
+        });
+        ObsGuard {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The runtime entered on the calling thread, if any.
+    pub fn current() -> Option<Arc<Obs>> {
+        SCOPES.with(|scopes| scopes.borrow().last().map(|f| Arc::clone(&f.obs)))
+    }
+
+    fn phase_finished(&self, name: &'static str, dur_ns: u64, attrs: &[(&'static str, AttrValue)]) {
+        let mut phases = self.phases.lock().unwrap();
+        let metrics = phases.entry(name).or_insert_with(|| PhaseMetrics {
+            duration_us: self.registry.histogram(
+                "rctree_phase_duration_us",
+                Stability::Volatile,
+                &[("phase", name)],
+            ),
+            total: self.registry.counter(
+                "rctree_phase_total",
+                Stability::Stable,
+                &[("phase", name)],
+            ),
+            attrs: BTreeMap::new(),
+        });
+        metrics.total.bump();
+        metrics.duration_us.record(dur_ns / 1_000);
+        for (key, value) in attrs {
+            if let AttrValue::U64(v) = value {
+                let hist = metrics.attrs.entry(key).or_insert_with(|| {
+                    self.registry.histogram(
+                        "rctree_phase_attr",
+                        Stability::Stable,
+                        &[("phase", name), ("attr", key)],
+                    )
+                });
+                hist.record(*v);
+            }
+        }
+    }
+}
+
+struct Frame {
+    obs: Arc<Obs>,
+    /// Ids of spans currently open on this thread, innermost last.
+    span_stack: Vec<u64>,
+}
+
+thread_local! {
+    static SCOPES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`Obs::enter`]; leaving scope exits the runtime on this
+/// thread. Intentionally `!Send`: it pairs with the entering thread's stack.
+pub struct ObsGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|scopes| {
+            scopes.borrow_mut().pop();
+        });
+    }
+}
+
+struct SpanInner {
+    obs: Arc<Obs>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// RAII span guard. Inert (a no-op on every method and on drop) unless a
+/// runtime was entered on the creating thread.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+/// Open a span named `name` against the runtime entered on this thread.
+/// When no runtime is entered the returned guard is inert; the cost is one
+/// thread-local read.
+pub fn span(name: &'static str) -> Span {
+    let inner = SCOPES.with(|scopes| {
+        let mut scopes = scopes.borrow_mut();
+        let frame = scopes.last_mut()?;
+        let obs = Arc::clone(&frame.obs);
+        let id = obs.next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let parent = frame.span_stack.last().copied().unwrap_or(0);
+        frame.span_stack.push(id);
+        let start = Instant::now();
+        let start_ns = start.duration_since(obs.epoch).as_nanos() as u64;
+        Some(SpanInner {
+            obs,
+            id,
+            parent,
+            name,
+            start,
+            start_ns,
+            attrs: Vec::new(),
+        })
+    });
+    Span { inner }
+}
+
+impl Span {
+    /// An always-inert span, for initialising a variable that is
+    /// conditionally replaced by a real [`span`] later.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Whether this span is live (a runtime was entered). Lets callers skip
+    /// attribute computation that is only needed for telemetry.
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.attrs.push((key, AttrValue::U64(value)));
+        }
+    }
+
+    pub fn attr_str(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.attrs.push((key, AttrValue::Str(value.into())));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = inner.start.elapsed().as_nanos() as u64;
+        // Unwind this span from the thread's open-span stack. Normal RAII
+        // nesting pops the top; out-of-order drops remove by id.
+        SCOPES.with(|scopes| {
+            let mut scopes = scopes.borrow_mut();
+            if let Some(frame) = scopes.last_mut() {
+                if let Some(pos) = frame.span_stack.iter().rposition(|&id| id == inner.id) {
+                    frame.span_stack.remove(pos);
+                }
+            }
+        });
+        inner.obs.phase_finished(inner.name, dur_ns, &inner.attrs);
+        inner.obs.ring().push(SpanRecord {
+            seq: 0,
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            start_ns: inner.start_ns,
+            dur_ns,
+            attrs: inner.attrs,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_without_runtime_is_inert() {
+        let mut s = span("noop");
+        assert!(!s.is_live());
+        s.attr_u64("k", 1);
+        drop(s);
+        assert!(Obs::current().is_none());
+    }
+
+    #[test]
+    fn spans_record_parent_links_and_phase_metrics() {
+        let obs = Obs::new(ObsConfig::default());
+        let guard = obs.enter();
+        {
+            let mut outer = span("outer");
+            outer.attr_u64("nets", 12);
+            {
+                let _inner = span("inner");
+            }
+        }
+        drop(guard);
+        let recent = obs.ring().recent(10);
+        assert_eq!(recent.len(), 2);
+        let inner = recent.iter().find(|r| r.name == "inner").unwrap();
+        let outer = recent.iter().find(|r| r.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        // Inner finishes first, so it has the smaller seq.
+        assert!(inner.seq < outer.seq);
+
+        let text = obs.registry().expose(false);
+        assert!(
+            text.contains("rctree_phase_total{phase=\"inner\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("rctree_phase_total{phase=\"outer\"} 1\n"));
+        assert!(text.contains("rctree_phase_attr_count{attr=\"nets\",phase=\"outer\"} 1"));
+        let stable = obs.registry().expose(true);
+        assert!(!stable.contains("rctree_phase_duration_us"));
+        assert!(stable.contains("rctree_phase_attr_sum{attr=\"nets\",phase=\"outer\"} 12"));
+    }
+
+    #[test]
+    fn runtimes_nest_and_stay_isolated() {
+        let a = Obs::new(ObsConfig::default());
+        let b = Obs::new(ObsConfig::default());
+        let _ga = a.enter();
+        {
+            let _gb = b.enter();
+            let _s = span("into_b");
+        }
+        let _s = span("into_a");
+        drop(_s);
+        assert_eq!(b.ring().recent(10).len(), 1);
+        assert_eq!(b.ring().recent(10)[0].name, "into_b");
+        let a_spans = a.ring().recent(10);
+        assert_eq!(a_spans.len(), 1);
+        assert_eq!(a_spans[0].name, "into_a");
+    }
+}

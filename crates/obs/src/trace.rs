@@ -1,0 +1,162 @@
+//! Finished-span ring buffer.
+//!
+//! Writers are obstruction-free: a finished span claims a slot with a single
+//! `fetch_add` and stores the record under a per-slot `try_lock`. A writer
+//! that loses the (vanishingly rare) race for a slot drops the record and
+//! counts the drop instead of blocking — the hot path never waits on a
+//! reader. `TRACE n` snapshots the ring by locking each slot briefly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// An attribute attached to a span.
+#[derive(Clone, Debug)]
+pub enum AttrValue {
+    U64(u64),
+    Str(String),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A finished span as stored in the ring.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Global finish order (1-based); later spans have larger `seq`.
+    pub seq: u64,
+    /// Span id, unique within one `Obs` runtime.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 at top level.
+    pub parent: u64,
+    pub name: &'static str,
+    /// Start offset in nanoseconds since the runtime epoch (monotonic clock).
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// One-line wire rendering used by the `TRACE` verb.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "span seq={} id={} parent={} name={} start_ns={} dur_ns={}",
+            self.seq, self.id, self.parent, self.name, self.start_ns, self.dur_ns
+        );
+        for (k, v) in &self.attrs {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line
+    }
+}
+
+pub struct SpanRing {
+    slots: Box<[Mutex<Option<SpanRecord>>]>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of records dropped because a writer lost a slot race.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn push(&self, mut record: SpanRecord) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed) + 1;
+        record.seq = seq;
+        let idx = ((seq - 1) % self.slots.len() as u64) as usize;
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => *slot = Some(record),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The most recent `n` finished spans, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<SpanRecord> {
+        let mut records: Vec<SpanRecord> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            if let Ok(guard) = slot.lock() {
+                if let Some(rec) = guard.as_ref() {
+                    records.push(rec.clone());
+                }
+            }
+        }
+        records.sort_by_key(|r| r.seq);
+        let keep = n.min(records.len());
+        records.split_off(records.len() - keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str) -> SpanRecord {
+        SpanRecord {
+            seq: 0,
+            id: 1,
+            parent: 0,
+            name,
+            start_ns: 10,
+            dur_ns: 5,
+            attrs: vec![("nets", AttrValue::U64(3))],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_orders_by_seq() {
+        let ring = SpanRing::new(4);
+        for _ in 0..6 {
+            ring.push(rec("a"));
+        }
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 4);
+        let seqs: Vec<u64> = recent.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5, 6]);
+        let last_two = ring.recent(2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[0].seq, 5);
+    }
+
+    #[test]
+    fn render_is_one_line_with_attrs() {
+        let mut r = rec("sta.publish");
+        r.seq = 9;
+        let line = r.render();
+        assert_eq!(
+            line,
+            "span seq=9 id=1 parent=0 name=sta.publish start_ns=10 dur_ns=5 nets=3"
+        );
+        assert!(!line.contains('\n'));
+    }
+}

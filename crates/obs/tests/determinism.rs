@@ -1,0 +1,97 @@
+//! Shard-merge determinism: the same value multiset recorded by any number
+//! of writer threads, in any interleaving, must aggregate to identical
+//! bucket counts and byte-identical exposition text.
+
+use std::sync::Arc;
+
+use rctree_obs::{HistogramSnapshot, Registry, Stability};
+
+/// A fixed multiset of samples spanning the exact buckets, several octaves,
+/// and the extremes.
+fn sample_multiset() -> Vec<u64> {
+    let mut values = Vec::new();
+    for seed in 0..640u64 {
+        // Deterministic mix: small exact values, mid-range, and huge values.
+        let v = match seed % 5 {
+            0 => seed % 4,
+            1 => 4 + seed % 64,
+            2 => (seed + 1) * 1_000,
+            3 => 1 << (seed % 50),
+            _ => u64::MAX - seed,
+        };
+        values.push(v);
+    }
+    values
+}
+
+/// Record `values` split round-robin across `threads` writer threads and
+/// return the merged snapshot plus the full exposition text.
+fn record_with_threads(values: &[u64], threads: usize) -> (HistogramSnapshot, String) {
+    let registry = Arc::new(Registry::new());
+    let hist = registry.histogram("det_us", Stability::Stable, &[("k", "v")]);
+    let chunks: Vec<Vec<u64>> = (0..threads)
+        .map(|t| {
+            values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % threads == t)
+                .map(|(_, v)| *v)
+                .collect()
+        })
+        .collect();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for v in chunk {
+                    hist.record(v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (hist.snapshot(), registry.expose(false))
+}
+
+#[test]
+fn merged_shards_are_identical_for_any_thread_count() {
+    // Mirrors the RCTREE_JOBS ∈ {1, 2, 7} matrix the engine runs under.
+    let values = sample_multiset();
+    let (base_snap, base_text) = record_with_threads(&values, 1);
+    assert_eq!(base_snap.count, values.len() as u64);
+    for threads in [2usize, 7] {
+        let (snap, text) = record_with_threads(&values, threads);
+        assert_eq!(
+            snap.buckets, base_snap.buckets,
+            "bucket counts diverged at {threads} threads"
+        );
+        assert_eq!(snap.sum, base_snap.sum);
+        assert_eq!(
+            text, base_text,
+            "exposition must be byte-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn exposition_is_identical_across_merge_orders() {
+    // Recording order is a merge order for the per-thread shards: reversing
+    // and interleaving the multiset must not move a single byte.
+    let values = sample_multiset();
+    let mut reversed = values.clone();
+    reversed.reverse();
+    let mut interleaved = Vec::with_capacity(values.len());
+    let half = values.len() / 2;
+    for i in 0..half {
+        interleaved.push(values[i]);
+        interleaved.push(values[values.len() - 1 - i]);
+    }
+    let (_, base) = record_with_threads(&values, 3);
+    let (_, rev) = record_with_threads(&reversed, 3);
+    let (_, inter) = record_with_threads(&interleaved, 3);
+    assert_eq!(base, rev);
+    assert_eq!(base, inter);
+}

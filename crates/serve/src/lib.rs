@@ -21,6 +21,12 @@
 //!         [c <lo..hi>]                     box of wire scales (symbolic lane);
 //!                                          exact worst point, not a sampling
 //! STATS                                    server counters
+//! METRICS [stable]                         observability registry, Prometheus-
+//!                                          style text (`stable`: only the
+//!                                          cross-`RCTREE_JOBS`-deterministic
+//!                                          subset); self-excluding
+//! TRACE <n>                                most recent n finished spans,
+//!                                          one line each; self-excluding
 //! QUIT                                     close this connection
 //! SHUTDOWN                                 stop the server
 //! ```
@@ -75,7 +81,7 @@ pub mod server;
 pub mod session;
 pub mod store;
 
-pub use crate::loadgen::{run_load, LoadReport, VerbLatency};
+pub use crate::loadgen::{fetch_metrics, run_load, LoadReport, VerbLatency};
 pub use crate::protocol::{Request, ScaleBox};
 pub use crate::server::{Backoff, ServeConfig, ServeError, Server, DEFAULT_POLL_FLOOR};
 pub use crate::session::{EcoCounts, EcoExecutor};

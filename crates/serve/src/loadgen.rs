@@ -77,6 +77,12 @@ pub struct LoadReport {
     pub max_us: f64,
     /// Per-verb latency breakdown (verbs with zero requests omitted).
     pub per_verb: Vec<VerbLatency>,
+    /// Server-side counter deltas over the run — `METRICS stable` scraped
+    /// before and after, diffed with [`rctree_obs::counter_deltas`] —
+    /// so the JSON cross-checks the client's view (requests sent) against
+    /// the server's (requests counted, bytes written, cache hits).  Empty
+    /// when the caller did not scrape.
+    pub server_deltas: Vec<(String, f64)>,
 }
 
 impl LoadReport {
@@ -95,11 +101,18 @@ impl LoadReport {
                 v.verb, v.requests, v.p50_us, v.p90_us, v.p99_us, v.max_us
             ));
         }
+        let mut deltas = String::new();
+        for (i, (key, delta)) in self.server_deltas.iter().enumerate() {
+            if i > 0 {
+                deltas.push_str(",\n");
+            }
+            deltas.push_str(&format!("    \"{}\": {delta}", json_escape(key)));
+        }
         format!(
             "{{\n  \"bench\": \"serve\",\n  \"connections\": {},\n  \"requests\": {},\n  \
              \"protocol_errors\": {},\n  \"elapsed_s\": {},\n  \"queries_per_s\": {},\n  \
              \"p50_us\": {},\n  \"p90_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {},\n  \
-             \"per_verb\": {{\n{}\n  }}\n}}\n",
+             \"per_verb\": {{\n{}\n  }},\n  \"server_deltas\": {{\n{}\n  }}\n}}\n",
             self.connections,
             self.requests,
             self.protocol_errors,
@@ -109,8 +122,65 @@ impl LoadReport {
             self.p90_us,
             self.p99_us,
             self.max_us,
-            per_verb
+            per_verb,
+            deltas
         )
+    }
+}
+
+/// Escape a string for use inside a JSON string literal (series keys carry
+/// quoted label values).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fetches one `METRICS` (or `METRICS stable`) scrape from a running
+/// server: the payload text, excluding the final `OK rev …` line, with a
+/// trailing newline — exactly the registry exposition, ready for
+/// [`rctree_obs::parse_exposition`].
+///
+/// # Errors
+///
+/// Connection/transport errors, or a scrape whose final line is `ERR`.
+pub fn fetch_metrics(addr: SocketAddr, stable: bool) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    if stable {
+        writeln!(writer, "METRICS stable")?;
+    } else {
+        writeln!(writer, "METRICS")?;
+    }
+    writer.flush()?;
+    let mut payload = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-scrape",
+            ));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if protocol::is_final(trimmed) {
+            if trimmed.starts_with("ERR") {
+                return Err(io::Error::other(format!("scrape failed: {trimmed}")));
+            }
+            return Ok(payload);
+        }
+        payload.push_str(trimmed);
+        payload.push('\n');
     }
 }
 
@@ -223,6 +293,7 @@ pub fn run_load(addr: SocketAddr, scripts: &[Vec<String>]) -> io::Result<LoadRep
         p99_us: percentile(&latencies, 99.0),
         max_us: latencies.last().copied().unwrap_or(0.0),
         per_verb,
+        server_deltas: Vec::new(),
     })
 }
 
@@ -268,11 +339,20 @@ mod tests {
                 p99_us: 30.0,
                 max_us: 40.0,
             }],
+            server_deltas: vec![(
+                "rctree_requests_verb_total{verb=\"QUERY\"}".to_string(),
+                100.0,
+            )],
         };
         let json = report.to_json();
         assert!(json.contains("\"queries_per_s\": 200"));
         assert!(json.contains("\"per_verb\""));
         assert!(json.contains("\"QUERY\": { \"requests\": 100"));
+        // Label quotes inside the series key are escaped for JSON.
+        assert!(
+            json.contains("\"rctree_requests_verb_total{verb=\\\"QUERY\\\"}\": 100"),
+            "{json}"
+        );
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

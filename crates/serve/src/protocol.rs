@@ -33,6 +33,15 @@ pub struct ScaleBox {
     pub c: (f64, f64),
 }
 
+/// The counted wire verbs, in wire spelling — the per-verb metric series
+/// (`rctree_requests_verb_total{verb=…}` and friends) are registered for
+/// exactly this set at server start, so the exposition carries every verb
+/// from the first scrape.  `METRICS` and `TRACE` are deliberately absent:
+/// scraping is self-excluding and moves no counters.
+pub const VERBS: [&str; 7] = [
+    "QUERY", "REPORT", "ECO", "CERTIFY", "STATS", "QUIT", "SHUTDOWN",
+];
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -80,6 +89,22 @@ pub enum Request {
     },
     /// `STATS` — server counters (not part of the deterministic surface).
     Stats,
+    /// `METRICS [stable]` — the observability registry as Prometheus-style
+    /// text.  The full exposition is byte-stable across repeated scrapes of
+    /// a quiesced server; `METRICS stable` additionally drops the
+    /// wall-clock-valued (volatile) families, leaving only series that are
+    /// byte-identical across `RCTREE_JOBS` for the same workload.  Scraping
+    /// is self-excluding: a `METRICS`/`TRACE` request moves no counter.
+    Metrics {
+        /// Whether to emit only the deterministic (stable) subset.
+        stable: bool,
+    },
+    /// `TRACE <n>` — the most recent `n` finished spans as one-line
+    /// records (diagnostic; not part of the deterministic surface).
+    Trace {
+        /// Maximum number of spans to return.
+        n: usize,
+    },
     /// `QUIT` — close this connection.
     Quit,
     /// `SHUTDOWN` — stop the whole server (connections drain, the
@@ -211,6 +236,20 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             exact(&args, 0, "no arguments")?;
             Ok(Some(Request::Stats))
         }
+        "METRICS" => match args.as_slice() {
+            [] => Ok(Some(Request::Metrics { stable: false })),
+            [only] if only.eq_ignore_ascii_case("stable") => {
+                Ok(Some(Request::Metrics { stable: true }))
+            }
+            _ => Err("`METRICS` takes [stable]".into()),
+        },
+        "TRACE" => {
+            exact(&args, 1, "<count>")?;
+            let n = args[0]
+                .parse::<usize>()
+                .map_err(|_| format!("`TRACE`: `{}` is not a span count", args[0]))?;
+            Ok(Some(Request::Trace { n }))
+        }
         "QUIT" => {
             exact(&args, 0, "no arguments")?;
             Ok(Some(Request::Quit))
@@ -219,7 +258,9 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             exact(&args, 0, "no arguments")?;
             Ok(Some(Request::Shutdown))
         }
-        other => Err(format!("unknown verb `{other}`")),
+        // Report the verb as the client typed it, not the case-folded
+        // match key.
+        _ => Err(format!("unknown verb `{verb}`")),
     }
 }
 
@@ -741,6 +782,53 @@ mod tests {
         assert_eq!(parse_request("STATS"), Ok(Some(Request::Stats)));
         assert_eq!(parse_request("QUIT"), Ok(Some(Request::Quit)));
         assert_eq!(parse_request("shutdown"), Ok(Some(Request::Shutdown)));
+    }
+
+    #[test]
+    fn observability_verbs_parse() {
+        assert_eq!(
+            parse_request("METRICS"),
+            Ok(Some(Request::Metrics { stable: false }))
+        );
+        assert_eq!(
+            parse_request("metrics stable"),
+            Ok(Some(Request::Metrics { stable: true }))
+        );
+        assert_eq!(
+            parse_request("METRICS STABLE"),
+            Ok(Some(Request::Metrics { stable: true }))
+        );
+        assert!(parse_request("METRICS everything")
+            .unwrap_err()
+            .contains("[stable]"));
+        assert_eq!(
+            parse_request("TRACE 16"),
+            Ok(Some(Request::Trace { n: 16 }))
+        );
+        assert_eq!(parse_request("trace 0"), Ok(Some(Request::Trace { n: 0 })));
+        assert!(parse_request("TRACE").unwrap_err().contains("<count>"));
+        assert!(parse_request("TRACE many")
+            .unwrap_err()
+            .contains("not a span count"));
+    }
+
+    #[test]
+    fn unknown_verbs_echo_the_token_as_typed() {
+        // Pinned: the error must carry the verb exactly as the client sent
+        // it, not the case-folded match key (`frobnicate`, not
+        // `FROBNICATE`).
+        assert_eq!(
+            parse_request("frobnicate x"),
+            Err("unknown verb `frobnicate`".to_string())
+        );
+        assert_eq!(
+            parse_request("FROBNICATE"),
+            Err("unknown verb `FROBNICATE`".to_string())
+        );
+        assert_eq!(
+            parse_request("Query-ish clk"),
+            Err("unknown verb `Query-ish`".to_string())
+        );
     }
 
     #[test]

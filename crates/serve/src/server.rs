@@ -27,12 +27,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rctree_core::units::Seconds;
+use rctree_obs::{Counter, Gauge, Histogram, Obs, ObsConfig, Stability};
 use rctree_sta::script::{parse_eco_script_line, ScriptLine};
 use rctree_sta::{Design, DesignSnapshot, StaError};
 
@@ -130,10 +131,14 @@ pub struct ServeConfig {
     /// Floor of the idle polling backoff ramp (clamped to
     /// `[1 µs, 25 ms]`).
     pub poll_floor: Duration,
+    /// Slow-request log threshold in microseconds (`--slow-us`): requests
+    /// whose handling exceeds it are logged to stderr.  `None` disables
+    /// the log.
+    pub slow_us: Option<u64>,
 }
 
 impl ServeConfig {
-    /// An unsharded config with the default polling floor.
+    /// An unsharded config with the default polling floor and no slow log.
     pub fn new(threshold: f64, required_time: Seconds, jobs: usize) -> ServeConfig {
         ServeConfig {
             threshold,
@@ -141,6 +146,7 @@ impl ServeConfig {
             jobs,
             shards: 1,
             poll_floor: DEFAULT_POLL_FLOOR,
+            slow_us: None,
         }
     }
 }
@@ -178,7 +184,8 @@ impl From<io::Error> for ServeError {
 }
 
 /// One writer shard: its snapshot store, its serialized `EcoExecutor`,
-/// and its slice of the audit log and counters.
+/// and its slice of the audit log and counters (registry handles under
+/// `rctree_shard_*{shard="<s>"}`).
 #[derive(Debug)]
 struct Shard {
     store: SnapshotStore,
@@ -186,9 +193,31 @@ struct Shard {
     /// Accepted directives in this shard's commit order — the audit log
     /// the per-shard serial-oracle equivalence tests replay.
     eco_log: Mutex<Vec<String>>,
-    applied: AtomicU64,
-    skipped: AtomicU64,
-    report_cache_hits: AtomicU64,
+    applied: Arc<Counter>,
+    skipped: Arc<Counter>,
+    report_cache_hits: Arc<Counter>,
+}
+
+/// Per-verb registry handles: request count, response bytes, and the
+/// (volatile) handling-duration histogram.
+#[derive(Debug)]
+struct VerbStats {
+    requests: Arc<Counter>,
+    bytes: Arc<Counter>,
+    duration_us: Arc<Histogram>,
+}
+
+/// Design-shape gauges refreshed at every `METRICS` scrape (size probes,
+/// exactly what `STATS` reads — not continuously maintained).
+#[derive(Debug)]
+struct GaugeSet {
+    nets: Arc<Gauge>,
+    instances: Arc<Gauge>,
+    endpoints: Arc<Gauge>,
+    corners: Arc<Gauge>,
+    arena_base_bytes: Arc<Gauge>,
+    arena_corner_bytes: Arc<Gauge>,
+    shard_revision: Vec<Arc<Gauge>>,
 }
 
 /// State shared by the accept loop and every connection thread.
@@ -200,8 +229,12 @@ struct Shared {
     router: HashMap<String, usize>,
     reports: RenderedReportCache,
     stats: ServerStats,
+    verbs: HashMap<&'static str, VerbStats>,
+    gauges: GaugeSet,
+    obs: Arc<Obs>,
     shutdown: AtomicBool,
     poll_floor: Duration,
+    slow_us: Option<u64>,
 }
 
 /// A running timing server.
@@ -235,19 +268,39 @@ impl Server {
         } else {
             design.partition(config.shards)?
         };
+        let obs = Obs::new(ObsConfig::default());
         let mut shards = Vec::with_capacity(designs.len());
-        for design in designs {
-            let executor =
-                EcoExecutor::new(design, config.threshold, config.required_time, config.jobs)?;
-            let store = SnapshotStore::new(executor.snapshot());
-            shards.push(Shard {
-                store,
-                writer: Mutex::new(executor),
-                eco_log: Mutex::new(Vec::new()),
-                applied: AtomicU64::new(0),
-                skipped: AtomicU64::new(0),
-                report_cache_hits: AtomicU64::new(0),
-            });
+        {
+            // Enter the runtime for the warm-up so the baseline
+            // `sta.net_build` / `sta.propagate_full` spans land in the ring.
+            let _warm = obs.enter();
+            for (s, design) in designs.into_iter().enumerate() {
+                let executor =
+                    EcoExecutor::new(design, config.threshold, config.required_time, config.jobs)?;
+                let store = SnapshotStore::new(executor.snapshot());
+                let label = s.to_string();
+                let registry = obs.registry();
+                shards.push(Shard {
+                    store,
+                    writer: Mutex::new(executor),
+                    eco_log: Mutex::new(Vec::new()),
+                    applied: registry.counter(
+                        "rctree_shard_eco_applied_total",
+                        Stability::Stable,
+                        &[("shard", &label)],
+                    ),
+                    skipped: registry.counter(
+                        "rctree_shard_eco_skipped_total",
+                        Stability::Stable,
+                        &[("shard", &label)],
+                    ),
+                    report_cache_hits: registry.counter(
+                        "rctree_shard_report_cache_hits_total",
+                        Stability::Stable,
+                        &[("shard", &label)],
+                    ),
+                });
+            }
         }
         let mut router = HashMap::new();
         if shards.len() > 1 {
@@ -258,6 +311,48 @@ impl Server {
                 }
             }
         }
+        let registry = obs.registry();
+        let stats = ServerStats::new(registry);
+        let mut verbs = HashMap::new();
+        for verb in protocol::VERBS {
+            verbs.insert(
+                verb,
+                VerbStats {
+                    requests: registry.counter(
+                        "rctree_requests_verb_total",
+                        Stability::Stable,
+                        &[("verb", verb)],
+                    ),
+                    bytes: registry.counter(
+                        "rctree_response_bytes_total",
+                        Stability::Stable,
+                        &[("verb", verb)],
+                    ),
+                    duration_us: registry.histogram(
+                        "rctree_request_duration_us",
+                        Stability::Volatile,
+                        &[("verb", verb)],
+                    ),
+                },
+            );
+        }
+        let gauges = GaugeSet {
+            nets: registry.gauge("rctree_nets", Stability::Stable, &[]),
+            instances: registry.gauge("rctree_instances", Stability::Stable, &[]),
+            endpoints: registry.gauge("rctree_endpoints", Stability::Stable, &[]),
+            corners: registry.gauge("rctree_corners", Stability::Stable, &[]),
+            arena_base_bytes: registry.gauge("rctree_arena_base_bytes", Stability::Stable, &[]),
+            arena_corner_bytes: registry.gauge("rctree_arena_corner_bytes", Stability::Stable, &[]),
+            shard_revision: (0..shards.len())
+                .map(|s| {
+                    registry.gauge(
+                        "rctree_shard_revision",
+                        Stability::Stable,
+                        &[("shard", &s.to_string())],
+                    )
+                })
+                .collect(),
+        };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -265,9 +360,13 @@ impl Server {
             shards,
             router,
             reports: RenderedReportCache::default(),
-            stats: ServerStats::default(),
+            stats,
+            verbs,
+            gauges,
+            obs,
             shutdown: AtomicBool::new(false),
             poll_floor: config.poll_floor.clamp(Duration::from_micros(1), POLL_CAP),
+            slow_us: config.slow_us,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -283,6 +382,12 @@ impl Server {
     /// The bound address (the actual port when started with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's observability runtime — the registry `METRICS`
+    /// exposes and the span ring `TRACE` reads.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
     }
 
     /// Number of writer shards actually serving (after clamping to the
@@ -370,7 +475,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _)) => {
                 idle.reset();
-                ServerStats::bump(&shared.stats.connections);
+                shared.stats.connections.bump();
                 let shared = Arc::clone(&shared);
                 handlers.push(std::thread::spawn(move || {
                     handle_connection(stream, shared)
@@ -405,6 +510,10 @@ enum After {
 /// the served p99 from the old fixed 25 ms poll.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
+    // Enter the server's observability runtime for the lifetime of this
+    // connection thread: request spans and the sta/netlist phase spans
+    // they enclose report into the server's registry and span ring.
+    let _obs = shared.obs.enter();
     let mut idle = Backoff::new(shared.poll_floor, POLL_CAP);
     // Reads poll so a parked connection notices server shutdown.
     let _ = stream.set_read_timeout(Some(idle.current()));
@@ -544,21 +653,66 @@ fn exec_eco_on(shared: &Shared, s: usize, script: &str) -> Vec<String> {
         &mut |snapshot, rev| shard.store.publish(Arc::clone(snapshot), rev),
         &mut |summary| lock(&shard.eco_log).push(summary.to_string()),
     );
-    ServerStats::add(&shard.applied, counts.applied);
-    ServerStats::add(&shard.skipped, counts.skipped);
-    ServerStats::add(&shared.stats.eco_applied, counts.applied);
-    ServerStats::add(&shared.stats.eco_skipped, counts.skipped);
+    // Only the per-shard counters are written; the `STATS` globals are
+    // derived by summing them at render time, so they cannot drift.
+    shard.applied.add(counts.applied);
+    shard.skipped.add(counts.skipped);
     lines
 }
 
+/// The wire verb of a parsed request, for per-verb counters and span
+/// attributes.  `METRICS`/`TRACE` never reach this: they are intercepted
+/// before the counted path.
+fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Query { .. } => "QUERY",
+        Request::Report { .. } => "REPORT",
+        Request::Certify { .. } => "CERTIFY",
+        Request::Stats => "STATS",
+        Request::Eco { .. } => "ECO",
+        Request::Quit => "QUIT",
+        Request::Shutdown => "SHUTDOWN",
+        Request::Metrics { .. } => "METRICS",
+        Request::Trace { .. } => "TRACE",
+    }
+}
+
 /// Parses one request line, serves it, writes the response block.
+///
+/// `METRICS` and `TRACE` are **self-excluding**: they are answered before
+/// any counter moves or span opens, so a quiesced server answers repeated
+/// scrapes byte-identically.  (`STATS` keeps counting itself, as it
+/// always has.)  Every other parsed request bumps `rctree_requests_total`
+/// and its per-verb counter, runs under a `serve.request` span, and
+/// records its response bytes and handling duration after the flush.
 fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<After> {
     let sharded = shared.shards.len() > 1;
     let mut after = After::Continue;
-    let block = match protocol::parse_request(line) {
+    let parsed = match protocol::parse_request(line) {
+        Ok(Some(Request::Metrics { stable })) => {
+            for line in render_metrics(shared, stable, sharded) {
+                writeln!(out, "{line}")?;
+            }
+            out.flush()?;
+            return Ok(After::Continue);
+        }
+        Ok(Some(Request::Trace { n })) => {
+            for line in render_trace(shared, n, sharded) {
+                writeln!(out, "{line}")?;
+            }
+            out.flush()?;
+            return Ok(After::Continue);
+        }
+        other => other,
+    };
+    let started = Instant::now();
+    let mut verb: Option<&'static str> = None;
+    let mut span = rctree_obs::Span::disabled();
+    let block = match parsed {
         // Blank lines get no response at all.
         Ok(None) => return Ok(After::Continue),
         Err(message) => {
+            shared.stats.protocol_errors.bump();
             let message = format!("bad request: {message}");
             Block::Owned(vec![if sharded {
                 let (_, revs) = load_all(shared);
@@ -568,7 +722,11 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
             }])
         }
         Ok(Some(request)) => {
-            ServerStats::bump(&shared.stats.requests);
+            shared.stats.requests.bump();
+            let v = verb_of(&request);
+            verb = Some(v);
+            span = rctree_obs::span("serve.request");
+            span.attr_str("verb", v);
             match request {
                 Request::Query {
                     net,
@@ -576,9 +734,11 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                     corner,
                     sens,
                 } => {
-                    ServerStats::bump(&shared.stats.queries);
-                    let shard = &shared.shards[route_net(shared, &net)];
+                    let s = route_net(shared, &net);
+                    let shard = &shared.shards[s];
                     let (snapshot, rev) = shard.store.load();
+                    span.attr_u64("shard", s as u64);
+                    span.attr_u64("rev", rev);
                     Block::Owned(protocol::render_query(
                         &snapshot,
                         rev,
@@ -590,6 +750,9 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                 }
                 Request::Report { corner } => {
                     let (snapshots, revs) = load_all(shared);
+                    if span.is_live() {
+                        span.attr_str("rev", protocol::rev_csv(&revs));
+                    }
                     let (lines, hit) = shared.reports.rendered(&revs, corner.as_deref(), || {
                         if sharded {
                             protocol::render_report_composed(&snapshots, &revs, corner.as_deref())
@@ -598,15 +761,19 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                         }
                     });
                     if hit {
-                        ServerStats::bump(&shared.stats.report_cache_hits);
+                        shared.stats.report_cache_hits.bump();
                         for shard in &shared.shards {
-                            ServerStats::bump(&shard.report_cache_hits);
+                            shard.report_cache_hits.bump();
                         }
                     }
+                    span.attr_u64("cache_hit", u64::from(hit));
                     Block::Cached(lines)
                 }
                 Request::Certify { budget, over } => {
                     let (snapshots, revs) = load_all(shared);
+                    if span.is_live() {
+                        span.attr_str("rev", protocol::rev_csv(&revs));
+                    }
                     Block::Owned(match over {
                         Some(over) if sharded => {
                             protocol::render_certify_over_composed(&snapshots, &revs, budget, &over)
@@ -631,7 +798,10 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                     Block::Owned(vec![final_ok(shared, sharded)])
                 }
                 Request::Eco { script } => match route_eco(shared, &script) {
-                    EcoRoute::Shard(s) => Block::Owned(exec_eco_on(shared, s, &script)),
+                    EcoRoute::Shard(s) => {
+                        span.attr_u64("shard", s as u64);
+                        Block::Owned(exec_eco_on(shared, s, &script))
+                    }
                     EcoRoute::Reject(a, b) => {
                         let (_, revs) = load_all(shared);
                         Block::Owned(vec![protocol::err_revs(
@@ -640,13 +810,33 @@ fn respond(line: &str, shared: &Shared, out: &mut impl Write) -> io::Result<Afte
                         )])
                     }
                 },
+                Request::Metrics { .. } | Request::Trace { .. } => {
+                    unreachable!("intercepted before the counted path")
+                }
             }
         }
     };
+    let mut bytes = 0u64;
     for line in block.lines() {
         writeln!(out, "{line}")?;
+        bytes += line.len() as u64 + 1;
     }
     out.flush()?;
+    if let Some(verb) = verb {
+        let dur_us = started.elapsed().as_micros() as u64;
+        span.attr_u64("bytes", bytes);
+        drop(span);
+        if let Some(vs) = shared.verbs.get(verb) {
+            vs.requests.bump();
+            vs.bytes.add(bytes);
+            vs.duration_us.record(dur_us);
+        }
+        if let Some(threshold) = shared.slow_us {
+            if dur_us > threshold {
+                eprintln!("rctree-serve: slow request verb={verb} us={dur_us} line={line}");
+            }
+        }
+    }
     Ok(after)
 }
 
@@ -694,6 +884,11 @@ fn render_stats(shared: &Shared) -> Vec<String> {
             .collect::<Vec<_>>()
             .join(",")
     };
+    // The eco globals are sums over the per-shard registry counters —
+    // derived, not separately maintained, so `STATS` and `METRICS` agree
+    // by construction.
+    let eco_applied: u64 = shared.shards.iter().map(|s| s.applied.get()).sum();
+    let eco_skipped: u64 = shared.shards.iter().map(|s| s.skipped.get()).sum();
     let final_line = if shared.shards.len() > 1 {
         format!(
             "{}{}",
@@ -720,21 +915,77 @@ fn render_stats(shared: &Shared) -> Vec<String> {
             snapshots[0].corner_count(),
             arena_base,
             arena_corner,
-            ServerStats::get(&shared.stats.connections),
-            ServerStats::get(&shared.stats.requests),
-            ServerStats::get(&shared.stats.queries),
-            ServerStats::get(&shared.stats.eco_applied),
-            ServerStats::get(&shared.stats.eco_skipped),
-            ServerStats::get(&shared.stats.report_cache_hits),
+            shared.stats.connections.get(),
+            shared.stats.requests.get(),
+            shared.stats.queries.get(),
+            eco_applied,
+            eco_skipped,
+            shared.stats.report_cache_hits.get(),
             shared.shards.len(),
             shared.router.len(),
             protocol::rev_csv(&revs),
-            csv(&|s| ServerStats::get(&s.applied)),
-            csv(&|s| ServerStats::get(&s.skipped)),
-            csv(&|s| ServerStats::get(&s.report_cache_hits)),
+            csv(&|s| s.applied.get()),
+            csv(&|s| s.skipped.get()),
+            csv(&|s| s.report_cache_hits.get()),
         ),
         final_line,
     ]
+}
+
+/// The `METRICS [stable]` response block: the design-shape gauges are
+/// refreshed from the published snapshots (the same size probe `STATS`
+/// does), then the whole registry is rendered.  Nothing in here moves a
+/// counter or opens a span, so a quiesced server answers repeated
+/// scrapes byte-identically; with `stable` the volatile (wall-clock)
+/// families are skipped and the text is additionally byte-identical
+/// across `RCTREE_JOBS` for the same request history.
+fn render_metrics(shared: &Shared, stable_only: bool, sharded: bool) -> Vec<String> {
+    let (snapshots, revs) = load_all(shared);
+    let mut nets = 0i64;
+    let mut instances = 0i64;
+    let mut endpoints = 0i64;
+    for snapshot in &snapshots {
+        nets += snapshot.net_count() as i64;
+        instances += snapshot.instance_count() as i64;
+        endpoints += snapshot.report().endpoints.len() as i64;
+    }
+    let (mut arena_base, mut arena_corner) = (0i64, 0i64);
+    for shard in &shared.shards {
+        let (base, corner) = lock(&shard.writer).arena_bytes();
+        arena_base += base as i64;
+        arena_corner += corner as i64;
+    }
+    shared.gauges.nets.set(nets);
+    shared.gauges.instances.set(instances);
+    shared.gauges.endpoints.set(endpoints);
+    shared
+        .gauges
+        .corners
+        .set(snapshots[0].corner_count() as i64);
+    shared.gauges.arena_base_bytes.set(arena_base);
+    shared.gauges.arena_corner_bytes.set(arena_corner);
+    for (gauge, rev) in shared.gauges.shard_revision.iter().zip(&revs) {
+        gauge.set(*rev as i64);
+    }
+    let text = shared.obs.registry().expose(stable_only);
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines.push(final_ok(shared, sharded));
+    lines
+}
+
+/// The `TRACE <n>` response block: the most recent `n` finished spans,
+/// oldest first, one `span …` line each.  Like `METRICS`, serving it
+/// moves no counters and opens no span.
+fn render_trace(shared: &Shared, n: usize, sharded: bool) -> Vec<String> {
+    let mut lines: Vec<String> = shared
+        .obs
+        .ring()
+        .recent(n)
+        .iter()
+        .map(|r| r.render())
+        .collect();
+    lines.push(final_ok(shared, sharded));
+    lines
 }
 
 #[cfg(test)]

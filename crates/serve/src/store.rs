@@ -1,9 +1,9 @@
 //! The snapshot store, the rendered-report cache and the server counters.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use rctree_obs::{Counter, Registry, Stability};
 use rctree_sta::DesignSnapshot;
 
 /// The published `(snapshot, revision)` pair readers serve from.
@@ -103,36 +103,57 @@ impl RenderedReportCache {
 /// schedule-dependent (how many queries raced ahead of an edit), so they
 /// are deliberately *not* part of the deterministic response surface the
 /// equivalence tests pin.
-#[derive(Debug, Default)]
+///
+/// Since the observability PR these are **handles into the server's
+/// [`rctree_obs::Registry`]** rather than standalone atomics: `STATS` and
+/// the `METRICS` exposition read the same cells, so the two surfaces can
+/// never disagree.  The shard-scoped tallies (applied/skipped/cache hits
+/// per writer shard) live on the shards themselves, registered under
+/// `rctree_shard_*` with a `shard` label; the `STATS` globals are derived
+/// by summing them at render time.
+#[derive(Debug)]
 pub struct ServerStats {
-    /// Connections accepted since start.
-    pub connections: AtomicU64,
-    /// Requests parsed (excluding blank lines).
-    pub requests: AtomicU64,
-    /// `QUERY` requests served.
-    pub queries: AtomicU64,
-    /// ECO directives applied (committed edits).
-    pub eco_applied: AtomicU64,
-    /// ECO directives skipped (rejected by validation or re-timing).
-    pub eco_skipped: AtomicU64,
-    /// `REPORT` responses served from the per-revision rendered cache.
-    pub report_cache_hits: AtomicU64,
+    /// Connections accepted since start (`rctree_connections_total`).
+    pub connections: Arc<Counter>,
+    /// Requests parsed, excluding blank lines and the self-excluded
+    /// `METRICS`/`TRACE` scrapes (`rctree_requests_total`).
+    pub requests: Arc<Counter>,
+    /// `QUERY` requests served — the same series as
+    /// `rctree_requests_verb_total{verb="QUERY"}`.
+    pub queries: Arc<Counter>,
+    /// `REPORT` responses served from the per-revision rendered cache
+    /// (`rctree_report_cache_hits_total`; a composed report counts once
+    /// here and once per shard).
+    pub report_cache_hits: Arc<Counter>,
+    /// Request lines rejected by the protocol parser
+    /// (`rctree_protocol_errors_total`).
+    pub protocol_errors: Arc<Counter>,
 }
 
 impl ServerStats {
-    /// Relaxed increment — the counters are stand-alone monotone tallies.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Relaxed add.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Relaxed read.
-    pub fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// Registers the counter families on `registry` and returns the
+    /// handles.  Every family is `Stable`: the values depend only on the
+    /// request stream, never on wall-clock time or worker count.
+    pub fn new(registry: &Registry) -> ServerStats {
+        ServerStats {
+            connections: registry.counter("rctree_connections_total", Stability::Stable, &[]),
+            requests: registry.counter("rctree_requests_total", Stability::Stable, &[]),
+            queries: registry.counter(
+                "rctree_requests_verb_total",
+                Stability::Stable,
+                &[("verb", "QUERY")],
+            ),
+            report_cache_hits: registry.counter(
+                "rctree_report_cache_hits_total",
+                Stability::Stable,
+                &[],
+            ),
+            protocol_errors: registry.counter(
+                "rctree_protocol_errors_total",
+                Stability::Stable,
+                &[],
+            ),
+        }
     }
 }
 
@@ -141,12 +162,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stats_count() {
-        let stats = ServerStats::default();
-        ServerStats::bump(&stats.queries);
-        ServerStats::add(&stats.eco_applied, 3);
-        assert_eq!(ServerStats::get(&stats.queries), 1);
-        assert_eq!(ServerStats::get(&stats.eco_applied), 3);
-        assert_eq!(ServerStats::get(&stats.connections), 0);
+    fn stats_share_series_with_the_registry() {
+        let registry = Registry::new();
+        let stats = ServerStats::new(&registry);
+        stats.queries.bump();
+        stats.connections.add(3);
+        assert_eq!(stats.queries.get(), 1);
+        assert_eq!(stats.connections.get(), 3);
+        // The `queries` handle *is* the per-verb QUERY series: bumping one
+        // moves the other, so STATS and METRICS cannot disagree.
+        let per_verb = registry.counter(
+            "rctree_requests_verb_total",
+            Stability::Stable,
+            &[("verb", "QUERY")],
+        );
+        per_verb.bump();
+        assert_eq!(stats.queries.get(), 2);
+        let text = registry.expose(false);
+        assert!(text.contains("rctree_requests_verb_total{verb=\"QUERY\"} 2\n"));
+        assert!(text.contains("rctree_connections_total 3\n"));
     }
 }

@@ -791,6 +791,8 @@ fn run_full(
     intrinsic: &[Seconds],
     delays: &[Vec<Window>],
 ) -> (Vec<InstArrival>, Vec<Vec<EndpointTiming>>) {
+    let mut obs_span = rctree_obs::span("sta.propagate_full");
+    obs_span.attr_u64("nets", cache.net_order.len() as u64);
     let mut arrivals: Vec<InstArrival> =
         vec![(ArrivalWindow::ZERO, empty_path()); cache.inst_names.len()];
     let mut endpoints: Vec<Vec<EndpointTiming>> = vec![Vec::new(); delays.len()];
@@ -875,8 +877,11 @@ fn run_cone(
     endpoints: &mut [Vec<EndpointTiming>],
     dirty_ranks: impl IntoIterator<Item = usize>,
 ) {
+    let mut obs_span = rctree_obs::span("sta.propagate_cone");
+    let mut cone_ranks = 0u64;
     let mut pending: BTreeSet<usize> = dirty_ranks.into_iter().collect();
     while let Some(rank) = pending.pop_first() {
+        cone_ranks += 1;
         let net = cache.net_order[rank];
         let driver = cache.net_driver[net];
         let d_arr = driver_window(intrinsic, arrivals, driver);
@@ -925,6 +930,7 @@ fn run_cone(
             }
         }
     }
+    obs_span.attr_u64("cone_ranks", cone_ranks);
 }
 
 /// Assembles the final report from per-net endpoint contributions:
@@ -1517,6 +1523,8 @@ impl Design {
     /// count, divided across the global pool's workers — and in the steady
     /// state it allocates only the output windows.
     fn stage_delays(&self, threshold: f64, jobs: usize) -> Result<Vec<Vec<Window>>> {
+        let mut obs_span = rctree_obs::span("sta.stage_sweep");
+        obs_span.attr_u64("nets", self.shared.nets.len() as u64);
         // The pool jobs share only the arena (not the design core), so a
         // queued straggler runner can never pin the core's strong count
         // past this call and turn a later `Arc::make_mut` commit into a
@@ -1599,6 +1607,8 @@ impl Design {
     /// but sweeping **all corner lanes** of each net in one traversal.
     /// Outer index: net; middle: corner lane; inner: sink.
     fn stage_delays_corners(&self, threshold: f64, jobs: usize) -> Result<Vec<Vec<Vec<Window>>>> {
+        let mut obs_span = rctree_obs::span("sta.stage_sweep");
+        obs_span.attr_u64("nets", self.shared.nets.len() as u64);
         let state = Arc::new((self.shared.arena(), threshold));
         let n = self.shared.nets.len();
         rctree_par::par_map_global(jobs, state, n, move |i, st: &(Arc<NetArena>, f64)| {
@@ -1688,6 +1698,8 @@ impl Design {
         if self.shared.nets.is_empty() {
             return Err(StaError::EmptyDesign);
         }
+        let mut obs_span = rctree_obs::span("sta.symbolic_build");
+        obs_span.attr_u64("nets", self.shared.nets.len() as u64);
         // Shard like `analyze_rebuild_with_jobs`: pool jobs hold the core
         // through a Weak so a queued straggler can never pin the strong
         // count past this call.
@@ -1832,6 +1844,9 @@ impl Design {
             .eco
             .as_ref()
             .is_some_and(|state| state.threshold == threshold);
+        let mut obs_span = rctree_obs::span("sta.eco_apply");
+        obs_span.attr_u64("edits", edits.len() as u64);
+        obs_span.attr_u64("warm", u64::from(warm));
 
         // Group the edits by net index, preserving intra-net order; the
         // interned name→index map is maintained by `add_net` on the core.
@@ -2291,6 +2306,7 @@ impl Design {
     where
         I: IntoIterator<Item = (String, RcTree)>,
     {
+        let mut obs_span = rctree_obs::span("sta.net_build");
         let mut design = Design::new(library);
         // Validate the driver cell up front so an empty deck still reports
         // a bad cell name.
@@ -2337,6 +2353,7 @@ impl Design {
                 sinks,
             })?;
         }
+        obs_span.attr_u64("nets", design.shared.nets.len() as u64);
         Ok(design)
     }
 
@@ -2859,6 +2876,8 @@ impl DesignSnapshot {
         if let Some(sym) = self.symbolic.get() {
             return Ok(Arc::clone(sym));
         }
+        let mut obs_span = rctree_obs::span("sta.symbolic_build");
+        obs_span.attr_u64("nets", self.nets.len() as u64);
         let mut bounds = Vec::with_capacity(self.nets.len());
         for net in &self.nets {
             bounds.push(stage_symbolic_bounds(
@@ -2894,6 +2913,7 @@ impl Design {
         required_time: Seconds,
         jobs: usize,
     ) -> Result<DesignSnapshot> {
+        let _obs_span = rctree_obs::span("sta.publish");
         let report = self.apply_eco_with_jobs(&[], threshold, required_time, jobs)?;
         let snapshot = self.snapshot_from_state(threshold, required_time, report, None, &[]);
         self.published = snapshot.id;
@@ -2925,6 +2945,8 @@ impl Design {
         jobs: usize,
         prev: &DesignSnapshot,
     ) -> Result<DesignSnapshot> {
+        let mut obs_span = rctree_obs::span("sta.publish");
+        obs_span.attr_u64("edits", edits.len() as u64);
         let reuse = prev.id == self.published
             && self.published != 0
             && prev.threshold == threshold
